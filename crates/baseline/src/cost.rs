@@ -1,0 +1,205 @@
+//! The CPU cost model pricing the baseline's operation counts.
+//!
+//! Calibration anchors, all from the paper:
+//!
+//! * §1: Lucene spends **70–100 instructions per docID** on inverted-index
+//!   operations (VTune profiling). The defaults below total ~86
+//!   instructions per posting on a single-term query.
+//! * Fig. 1: decompression is **>40%** of query time across query types;
+//!   set operations and scoring dominate the rest.
+//! * Table 1: i7-7820X at **3.6 GHz**; an aggressive sustained IPC of 2.0
+//!   is assumed for this integer-heavy code.
+//!
+//! The model deliberately prices *operations counted by the functional
+//! engine* rather than wall-clock of this Rust reimplementation, so results
+//! are deterministic and reflect Lucene's measured per-docID costs rather
+//! than rustc's code generation.
+
+use crate::ops::OpCounts;
+
+/// Instruction-level cost model of the baseline CPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuCostModel {
+    /// Core frequency in GHz (Table 1: 3.6).
+    pub freq_ghz: f64,
+    /// Sustained instructions per cycle.
+    pub ipc: f64,
+    /// Instructions to decode one posting (varint/bit-unpack + prefix sum).
+    pub insts_decode_per_posting: f64,
+    /// Instructions per merge/intersect comparison.
+    pub insts_setop_per_comparison: f64,
+    /// Instructions per skip-list binary-search probe (pointer chase,
+    /// likely cache miss).
+    pub insts_binary_probe: f64,
+    /// Instructions to BM25-score one document.
+    pub insts_score_per_doc: f64,
+    /// Instructions per top-k heap candidate (mostly a compare-and-skip).
+    pub insts_topk_per_candidate: f64,
+    /// Per-posting bookkeeping the profile attributes to neither phase
+    /// (iterator overhead, buffer management).
+    pub insts_other_per_posting: f64,
+    /// Instructions per phrase-position verification (decode positions,
+    /// merge-check adjacency).
+    pub insts_phrase_check: f64,
+    /// Fixed per-query software overhead in nanoseconds (parsing,
+    /// dispatch, result assembly).
+    pub query_overhead_ns: f64,
+}
+
+impl Default for CpuCostModel {
+    fn default() -> Self {
+        CpuCostModel {
+            freq_ghz: 3.6,
+            ipc: 2.0,
+            insts_decode_per_posting: 38.0,
+            insts_setop_per_comparison: 12.0,
+            insts_binary_probe: 18.0,
+            insts_score_per_doc: 30.0,
+            insts_topk_per_candidate: 4.0,
+            insts_other_per_posting: 12.0,
+            insts_phrase_check: 40.0,
+            query_overhead_ns: 2_000.0,
+        }
+    }
+}
+
+impl CpuCostModel {
+    /// Nanoseconds per instruction at this frequency and IPC.
+    pub fn ns_per_inst(&self) -> f64 {
+        1.0 / (self.freq_ghz * self.ipc)
+    }
+
+    /// Prices a query's operation counts into a per-phase breakdown.
+    pub fn price(&self, counts: &OpCounts) -> PhaseBreakdown {
+        let ns = self.ns_per_inst();
+        PhaseBreakdown {
+            decompress_ns: counts.postings_decoded as f64 * self.insts_decode_per_posting * ns,
+            setop_ns: (counts.comparisons as f64 * self.insts_setop_per_comparison
+                + counts.binary_probes as f64 * self.insts_binary_probe
+                + counts.phrase_checks as f64 * self.insts_phrase_check)
+                * ns,
+            score_ns: counts.docs_scored as f64 * self.insts_score_per_doc * ns,
+            topk_ns: counts.topk_candidates as f64 * self.insts_topk_per_candidate * ns,
+            other_ns: counts.postings_decoded as f64 * self.insts_other_per_posting * ns
+                + self.query_overhead_ns,
+        }
+    }
+
+    /// Prices only the top-k phase (used for the host-side portion of an
+    /// IIU query, §4.5).
+    pub fn price_topk(&self, candidates: u64) -> f64 {
+        candidates as f64 * self.insts_topk_per_candidate * self.ns_per_inst()
+    }
+}
+
+/// Per-phase query time, the quantity Fig. 1 plots.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseBreakdown {
+    /// Decompression time (ns).
+    pub decompress_ns: f64,
+    /// Set-operation time: merges, intersections, skip-list probes (ns).
+    pub setop_ns: f64,
+    /// BM25 scoring time (ns).
+    pub score_ns: f64,
+    /// Top-k selection time (ns).
+    pub topk_ns: f64,
+    /// Unattributed per-posting overhead plus fixed query overhead (ns).
+    pub other_ns: f64,
+}
+
+impl PhaseBreakdown {
+    /// Total query time in nanoseconds.
+    pub fn total_ns(&self) -> f64 {
+        self.decompress_ns + self.setop_ns + self.score_ns + self.topk_ns + self.other_ns
+    }
+
+    /// Fraction of the total spent decompressing (the Fig. 1 headline:
+    /// >40% for Lucene).
+    pub fn decompress_fraction(&self) -> f64 {
+        if self.total_ns() == 0.0 {
+            return 0.0;
+        }
+        self.decompress_ns / self.total_ns()
+    }
+
+    /// Adds another breakdown (for averaging over query batches).
+    pub fn merge(&mut self, other: &PhaseBreakdown) {
+        self.decompress_ns += other.decompress_ns;
+        self.setop_ns += other.setop_ns;
+        self.score_ns += other.score_ns;
+        self.topk_ns += other.topk_ns;
+        self.other_ns += other.other_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_fall_in_papers_instruction_range() {
+        // Single-term query: decode + score + top-k + other per posting.
+        let m = CpuCostModel::default();
+        let per_posting = m.insts_decode_per_posting
+            + m.insts_score_per_doc
+            + m.insts_topk_per_candidate
+            + m.insts_other_per_posting;
+        assert!(
+            (70.0..=100.0).contains(&per_posting),
+            "{per_posting} insts/docID outside the paper's 70-100 range"
+        );
+    }
+
+    #[test]
+    fn single_term_decompression_over_40_percent() {
+        // Fig. 1 anchor: a pure single-term query profile.
+        let m = CpuCostModel::default();
+        let counts = OpCounts {
+            postings_decoded: 1_000_000,
+            blocks_decoded: 8_000,
+            docs_scored: 1_000_000,
+            topk_candidates: 1_000_000,
+            results: 1_000_000,
+            ..Default::default()
+        };
+        let phases = m.price(&counts);
+        assert!(
+            phases.decompress_fraction() > 0.40,
+            "decompression fraction {} must exceed 40%",
+            phases.decompress_fraction()
+        );
+    }
+
+    #[test]
+    fn ns_per_inst_matches_frequency() {
+        let m = CpuCostModel::default();
+        assert!((m.ns_per_inst() - 1.0 / 7.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn price_topk_is_linear() {
+        let m = CpuCostModel::default();
+        assert!((m.price_topk(2_000) - 2.0 * m.price_topk(1_000)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_totals_and_merge() {
+        let mut a = PhaseBreakdown {
+            decompress_ns: 10.0,
+            setop_ns: 5.0,
+            score_ns: 3.0,
+            topk_ns: 2.0,
+            other_ns: 1.0,
+        };
+        assert_eq!(a.total_ns(), 21.0);
+        a.merge(&a.clone());
+        assert_eq!(a.total_ns(), 42.0);
+    }
+
+    #[test]
+    fn empty_counts_cost_only_overhead() {
+        let m = CpuCostModel::default();
+        let phases = m.price(&OpCounts::default());
+        assert_eq!(phases.total_ns(), m.query_overhead_ns);
+    }
+}

@@ -1,0 +1,268 @@
+//! The Lucene-like query engine: functional results plus priced operation
+//! counts.
+
+use iiu_index::score::term_score_fixed;
+use iiu_index::{IndexError, InvertedIndex, TermId};
+
+use crate::cost::{CpuCostModel, PhaseBreakdown};
+use crate::ops::{self, OpCounts};
+use crate::topk::{top_k, Hit};
+
+/// The result of one query: ranked hits, raw operation counts, and the
+/// cost model's per-phase timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// Top-k hits in descending score order.
+    pub hits: Vec<Hit>,
+    /// Number of candidate documents before top-k selection.
+    pub candidates: u64,
+    /// Operation counts accumulated while processing.
+    pub counts: OpCounts,
+    /// Per-phase time under the CPU cost model.
+    pub phases: PhaseBreakdown,
+}
+
+impl QueryOutcome {
+    /// Modeled end-to-end latency in nanoseconds.
+    pub fn latency_ns(&self) -> f64 {
+        self.phases.total_ns()
+    }
+}
+
+/// A software search engine over the IIU index, mimicking Lucene's query
+/// processing (block decompression, SvS intersection, merge union, BM25,
+/// heap top-k).
+///
+/// Scoring uses the same Q16.16 fixed-point datapath as the simulated
+/// hardware so that both engines return bit-identical scores; the paper's
+/// baseline comparison is about *time*, which the cost model prices from
+/// operation counts.
+#[derive(Debug, Clone)]
+pub struct CpuEngine<'a> {
+    index: &'a InvertedIndex,
+    cost: CpuCostModel,
+}
+
+impl<'a> CpuEngine<'a> {
+    /// Creates an engine with the default cost model.
+    pub fn new(index: &'a InvertedIndex) -> Self {
+        CpuEngine { index, cost: CpuCostModel::default() }
+    }
+
+    /// Creates an engine with a custom cost model.
+    pub fn with_cost_model(index: &'a InvertedIndex, cost: CpuCostModel) -> Self {
+        CpuEngine { index, cost }
+    }
+
+    /// The engine's cost model.
+    pub fn cost_model(&self) -> CpuCostModel {
+        self.cost
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &'a InvertedIndex {
+        self.index
+    }
+
+    fn resolve(&self, term: &str) -> Result<TermId, IndexError> {
+        self.index
+            .term_id(term)
+            .ok_or_else(|| IndexError::UnknownTerm { term: term.to_owned() })
+    }
+
+    /// Single-term query: decompress, score, top-k (§2.2 workflow).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::UnknownTerm`] if `term` is not indexed.
+    pub fn search_single(&self, term: &str, k: usize) -> Result<QueryOutcome, IndexError> {
+        let id = self.resolve(term)?;
+        let list = self.index.encoded_list(id);
+        let idf_bar = self.index.term_info(id).idf_bar;
+
+        let mut counts = OpCounts::default();
+        let postings = ops::decode_full(list, &mut counts);
+        let hits: Vec<Hit> = postings
+            .iter()
+            .map(|p| Hit {
+                doc_id: p.doc_id,
+                score: term_score_fixed(idf_bar, self.index.dl_bar(p.doc_id), p.tf).to_f64(),
+            })
+            .collect();
+        counts.docs_scored = hits.len() as u64;
+        counts.topk_candidates = hits.len() as u64;
+        counts.results = hits.len() as u64;
+        let candidates = hits.len() as u64;
+
+        let phases = self.cost.price(&counts);
+        Ok(QueryOutcome { hits: top_k(hits, k), candidates, counts, phases })
+    }
+
+    /// Intersection query via Small-versus-Small (§2.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::UnknownTerm`] if either term is not indexed.
+    pub fn search_intersection(
+        &self,
+        term_a: &str,
+        term_b: &str,
+        k: usize,
+    ) -> Result<QueryOutcome, IndexError> {
+        let ia = self.resolve(term_a)?;
+        let ib = self.resolve(term_b)?;
+        // SvS orders by list length: shorter list drives the probing.
+        let (short_id, long_id) =
+            if self.index.term_info(ia).df <= self.index.term_info(ib).df {
+                (ia, ib)
+            } else {
+                (ib, ia)
+            };
+        let short = self.index.encoded_list(short_id);
+        let long = self.index.encoded_list(long_id);
+        let idf_short = self.index.term_info(short_id).idf_bar;
+        let idf_long = self.index.term_info(long_id).idf_bar;
+
+        let mut counts = OpCounts::default();
+        let matches = ops::intersect_svs(short, long, &mut counts);
+        let hits: Vec<Hit> = matches
+            .iter()
+            .map(|&(doc_id, tf_s, tf_l)| {
+                let dl = self.index.dl_bar(doc_id);
+                let s = term_score_fixed(idf_short, dl, tf_s)
+                    .saturating_add(term_score_fixed(idf_long, dl, tf_l));
+                Hit { doc_id, score: s.to_f64() }
+            })
+            .collect();
+        counts.docs_scored = 2 * hits.len() as u64;
+        counts.topk_candidates = hits.len() as u64;
+        let candidates = hits.len() as u64;
+
+        let phases = self.cost.price(&counts);
+        Ok(QueryOutcome { hits: top_k(hits, k), candidates, counts, phases })
+    }
+
+    /// Union query via linear merge (§2.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::UnknownTerm`] if either term is not indexed.
+    pub fn search_union(
+        &self,
+        term_a: &str,
+        term_b: &str,
+        k: usize,
+    ) -> Result<QueryOutcome, IndexError> {
+        let ia = self.resolve(term_a)?;
+        let ib = self.resolve(term_b)?;
+        let la = self.index.encoded_list(ia);
+        let lb = self.index.encoded_list(ib);
+        let idf_a = self.index.term_info(ia).idf_bar;
+        let idf_b = self.index.term_info(ib).idf_bar;
+
+        let mut counts = OpCounts::default();
+        let merged = ops::union_merge(la, lb, &mut counts);
+        let mut scored = 0u64;
+        let hits: Vec<Hit> = merged
+            .iter()
+            .map(|&(doc_id, tf_a, tf_b)| {
+                let dl = self.index.dl_bar(doc_id);
+                let mut s = iiu_index::Fixed::ZERO;
+                if tf_a > 0 {
+                    s = s.saturating_add(term_score_fixed(idf_a, dl, tf_a));
+                    scored += 1;
+                }
+                if tf_b > 0 {
+                    s = s.saturating_add(term_score_fixed(idf_b, dl, tf_b));
+                    scored += 1;
+                }
+                Hit { doc_id, score: s.to_f64() }
+            })
+            .collect();
+        counts.docs_scored = scored;
+        counts.topk_candidates = hits.len() as u64;
+        let candidates = hits.len() as u64;
+
+        let phases = self.cost.price(&counts);
+        Ok(QueryOutcome { hits: top_k(hits, k), candidates, counts, phases })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iiu_index::{BuildOptions, IndexBuilder};
+
+    fn engine_index() -> InvertedIndex {
+        let mut b = IndexBuilder::new(BuildOptions::default());
+        b.add_document("business lausanne report");         // 0
+        b.add_document("cameo appearance");                 // 1
+        b.add_document("business cameo business");          // 2
+        b.add_document("weather report");                   // 3
+        b.add_document("business weather cameo");           // 4
+        b.build()
+    }
+
+    #[test]
+    fn single_term_ranks_by_tf() {
+        let idx = engine_index();
+        let engine = CpuEngine::new(&idx);
+        let out = engine.search_single("business", 10).unwrap();
+        assert_eq!(out.hits.len(), 3);
+        // doc 2 has tf 2 and the shortest competitive length.
+        assert_eq!(out.hits[0].doc_id, 2);
+        assert!(out.latency_ns() > 0.0);
+        assert_eq!(out.counts.postings_decoded, 3);
+    }
+
+    #[test]
+    fn intersection_returns_common_docs() {
+        let idx = engine_index();
+        let engine = CpuEngine::new(&idx);
+        let out = engine.search_intersection("business", "cameo", 10).unwrap();
+        let docs: Vec<u32> = out.hits.iter().map(|h| h.doc_id).collect();
+        let mut sorted = docs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![2, 4]);
+        assert_eq!(out.counts.docs_scored, 4);
+    }
+
+    #[test]
+    fn intersection_is_symmetric() {
+        let idx = engine_index();
+        let engine = CpuEngine::new(&idx);
+        let ab = engine.search_intersection("business", "cameo", 10).unwrap();
+        let ba = engine.search_intersection("cameo", "business", 10).unwrap();
+        assert_eq!(ab.hits, ba.hits);
+    }
+
+    #[test]
+    fn union_covers_both_lists() {
+        let idx = engine_index();
+        let engine = CpuEngine::new(&idx);
+        let out = engine.search_union("business", "cameo", 10).unwrap();
+        let mut docs: Vec<u32> = out.hits.iter().map(|h| h.doc_id).collect();
+        docs.sort_unstable();
+        assert_eq!(docs, vec![0, 1, 2, 4]);
+        // Docs containing both terms outrank single-term docs of similar length.
+        assert_eq!(out.hits[0].doc_id, 2);
+    }
+
+    #[test]
+    fn unknown_term_is_an_error() {
+        let idx = engine_index();
+        let engine = CpuEngine::new(&idx);
+        assert!(engine.search_single("zebra", 5).is_err());
+        assert!(engine.search_intersection("zebra", "business", 5).is_err());
+        assert!(engine.search_union("business", "zebra", 5).is_err());
+    }
+
+    #[test]
+    fn k_truncates_results() {
+        let idx = engine_index();
+        let engine = CpuEngine::new(&idx);
+        let out = engine.search_single("business", 1).unwrap();
+        assert_eq!(out.hits.len(), 1);
+        assert_eq!(out.candidates, 3);
+    }
+}

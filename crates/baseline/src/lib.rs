@@ -1,0 +1,26 @@
+//! The software baseline: a Lucene-like search engine over the IIU index
+//! format, with a calibrated CPU cost model.
+//!
+//! The paper compares IIU against Apache Lucene on an i7-7820X, profiled
+//! with VTune at 70–100 instructions per docID (§1), with decompression
+//! taking >40% of query time (Fig. 1). This crate reimplements the
+//! baseline's query processing — block-wise decompression, SvS
+//! intersection over skip lists, linear-merge union, BM25 scoring and
+//! heap-based top-k — and *counts operations* as it goes. A
+//! [`cost::CpuCostModel`] calibrated to the paper's profiling numbers then
+//! converts operation counts into nanoseconds, so the baseline and the
+//! cycle-level IIU simulator live in the same deterministic time domain
+//! (see DESIGN.md §2 for why this substitution preserves the paper's
+//! comparisons).
+
+pub mod cost;
+pub mod engine;
+pub mod ops;
+pub mod throughput;
+pub mod topk;
+
+pub use cost::{CpuCostModel, PhaseBreakdown};
+pub use engine::{CpuEngine, QueryOutcome};
+pub use ops::OpCounts;
+pub use throughput::parallel_makespan_ns;
+pub use topk::top_k;

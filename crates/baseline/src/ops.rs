@@ -1,0 +1,305 @@
+//! Set operations over compressed posting lists, with operation counting.
+//!
+//! These are the baseline's (and, functionally, the accelerator's)
+//! semantics for the three query types of §2.2/§4.2: full decompression
+//! for single-term queries, Small-versus-Small intersection with skip-list
+//! membership testing, and linear-merge union. Every function fills an
+//! [`OpCounts`] so the cost model can price the work.
+
+use iiu_index::block::EncodedList;
+use iiu_index::{DocId, Posting};
+
+/// Counters of the primitive operations a query performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCounts {
+    /// Postings decompressed (d-gap + tf decode and prefix-sum).
+    pub postings_decoded: u64,
+    /// Blocks decompressed.
+    pub blocks_decoded: u64,
+    /// Blocks skipped thanks to skip-list membership testing.
+    pub blocks_skipped: u64,
+    /// Skip-list binary-search probes.
+    pub binary_probes: u64,
+    /// Element comparisons in merge/intersect loops (and within-block
+    /// binary search).
+    pub comparisons: u64,
+    /// Documents scored with BM25.
+    pub docs_scored: u64,
+    /// Candidates pushed through the top-k heap.
+    pub topk_candidates: u64,
+    /// Result postings produced.
+    pub results: u64,
+    /// Phrase-position verifications performed (host side).
+    pub phrase_checks: u64,
+}
+
+impl OpCounts {
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &OpCounts) {
+        self.postings_decoded += other.postings_decoded;
+        self.blocks_decoded += other.blocks_decoded;
+        self.blocks_skipped += other.blocks_skipped;
+        self.binary_probes += other.binary_probes;
+        self.comparisons += other.comparisons;
+        self.docs_scored += other.docs_scored;
+        self.topk_candidates += other.topk_candidates;
+        self.results += other.results;
+        self.phrase_checks += other.phrase_checks;
+    }
+}
+
+/// Decompresses an entire list (single-term query path).
+pub fn decode_full(list: &EncodedList, counts: &mut OpCounts) -> Vec<Posting> {
+    let mut out = Vec::with_capacity(list.num_postings() as usize);
+    for b in 0..list.num_blocks() {
+        out.extend(list.decode_block(b));
+        counts.blocks_decoded += 1;
+    }
+    counts.postings_decoded += out.len() as u64;
+    out
+}
+
+/// Small-versus-Small intersection (§2.2): decompresses the shorter list in
+/// full, then for each of its docIDs binary-searches the longer list's skip
+/// list to find the one candidate block, decompressing only those blocks.
+///
+/// Returns matched postings as `(docID, tf_short, tf_long)`.
+pub fn intersect_svs(
+    short: &EncodedList,
+    long: &EncodedList,
+    counts: &mut OpCounts,
+) -> Vec<(DocId, u32, u32)> {
+    debug_assert!(short.num_postings() <= long.num_postings());
+    let short_postings = decode_full(short, counts);
+    let skips = long.skips();
+    let mut out = Vec::new();
+    let mut cached_block: Option<(usize, Vec<Posting>)> = None;
+    let mut decoded_blocks = vec![false; long.num_blocks()];
+
+    for p in &short_postings {
+        // Binary search over the skip list for the last skip <= docID.
+        let mut lo = 0usize;
+        let mut hi = skips.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            counts.binary_probes += 1;
+            if skips[mid] <= p.doc_id {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let Some(block_idx) = lo.checked_sub(1) else {
+            continue; // docID precedes the first block
+        };
+
+        let cache_hit = matches!(&cached_block, Some((idx, _)) if *idx == block_idx);
+        if !cache_hit {
+            counts.blocks_decoded += 1;
+            decoded_blocks[block_idx] = true;
+            let decoded = long.decode_block(block_idx);
+            counts.postings_decoded += decoded.len() as u64;
+            cached_block = Some((block_idx, decoded));
+        }
+        let block = &cached_block.as_ref().expect("decoded above").1;
+
+        // Binary search within the decompressed block.
+        let mut lo = 0usize;
+        let mut hi = block.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            counts.comparisons += 1;
+            if block[mid].doc_id < p.doc_id {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo < block.len() && block[lo].doc_id == p.doc_id {
+            out.push((p.doc_id, p.tf, block[lo].tf));
+        }
+    }
+
+    counts.blocks_skipped += decoded_blocks.iter().filter(|&&d| !d).count() as u64;
+    counts.results += out.len() as u64;
+    out
+}
+
+/// Linear-merge union (§2.2, §4.2): decompresses both lists and merges like
+/// a 2-way merge sort; matched docIDs carry both term frequencies.
+///
+/// Returns `(docID, tf_a, tf_b)` with a zero tf marking "absent from that
+/// list".
+pub fn union_merge(
+    a: &EncodedList,
+    b: &EncodedList,
+    counts: &mut OpCounts,
+) -> Vec<(DocId, u32, u32)> {
+    let pa = decode_full(a, counts);
+    let pb = decode_full(b, counts);
+    let mut out = Vec::with_capacity(pa.len() + pb.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < pa.len() && j < pb.len() {
+        counts.comparisons += 1;
+        match pa[i].doc_id.cmp(&pb[j].doc_id) {
+            std::cmp::Ordering::Less => {
+                out.push((pa[i].doc_id, pa[i].tf, 0));
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push((pb[j].doc_id, 0, pb[j].tf));
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push((pa[i].doc_id, pa[i].tf, pb[j].tf));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    // Flush the remainder (the paper's "remaining postings from the other
+    // DCU are flushed to memory").
+    for p in &pa[i..] {
+        out.push((p.doc_id, p.tf, 0));
+    }
+    for p in &pb[j..] {
+        out.push((p.doc_id, 0, p.tf));
+    }
+    counts.results += out.len() as u64;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iiu_index::{Partitioner, Posting, PostingList};
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    fn encode(ids: &[(u32, u32)], max_size: usize) -> EncodedList {
+        let list = PostingList::from_sorted(
+            ids.iter().map(|&(d, t)| Posting::new(d, t)).collect(),
+        );
+        let part = Partitioner::dynamic(max_size).partition(&list);
+        EncodedList::encode(&list, &part).unwrap()
+    }
+
+    #[test]
+    fn decode_full_counts_everything() {
+        let list = encode(&[(0, 1), (5, 2), (9, 1), (100, 3)], 2);
+        let mut c = OpCounts::default();
+        let postings = decode_full(&list, &mut c);
+        assert_eq!(postings.len(), 4);
+        assert_eq!(c.postings_decoded, 4);
+        assert_eq!(c.blocks_decoded, list.num_blocks() as u64);
+    }
+
+    #[test]
+    fn intersect_paper_example() {
+        // L(business) ∩ L(cameo) = [11, 38, 46] (§2.2).
+        let business = encode(&[(0, 1), (2, 1), (11, 1), (20, 1), (38, 1), (46, 1)], 2);
+        let cameo = encode(
+            &[(1, 2), (11, 2), (38, 2), (39, 2), (46, 2), (55, 2), (62, 2)],
+            2,
+        );
+        let mut c = OpCounts::default();
+        let result = intersect_svs(&business, &cameo, &mut c);
+        assert_eq!(
+            result.iter().map(|&(d, _, _)| d).collect::<Vec<_>>(),
+            vec![11, 38, 46]
+        );
+        assert_eq!(result[0], (11, 1, 2));
+        assert_eq!(c.results, 3);
+        assert!(c.binary_probes > 0);
+    }
+
+    #[test]
+    fn intersect_skips_unneeded_blocks() {
+        // Short list hits only the tail of the long list: head blocks
+        // must be skipped, not decompressed.
+        let long: Vec<(u32, u32)> = (0..1000).map(|i| (i * 2, 1)).collect();
+        let long = encode(&long, 64);
+        let short = encode(&[(1990, 1), (1998, 1)], 64);
+        let mut c = OpCounts::default();
+        let result = intersect_svs(&short, &long, &mut c);
+        assert_eq!(result.len(), 2);
+        assert!(c.blocks_skipped > 10, "expected most blocks skipped, got {c:?}");
+        assert!(c.blocks_decoded < 5);
+    }
+
+    #[test]
+    fn intersect_docid_before_first_skip() {
+        let long = encode(&[(100, 1), (200, 1)], 2);
+        let short = encode(&[(5, 1), (100, 1)], 2);
+        let mut c = OpCounts::default();
+        let result = intersect_svs(&short, &long, &mut c);
+        assert_eq!(result.len(), 1);
+        assert_eq!(result[0].0, 100);
+    }
+
+    #[test]
+    fn union_paper_example() {
+        let business = encode(&[(0, 1), (2, 1), (11, 1), (20, 1), (38, 1), (46, 1)], 3);
+        let cameo = encode(
+            &[(1, 2), (11, 2), (38, 2), (39, 2), (46, 2), (55, 2), (62, 2)],
+            3,
+        );
+        let mut c = OpCounts::default();
+        let result = union_merge(&business, &cameo, &mut c);
+        assert_eq!(
+            result.iter().map(|&(d, _, _)| d).collect::<Vec<_>>(),
+            vec![0, 1, 2, 11, 20, 38, 39, 46, 55, 62]
+        );
+        // Matched docID carries both tfs.
+        let row11 = result.iter().find(|r| r.0 == 11).unwrap();
+        assert_eq!((row11.1, row11.2), (1, 2));
+        let row55 = result.iter().find(|r| r.0 == 55).unwrap();
+        assert_eq!((row55.1, row55.2), (0, 2));
+    }
+
+    #[test]
+    fn union_with_empty_list() {
+        let a = encode(&[(3, 1), (9, 2)], 2);
+        let b = EncodedList::default();
+        let mut c = OpCounts::default();
+        let result = union_merge(&a, &b, &mut c);
+        assert_eq!(result.len(), 2);
+        assert_eq!(result[0], (3, 1, 0));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn prop_intersection_matches_btreeset(
+            a in proptest::collection::btree_set(0u32..3000, 1..150),
+            b in proptest::collection::btree_set(0u32..3000, 1..150),
+        ) {
+            let ea = encode(&a.iter().map(|&d| (d, 1)).collect::<Vec<_>>(), 16);
+            let eb = encode(&b.iter().map(|&d| (d, 2)).collect::<Vec<_>>(), 16);
+            let (short, long) = if a.len() <= b.len() { (&ea, &eb) } else { (&eb, &ea) };
+            let mut c = OpCounts::default();
+            let got: Vec<u32> = intersect_svs(short, long, &mut c)
+                .into_iter().map(|(d, _, _)| d).collect();
+            let want: Vec<u32> = a.intersection(&b).copied().collect();
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn prop_union_matches_btreemap(
+            a in proptest::collection::btree_set(0u32..3000, 0..150),
+            b in proptest::collection::btree_set(0u32..3000, 0..150),
+        ) {
+            let ea = encode(&a.iter().map(|&d| (d, 1)).collect::<Vec<_>>(), 16);
+            let eb = encode(&b.iter().map(|&d| (d, 2)).collect::<Vec<_>>(), 16);
+            let mut c = OpCounts::default();
+            let got = union_merge(&ea, &eb, &mut c);
+            let mut want: BTreeMap<u32, (u32, u32)> = BTreeMap::new();
+            for &d in &a { want.entry(d).or_insert((0, 0)).0 = 1; }
+            for &d in &b { want.entry(d).or_insert((0, 0)).1 = 2; }
+            let want: Vec<(u32, u32, u32)> =
+                want.into_iter().map(|(d, (x, y))| (d, x, y)).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

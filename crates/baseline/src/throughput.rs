@@ -1,0 +1,147 @@
+//! Multi-core throughput modeling for the baseline (Fig. 2, Fig. 16).
+//!
+//! Lucene "only exploits inter-query parallelism for throughput, but not
+//! intra-query parallelism" (§1): each query runs on one core, and a pool
+//! of cores drains the backlog. The makespan of a batch is therefore a
+//! multiprocessor-scheduling problem; this module models it with the
+//! longest-processing-time (LPT) greedy rule, which is what a work-stealing
+//! query pool approximates. A real multithreaded executor (crossbeam) is
+//! also provided so examples can demonstrate genuine parallel execution.
+
+use crossbeam::thread;
+
+/// Makespan in nanoseconds of running queries with the given latencies on
+/// `cores` single-query cores, using LPT assignment.
+///
+/// # Panics
+///
+/// Panics if `cores` is zero.
+pub fn parallel_makespan_ns(latencies_ns: &[f64], cores: usize) -> f64 {
+    assert!(cores > 0, "at least one core is required");
+    let mut sorted: Vec<f64> = latencies_ns.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let mut loads = vec![0.0f64; cores];
+    for lat in sorted {
+        let min = loads
+            .iter_mut()
+            .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("cores > 0");
+        *min += lat;
+    }
+    loads.iter().fold(0.0f64, |m, &l| m.max(l))
+}
+
+/// Throughput in queries per second for a batch under the makespan model.
+pub fn batch_throughput_qps(latencies_ns: &[f64], cores: usize) -> f64 {
+    if latencies_ns.is_empty() {
+        return 0.0;
+    }
+    let makespan = parallel_makespan_ns(latencies_ns, cores);
+    latencies_ns.len() as f64 / (makespan * 1e-9)
+}
+
+/// Runs `jobs` on up to `workers` OS threads and collects the results in
+/// input order. This executes the queries for real (used by examples and
+/// correctness tests); the *modeled* time still comes from the cost model.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn run_parallel<T, F>(jobs: Vec<F>, workers: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.max(1).min(n);
+    let queue = crossbeam::queue::SegQueue::new();
+    for j in jobs.into_iter().enumerate() {
+        queue.push(j);
+    }
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, T)>();
+    thread::scope(|s| {
+        for _ in 0..workers {
+            let queue = &queue;
+            let tx = tx.clone();
+            s.spawn(move |_| {
+                while let Some((idx, job)) = queue.pop() {
+                    tx.send((idx, job())).expect("receiver alive in scope");
+                }
+            });
+        }
+        drop(tx);
+    })
+    .expect("worker panicked");
+    let mut results: Vec<(usize, T)> = rx.into_iter().collect();
+    results.sort_by_key(|&(idx, _)| idx);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_core_makespan_is_sum() {
+        let lat = [3.0, 1.0, 2.0];
+        assert_eq!(parallel_makespan_ns(&lat, 1), 6.0);
+    }
+
+    #[test]
+    fn enough_cores_makespan_is_max() {
+        let lat = [3.0, 1.0, 2.0];
+        assert_eq!(parallel_makespan_ns(&lat, 8), 3.0);
+    }
+
+    #[test]
+    fn lpt_balances_loads() {
+        // 4 jobs of 2 and 2 jobs of 3 on 2 cores: LPT gives {3,2,2}, {3,2} ->
+        // makespan 7... compute: sorted [3,3,2,2,2,2]; loads: 3 | 3; 2->both 3: first -> 5|3; 2->3: 5|5; 2->5: 7|5; 2->5: 7|7.
+        let lat = [2.0, 2.0, 2.0, 2.0, 3.0, 3.0];
+        assert_eq!(parallel_makespan_ns(&lat, 2), 7.0);
+    }
+
+    #[test]
+    fn throughput_saturates_with_cores() {
+        let lat = vec![100.0; 16];
+        let t1 = batch_throughput_qps(&lat, 1);
+        let t8 = batch_throughput_qps(&lat, 8);
+        let t16 = batch_throughput_qps(&lat, 16);
+        let t32 = batch_throughput_qps(&lat, 32);
+        assert!(t8 > t1 * 7.9);
+        assert!(t16 > t8 * 1.9);
+        // Beyond one core per query there is nothing left to parallelize.
+        assert_eq!(t16, t32);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        let _ = parallel_makespan_ns(&[1.0], 0);
+    }
+
+    #[test]
+    fn run_parallel_preserves_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            (0..64usize).map(|i| Box::new(move || i * i) as _).collect();
+        let results = run_parallel(jobs, 8);
+        assert_eq!(results, (0..64usize).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_parallel_with_one_worker() {
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> =
+            (0..5u32).map(|i| Box::new(move || i + 1) as _).collect();
+        assert_eq!(run_parallel(jobs, 1), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_batch() {
+        assert_eq!(batch_throughput_qps(&[], 4), 0.0);
+        let jobs: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+        assert!(run_parallel(jobs, 4).is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! Top-k selection with a size-k min-heap (the paper's Fig. 13 pseudocode,
+//! executed on the host CPU in both the baseline and the IIU system).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use iiu_index::DocId;
+
+/// A scored document.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// Document identifier.
+    pub doc_id: DocId,
+    /// Query score (larger is better).
+    pub score: f64,
+}
+
+/// Wrapper giving `Hit` the min-heap ordering the algorithm needs
+/// (`BinaryHeap` is a max-heap, so order is reversed; ties break on docID
+/// so results are deterministic).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct MinScore(Hit);
+
+impl Eq for MinScore {}
+
+impl Ord for MinScore {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed on score (min-heap); among tied scores the *largest*
+        // docID is the heap top, so ties evict high docIDs and the final
+        // order (descending score, ascending docID) matches a full sort.
+        other
+            .0
+            .score
+            .partial_cmp(&self.0.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.0.doc_id.cmp(&other.0.doc_id))
+    }
+}
+
+impl PartialOrd for MinScore {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Selects the `k` highest-scoring hits, returned in descending score
+/// order (ties broken by ascending docID).
+///
+/// This is exactly the paper's algorithm: a size-k priority queue that
+/// admits a candidate only if it beats the current minimum.
+///
+/// # Example
+///
+/// ```
+/// use iiu_baseline::topk::{top_k, Hit};
+/// let hits = vec![
+///     Hit { doc_id: 1, score: 0.5 },
+///     Hit { doc_id: 2, score: 2.0 },
+///     Hit { doc_id: 3, score: 1.0 },
+/// ];
+/// let top = top_k(hits, 2);
+/// assert_eq!(top[0].doc_id, 2);
+/// assert_eq!(top[1].doc_id, 3);
+/// ```
+pub fn top_k(candidates: impl IntoIterator<Item = Hit>, k: usize) -> Vec<Hit> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut pq: BinaryHeap<MinScore> = BinaryHeap::with_capacity(k + 1);
+    for hit in candidates {
+        if pq.len() < k {
+            pq.push(MinScore(hit));
+        } else if let Some(min) = pq.peek() {
+            if min.0.score < hit.score {
+                pq.pop();
+                pq.push(MinScore(hit));
+            }
+        }
+    }
+    let mut out: Vec<Hit> = pq.into_iter().map(|m| m.0).collect();
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| a.doc_id.cmp(&b.doc_id))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn hit(doc_id: u32, score: f64) -> Hit {
+        Hit { doc_id, score }
+    }
+
+    #[test]
+    fn fewer_candidates_than_k() {
+        let top = top_k(vec![hit(1, 1.0), hit(2, 2.0)], 10);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].doc_id, 2);
+    }
+
+    #[test]
+    fn k_zero_returns_nothing() {
+        assert!(top_k(vec![hit(1, 1.0)], 0).is_empty());
+    }
+
+    #[test]
+    fn exact_selection_and_order() {
+        let cands: Vec<Hit> = (0..100).map(|i| hit(i, f64::from(i % 10))).collect();
+        let top = top_k(cands, 5);
+        assert_eq!(top.len(), 5);
+        assert!(top.iter().all(|h| h.score == 9.0));
+        // Ties break by ascending docID.
+        assert_eq!(
+            top.iter().map(|h| h.doc_id).collect::<Vec<_>>(),
+            vec![9, 19, 29, 39, 49]
+        );
+    }
+
+    #[test]
+    fn equal_minimum_is_not_replaced() {
+        // A candidate equal to the heap minimum must not evict it
+        // (pq.top().value < curr.score is strict in the paper).
+        let top = top_k(vec![hit(1, 5.0), hit(2, 5.0), hit(3, 5.0)], 1);
+        assert_eq!(top[0].doc_id, 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_full_sort(
+            scores in proptest::collection::vec(0u32..1000, 0..300),
+            k in 0usize..50,
+        ) {
+            let cands: Vec<Hit> = scores.iter().enumerate()
+                .map(|(i, &s)| hit(i as u32, f64::from(s)))
+                .collect();
+            let got = top_k(cands.clone(), k);
+            let mut want = cands;
+            want.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap()
+                .then_with(|| a.doc_id.cmp(&b.doc_id)));
+            want.truncate(k);
+            prop_assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert_eq!(g.score, w.score);
+                prop_assert_eq!(g.doc_id, w.doc_id);
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Criterion microbenchmarks: the dynamic-programming partitioner versus
+//! fixed partitioning across list lengths and maxSize values.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use iiu_index::{Partitioner, Posting, PostingList};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bursty_list(n: usize, seed: u64) -> PostingList {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut acc = 0u32;
+    PostingList::from_sorted(
+        (0..n)
+            .map(|_| {
+                acc += if rng.gen_bool(0.9) { 1 } else { rng.gen_range(2..5000) };
+                Posting::new(acc, rng.gen_range(1..16))
+            })
+            .collect(),
+    )
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    for n in [10_000usize, 100_000] {
+        let list = bursty_list(n, 3);
+        group.throughput(Throughput::Elements(n as u64));
+        for max in [64usize, 256, 1024] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("dynamic-{max}"), n),
+                &list,
+                |b, list| b.iter(|| black_box(Partitioner::dynamic(max).partition(list))),
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("fixed-128", n), &list, |b, list| {
+            b.iter(|| black_box(Partitioner::fixed(128).partition(list)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_partitioners
+}
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Runs the DESIGN.md §5 ablations (traversal cache, partitioning, stream
+//! buffers).
+
+fn main() {
+    let ctx = iiu_bench::Ctx::ccnews_only();
+    let result = iiu_bench::experiments::ablations::run(&ctx);
+    iiu_bench::write_json("ablations", &result);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig02 (see DESIGN.md §4).
+
+fn main() {
+    let ctx = iiu_bench::Ctx::new();
+    let result = iiu_bench::experiments::fig02::run(&ctx);
+    iiu_bench::write_json("fig02_scaling", &result);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig17 (see DESIGN.md §4).
+
+fn main() {
+    let ctx = iiu_bench::Ctx::new();
+    let result = iiu_bench::experiments::fig17::run(&ctx);
+    iiu_bench::write_json("fig17_breakdown", &result);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig18 (see DESIGN.md §4).
+
+fn main() {
+    let ctx = iiu_bench::Ctx::new();
+    let result = iiu_bench::experiments::fig18::run(&ctx);
+    iiu_bench::write_json("fig18_bandwidth", &result);
+}

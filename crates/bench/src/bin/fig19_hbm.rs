@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 19 (HBM scalability; see DESIGN.md §4).
+
+fn main() {
+    let ctx = iiu_bench::Ctx::ccnews_only();
+    let result = iiu_bench::experiments::fig19::run(&ctx);
+    iiu_bench::write_json("fig19_hbm", &result);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig20 (see DESIGN.md §4).
+
+fn main() {
+    let ctx = iiu_bench::Ctx::new();
+    let result = iiu_bench::experiments::fig20::run(&ctx);
+    iiu_bench::write_json("fig20_energy", &result);
+}

@@ -1,0 +1,7 @@
+//! Quantifies the paper's Fig. 12c hybrid interconnect configuration.
+
+fn main() {
+    let ctx = iiu_bench::Ctx::ccnews_only();
+    let result = iiu_bench::experiments::hybrid::run(&ctx);
+    iiu_bench::write_json("hybrid_parallelism", &result);
+}

@@ -1,0 +1,7 @@
+//! Latency-vs-offered-load serving curves for both systems.
+
+fn main() {
+    let ctx = iiu_bench::Ctx::ccnews_only();
+    let result = iiu_bench::experiments::load_latency::run(&ctx);
+    iiu_bench::write_json("load_latency", &result);
+}

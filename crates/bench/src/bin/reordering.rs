@@ -1,0 +1,7 @@
+//! Document-ordering compression study (DESIGN.md §8).
+
+fn main() {
+    let ctx = iiu_bench::Ctx::ccnews_only();
+    let result = iiu_bench::experiments::reordering::run(&ctx);
+    iiu_bench::write_json("reordering", &result);
+}

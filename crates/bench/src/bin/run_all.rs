@@ -1,0 +1,38 @@
+//! Runs every experiment in DESIGN.md §4's index, writing one JSON per
+//! table/figure plus a combined `results/all.json`.
+
+use serde_json::json;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let ctx = iiu_bench::Ctx::new();
+    eprintln!("[datasets built in {:.1?}]", t0.elapsed());
+    let mut all = serde_json::Map::new();
+    macro_rules! run {
+        ($name:literal, $module:ident) => {{
+            let t = std::time::Instant::now();
+            let v = iiu_bench::experiments::$module::run(&ctx);
+            iiu_bench::write_json($name, &v);
+            eprintln!("[{} finished in {:.1?}]", $name, t.elapsed());
+            all.insert($name.to_string(), v);
+        }};
+    }
+    run!("fig01_breakdown", fig01);
+    run!("fig02_scaling", fig02);
+    run!("table2_compression", table2);
+    run!("fig14_maxsize", fig14);
+    run!("fig15_latency", fig15);
+    run!("fig16_throughput", fig16);
+    run!("fig17_breakdown", fig17);
+    run!("fig18_bandwidth", fig18);
+    run!("fig19_hbm", fig19);
+    run!("table3_area_power", table3);
+    run!("fig20_energy", fig20);
+    run!("hybrid_parallelism", hybrid);
+    run!("load_latency", load_latency);
+    run!("reordering", reordering);
+    run!("utilization", utilization);
+    run!("ablations", ablations);
+    iiu_bench::write_json("all", &json!(all));
+    eprintln!("[run_all finished in {:.1?}]", t0.elapsed());
+}

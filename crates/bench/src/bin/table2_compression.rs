@@ -1,0 +1,7 @@
+//! Regenerates the paper's table2 (see DESIGN.md §4).
+
+fn main() {
+    let ctx = iiu_bench::Ctx::new();
+    let result = iiu_bench::experiments::table2::run(&ctx);
+    iiu_bench::write_json("table2_compression", &result);
+}

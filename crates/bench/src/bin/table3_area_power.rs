@@ -1,0 +1,7 @@
+//! Regenerates the paper's table3 (see DESIGN.md §4).
+
+fn main() {
+    let ctx = iiu_bench::Ctx::new();
+    let result = iiu_bench::experiments::table3::run(&ctx);
+    iiu_bench::write_json("table3_area_power", &result);
+}

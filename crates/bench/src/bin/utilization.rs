@@ -1,0 +1,7 @@
+//! Per-unit pipeline utilization study.
+
+fn main() {
+    let ctx = iiu_bench::Ctx::ccnews_only();
+    let result = iiu_bench::experiments::utilization::run(&ctx);
+    iiu_bench::write_json("utilization", &result);
+}

@@ -1,0 +1,169 @@
+//! Ablations of the design choices DESIGN.md §5 calls out:
+//!
+//! * the BSU traversal cache (size sweep, including off);
+//! * dynamic versus static partitioning at equal block limits;
+//! * the Block Reader stream-buffer window.
+
+use iiu_sim::{HostModel, IiuMachine, SimConfig};
+use serde_json::json;
+
+use crate::context::{rebuild_with_partitioner, Ctx, DatasetName};
+use crate::experiments::{iiu_intra_latencies, mean, sim_queries, QueryType};
+use crate::report::print_table;
+
+/// Traversal-cache sizes swept (1 ≈ off: a single-entry cache almost never
+/// hits a binary-search path).
+pub const CACHE_SIZES: [usize; 5] = [1, 8, 16, 32, 128];
+
+/// BR window sizes swept.
+pub const BR_WINDOWS: [usize; 6] = [4, 8, 16, 32, 64, 128];
+
+/// Runs the traversal-cache ablation: intersection queries, BSU memory
+/// probes and latency versus cache size.
+pub fn traversal_cache(ctx: &Ctx) -> serde_json::Value {
+    let d = ctx.dataset(DatasetName::CcNews);
+    let host = HostModel::default();
+    let queries: Vec<_> = sim_queries(d, QueryType::Intersect).into_iter().take(30).collect();
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for size in CACHE_SIZES {
+        let machine = IiuMachine::new(
+            &d.index,
+            SimConfig { bsu_cache_entries: size, ..SimConfig::default() },
+        );
+        let (lats, runs) = iiu_intra_latencies(&machine, &host, &queries, 1);
+        let probes: u64 = runs.iter().map(|r| r.stats.bsu_probes).sum();
+        let hits: u64 = runs.iter().map(|r| r.stats.bsu_cache_hits).sum();
+        let hit_rate = hits as f64 / probes.max(1) as f64;
+        rows.push(vec![
+            size.to_string(),
+            format!("{:.1}%", 100.0 * hit_rate),
+            format!("{}", probes - hits),
+            format!("{:.2} us", mean(&lats) / 1e3),
+        ]);
+        out.push(json!({
+            "cache_entries": size,
+            "hit_rate": hit_rate,
+            "memory_probes": probes - hits,
+            "mean_latency_ns": mean(&lats),
+        }));
+    }
+    print_table(
+        "Ablation: BSU traversal cache (intersection, IIU-1)",
+        &["entries", "hit rate", "mem probes", "latency"],
+        &rows,
+    );
+    json!({ "ablation": "traversal_cache", "rows": out })
+}
+
+/// Runs the partitioning ablation: dynamic vs fixed at the same limit.
+pub fn partitioning(ctx: &Ctx) -> serde_json::Value {
+    let d = ctx.dataset(DatasetName::CcNews);
+    let host = HostModel::default();
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for (label, part) in [
+        ("dynamic(256)", iiu_index::Partitioner::dynamic(256)),
+        ("fixed(256)", iiu_index::Partitioner::fixed(256)),
+        ("dynamic(128)", iiu_index::Partitioner::dynamic(128)),
+        ("fixed(128)", iiu_index::Partitioner::fixed(128)),
+    ] {
+        let rebuilt = rebuild_with_partitioner(d, part);
+        let stats = rebuilt.index.size_stats();
+        let machine = IiuMachine::new(&rebuilt.index, SimConfig::default());
+        let queries: Vec<_> =
+            sim_queries(&rebuilt, QueryType::Single).into_iter().take(30).collect();
+        let (lats, _) = iiu_intra_latencies(&machine, &host, &queries, 8);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.2}x", stats.compression_ratio()),
+            format!("{:.1}", stats.avg_block_len()),
+            format!("{:.2} us", mean(&lats) / 1e3),
+        ]);
+        out.push(json!({
+            "partitioner": label,
+            "compression_ratio": stats.compression_ratio(),
+            "avg_block_len": stats.avg_block_len(),
+            "mean_latency_ns": mean(&lats),
+        }));
+    }
+    print_table(
+        "Ablation: dynamic vs fixed partitioning (single-term, IIU-8)",
+        &["partitioner", "compression", "avg block", "latency"],
+        &rows,
+    );
+    json!({ "ablation": "partitioning", "rows": out })
+}
+
+/// Runs the stream-buffer ablation: BR window size versus latency.
+pub fn stream_buffers(ctx: &Ctx) -> serde_json::Value {
+    let d = ctx.dataset(DatasetName::CcNews);
+    let host = HostModel::default();
+    let queries: Vec<_> = sim_queries(d, QueryType::Single).into_iter().take(30).collect();
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for window in BR_WINDOWS {
+        let machine =
+            IiuMachine::new(&d.index, SimConfig { br_window: window, ..SimConfig::default() });
+        let (lats, _) = iiu_intra_latencies(&machine, &host, &queries, 8);
+        rows.push(vec![window.to_string(), format!("{:.2} us", mean(&lats) / 1e3)]);
+        out.push(json!({ "br_window": window, "mean_latency_ns": mean(&lats) }));
+    }
+    print_table(
+        "Ablation: Block Reader stream-buffer window (single-term, IIU-8)",
+        &["entries", "latency"],
+        &rows,
+    );
+    json!({ "ablation": "stream_buffers", "rows": out })
+}
+
+/// Runs the device-top-k ablation: moving the paper's host-side top-k
+/// selection into the write-back path (the extension §4.5 hints at). This
+/// attacks exactly the bottleneck Fig. 17 identifies for single-term
+/// queries.
+pub fn device_topk(ctx: &Ctx) -> serde_json::Value {
+    let d = ctx.dataset(DatasetName::CcNews);
+    let host = HostModel::default();
+    let queries: Vec<_> = sim_queries(d, QueryType::Single).into_iter().take(30).collect();
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for (label, k) in [("host top-k (paper)", 0usize), ("device top-k=10", 10)] {
+        let machine =
+            IiuMachine::new(&d.index, SimConfig { device_topk: k, ..SimConfig::default() });
+        let clock = machine.config().clock_ghz;
+        let mut total_ns = 0.0;
+        let mut wr_bytes = 0u64;
+        for &q in &queries {
+            let run = machine.run_query(q, 8);
+            total_ns += host.query_latency_ns(run.cycles, clock, run.stats.candidates);
+            wr_bytes += run.mem.bytes_written;
+        }
+        let mean_ns = total_ns / queries.len() as f64;
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.2} us", mean_ns / 1e3),
+            format!("{} KiB", wr_bytes / 1024),
+        ]);
+        out.push(json!({
+            "config": label,
+            "mean_latency_ns": mean_ns,
+            "write_bytes": wr_bytes,
+        }));
+    }
+    print_table(
+        "Ablation: on-device top-k (single-term, IIU-8) — removes the Fig. 17 host bottleneck",
+        &["config", "mean latency", "writes"],
+        &rows,
+    );
+    json!({ "ablation": "device_topk", "rows": out })
+}
+
+/// Runs all ablations.
+pub fn run(ctx: &Ctx) -> serde_json::Value {
+    json!({
+        "traversal_cache": traversal_cache(ctx),
+        "partitioning": partitioning(ctx),
+        "stream_buffers": stream_buffers(ctx),
+        "device_topk": device_topk(ctx),
+    })
+}

@@ -1,0 +1,50 @@
+//! Figure 1: breakdown of query processing time in the Lucene-like
+//! baseline. The paper's headline: decompression accounts for over 40% of
+//! the response time across all three query types.
+
+use serde_json::json;
+
+use crate::context::Ctx;
+use crate::experiments::{baseline_breakdowns, QueryType};
+use crate::report::print_table;
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) -> serde_json::Value {
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for d in ctx.datasets() {
+        for qt in QueryType::all() {
+            let phases = baseline_breakdowns(d, qt);
+            let mut total = iiu_baseline::PhaseBreakdown::default();
+            for p in &phases {
+                total.merge(p);
+            }
+            let t = total.total_ns();
+            let frac = |x: f64| x / t;
+            rows.push(vec![
+                d.name.label().to_string(),
+                qt.label().to_string(),
+                format!("{:.1}%", 100.0 * frac(total.decompress_ns)),
+                format!("{:.1}%", 100.0 * frac(total.setop_ns)),
+                format!("{:.1}%", 100.0 * frac(total.score_ns)),
+                format!("{:.1}%", 100.0 * frac(total.topk_ns)),
+                format!("{:.1}%", 100.0 * frac(total.other_ns)),
+            ]);
+            out.push(json!({
+                "dataset": d.name.label(),
+                "query_type": qt.label(),
+                "decompress": frac(total.decompress_ns),
+                "setop": frac(total.setop_ns),
+                "score": frac(total.score_ns),
+                "topk": frac(total.topk_ns),
+                "other": frac(total.other_ns),
+            }));
+        }
+    }
+    print_table(
+        "Fig. 1: baseline query-time breakdown (paper: decompression > 40%)",
+        &["dataset", "type", "decompress", "set-op", "score", "top-k", "other"],
+        &rows,
+    );
+    json!({ "figure": "fig01", "rows": out })
+}

@@ -1,0 +1,42 @@
+//! Figure 2: baseline throughput versus the number of backlogged queries.
+//! Lucene exploits only inter-query parallelism, so throughput grows until
+//! the core count (8) is saturated and flattens afterwards.
+
+use serde_json::json;
+
+use crate::context::{Ctx, DatasetName};
+use crate::experiments::{baseline_latencies_ns, QueryType};
+use crate::report::print_table;
+
+/// CPU cores available to the baseline (Table 1's i7-7820X has 8).
+pub const CPU_CORES: usize = 8;
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) -> serde_json::Value {
+    let d = ctx.dataset(DatasetName::CcNews);
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for qt in QueryType::all() {
+        let lats = baseline_latencies_ns(d, qt);
+        let mut row = vec![qt.label().to_string()];
+        let mut series = Vec::new();
+        for &backlog in &[1usize, 2, 4, 8, 16, 32, 64, 100] {
+            let slice: Vec<f64> = lats.iter().cycle().take(backlog).copied().collect();
+            let makespan = iiu_baseline::parallel_makespan_ns(&slice, CPU_CORES);
+            // Scheduling efficiency: queries served per mean service time.
+            // 1.0 at a backlog of one; saturates at the core count.
+            let mean = slice.iter().sum::<f64>() / slice.len() as f64;
+            let normalized = backlog as f64 * mean / makespan;
+            row.push(format!("{normalized:.2}"));
+            series.push(json!({ "backlog": backlog, "normalized_throughput": normalized }));
+        }
+        rows.push(row);
+        out.push(json!({ "query_type": qt.label(), "series": series }));
+    }
+    print_table(
+        "Fig. 2: baseline throughput vs backlog (normalized to 1 query; flattens at 8 cores)",
+        &["type", "q=1", "q=2", "q=4", "q=8", "q=16", "q=32", "q=64", "q=100"],
+        &rows,
+    );
+    json!({ "figure": "fig02", "cpu_cores": CPU_CORES, "rows": out })
+}

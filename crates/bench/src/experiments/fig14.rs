@@ -1,0 +1,54 @@
+//! Figure 14: speedup versus compression ratio as the partitioner's
+//! `maxSize` sweeps 16..2048. Smaller blocks buy intra-query parallelism
+//! at a (small) compression cost; the paper picks 256. Also reproduces
+//! the §5.2 footnote: Lucene's static 128 scheme gives comparable speed
+//! but a much lower compression ratio.
+
+use iiu_sim::{HostModel, IiuMachine, SimConfig};
+use serde_json::json;
+
+use crate::context::{rebuild_with_partitioner, Ctx, DatasetName};
+use crate::experiments::{baseline_latencies_ns, iiu_intra_latencies, mean, sim_queries, QueryType};
+use crate::report::print_table;
+
+/// The swept maxSize values (the format caps blocks at 2048).
+pub const MAX_SIZES: [usize; 8] = [16, 32, 64, 128, 256, 512, 1024, 2048];
+
+/// Queries used per point (a subset keeps the 8-index sweep fast).
+pub const QUERIES_PER_POINT: usize = 30;
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) -> serde_json::Value {
+    let d = ctx.dataset(DatasetName::CcNews);
+    let host = HostModel::default();
+    let lucene_ns = mean(&baseline_latencies_ns(d, QueryType::Single)[..QUERIES_PER_POINT.min(d.singles.len())]);
+
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    let mut eval = |label: String, part: iiu_index::Partitioner| {
+        let rebuilt = rebuild_with_partitioner(d, part);
+        let ratio = rebuilt.index.size_stats().compression_ratio();
+        let machine = IiuMachine::new(&rebuilt.index, SimConfig::default());
+        let queries: Vec<_> = sim_queries(&rebuilt, QueryType::Single)
+            .into_iter()
+            .take(QUERIES_PER_POINT)
+            .collect();
+        let (lats, _) = iiu_intra_latencies(&machine, &host, &queries, 8);
+        let speedup = lucene_ns / mean(&lats);
+        rows.push(vec![label.clone(), format!("{speedup:.1}x"), format!("{ratio:.2}x")]);
+        out.push(json!({ "config": label, "speedup": speedup, "compression_ratio": ratio }));
+    };
+
+    for max in MAX_SIZES {
+        eval(format!("dynamic({max})"), iiu_index::Partitioner::dynamic(max));
+    }
+    // The footnote comparison: Lucene's static partitioning inside IIU.
+    eval("static(128)".to_string(), iiu_index::Partitioner::fixed(128));
+
+    print_table(
+        "Fig. 14: speedup (vs baseline, single-term, IIU-8 intra) and compression ratio vs maxSize",
+        &["partitioner", "speedup", "compression"],
+        &rows,
+    );
+    json!({ "figure": "fig14", "rows": out })
+}

@@ -1,0 +1,57 @@
+//! Figure 15: single-query latency (log scale in the paper) of the
+//! baseline versus IIU-1/2/4/8 with intra-query parallelism.
+//!
+//! Expected shape: large IIU wins everywhere; intersection benefits most;
+//! single-term queries stop scaling with cores because host top-k
+//! dominates; union is flat in core count (merge-unit bottleneck).
+
+use iiu_sim::{HostModel, IiuMachine, SimConfig};
+use serde_json::json;
+
+use crate::context::Ctx;
+use crate::experiments::{
+    baseline_latencies_ns, iiu_intra_latencies, mean, sim_queries, QueryType,
+};
+use crate::report::{fmt_ns, print_table};
+
+/// Core counts swept (IIU-X in the paper).
+pub const CORE_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) -> serde_json::Value {
+    let host = HostModel::default();
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for d in ctx.datasets() {
+        let machine = IiuMachine::new(&d.index, SimConfig::default());
+        for qt in QueryType::all() {
+            let lucene = mean(&baseline_latencies_ns(d, qt));
+            let queries = sim_queries(d, qt);
+            let mut row = vec![
+                d.name.label().to_string(),
+                qt.label().to_string(),
+                fmt_ns(lucene),
+            ];
+            let mut entry = json!({
+                "dataset": d.name.label(),
+                "query_type": qt.label(),
+                "lucene_ns": lucene,
+            });
+            for cores in CORE_COUNTS {
+                let (lats, _) = iiu_intra_latencies(&machine, &host, &queries, cores);
+                let m = mean(&lats);
+                row.push(format!("{} ({:.1}x)", fmt_ns(m), lucene / m));
+                entry[format!("iiu{cores}_ns")] = json!(m);
+                entry[format!("iiu{cores}_speedup")] = json!(lucene / m);
+            }
+            rows.push(row);
+            out.push(entry);
+        }
+    }
+    print_table(
+        "Fig. 15: mean query latency, baseline vs IIU-X intra-query (speedup in parens)",
+        &["dataset", "type", "Lucene", "IIU-1", "IIU-2", "IIU-4", "IIU-8"],
+        &rows,
+    );
+    json!({ "figure": "fig15", "rows": out })
+}

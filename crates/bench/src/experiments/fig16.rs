@@ -1,0 +1,86 @@
+//! Figure 16: query throughput over the 100-query workload, baseline on 8
+//! CPU cores versus IIU-X inter-query units.
+//!
+//! Also reports the paper's two decompositions: IIU-1 versus
+//! *single-threaded* Lucene (specialization, ~14.6×) and IIU-8 over IIU-1
+//! (parallelism, ~3.6×).
+
+use iiu_sim::{HostModel, IiuMachine, SimConfig};
+use serde_json::json;
+
+use crate::context::Ctx;
+use crate::experiments::{baseline_latencies_ns, sim_queries, QueryType};
+use crate::report::print_table;
+
+/// Unit counts swept.
+pub const UNIT_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// CPU cores for the baseline and for host-side top-k.
+pub const CPU_CORES: usize = 8;
+
+/// Throughput (queries/s) of an IIU batch: accelerator makespan overlapped
+/// with host top-k on the CPU cores.
+pub fn iiu_batch_qps(
+    machine: &IiuMachine<'_>,
+    host: &HostModel,
+    queries: &[iiu_sim::SimQuery],
+    units: usize,
+) -> (f64, iiu_sim::BatchRun) {
+    let batch = machine.run_batch(queries, units);
+    let clock = machine.config().clock_ghz;
+    let iiu_ns = batch.cycles as f64 / clock;
+    let cands: Vec<u64> = batch.queries.iter().map(|q| q.stats.candidates).collect();
+    let topk_ns = host.batch_topk_ns(&cands, CPU_CORES);
+    let total_ns = iiu_ns.max(topk_ns) + host.dispatch_ns;
+    (queries.len() as f64 / (total_ns * 1e-9), batch)
+}
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) -> serde_json::Value {
+    let host = HostModel::default();
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for d in ctx.datasets() {
+        let machine = IiuMachine::new(&d.index, SimConfig::default());
+        for qt in QueryType::all() {
+            let lats = baseline_latencies_ns(d, qt);
+            let lucene_qps =
+                lats.len() as f64 / (iiu_baseline::parallel_makespan_ns(&lats, CPU_CORES) * 1e-9);
+            let lucene_1t_qps = lats.len() as f64 / (lats.iter().sum::<f64>() * 1e-9);
+            let queries = sim_queries(d, qt);
+            let mut row = vec![
+                d.name.label().to_string(),
+                qt.label().to_string(),
+                format!("{lucene_qps:.0}"),
+            ];
+            let mut entry = json!({
+                "dataset": d.name.label(),
+                "query_type": qt.label(),
+                "lucene_8core_qps": lucene_qps,
+                "lucene_1thread_qps": lucene_1t_qps,
+            });
+            let mut qps1 = 0.0;
+            for units in UNIT_COUNTS {
+                let (qps, _) = iiu_batch_qps(&machine, &host, &queries, units);
+                if units == 1 {
+                    qps1 = qps;
+                    entry["specialization_iiu1_vs_1thread"] = json!(qps / lucene_1t_qps);
+                }
+                row.push(format!("{:.0} ({:.1}x)", qps, qps / lucene_qps));
+                entry[format!("iiu{units}_qps")] = json!(qps);
+                entry[format!("iiu{units}_speedup")] = json!(qps / lucene_qps);
+            }
+            entry["parallelism_iiu8_vs_iiu1"] =
+                json!(entry["iiu8_qps"].as_f64().unwrap_or(0.0) / qps1);
+            rows.push(row);
+            out.push(entry);
+        }
+    }
+    print_table(
+        "Fig. 16: throughput (qps) for the 100-query workload, baseline-8core vs IIU-X \
+         inter-query (speedup in parens)",
+        &["dataset", "type", "Lucene-8c", "IIU-1", "IIU-2", "IIU-4", "IIU-8"],
+        &rows,
+    );
+    json!({ "figure": "fig16", "rows": out })
+}

@@ -1,0 +1,53 @@
+//! Figure 17: runtime breakdown of IIU-8 — how much of the end-to-end
+//! latency the host-side top-k selection takes once intra-query
+//! parallelism has shrunk the accelerator's share (Amdahl's law).
+
+use iiu_sim::{HostModel, IiuMachine, SimConfig};
+use serde_json::json;
+
+use crate::context::Ctx;
+use crate::experiments::{iiu_intra_latencies, sim_queries, QueryType};
+use crate::report::print_table;
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) -> serde_json::Value {
+    let host = HostModel::default();
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for d in ctx.datasets() {
+        let machine = IiuMachine::new(&d.index, SimConfig::default());
+        let clock = machine.config().clock_ghz;
+        for qt in QueryType::all() {
+            let queries = sim_queries(d, qt);
+            let (_, runs) = iiu_intra_latencies(&machine, &host, &queries, 8);
+            let mut iiu_ns = 0.0;
+            let mut topk_ns = 0.0;
+            for r in &runs {
+                iiu_ns += r.cycles as f64 / clock;
+                topk_ns += host.topk_ns(r.stats.candidates);
+            }
+            let dispatch = host.dispatch_ns * runs.len() as f64;
+            let total = iiu_ns + topk_ns + dispatch;
+            rows.push(vec![
+                d.name.label().to_string(),
+                qt.label().to_string(),
+                format!("{:.1}%", 100.0 * iiu_ns / total),
+                format!("{:.1}%", 100.0 * topk_ns / total),
+                format!("{:.1}%", 100.0 * dispatch / total),
+            ]);
+            out.push(json!({
+                "dataset": d.name.label(),
+                "query_type": qt.label(),
+                "iiu_fraction": iiu_ns / total,
+                "topk_fraction": topk_ns / total,
+                "dispatch_fraction": dispatch / total,
+            }));
+        }
+    }
+    print_table(
+        "Fig. 17: IIU-8 runtime breakdown (top-k on the host CPU dominates single-term)",
+        &["dataset", "type", "IIU", "top-k (host)", "dispatch"],
+        &rows,
+    );
+    json!({ "figure": "fig17", "rows": out })
+}

@@ -1,0 +1,45 @@
+//! Figure 18: DRAM bandwidth utilization of IIU-1..8 with inter-query
+//! parallelism, on both datasets. Single-term and union become
+//! bandwidth-bound as units grow; intersection does not (it touches few
+//! blocks).
+
+use iiu_sim::{IiuMachine, SimConfig};
+use serde_json::json;
+
+use crate::context::Ctx;
+use crate::experiments::{sim_queries, QueryType};
+use crate::report::print_table;
+
+/// Unit counts swept.
+pub const UNIT_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) -> serde_json::Value {
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for d in ctx.datasets() {
+        let machine = IiuMachine::new(&d.index, SimConfig::default());
+        for qt in QueryType::all() {
+            let queries = sim_queries(d, qt);
+            let mut row = vec![d.name.label().to_string(), qt.label().to_string()];
+            let mut entry = json!({
+                "dataset": d.name.label(),
+                "query_type": qt.label(),
+            });
+            for units in UNIT_COUNTS {
+                let batch = machine.run_batch(&queries, units);
+                let util = batch.mem.bandwidth_utilization;
+                row.push(format!("{:.1}%", 100.0 * util));
+                entry[format!("iiu{units}_bw_utilization")] = json!(util);
+            }
+            rows.push(row);
+            out.push(entry);
+        }
+    }
+    print_table(
+        "Fig. 18: DRAM bandwidth utilization, IIU-X inter-query (DDR4-2400, 76.8 GB/s peak)",
+        &["dataset", "type", "IIU-1", "IIU-2", "IIU-4", "IIU-8"],
+        &rows,
+    );
+    json!({ "figure": "fig18", "rows": out })
+}

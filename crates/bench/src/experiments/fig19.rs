@@ -1,0 +1,56 @@
+//! Figure 19: scalability on an HBM-like memory system (CC-News,
+//! inter-query parallelism, up to 32 units). Single-term and union keep
+//! scaling with bandwidth; intersection does not fully utilize it.
+
+use iiu_sim::{DramConfig, HostModel, IiuMachine, SimConfig};
+use serde_json::json;
+
+use crate::context::{Ctx, DatasetName};
+use crate::experiments::fig16::iiu_batch_qps;
+use crate::experiments::{sim_queries, QueryType};
+use crate::report::print_table;
+
+/// Unit counts swept (the paper scales to 32 on HBM).
+pub const UNIT_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) -> serde_json::Value {
+    let d = ctx.dataset(DatasetName::CcNews);
+    let host = HostModel::default();
+    let big = |dram| SimConfig { n_pairs: 32, n_cores: 32, dram, ..SimConfig::default() };
+    let ddr = IiuMachine::new(&d.index, big(DramConfig::ddr4_2400()));
+    let hbm = IiuMachine::new(&d.index, big(DramConfig::hbm_like()));
+
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for qt in QueryType::all() {
+        let queries = sim_queries(d, qt);
+        let mut entry = json!({ "query_type": qt.label() });
+        let mut row = vec![qt.label().to_string()];
+        let mut base = 0.0;
+        for units in UNIT_COUNTS {
+            let (qps_hbm, batch_hbm) = iiu_batch_qps(&hbm, &host, &queries, units);
+            let (qps_ddr, _) = iiu_batch_qps(&ddr, &host, &queries, units);
+            if units == 1 {
+                base = qps_hbm;
+            }
+            row.push(format!(
+                "{:.1}x/{:.0}%",
+                qps_hbm / base,
+                100.0 * batch_hbm.mem.bandwidth_utilization
+            ));
+            entry[format!("u{units}_hbm_speedup_vs_u1")] = json!(qps_hbm / base);
+            entry[format!("u{units}_hbm_bw_utilization")] =
+                json!(batch_hbm.mem.bandwidth_utilization);
+            entry[format!("u{units}_hbm_over_ddr")] = json!(qps_hbm / qps_ddr);
+        }
+        rows.push(row);
+        out.push(entry);
+    }
+    print_table(
+        "Fig. 19: HBM-like scalability on CC-News (speedup vs 1 unit / bandwidth utilization)",
+        &["type", "u=1", "u=2", "u=4", "u=8", "u=16", "u=32"],
+        &rows,
+    );
+    json!({ "figure": "fig19", "rows": out })
+}

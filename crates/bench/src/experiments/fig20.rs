@@ -1,0 +1,74 @@
+//! Figure 20: normalized energy consumption per query. The baseline burns
+//! single-core CPU power for the whole query; IIU burns ~1.1 W for its
+//! part plus CPU power for the host top-k pass, which dominates its total.
+//! Paper average: 18.6× less energy.
+
+use iiu_sim::{HostModel, IiuMachine, PowerModel, SimConfig};
+use serde_json::json;
+
+use crate::context::Ctx;
+use crate::experiments::{
+    baseline_latencies_ns, geomean, iiu_intra_latencies, mean, sim_queries, QueryType,
+};
+use crate::report::print_table;
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) -> serde_json::Value {
+    let host = HostModel::default();
+    let power = PowerModel::default();
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    let mut savings = Vec::new();
+    for d in ctx.datasets() {
+        let machine = IiuMachine::new(&d.index, SimConfig::default());
+        let clock = machine.config().clock_ghz;
+        for qt in QueryType::all() {
+            let lucene_ns = mean(&baseline_latencies_ns(d, qt));
+            let e_lucene = power.cpu_core_energy_j(lucene_ns);
+
+            let queries = sim_queries(d, qt);
+            let (_, runs) = iiu_intra_latencies(&machine, &host, &queries, 8);
+            let mut e_iiu_acc = 0.0;
+            let mut e_iiu_cpu = 0.0;
+            for r in &runs {
+                e_iiu_acc += power.iiu_energy_j(r.cycles as f64 / clock);
+                e_iiu_cpu += power
+                    .cpu_core_energy_j(host.topk_ns(r.stats.candidates) + host.dispatch_ns);
+            }
+            let e_iiu = (e_iiu_acc + e_iiu_cpu) / runs.len() as f64;
+            let saving = e_lucene / e_iiu;
+            savings.push(saving);
+            rows.push(vec![
+                d.name.label().to_string(),
+                qt.label().to_string(),
+                format!("{:.2} uJ", e_lucene * 1e6),
+                format!("{:.2} uJ", e_iiu * 1e6),
+                format!("{:.3}", e_iiu_acc / runs.len() as f64 / e_iiu),
+                format!("{saving:.1}x"),
+            ]);
+            out.push(json!({
+                "dataset": d.name.label(),
+                "query_type": qt.label(),
+                "lucene_energy_j": e_lucene,
+                "iiu_energy_j": e_iiu,
+                "iiu_accelerator_fraction": e_iiu_acc / runs.len() as f64 / e_iiu,
+                "saving": saving,
+            }));
+        }
+    }
+    let avg = geomean(&savings);
+    rows.push(vec![
+        "AVERAGE".into(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        format!("{avg:.1}x"),
+    ]);
+    print_table(
+        "Fig. 20: energy per query (paper: 18.6x average saving; IIU total dominated by host CPU)",
+        &["dataset", "type", "Lucene E", "IIU E", "IIU accel frac", "saving"],
+        &rows,
+    );
+    json!({ "figure": "fig20", "rows": out, "average_saving": avg })
+}

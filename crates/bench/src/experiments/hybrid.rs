@@ -1,0 +1,68 @@
+//! Fig. 12c quantified: the hybrid interconnect configuration. One
+//! latency-critical query gets a multi-core intra-query allocation while a
+//! throughput backlog drains on the remaining units; the sweep shows the
+//! latency/throughput frontier the reconfigurable interconnect exposes.
+
+use iiu_sim::{HostModel, IiuMachine, SimConfig, SimQuery};
+use serde_json::json;
+
+use crate::context::{Ctx, DatasetName};
+use crate::experiments::{iiu_latency_ns, sim_queries, QueryType};
+use crate::report::print_table;
+
+/// (latency cores, batch units) splits of the 8-core machine.
+pub const SPLITS: [(usize, usize); 3] = [(2, 6), (4, 4), (6, 2)];
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) -> serde_json::Value {
+    let d = ctx.dataset(DatasetName::CcNews);
+    let machine = IiuMachine::new(&d.index, SimConfig::default());
+    let host = HostModel::default();
+    let clock = machine.config().clock_ghz;
+
+    // The latency-critical query: the workload's longest single-term list.
+    let hot = *d
+        .singles
+        .iter()
+        .max_by_key(|&&t| d.index.term_info(t).df)
+        .expect("non-empty workload");
+    let backlog: Vec<SimQuery> =
+        sim_queries(d, QueryType::Single).into_iter().take(32).collect();
+
+    let solo = machine.run_query(SimQuery::Single(hot), 8);
+    let solo_ns = iiu_latency_ns(&host, &solo, clock);
+
+    let mut rows = vec![vec![
+        "isolated (8+0)".to_string(),
+        format!("{:.2} us", solo_ns / 1e3),
+        "-".to_string(),
+    ]];
+    let mut out = vec![json!({
+        "split": "8+0",
+        "latency_ns": solo_ns,
+        "batch_qps": 0.0,
+    })];
+
+    for (lat_cores, units) in SPLITS {
+        let run = machine.run_hybrid(SimQuery::Single(hot), &backlog, lat_cores, units);
+        let lat_ns = iiu_latency_ns(&host, &run.latency_query, clock);
+        let qps = backlog.len() as f64 / (run.batch_cycles as f64 / clock * 1e-9);
+        rows.push(vec![
+            format!("hybrid ({lat_cores}+{units})"),
+            format!("{:.2} us ({:.2}x)", lat_ns / 1e3, lat_ns / solo_ns),
+            format!("{qps:.0} qps"),
+        ]);
+        out.push(json!({
+            "split": format!("{lat_cores}+{units}"),
+            "latency_ns": lat_ns,
+            "latency_vs_isolated": lat_ns / solo_ns,
+            "batch_qps": qps,
+        }));
+    }
+    print_table(
+        "Fig. 12c: hybrid allocation — latency query vs co-running backlog throughput",
+        &["allocation", "hot-query latency", "backlog throughput"],
+        &rows,
+    );
+    json!({ "figure": "fig12c_hybrid", "rows": out })
+}

@@ -1,0 +1,111 @@
+//! Latency under offered load: the serving curve a deployment actually
+//! cares about (not a paper figure, but the operational consequence of
+//! Figs. 15/16). Poisson arrivals drain through IIU-8 inter-query units
+//! and through the 8-core baseline; mean sojourn time (queueing + service)
+//! is reported per utilization level.
+
+use iiu_sim::{HostModel, IiuMachine, SimConfig};
+use serde_json::json;
+
+use crate::context::{Ctx, DatasetName};
+use crate::experiments::{baseline_latencies_ns, mean, sim_queries, QueryType};
+use crate::report::{fmt_ns, print_table};
+
+/// Utilization levels swept (fraction of each system's own capacity).
+pub const LOADS: [f64; 4] = [0.3, 0.6, 0.8, 0.95];
+
+/// Units / CPU cores.
+pub const UNITS: usize = 8;
+
+/// Deterministic exponential inter-arrival sequence (inverse CDF over a
+/// low-discrepancy driver, so runs are reproducible without `rand` here).
+fn arrivals(n: usize, mean_gap: f64) -> Vec<u64> {
+    let mut out = Vec::with_capacity(n);
+    let mut t = 0.0f64;
+    let mut u = 0.5f64;
+    for _ in 0..n {
+        // Weyl sequence in (0,1) as the uniform driver.
+        u = (u + std::f64::consts::FRAC_1_SQRT_2) % 1.0;
+        let x = -(1.0 - u.max(1e-9)).ln() * mean_gap;
+        t += x;
+        out.push(t as u64);
+    }
+    out
+}
+
+/// FCFS multi-server queue over fixed service times (the baseline side).
+fn queue_sim(arrivals: &[u64], services: &[f64], servers: usize) -> f64 {
+    let mut free_at = vec![0.0f64; servers];
+    let mut total_sojourn = 0.0;
+    for (i, &a) in arrivals.iter().enumerate() {
+        let s = services[i % services.len()];
+        let (k, &earliest) = free_at
+            .iter()
+            .enumerate()
+            .min_by(|x, y| x.1.partial_cmp(y.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("servers > 0");
+        let start = earliest.max(a as f64);
+        free_at[k] = start + s;
+        total_sojourn += free_at[k] - a as f64;
+    }
+    total_sojourn / arrivals.len() as f64
+}
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) -> serde_json::Value {
+    let d = ctx.dataset(DatasetName::CcNews);
+    let machine = IiuMachine::new(&d.index, SimConfig::default());
+    let host = HostModel::default();
+    let clock = machine.config().clock_ghz;
+
+    let queries: Vec<_> = sim_queries(d, QueryType::Single).into_iter().take(64).collect();
+    let lucene_services = baseline_latencies_ns(d, QueryType::Single);
+    let lucene_mean = mean(&lucene_services);
+
+    // Each system's own single-query service time defines its capacity.
+    let solo: Vec<u64> = queries.iter().take(8).map(|&q| machine.run_query(q, 1).cycles).collect();
+    let iiu_service = solo.iter().sum::<u64>() as f64 / solo.len() as f64;
+
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for &load in &LOADS {
+        // IIU: inter-arrival sized against its own aggregate capacity.
+        let gap_iiu = iiu_service / UNITS as f64 / load;
+        let arr = arrivals(queries.len(), gap_iiu);
+        let batch = machine.run_arrivals(&queries, &arr, UNITS);
+        let iiu_sojourn_ns = batch
+            .queries
+            .iter()
+            .map(|q| q.cycles as f64 / clock + host.topk_ns(q.stats.candidates))
+            .sum::<f64>()
+            / batch.queries.len() as f64;
+        let iiu_qps = load * UNITS as f64 / (iiu_service * 1e-9);
+
+        // Baseline: same utilization against its own capacity.
+        let gap_cpu = lucene_mean / UNITS as f64 / load;
+        let arr_cpu = arrivals(256, gap_cpu);
+        let cpu_sojourn_ns = queue_sim(&arr_cpu, &lucene_services, UNITS);
+        let cpu_qps = load * UNITS as f64 / (lucene_mean * 1e-9);
+
+        rows.push(vec![
+            format!("{:.0}%", load * 100.0),
+            format!("{} @ {:.0} qps", fmt_ns(cpu_sojourn_ns), cpu_qps),
+            format!("{} @ {:.0} qps", fmt_ns(iiu_sojourn_ns), iiu_qps),
+            format!("{:.1}x", iiu_qps / cpu_qps),
+        ]);
+        out.push(json!({
+            "utilization": load,
+            "baseline_sojourn_ns": cpu_sojourn_ns,
+            "baseline_qps": cpu_qps,
+            "iiu_sojourn_ns": iiu_sojourn_ns,
+            "iiu_qps": iiu_qps,
+            "throughput_advantage": iiu_qps / cpu_qps,
+        }));
+    }
+    print_table(
+        "Load-latency: mean sojourn at equal *relative* utilization (single-term, 8 units/cores)",
+        &["utilization", "baseline", "IIU", "qps advantage"],
+        &rows,
+    );
+    json!({ "experiment": "load_latency", "rows": out })
+}

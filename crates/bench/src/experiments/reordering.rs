@@ -1,0 +1,69 @@
+//! Document-ordering study: how much of Table 2's dataset differential is
+//! an *ordering* effect. A clustered corpus is scattered by a random
+//! permutation (the ClueWeb12 situation) and each strategy tries to win
+//! the locality back; the original order is the oracle.
+
+use iiu_codecs::{Codec, OptPfor, VByte};
+use iiu_index::reorder::{reorder, Ordering};
+use iiu_index::{Bm25Params, Partitioner};
+use iiu_workloads::CorpusConfig;
+use serde_json::json;
+
+use crate::context::Ctx;
+use crate::experiments::table2::codec_index_ratio;
+use crate::report::print_table;
+
+/// Runs the experiment: a strongly clustered (CC-News-like) corpus is
+/// scattered by a random permutation — the "bad crawl" — and each ordering
+/// strategy tries to win the locality back. The original order is the
+/// oracle upper bound.
+pub fn run(_ctx: &Ctx) -> serde_json::Value {
+    let n_docs = (f64::from(crate::context::BASE_DOCS) * crate::context::scale() / 2.0) as u32;
+    let oracle = CorpusConfig::ccnews_like(n_docs).generate();
+    // Scatter: the corpus as a breadth-first crawl would deliver it.
+    let (scat_lists, scat_lens) =
+        reorder(oracle.lists.clone(), oracle.doc_lens.clone(), Ordering::Random(99));
+
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    let mut cases: Vec<(&str, Vec<(String, iiu_index::PostingList)>, Vec<u32>)> = Vec::new();
+    cases.push(("oracle (original)", oracle.lists.clone(), oracle.doc_lens.clone()));
+    cases.push(("scattered crawl", scat_lists.clone(), scat_lens.clone()));
+    for (label, ordering) in
+        [("by length", Ordering::ByLength), ("MinHash cluster", Ordering::MinHash)]
+    {
+        let (l, n) = reorder(scat_lists.clone(), scat_lens.clone(), ordering);
+        cases.push((label, l, n));
+    }
+    for (label, lists, lens) in cases {
+        let index = iiu_index::InvertedIndex::from_lists(
+            lists,
+            lens,
+            Partitioner::default(),
+            Bm25Params::default(),
+        )
+        .expect("reordered corpus encodes");
+        let iiu = index.size_stats().compression_ratio();
+        let opt = codec_index_ratio(&index, &OptPfor);
+        let vbyte = codec_index_ratio(&index, &VByte);
+        let _ = VByte.name();
+        rows.push(vec![
+            label.to_string(),
+            format!("{iiu:.2}x"),
+            format!("{opt:.2}x"),
+            format!("{vbyte:.2}x"),
+        ]);
+        out.push(json!({
+            "ordering": label,
+            "iiu_ratio": iiu,
+            "optpfor_ratio": opt,
+            "vbyte_ratio": vbyte,
+        }));
+    }
+    print_table(
+        "Document reordering: oracle vs scattered crawl vs recovery strategies (compression ratio)",
+        &["ordering", "IIU", "OptPfor", "VByte"],
+        &rows,
+    );
+    json!({ "experiment": "reordering", "rows": out })
+}

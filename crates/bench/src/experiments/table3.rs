@@ -1,0 +1,50 @@
+//! Table 3: area and power of the IIU components. Published synthesis
+//! numbers (TSMC 40 nm) replayed from the model constants — see DESIGN.md
+//! §2 for why synthesis cannot be reproduced in software.
+
+use iiu_sim::{table3_total_area_mm2, table3_total_power_w, TABLE3};
+use serde_json::json;
+
+use crate::context::Ctx;
+use crate::report::print_table;
+
+/// Runs the experiment.
+pub fn run(_ctx: &Ctx) -> serde_json::Value {
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for c in TABLE3 {
+        rows.push(vec![
+            c.name.to_string(),
+            format!("{:.3}", c.area_per_instance_mm2()),
+            format!("{:.1}", c.power_per_instance_mw()),
+            c.count.to_string(),
+            format!("{:.3}", c.total_area_mm2),
+            format!("{:.1}", c.total_power_mw),
+        ]);
+        out.push(json!({
+            "component": c.name,
+            "count": c.count,
+            "total_area_mm2": c.total_area_mm2,
+            "total_power_mw": c.total_power_mw,
+        }));
+    }
+    rows.push(vec![
+        "TOTAL".into(),
+        String::new(),
+        String::new(),
+        String::new(),
+        format!("{:.3}", table3_total_area_mm2()),
+        format!("{:.1}", table3_total_power_w() * 1e3),
+    ]);
+    print_table(
+        "Table 3: IIU area/power (published 40 nm synthesis constants; total 3.106 mm², 1.144 W)",
+        &["component", "area/inst (mm2)", "power/inst (mW)", "#", "total area", "total power"],
+        &rows,
+    );
+    json!({
+        "table": "table3",
+        "rows": out,
+        "total_area_mm2": table3_total_area_mm2(),
+        "total_power_w": table3_total_power_w(),
+    })
+}

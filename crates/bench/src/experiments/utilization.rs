@@ -1,0 +1,59 @@
+//! Pipeline utilization: how busy each unit class is per query type —
+//! the balance argument behind the paper's datapath (two DCUs and two SUs
+//! per core; the merge unit as the union bottleneck; the BSU only lit up
+//! by intersections).
+
+use iiu_sim::{IiuMachine, SimConfig};
+use serde_json::json;
+
+use crate::context::{Ctx, DatasetName};
+use crate::experiments::{sim_queries, QueryType};
+use crate::report::print_table;
+
+/// Runs the experiment (IIU-1 so busy fractions are per-unit-pair).
+pub fn run(ctx: &Ctx) -> serde_json::Value {
+    let d = ctx.dataset(DatasetName::CcNews);
+    let machine = IiuMachine::new(&d.index, SimConfig::default());
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for qt in QueryType::all() {
+        let queries: Vec<_> = sim_queries(d, qt).into_iter().take(30).collect();
+        let mut cycles = 0u64;
+        let mut dcu = 0u64;
+        let mut su = 0u64;
+        let mut bsu = 0u64;
+        let mut bw = 0.0f64;
+        for &q in &queries {
+            let run = machine.run_query(q, 1);
+            cycles += run.cycles;
+            dcu += run.stats.dcu_busy;
+            su += run.stats.su_busy;
+            bsu += run.stats.bsu_probes;
+            bw += run.mem.bandwidth_utilization;
+        }
+        // 2 DCUs and 2 SUs per core.
+        let dcu_frac = dcu as f64 / (2.0 * cycles as f64);
+        let su_frac = su as f64 / (2.0 * cycles as f64);
+        let bsu_per_kcycle = 1e3 * bsu as f64 / cycles as f64;
+        rows.push(vec![
+            qt.label().to_string(),
+            format!("{:.1}%", 100.0 * dcu_frac),
+            format!("{:.1}%", 100.0 * su_frac),
+            format!("{bsu_per_kcycle:.1}"),
+            format!("{:.1}%", 100.0 * bw / queries.len() as f64),
+        ]);
+        out.push(json!({
+            "query_type": qt.label(),
+            "dcu_busy_fraction": dcu_frac,
+            "su_busy_fraction": su_frac,
+            "bsu_probes_per_kcycle": bsu_per_kcycle,
+            "mean_bw_utilization": bw / queries.len() as f64,
+        }));
+    }
+    print_table(
+        "Pipeline utilization (IIU-1): unit busy fractions per query type",
+        &["type", "DCU busy", "SU busy", "BSU probes/kcycle", "DRAM bw"],
+        &rows,
+    );
+    json!({ "experiment": "utilization", "rows": out })
+}

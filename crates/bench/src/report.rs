@@ -1,0 +1,71 @@
+//! Result emission: aligned text tables on stdout, JSON under `results/`.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Prints an aligned table with a title, header row and data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Writes an experiment's JSON to `results/<name>.json` (created under the
+/// workspace root or the current directory).
+pub fn write_json(name: &str, value: &serde_json::Value) {
+    let dir = results_dir();
+    let _ = fs::create_dir_all(&dir);
+    let path = dir.join(format!("{name}.json"));
+    match fs::write(&path, serde_json::to_string_pretty(value).expect("serializable")) {
+        Ok(()) => println!("[wrote {}]", path.display()),
+        Err(e) => eprintln!("[could not write {}: {e}]", path.display()),
+    }
+}
+
+fn results_dir() -> PathBuf {
+    // Prefer the workspace root (where Cargo.toml with [workspace] lives).
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.toml").exists()
+            && fs::read_to_string(dir.join("Cargo.toml"))
+                .map(|s| s.contains("[workspace]"))
+                .unwrap_or(false)
+        {
+            return dir.join("results");
+        }
+        if !dir.pop() {
+            return PathBuf::from("results");
+        }
+    }
+}
+
+/// Formats a nanosecond quantity with a readable unit.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}

@@ -1,0 +1,171 @@
+//! Elias-Fano quasi-succinct encoding of sorted sequences (Vigna 2013).
+//!
+//! Splits every value into `l = ⌊log₂(u/n)⌋` low bits (bit-packed) and the
+//! remaining high bits (unary-coded in a bitvector with one 1-bit per
+//! element). Space is within half a bit per element of the information-
+//! theoretic optimum for a monotone sequence.
+
+use iiu_index::bitpack::{BitReader, BitWriter};
+
+use crate::Codec;
+
+/// The Elias-Fano codec. Sorted sequences only — [`Codec::encode_values`]
+/// returns `None`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EliasFano;
+
+impl EliasFano {
+    fn low_bits(universe: u64, n: usize) -> u8 {
+        if n == 0 || universe <= n as u64 {
+            0
+        } else {
+            (universe / n as u64).ilog2() as u8
+        }
+    }
+}
+
+impl Codec for EliasFano {
+    fn name(&self) -> &'static str {
+        "Elias-Fano"
+    }
+
+    fn encode_sorted(&self, doc_ids: &[u32]) -> Vec<u8> {
+        let mut out = Vec::new();
+        let n = doc_ids.len();
+        if n == 0 {
+            out.extend_from_slice(&0u32.to_le_bytes());
+            out.push(0);
+            return out;
+        }
+        let last = *doc_ids.last().expect("non-empty");
+        let universe = u64::from(last) + 1;
+        let l = Self::low_bits(universe, n);
+        out.extend_from_slice(&last.to_le_bytes());
+        out.push(l);
+
+        // Low halves, l bits each, byte-aligned as a group.
+        let mut low = BitWriter::new();
+        for &v in doc_ids {
+            low.write(v & low_mask(l), l);
+        }
+        out.extend_from_slice(&low.finish());
+
+        // High halves: element i sets bit (i + (v_i >> l)).
+        let high_len_bits = n + (last >> l) as usize + 1;
+        let mut high = vec![0u8; high_len_bits.div_ceil(8)];
+        for (i, &v) in doc_ids.iter().enumerate() {
+            let bit = i + (v >> l) as usize;
+            high[bit / 8] |= 1 << (bit % 8);
+        }
+        out.extend_from_slice(&high);
+        out
+    }
+
+    fn decode_sorted(&self, bytes: &[u8], n: usize) -> Vec<u32> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let last = u32::from_le_bytes(bytes[0..4].try_into().expect("4-byte last"));
+        let l = bytes[4];
+        let mut pos = 5usize;
+        let low_bytes = (n * l as usize).div_ceil(8);
+        let mut low = BitReader::new(&bytes[pos..pos + low_bytes]);
+        let lows: Vec<u32> = (0..n).map(|_| low.read(l)).collect();
+        pos += low_bytes;
+
+        let high = &bytes[pos..];
+        let mut out = Vec::with_capacity(n);
+        let mut i = 0usize;
+        let mut bit = 0usize;
+        while i < n {
+            debug_assert!(bit / 8 < high.len(), "ran out of high bits");
+            if high[bit / 8] & (1 << (bit % 8)) != 0 {
+                let hi = (bit - i) as u32;
+                out.push((hi << l) | lows[i]);
+                i += 1;
+            }
+            bit += 1;
+        }
+        debug_assert_eq!(*out.last().expect("n > 0"), last);
+        out
+    }
+
+    fn encode_values(&self, _values: &[u32]) -> Option<Vec<u8>> {
+        None
+    }
+
+    fn decode_values(&self, _bytes: &[u8], _n: usize) -> Vec<u32> {
+        panic!("Elias-Fano only supports sorted sequences");
+    }
+}
+
+fn low_mask(l: u8) -> u32 {
+    if l == 0 {
+        0
+    } else if l >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << l) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn low_bits_formula() {
+        assert_eq!(EliasFano::low_bits(1024, 16), 6); // log2(64)
+        assert_eq!(EliasFano::low_bits(10, 10), 0);
+        assert_eq!(EliasFano::low_bits(0, 0), 0);
+        assert_eq!(EliasFano::low_bits(5, 100), 0);
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let bytes = EliasFano.encode_sorted(&[]);
+        assert_eq!(EliasFano.decode_sorted(&bytes, 0), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn dense_sequence_roundtrip() {
+        let ids: Vec<u32> = (0..1000).collect();
+        let bytes = EliasFano.encode_sorted(&ids);
+        assert_eq!(EliasFano.decode_sorted(&bytes, ids.len()), ids);
+        // Dense range: ~2 bits/element, far below 4 bytes/element raw.
+        assert!(bytes.len() < 1000);
+    }
+
+    #[test]
+    fn sparse_sequence_roundtrip() {
+        let ids: Vec<u32> = (0..100).map(|i| i * 1_000_003).collect();
+        let bytes = EliasFano.encode_sorted(&ids);
+        assert_eq!(EliasFano.decode_sorted(&bytes, ids.len()), ids);
+    }
+
+    #[test]
+    fn values_unsupported() {
+        assert!(EliasFano.encode_values(&[3, 1, 2]).is_none());
+    }
+
+    #[test]
+    fn near_optimal_space() {
+        // EF uses at most n * (2 + ceil(log2(u/n))) bits + O(1).
+        let ids: Vec<u32> = (0..10_000u32).map(|i| i * 37).collect();
+        let bytes = EliasFano.encode_sorted(&ids);
+        let u = f64::from(*ids.last().unwrap()) + 1.0;
+        let n = ids.len() as f64;
+        let bound_bits = n * (2.0 + (u / n).log2().ceil()) + 64.0;
+        assert!((bytes.len() as f64) * 8.0 <= bound_bits * 1.05);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(ids in proptest::collection::btree_set(0u32..1 << 30, 1..500)) {
+            let ids: Vec<u32> = ids.into_iter().collect();
+            let bytes = EliasFano.encode_sorted(&ids);
+            prop_assert_eq!(EliasFano.decode_sorted(&bytes, ids.len()), ids);
+        }
+    }
+}

@@ -1,0 +1,514 @@
+//! The PForDelta family (paper §2.1).
+//!
+//! * [`Pfor`] — classic patched frame-of-reference (Zukowski et al. 2006):
+//!   a per-block bitwidth `b` covering ~90% of values, exceptions stored as
+//!   raw 32-bit values at the block end and chained through the slot array.
+//! * [`NewPfor`] — NewPForDelta (Yan et al. 2009): every slot stores the
+//!   value's low `b` bits; exception positions and high bits live in two
+//!   Simple9-coded side arrays (Simple16 in the original).
+//! * [`OptPfor`] — OptPForDelta (Yan et al. 2009): NewPfor layout, but `b`
+//!   is chosen per block by exhaustively minimizing the encoded size.
+
+use iiu_index::bitpack::{bits_for, BitReader, BitWriter};
+
+use crate::simple9::Simple9;
+use crate::vbyte::VByte;
+use crate::{deltas, prefix_sums, Codec};
+
+/// Block length used by the whole family (the paper: "data blocks of 128
+/// d-gaps").
+pub const PFOR_BLOCK_LEN: usize = 128;
+
+/// Fraction of values the chosen bitwidth must cover in the 90%-rule
+/// variants.
+const REGULAR_FRACTION: f64 = 0.9;
+
+/// Smallest `b >= 1` such that at least 90% of `values` fit in `b` bits.
+fn ninety_percent_width(values: &[u32]) -> u8 {
+    if values.is_empty() {
+        return 1;
+    }
+    let need = (values.len() as f64 * REGULAR_FRACTION).ceil() as usize;
+    let mut hist = [0usize; 33];
+    for &v in values {
+        hist[bits_for(v) as usize] += 1;
+    }
+    let mut covered = 0usize;
+    for (b, &count) in hist.iter().enumerate() {
+        covered += count;
+        if covered >= need {
+            return (b.max(1)) as u8;
+        }
+    }
+    32
+}
+
+// ---------------------------------------------------------------------------
+// Classic PFor
+// ---------------------------------------------------------------------------
+
+/// Classic PForDelta with a linked exception chain and 32-bit patch values.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Pfor;
+
+impl Pfor {
+    /// Encodes one block of at most [`PFOR_BLOCK_LEN`] values.
+    ///
+    /// Layout: `[b: u8][first_exc: u8 (0xff = none)][exc_count: u8]`,
+    /// then `n` `b`-bit slots, then `exc_count` raw little-endian u32
+    /// exception values in position order. Exception slots hold the
+    /// distance minus one to the next exception; forced exceptions are
+    /// inserted whenever that distance would overflow `b` bits.
+    fn encode_block(out: &mut Vec<u8>, values: &[u32]) {
+        let n = values.len();
+        debug_assert!(n <= PFOR_BLOCK_LEN && n > 0);
+        let b = ninety_percent_width(values);
+        let max_jump = if b >= 31 { u32::MAX } else { (1u32 << b) - 1 }; // distance-1 per slot
+
+        // Natural exceptions: values too wide for b bits.
+        let mut exc_pos: Vec<usize> = (0..n).filter(|&i| bits_for(values[i]) > b).collect();
+        // Forced exceptions: keep chain jumps representable in b bits.
+        if b < 31 {
+            let mut patched = Vec::with_capacity(exc_pos.len());
+            let mut prev: Option<usize> = None;
+            let mut iter = exc_pos.iter().copied().peekable();
+            while let Some(&next) = iter.peek() {
+                match prev {
+                    Some(p) if next - p - 1 > max_jump as usize => {
+                        let forced = p + 1 + max_jump as usize;
+                        patched.push(forced);
+                        prev = Some(forced);
+                        // do not consume `next`; re-check against the forced one
+                    }
+                    _ => {
+                        patched.push(next);
+                        prev = Some(next);
+                        iter.next();
+                    }
+                }
+            }
+            patched.dedup();
+            exc_pos = patched;
+        }
+        assert!(exc_pos.len() <= n);
+
+        out.push(b);
+        out.push(exc_pos.first().map_or(0xff, |&p| p as u8));
+        out.push(exc_pos.len() as u8);
+
+        let exc_set: Vec<bool> = {
+            let mut v = vec![false; n];
+            for &p in &exc_pos {
+                v[p] = true;
+            }
+            v
+        };
+        let mut next_exc = vec![0u32; exc_pos.len()];
+        for w in 0..exc_pos.len().saturating_sub(1) {
+            next_exc[w] = (exc_pos[w + 1] - exc_pos[w] - 1) as u32;
+        }
+
+        let mut writer = BitWriter::new();
+        let mut exc_idx = 0usize;
+        for (i, &v) in values.iter().enumerate() {
+            if exc_set[i] {
+                writer.write(next_exc[exc_idx] & low_mask(b), b);
+                exc_idx += 1;
+            } else {
+                writer.write(v, b);
+            }
+        }
+        out.extend_from_slice(&writer.finish());
+        for &p in &exc_pos {
+            out.extend_from_slice(&values[p].to_le_bytes());
+        }
+    }
+
+    /// Decodes one block of `n` values, advancing `*pos`.
+    fn decode_block(bytes: &[u8], pos: &mut usize, n: usize) -> Vec<u32> {
+        let b = bytes[*pos];
+        let first_exc = bytes[*pos + 1];
+        let exc_count = bytes[*pos + 2] as usize;
+        *pos += 3;
+        let slot_bytes = (n * b as usize).div_ceil(8);
+        let mut reader = BitReader::new(&bytes[*pos..*pos + slot_bytes]);
+        let mut values: Vec<u32> = (0..n).map(|_| reader.read(b)).collect();
+        *pos += slot_bytes;
+
+        let mut exc_values = Vec::with_capacity(exc_count);
+        for _ in 0..exc_count {
+            let raw = u32::from_le_bytes(bytes[*pos..*pos + 4].try_into().expect("4 bytes"));
+            exc_values.push(raw);
+            *pos += 4;
+        }
+
+        if first_exc != 0xff {
+            let mut p = first_exc as usize;
+            for (k, &ev) in exc_values.iter().enumerate() {
+                let jump = values[p];
+                values[p] = ev;
+                if k + 1 < exc_values.len() {
+                    p = p + 1 + jump as usize;
+                }
+            }
+        }
+        values
+    }
+
+    fn encode_seq(values: &[u32]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for chunk in values.chunks(PFOR_BLOCK_LEN) {
+            Self::encode_block(&mut out, chunk);
+        }
+        out
+    }
+
+    fn decode_seq(bytes: &[u8], n: usize) -> Vec<u32> {
+        let mut out = Vec::with_capacity(n);
+        let mut pos = 0usize;
+        let mut left = n;
+        while left > 0 {
+            let take = left.min(PFOR_BLOCK_LEN);
+            out.extend(Self::decode_block(bytes, &mut pos, take));
+            left -= take;
+        }
+        out
+    }
+}
+
+fn low_mask(b: u8) -> u32 {
+    if b >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << b) - 1
+    }
+}
+
+impl Codec for Pfor {
+    fn name(&self) -> &'static str {
+        "Pfor"
+    }
+
+    fn encode_sorted(&self, doc_ids: &[u32]) -> Vec<u8> {
+        Self::encode_seq(&deltas(doc_ids))
+    }
+
+    fn decode_sorted(&self, bytes: &[u8], n: usize) -> Vec<u32> {
+        prefix_sums(&Self::decode_seq(bytes, n))
+    }
+
+    fn encode_values(&self, values: &[u32]) -> Option<Vec<u8>> {
+        Some(Self::encode_seq(values))
+    }
+
+    fn decode_values(&self, bytes: &[u8], n: usize) -> Vec<u32> {
+        Self::decode_seq(bytes, n)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NewPfor / OptPfor (shared layout, different width selection)
+// ---------------------------------------------------------------------------
+
+/// Builds the two exception side arrays: delta-coded positions and high
+/// bits.
+fn exception_arrays(values: &[u32], b: u8) -> (Vec<u32>, Vec<u32>) {
+    let exc: Vec<usize> = (0..values.len())
+        .filter(|&i| bits_for(values[i]) > b)
+        .collect();
+    let mut gaps = Vec::with_capacity(exc.len());
+    let mut prev = 0usize;
+    for (k, &p) in exc.iter().enumerate() {
+        gaps.push(if k == 0 { p as u32 } else { (p - prev) as u32 });
+        prev = p;
+    }
+    let highs = exc.iter().map(|&p| values[p] >> b).collect();
+    (gaps, highs)
+}
+
+/// Encodes one NewPfor-layout block at width `b`:
+/// `[b: u8]`, `n` slots of the values' low `b` bits, then a VByte
+/// exception count, Simple9-coded delta positions, and high bits
+/// (Simple9 when they fit in 28 bits — flagged — else VByte).
+fn newpfor_encode_block(out: &mut Vec<u8>, values: &[u32], b: u8) {
+    out.push(b);
+    let mut writer = BitWriter::new();
+    for &v in values {
+        writer.write(v & low_mask(b), b);
+    }
+    out.extend_from_slice(&writer.finish());
+
+    let (gaps, highs) = exception_arrays(values, b);
+    VByte::put(out, gaps.len() as u32);
+    if !gaps.is_empty() {
+        out.extend_from_slice(&Simple9::encode_words(&gaps));
+        if Simple9::fits(&highs) {
+            out.push(1);
+            out.extend_from_slice(&Simple9::encode_words(&highs));
+        } else {
+            out.push(0);
+            for &h in &highs {
+                VByte::put(out, h);
+            }
+        }
+    }
+}
+
+/// Decodes one NewPfor-layout block of `n` values, advancing `*pos`.
+fn newpfor_decode_block(bytes: &[u8], pos: &mut usize, n: usize) -> Vec<u32> {
+    let b = bytes[*pos];
+    *pos += 1;
+    let slot_bytes = (n * b as usize).div_ceil(8);
+    let mut reader = BitReader::new(&bytes[*pos..*pos + slot_bytes]);
+    let mut values: Vec<u32> = (0..n).map(|_| reader.read(b)).collect();
+    *pos += slot_bytes;
+
+    let exc_count = VByte::get(bytes, pos) as usize;
+    if exc_count == 0 {
+        return values;
+    }
+    let gaps = Simple9::decode_words_at(bytes, pos, exc_count);
+    let mut positions = Vec::with_capacity(exc_count);
+    let mut p = 0usize;
+    for (k, &gap) in gaps.iter().enumerate() {
+        p = if k == 0 { gap as usize } else { p + gap as usize };
+        positions.push(p);
+    }
+    let flag = bytes[*pos];
+    *pos += 1;
+    let highs = if flag == 1 {
+        Simple9::decode_words_at(bytes, pos, exc_count)
+    } else {
+        (0..exc_count).map(|_| VByte::get(bytes, pos)).collect()
+    };
+    for (&p, &high) in positions.iter().zip(&highs) {
+        values[p] |= high << b;
+    }
+    values
+}
+
+/// Encoded size in bytes of one block at width `b` (for OptPfor's search).
+fn newpfor_block_size(values: &[u32], b: u8) -> usize {
+    let mut size = 1 + (values.len() * b as usize).div_ceil(8);
+    let (gaps, highs) = exception_arrays(values, b);
+    size += vbyte_len(gaps.len() as u32);
+    if !gaps.is_empty() {
+        size += Simple9::encode_words(&gaps).len() + 1;
+        size += if Simple9::fits(&highs) {
+            Simple9::encode_words(&highs).len()
+        } else {
+            highs.iter().map(|&h| vbyte_len(h)).sum::<usize>()
+        };
+    }
+    size
+}
+
+fn vbyte_len(v: u32) -> usize {
+    match v {
+        0..=0x7f => 1,
+        0x80..=0x3fff => 2,
+        0x4000..=0x1f_ffff => 3,
+        0x20_0000..=0xfff_ffff => 4,
+        _ => 5,
+    }
+}
+
+macro_rules! newpfor_codec {
+    ($ty:ident, $name:literal, $pick:expr) => {
+        impl $ty {
+            fn encode_seq(values: &[u32]) -> Vec<u8> {
+                let mut out = Vec::new();
+                for chunk in values.chunks(PFOR_BLOCK_LEN) {
+                    #[allow(clippy::redundant_closure_call)]
+                    let b: u8 = ($pick)(chunk);
+                    newpfor_encode_block(&mut out, chunk, b);
+                }
+                out
+            }
+
+            fn decode_seq(bytes: &[u8], n: usize) -> Vec<u32> {
+                let mut out = Vec::with_capacity(n);
+                let mut pos = 0usize;
+                let mut left = n;
+                while left > 0 {
+                    let take = left.min(PFOR_BLOCK_LEN);
+                    out.extend(newpfor_decode_block(bytes, &mut pos, take));
+                    left -= take;
+                }
+                out
+            }
+        }
+
+        impl Codec for $ty {
+            fn name(&self) -> &'static str {
+                $name
+            }
+
+            fn encode_sorted(&self, doc_ids: &[u32]) -> Vec<u8> {
+                Self::encode_seq(&deltas(doc_ids))
+            }
+
+            fn decode_sorted(&self, bytes: &[u8], n: usize) -> Vec<u32> {
+                prefix_sums(&Self::decode_seq(bytes, n))
+            }
+
+            fn encode_values(&self, values: &[u32]) -> Option<Vec<u8>> {
+                Some(Self::encode_seq(values))
+            }
+
+            fn decode_values(&self, bytes: &[u8], n: usize) -> Vec<u32> {
+                Self::decode_seq(bytes, n)
+            }
+        }
+    };
+}
+
+/// NewPForDelta: 90%-rule width, exception positions/high-bits in side
+/// arrays.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NewPfor;
+
+newpfor_codec!(NewPfor, "NewPfor", |chunk: &[u32]| ninety_percent_width(chunk));
+
+/// OptPForDelta: NewPfor layout with the per-block width chosen by
+/// exhaustive size minimization.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptPfor;
+
+newpfor_codec!(OptPfor, "OptPfor", |chunk: &[u32]| {
+    let hi = chunk.iter().copied().map(bits_for).max().unwrap_or(1).max(1);
+    (1..=hi)
+        .min_by_key(|&b| newpfor_block_size(chunk, b))
+        .unwrap_or(1)
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ninety_percent_width_ignores_outliers() {
+        // 120 small values and 8 huge ones: b should track the small ones.
+        let mut values = vec![3u32; 120];
+        values.extend(vec![1 << 30; 8]);
+        assert_eq!(ninety_percent_width(&values), 2);
+    }
+
+    #[test]
+    fn ninety_percent_width_of_uniform_values() {
+        assert_eq!(ninety_percent_width(&[7; 128]), 3);
+        assert_eq!(ninety_percent_width(&[0; 128]), 1);
+        assert_eq!(ninety_percent_width(&[]), 1);
+    }
+
+    #[test]
+    fn pfor_block_with_exceptions_roundtrips() {
+        let mut values = vec![1u32; 100];
+        values[5] = 1 << 25;
+        values[50] = 1 << 30;
+        values[99] = u32::MAX;
+        let mut out = Vec::new();
+        Pfor::encode_block(&mut out, &values);
+        let mut pos = 0;
+        assert_eq!(Pfor::decode_block(&out, &mut pos, 100), values);
+        assert_eq!(pos, out.len());
+    }
+
+    #[test]
+    fn pfor_forced_exceptions_on_distant_patches() {
+        // b = 1 with exceptions 120 apart forces intermediate patches.
+        let mut values = vec![0u32; 128];
+        values[0] = 1 << 20;
+        values[127] = 1 << 20;
+        let mut out = Vec::new();
+        Pfor::encode_block(&mut out, &values);
+        let mut pos = 0;
+        assert_eq!(Pfor::decode_block(&out, &mut pos, 128), values);
+    }
+
+    #[test]
+    fn pfor_all_values_wide() {
+        let values = vec![u32::MAX; 64];
+        let mut out = Vec::new();
+        Pfor::encode_block(&mut out, &values);
+        let mut pos = 0;
+        assert_eq!(Pfor::decode_block(&out, &mut pos, 64), values);
+    }
+
+    #[test]
+    fn newpfor_block_roundtrip_with_exceptions() {
+        let mut values = vec![5u32; 128];
+        values[0] = 1 << 29;
+        values[64] = 12345678;
+        let mut out = Vec::new();
+        newpfor_encode_block(&mut out, &values, 3);
+        let mut pos = 0;
+        assert_eq!(newpfor_decode_block(&out, &mut pos, 128), values);
+        assert_eq!(pos, out.len());
+    }
+
+    #[test]
+    fn newpfor_block_size_is_exact() {
+        let mut values = vec![5u32; 128];
+        values[3] = 99999;
+        for b in [1u8, 3, 8, 17] {
+            let mut out = Vec::new();
+            newpfor_encode_block(&mut out, &values, b);
+            assert_eq!(out.len(), newpfor_block_size(&values, b), "b={b}");
+        }
+    }
+
+    #[test]
+    fn optpfor_never_larger_than_newpfor() {
+        let mut values: Vec<u32> = (0..1024).map(|i| (i * 37) % 50).collect();
+        values[100] = 1 << 28;
+        values[900] = 1 << 22;
+        let ids = prefix_sums(
+            &values.iter().map(|&v| v + 1).collect::<Vec<_>>(),
+        );
+        let new = NewPfor.encode_sorted(&ids).len();
+        let opt = OptPfor.encode_sorted(&ids).len();
+        assert!(opt <= new, "OptPfor {opt} must be <= NewPfor {new}");
+    }
+
+    #[test]
+    fn vbyte_len_matches_encoding() {
+        for v in [0u32, 127, 128, 16383, 16384, 1 << 21, u32::MAX] {
+            let mut out = Vec::new();
+            VByte::put(&mut out, v);
+            assert_eq!(out.len(), vbyte_len(v), "v={v}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn prop_pfor_values_roundtrip(values in proptest::collection::vec(0u32..u32::MAX, 1..400)) {
+            let bytes = Pfor.encode_values(&values).unwrap();
+            prop_assert_eq!(Pfor.decode_values(&bytes, values.len()), values);
+        }
+
+        #[test]
+        fn prop_newpfor_values_roundtrip(values in proptest::collection::vec(0u32..u32::MAX, 1..400)) {
+            let bytes = NewPfor.encode_values(&values).unwrap();
+            prop_assert_eq!(NewPfor.decode_values(&bytes, values.len()), values);
+        }
+
+        #[test]
+        fn prop_optpfor_values_roundtrip(values in proptest::collection::vec(0u32..u32::MAX, 1..400)) {
+            let bytes = OptPfor.encode_values(&values).unwrap();
+            prop_assert_eq!(OptPfor.decode_values(&bytes, values.len()), values);
+        }
+
+        #[test]
+        fn prop_pfor_skewed_values(values in proptest::collection::vec(
+            prop_oneof![9 => 0u32..16, 1 => 0u32..u32::MAX], 1..400)) {
+            // The skew matches PFor's design point: mostly-regular values
+            // with occasional wide exceptions.
+            let bytes = Pfor.encode_values(&values).unwrap();
+            prop_assert_eq!(Pfor.decode_values(&bytes, values.len()), values);
+        }
+    }
+}

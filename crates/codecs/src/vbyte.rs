@@ -1,0 +1,140 @@
+//! VByte: classic byte-aligned variable-length integers (Thiel & Heaps
+//! 1972; Cutting & Pedersen 1989). Each byte carries 7 payload bits; the
+//! high bit marks continuation.
+
+use crate::{deltas, prefix_sums, Codec};
+
+/// The VByte codec. Sorted sequences are delta-encoded first.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VByte;
+
+impl VByte {
+    /// Appends one varint to `out`.
+    pub fn put(out: &mut Vec<u8>, mut v: u32) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                out.push(byte);
+                break;
+            }
+            out.push(byte | 0x80);
+        }
+    }
+
+    /// Reads one varint from `bytes` starting at `*pos`, advancing `*pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on truncated input or a varint longer than 5 bytes.
+    pub fn get(bytes: &[u8], pos: &mut usize) -> u32 {
+        let mut v: u32 = 0;
+        let mut shift = 0u32;
+        loop {
+            assert!(*pos < bytes.len(), "truncated varint");
+            assert!(shift <= 28, "varint too long for u32");
+            let byte = bytes[*pos];
+            *pos += 1;
+            v |= u32::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return v;
+            }
+            shift += 7;
+        }
+    }
+
+    fn encode_seq(values: &[u32]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(values.len());
+        for &v in values {
+            Self::put(&mut out, v);
+        }
+        out
+    }
+
+    fn decode_seq(bytes: &[u8], n: usize) -> Vec<u32> {
+        let mut pos = 0usize;
+        (0..n).map(|_| Self::get(bytes, &mut pos)).collect()
+    }
+}
+
+impl Codec for VByte {
+    fn name(&self) -> &'static str {
+        "VByte"
+    }
+
+    fn encode_sorted(&self, doc_ids: &[u32]) -> Vec<u8> {
+        Self::encode_seq(&deltas(doc_ids))
+    }
+
+    fn decode_sorted(&self, bytes: &[u8], n: usize) -> Vec<u32> {
+        prefix_sums(&Self::decode_seq(bytes, n))
+    }
+
+    fn encode_values(&self, values: &[u32]) -> Option<Vec<u8>> {
+        Some(Self::encode_seq(values))
+    }
+
+    fn decode_values(&self, bytes: &[u8], n: usize) -> Vec<u32> {
+        Self::decode_seq(bytes, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_byte_values() {
+        let mut out = Vec::new();
+        VByte::put(&mut out, 0);
+        VByte::put(&mut out, 127);
+        assert_eq!(out, vec![0, 127]);
+    }
+
+    #[test]
+    fn multi_byte_values() {
+        let mut out = Vec::new();
+        VByte::put(&mut out, 128);
+        assert_eq!(out, vec![0x80, 0x01]);
+        let mut pos = 0;
+        assert_eq!(VByte::get(&out, &mut pos), 128);
+        assert_eq!(pos, 2);
+    }
+
+    #[test]
+    fn max_u32_takes_five_bytes() {
+        let mut out = Vec::new();
+        VByte::put(&mut out, u32::MAX);
+        assert_eq!(out.len(), 5);
+        let mut pos = 0;
+        assert_eq!(VByte::get(&out, &mut pos), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated")]
+    fn truncated_input_panics() {
+        let mut pos = 0;
+        let _ = VByte::get(&[0x80], &mut pos);
+    }
+
+    #[test]
+    fn sorted_encoding_uses_gaps() {
+        // Dense docIDs with tiny gaps should take 1 byte each after the first.
+        let ids: Vec<u32> = (1_000_000..1_000_100).collect();
+        let bytes = VByte.encode_sorted(&ids);
+        assert!(bytes.len() <= 3 + 99);
+        assert_eq!(VByte.decode_sorted(&bytes, ids.len()), ids);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_single_value_roundtrip(v in 0u32..=u32::MAX) {
+            let mut out = Vec::new();
+            VByte::put(&mut out, v);
+            let mut pos = 0;
+            prop_assert_eq!(VByte::get(&out, &mut pos), v);
+            prop_assert_eq!(pos, out.len());
+        }
+    }
+}

@@ -1,0 +1,444 @@
+//! The two search engines of the reproduction, behind one interface:
+//!
+//! * [`CpuSearchEngine`] — the Lucene-like software baseline, priced by the
+//!   calibrated CPU cost model;
+//! * [`IiuSearchEngine`] — the cycle-level accelerator simulation plus the
+//!   host-side top-k pass.
+//!
+//! Both return bit-identical hits for the same query (the scoring datapath
+//! is shared), so every comparison between them is about *time*, exactly
+//! like the paper's evaluation.
+
+use iiu_baseline::topk::{top_k, Hit};
+use iiu_baseline::{CpuCostModel, CpuEngine, OpCounts};
+use iiu_index::score::term_score_fixed;
+use iiu_index::{DocId, Fixed, IndexError, InvertedIndex, PositionIndex};
+use iiu_sim::{HostModel, IiuMachine, SimConfig, SimQuery};
+
+use crate::query::Query;
+
+/// Where a query's time went.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyBreakdown {
+    /// Fixed dispatch/software overhead.
+    pub dispatch_ns: f64,
+    /// Device time: CPU query processing for the baseline, accelerator
+    /// cycles for IIU.
+    pub device_ns: f64,
+    /// Host top-k selection time.
+    pub topk_ns: f64,
+}
+
+impl LatencyBreakdown {
+    /// Total latency.
+    pub fn total_ns(&self) -> f64 {
+        self.dispatch_ns + self.device_ns + self.topk_ns
+    }
+}
+
+/// A ranked search result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResponse {
+    /// Top-k hits, descending score.
+    pub hits: Vec<Hit>,
+    /// Candidate documents before top-k selection.
+    pub candidates: u64,
+    /// Modeled time breakdown.
+    pub breakdown: LatencyBreakdown,
+}
+
+impl SearchResponse {
+    /// Modeled end-to-end latency in nanoseconds.
+    pub fn latency_ns(&self) -> f64 {
+        self.breakdown.total_ns()
+    }
+}
+
+/// A query engine: takes a boolean [`Query`], returns ranked hits with a
+/// modeled latency.
+pub trait SearchEngine {
+    /// Runs `query`, returning the top `k` hits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::UnknownTerm`] if a query term is not indexed.
+    fn search(&mut self, query: &Query, k: usize) -> Result<SearchResponse, IndexError>;
+}
+
+// ---------------------------------------------------------------------------
+// Shared functional evaluation of arbitrary expression trees
+// ---------------------------------------------------------------------------
+
+/// Evaluates an expression tree over decoded, scored lists (the §4.5
+/// "operations on an uncompressed list" path), accumulating operation
+/// counts for the cost model.
+fn eval_tree(
+    index: &InvertedIndex,
+    q: &Query,
+    counts: &mut OpCounts,
+    positions: Option<&PositionIndex>,
+) -> Result<Vec<(DocId, Fixed)>, IndexError> {
+    match q {
+        Query::Term(t) => {
+            let id = t_id(index, t)?;
+            let mut scored = Vec::new();
+            let list = index.encoded_list(id);
+            let idf = index.term_info(id).idf_bar;
+            for b in 0..list.num_blocks() {
+                counts.blocks_decoded += 1;
+                for p in list.decode_block(b) {
+                    counts.postings_decoded += 1;
+                    counts.docs_scored += 1;
+                    scored.push((p.doc_id, term_score_fixed(idf, index.dl_bar(p.doc_id), p.tf)));
+                }
+            }
+            Ok(scored)
+        }
+        Query::Phrase(terms) => {
+            let pos_index = positions.ok_or(IndexError::PositionsUnavailable)?;
+            // Candidates: intersection of every term's list (the part IIU
+            // accelerates); verification: consecutive-position check.
+            let mut acc: Option<Vec<(DocId, Fixed)>> = None;
+            for t in terms {
+                let lt = eval_tree(index, &Query::term(t.clone()), counts, positions)?;
+                acc = Some(match acc {
+                    None => lt,
+                    Some(prev) => merge_lists(&prev, &lt, true, counts),
+                });
+            }
+            let candidates = acc.unwrap_or_default();
+            counts.phrase_checks += candidates.len() as u64;
+            Ok(candidates
+                .into_iter()
+                .filter(|&(d, _)| pos_index.phrase_in_doc(terms, d))
+                .collect())
+        }
+        Query::And(a, b) => {
+            let la = eval_tree(index, a, counts, positions)?;
+            let lb = eval_tree(index, b, counts, positions)?;
+            Ok(merge_lists(&la, &lb, true, counts))
+        }
+        Query::Or(a, b) => {
+            let la = eval_tree(index, a, counts, positions)?;
+            let lb = eval_tree(index, b, counts, positions)?;
+            Ok(merge_lists(&la, &lb, false, counts))
+        }
+    }
+}
+
+fn t_id(index: &InvertedIndex, term: &str) -> Result<u32, IndexError> {
+    index
+        .term_id(term)
+        .ok_or_else(|| IndexError::UnknownTerm { term: term.to_owned() })
+}
+
+fn to_hits(scored: &[(DocId, Fixed)], k: usize) -> Vec<Hit> {
+    top_k(
+        scored.iter().map(|&(doc_id, s)| Hit { doc_id, score: s.to_f64() }),
+        k,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// CPU (baseline) engine
+// ---------------------------------------------------------------------------
+
+/// The Lucene-like baseline behind the [`SearchEngine`] interface.
+#[derive(Debug, Clone)]
+pub struct CpuSearchEngine<'a> {
+    inner: CpuEngine<'a>,
+    positions: Option<&'a PositionIndex>,
+}
+
+impl<'a> CpuSearchEngine<'a> {
+    /// Creates a baseline engine with the default cost model.
+    pub fn new(index: &'a InvertedIndex) -> Self {
+        CpuSearchEngine { inner: CpuEngine::new(index), positions: None }
+    }
+
+    /// Creates a baseline engine with a custom cost model.
+    pub fn with_cost_model(index: &'a InvertedIndex, cost: CpuCostModel) -> Self {
+        CpuSearchEngine { inner: CpuEngine::with_cost_model(index, cost), positions: None }
+    }
+
+    /// Attaches a positional sidecar, enabling [`Query::Phrase`] queries.
+    pub fn with_position_index(mut self, positions: &'a PositionIndex) -> Self {
+        self.positions = Some(positions);
+        self
+    }
+
+    /// The wrapped low-level engine.
+    pub fn inner(&self) -> &CpuEngine<'a> {
+        &self.inner
+    }
+}
+
+impl SearchEngine for CpuSearchEngine<'_> {
+    fn search(&mut self, query: &Query, k: usize) -> Result<SearchResponse, IndexError> {
+        // Primitive shapes take the specialized paths (SvS etc.).
+        let outcome = match query {
+            Query::Term(t) => Some(self.inner.search_single(t, k)?),
+            Query::Phrase(_) => None,
+            Query::And(a, b) => match (&**a, &**b) {
+                (Query::Term(x), Query::Term(y)) => {
+                    Some(self.inner.search_intersection(x, y, k)?)
+                }
+                _ => None,
+            },
+            Query::Or(a, b) => match (&**a, &**b) {
+                (Query::Term(x), Query::Term(y)) => Some(self.inner.search_union(x, y, k)?),
+                _ => None,
+            },
+        };
+        if let Some(o) = outcome {
+            let device_ns = o.phases.total_ns() - o.phases.topk_ns;
+            return Ok(SearchResponse {
+                hits: o.hits,
+                candidates: o.candidates,
+                breakdown: LatencyBreakdown {
+                    dispatch_ns: 0.0,
+                    device_ns,
+                    topk_ns: o.phases.topk_ns,
+                },
+            });
+        }
+
+        // General expression tree.
+        let mut counts = OpCounts::default();
+        let scored = eval_tree(self.inner.index(), query, &mut counts, self.positions)?;
+        counts.topk_candidates = scored.len() as u64;
+        let phases = self.inner.cost_model().price(&counts);
+        Ok(SearchResponse {
+            hits: to_hits(&scored, k),
+            candidates: scored.len() as u64,
+            breakdown: LatencyBreakdown {
+                dispatch_ns: 0.0,
+                device_ns: phases.total_ns() - phases.topk_ns,
+                topk_ns: phases.topk_ns,
+            },
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// IIU engine
+// ---------------------------------------------------------------------------
+
+/// The accelerator behind the [`SearchEngine`] interface: primitive queries
+/// run on the cycle-level simulator; deeper expression trees follow §4.5 —
+/// subtrees evaluate recursively (in parallel across subtrees) and the set
+/// operations over uncompressed intermediate lists bypass the DCUs at one
+/// element per cycle through the merge datapath.
+#[derive(Debug)]
+pub struct IiuSearchEngine<'a> {
+    machine: IiuMachine<'a>,
+    host: HostModel,
+    cores: usize,
+    positions: Option<&'a PositionIndex>,
+}
+
+impl<'a> IiuSearchEngine<'a> {
+    /// Creates an engine with the default configuration, allocating all
+    /// cores to each query (minimum-latency intra-query mode, Fig. 12a).
+    pub fn new(index: &'a InvertedIndex) -> Self {
+        let cfg = SimConfig::default();
+        IiuSearchEngine {
+            machine: IiuMachine::new(index, cfg),
+            host: HostModel::default(),
+            cores: cfg.n_cores,
+            positions: None,
+        }
+    }
+
+    /// Attaches a positional sidecar, enabling [`Query::Phrase`] queries
+    /// (intersection on the accelerator, verification on the host).
+    pub fn with_position_index(mut self, positions: &'a PositionIndex) -> Self {
+        self.positions = Some(positions);
+        self
+    }
+
+    /// Creates an engine with explicit configuration and per-query core
+    /// allocation (the `numCores` argument of the paper's `search()` API).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is 0 or exceeds `cfg.n_cores`.
+    pub fn with_config(index: &'a InvertedIndex, cfg: SimConfig, cores: usize) -> Self {
+        assert!(cores >= 1 && cores <= cfg.n_cores, "core allocation out of range");
+        IiuSearchEngine {
+            machine: IiuMachine::new(index, cfg),
+            host: HostModel::default(),
+            cores,
+            positions: None,
+        }
+    }
+
+    /// The underlying machine (for detailed statistics).
+    pub fn machine(&self) -> &IiuMachine<'a> {
+        &self.machine
+    }
+
+    /// The host model used for dispatch/top-k pricing.
+    pub fn host(&self) -> HostModel {
+        self.host
+    }
+
+    fn index(&self) -> &'a InvertedIndex {
+        self.machine.index()
+    }
+
+    /// Recursively evaluates an expression tree: leaves are full
+    /// single-term accelerator runs; internal nodes merge at one element
+    /// per cycle (set operations on uncompressed lists, DCU bypassed).
+    /// Sibling subtrees run concurrently (inter-query parallelism), so a
+    /// node's start time is the max of its children.
+    /// Returns `(results, accelerator cycles, host phrase verifications)`.
+    fn eval_iiu(&self, q: &Query) -> Result<EvalOutcome, IndexError> {
+        match q {
+            Query::Term(t) => {
+                let id = t_id(self.index(), t)?;
+                let run = self.machine.run_query(SimQuery::Single(id), self.cores);
+                Ok((run.results, run.cycles, 0))
+            }
+            // Two-term set operations map straight onto the accelerator.
+            Query::And(a, b) if leaf_pair(a, b) => {
+                let (x, y) = leaf_ids(self.index(), a, b)?;
+                let run = self.machine.run_query(SimQuery::Intersect(x, y), self.cores);
+                Ok((run.results, run.cycles, 0))
+            }
+            Query::Or(a, b) if leaf_pair(a, b) => {
+                let (x, y) = leaf_ids(self.index(), a, b)?;
+                let run = self.machine.run_query(SimQuery::Union(x, y), self.cores);
+                Ok((run.results, run.cycles, 0))
+            }
+            Query::Phrase(terms) => {
+                let pos_index = self.positions.ok_or(IndexError::PositionsUnavailable)?;
+                // Chain the terms into intersections (accelerated), then
+                // verify consecutive positions on the host.
+                let chain = terms
+                    .iter()
+                    .map(|t| Query::term(t.clone()))
+                    .reduce(Query::and)
+                    .ok_or(IndexError::PositionsUnavailable)?;
+                let (candidates, cycles, _) = self.eval_iiu(&chain)?;
+                let checks = candidates.len() as u64;
+                let verified = candidates
+                    .into_iter()
+                    .filter(|&(d, _)| pos_index.phrase_in_doc(terms, d))
+                    .collect();
+                Ok((verified, cycles, checks))
+            }
+            Query::And(a, b) | Query::Or(a, b) => {
+                let (la, ca, va) = self.eval_iiu(a)?;
+                let (lb, cb, vb) = self.eval_iiu(b)?;
+                let mut counts = OpCounts::default();
+                let merged = merge_lists(&la, &lb, matches!(q, Query::And(_, _)), &mut counts);
+                // One comparison per cycle through the merge unit.
+                let cycles = ca.max(cb) + counts.comparisons;
+                Ok((merged, cycles, va + vb))
+            }
+        }
+    }
+}
+
+/// `(scored results, accelerator cycles, host phrase verifications)`.
+type EvalOutcome = (Vec<(DocId, Fixed)>, u64, u64);
+
+fn leaf_pair(a: &Query, b: &Query) -> bool {
+    matches!(a, Query::Term(_)) && matches!(b, Query::Term(_))
+}
+
+fn leaf_ids(
+    index: &InvertedIndex,
+    a: &Query,
+    b: &Query,
+) -> Result<(u32, u32), IndexError> {
+    match (a, b) {
+        (Query::Term(x), Query::Term(y)) => Ok((t_id(index, x)?, t_id(index, y)?)),
+        _ => unreachable!("guarded by leaf_pair"),
+    }
+}
+
+/// Linear merge of two scored lists; `intersect` keeps only matches.
+fn merge_lists(
+    la: &[(DocId, Fixed)],
+    lb: &[(DocId, Fixed)],
+    intersect: bool,
+    counts: &mut OpCounts,
+) -> Vec<(DocId, Fixed)> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < la.len() && j < lb.len() {
+        counts.comparisons += 1;
+        match la[i].0.cmp(&lb[j].0) {
+            std::cmp::Ordering::Less => {
+                if !intersect {
+                    out.push(la[i]);
+                }
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                if !intersect {
+                    out.push(lb[j]);
+                }
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push((la[i].0, la[i].1.saturating_add(lb[j].1)));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    if !intersect {
+        out.extend_from_slice(&la[i..]);
+        out.extend_from_slice(&lb[j..]);
+        counts.comparisons += (la.len() - i + lb.len() - j) as u64;
+    }
+    out
+}
+
+impl SearchEngine for IiuSearchEngine<'_> {
+    fn search(&mut self, query: &Query, k: usize) -> Result<SearchResponse, IndexError> {
+        let index = self.index();
+        // Primitive shapes run directly on the simulator.
+        let direct = match query {
+            Query::Term(t) => Some(SimQuery::Single(t_id(index, t)?)),
+            Query::Phrase(_) => None,
+            Query::And(a, b) => match (&**a, &**b) {
+                (Query::Term(x), Query::Term(y)) => {
+                    Some(SimQuery::Intersect(t_id(index, x)?, t_id(index, y)?))
+                }
+                _ => None,
+            },
+            Query::Or(a, b) => match (&**a, &**b) {
+                (Query::Term(x), Query::Term(y)) => {
+                    Some(SimQuery::Union(t_id(index, x)?, t_id(index, y)?))
+                }
+                _ => None,
+            },
+        };
+
+        let (results, cycles, phrase_checks) = if let Some(sq) = direct {
+            let run = self.machine.run_query(sq, self.cores);
+            (run.results, run.cycles, 0)
+        } else {
+            self.eval_iiu(query)?
+        };
+
+        let candidates = results.len() as u64;
+        let clock = self.machine.config().clock_ghz;
+        // Phrase verification runs on the host, alongside top-k.
+        let verify_ns =
+            phrase_checks as f64 * 40.0 / (self.host.freq_ghz * self.host.ipc);
+        Ok(SearchResponse {
+            hits: to_hits(&results, k),
+            candidates,
+            breakdown: LatencyBreakdown {
+                dispatch_ns: self.host.dispatch_ns,
+                device_ns: cycles as f64 / clock,
+                topk_ns: self.host.topk_ns(candidates) + verify_ns,
+            },
+        })
+    }
+}

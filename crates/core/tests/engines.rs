@@ -1,0 +1,139 @@
+//! Cross-engine equivalence: the baseline and the simulated accelerator
+//! must return identical hits for every query shape, and their modeled
+//! latencies must have the shapes the paper reports.
+
+use iiu_core::{CpuSearchEngine, IiuSearchEngine, Query, SearchEngine};
+use iiu_workloads::{CorpusConfig, QuerySampler};
+
+fn index() -> iiu_index::InvertedIndex {
+    CorpusConfig::tiny(0x5EED).generate().into_default_index()
+}
+
+#[test]
+fn engines_agree_on_sampled_primitive_queries() {
+    let index = index();
+    let mut cpu = CpuSearchEngine::new(&index);
+    let mut iiu = IiuSearchEngine::new(&index);
+    let mut sampler = QuerySampler::new(&index, 1);
+    for term in sampler.single_queries(10) {
+        let q = Query::term(term);
+        let a = cpu.search(&q, 10).unwrap();
+        let b = iiu.search(&q, 10).unwrap();
+        assert_eq!(a.hits, b.hits, "hits differ for {q}");
+        assert_eq!(a.candidates, b.candidates);
+    }
+    let mut sampler = QuerySampler::new(&index, 2);
+    for (x, y) in sampler.pair_queries(10) {
+        for q in [
+            Query::parse(&format!("{x} AND {y}")).unwrap(),
+            Query::parse(&format!("{x} OR {y}")).unwrap(),
+        ] {
+            let a = cpu.search(&q, 10).unwrap();
+            let b = iiu.search(&q, 10).unwrap();
+            assert_eq!(a.hits, b.hits, "hits differ for {q}");
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_complex_trees() {
+    let index = index();
+    let mut cpu = CpuSearchEngine::new(&index);
+    let mut iiu = IiuSearchEngine::new(&index);
+    let mut sampler = QuerySampler::new(&index, 3);
+    let terms = sampler.single_queries(4);
+    let q = Query::parse(&format!(
+        "({} OR {}) AND ({} OR {})",
+        terms[0], terms[1], terms[2], terms[3]
+    ))
+    .unwrap();
+    let a = cpu.search(&q, 20).unwrap();
+    let b = iiu.search(&q, 20).unwrap();
+    assert_eq!(a.hits, b.hits, "complex-tree hits differ for {q}");
+    assert_eq!(a.candidates, b.candidates);
+}
+
+#[test]
+fn complex_tree_matches_manual_set_algebra() {
+    let index = index();
+    let mut cpu = CpuSearchEngine::new(&index);
+    let mut sampler = QuerySampler::new(&index, 4);
+    let t = sampler.single_queries(3);
+    let q = Query::parse(&format!("({} OR {}) AND {}", t[0], t[1], t[2])).unwrap();
+    let got = cpu.search(&q, 1_000_000).unwrap();
+
+    use std::collections::BTreeSet;
+    let docs = |term: &str| -> BTreeSet<u32> {
+        index.decode_term(term).unwrap().doc_ids().into_iter().collect()
+    };
+    let expected: BTreeSet<u32> = docs(&t[0])
+        .union(&docs(&t[1]))
+        .copied()
+        .collect::<BTreeSet<_>>()
+        .intersection(&docs(&t[2]))
+        .copied()
+        .collect();
+    let got_docs: BTreeSet<u32> = got.hits.iter().map(|h| h.doc_id).collect();
+    assert_eq!(got_docs, expected);
+}
+
+#[test]
+fn iiu_is_faster_than_cpu_on_primitive_queries() {
+    // The headline direction of Fig. 15 must hold even at test scale.
+    let index = index();
+    let mut cpu = CpuSearchEngine::new(&index);
+    let mut iiu = IiuSearchEngine::new(&index);
+    let mut sampler = QuerySampler::new(&index, 5);
+    let (x, y) = sampler.pair_queries(1).remove(0);
+    for q in [
+        Query::term(x.clone()),
+        Query::parse(&format!("{x} AND {y}")).unwrap(),
+        Query::parse(&format!("{x} OR {y}")).unwrap(),
+    ] {
+        let a = cpu.search(&q, 10).unwrap();
+        let b = iiu.search(&q, 10).unwrap();
+        assert!(
+            b.breakdown.device_ns < a.breakdown.device_ns,
+            "IIU device time {} should beat CPU {} for {q}",
+            b.breakdown.device_ns,
+            a.breakdown.device_ns
+        );
+    }
+}
+
+#[test]
+fn unknown_terms_error_in_both_engines() {
+    let index = index();
+    let mut cpu = CpuSearchEngine::new(&index);
+    let mut iiu = IiuSearchEngine::new(&index);
+    let q = Query::parse("nosuchterm0000001").unwrap();
+    assert!(cpu.search(&q, 5).is_err());
+    assert!(iiu.search(&q, 5).is_err());
+}
+
+#[test]
+fn k_limits_hits_but_not_candidates() {
+    let index = index();
+    let mut iiu = IiuSearchEngine::new(&index);
+    let mut sampler = QuerySampler::new(&index, 6);
+    let term = sampler.single_queries(1).remove(0);
+    let q = Query::term(term);
+    let r = iiu.search(&q, 3).unwrap();
+    assert!(r.hits.len() <= 3);
+    assert!(r.candidates >= r.hits.len() as u64);
+    // Hits are sorted by descending score.
+    assert!(r.hits.windows(2).all(|w| w[0].score >= w[1].score));
+}
+
+#[test]
+fn latency_breakdown_components_are_consistent() {
+    let index = index();
+    let mut iiu = IiuSearchEngine::new(&index);
+    let mut sampler = QuerySampler::new(&index, 7);
+    let term = sampler.single_queries(1).remove(0);
+    let r = iiu.search(&Query::term(term), 10).unwrap();
+    let b = r.breakdown;
+    assert!(b.device_ns > 0.0);
+    assert!(b.topk_ns > 0.0);
+    assert!((r.latency_ns() - (b.dispatch_ns + b.device_ns + b.topk_ns)).abs() < 1e-9);
+}

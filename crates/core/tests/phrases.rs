@@ -1,0 +1,87 @@
+//! Phrase-query semantics across both engines (paper §2.2: phrase queries
+//! are built from an intersection query plus positional verification).
+
+use iiu_core::{CpuSearchEngine, IiuSearchEngine, Query, SearchEngine};
+use iiu_index::{BuildOptions, IndexBuilder, IndexError, PositionIndex};
+
+fn build() -> (iiu_index::InvertedIndex, PositionIndex) {
+    let docs = [
+        "the new york times reported the story",          // 0: "new york times" ✓
+        "new shoes from york street",                     // 1: has terms, wrong order
+        "she moved to new york last year",                // 2: "new york" ✓
+        "york new times",                                 // 3: reversed
+        "the times of new york",                          // 4: "new york" ✓
+        "a new new york york times times",                // 5: "new york" at 2-3? tokens: a new new york york times times -> new@1,2 york@3,4 -> 2+1=3 ✓
+    ];
+    let mut b = IndexBuilder::new(BuildOptions { track_positions: true, ..Default::default() });
+    for d in docs {
+        b.add_document(d);
+    }
+    b.build_with_positions()
+}
+
+#[test]
+fn phrase_matches_exact_consecutive_terms() {
+    let (index, positions) = build();
+    let mut cpu = CpuSearchEngine::new(&index).with_position_index(&positions);
+    let q = Query::parse("\"new york\"").unwrap();
+    let r = cpu.search(&q, 10).unwrap();
+    let mut docs: Vec<u32> = r.hits.iter().map(|h| h.doc_id).collect();
+    docs.sort_unstable();
+    assert_eq!(docs, vec![0, 2, 4, 5]);
+}
+
+#[test]
+fn three_term_phrase_is_stricter() {
+    let (index, positions) = build();
+    let mut cpu = CpuSearchEngine::new(&index).with_position_index(&positions);
+    let q = Query::parse("\"new york times\"").unwrap();
+    let r = cpu.search(&q, 10).unwrap();
+    let docs: Vec<u32> = r.hits.iter().map(|h| h.doc_id).collect();
+    assert_eq!(docs, vec![0]);
+}
+
+#[test]
+fn engines_agree_on_phrases() {
+    let (index, positions) = build();
+    let mut cpu = CpuSearchEngine::new(&index).with_position_index(&positions);
+    let mut iiu = IiuSearchEngine::new(&index).with_position_index(&positions);
+    for text in ["\"new york\"", "\"new york times\"", "\"york times\" OR street"] {
+        let q = Query::parse(text).unwrap();
+        let a = cpu.search(&q, 10).unwrap();
+        let b = iiu.search(&q, 10).unwrap();
+        assert_eq!(a.hits, b.hits, "engines disagree on {text}");
+    }
+}
+
+#[test]
+fn phrase_without_positions_errors() {
+    let (index, _) = build();
+    let mut cpu = CpuSearchEngine::new(&index);
+    let mut iiu = IiuSearchEngine::new(&index);
+    let q = Query::parse("\"new york\"").unwrap();
+    assert!(matches!(cpu.search(&q, 5), Err(IndexError::PositionsUnavailable)));
+    assert!(matches!(iiu.search(&q, 5), Err(IndexError::PositionsUnavailable)));
+}
+
+#[test]
+fn phrase_inside_boolean_tree() {
+    let (index, positions) = build();
+    let mut cpu = CpuSearchEngine::new(&index).with_position_index(&positions);
+    // Docs with the phrase "new york" but NOT containing "times":
+    // doc 2 (moved to new york) qualifies; 0/4/5 contain "times".
+    let q = Query::parse("\"new york\" AND year").unwrap();
+    let r = cpu.search(&q, 10).unwrap();
+    let docs: Vec<u32> = r.hits.iter().map(|h| h.doc_id).collect();
+    assert_eq!(docs, vec![2]);
+}
+
+#[test]
+fn phrase_latency_includes_host_verification() {
+    let (index, positions) = build();
+    let mut iiu = IiuSearchEngine::new(&index).with_position_index(&positions);
+    let q = Query::parse("\"new york\"").unwrap();
+    let r = iiu.search(&q, 10).unwrap();
+    assert!(r.breakdown.device_ns > 0.0, "intersection runs on the accelerator");
+    assert!(r.breakdown.topk_ns > 0.0, "verification + top-k run on the host");
+}

@@ -1,0 +1,309 @@
+//! Bit-level packing primitives.
+//!
+//! The IIU index stores `(d-gap, tf)` pairs bit-packed at the minimum
+//! per-block bitwidth (paper §3.1). The decompression unit extracts fields
+//! with shifting and masking; this module is the software equivalent, an
+//! LSB-first bit stream over a byte buffer.
+
+/// Number of bits needed to represent `value` (0 needs 0 bits).
+///
+/// This is the paper's `⌈log(v + 1)⌉` (Eq. 2): the bitwidth that can hold
+/// every value in `0..=value`.
+///
+/// # Example
+///
+/// ```
+/// use iiu_index::bitpack::bits_for;
+/// assert_eq!(bits_for(0), 0);
+/// assert_eq!(bits_for(1), 1);
+/// assert_eq!(bits_for(255), 8);
+/// assert_eq!(bits_for(256), 9);
+/// assert_eq!(bits_for(u32::MAX), 32);
+/// ```
+pub fn bits_for(value: u32) -> u8 {
+    (32 - value.leading_zeros()) as u8
+}
+
+/// Writes unsigned integers of arbitrary bitwidth (0..=32) into a byte
+/// buffer, LSB-first within each byte.
+///
+/// # Example
+///
+/// ```
+/// use iiu_index::bitpack::{BitWriter, BitReader};
+/// let mut w = BitWriter::new();
+/// w.write(5, 3);
+/// w.write(1000, 10);
+/// let bytes = w.finish();
+/// let mut r = BitReader::new(&bytes);
+/// assert_eq!(r.read(3), 5);
+/// assert_eq!(r.read(10), 1000);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits already used in the final byte (0..8).
+    bit_pos: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Appends the low `width` bits of `value`.
+    ///
+    /// A width of 0 writes nothing (used for blocks whose values are all
+    /// zero, e.g. a run of identical docIDs' first d-gap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 32` or if `value` does not fit in `width` bits.
+    pub fn write(&mut self, value: u32, width: u8) {
+        assert!(width <= 32, "bitwidth must be at most 32");
+        if width < 32 {
+            assert!(
+                u64::from(value) < (1u64 << width),
+                "value {value} does not fit in {width} bits"
+            );
+        }
+        let mut remaining = width;
+        let mut v = value;
+        while remaining > 0 {
+            if self.bit_pos == 0 {
+                self.bytes.push(0);
+            }
+            let free = 8 - self.bit_pos;
+            let take = free.min(remaining);
+            let mask = if take == 32 { u32::MAX } else { (1u32 << take) - 1 };
+            let chunk = (v & mask) as u8;
+            *self.bytes.last_mut().expect("byte pushed above") |= chunk << self.bit_pos;
+            v = if take == 32 { 0 } else { v >> take };
+            self.bit_pos = (self.bit_pos + take) % 8;
+            remaining -= take;
+        }
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.bit_pos == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + self.bit_pos as usize
+        }
+    }
+
+    /// Pads to the next byte boundary and returns the buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Pads the stream so the next write starts at a byte boundary.
+    pub fn align_to_byte(&mut self) {
+        self.bit_pos = 0;
+    }
+}
+
+/// Reads back integers written by [`BitWriter`], LSB-first.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Absolute bit cursor.
+    cursor: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes` starting at bit 0.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, cursor: 0 }
+    }
+
+    /// Creates a reader starting at an absolute bit offset.
+    pub fn with_bit_offset(bytes: &'a [u8], bit_offset: usize) -> Self {
+        BitReader { bytes, cursor: bit_offset }
+    }
+
+    /// Reads `width` bits (0..=32) and advances the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the read runs past the end of the buffer.
+    pub fn read(&mut self, width: u8) -> u32 {
+        assert!(width <= 32, "bitwidth must be at most 32");
+        let mut out: u32 = 0;
+        let mut got: u8 = 0;
+        while got < width {
+            let byte_idx = self.cursor / 8;
+            let bit_idx = (self.cursor % 8) as u8;
+            assert!(byte_idx < self.bytes.len(), "bit read past end of buffer");
+            let avail = 8 - bit_idx;
+            let take = avail.min(width - got);
+            let mask = ((1u16 << take) - 1) as u8;
+            let chunk = (self.bytes[byte_idx] >> bit_idx) & mask;
+            out |= u32::from(chunk) << got;
+            got += take;
+            self.cursor += take as usize;
+        }
+        out
+    }
+
+    /// Current absolute bit position.
+    pub fn bit_pos(&self) -> usize {
+        self.cursor
+    }
+
+    /// Skips `width` bits without decoding them.
+    pub fn skip(&mut self, width: usize) {
+        self.cursor += width;
+    }
+}
+
+/// Packs a slice of values at a uniform `width`, byte-aligned at the end.
+///
+/// Convenience used by the fixed-width baseline codecs.
+pub fn pack_all(values: &[u32], width: u8) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    for &v in values {
+        w.write(v, width);
+    }
+    w.finish()
+}
+
+/// Unpacks `n` values of uniform `width` from `bytes`.
+pub fn unpack_all(bytes: &[u8], n: usize, width: u8) -> Vec<u32> {
+    let mut r = BitReader::new(bytes);
+    (0..n).map(|_| r.read(width)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bits_for_boundaries() {
+        assert_eq!(bits_for(0), 0);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 3);
+        assert_eq!(bits_for((1 << 31) - 1), 31);
+        assert_eq!(bits_for(1 << 31), 32);
+    }
+
+    #[test]
+    fn zero_width_writes_nothing() {
+        let mut w = BitWriter::new();
+        w.write(0, 0);
+        w.write(0, 0);
+        assert_eq!(w.bit_len(), 0);
+        assert!(w.finish().is_empty());
+    }
+
+    #[test]
+    fn full_width_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write(u32::MAX, 32);
+        w.write(0x1234_5678, 32);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(32), u32::MAX);
+        assert_eq!(r.read(32), 0x1234_5678);
+    }
+
+    #[test]
+    fn mixed_width_roundtrip() {
+        let widths = [1u8, 3, 7, 8, 9, 13, 17, 31, 32, 5];
+        let values = [1u32, 5, 100, 255, 300, 8000, 70000, 1 << 30, u32::MAX, 21];
+        let mut w = BitWriter::new();
+        for (&v, &wd) in values.iter().zip(&widths) {
+            w.write(v, wd);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for (&v, &wd) in values.iter().zip(&widths) {
+            assert_eq!(r.read(wd), v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn write_rejects_oversized_value() {
+        let mut w = BitWriter::new();
+        w.write(8, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "past end")]
+    fn read_past_end_panics() {
+        let bytes = [0u8];
+        let mut r = BitReader::new(&bytes);
+        let _ = r.read(9);
+    }
+
+    #[test]
+    fn bit_len_tracks_writes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write(1, 1);
+        assert_eq!(w.bit_len(), 1);
+        w.write(0, 10);
+        assert_eq!(w.bit_len(), 11);
+    }
+
+    #[test]
+    fn reader_with_offset_skips_prefix() {
+        let mut w = BitWriter::new();
+        w.write(0b101, 3);
+        w.write(42, 8);
+        let bytes = w.finish();
+        let mut r = BitReader::with_bit_offset(&bytes, 3);
+        assert_eq!(r.read(8), 42);
+    }
+
+    #[test]
+    fn pack_unpack_all() {
+        let vals = [7u32, 0, 3, 5, 1];
+        let packed = pack_all(&vals, 3);
+        assert_eq!(packed.len(), 2); // 15 bits -> 2 bytes
+        assert_eq!(unpack_all(&packed, 5, 3), vals);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_uniform(values in proptest::collection::vec(0u32..1 << 20, 0..200)) {
+            let width = values.iter().copied().map(bits_for).max().unwrap_or(0);
+            let packed = pack_all(&values, width);
+            prop_assert_eq!(unpack_all(&packed, values.len(), width), values);
+        }
+
+        #[test]
+        fn prop_roundtrip_mixed(pairs in proptest::collection::vec((0u32..u32::MAX, 1u8..=32), 0..200)) {
+            let mut w = BitWriter::new();
+            let mut expected = Vec::new();
+            for &(v, wd) in &pairs {
+                let mask = if wd == 32 { u32::MAX } else { (1u32 << wd) - 1 };
+                let v = v & mask;
+                w.write(v, wd);
+                expected.push((v, wd));
+            }
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            for (v, wd) in expected {
+                prop_assert_eq!(r.read(wd), v);
+            }
+        }
+
+        #[test]
+        fn prop_bit_len_matches_sum(pairs in proptest::collection::vec((0u32..16, 4u8..=16), 0..64)) {
+            let mut w = BitWriter::new();
+            let mut total = 0usize;
+            for &(v, wd) in &pairs {
+                w.write(v, wd);
+                total += wd as usize;
+            }
+            prop_assert_eq!(w.bit_len(), total);
+        }
+    }
+}

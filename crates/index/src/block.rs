@@ -1,0 +1,589 @@
+//! Block structure of a compressed posting list (paper §3.1, Fig. 5).
+//!
+//! A posting list is split into blocks of contiguous postings. For every
+//! block the index stores:
+//!
+//! * a 64-bit metadata word: docID bitwidth (5 b), tf bitwidth (5 b),
+//!   element count (11 b) and byte offset of the compressed payload (43 b);
+//! * a raw 32-bit *skip value* — the first docID of the block — enabling
+//!   membership testing without decompression;
+//! * the bit-packed `(d-gap, tf)` pairs themselves.
+//!
+//! Within a block the first posting's d-gap is stored as 0 and the skip
+//! value supplies its docID ("the skip value is added to a d-gap to obtain
+//! the uncompressed docID").
+
+use crate::bitpack::{bits_for, BitReader, BitWriter};
+use crate::error::IndexError;
+use crate::posting::{DocId, Posting, PostingList};
+
+/// Maximum number of postings a block can hold: the metadata word has an
+/// 11-bit count field storing `count - 1`.
+pub const MAX_BLOCK_LEN: usize = 1 << 11;
+
+/// Bits of metadata + skip value charged to every block by the paper's cost
+/// function (Eq. 3): 64-bit metadata word plus 32-bit skip value.
+pub const BLOCK_OVERHEAD_BITS: u64 = 96;
+
+/// Per-block metadata, packed into one 64-bit word in the on-disk format.
+///
+/// # Example
+///
+/// ```
+/// use iiu_index::BlockMeta;
+/// let meta = BlockMeta { dn_bits: 7, tf_bits: 3, count: 128, offset: 4096 };
+/// let word = meta.pack();
+/// assert_eq!(BlockMeta::unpack(word), meta);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockMeta {
+    /// Bitwidth of the packed d-gaps (0..=31).
+    pub dn_bits: u8,
+    /// Bitwidth of the packed term frequencies (0..=31).
+    pub tf_bits: u8,
+    /// Number of postings in the block (1..=[`MAX_BLOCK_LEN`]).
+    pub count: u16,
+    /// Byte offset of the block's payload within the list's compressed
+    /// stream (43 bits).
+    pub offset: u64,
+}
+
+impl BlockMeta {
+    /// Packs into the 64-bit layout `offset(43) | count-1(11) | tf(5) | dn(5)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field exceeds its bitwidth budget.
+    pub fn pack(&self) -> u64 {
+        assert!(self.dn_bits < 32, "dn bitwidth must fit in 5 bits");
+        assert!(self.tf_bits < 32, "tf bitwidth must fit in 5 bits");
+        assert!(
+            (1..=MAX_BLOCK_LEN as u16 as usize).contains(&(self.count as usize)),
+            "block count must be in 1..={MAX_BLOCK_LEN}"
+        );
+        assert!(self.offset < (1 << 43), "payload offset must fit in 43 bits");
+        u64::from(self.dn_bits)
+            | u64::from(self.tf_bits) << 5
+            | u64::from(self.count - 1) << 10
+            | self.offset << 21
+    }
+
+    /// Inverse of [`BlockMeta::pack`].
+    pub fn unpack(word: u64) -> Self {
+        BlockMeta {
+            dn_bits: (word & 0x1f) as u8,
+            tf_bits: ((word >> 5) & 0x1f) as u8,
+            count: ((word >> 10) & 0x7ff) as u16 + 1,
+            offset: word >> 21,
+        }
+    }
+
+    /// Bits per posting in this block.
+    pub fn pair_bits(&self) -> u32 {
+        u32::from(self.dn_bits) + u32::from(self.tf_bits)
+    }
+
+    /// Size of the block payload in bytes (byte-aligned).
+    pub fn payload_bytes(&self) -> u64 {
+        (u64::from(self.pair_bits()) * u64::from(self.count)).div_ceil(8)
+    }
+}
+
+/// A posting list compressed with the IIU scheme: block metadata, skip list
+/// and a byte-aligned bit-packed payload.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EncodedList {
+    metas: Vec<BlockMeta>,
+    skips: Vec<DocId>,
+    payload: Vec<u8>,
+    num_postings: u64,
+    /// Total cost in bits under the paper's model (Eq. 3): exact pair bits
+    /// plus 96 bits of overhead per block, *before* byte alignment.
+    model_bits: u64,
+}
+
+impl EncodedList {
+    /// Compresses `list` using the block boundaries produced by a
+    /// partitioner. `block_lens` must sum to `list.len()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::ValueTooWide`] if a docID or tf needs 32 or
+    /// more bits (the 5-bit metadata width fields top out at 31), and
+    /// [`IndexError::BadPartition`] if `block_lens` is inconsistent with the
+    /// list length or violates [`MAX_BLOCK_LEN`].
+    pub fn encode(list: &PostingList, block_lens: &[usize]) -> Result<Self, IndexError> {
+        let postings = list.as_slice();
+        let total: usize = block_lens.iter().sum();
+        if total != postings.len() || block_lens.iter().any(|&l| l == 0 || l > MAX_BLOCK_LEN) {
+            return Err(IndexError::BadPartition {
+                list_len: postings.len(),
+                partition_sum: total,
+            });
+        }
+
+        let mut metas = Vec::with_capacity(block_lens.len());
+        let mut skips = Vec::with_capacity(block_lens.len());
+        let mut payload: Vec<u8> = Vec::new();
+        let mut model_bits: u64 = 0;
+        let mut start = 0usize;
+
+        for &len in block_lens {
+            let block = &postings[start..start + len];
+            let skip = block[0].doc_id;
+
+            // Stored d-gaps: 0 for the first posting (recovered from the skip
+            // value), successor differences for the rest.
+            let mut max_gap = 0u32;
+            let mut max_tf = 0u32;
+            for (i, p) in block.iter().enumerate() {
+                let gap = if i == 0 { 0 } else { p.doc_id - block[i - 1].doc_id };
+                max_gap = max_gap.max(gap);
+                max_tf = max_tf.max(p.tf);
+            }
+            let dn_bits = bits_for(max_gap);
+            let tf_bits = bits_for(max_tf);
+            if dn_bits >= 32 || tf_bits >= 32 {
+                return Err(IndexError::ValueTooWide {
+                    dn_bits,
+                    tf_bits,
+                });
+            }
+
+            let offset = payload.len() as u64;
+            if offset >= (1 << 43) {
+                return Err(IndexError::ListTooLarge { bytes: offset });
+            }
+            let mut w = BitWriter::new();
+            for (i, p) in block.iter().enumerate() {
+                let gap = if i == 0 { 0 } else { p.doc_id - block[i - 1].doc_id };
+                w.write(gap, dn_bits);
+                w.write(p.tf, tf_bits);
+            }
+            payload.extend_from_slice(&w.finish());
+
+            metas.push(BlockMeta {
+                dn_bits,
+                tf_bits,
+                count: len as u16,
+                offset,
+            });
+            skips.push(skip);
+            model_bits += u64::from(dn_bits as u32 + tf_bits as u32) * len as u64
+                + BLOCK_OVERHEAD_BITS;
+            start += len;
+        }
+
+        Ok(EncodedList {
+            metas,
+            skips,
+            payload,
+            num_postings: postings.len() as u64,
+            model_bits,
+        })
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// Number of postings across all blocks.
+    pub fn num_postings(&self) -> u64 {
+        self.num_postings
+    }
+
+    /// Block metadata words.
+    pub fn metas(&self) -> &[BlockMeta] {
+        &self.metas
+    }
+
+    /// Skip list: the raw first docID of each block.
+    pub fn skips(&self) -> &[DocId] {
+        &self.skips
+    }
+
+    /// The bit-packed payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Decodes block `idx` into postings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn decode_block(&self, idx: usize) -> Vec<Posting> {
+        let meta = self.metas[idx];
+        let skip = self.skips[idx];
+        let mut r = BitReader::with_bit_offset(&self.payload, meta.offset as usize * 8);
+        let mut out = Vec::with_capacity(meta.count as usize);
+        let mut prev = skip;
+        for i in 0..meta.count {
+            let gap = r.read(meta.dn_bits);
+            let tf = r.read(meta.tf_bits);
+            let doc = if i == 0 { skip } else { prev + gap };
+            out.push(Posting::new(doc, tf));
+            prev = doc;
+        }
+        out
+    }
+
+    /// Decodes the entire list.
+    pub fn decode_all(&self) -> PostingList {
+        let mut postings = Vec::with_capacity(self.num_postings as usize);
+        for i in 0..self.num_blocks() {
+            postings.extend(self.decode_block(i));
+        }
+        PostingList::from_sorted(postings)
+    }
+
+    /// Index of the only block that may contain `doc_id`, by binary search
+    /// over the skip list (membership testing, §2.2): the last block whose
+    /// skip value is `<= doc_id`. Returns `None` if `doc_id` precedes the
+    /// first skip value or the list is empty.
+    pub fn candidate_block(&self, doc_id: DocId) -> Option<usize> {
+        let n = self.skips.partition_point(|&s| s <= doc_id);
+        n.checked_sub(1)
+    }
+
+    /// Physical compressed size in bytes: payload + 8 B metadata and 4 B
+    /// skip value per block.
+    pub fn compressed_bytes(&self) -> u64 {
+        self.payload.len() as u64 + self.metas.len() as u64 * 12
+    }
+
+    /// Streaming decoder over all postings, one block at a time — the
+    /// software analogue of a DCU consuming the list without materializing
+    /// it.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use iiu_index::{EncodedList, Posting, PostingList};
+    /// let list = PostingList::from_sorted(
+    ///     (0..10u32).map(|i| Posting::new(i * 5, 1)).collect(),
+    /// );
+    /// let enc = EncodedList::encode(&list, &[4, 6]).unwrap();
+    /// let sum: u64 = enc.iter().map(|p| u64::from(p.doc_id)).sum();
+    /// assert_eq!(sum, (0..10u64).map(|i| i * 5).sum());
+    /// ```
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { list: self, block: 0, buffered: Vec::new(), pos: 0 }
+    }
+
+    /// Membership test: the term frequency of `doc_id` if present,
+    /// decompressing at most one block (skip-list search + in-block scan,
+    /// the operation MILC optimizes and the BSU accelerates).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use iiu_index::{EncodedList, Posting, PostingList};
+    /// let list = PostingList::from_sorted(vec![
+    ///     Posting::new(3, 7),
+    ///     Posting::new(90, 2),
+    /// ]);
+    /// let enc = EncodedList::encode(&list, &[1, 1]).unwrap();
+    /// assert_eq!(enc.find(3), Some(7));
+    /// assert_eq!(enc.find(4), None);
+    /// ```
+    pub fn find(&self, doc_id: DocId) -> Option<u32> {
+        let block = self.candidate_block(doc_id)?;
+        self.decode_block(block)
+            .iter()
+            .find(|p| p.doc_id == doc_id)
+            .map(|p| p.tf)
+    }
+
+    /// Cost in bits under the paper's model (Eq. 3), before byte alignment.
+    pub fn model_bits(&self) -> u64 {
+        self.model_bits
+    }
+}
+
+/// Streaming iterator over an [`EncodedList`]'s postings.
+///
+/// Created by [`EncodedList::iter`]; decodes one block at a time.
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    list: &'a EncodedList,
+    block: usize,
+    buffered: Vec<Posting>,
+    pos: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = Posting;
+
+    fn next(&mut self) -> Option<Posting> {
+        while self.pos >= self.buffered.len() {
+            if self.block >= self.list.num_blocks() {
+                return None;
+            }
+            self.buffered = self.list.decode_block(self.block);
+            self.block += 1;
+            self.pos = 0;
+        }
+        let p = self.buffered[self.pos];
+        self.pos += 1;
+        Some(p)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // Remaining = total - consumed (cheap lower bound via buffered).
+        let consumed_blocks: u64 = self
+            .list
+            .metas
+            .iter()
+            .take(self.block)
+            .map(|m| u64::from(m.count))
+            .sum();
+        let remaining = self.list.num_postings()
+            - (consumed_blocks - (self.buffered.len() - self.pos) as u64);
+        (remaining as usize, Some(remaining as usize))
+    }
+}
+
+impl<'a> IntoIterator for &'a EncodedList {
+    type Item = Posting;
+    type IntoIter = Iter<'a>;
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn list(pairs: &[(u32, u32)]) -> PostingList {
+        PostingList::from_sorted(pairs.iter().map(|&(d, t)| Posting::new(d, t)).collect())
+    }
+
+    #[test]
+    fn meta_pack_unpack_roundtrip() {
+        let cases = [
+            BlockMeta { dn_bits: 0, tf_bits: 0, count: 1, offset: 0 },
+            BlockMeta { dn_bits: 31, tf_bits: 31, count: MAX_BLOCK_LEN as u16, offset: (1 << 43) - 1 },
+            BlockMeta { dn_bits: 7, tf_bits: 3, count: 256, offset: 123_456 },
+        ];
+        for m in cases {
+            assert_eq!(BlockMeta::unpack(m.pack()), m);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "5 bits")]
+    fn meta_pack_rejects_wide_dn() {
+        BlockMeta { dn_bits: 32, tf_bits: 0, count: 1, offset: 0 }.pack();
+    }
+
+    #[test]
+    fn encode_single_block_roundtrip() {
+        // The Lausanne example from Fig. 4.
+        let l = list(&[
+            (7, 11), (10, 2), (15, 1), (54, 1), (72, 5), (134, 3),
+            (170, 1), (221, 2), (294, 4), (417, 1), (500, 3), (542, 7),
+        ]);
+        let enc = EncodedList::encode(&l, &[12]).unwrap();
+        assert_eq!(enc.num_blocks(), 1);
+        assert_eq!(enc.skips(), &[7]);
+        // Max d-gap is 123 (7 bits), max tf is 11 (4 bits).
+        assert_eq!(enc.metas()[0].dn_bits, 7);
+        assert_eq!(enc.metas()[0].tf_bits, 4);
+        assert_eq!(enc.decode_all(), l);
+    }
+
+    #[test]
+    fn encode_multi_block_roundtrip() {
+        let l = list(&[(0, 1), (2, 2), (11, 1), (20, 9), (38, 1), (46, 2)]);
+        let enc = EncodedList::encode(&l, &[2, 3, 1]).unwrap();
+        assert_eq!(enc.num_blocks(), 3);
+        assert_eq!(enc.skips(), &[0, 11, 46]);
+        assert_eq!(enc.decode_block(1), vec![
+            Posting::new(11, 1), Posting::new(20, 9), Posting::new(38, 1)
+        ]);
+        assert_eq!(enc.decode_all(), l);
+    }
+
+    #[test]
+    fn encode_rejects_bad_partition() {
+        let l = list(&[(0, 1), (5, 1)]);
+        assert!(matches!(
+            EncodedList::encode(&l, &[3]),
+            Err(IndexError::BadPartition { .. })
+        ));
+        assert!(matches!(
+            EncodedList::encode(&l, &[1]),
+            Err(IndexError::BadPartition { .. })
+        ));
+        assert!(matches!(
+            EncodedList::encode(&l, &[0, 2]),
+            Err(IndexError::BadPartition { .. })
+        ));
+    }
+
+    #[test]
+    fn encode_rejects_huge_gap() {
+        // A d-gap of u32::MAX - 1 needs 32 bits, beyond the 5-bit width field.
+        let l = list(&[(0, 1), (u32::MAX - 1, 1)]);
+        assert!(matches!(
+            EncodedList::encode(&l, &[2]),
+            Err(IndexError::ValueTooWide { .. })
+        ));
+    }
+
+    #[test]
+    fn candidate_block_binary_search() {
+        let l = list(&[(1, 1), (8, 1), (19, 1), (37, 1), (48, 1), (54, 1), (76, 1)]);
+        let enc = EncodedList::encode(&l, &[1; 7]).unwrap();
+        // Skip values {1, 8, 19, 37, 48, 54, 76} — the Fig. 11 example.
+        assert_eq!(enc.candidate_block(40), Some(3)); // block with skip 37
+        assert_eq!(enc.candidate_block(64), Some(5)); // block with skip 54
+        assert_eq!(enc.candidate_block(0), None);
+        assert_eq!(enc.candidate_block(1), Some(0));
+        assert_eq!(enc.candidate_block(1000), Some(6));
+    }
+
+    #[test]
+    fn model_bits_matches_formula() {
+        let l = list(&[(0, 1), (2, 2), (11, 1), (20, 9)]);
+        let enc = EncodedList::encode(&l, &[4]).unwrap();
+        // Gaps {0,2,9,9} -> 4 bits; tfs {1,2,1,9} -> 4 bits; 4 postings.
+        assert_eq!(enc.model_bits(), (4 + 4) * 4 + 96);
+    }
+
+    #[test]
+    fn zero_width_block_all_same_tf_adjacent_docs() {
+        // Consecutive docIDs with gap 1 and all tf = 1: dn_bits = 1, tf_bits = 1.
+        let l = list(&[(10, 1), (11, 1), (12, 1)]);
+        let enc = EncodedList::encode(&l, &[3]).unwrap();
+        assert_eq!(enc.metas()[0].dn_bits, 1);
+        assert_eq!(enc.metas()[0].tf_bits, 1);
+        assert_eq!(enc.decode_all(), l);
+    }
+
+    #[test]
+    fn singleton_block_uses_zero_dn_bits() {
+        let l = list(&[(1000, 1)]);
+        let enc = EncodedList::encode(&l, &[1]).unwrap();
+        assert_eq!(enc.metas()[0].dn_bits, 0);
+        assert_eq!(enc.decode_all(), l);
+    }
+
+    #[test]
+    fn compressed_bytes_accounts_overheads() {
+        let l = list(&[(0, 1), (3, 1), (9, 1), (10, 1)]);
+        let enc = EncodedList::encode(&l, &[2, 2]).unwrap();
+        let payload = enc.payload().len() as u64;
+        assert_eq!(enc.compressed_bytes(), payload + 2 * 12);
+    }
+
+    #[test]
+    fn iter_streams_all_blocks() {
+        let l = list(&[(0, 1), (2, 2), (11, 1), (20, 9), (38, 1), (46, 2)]);
+        let enc = EncodedList::encode(&l, &[2, 3, 1]).unwrap();
+        let collected: Vec<Posting> = enc.iter().collect();
+        assert_eq!(collected, l.as_slice());
+        // size_hint is exact at the start.
+        assert_eq!(enc.iter().size_hint(), (6, Some(6)));
+        let mut it = enc.iter();
+        it.next();
+        assert_eq!(it.size_hint().0, 5);
+    }
+
+    #[test]
+    fn iter_on_empty_list() {
+        let enc = EncodedList::default();
+        assert_eq!(enc.iter().count(), 0);
+    }
+
+    #[test]
+    fn find_decompresses_one_block_only() {
+        let l = list(&[(0, 1), (2, 2), (11, 1), (20, 9), (38, 1), (46, 2)]);
+        let enc = EncodedList::encode(&l, &[2, 2, 2]).unwrap();
+        assert_eq!(enc.find(20), Some(9));
+        assert_eq!(enc.find(21), None);
+        assert_eq!(enc.find(0), Some(1));
+        assert_eq!(enc.find(46), Some(2));
+        assert_eq!(enc.find(47), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_iter_equals_decode_all(
+            ids in proptest::collection::btree_set(0u32..1 << 20, 1..300),
+        ) {
+            let l = PostingList::from_sorted(
+                ids.iter().map(|&d| Posting::new(d, d % 7 + 1)).collect(),
+            );
+            let lens = crate::partition::Partitioner::dynamic(32).partition(&l);
+            let enc = EncodedList::encode(&l, &lens).unwrap();
+            let streamed: Vec<Posting> = enc.iter().collect();
+            prop_assert_eq!(streamed, l.into_inner());
+        }
+
+        #[test]
+        fn prop_find_agrees_with_membership(
+            ids in proptest::collection::btree_set(0u32..2000, 1..120),
+        ) {
+            let l = PostingList::from_sorted(
+                ids.iter().map(|&d| Posting::new(d, d % 5 + 1)).collect(),
+            );
+            let lens = crate::partition::Partitioner::dynamic(8).partition(&l);
+            let enc = EncodedList::encode(&l, &lens).unwrap();
+            for d in 0..2000u32 {
+                let expect = ids.contains(&d).then(|| d % 5 + 1);
+                prop_assert_eq!(enc.find(d), expect, "doc {}", d);
+            }
+        }
+
+        #[test]
+        fn prop_roundtrip_random_partition(
+            ids in proptest::collection::btree_set(0u32..1 << 24, 1..500),
+            seed in 0u64..1000,
+        ) {
+            let postings: Vec<Posting> = ids
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| Posting::new(d, (seed as u32).wrapping_mul(i as u32 + 1) % 1000 + 1))
+                .collect();
+            let l = PostingList::from_sorted(postings);
+            // Deterministic pseudo-random partition from the seed.
+            let mut lens = Vec::new();
+            let mut left = l.len();
+            let mut s = seed.wrapping_add(1);
+            while left > 0 {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let take = (s >> 33) as usize % left.min(64) + 1;
+                lens.push(take.min(left));
+                left -= take.min(left);
+            }
+            let enc = EncodedList::encode(&l, &lens).unwrap();
+            prop_assert_eq!(enc.decode_all(), l);
+            prop_assert_eq!(enc.num_blocks(), lens.len());
+        }
+
+        #[test]
+        fn prop_candidate_block_finds_members(
+            ids in proptest::collection::btree_set(0u32..10_000, 2..200),
+        ) {
+            let l = PostingList::from_sorted(
+                ids.iter().map(|&d| Posting::new(d, 1)).collect(),
+            );
+            let lens = [vec![7usize; l.len() / 7], vec![l.len() % 7]]
+                .concat()
+                .into_iter()
+                .filter(|&x| x > 0)
+                .collect::<Vec<_>>();
+            let enc = EncodedList::encode(&l, &lens).unwrap();
+            for &d in &ids {
+                let b = enc.candidate_block(d).expect("member must have a candidate block");
+                let decoded = enc.decode_block(b);
+                prop_assert!(decoded.iter().any(|p| p.doc_id == d));
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Delta (d-gap) encoding of sorted docID sequences (paper §2.1).
+//!
+//! `L = [0, 2, 11, 20, 38, 46]` becomes `L_Δ = [0, 2, 9, 9, 18, 8]`: the
+//! first element is kept as-is and every later element stores its distance
+//! from the predecessor. Within the IIU block format the first element of a
+//! *block* is recovered from the block's raw skip value instead, so its
+//! stored d-gap is 0 (see [`crate::block`]).
+
+use crate::posting::DocId;
+
+/// Delta-encodes a strictly increasing docID sequence. The first element is
+/// emitted unchanged.
+///
+/// # Panics
+///
+/// Panics if the input is not strictly increasing.
+///
+/// # Example
+///
+/// ```
+/// use iiu_index::delta::{encode, decode};
+/// let gaps = encode(&[0, 2, 11, 20, 38, 46]);
+/// assert_eq!(gaps, vec![0, 2, 9, 9, 18, 8]);
+/// assert_eq!(decode(&gaps), vec![0, 2, 11, 20, 38, 46]);
+/// ```
+pub fn encode(doc_ids: &[DocId]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(doc_ids.len());
+    let mut prev: Option<DocId> = None;
+    for &d in doc_ids {
+        match prev {
+            None => out.push(d),
+            Some(p) => {
+                assert!(d > p, "docIDs must be strictly increasing for delta encoding");
+                out.push(d - p);
+            }
+        }
+        prev = Some(d);
+    }
+    out
+}
+
+/// Inverse of [`encode`].
+pub fn decode(gaps: &[u32]) -> Vec<DocId> {
+    let mut out = Vec::with_capacity(gaps.len());
+    let mut acc: u32 = 0;
+    for (i, &g) in gaps.iter().enumerate() {
+        acc = if i == 0 { g } else { acc + g };
+        out.push(acc);
+    }
+    out
+}
+
+/// In-place prefix-sum reconstruction starting from `base`; used by block
+/// decoders where the block's skip value is the base (skip + d-gap = docID,
+/// paper §3.1).
+pub fn decode_from_base(base: DocId, gaps: &mut [u32]) {
+    let mut acc = base;
+    for g in gaps.iter_mut() {
+        acc += *g;
+        *g = acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_example() {
+        // L(business) from §2.1.
+        let l = [0u32, 2, 11, 20, 38, 46];
+        assert_eq!(encode(&l), vec![0, 2, 9, 9, 18, 8]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(encode(&[]), Vec::<u32>::new());
+        assert_eq!(decode(&[]), Vec::<u32>::new());
+        assert_eq!(encode(&[42]), vec![42]);
+        assert_eq!(decode(&[42]), vec![42]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_equal_neighbors() {
+        let _ = encode(&[1, 1]);
+    }
+
+    #[test]
+    fn decode_from_base_adds_skip() {
+        let mut gaps = [0u32, 3, 5];
+        decode_from_base(100, &mut gaps);
+        assert_eq!(gaps, [100, 103, 108]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(mut ids in proptest::collection::btree_set(0u32..1 << 30, 0..300)) {
+            let ids: Vec<u32> = std::mem::take(&mut ids).into_iter().collect();
+            prop_assert_eq!(decode(&encode(&ids)), ids);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Error types for index construction and serialization.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, encoding or (de)serializing an index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IndexError {
+    /// A partition's block lengths do not match the posting list.
+    BadPartition {
+        /// Number of postings in the list being encoded.
+        list_len: usize,
+        /// Sum of the proposed block lengths.
+        partition_sum: usize,
+    },
+    /// A d-gap or term frequency needs 32 or more bits; the 5-bit metadata
+    /// width fields only reach 31.
+    ValueTooWide {
+        /// Required docID d-gap bitwidth.
+        dn_bits: u8,
+        /// Required term-frequency bitwidth.
+        tf_bits: u8,
+    },
+    /// A compressed list outgrew the 43-bit payload offset field.
+    ListTooLarge {
+        /// Offending payload size in bytes.
+        bytes: u64,
+    },
+    /// The serialized index bytes are malformed.
+    CorruptIndex {
+        /// What was being parsed when the failure occurred.
+        context: &'static str,
+    },
+    /// The serialized index has an unsupported magic number or version.
+    UnsupportedFormat {
+        /// The magic/version actually found.
+        found: u64,
+    },
+    /// A term was queried that the index does not contain.
+    UnknownTerm {
+        /// The missing term.
+        term: String,
+    },
+    /// A phrase query was issued but the index has no positional sidecar
+    /// (build with [`crate::BuildOptions::track_positions`]).
+    PositionsUnavailable,
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::BadPartition { list_len, partition_sum } => write!(
+                f,
+                "partition covers {partition_sum} postings but the list has {list_len}"
+            ),
+            IndexError::ValueTooWide { dn_bits, tf_bits } => write!(
+                f,
+                "value too wide for 5-bit width fields (needs dn={dn_bits}, tf={tf_bits} bits)"
+            ),
+            IndexError::ListTooLarge { bytes } => {
+                write!(f, "compressed list of {bytes} bytes exceeds the 43-bit offset field")
+            }
+            IndexError::CorruptIndex { context } => {
+                write!(f, "corrupt serialized index while reading {context}")
+            }
+            IndexError::UnsupportedFormat { found } => {
+                write!(f, "unsupported index format (magic/version {found:#x})")
+            }
+            IndexError::UnknownTerm { term } => write!(f, "unknown term {term:?}"),
+            IndexError::PositionsUnavailable => {
+                write!(f, "phrase queries need an index built with position tracking")
+            }
+        }
+    }
+}
+
+impl Error for IndexError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = IndexError::BadPartition { list_len: 10, partition_sum: 9 };
+        let s = e.to_string();
+        assert!(s.contains("10") && s.contains('9'));
+        let e = IndexError::UnknownTerm { term: "zebra".into() };
+        assert!(e.to_string().contains("zebra"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IndexError>();
+    }
+}

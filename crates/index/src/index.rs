@@ -1,0 +1,312 @@
+//! The inverted index: dictionary, compressed posting lists, and the
+//! precomputed BM25 constants the scoring units load at query time.
+
+use std::collections::HashMap;
+
+use crate::block::EncodedList;
+use crate::error::IndexError;
+use crate::partition::Partitioner;
+use crate::posting::{DocId, PostingList};
+use crate::score::{Bm25Params, Fixed};
+use crate::stats::IndexSizeStats;
+
+/// Dense identifier of a term in the index dictionary.
+pub type TermId = u32;
+
+/// Per-term information exposed by the dictionary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TermInfo {
+    /// The term string.
+    pub term: String,
+    /// Document frequency (length of the posting list).
+    pub df: u64,
+    /// Precomputed `idf · (k₁ + 1)` in Q16.16 (loaded by the scoring unit
+    /// at the start of query processing, §4.3).
+    pub idf_bar: Fixed,
+}
+
+/// A complete inverted index in the IIU storage scheme.
+///
+/// Construct one with [`crate::IndexBuilder`] (from raw text) or
+/// [`InvertedIndex::from_lists`] (from pre-built posting lists, as the
+/// synthetic workload generator does).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvertedIndex {
+    dictionary: HashMap<String, TermId>,
+    terms: Vec<TermInfo>,
+    lists: Vec<EncodedList>,
+    doc_lens: Vec<u32>,
+    dl_bars: Vec<Fixed>,
+    avgdl: f64,
+    params: Bm25Params,
+    partitioner: Partitioner,
+}
+
+impl InvertedIndex {
+    /// Builds an index from pre-constructed posting lists.
+    ///
+    /// `doc_lens[d]` must be the token length of document `d`; every docID
+    /// referenced by a list must be `< doc_lens.len()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a list references an out-of-range docID or fails
+    /// to encode (see [`EncodedList::encode`]).
+    pub fn from_lists(
+        lists: Vec<(String, PostingList)>,
+        doc_lens: Vec<u32>,
+        partitioner: Partitioner,
+        params: Bm25Params,
+    ) -> Result<Self, IndexError> {
+        let n_docs = doc_lens.len() as u64;
+        let avgdl = if doc_lens.is_empty() {
+            1.0
+        } else {
+            doc_lens.iter().map(|&l| f64::from(l)).sum::<f64>() / n_docs as f64
+        };
+
+        let mut dictionary = HashMap::with_capacity(lists.len());
+        let mut terms = Vec::with_capacity(lists.len());
+        let mut encoded = Vec::with_capacity(lists.len());
+        for (term, list) in lists {
+            if let Some(last) = list.as_slice().last() {
+                if u64::from(last.doc_id) >= n_docs {
+                    return Err(IndexError::CorruptIndex {
+                        context: "posting list references docID beyond corpus",
+                    });
+                }
+            }
+            let id = terms.len() as TermId;
+            let df = list.len() as u64;
+            let partition = partitioner.partition(&list);
+            encoded.push(EncodedList::encode(&list, &partition)?);
+            terms.push(TermInfo {
+                idf_bar: Fixed::from_f64(params.idf_bar(n_docs, df)),
+                df,
+                term: term.clone(),
+            });
+            dictionary.insert(term, id);
+        }
+
+        let dl_bars = doc_lens
+            .iter()
+            .map(|&l| Fixed::from_f64(params.dl_bar(l, avgdl)))
+            .collect();
+
+        Ok(InvertedIndex {
+            dictionary,
+            terms,
+            lists: encoded,
+            doc_lens,
+            dl_bars,
+            avgdl,
+            params,
+            partitioner,
+        })
+    }
+
+    /// Number of documents in the corpus.
+    pub fn num_docs(&self) -> u64 {
+        self.doc_lens.len() as u64
+    }
+
+    /// Number of distinct terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Average document length used for BM25 normalization.
+    pub fn avgdl(&self) -> f64 {
+        self.avgdl
+    }
+
+    /// BM25 parameters the index was built with.
+    pub fn params(&self) -> Bm25Params {
+        self.params
+    }
+
+    /// Partitioner the lists were encoded with.
+    pub fn partitioner(&self) -> Partitioner {
+        self.partitioner
+    }
+
+    /// Looks up a term's identifier.
+    pub fn term_id(&self, term: &str) -> Option<TermId> {
+        self.dictionary.get(term).copied()
+    }
+
+    /// Per-term dictionary entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn term_info(&self, id: TermId) -> &TermInfo {
+        &self.terms[id as usize]
+    }
+
+    /// All terms in id order.
+    pub fn terms(&self) -> &[TermInfo] {
+        &self.terms
+    }
+
+    /// Compressed posting list of a term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn encoded_list(&self, id: TermId) -> &EncodedList {
+        &self.lists[id as usize]
+    }
+
+    /// Decodes the posting list of `term` in full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::UnknownTerm`] if the term is absent.
+    pub fn decode_term(&self, term: &str) -> Result<PostingList, IndexError> {
+        let id = self
+            .term_id(term)
+            .ok_or_else(|| IndexError::UnknownTerm { term: term.to_owned() })?;
+        Ok(self.encoded_list(id).decode_all())
+    }
+
+    /// Token length of document `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn doc_len(&self, d: DocId) -> u32 {
+        self.doc_lens[d as usize]
+    }
+
+    /// All document lengths.
+    pub fn doc_lens(&self) -> &[u32] {
+        &self.doc_lens
+    }
+
+    /// Precomputed per-document `dl̄(d)` constant in Q16.16 (the table the
+    /// scoring unit reads from memory per scored document).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn dl_bar(&self, d: DocId) -> Fixed {
+        self.dl_bars[d as usize]
+    }
+
+    /// The full `dl̄` table (one entry per document).
+    pub fn dl_bars(&self) -> &[Fixed] {
+        &self.dl_bars
+    }
+
+    /// Aggregate size accounting across all posting lists.
+    pub fn size_stats(&self) -> IndexSizeStats {
+        let mut stats = IndexSizeStats::default();
+        for list in &self.lists {
+            stats.postings += list.num_postings();
+            stats.payload_bytes += list.payload().len() as u64;
+            stats.num_blocks += list.num_blocks() as u64;
+            stats.model_bits += list.model_bits();
+        }
+        stats.metadata_bytes = stats.num_blocks * 8;
+        stats.skip_bytes = stats.num_blocks * 4;
+        stats.uncompressed_bytes = stats.postings * 8;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::posting::Posting;
+
+    fn tiny_index() -> InvertedIndex {
+        // The Fig. 3 example: business and cameo.
+        let business = PostingList::from_sorted(
+            [0u32, 2, 11, 20, 38, 46].iter().map(|&d| Posting::new(d, 1)).collect(),
+        );
+        let cameo = PostingList::from_sorted(
+            [1u32, 11, 38, 39, 46, 55, 62].iter().map(|&d| Posting::new(d, 2)).collect(),
+        );
+        InvertedIndex::from_lists(
+            vec![("business".into(), business), ("cameo".into(), cameo)],
+            vec![10; 63],
+            Partitioner::default(),
+            Bm25Params::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_and_decode() {
+        let idx = tiny_index();
+        assert_eq!(idx.num_docs(), 63);
+        assert_eq!(idx.num_terms(), 2);
+        let id = idx.term_id("business").unwrap();
+        assert_eq!(idx.term_info(id).df, 6);
+        assert_eq!(
+            idx.decode_term("business").unwrap().doc_ids(),
+            vec![0, 2, 11, 20, 38, 46]
+        );
+        assert!(idx.term_id("zebra").is_none());
+        assert!(matches!(
+            idx.decode_term("zebra"),
+            Err(IndexError::UnknownTerm { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_docid_beyond_corpus() {
+        let list = PostingList::from_sorted(vec![Posting::new(100, 1)]);
+        let err = InvertedIndex::from_lists(
+            vec![("t".into(), list)],
+            vec![10; 50],
+            Partitioner::default(),
+            Bm25Params::default(),
+        );
+        assert!(matches!(err, Err(IndexError::CorruptIndex { .. })));
+    }
+
+    #[test]
+    fn idf_bar_reflects_rarity() {
+        let idx = tiny_index();
+        let business = idx.term_info(idx.term_id("business").unwrap()).idf_bar;
+        let cameo = idx.term_info(idx.term_id("cameo").unwrap()).idf_bar;
+        // business (df 6) is rarer than cameo (df 7).
+        assert!(business > cameo);
+    }
+
+    #[test]
+    fn dl_bar_equals_k1_at_avgdl() {
+        let idx = tiny_index();
+        // All docs have length 10 = avgdl, so dl_bar = k1 = 1.2.
+        assert!((idx.dl_bar(0).to_f64() - 1.2).abs() < 1e-3);
+        assert!((idx.avgdl() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn size_stats_add_up() {
+        let idx = tiny_index();
+        let s = idx.size_stats();
+        assert_eq!(s.postings, 13);
+        assert_eq!(s.uncompressed_bytes, 13 * 8);
+        assert!(s.num_blocks >= 2);
+        assert_eq!(s.metadata_bytes, s.num_blocks * 8);
+        assert_eq!(s.skip_bytes, s.num_blocks * 4);
+        assert!(s.compressed_bytes() > 0);
+        assert!(s.compression_ratio() > 1.0);
+    }
+
+    #[test]
+    fn empty_corpus_is_fine() {
+        let idx = InvertedIndex::from_lists(
+            Vec::new(),
+            Vec::new(),
+            Partitioner::default(),
+            Bm25Params::default(),
+        )
+        .unwrap();
+        assert_eq!(idx.num_docs(), 0);
+        assert_eq!(idx.num_terms(), 0);
+    }
+}

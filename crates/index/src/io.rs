@@ -1,0 +1,240 @@
+//! Binary index file format.
+//!
+//! The host's `init(file invFile)` primitive (paper §4.1) loads the inverted
+//! index from a file into the memory region the accelerator reads. This
+//! module defines that file format: a little-endian, sectioned layout with a
+//! magic/version word, the BM25 parameters, the document-length table, and
+//! one record per term (name, metadata words, skip values, payload bytes).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::block::BlockMeta;
+use crate::error::IndexError;
+use crate::index::InvertedIndex;
+use crate::partition::Partitioner;
+use crate::posting::PostingList;
+use crate::score::Bm25Params;
+
+/// Magic + version identifying the format ("IIUX" + 0x0001).
+pub const MAGIC: u64 = 0x4949_5558_0000_0001;
+
+/// Serializes `index` to bytes.
+pub fn serialize(index: &InvertedIndex) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u64_le(MAGIC);
+    buf.put_f64_le(index.params().k1);
+    buf.put_f64_le(index.params().b);
+    match index.partitioner() {
+        Partitioner::Fixed { block_len } => {
+            buf.put_u8(0);
+            buf.put_u32_le(block_len as u32);
+        }
+        Partitioner::Dynamic { max_size } => {
+            buf.put_u8(1);
+            buf.put_u32_le(max_size as u32);
+        }
+    }
+    buf.put_u64_le(index.num_docs());
+    for &l in index.doc_lens() {
+        buf.put_u32_le(l);
+    }
+    buf.put_u64_le(index.num_terms() as u64);
+    for info in index.terms() {
+        let list = index.encoded_list(index.term_id(&info.term).expect("term in dictionary"));
+        buf.put_u32_le(info.term.len() as u32);
+        buf.put_slice(info.term.as_bytes());
+        buf.put_u64_le(list.num_postings());
+        buf.put_u64_le(list.num_blocks() as u64);
+        for meta in list.metas() {
+            buf.put_u64_le(meta.pack());
+        }
+        for &skip in list.skips() {
+            buf.put_u32_le(skip);
+        }
+        buf.put_u64_le(list.payload().len() as u64);
+        buf.put_slice(list.payload());
+    }
+    buf.freeze()
+}
+
+/// Deserializes an index previously written by [`serialize`].
+///
+/// # Errors
+///
+/// Returns [`IndexError::UnsupportedFormat`] on a bad magic word and
+/// [`IndexError::CorruptIndex`] on truncated or inconsistent content.
+pub fn deserialize(mut bytes: &[u8]) -> Result<InvertedIndex, IndexError> {
+    fn need(buf: &[u8], n: usize, context: &'static str) -> Result<(), IndexError> {
+        if buf.remaining() < n {
+            Err(IndexError::CorruptIndex { context })
+        } else {
+            Ok(())
+        }
+    }
+
+    need(bytes, 8, "magic")?;
+    let magic = bytes.get_u64_le();
+    if magic != MAGIC {
+        return Err(IndexError::UnsupportedFormat { found: magic });
+    }
+    need(bytes, 8 + 8 + 1 + 4 + 8, "header")?;
+    let k1 = bytes.get_f64_le();
+    let b = bytes.get_f64_le();
+    let params = Bm25Params { k1, b };
+    let part_kind = bytes.get_u8();
+    let part_arg = bytes.get_u32_le() as usize;
+    let partitioner = match part_kind {
+        0 => Partitioner::fixed(part_arg),
+        1 => Partitioner::dynamic(part_arg),
+        _ => return Err(IndexError::CorruptIndex { context: "partitioner kind" }),
+    };
+    let n_docs = bytes.get_u64_le() as usize;
+    need(bytes, n_docs * 4, "doc length table")?;
+    let doc_lens: Vec<u32> = (0..n_docs).map(|_| bytes.get_u32_le()).collect();
+
+    need(bytes, 8, "term count")?;
+    let n_terms = bytes.get_u64_le() as usize;
+    let mut lists = Vec::with_capacity(n_terms);
+    for _ in 0..n_terms {
+        need(bytes, 4, "term name length")?;
+        let name_len = bytes.get_u32_le() as usize;
+        need(bytes, name_len, "term name")?;
+        let name = std::str::from_utf8(&bytes[..name_len])
+            .map_err(|_| IndexError::CorruptIndex { context: "term name utf-8" })?
+            .to_owned();
+        bytes.advance(name_len);
+
+        need(bytes, 16, "list header")?;
+        let num_postings = bytes.get_u64_le();
+        let num_blocks = bytes.get_u64_le() as usize;
+        need(bytes, num_blocks * 12 + 8, "block tables")?;
+        let metas: Vec<BlockMeta> =
+            (0..num_blocks).map(|_| BlockMeta::unpack(bytes.get_u64_le())).collect();
+        let skips: Vec<u32> = (0..num_blocks).map(|_| bytes.get_u32_le()).collect();
+        let payload_len = bytes.get_u64_le() as usize;
+        need(bytes, payload_len, "payload")?;
+        let payload = bytes[..payload_len].to_vec();
+        bytes.advance(payload_len);
+
+        // Rebuild the list by decoding and re-encoding: this validates the
+        // content and reconstructs the derived fields (model cost) without
+        // trusting the file.
+        let block_lens: Vec<usize> = metas.iter().map(|m| m.count as usize).collect();
+        let total: u64 = block_lens.iter().map(|&l| l as u64).sum();
+        if total != num_postings {
+            return Err(IndexError::CorruptIndex { context: "posting count mismatch" });
+        }
+        let decoded = decode_raw(&metas, &skips, &payload)?;
+        let list = PostingList::from_sorted(decoded);
+        lists.push((name, list));
+    }
+
+    InvertedIndex::from_lists(lists, doc_lens, partitioner, params)
+}
+
+/// Decodes raw block tables into postings, with bounds checking.
+fn decode_raw(
+    metas: &[BlockMeta],
+    skips: &[u32],
+    payload: &[u8],
+) -> Result<Vec<crate::posting::Posting>, IndexError> {
+    use crate::bitpack::BitReader;
+    if metas.len() != skips.len() {
+        return Err(IndexError::CorruptIndex { context: "skip/meta count mismatch" });
+    }
+    let mut out = Vec::new();
+    for (meta, &skip) in metas.iter().zip(skips) {
+        let bits_needed = meta.offset as usize * 8
+            + meta.pair_bits() as usize * meta.count as usize;
+        if bits_needed > payload.len() * 8 {
+            return Err(IndexError::CorruptIndex { context: "payload bounds" });
+        }
+        let mut r = BitReader::with_bit_offset(payload, meta.offset as usize * 8);
+        let mut prev = skip;
+        for i in 0..meta.count {
+            let gap = r.read(meta.dn_bits);
+            let tf = r.read(meta.tf_bits);
+            let doc = if i == 0 {
+                skip
+            } else {
+                prev.checked_add(gap)
+                    .ok_or(IndexError::CorruptIndex { context: "docID overflow" })?
+            };
+            if let Some(last) = out.last() {
+                let last: &crate::posting::Posting = last;
+                if doc <= last.doc_id {
+                    return Err(IndexError::CorruptIndex { context: "docIDs not increasing" });
+                }
+            }
+            out.push(crate::posting::Posting::new(doc, tf));
+            prev = doc;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{BuildOptions, IndexBuilder};
+
+    fn sample_index() -> InvertedIndex {
+        let mut b = IndexBuilder::new(BuildOptions::default());
+        b.add_document("the quick brown fox jumps over the lazy dog");
+        b.add_document("pack my box with five dozen liquor jugs");
+        b.add_document("the five boxing wizards jump quickly");
+        b.add_document("quick wizards pack the box");
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_index() {
+        let idx = sample_index();
+        let bytes = serialize(&idx);
+        let back = deserialize(&bytes).unwrap();
+        assert_eq!(idx, back);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = serialize(&sample_index()).to_vec();
+        bytes[0] ^= 0xff;
+        assert!(matches!(
+            deserialize(&bytes),
+            Err(IndexError::UnsupportedFormat { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let bytes = serialize(&sample_index()).to_vec();
+        // Every strict prefix must fail cleanly, never panic.
+        for cut in 0..bytes.len() {
+            let r = deserialize(&bytes[..cut]);
+            assert!(r.is_err(), "prefix of {cut} bytes must be rejected");
+        }
+    }
+
+    #[test]
+    fn roundtrip_empty_index() {
+        let idx = IndexBuilder::new(BuildOptions::default()).build();
+        let bytes = serialize(&idx);
+        let back = deserialize(&bytes).unwrap();
+        assert_eq!(idx, back);
+    }
+
+    #[test]
+    fn roundtrip_preserves_partitioner_and_params() {
+        let mut b = IndexBuilder::new(BuildOptions {
+            partitioner: Partitioner::fixed(128),
+            bm25: Bm25Params { k1: 0.9, b: 0.4 },
+            ..Default::default()
+        });
+        b.add_document("alpha beta gamma alpha");
+        let idx = b.build();
+        let back = deserialize(&serialize(&idx)).unwrap();
+        assert_eq!(back.partitioner(), Partitioner::fixed(128));
+        assert!((back.params().k1 - 0.9).abs() < 1e-12);
+        assert!((back.params().b - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,57 @@
+//! Inverted-index substrate for the IIU reproduction.
+//!
+//! This crate implements the *indexing scheme* half of the IIU
+//! hardware/software co-design (Heo et al., ASPLOS 2020, §3):
+//!
+//! * posting lists of `(docID, term-frequency)` tuples ([`Posting`],
+//!   [`PostingList`]);
+//! * delta (d-gap) encoding of docIDs ([`delta`]);
+//! * per-block bit-packing of `(d-gap, tf)` pairs ([`bitpack`], [`block`]);
+//! * the dynamic-programming block partitioner minimizing
+//!   `C(B_i) = (b_dn + b_tf) · |B_i| + 96` bits ([`partition`]);
+//! * per-block metadata words (5 + 5 + 11 + 43 bits) and skip lists
+//!   ([`block::BlockMeta`], [`block::EncodedList`]);
+//! * BM25 scoring with the hardware's precomputed sub-expressions and
+//!   Q16.16 fixed-point arithmetic ([`score`]);
+//! * an index builder, tokenizer and binary file format ([`builder`],
+//!   [`tokenize`], [`io`]).
+//!
+//! # Example
+//!
+//! ```
+//! use iiu_index::{IndexBuilder, BuildOptions};
+//!
+//! let mut builder = IndexBuilder::new(BuildOptions::default());
+//! builder.add_document("the quick brown fox");
+//! builder.add_document("the lazy dog");
+//! builder.add_document("the quick dog");
+//! let index = builder.build();
+//!
+//! let list = index.decode_term("quick").unwrap();
+//! assert_eq!(list.iter().map(|p| p.doc_id).collect::<Vec<_>>(), vec![0, 2]);
+//! ```
+
+pub mod bitpack;
+pub mod block;
+pub mod builder;
+pub mod delta;
+pub mod error;
+pub mod index;
+pub mod io;
+pub mod partition;
+pub mod positions;
+pub mod posting;
+pub mod reorder;
+pub mod score;
+pub mod stats;
+pub mod tokenize;
+
+pub use block::{BlockMeta, EncodedList};
+pub use builder::{BuildOptions, IndexBuilder};
+pub use error::IndexError;
+pub use index::{InvertedIndex, TermId, TermInfo};
+pub use partition::Partitioner;
+pub use positions::{PositionIndex, PositionList};
+pub use posting::{DocId, Posting, PostingList, TermFreq};
+pub use score::{Bm25Params, Fixed};
+pub use stats::IndexSizeStats;

@@ -1,0 +1,378 @@
+//! Positional postings (paper §2.1/§2.2).
+//!
+//! "The postings can also be used to contain other information such as
+//! term frequency, positional information" — and phrase queries are built
+//! from "an intersection query between their posting lists" plus a
+//! positional check on the candidates. IIU accelerates the intersection;
+//! the positional verification runs on the host. This module stores the
+//! per-document token positions as a sidecar keyed by term: a sorted
+//! per-document directory over a delta-varint position stream, so a phrase
+//! check decodes positions for exactly the candidate documents.
+
+use std::collections::HashMap;
+
+use crate::posting::DocId;
+
+/// Positions of one term's occurrences, per document.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PositionList {
+    /// `(docID, byte offset, count)` sorted by docID.
+    directory: Vec<(DocId, u32, u32)>,
+    /// Delta-varint encoded positions, concatenated per document.
+    stream: Vec<u8>,
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn get_varint(bytes: &[u8], pos: &mut usize) -> u32 {
+    let mut v = 0u32;
+    let mut shift = 0u32;
+    loop {
+        let byte = bytes[*pos];
+        *pos += 1;
+        v |= u32::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+impl PositionList {
+    /// Builds from `(docID, sorted positions)` pairs, which must be sorted
+    /// by docID with non-empty, strictly increasing position lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input violates those invariants.
+    pub fn from_docs(docs: &[(DocId, Vec<u32>)]) -> Self {
+        let mut directory = Vec::with_capacity(docs.len());
+        let mut stream = Vec::new();
+        let mut prev_doc: Option<DocId> = None;
+        for (doc, positions) in docs {
+            assert!(!positions.is_empty(), "a posting must have at least one position");
+            assert!(
+                prev_doc.is_none_or(|p| *doc > p),
+                "documents must be sorted and unique"
+            );
+            assert!(
+                positions.windows(2).all(|w| w[0] < w[1]),
+                "positions must be strictly increasing"
+            );
+            prev_doc = Some(*doc);
+            directory.push((*doc, stream.len() as u32, positions.len() as u32));
+            let mut prev = 0u32;
+            for (i, &p) in positions.iter().enumerate() {
+                put_varint(&mut stream, if i == 0 { p } else { p - prev });
+                prev = p;
+            }
+        }
+        PositionList { directory, stream }
+    }
+
+    /// Positions of the term in `doc`, or `None` if absent.
+    pub fn positions(&self, doc: DocId) -> Option<Vec<u32>> {
+        let i = self.directory.partition_point(|&(d, _, _)| d < doc);
+        let &(d, offset, count) = self.directory.get(i)?;
+        if d != doc {
+            return None;
+        }
+        let mut pos = offset as usize;
+        let mut out = Vec::with_capacity(count as usize);
+        let mut acc = 0u32;
+        for k in 0..count {
+            let v = get_varint(&self.stream, &mut pos);
+            acc = if k == 0 { v } else { acc + v };
+            out.push(acc);
+        }
+        Some(out)
+    }
+
+    /// Number of documents with positions.
+    pub fn num_docs(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Sidecar size in bytes (directory + stream).
+    pub fn size_bytes(&self) -> usize {
+        self.directory.len() * 12 + self.stream.len()
+    }
+}
+
+/// Positional sidecar for a whole index: one [`PositionList`] per term.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PositionIndex {
+    per_term: HashMap<String, PositionList>,
+}
+
+impl PositionList {
+    /// Serializes to bytes (directory then stream, little-endian).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.directory.len() * 12 + self.stream.len());
+        out.extend_from_slice(&(self.directory.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.stream.len() as u32).to_le_bytes());
+        for &(d, o, c) in &self.directory {
+            out.extend_from_slice(&d.to_le_bytes());
+            out.extend_from_slice(&o.to_le_bytes());
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        out.extend_from_slice(&self.stream);
+        out
+    }
+
+    /// Deserializes from bytes written by [`PositionList::to_bytes`],
+    /// advancing `*pos`. Returns `None` on truncated input.
+    pub fn from_bytes(bytes: &[u8], pos: &mut usize) -> Option<Self> {
+        let take4 = |pos: &mut usize| -> Option<[u8; 4]> {
+            let v = bytes.get(*pos..*pos + 4)?.try_into().ok()?;
+            *pos += 4;
+            Some(v)
+        };
+        let n_dirs = u32::from_le_bytes(take4(pos)?) as usize;
+        let stream_len = u32::from_le_bytes(take4(pos)?) as usize;
+        let mut directory = Vec::with_capacity(n_dirs);
+        for _ in 0..n_dirs {
+            let d = u32::from_le_bytes(take4(pos)?);
+            let o = u32::from_le_bytes(take4(pos)?);
+            let c = u32::from_le_bytes(take4(pos)?);
+            directory.push((d, o, c));
+        }
+        let stream = bytes.get(*pos..*pos + stream_len)?.to_vec();
+        *pos += stream_len;
+        Some(PositionList { directory, stream })
+    }
+}
+
+impl PositionIndex {
+    /// Creates an empty position index.
+    pub fn new() -> Self {
+        PositionIndex::default()
+    }
+
+    /// Inserts a term's position list.
+    pub fn insert(&mut self, term: String, list: PositionList) {
+        self.per_term.insert(term, list);
+    }
+
+    /// The position list of `term`, if tracked.
+    pub fn list(&self, term: &str) -> Option<&PositionList> {
+        self.per_term.get(term)
+    }
+
+    /// Number of tracked terms.
+    pub fn num_terms(&self) -> usize {
+        self.per_term.len()
+    }
+
+    /// Total sidecar size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.per_term.values().map(PositionList::size_bytes).sum()
+    }
+
+    /// Serializes the whole sidecar to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut terms: Vec<&String> = self.per_term.keys().collect();
+        terms.sort(); // deterministic output
+        let mut out = Vec::new();
+        out.extend_from_slice(&(terms.len() as u32).to_le_bytes());
+        for term in terms {
+            let list = &self.per_term[term];
+            out.extend_from_slice(&(term.len() as u32).to_le_bytes());
+            out.extend_from_slice(term.as_bytes());
+            out.extend_from_slice(&list.to_bytes());
+        }
+        out
+    }
+
+    /// Deserializes a sidecar written by [`PositionIndex::to_bytes`].
+    /// Returns `None` on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut pos = 0usize;
+        let n_terms =
+            u32::from_le_bytes(bytes.get(0..4)?.try_into().ok()?) as usize;
+        pos += 4;
+        let mut out = PositionIndex::new();
+        for _ in 0..n_terms {
+            let len =
+                u32::from_le_bytes(bytes.get(pos..pos + 4)?.try_into().ok()?) as usize;
+            pos += 4;
+            let term = std::str::from_utf8(bytes.get(pos..pos + len)?).ok()?.to_owned();
+            pos += len;
+            let list = PositionList::from_bytes(bytes, &mut pos)?;
+            out.insert(term, list);
+        }
+        (pos == bytes.len()).then_some(out)
+    }
+
+    /// Checks whether `doc` contains the exact phrase `terms` (consecutive
+    /// positions). Returns false if any term lacks position data for the
+    /// document.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use iiu_index::{BuildOptions, IndexBuilder};
+    /// let mut b = IndexBuilder::new(BuildOptions { track_positions: true, ..Default::default() });
+    /// b.add_document("the quick brown fox");
+    /// b.add_document("brown the quick dog");
+    /// let (_, positions) = b.build_with_positions();
+    /// assert!(positions.phrase_in_doc(&["the", "quick"], 0));
+    /// assert!(positions.phrase_in_doc(&["the", "quick"], 1));
+    /// assert!(!positions.phrase_in_doc(&["quick", "brown"], 1));
+    /// ```
+    pub fn phrase_in_doc<T: AsRef<str>>(&self, terms: &[T], doc: DocId) -> bool {
+        if terms.is_empty() {
+            return false;
+        }
+        let mut candidates: Option<Vec<u32>> = None;
+        for (i, term) in terms.iter().enumerate() {
+            let Some(list) = self.list(term.as_ref()) else { return false };
+            let Some(positions) = list.positions(doc) else { return false };
+            candidates = Some(match candidates {
+                None => positions,
+                Some(prev) => {
+                    // Keep phrase starts whose i-th word is at start + i.
+                    let want: Vec<u32> = prev
+                        .into_iter()
+                        .filter(|&start| positions.binary_search(&(start + i as u32)).is_ok())
+                        .collect();
+                    if want.is_empty() {
+                        return false;
+                    }
+                    want
+                }
+            });
+        }
+        candidates.is_some_and(|c| !c.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn positions_roundtrip() {
+        let list = PositionList::from_docs(&[
+            (3, vec![0, 7, 150]),
+            (9, vec![2]),
+            (100, vec![1, 2, 3, 4]),
+        ]);
+        assert_eq!(list.positions(3), Some(vec![0, 7, 150]));
+        assert_eq!(list.positions(9), Some(vec![2]));
+        assert_eq!(list.positions(100), Some(vec![1, 2, 3, 4]));
+        assert_eq!(list.positions(4), None);
+        assert_eq!(list.num_docs(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn rejects_unsorted_docs() {
+        let _ = PositionList::from_docs(&[(5, vec![1]), (3, vec![1])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_positions() {
+        let _ = PositionList::from_docs(&[(5, vec![3, 1])]);
+    }
+
+    #[test]
+    fn phrase_matching_semantics() {
+        let mut idx = PositionIndex::new();
+        // "a b a b c" in doc 0.
+        idx.insert("a".into(), PositionList::from_docs(&[(0, vec![0, 2])]));
+        idx.insert("b".into(), PositionList::from_docs(&[(0, vec![1, 3])]));
+        idx.insert("c".into(), PositionList::from_docs(&[(0, vec![4])]));
+        assert!(idx.phrase_in_doc(&["a", "b"], 0));
+        assert!(idx.phrase_in_doc(&["a", "b", "c"], 0));
+        assert!(idx.phrase_in_doc(&["b", "a"], 0)); // b@1, a@2
+        assert!(idx.phrase_in_doc(&["b", "c"], 0)); // b@3, c@4
+        assert!(!idx.phrase_in_doc(&["c", "a"], 0)); // c@4, nothing at 5
+        assert!(!idx.phrase_in_doc(&["a", "c"], 0)); // a@{0,2}, c@4 only
+    }
+
+    #[test]
+    fn phrase_needs_every_term_present() {
+        let mut idx = PositionIndex::new();
+        idx.insert("a".into(), PositionList::from_docs(&[(0, vec![0])]));
+        assert!(!idx.phrase_in_doc(&["a", "missing"], 0));
+        assert!(!idx.phrase_in_doc::<&str>(&[], 0));
+        assert!(!idx.phrase_in_doc(&["a"], 1));
+    }
+
+    #[test]
+    fn sidecar_serialization_roundtrips() {
+        let mut idx = PositionIndex::new();
+        idx.insert("alpha".into(), PositionList::from_docs(&[(0, vec![0, 5]), (7, vec![2])]));
+        idx.insert("beta".into(), PositionList::from_docs(&[(3, vec![1, 2, 3])]));
+        let bytes = idx.to_bytes();
+        let back = PositionIndex::from_bytes(&bytes).expect("roundtrip");
+        assert_eq!(idx, back);
+        // Truncations are rejected, never panic.
+        for cut in 0..bytes.len() {
+            assert!(PositionIndex::from_bytes(&bytes[..cut]).is_none(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn empty_sidecar_roundtrips() {
+        let idx = PositionIndex::new();
+        assert_eq!(PositionIndex::from_bytes(&idx.to_bytes()), Some(idx));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sidecar_roundtrip(
+            terms in proptest::collection::btree_map(
+                "[a-z]{1,8}",
+                proptest::collection::btree_map(
+                    0u32..1000,
+                    proptest::collection::btree_set(0u32..500, 1..8),
+                    1..10,
+                ),
+                0..10,
+            ),
+        ) {
+            let mut idx = PositionIndex::new();
+            for (term, docs) in terms {
+                let docs: Vec<(u32, Vec<u32>)> = docs
+                    .into_iter()
+                    .map(|(d, ps)| (d, ps.into_iter().collect()))
+                    .collect();
+                idx.insert(term, PositionList::from_docs(&docs));
+            }
+            let back = PositionIndex::from_bytes(&idx.to_bytes());
+            prop_assert_eq!(back, Some(idx));
+        }
+
+        #[test]
+        fn prop_positions_roundtrip(
+            docs in proptest::collection::btree_map(
+                0u32..10_000,
+                proptest::collection::btree_set(0u32..5_000, 1..20),
+                1..50,
+            ),
+        ) {
+            let docs: Vec<(u32, Vec<u32>)> = docs
+                .into_iter()
+                .map(|(d, ps)| (d, ps.into_iter().collect()))
+                .collect();
+            let list = PositionList::from_docs(&docs);
+            for (d, ps) in &docs {
+                prop_assert_eq!(list.positions(*d), Some(ps.clone()));
+            }
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Postings and posting lists.
+//!
+//! A posting list is the value side of the inverted index: for one term, the
+//! sorted list of documents containing it, each paired with the term's
+//! within-document frequency (paper §2.1, Fig. 4).
+
+use std::fmt;
+
+/// A document identifier. The paper assumes 32-bit docIDs ("assuming a 4B
+/// docID", §1), and the per-block skip value is stored as a raw 32-bit docID.
+pub type DocId = u32;
+
+/// A within-document term frequency. Stored alongside every docID so that the
+/// scoring units can compute BM25 without a second index lookup (§3.1).
+pub type TermFreq = u32;
+
+/// One element of a posting list: a `(docID, term frequency)` tuple.
+///
+/// # Example
+///
+/// ```
+/// use iiu_index::Posting;
+/// let p = Posting::new(7, 11);
+/// assert_eq!(p.doc_id, 7);
+/// assert_eq!(p.tf, 11);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Posting {
+    /// Identifier of the document containing the term.
+    pub doc_id: DocId,
+    /// Number of occurrences of the term in that document.
+    pub tf: TermFreq,
+}
+
+impl Posting {
+    /// Creates a posting for `doc_id` with term frequency `tf`.
+    pub fn new(doc_id: DocId, tf: TermFreq) -> Self {
+        Posting { doc_id, tf }
+    }
+}
+
+impl fmt::Display for Posting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, tf={})", self.doc_id, self.tf)
+    }
+}
+
+impl From<(DocId, TermFreq)> for Posting {
+    fn from((doc_id, tf): (DocId, TermFreq)) -> Self {
+        Posting { doc_id, tf }
+    }
+}
+
+/// A sorted list of postings for one term.
+///
+/// Invariant: docIDs are strictly increasing. [`PostingList::from_sorted`]
+/// validates this; [`PostingList::from_unsorted`] establishes it by sorting
+/// and merging duplicates (summing term frequencies).
+///
+/// # Example
+///
+/// ```
+/// use iiu_index::{Posting, PostingList};
+/// let list = PostingList::from_unsorted(vec![
+///     Posting::new(5, 1),
+///     Posting::new(2, 3),
+///     Posting::new(5, 2),
+/// ]);
+/// assert_eq!(list.len(), 2);
+/// assert_eq!(list.as_slice()[1], Posting::new(5, 3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PostingList {
+    postings: Vec<Posting>,
+}
+
+impl PostingList {
+    /// Creates an empty posting list.
+    pub fn new() -> Self {
+        PostingList::default()
+    }
+
+    /// Wraps a vector that is already strictly sorted by docID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if docIDs are not strictly increasing (debug builds assert the
+    /// invariant; release builds validate too, since a corrupt order breaks
+    /// delta encoding silently).
+    pub fn from_sorted(postings: Vec<Posting>) -> Self {
+        assert!(
+            postings.windows(2).all(|w| w[0].doc_id < w[1].doc_id),
+            "posting list docIDs must be strictly increasing"
+        );
+        PostingList { postings }
+    }
+
+    /// Builds a list from arbitrary postings: sorts by docID and merges
+    /// duplicates by summing their term frequencies.
+    pub fn from_unsorted(mut postings: Vec<Posting>) -> Self {
+        postings.sort_unstable_by_key(|p| p.doc_id);
+        let mut merged: Vec<Posting> = Vec::with_capacity(postings.len());
+        for p in postings {
+            match merged.last_mut() {
+                Some(last) if last.doc_id == p.doc_id => last.tf += p.tf,
+                _ => merged.push(p),
+            }
+        }
+        PostingList { postings: merged }
+    }
+
+    /// Appends a posting with a docID greater than every existing one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `doc_id` is not greater than the current last docID.
+    pub fn push(&mut self, doc_id: DocId, tf: TermFreq) {
+        if let Some(last) = self.postings.last() {
+            assert!(doc_id > last.doc_id, "push must keep docIDs increasing");
+        }
+        self.postings.push(Posting { doc_id, tf });
+    }
+
+    /// Number of postings in the list (the term's document frequency).
+    pub fn len(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Whether the list contains no postings.
+    pub fn is_empty(&self) -> bool {
+        self.postings.is_empty()
+    }
+
+    /// The postings as a slice.
+    pub fn as_slice(&self) -> &[Posting] {
+        &self.postings
+    }
+
+    /// Iterates over the postings in docID order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Posting> {
+        self.postings.iter()
+    }
+
+    /// Consumes the list and returns the underlying vector.
+    pub fn into_inner(self) -> Vec<Posting> {
+        self.postings
+    }
+
+    /// The docIDs of the list, in order.
+    pub fn doc_ids(&self) -> Vec<DocId> {
+        self.postings.iter().map(|p| p.doc_id).collect()
+    }
+
+    /// The term frequencies of the list, in docID order.
+    pub fn term_freqs(&self) -> Vec<TermFreq> {
+        self.postings.iter().map(|p| p.tf).collect()
+    }
+
+    /// Size of the list when stored uncompressed, in bytes (4 B docID + 4 B
+    /// tf per posting — the denominator-free side of the paper's compression
+    /// ratio).
+    pub fn uncompressed_bytes(&self) -> usize {
+        self.postings.len() * 8
+    }
+}
+
+impl FromIterator<Posting> for PostingList {
+    fn from_iter<I: IntoIterator<Item = Posting>>(iter: I) -> Self {
+        PostingList::from_unsorted(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Posting> for PostingList {
+    fn extend<I: IntoIterator<Item = Posting>>(&mut self, iter: I) {
+        let mut all = std::mem::take(&mut self.postings);
+        all.extend(iter);
+        *self = PostingList::from_unsorted(all);
+    }
+}
+
+impl<'a> IntoIterator for &'a PostingList {
+    type Item = &'a Posting;
+    type IntoIter = std::slice::Iter<'a, Posting>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.postings.iter()
+    }
+}
+
+impl IntoIterator for PostingList {
+    type Item = Posting;
+    type IntoIter = std::vec::IntoIter<Posting>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.postings.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_sorted_accepts_increasing() {
+        let list = PostingList::from_sorted(vec![Posting::new(1, 1), Posting::new(5, 2)]);
+        assert_eq!(list.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_sorted_rejects_duplicates() {
+        let _ = PostingList::from_sorted(vec![Posting::new(1, 1), Posting::new(1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_sorted_rejects_descending() {
+        let _ = PostingList::from_sorted(vec![Posting::new(5, 1), Posting::new(1, 2)]);
+    }
+
+    #[test]
+    fn from_unsorted_sorts_and_merges() {
+        let list = PostingList::from_unsorted(vec![
+            Posting::new(9, 1),
+            Posting::new(2, 2),
+            Posting::new(9, 4),
+            Posting::new(0, 1),
+        ]);
+        assert_eq!(
+            list.as_slice(),
+            &[Posting::new(0, 1), Posting::new(2, 2), Posting::new(9, 5)]
+        );
+    }
+
+    #[test]
+    fn push_appends_in_order() {
+        let mut list = PostingList::new();
+        list.push(0, 1);
+        list.push(10, 2);
+        assert_eq!(list.doc_ids(), vec![0, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing")]
+    fn push_rejects_out_of_order() {
+        let mut list = PostingList::new();
+        list.push(10, 1);
+        list.push(3, 1);
+    }
+
+    #[test]
+    fn uncompressed_size_is_8_bytes_per_posting() {
+        let list = PostingList::from_sorted(vec![Posting::new(0, 1), Posting::new(1, 1)]);
+        assert_eq!(list.uncompressed_bytes(), 16);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let list: PostingList = (0..5u32).map(|i| Posting::new(i * 3, i + 1)).collect();
+        assert_eq!(list.len(), 5);
+        assert_eq!(list.doc_ids(), vec![0, 3, 6, 9, 12]);
+    }
+
+    #[test]
+    fn empty_list_properties() {
+        let list = PostingList::new();
+        assert!(list.is_empty());
+        assert_eq!(list.len(), 0);
+        assert_eq!(list.uncompressed_bytes(), 0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Minimal text tokenizer used by the index builder.
+//!
+//! Splits on non-alphanumeric characters and lowercases, which is the
+//! behaviour of Lucene's `StandardAnalyzer` to a first approximation and is
+//! all the synthetic evaluation needs.
+
+/// Tokenizes `text` into lowercase alphanumeric terms.
+///
+/// # Example
+///
+/// ```
+/// use iiu_index::tokenize::tokenize;
+/// assert_eq!(tokenize("Business AND Cameo!"), vec!["business", "and", "cameo"]);
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_whitespace() {
+        assert_eq!(tokenize("a,b  c--d"), vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(tokenize("Lausanne"), vec!["lausanne"]);
+    }
+
+    #[test]
+    fn empty_input_yields_no_tokens() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("  ... ").is_empty());
+    }
+
+    #[test]
+    fn keeps_digits() {
+        assert_eq!(tokenize("ddr4-2400"), vec!["ddr4", "2400"]);
+    }
+}

@@ -1,0 +1,501 @@
+//! Cycle-level DRAM timing model (the DRAMSim2 substitute; DESIGN.md §2).
+//!
+//! Models channels, banks, row buffers and the Table 1 timing parameters
+//! (DDR4-2400, 4 channels, 19.2 GB/s each) with FR-FCFS scheduling: row
+//! hits are issued ahead of older row misses. An HBM-like preset backs the
+//! Fig. 19 scalability study.
+//!
+//! Internally time advances in *ticks* of 1/3 ns (3 ticks per 1 GHz IIU
+//! cycle) so the 3.33 ns data burst of a 64-byte access is exactly 10
+//! ticks.
+
+use std::collections::VecDeque;
+
+/// Ticks per IIU cycle (1 ns at the paper's 1 GHz accelerator clock).
+pub const TICKS_PER_CYCLE: u64 = 3;
+
+/// Bytes per memory access (one 64-byte burst, the granularity every IIU
+/// unit uses).
+pub const LINE_BYTES: u64 = 64;
+
+/// DRAM organization and timing, in ticks (1 tick = 1/3 ns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Independent channels.
+    pub channels: usize,
+    /// Banks per channel.
+    pub banks_per_channel: usize,
+    /// Row-buffer size in bytes.
+    pub row_bytes: u64,
+    /// Data-bus occupancy of one 64-byte burst.
+    pub t_burst: u64,
+    /// Activate-to-CAS delay.
+    pub t_rcd: u64,
+    /// CAS-to-data latency.
+    pub t_cas: u64,
+    /// Precharge latency.
+    pub t_rp: u64,
+    /// Minimum row-open time before precharge.
+    pub t_ras: u64,
+    /// Write recovery time.
+    pub t_wr: u64,
+    /// Refresh interval (all banks of a channel refresh together).
+    pub t_refi: u64,
+    /// Refresh cycle time (channel blocked, rows closed).
+    pub t_rfc: u64,
+    /// Per-channel request queue depth.
+    pub queue_depth: usize,
+}
+
+impl DramConfig {
+    /// The paper's DDR4-2400 system (Table 1): 4 channels, 76.8 GB/s
+    /// aggregate, tRCD = tCAS = tRP ≈ 14.16 ns, tRAS = 32 ns, tWR = 15 ns.
+    pub fn ddr4_2400() -> Self {
+        DramConfig {
+            channels: 4,
+            banks_per_channel: 16,
+            row_bytes: 8192,
+            t_burst: 10, // 3.33 ns per 64 B = 19.2 GB/s per channel
+            t_rcd: 42,   // 14 ns
+            t_cas: 42,
+            t_rp: 42,
+            t_ras: 96, // 32 ns
+            t_wr: 45,  // 15 ns
+            t_refi: 23_400, // 7.8 us
+            t_rfc: 1_050,   // 350 ns
+            queue_depth: 32,
+        }
+    }
+
+    /// An HBM-like stack (Fig. 19): many narrow channels for ~4× aggregate
+    /// bandwidth at somewhat higher access latency.
+    pub fn hbm_like() -> Self {
+        DramConfig {
+            channels: 16,
+            banks_per_channel: 16,
+            row_bytes: 2048,
+            t_burst: 10, // 16 ch × 19.2 GB/s = 307 GB/s aggregate
+            t_rcd: 55,   // "higher latency" than DDR4 (§5.3)
+            t_cas: 55,
+            t_rp: 55,
+            t_ras: 120,
+            t_wr: 55,
+            t_refi: 11_700, // HBM refreshes per-channel more often
+            t_rfc: 780,
+            queue_depth: 32,
+        }
+    }
+
+    /// Peak aggregate bandwidth in bytes per tick.
+    pub fn peak_bytes_per_tick(&self) -> f64 {
+        self.channels as f64 * LINE_BYTES as f64 / self.t_burst as f64
+    }
+
+    /// Peak aggregate bandwidth in GB/s.
+    pub fn peak_gb_per_s(&self) -> f64 {
+        // 1 tick = 1/3 ns, so bytes/tick × 3 = bytes/ns = GB/s.
+        self.peak_bytes_per_tick() * TICKS_PER_CYCLE as f64
+    }
+}
+
+/// A memory request: one 64-byte line, identified by the caller's tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Line-aligned byte address.
+    pub addr: u64,
+    /// True for writes (writes complete silently; only reads produce
+    /// responses).
+    pub is_write: bool,
+    /// Caller tag, returned with the response.
+    pub tag: u64,
+}
+
+/// A completed read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemResponse {
+    /// Line-aligned byte address.
+    pub addr: u64,
+    /// The request's tag.
+    pub tag: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bank {
+    open_row: Option<u64>,
+    /// Tick when the bank can accept a new column/activate command.
+    ready_at: u64,
+    /// Tick of the last activate (for tRAS).
+    activated_at: u64,
+}
+
+#[derive(Debug)]
+struct Channel {
+    banks: Vec<Bank>,
+    queue: VecDeque<MemRequest>,
+    /// Tick when the data bus is next free.
+    bus_free_at: u64,
+    /// Tick of the next all-bank refresh.
+    next_refresh: u64,
+}
+
+/// The DRAM memory system.
+#[derive(Debug)]
+pub struct MemorySystem {
+    cfg: DramConfig,
+    channels: Vec<Channel>,
+    /// Completed reads ready for pickup, with their completion ticks.
+    completed: VecDeque<(u64, MemResponse)>,
+    now: u64,
+    /// Statistics.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Row-buffer misses.
+    pub row_misses: u64,
+    /// All-bank refreshes performed.
+    pub refreshes: u64,
+}
+
+impl MemorySystem {
+    /// Creates a memory system.
+    pub fn new(cfg: DramConfig) -> Self {
+        let channels = (0..cfg.channels)
+            .map(|i| Channel {
+                banks: vec![
+                    Bank { open_row: None, ready_at: 0, activated_at: 0 };
+                    cfg.banks_per_channel
+                ],
+                queue: VecDeque::new(),
+                bus_free_at: 0,
+                // Stagger refreshes across channels.
+                next_refresh: cfg.t_refi * (i as u64 + 1) / cfg.channels as u64,
+            })
+            .collect();
+        MemorySystem {
+            cfg,
+            channels,
+            completed: VecDeque::new(),
+            now: 0,
+            bytes_read: 0,
+            bytes_written: 0,
+            row_hits: 0,
+            row_misses: 0,
+            refreshes: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> DramConfig {
+        self.cfg
+    }
+
+    /// Current tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    fn map(&self, addr: u64) -> (usize, usize, u64) {
+        let line = addr / LINE_BYTES;
+        let channel = (line % self.cfg.channels as u64) as usize;
+        let upper = line / self.cfg.channels as u64;
+        let bank = (upper % self.cfg.banks_per_channel as u64) as usize;
+        let row = upper / self.cfg.banks_per_channel as u64 / (self.cfg.row_bytes / LINE_BYTES);
+        (channel, bank, row)
+    }
+
+    /// Tries to enqueue a request; returns false when the channel queue is
+    /// full (the caller retries next cycle).
+    pub fn try_enqueue(&mut self, req: MemRequest) -> bool {
+        let (ch, _, _) = self.map(req.addr);
+        let channel = &mut self.channels[ch];
+        if channel.queue.len() >= self.cfg.queue_depth {
+            return false;
+        }
+        channel.queue.push_back(req);
+        true
+    }
+
+    /// Advances the memory system to `tick`, issuing requests FR-FCFS.
+    pub fn tick_to(&mut self, tick: u64) {
+        while self.now < tick {
+            self.now += 1;
+            self.issue_cycle();
+        }
+    }
+
+    fn issue_cycle(&mut self) {
+        let cfg = self.cfg;
+        for ch in 0..self.channels.len() {
+            // All-bank refresh: block the channel for tRFC, close rows.
+            if self.now >= self.channels[ch].next_refresh {
+                let channel = &mut self.channels[ch];
+                channel.next_refresh += cfg.t_refi;
+                for bank in &mut channel.banks {
+                    bank.open_row = None;
+                    bank.ready_at = bank.ready_at.max(self.now + cfg.t_rfc);
+                }
+                self.refreshes += 1;
+            }
+            // FR-FCFS: first ready row hit, else oldest issuable request.
+            let pick = {
+                let channel = &self.channels[ch];
+                let mut pick: Option<usize> = None;
+                for (i, req) in channel.queue.iter().enumerate() {
+                    let (_, bank_idx, row) = self.map(req.addr);
+                    let bank = &channel.banks[bank_idx];
+                    if bank.ready_at > self.now {
+                        continue;
+                    }
+                    let hit = bank.open_row == Some(row);
+                    if hit {
+                        pick = Some(i);
+                        break; // first ready row hit wins
+                    }
+                    if pick.is_none() {
+                        pick = Some(i);
+                    }
+                }
+                pick
+            };
+            let Some(i) = pick else { continue };
+            let req = self.channels[ch].queue[i];
+            let (_, bank_idx, row) = self.map(req.addr);
+
+            // Compute access latency from bank state.
+            let (hit, access_latency, extra_bank_busy) = {
+                let bank = &self.channels[ch].banks[bank_idx];
+                match bank.open_row {
+                    Some(r) if r == row => (true, cfg.t_cas, 0),
+                    Some(_) => {
+                        // Precharge (respecting tRAS) + activate + CAS.
+                        let ras_wait =
+                            (bank.activated_at + cfg.t_ras).saturating_sub(self.now);
+                        (false, ras_wait + cfg.t_rp + cfg.t_rcd + cfg.t_cas, ras_wait)
+                    }
+                    None => (false, cfg.t_rcd + cfg.t_cas, 0),
+                }
+            };
+            let _ = extra_bank_busy;
+
+            // Data transfer must win the channel bus.
+            let data_start = (self.now + access_latency).max(self.channels[ch].bus_free_at);
+            let done = data_start + cfg.t_burst;
+
+            // Commit: update bank, bus, stats; remove from queue.
+            {
+                let channel = &mut self.channels[ch];
+                let bank = &mut channel.banks[bank_idx];
+                if hit {
+                    self.row_hits += 1;
+                } else {
+                    self.row_misses += 1;
+                    bank.activated_at = self.now;
+                }
+                bank.open_row = Some(row);
+                bank.ready_at = if req.is_write { done + cfg.t_wr } else { done };
+                channel.bus_free_at = done;
+                channel.queue.remove(i);
+            }
+            if req.is_write {
+                self.bytes_written += LINE_BYTES;
+            } else {
+                self.bytes_read += LINE_BYTES;
+                self.completed
+                    .push_back((done, MemResponse { addr: req.addr, tag: req.tag }));
+            }
+        }
+    }
+
+    /// Pops a read response completed by the current tick, if any.
+    pub fn pop_ready(&mut self) -> Option<MemResponse> {
+        // Responses complete out of order across channels; scan for any due.
+        let idx = self
+            .completed
+            .iter()
+            .position(|&(done, _)| done <= self.now)?;
+        Some(self.completed.remove(idx).expect("index valid").1)
+    }
+
+    /// Whether any request or response is still in flight.
+    pub fn is_idle(&self) -> bool {
+        self.completed.is_empty() && self.channels.iter().all(|c| c.queue.is_empty())
+    }
+
+    /// Total bytes moved.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Achieved bandwidth utilization over `elapsed_ticks` (0..=1).
+    pub fn bandwidth_utilization(&self, elapsed_ticks: u64) -> f64 {
+        if elapsed_ticks == 0 {
+            return 0.0;
+        }
+        self.bytes_total() as f64
+            / (self.cfg.peak_bytes_per_tick() * elapsed_ticks as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_all(mem: &mut MemorySystem, horizon: u64) -> Vec<(u64, MemResponse)> {
+        let mut out = Vec::new();
+        for t in 0..horizon {
+            mem.tick_to(t);
+            while let Some(r) = mem.pop_ready() {
+                out.push((mem.now(), r));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn peak_bandwidth_matches_table1() {
+        let cfg = DramConfig::ddr4_2400();
+        assert!((cfg.peak_gb_per_s() - 76.8).abs() < 0.1);
+        assert!(DramConfig::hbm_like().peak_gb_per_s() > 2.0 * cfg.peak_gb_per_s());
+    }
+
+    #[test]
+    fn single_read_latency_is_miss_latency() {
+        let mut mem = MemorySystem::new(DramConfig::ddr4_2400());
+        assert!(mem.try_enqueue(MemRequest { addr: 0, is_write: false, tag: 1 }));
+        let got = drain_all(&mut mem, 200);
+        assert_eq!(got.len(), 1);
+        // Closed bank: tRCD + tCAS + burst = 42 + 42 + 10 = 94 ticks; the
+        // request issues the tick after enqueue.
+        assert_eq!(got[0].0, 95);
+        assert_eq!(got[0].1.tag, 1);
+    }
+
+    #[test]
+    fn row_hit_is_faster_than_miss() {
+        let mut mem = MemorySystem::new(DramConfig::ddr4_2400());
+        // Same row: second access should be a row hit.
+        mem.try_enqueue(MemRequest { addr: 0, is_write: false, tag: 1 });
+        mem.tick_to(100);
+        while mem.pop_ready().is_some() {}
+        let t0 = mem.now();
+        // Same channel 0, same bank 0, same row 0: line 64 = upper 16 ->
+        // bank 16 % 16 = 0, row 16/16/128 = 0.
+        mem.try_enqueue(MemRequest { addr: 64 * 64, is_write: false, tag: 2 });
+        let mut got = None;
+        for t in 100..300 {
+            mem.tick_to(t);
+            if let Some(r) = mem.pop_ready() {
+                got = Some((mem.now(), r));
+                break;
+            }
+        }
+        let (t_done, _) = got.expect("second read completes");
+        // Row hit: tCAS + burst = 52 ticks after issue.
+        assert!(t_done - t0 <= 54, "row hit took {} ticks", t_done - t0);
+        assert_eq!(mem.row_hits, 1);
+        assert_eq!(mem.row_misses, 1);
+    }
+
+    #[test]
+    fn sequential_stream_approaches_peak_bandwidth() {
+        let cfg = DramConfig::ddr4_2400();
+        let mut mem = MemorySystem::new(cfg);
+        let mut issued = 0u64;
+        let mut received = 0usize;
+        let total = 2_000u64;
+        let mut t = 0u64;
+        while received < total as usize {
+            t += 1;
+            mem.tick_to(t);
+            // Keep all channel queues topped up with a sequential stream.
+            while issued < total
+                && mem.try_enqueue(MemRequest {
+                    addr: issued * LINE_BYTES,
+                    is_write: false,
+                    tag: issued,
+                })
+            {
+                issued += 1;
+            }
+            while mem.pop_ready().is_some() {
+                received += 1;
+            }
+            assert!(t < 500_000, "stream stalled");
+        }
+        let util = mem.bandwidth_utilization(t);
+        assert!(util > 0.8, "sequential stream should near peak, got {util:.2}");
+    }
+
+    #[test]
+    fn writes_count_bytes_but_produce_no_response() {
+        let mut mem = MemorySystem::new(DramConfig::ddr4_2400());
+        mem.try_enqueue(MemRequest { addr: 128, is_write: true, tag: 9 });
+        mem.tick_to(300);
+        assert!(mem.pop_ready().is_none());
+        assert_eq!(mem.bytes_written, 64);
+        assert_eq!(mem.bytes_read, 0);
+    }
+
+    #[test]
+    fn queue_depth_backpressure() {
+        let cfg = DramConfig::ddr4_2400();
+        let mut mem = MemorySystem::new(cfg);
+        let mut accepted = 0;
+        // All to channel 0 (stride = channels * 64).
+        for i in 0..100u64 {
+            if mem.try_enqueue(MemRequest {
+                addr: i * LINE_BYTES * cfg.channels as u64,
+                is_write: false,
+                tag: i,
+            }) {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, cfg.queue_depth);
+    }
+
+    #[test]
+    fn channel_interleave_by_line() {
+        let mem = MemorySystem::new(DramConfig::ddr4_2400());
+        let (c0, _, _) = mem.map(0);
+        let (c1, _, _) = mem.map(64);
+        let (c2, _, _) = mem.map(128);
+        let (c4, _, _) = mem.map(256);
+        assert_eq!(c0, 0);
+        assert_eq!(c1, 1);
+        assert_eq!(c2, 2);
+        assert_eq!(c4, 0);
+    }
+
+    #[test]
+    fn refresh_blocks_and_closes_rows() {
+        let cfg = DramConfig::ddr4_2400();
+        let mut mem = MemorySystem::new(cfg);
+        // Warm a row on channel 0 / bank 0 (line 0).
+        mem.try_enqueue(MemRequest { addr: 0, is_write: false, tag: 0 });
+        mem.tick_to(200);
+        while mem.pop_ready().is_some() {}
+        assert_eq!(mem.row_misses, 1);
+        // Run past every channel's refresh point.
+        mem.tick_to(cfg.t_refi + cfg.t_rfc + 10);
+        assert!(mem.refreshes >= cfg.channels as u64, "every channel refreshes");
+        // The previously open row is closed: the next access misses again.
+        mem.try_enqueue(MemRequest { addr: 0, is_write: false, tag: 1 });
+        mem.tick_to(cfg.t_refi + cfg.t_rfc + 400);
+        assert!(mem.pop_ready().is_some());
+        assert_eq!(mem.row_misses, 2, "refresh must close the row buffer");
+    }
+
+    #[test]
+    fn is_idle_tracks_inflight_work() {
+        let mut mem = MemorySystem::new(DramConfig::ddr4_2400());
+        assert!(mem.is_idle());
+        mem.try_enqueue(MemRequest { addr: 0, is_write: false, tag: 0 });
+        assert!(!mem.is_idle());
+        mem.tick_to(200);
+        while mem.pop_ready().is_some() {}
+        assert!(mem.is_idle());
+    }
+}

@@ -1,0 +1,97 @@
+//! Host-CPU side of an IIU query (paper §4.5, Fig. 13, Fig. 17).
+//!
+//! IIU offloads decompression, set operations and scoring, but the final
+//! top-k selection runs on the host: the CPU scans the `(docID, score)`
+//! pairs the accelerator wrote to memory through a size-k min-heap. This
+//! model prices that pass — the term that comes to dominate single-term
+//! query latency under intra-query parallelism (Amdahl's law, Fig. 17).
+
+/// Host-side timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostModel {
+    /// CPU frequency in GHz (Table 1: 3.6).
+    pub freq_ghz: f64,
+    /// Sustained IPC of the top-k scan loop.
+    pub ipc: f64,
+    /// Instructions per candidate (compare against the heap minimum and
+    /// rarely replace: a handful of instructions in the common case).
+    pub insts_per_candidate: f64,
+    /// Fixed per-query software overhead in ns (command-queue write,
+    /// result pointer handling).
+    pub dispatch_ns: f64,
+}
+
+impl Default for HostModel {
+    fn default() -> Self {
+        HostModel { freq_ghz: 3.6, ipc: 2.0, insts_per_candidate: 4.0, dispatch_ns: 200.0 }
+    }
+}
+
+impl HostModel {
+    /// Time for the host to run top-k over `candidates` results.
+    pub fn topk_ns(&self, candidates: u64) -> f64 {
+        candidates as f64 * self.insts_per_candidate / (self.freq_ghz * self.ipc)
+    }
+
+    /// End-to-end latency of one IIU query: dispatch + accelerator time +
+    /// host top-k.
+    pub fn query_latency_ns(&self, iiu_cycles: u64, clock_ghz: f64, candidates: u64) -> f64 {
+        self.dispatch_ns + iiu_cycles as f64 / clock_ghz + self.topk_ns(candidates)
+    }
+
+    /// Fraction of the end-to-end latency spent in host top-k (the Fig. 17
+    /// quantity).
+    pub fn topk_fraction(&self, iiu_cycles: u64, clock_ghz: f64, candidates: u64) -> f64 {
+        let total = self.query_latency_ns(iiu_cycles, clock_ghz, candidates);
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.topk_ns(candidates) / total
+    }
+
+    /// Makespan of the host top-k work for a query batch spread over
+    /// `host_cores` CPU cores (inter-query throughput runs overlap top-k
+    /// with accelerator processing of other queries).
+    pub fn batch_topk_ns(&self, candidates_per_query: &[u64], host_cores: usize) -> f64 {
+        let total: f64 = candidates_per_query.iter().map(|&c| self.topk_ns(c)).sum();
+        total / host_cores.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topk_is_linear_in_candidates() {
+        let h = HostModel::default();
+        assert_eq!(h.topk_ns(0), 0.0);
+        assert!((h.topk_ns(2_000_000) - 2.0 * h.topk_ns(1_000_000)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_term_latency_dominated_by_topk_at_scale() {
+        // Fig. 17's headline: with 8 cores (16 DCUs) the accelerator time
+        // shrinks but the host top-k does not.
+        let h = HostModel::default();
+        let candidates = 1_000_000u64;
+        let iiu_cycles = candidates / 16 + 10_000; // ~16 postings/cycle
+        let frac = h.topk_fraction(iiu_cycles, 1.0, candidates);
+        assert!(frac > 0.5, "top-k fraction {frac} should dominate");
+    }
+
+    #[test]
+    fn batch_topk_parallelizes_over_host_cores() {
+        let h = HostModel::default();
+        let cands = vec![100_000u64; 8];
+        let one = h.batch_topk_ns(&cands, 1);
+        let eight = h.batch_topk_ns(&cands, 8);
+        assert!((one / eight - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_includes_dispatch_overhead() {
+        let h = HostModel::default();
+        assert!(h.query_latency_ns(0, 1.0, 0) >= h.dispatch_ns);
+    }
+}

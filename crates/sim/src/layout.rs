@@ -1,0 +1,132 @@
+//! Memory layout of the inverted index in the accelerator's address space.
+//!
+//! The host's `init` call (paper §4.1) loads the index into a non-cacheable
+//! region; the simulator gives every structure a line-aligned address range
+//! so the timing model sees realistic access streams:
+//!
+//! * the per-document `dl̄` table read by the scoring units,
+//! * per term: the compressed payload, the metadata words and the skip
+//!   list,
+//! * a result region per query for the write-back units.
+
+use iiu_index::{InvertedIndex, TermId};
+
+use crate::dram::LINE_BYTES;
+
+/// Address ranges of one term's structures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TermRegion {
+    /// Base of the compressed payload.
+    pub payload_base: u64,
+    /// Payload size in bytes.
+    pub payload_len: u64,
+    /// Base of the packed 64-bit metadata words.
+    pub meta_base: u64,
+    /// Base of the 32-bit skip values.
+    pub skip_base: u64,
+    /// Number of blocks (metadata words / skip values).
+    pub num_blocks: u64,
+}
+
+/// Memory map of an index plus a result-output arena.
+#[derive(Debug, Clone)]
+pub struct MemoryLayout {
+    dl_base: u64,
+    terms: Vec<TermRegion>,
+    result_base: u64,
+}
+
+fn align_line(x: u64) -> u64 {
+    x.div_ceil(LINE_BYTES) * LINE_BYTES
+}
+
+impl MemoryLayout {
+    /// Lays out `index` starting at address 0.
+    pub fn new(index: &InvertedIndex) -> Self {
+        let mut cursor = 0u64;
+        let dl_base = cursor;
+        cursor = align_line(cursor + index.num_docs() * 4);
+
+        let mut terms = Vec::with_capacity(index.num_terms());
+        for id in 0..index.num_terms() as u32 {
+            let list = index.encoded_list(id);
+            let payload_base = cursor;
+            let payload_len = list.payload().len() as u64;
+            cursor = align_line(cursor + payload_len);
+            let meta_base = cursor;
+            cursor = align_line(cursor + list.num_blocks() as u64 * 8);
+            let skip_base = cursor;
+            cursor = align_line(cursor + list.num_blocks() as u64 * 4);
+            terms.push(TermRegion {
+                payload_base,
+                payload_len,
+                meta_base,
+                skip_base,
+                num_blocks: list.num_blocks() as u64,
+            });
+        }
+        let result_base = align_line(cursor);
+        MemoryLayout { dl_base, terms, result_base }
+    }
+
+    /// Region of a term's structures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `term` is out of range.
+    pub fn term(&self, term: TermId) -> TermRegion {
+        self.terms[term as usize]
+    }
+
+    /// Address of document `d`'s 4-byte `dl̄` entry.
+    pub fn dl_addr(&self, d: u32) -> u64 {
+        self.dl_base + u64::from(d) * 4
+    }
+
+    /// Base address of the result arena; each query gets a disjoint slice
+    /// at runtime.
+    pub fn result_base(&self) -> u64 {
+        self.result_base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iiu_index::{BuildOptions, IndexBuilder};
+
+    fn layout_for_small_index() -> (InvertedIndex, MemoryLayout) {
+        let mut b = IndexBuilder::new(BuildOptions::default());
+        b.add_document("alpha beta gamma");
+        b.add_document("beta gamma delta");
+        b.add_document("gamma delta alpha");
+        let idx = b.build();
+        let layout = MemoryLayout::new(&idx);
+        (idx, layout)
+    }
+
+    #[test]
+    fn regions_are_line_aligned_and_disjoint() {
+        let (idx, layout) = layout_for_small_index();
+        let mut prev_end = idx.num_docs() * 4;
+        for id in 0..idx.num_terms() as u32 {
+            let r = layout.term(id);
+            assert_eq!(r.payload_base % LINE_BYTES, 0);
+            assert_eq!(r.meta_base % LINE_BYTES, 0);
+            assert_eq!(r.skip_base % LINE_BYTES, 0);
+            assert!(r.payload_base >= prev_end);
+            assert!(r.meta_base >= r.payload_base + r.payload_len);
+            assert!(r.skip_base >= r.meta_base + r.num_blocks * 8);
+            prev_end = r.skip_base + r.num_blocks * 4;
+        }
+        assert!(layout.result_base() >= prev_end);
+    }
+
+    #[test]
+    fn dl_addresses_are_dense() {
+        let (_, layout) = layout_for_small_index();
+        assert_eq!(layout.dl_addr(0), 0);
+        assert_eq!(layout.dl_addr(1), 4);
+        assert_eq!(layout.dl_addr(16), 64);
+    }
+}

@@ -1,0 +1,190 @@
+//! Memory Address Interface (paper §4.1).
+//!
+//! All memory requests from the IIU go through the MAI at the memory
+//! controller. It keeps a 128-entry table of outstanding reads — the
+//! accelerator-side analogue of the CPU's MSHRs — pairing each pending line
+//! with the requestor IDs waiting on it, and relays DRAM responses back.
+//! Requests to a line that is already outstanding coalesce into the
+//! existing entry.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use crate::dram::{MemRequest, MemResponse, MemorySystem, LINE_BYTES, TICKS_PER_CYCLE};
+
+/// Identifies the unit waiting on a read (opaque to the MAI).
+pub type Requestor = u64;
+
+/// The MAI: outstanding-request table in front of the DRAM system.
+#[derive(Debug)]
+pub struct Mai {
+    capacity: usize,
+    /// line address -> waiting requestors (entry exists while outstanding).
+    outstanding: HashMap<u64, Vec<Requestor>>,
+    /// Reads accepted but not yet pushed into a channel queue.
+    read_backlog: VecDeque<u64>,
+    /// Writes accepted but not yet pushed into a channel queue.
+    write_backlog: VecDeque<u64>,
+    /// Responses ready for the machine to route.
+    ready: VecDeque<(u64, Vec<Requestor>)>,
+    /// Reads issued (for stats).
+    pub reads_issued: u64,
+    /// Writes issued.
+    pub writes_issued: u64,
+    /// Requests rejected because the table was full.
+    pub rejects: u64,
+    /// Peak table occupancy observed.
+    pub peak_occupancy: usize,
+}
+
+impl Mai {
+    /// The paper's table size.
+    pub const DEFAULT_CAPACITY: usize = 128;
+
+    /// Creates an MAI with the given table capacity.
+    pub fn new(capacity: usize) -> Self {
+        Mai {
+            capacity,
+            outstanding: HashMap::new(),
+            read_backlog: VecDeque::new(),
+            write_backlog: VecDeque::new(),
+            ready: VecDeque::new(),
+            reads_issued: 0,
+            writes_issued: 0,
+            rejects: 0,
+            peak_occupancy: 0,
+        }
+    }
+
+    /// Requests the 64-byte line containing `addr` for `requestor`.
+    /// Returns false if the table is full (caller retries next cycle).
+    /// Coalesces with an existing outstanding entry for the same line.
+    pub fn request_read(&mut self, addr: u64, requestor: Requestor) -> bool {
+        let line = addr / LINE_BYTES * LINE_BYTES;
+        if let Some(waiters) = self.outstanding.get_mut(&line) {
+            waiters.push(requestor);
+            return true;
+        }
+        if self.outstanding.len() >= self.capacity {
+            self.rejects += 1;
+            return false;
+        }
+        self.outstanding.insert(line, vec![requestor]);
+        self.read_backlog.push_back(line);
+        self.reads_issued += 1;
+        self.peak_occupancy = self.peak_occupancy.max(self.outstanding.len());
+        true
+    }
+
+    /// Enqueues a 64-byte write (fire-and-forget; bounded by an internal
+    /// backlog so writes still consume bandwidth in order).
+    pub fn request_write(&mut self, addr: u64) {
+        let line = addr / LINE_BYTES * LINE_BYTES;
+        self.write_backlog.push_back(line);
+        self.writes_issued += 1;
+    }
+
+    /// Advances the DRAM to IIU cycle `cycle`, draining backlogs into the
+    /// channel queues and collecting completed reads.
+    pub fn tick(&mut self, cycle: u64, mem: &mut MemorySystem) {
+        // Push backlogged requests (reads first: they block compute).
+        while let Some(&line) = self.read_backlog.front() {
+            if mem.try_enqueue(MemRequest { addr: line, is_write: false, tag: 0 }) {
+                self.read_backlog.pop_front();
+            } else {
+                break;
+            }
+        }
+        while let Some(&line) = self.write_backlog.front() {
+            if mem.try_enqueue(MemRequest { addr: line, is_write: true, tag: 0 }) {
+                self.write_backlog.pop_front();
+            } else {
+                break;
+            }
+        }
+        mem.tick_to(cycle * TICKS_PER_CYCLE);
+        while let Some(MemResponse { addr, .. }) = mem.pop_ready() {
+            let waiters = self
+                .outstanding
+                .remove(&addr)
+                .expect("response for unknown line");
+            self.ready.push_back((addr, waiters));
+        }
+    }
+
+    /// Pops one completed read with its waiting requestors.
+    pub fn pop_response(&mut self) -> Option<(u64, Vec<Requestor>)> {
+        self.ready.pop_front()
+    }
+
+    /// Whether the MAI has no outstanding or backlogged work.
+    pub fn is_idle(&self) -> bool {
+        self.outstanding.is_empty()
+            && self.read_backlog.is_empty()
+            && self.write_backlog.is_empty()
+            && self.ready.is_empty()
+    }
+
+    /// Current table occupancy.
+    pub fn occupancy(&self) -> usize {
+        self.outstanding.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dram::DramConfig;
+
+    #[test]
+    fn coalesces_same_line_requests() {
+        let mut mai = Mai::new(4);
+        let mut mem = MemorySystem::new(DramConfig::ddr4_2400());
+        assert!(mai.request_read(0, 1));
+        assert!(mai.request_read(32, 2)); // same 64-byte line
+        assert_eq!(mai.occupancy(), 1);
+        for c in 1..200 {
+            mai.tick(c, &mut mem);
+        }
+        let (addr, waiters) = mai.pop_response().expect("read completes");
+        assert_eq!(addr, 0);
+        assert_eq!(waiters, vec![1, 2]);
+        assert!(mai.is_idle());
+        // Only one DRAM access was made for the coalesced pair.
+        assert_eq!(mem.bytes_read, 64);
+    }
+
+    #[test]
+    fn rejects_when_table_full() {
+        let mut mai = Mai::new(2);
+        assert!(mai.request_read(0, 1));
+        assert!(mai.request_read(64, 2));
+        assert!(!mai.request_read(128, 3));
+        assert_eq!(mai.rejects, 1);
+        // Same-line coalescing still succeeds when full.
+        assert!(mai.request_read(0, 4));
+    }
+
+    #[test]
+    fn writes_drain_without_responses() {
+        let mut mai = Mai::new(8);
+        let mut mem = MemorySystem::new(DramConfig::ddr4_2400());
+        mai.request_write(192);
+        for c in 1..200 {
+            mai.tick(c, &mut mem);
+        }
+        assert!(mai.pop_response().is_none());
+        assert!(mai.is_idle());
+        assert_eq!(mem.bytes_written, 64);
+        assert_eq!(mai.writes_issued, 1);
+    }
+
+    #[test]
+    fn peak_occupancy_tracks_high_water_mark() {
+        let mut mai = Mai::new(128);
+        for i in 0..50u64 {
+            mai.request_read(i * 64, i);
+        }
+        assert_eq!(mai.peak_occupancy, 50);
+    }
+}

@@ -1,0 +1,79 @@
+//! Randomized equivalence: the cycle-level machine must produce exactly
+//! the postings/scores that direct functional evaluation of the index
+//! produces, across random corpora, query types, and machine shapes.
+
+use std::collections::BTreeMap;
+
+use iiu_index::score::term_score_fixed;
+use iiu_index::{DocId, Fixed};
+use iiu_sim::{IiuMachine, SimConfig, SimQuery};
+use iiu_workloads::CorpusConfig;
+use proptest::prelude::*;
+
+fn reference(
+    index: &iiu_index::InvertedIndex,
+    query: SimQuery,
+) -> Vec<(DocId, Fixed)> {
+    let scored = |t: u32| -> BTreeMap<DocId, Fixed> {
+        let idf = index.term_info(t).idf_bar;
+        index
+            .encoded_list(t)
+            .iter()
+            .map(|p| (p.doc_id, term_score_fixed(idf, index.dl_bar(p.doc_id), p.tf)))
+            .collect()
+    };
+    match query {
+        SimQuery::Single(t) => scored(t).into_iter().collect(),
+        SimQuery::Intersect(a, b) => {
+            let (sa, sb) = (scored(a), scored(b));
+            sa.into_iter()
+                .filter_map(|(d, x)| sb.get(&d).map(|&y| (d, x.saturating_add(y))))
+                .collect()
+        }
+        SimQuery::Union(a, b) => {
+            let (sa, sb) = (scored(a), scored(b));
+            let mut out = sa;
+            for (d, y) in sb {
+                out.entry(d)
+                    .and_modify(|x| *x = x.saturating_add(y))
+                    .or_insert(y);
+            }
+            out.into_iter().collect()
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn prop_machine_matches_functional_reference(
+        seed in 0u64..1000,
+        cores in 1usize..=8,
+        ta in 0u32..60,
+        tb in 0u32..60,
+        br_window in prop_oneof![Just(4usize), Just(16), Just(64)],
+        queue_cap in prop_oneof![Just(4usize), Just(16)],
+    ) {
+        let cfg = CorpusConfig {
+            n_docs: 1_500,
+            n_terms: 120,
+            ..CorpusConfig::tiny(seed)
+        };
+        let index = cfg.generate().into_default_index();
+        let machine = IiuMachine::new(
+            &index,
+            SimConfig { br_window, queue_cap, ..SimConfig::default() },
+        );
+        let queries = [
+            SimQuery::Single(ta % index.num_terms() as u32),
+            SimQuery::Intersect(ta % index.num_terms() as u32, tb % index.num_terms() as u32),
+            SimQuery::Union(ta % index.num_terms() as u32, tb % index.num_terms() as u32),
+        ];
+        for q in queries {
+            let run = machine.run_query(q, cores);
+            let want = reference(&index, q);
+            prop_assert_eq!(&run.results, &want, "query {:?} cores {} seed {}", q, cores, seed);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Synthetic workloads for the IIU reproduction.
+//!
+//! The paper evaluates on CC-News (29.9 M docs, 84.9 M terms) and ClueWeb12
+//! (52.3 M docs, 133.2 M terms) with 100 single- and double-term queries
+//! sampled from the TREC 2006 Terabyte Track. Neither corpus can ship with
+//! this repository, so this crate generates corpora with the same
+//! *statistical* levers the evaluation depends on:
+//!
+//! * Zipfian term document frequencies (list-length skew),
+//! * bursty docID clustering (d-gap distribution — the input to every
+//!   compression result),
+//! * skewed term frequencies and log-normal document lengths (BM25 inputs).
+//!
+//! Presets [`CorpusConfig::ccnews_like`] and [`CorpusConfig::clueweb_like`]
+//! mirror the two datasets' terms-per-document ratios and their relative
+//! compressibility (CC-News compresses ~2.4× better than ClueWeb12 in
+//! Table 2, which the presets reproduce through different clustering
+//! levels). Everything is seeded and deterministic.
+
+pub mod corpus;
+pub mod queries;
+
+pub use corpus::{CorpusConfig, GeneratedCorpus};
+pub use queries::QuerySampler;

@@ -1,0 +1,169 @@
+//! Query sampling (paper §5.1: "we uniformly sample 100 single-term ...
+//! and double-term queries from TREC 2006 Terabyte Track with only those
+//! terms present in each dataset").
+//!
+//! TREC query terms are real search terms, which are strongly biased toward
+//! mid-to-high document frequency (people rarely search hapax legomena).
+//! The sampler therefore draws terms with probability proportional to
+//! `df^alpha`, restricted to a minimum document frequency, which mirrors
+//! "TREC terms present in the dataset" without the TREC files.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use iiu_index::InvertedIndex;
+
+/// Samples query terms from an index's vocabulary.
+#[derive(Debug)]
+pub struct QuerySampler<'a> {
+    index: &'a InvertedIndex,
+    /// Candidate term ids with cumulative weights for sampling.
+    candidates: Vec<u32>,
+    cumulative: Vec<f64>,
+    rng: StdRng,
+}
+
+impl<'a> QuerySampler<'a> {
+    /// Default df-bias exponent.
+    pub const DEFAULT_ALPHA: f64 = 0.35;
+    /// Default minimum document frequency for a query term.
+    pub const DEFAULT_MIN_DF: u64 = 16;
+
+    /// Creates a sampler over `index` with the default bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no term in the index meets the minimum document frequency.
+    pub fn new(index: &'a InvertedIndex, seed: u64) -> Self {
+        Self::with_bias(index, seed, Self::DEFAULT_ALPHA, Self::DEFAULT_MIN_DF)
+    }
+
+    /// Creates a sampler drawing terms with probability `∝ df^alpha` among
+    /// terms with `df >= min_df`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no term qualifies.
+    pub fn with_bias(index: &'a InvertedIndex, seed: u64, alpha: f64, min_df: u64) -> Self {
+        let mut candidates = Vec::new();
+        let mut cumulative = Vec::new();
+        let mut acc = 0.0f64;
+        for (id, info) in index.terms().iter().enumerate() {
+            if info.df >= min_df {
+                acc += (info.df as f64).powf(alpha);
+                candidates.push(id as u32);
+                cumulative.push(acc);
+            }
+        }
+        assert!(
+            !candidates.is_empty(),
+            "no term meets the minimum document frequency {min_df}"
+        );
+        QuerySampler {
+            index,
+            candidates,
+            cumulative,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws one term.
+    pub fn term(&mut self) -> &'a str {
+        let total = *self.cumulative.last().expect("non-empty candidates");
+        let x = self.rng.gen_range(0.0..total);
+        let i = self.cumulative.partition_point(|&c| c <= x);
+        let id = self.candidates[i.min(self.candidates.len() - 1)];
+        &self.index.term_info(id).term
+    }
+
+    /// Draws `n` single-term queries.
+    pub fn single_queries(&mut self, n: usize) -> Vec<String> {
+        (0..n).map(|_| self.term().to_owned()).collect()
+    }
+
+    /// Draws `n` double-term queries with distinct terms (for intersection
+    /// and union).
+    pub fn pair_queries(&mut self, n: usize) -> Vec<(String, String)> {
+        (0..n)
+            .map(|_| {
+                let a = self.term().to_owned();
+                loop {
+                    let b = self.term().to_owned();
+                    if b != a {
+                        return (a, b);
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusConfig;
+
+    fn test_index() -> InvertedIndex {
+        CorpusConfig::tiny(11).generate().into_default_index()
+    }
+
+    #[test]
+    fn sampled_terms_exist_and_meet_min_df() {
+        let idx = test_index();
+        let mut s = QuerySampler::new(&idx, 1);
+        for q in s.single_queries(50) {
+            let id = idx.term_id(&q).expect("sampled term must exist");
+            assert!(idx.term_info(id).df >= QuerySampler::DEFAULT_MIN_DF);
+        }
+    }
+
+    #[test]
+    fn pairs_have_distinct_terms() {
+        let idx = test_index();
+        let mut s = QuerySampler::new(&idx, 2);
+        for (a, b) in s.pair_queries(50) {
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let idx = test_index();
+        let a = QuerySampler::new(&idx, 3).single_queries(20);
+        let b = QuerySampler::new(&idx, 3).single_queries(20);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn df_bias_prefers_common_terms() {
+        let idx = test_index();
+        let mut s = QuerySampler::new(&idx, 4);
+        let queries = s.single_queries(300);
+        let mean_df: f64 = queries
+            .iter()
+            .map(|q| idx.term_info(idx.term_id(q).unwrap()).df as f64)
+            .sum::<f64>()
+            / queries.len() as f64;
+        // Unbiased sampling over qualifying terms would give a much lower
+        // mean df than df^alpha-weighted sampling.
+        let uniform_mean: f64 = idx
+            .terms()
+            .iter()
+            .filter(|t| t.df >= QuerySampler::DEFAULT_MIN_DF)
+            .map(|t| t.df as f64)
+            .sum::<f64>()
+            / idx
+                .terms()
+                .iter()
+                .filter(|t| t.df >= QuerySampler::DEFAULT_MIN_DF)
+                .count() as f64;
+        assert!(mean_df > uniform_mean * 0.8, "df bias should not under-sample common terms");
+    }
+
+    #[test]
+    #[should_panic(expected = "minimum document frequency")]
+    fn empty_candidate_set_panics() {
+        let idx = test_index();
+        let _ = QuerySampler::with_bias(&idx, 0, 0.3, u64::MAX);
+    }
+}

@@ -1,0 +1,87 @@
+//! A tour of the simulated microarchitecture: what the Block Reader, DCUs,
+//! SUs, BSU and DRAM are doing for each query type, and how the Fig. 12
+//! interconnect configurations trade latency against throughput.
+//!
+//! ```sh
+//! cargo run --release --example accelerator_tour
+//! ```
+
+use iiu_sim::{HostModel, IiuMachine, SimConfig, SimQuery};
+use iiu_workloads::{CorpusConfig, QuerySampler};
+
+fn main() {
+    let index = CorpusConfig::ccnews_like(40_000).generate().into_default_index();
+    let machine = IiuMachine::new(&index, SimConfig::default());
+    let host = HostModel::default();
+
+    let mut sampler = QuerySampler::with_bias(&index, 7, 0.5, 400);
+    let single = index.term_id(&sampler.single_queries(1)[0]).expect("sampled");
+    let (a, b) = {
+        let (a, b) = sampler.pair_queries(1).remove(0);
+        (index.term_id(&a).expect("sampled"), index.term_id(&b).expect("sampled"))
+    };
+
+    println!("=== intra-query parallelism (Fig. 12a): one query, 1..8 cores ===");
+    for (label, query) in [
+        ("single-term", SimQuery::Single(single)),
+        ("intersection", SimQuery::Intersect(a, b)),
+        ("union", SimQuery::Union(a, b)),
+    ] {
+        println!("\n{label}:");
+        for cores in [1usize, 2, 4, 8] {
+            let run = machine.run_query(query, cores);
+            println!(
+                "  {cores} core(s): {:>7} cycles, {:>6} postings decoded, \
+                 {:>5} results, bw {:>4.1}%, host top-k {:>6.1} us",
+                run.cycles,
+                run.stats.postings_decoded,
+                run.stats.candidates,
+                100.0 * run.mem.bandwidth_utilization,
+                host.topk_ns(run.stats.candidates) / 1e3,
+            );
+        }
+    }
+
+    println!("\n=== what intersection hardware actually did (1 core) ===");
+    let run = machine.run_query(SimQuery::Intersect(a, b), 1);
+    println!("  L1 blocks fetched:  {}", run.stats.l1_blocks_fetched);
+    println!("  L1 blocks skipped:  {} (membership testing via skip list)", run.stats.l1_blocks_skipped);
+    println!(
+        "  BSU probes:         {} ({} served by the 32-entry traversal cache, {:.0}%)",
+        run.stats.bsu_probes,
+        run.stats.bsu_cache_hits,
+        100.0 * run.stats.bsu_cache_hits as f64 / run.stats.bsu_probes.max(1) as f64
+    );
+    println!("  dl-table line misses: {}", run.stats.dl_misses);
+    println!("  matches written back: {}", run.stats.candidates);
+
+    println!("\n=== inter-query parallelism (Fig. 12b): 32-query backlog, 1..8 units ===");
+    let mut sampler = QuerySampler::with_bias(&index, 8, 0.5, 400);
+    let queries: Vec<SimQuery> = sampler
+        .single_queries(32)
+        .iter()
+        .map(|t| SimQuery::Single(index.term_id(t).expect("sampled")))
+        .collect();
+    for units in [1usize, 2, 4, 8] {
+        let batch = machine.run_batch(&queries, units);
+        println!(
+            "  {units} unit(s): {:>8} cycles total, bw {:>4.1}%, peak MAI {:>3}/128",
+            batch.cycles,
+            100.0 * batch.mem.bandwidth_utilization,
+            batch.mem.peak_mai,
+        );
+    }
+
+    println!("\n=== area/power (Table 3 constants) ===");
+    for c in iiu_sim::TABLE3 {
+        println!(
+            "  {:<16} x{:<2} {:>6.3} mm2 {:>7.1} mW",
+            c.name, c.count, c.total_area_mm2, c.total_power_mw
+        );
+    }
+    println!(
+        "  total: {:.3} mm2, {:.3} W",
+        iiu_sim::table3_total_area_mm2(),
+        iiu_sim::table3_total_power_w()
+    );
+}

@@ -1,0 +1,58 @@
+//! Quickstart: build an index from raw text, run the three query types on
+//! both engines, and compare their modeled latencies.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use iiu_core::{CpuSearchEngine, IiuSearchEngine, Query, SearchEngine};
+use iiu_index::{BuildOptions, IndexBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A toy corpus. Real evaluations use the synthetic Zipfian corpora in
+    // `iiu-workloads`; see the other examples.
+    let docs = [
+        "the inverted index is the fundamental data structure of search",
+        "an accelerator for inverted index search processes compressed postings",
+        "bit packing compresses postings into blocks with per block metadata",
+        "the binary search unit walks the skip list with a traversal cache",
+        "search engines score documents with bm25 and select the top k",
+        "decompression dominates query time in software search engines",
+        "the scoring unit computes bm25 with a pipelined fixed point divider",
+        "intersection queries use the small versus small algorithm",
+        "union queries merge two scored posting lists",
+        "the block scheduler assigns compressed blocks to decompression units",
+    ];
+    let mut builder = IndexBuilder::new(BuildOptions::default());
+    for d in docs {
+        builder.add_document(d);
+    }
+    let index = builder.build();
+    println!(
+        "indexed {} documents, {} terms, compression ratio {:.2}x",
+        index.num_docs(),
+        index.num_terms(),
+        index.size_stats().compression_ratio()
+    );
+
+    let mut cpu = CpuSearchEngine::new(&index);
+    let mut iiu = IiuSearchEngine::new(&index);
+
+    for text in ["search", "inverted AND search", "bm25 OR search", "(index OR unit) AND search"] {
+        let query = Query::parse(text)?;
+        let r_cpu = cpu.search(&query, 3)?;
+        let r_iiu = iiu.search(&query, 3)?;
+        assert_eq!(r_cpu.hits, r_iiu.hits, "engines must agree");
+
+        println!("\nquery: {query}");
+        for hit in &r_iiu.hits {
+            println!("  doc {:>2}  score {:.3}  {:?}", hit.doc_id, hit.score, docs[hit.doc_id as usize]);
+        }
+        println!(
+            "  latency: baseline {:.2} us vs IIU {:.2} us",
+            r_cpu.latency_ns() / 1e3,
+            r_iiu.latency_ns() / 1e3,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! An end-to-end web-search scenario on a synthetic news corpus: build,
+//! persist, reload, and serve a mixed query stream on both engines —
+//! the workload the paper's introduction motivates.
+//!
+//! ```sh
+//! cargo run --release --example web_search
+//! ```
+
+use iiu_core::{CpuSearchEngine, IiuSearchEngine, Query, SearchEngine};
+use iiu_index::io::{deserialize, serialize};
+use iiu_workloads::{CorpusConfig, QuerySampler};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Offline: generate a CC-News-like corpus and build the index.
+    let t0 = std::time::Instant::now();
+    let corpus = CorpusConfig::ccnews_like(40_000).generate();
+    println!(
+        "generated corpus: {} docs, {} terms, {} postings",
+        corpus.doc_lens.len(),
+        corpus.lists.len(),
+        corpus.total_postings()
+    );
+    let index = corpus.into_default_index();
+    let stats = index.size_stats();
+    println!(
+        "built index in {:.1?}: {} blocks, ratio {:.2}x ({} KiB compressed)",
+        t0.elapsed(),
+        stats.num_blocks,
+        stats.compression_ratio(),
+        stats.compressed_bytes() / 1024
+    );
+
+    // 2. Persist and reload (the host's init(invFile) path, §4.1).
+    let bytes = serialize(&index);
+    println!("serialized index: {} KiB", bytes.len() / 1024);
+    let index = deserialize(&bytes)?;
+
+    // 3. Online: serve a mixed query stream.
+    let mut sampler = QuerySampler::new(&index, 2026);
+    let singles = sampler.single_queries(4);
+    let pairs = sampler.pair_queries(4);
+    let mut queries: Vec<Query> = Vec::new();
+    for t in &singles {
+        queries.push(Query::term(t.clone()));
+    }
+    for (a, b) in &pairs[..2] {
+        queries.push(Query::parse(&format!("{a} AND {b}"))?);
+    }
+    for (a, b) in &pairs[2..] {
+        queries.push(Query::parse(&format!("{a} OR {b}"))?);
+    }
+
+    let mut cpu = CpuSearchEngine::new(&index);
+    let mut iiu = IiuSearchEngine::new(&index);
+    let mut total_cpu = 0.0;
+    let mut total_iiu = 0.0;
+    println!("\n{:<38} {:>10} {:>12} {:>12} {:>9}", "query", "hits", "baseline", "IIU", "speedup");
+    for q in &queries {
+        let r_cpu = cpu.search(q, 10)?;
+        let r_iiu = iiu.search(q, 10)?;
+        assert_eq!(r_cpu.hits, r_iiu.hits);
+        total_cpu += r_cpu.latency_ns();
+        total_iiu += r_iiu.latency_ns();
+        println!(
+            "{:<38} {:>10} {:>9.1} us {:>9.1} us {:>8.1}x",
+            q.to_string(),
+            r_iiu.candidates,
+            r_cpu.latency_ns() / 1e3,
+            r_iiu.latency_ns() / 1e3,
+            r_cpu.latency_ns() / r_iiu.latency_ns()
+        );
+    }
+    println!(
+        "\nworkload total: baseline {:.1} us, IIU {:.1} us ({:.1}x faster)",
+        total_cpu / 1e3,
+        total_iiu / 1e3,
+        total_cpu / total_iiu
+    );
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! Umbrella crate of the IIU reproduction: re-exports the public API from
+//! [`iiu_core`] so `iiu::Query`, `iiu::IiuSearchEngine`, etc. resolve, and
+//! hosts the workspace-level examples, integration tests and the `iiu`
+//! command-line tool.
+//!
+//! See the README for the map of the workspace and DESIGN.md /
+//! EXPERIMENTS.md for the reproduction methodology and results.
+
+pub use iiu_core::*;

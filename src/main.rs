@@ -1,0 +1,253 @@
+//! `iiu` — command-line front end of the reproduction.
+//!
+//! ```text
+//! iiu gen    <index-file> [--docs N] [--preset ccnews|clueweb] [--seed S]
+//! iiu build  <corpus.txt> <index-file> [--max-size N] [--positions yes]
+//! iiu stats  <index-file>
+//! iiu search <index-file> "<query>" [--k N] [--engine cpu|iiu|both] [--cores N]
+//! ```
+//!
+//! `gen` writes an index over a synthetic Zipfian corpus; `build` indexes a
+//! text file (one document per line), optionally with a positional sidecar
+//! (`<index-file>.pos`) that enables quoted phrase queries; `search` runs a
+//! boolean query on the baseline engine, the simulated accelerator, or
+//! both, auto-loading the sidecar when present.
+
+use std::process::ExitCode;
+
+use iiu_core::{CpuSearchEngine, IiuSearchEngine, Query, SearchEngine, SearchResponse};
+use iiu_index::io::{deserialize, serialize};
+use iiu_index::{BuildOptions, IndexBuilder, InvertedIndex, Partitioner, PositionIndex};
+use iiu_workloads::CorpusConfig;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("build") => cmd_build(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("search") => cmd_search(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?} (try --help)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "iiu — reproduction of 'IIU: Specialized Architecture for Inverted Index Search'\n\
+         \n\
+         USAGE:\n\
+         \x20 iiu gen    <index-file> [--docs N] [--preset ccnews|clueweb] [--seed S]\n\
+         \x20 iiu build  <corpus.txt> <index-file> [--max-size N] [--positions yes]\n\
+         \x20 iiu stats  <index-file>\n\
+         \x20 iiu search <index-file> \"<query>\" [--k N] [--engine cpu|iiu|both] [--cores N]\n\
+         \n\
+         Query syntax: terms, AND, OR, parentheses, and quoted phrases — e.g.\n\
+         \x20 \"business AND (cameo OR news)\" or '\"new york\" AND times' (phrases need\n\
+         \x20 an index built with --positions yes)."
+    );
+}
+
+/// Parsed `--flag value` options plus positionals.
+struct Args<'a> {
+    positional: Vec<&'a str>,
+    flags: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Args<'a> {
+    fn flag(&self, name: &str) -> Option<&'a str> {
+        self.flags.iter().find(|(n, _)| *n == name).map(|&(_, v)| v)
+    }
+}
+
+fn split_args(args: &[String]) -> Args<'_> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            if i + 1 < args.len() {
+                flags.push((name, args[i + 1].as_str()));
+                i += 2;
+            } else {
+                i += 1;
+            }
+        } else {
+            positional.push(args[i].as_str());
+            i += 1;
+        }
+    }
+    Args { positional, flags }
+}
+
+fn parse_num<T: std::str::FromStr>(v: &str, what: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("invalid {what}: {v:?}"))
+}
+
+fn load_index(path: &str) -> Result<InvertedIndex, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    deserialize(&bytes).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let parsed = split_args(args);
+    let flag = |n: &str| parsed.flag(n);
+    let [out] = parsed.positional[..] else {
+        return Err("usage: iiu gen <index-file> [--docs N] [--preset ccnews|clueweb]".into());
+    };
+    let docs: u32 = parse_num(flag("docs").unwrap_or("50000"), "--docs")?;
+    let seed: u64 = parse_num(flag("seed").unwrap_or("42"), "--seed")?;
+    let mut cfg = match flag("preset").unwrap_or("ccnews") {
+        "ccnews" => CorpusConfig::ccnews_like(docs),
+        "clueweb" => CorpusConfig::clueweb_like(docs),
+        other => return Err(format!("unknown preset {other:?}")),
+    };
+    cfg.seed = seed;
+    let corpus = cfg.generate();
+    println!(
+        "generated {} docs, {} terms, {} postings",
+        docs,
+        corpus.lists.len(),
+        corpus.total_postings()
+    );
+    let index = corpus.into_default_index();
+    let bytes = serialize(&index);
+    std::fs::write(out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "wrote {out}: {} KiB, compression {:.2}x",
+        bytes.len() / 1024,
+        index.size_stats().compression_ratio()
+    );
+    Ok(())
+}
+
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    let parsed = split_args(args);
+    let flag = |n: &str| parsed.flag(n);
+    let [input, out] = parsed.positional[..] else {
+        return Err("usage: iiu build <corpus.txt> <index-file> [--max-size N]".into());
+    };
+    let max_size: usize = parse_num(flag("max-size").unwrap_or("256"), "--max-size")?;
+    let track_positions = flag("positions").is_some();
+    let text = std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    let mut builder = IndexBuilder::new(BuildOptions {
+        partitioner: Partitioner::dynamic(max_size),
+        track_positions,
+        ..Default::default()
+    });
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        builder.add_document(line);
+    }
+    println!("indexed {} documents, {} terms", builder.num_docs(), builder.num_terms());
+    let index = if track_positions {
+        let (index, positions) = builder.build_with_positions();
+        let sidecar = format!("{out}.pos");
+        std::fs::write(&sidecar, positions.to_bytes())
+            .map_err(|e| format!("cannot write {sidecar}: {e}"))?;
+        println!("wrote {sidecar} ({} terms with positions)", positions.num_terms());
+        index
+    } else {
+        builder.build()
+    };
+    let bytes = serialize(&index);
+    std::fs::write(out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "wrote {out}: {} KiB, compression {:.2}x",
+        bytes.len() / 1024,
+        index.size_stats().compression_ratio()
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let parsed = split_args(args);
+    let [path] = parsed.positional[..] else {
+        return Err("usage: iiu stats <index-file>".into());
+    };
+    let index = load_index(path)?;
+    let s = index.size_stats();
+    println!("documents:        {}", index.num_docs());
+    println!("terms:            {}", index.num_terms());
+    println!("postings:         {}", s.postings);
+    println!("blocks:           {} (avg {:.1} postings)", s.num_blocks, s.avg_block_len());
+    println!("uncompressed:     {} KiB", s.uncompressed_bytes / 1024);
+    println!(
+        "compressed:       {} KiB (payload {} + metadata {} + skips {})",
+        s.compressed_bytes() / 1024,
+        s.payload_bytes / 1024,
+        s.metadata_bytes / 1024,
+        s.skip_bytes / 1024
+    );
+    println!("compression:      {:.2}x", s.compression_ratio());
+    println!("avgdl:            {:.1}", index.avgdl());
+    Ok(())
+}
+
+fn cmd_search(args: &[String]) -> Result<(), String> {
+    let parsed = split_args(args);
+    let flag = |n: &str| parsed.flag(n);
+    let [path, query_text] = parsed.positional[..] else {
+        return Err(
+            "usage: iiu search <index-file> \"<query>\" [--k N] [--engine cpu|iiu|both]".into(),
+        );
+    };
+    let k: usize = parse_num(flag("k").unwrap_or("10"), "--k")?;
+    let cores: usize = parse_num(flag("cores").unwrap_or("8"), "--cores")?;
+    let engine = flag("engine").unwrap_or("both");
+    let index = load_index(path)?;
+    let positions = std::fs::read(format!("{path}.pos"))
+        .ok()
+        .and_then(|b| PositionIndex::from_bytes(&b));
+    if positions.is_some() {
+        println!("[loaded positional sidecar {path}.pos]");
+    }
+    let query = Query::parse(query_text).map_err(|e| e.to_string())?;
+
+    let show = |label: &str, r: &SearchResponse| {
+        println!(
+            "{label}: {} candidates, {:.2} us (device {:.2} us, top-k {:.2} us)",
+            r.candidates,
+            r.latency_ns() / 1e3,
+            r.breakdown.device_ns / 1e3,
+            r.breakdown.topk_ns / 1e3
+        );
+        for hit in &r.hits {
+            println!("  doc {:>8}  score {:.4}", hit.doc_id, hit.score);
+        }
+    };
+
+    let cpu_result = if engine != "iiu" {
+        let mut cpu = CpuSearchEngine::new(&index);
+        if let Some(p) = &positions {
+            cpu = cpu.with_position_index(p);
+        }
+        let r = cpu.search(&query, k).map_err(|e| e.to_string())?;
+        show("baseline", &r);
+        Some(r)
+    } else {
+        None
+    };
+    if engine != "cpu" {
+        let mut iiu = IiuSearchEngine::with_config(&index, Default::default(), cores);
+        if let Some(p) = &positions {
+            iiu = iiu.with_position_index(p);
+        }
+        let r = iiu.search(&query, k).map_err(|e| e.to_string())?;
+        show("IIU", &r);
+        if let Some(c) = cpu_result {
+            println!("speedup: {:.1}x", c.latency_ns() / r.latency_ns());
+            assert_eq!(c.hits, r.hits, "engines must agree");
+        }
+    }
+    Ok(())
+}

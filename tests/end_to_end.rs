@@ -1,0 +1,100 @@
+//! Workspace-level integration: corpus generation → index construction →
+//! serialization → both engines → top-k, exercised together.
+
+use iiu_core::{CpuSearchEngine, IiuSearchEngine, Query, SearchEngine};
+use iiu_index::io::{deserialize, serialize};
+use iiu_index::{Bm25Params, Partitioner};
+use iiu_workloads::{CorpusConfig, QuerySampler};
+
+#[test]
+fn full_pipeline_corpus_to_ranked_hits() {
+    let corpus = CorpusConfig::tiny(2026).generate();
+    let total = corpus.total_postings();
+    assert!(total > 1_000, "tiny corpus should still have real mass");
+    let index = corpus.into_default_index();
+    assert_eq!(index.size_stats().postings, total);
+
+    let mut sampler = QuerySampler::new(&index, 1);
+    let (a, b) = sampler.pair_queries(1).remove(0);
+    let q = Query::parse(&format!("{a} AND {b}")).unwrap();
+
+    let mut cpu = CpuSearchEngine::new(&index);
+    let mut iiu = IiuSearchEngine::new(&index);
+    let rc = cpu.search(&q, 10).unwrap();
+    let ri = iiu.search(&q, 10).unwrap();
+    assert_eq!(rc.hits, ri.hits);
+    assert!(ri.latency_ns() > 0.0);
+}
+
+#[test]
+fn serialized_index_serves_identical_results() {
+    let index = CorpusConfig::tiny(7).generate().into_default_index();
+    let reloaded = deserialize(&serialize(&index)).unwrap();
+    assert_eq!(index, reloaded);
+
+    let mut sampler = QuerySampler::new(&index, 3);
+    let term = sampler.single_queries(1).remove(0);
+    let q = Query::term(term);
+    let mut before = IiuSearchEngine::new(&index);
+    let mut after = IiuSearchEngine::new(&reloaded);
+    assert_eq!(before.search(&q, 10).unwrap().hits, after.search(&q, 10).unwrap().hits);
+}
+
+#[test]
+fn custom_bm25_parameters_flow_through() {
+    let corpus = CorpusConfig::tiny(9).generate();
+    let stock = corpus.clone().into_default_index();
+    let flat = corpus.into_index(
+        Partitioner::default(),
+        Bm25Params { k1: 0.01, b: 0.0 }, // nearly binary relevance
+    );
+    let mut sampler = QuerySampler::new(&stock, 5);
+    let term = sampler.single_queries(1).remove(0);
+    let q = Query::term(term);
+    let hits_stock = CpuSearchEngine::new(&stock).search(&q, 5).unwrap().hits;
+    let hits_flat = CpuSearchEngine::new(&flat).search(&q, 5).unwrap().hits;
+    // Same documents reachable, but scores must differ.
+    assert!(hits_stock
+        .iter()
+        .zip(&hits_flat)
+        .any(|(a, b)| (a.score - b.score).abs() > 1e-6));
+}
+
+#[test]
+fn partitioner_choice_is_invisible_to_results() {
+    let corpus = CorpusConfig::tiny(11).generate();
+    let dynamic = corpus.clone().into_default_index();
+    let fixed = corpus.into_index(Partitioner::fixed(64), Bm25Params::default());
+
+    let mut sampler = QuerySampler::new(&dynamic, 4);
+    let (a, b) = sampler.pair_queries(1).remove(0);
+    for text in [format!("{a} AND {b}"), format!("{a} OR {b}"), a.clone()] {
+        let q = Query::parse(&text).unwrap();
+        let rd = IiuSearchEngine::new(&dynamic).search(&q, 20).unwrap();
+        let rf = IiuSearchEngine::new(&fixed).search(&q, 20).unwrap();
+        assert_eq!(rd.hits, rf.hits, "partitioning must not change semantics ({text})");
+    }
+}
+
+#[test]
+fn codecs_agree_with_index_lists() {
+    // Every baseline codec must round-trip every posting list the corpus
+    // generator produces.
+    let index = CorpusConfig::tiny(13).generate().into_default_index();
+    for codec in iiu_codecs::all_codecs() {
+        for t in (0..index.num_terms() as u32).step_by(37) {
+            let list = index.encoded_list(t).decode_all();
+            if list.is_empty() {
+                continue;
+            }
+            let ids = list.doc_ids();
+            let bytes = codec.encode_sorted(&ids);
+            assert_eq!(
+                codec.decode_sorted(&bytes, ids.len()),
+                ids,
+                "codec {} failed on term {t}",
+                codec.name()
+            );
+        }
+    }
+}
