@@ -23,10 +23,10 @@ fn bench_engines(c: &mut Criterion) {
 
     let machine = IiuMachine::new(&index, SimConfig::default());
     c.bench_function("simulator/single_term_1core", |b| {
-        b.iter(|| black_box(machine.run_query(SimQuery::Single(term_id), 1)))
+        b.iter(|| black_box(machine.run_query(SimQuery::Single(term_id), 1).expect("sim completes")))
     });
     c.bench_function("simulator/intersection_1core", |b| {
-        b.iter(|| black_box(machine.run_query(SimQuery::Intersect(ta, tb), 1)))
+        b.iter(|| black_box(machine.run_query(SimQuery::Intersect(ta, tb), 1).expect("sim completes")))
     });
 }
 

@@ -63,7 +63,7 @@ pub fn run(ctx: &Ctx) -> serde_json::Value {
     let lucene_mean = mean(&lucene_services);
 
     // Each system's own single-query service time defines its capacity.
-    let solo: Vec<u64> = queries.iter().take(8).map(|&q| machine.run_query(q, 1).cycles).collect();
+    let solo: Vec<u64> = queries.iter().take(8).map(|&q| machine.run_query(q, 1).expect("sim completes").cycles).collect();
     let iiu_service = solo.iter().sum::<u64>() as f64 / solo.len() as f64;
 
     let mut rows = Vec::new();
@@ -72,7 +72,7 @@ pub fn run(ctx: &Ctx) -> serde_json::Value {
         // IIU: inter-arrival sized against its own aggregate capacity.
         let gap_iiu = iiu_service / UNITS as f64 / load;
         let arr = arrivals(queries.len(), gap_iiu);
-        let batch = machine.run_arrivals(&queries, &arr, UNITS);
+        let batch = machine.run_arrivals(&queries, &arr, UNITS).expect("sim completes");
         let iiu_sojourn_ns = batch
             .queries
             .iter()

@@ -115,7 +115,7 @@ pub fn iiu_intra_latencies(
     cores: usize,
 ) -> (Vec<f64>, Vec<QueryRun>) {
     let clock = machine.config().clock_ghz;
-    let runs: Vec<QueryRun> = queries.iter().map(|&q| machine.run_query(q, cores)).collect();
+    let runs: Vec<QueryRun> = queries.iter().map(|&q| machine.run_query(q, cores).expect("sim completes")).collect();
     let lats = runs.iter().map(|r| iiu_latency_ns(host, r, clock)).collect();
     (lats, runs)
 }

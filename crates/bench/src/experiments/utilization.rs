@@ -24,7 +24,7 @@ pub fn run(ctx: &Ctx) -> serde_json::Value {
         let mut bsu = 0u64;
         let mut bw = 0.0f64;
         for &q in &queries {
-            let run = machine.run_query(q, 1);
+            let run = machine.run_query(q, 1).expect("sim completes");
             cycles += run.cycles;
             dcu += run.stats.dcu_busy;
             su += run.stats.su_busy;

@@ -7,7 +7,9 @@
 
 use iiu_index::bitpack::{BitReader, BitWriter};
 
-use crate::Codec;
+use crate::{Codec, CodecError};
+
+const NAME: &str = "Elias-Fano";
 
 /// The Elias-Fano codec. Sorted sequences only — [`Codec::encode_values`]
 /// returns `None`.
@@ -21,6 +23,56 @@ impl EliasFano {
         } else {
             (universe / n as u64).ilog2() as u8
         }
+    }
+
+    /// Checked decoder: every read is bounds-checked and the stored last
+    /// value must match the reconstruction.
+    fn try_decode(bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let mut pos = 0usize;
+        let last = crate::take_u32(bytes, &mut pos, NAME, "last value")?;
+        let l = crate::take_u8(bytes, &mut pos, NAME, "low bitwidth")?;
+        if l > 32 {
+            return Err(CodecError::Malformed { codec: NAME, what: "low bitwidth exceeds 32" });
+        }
+        let low_len = n
+            .checked_mul(l as usize)
+            .map(|bits| bits.div_ceil(8))
+            .ok_or(CodecError::Malformed { codec: NAME, what: "low-bits length overflows" })?;
+        let low_slice = crate::take(bytes, &mut pos, low_len, NAME, "low bits")?;
+        let mut low = BitReader::new(low_slice);
+        let lows: Vec<u32> = (0..n).map(|_| low.read(l)).collect();
+
+        let high = &bytes[pos..];
+        let mut out = Vec::with_capacity(n);
+        let mut i = 0usize;
+        let mut bit = 0usize;
+        while i < n {
+            let byte = *high.get(bit / 8).ok_or(CodecError::Truncated {
+                codec: NAME,
+                what: "high-bits bitvector",
+            })?;
+            if byte & (1 << (bit % 8)) != 0 {
+                let hi = (bit - i) as u128;
+                let v = (hi << l) | u128::from(lows[i]);
+                let v = u32::try_from(v).map_err(|_| CodecError::Malformed {
+                    codec: NAME,
+                    what: "decoded value overflows u32",
+                })?;
+                out.push(v);
+                i += 1;
+            }
+            bit += 1;
+        }
+        if out.last() != Some(&last) {
+            return Err(CodecError::Malformed {
+                codec: NAME,
+                what: "stored last value disagrees with decoded sequence",
+            });
+        }
+        Ok(out)
     }
 }
 
@@ -62,32 +114,7 @@ impl Codec for EliasFano {
     }
 
     fn decode_sorted(&self, bytes: &[u8], n: usize) -> Vec<u32> {
-        if n == 0 {
-            return Vec::new();
-        }
-        let last = u32::from_le_bytes(bytes[0..4].try_into().expect("4-byte last"));
-        let l = bytes[4];
-        let mut pos = 5usize;
-        let low_bytes = (n * l as usize).div_ceil(8);
-        let mut low = BitReader::new(&bytes[pos..pos + low_bytes]);
-        let lows: Vec<u32> = (0..n).map(|_| low.read(l)).collect();
-        pos += low_bytes;
-
-        let high = &bytes[pos..];
-        let mut out = Vec::with_capacity(n);
-        let mut i = 0usize;
-        let mut bit = 0usize;
-        while i < n {
-            debug_assert!(bit / 8 < high.len(), "ran out of high bits");
-            if high[bit / 8] & (1 << (bit % 8)) != 0 {
-                let hi = (bit - i) as u32;
-                out.push((hi << l) | lows[i]);
-                i += 1;
-            }
-            bit += 1;
-        }
-        debug_assert_eq!(*out.last().expect("n > 0"), last);
-        out
+        Self::try_decode(bytes, n).expect("malformed Elias-Fano input")
     }
 
     fn encode_values(&self, _values: &[u32]) -> Option<Vec<u8>> {
@@ -96,6 +123,14 @@ impl Codec for EliasFano {
 
     fn decode_values(&self, _bytes: &[u8], _n: usize) -> Vec<u32> {
         panic!("Elias-Fano only supports sorted sequences");
+    }
+
+    fn try_decode_sorted(&self, bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {
+        Self::try_decode(bytes, n)
+    }
+
+    fn try_decode_values(&self, _bytes: &[u8], _n: usize) -> Result<Vec<u32>, CodecError> {
+        Err(CodecError::Unsupported { codec: NAME })
     }
 }
 
@@ -147,6 +182,26 @@ mod tests {
     #[test]
     fn values_unsupported() {
         assert!(EliasFano.encode_values(&[3, 1, 2]).is_none());
+        assert!(matches!(
+            EliasFano.try_decode_values(&[], 0),
+            Err(CodecError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn try_decode_catches_short_high_bits_and_bad_last() {
+        let ids: Vec<u32> = (0..50).map(|i| i * 11).collect();
+        let bytes = EliasFano.encode_sorted(&ids);
+        // Drop the tail of the high-bits bitvector.
+        assert!(matches!(
+            EliasFano.try_decode_sorted(&bytes[..bytes.len() - 3], ids.len()),
+            Err(CodecError::Truncated { .. })
+        ));
+        // Corrupt the stored last value: structure decodes, but the
+        // integrity cross-check fires.
+        let mut corrupt = bytes.clone();
+        corrupt[0] ^= 0xff;
+        assert!(EliasFano.try_decode_sorted(&corrupt, ids.len()).is_err());
     }
 
     #[test]

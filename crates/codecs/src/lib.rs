@@ -27,6 +27,22 @@
 //! `encode_values`/`decode_values`. NewPfor/OptPfor compress their side
 //! arrays with [`Simple9`] (Simple16 in the original — a sibling with the
 //! same selector-coded structure).
+//!
+//! Two decode surfaces exist: the legacy `decode_*` methods keep their
+//! documented panicking contract for trusted, self-produced bytes, and the
+//! checked `try_decode_*` methods accept arbitrary (possibly corrupt)
+//! bytes and return [`CodecError`] instead of panicking. The legacy
+//! methods delegate to the checked ones, so there is a single decoder per
+//! format.
+
+// verify.sh runs clippy with -D clippy::unwrap_used -D clippy::expect_used
+// to keep the hardened index-loading paths panic-free. The legacy decode
+// wrappers in this crate panic by documented contract (they delegate to the
+// checked try_decode_* paths), so the gate is relaxed here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::error::Error;
+use std::fmt;
 
 pub mod eliasfano;
 pub mod milc;
@@ -41,6 +57,93 @@ pub use pfor::{NewPfor, OptPfor, Pfor};
 pub use simdbp::SimdBp128;
 pub use simple9::Simple9;
 pub use vbyte::VByte;
+
+/// Errors produced by the checked `try_decode_*` codec paths.
+///
+/// The checked decoders never panic and never read out of bounds: any
+/// byte sequence either decodes to a value vector or maps to one of these
+/// variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The input ended before the requested number of values was decoded.
+    Truncated {
+        /// Codec that was decoding.
+        codec: &'static str,
+        /// What was being read when the bytes ran out.
+        what: &'static str,
+    },
+    /// The input is structurally invalid: an impossible bitwidth or
+    /// selector, an out-of-range exception position, a value overflow.
+    Malformed {
+        /// Codec that was decoding.
+        codec: &'static str,
+        /// Which invariant the bytes violate.
+        what: &'static str,
+    },
+    /// The codec has no format for this stream kind (e.g. Elias-Fano
+    /// only encodes sorted sequences).
+    Unsupported {
+        /// Codec that was asked to decode.
+        codec: &'static str,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { codec, what } => {
+                write!(f, "{codec}: input truncated while reading {what}")
+            }
+            CodecError::Malformed { codec, what } => {
+                write!(f, "{codec}: malformed input ({what})")
+            }
+            CodecError::Unsupported { codec } => {
+                write!(f, "{codec}: stream kind not supported by this codec")
+            }
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+/// Takes `len` bytes at `*pos`, advancing it, or reports truncation.
+pub(crate) fn take<'a>(
+    bytes: &'a [u8],
+    pos: &mut usize,
+    len: usize,
+    codec: &'static str,
+    what: &'static str,
+) -> Result<&'a [u8], CodecError> {
+    let end = pos
+        .checked_add(len)
+        .filter(|&end| end <= bytes.len())
+        .ok_or(CodecError::Truncated { codec, what })?;
+    let slice = &bytes[*pos..end];
+    *pos = end;
+    Ok(slice)
+}
+
+/// Reads a little-endian u32 at `*pos`, advancing it.
+pub(crate) fn take_u32(
+    bytes: &[u8],
+    pos: &mut usize,
+    codec: &'static str,
+    what: &'static str,
+) -> Result<u32, CodecError> {
+    let s = take(bytes, pos, 4, codec, what)?;
+    Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+}
+
+/// Reads one byte at `*pos`, advancing it.
+pub(crate) fn take_u8(
+    bytes: &[u8],
+    pos: &mut usize,
+    codec: &'static str,
+    what: &'static str,
+) -> Result<u8, CodecError> {
+    Ok(take(bytes, pos, 1, codec, what)?[0])
+}
 
 /// A lossless integer-sequence codec.
 ///
@@ -75,6 +178,16 @@ pub trait Codec {
     /// Implementations may panic if the codec does not support unsorted
     /// values (callers should have received `None` from `encode_values`).
     fn decode_values(&self, bytes: &[u8], n: usize) -> Vec<u32>;
+
+    /// Checked counterpart of [`Codec::decode_sorted`]: decodes `n` docIDs
+    /// from untrusted bytes. Never panics — truncated or malformed input
+    /// yields a [`CodecError`] instead.
+    fn try_decode_sorted(&self, bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError>;
+
+    /// Checked counterpart of [`Codec::decode_values`]. Codecs without an
+    /// unsorted-value format return [`CodecError::Unsupported`]. Never
+    /// panics.
+    fn try_decode_values(&self, bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError>;
 }
 
 /// Every codec in the Table 2 comparison, in the paper's column order.
@@ -116,6 +229,25 @@ pub(crate) fn prefix_sums(gaps: &[u32]) -> Vec<u32> {
         out.push(acc);
     }
     out
+}
+
+/// Overflow-checked inverse of [`deltas`] for the `try_decode_*` paths:
+/// corrupt gaps whose running sum leaves u32 are reported, not wrapped.
+pub(crate) fn try_prefix_sums(gaps: &[u32], codec: &'static str) -> Result<Vec<u32>, CodecError> {
+    let mut out = Vec::with_capacity(gaps.len());
+    let mut acc = 0u32;
+    for (i, &g) in gaps.iter().enumerate() {
+        acc = if i == 0 {
+            g
+        } else {
+            acc.checked_add(g).ok_or(CodecError::Malformed {
+                codec,
+                what: "docID prefix sum overflows u32",
+            })?
+        };
+        out.push(acc);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -197,8 +329,87 @@ mod tests {
         }
     }
 
+    #[test]
+    fn codec_error_display_and_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CodecError>();
+        let e = CodecError::Truncated { codec: "VByte", what: "varint" };
+        assert!(e.to_string().contains("VByte") && e.to_string().contains("varint"));
+        let e = CodecError::Malformed { codec: "Simple9", what: "invalid selector" };
+        assert!(e.to_string().contains("selector"));
+        let e = CodecError::Unsupported { codec: "Elias-Fano" };
+        assert!(e.to_string().contains("Elias-Fano"));
+    }
+
+    #[test]
+    fn try_decode_matches_legacy_on_valid_input() {
+        for codec in all_codecs() {
+            let ids = sorted_sample(11, 700, 1 << 12);
+            let bytes = codec.encode_sorted(&ids);
+            assert_eq!(
+                codec.try_decode_sorted(&bytes, ids.len()).unwrap(),
+                ids,
+                "codec {}",
+                codec.name()
+            );
+            let values: Vec<u32> = (0..700u32).map(|i| (i * 7919) % 5000).collect();
+            if let Some(bytes) = codec.encode_values(&values) {
+                assert_eq!(
+                    codec.try_decode_values(&bytes, values.len()).unwrap(),
+                    values,
+                    "codec {}",
+                    codec.name()
+                );
+            } else {
+                assert!(matches!(
+                    codec.try_decode_values(&[], 0).err(),
+                    Some(CodecError::Unsupported { .. })
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn try_decode_survives_every_single_bit_flip() {
+        // Exhaustive single-bit corruption of a real encoding: decoding
+        // must return *something* (Ok with different values or Err), and
+        // never panic.
+        let ids = sorted_sample(13, 200, 50);
+        for codec in all_codecs() {
+            let bytes = codec.encode_sorted(&ids);
+            for byte in 0..bytes.len() {
+                for bit in 0..8 {
+                    let mut corrupt = bytes.clone();
+                    corrupt[byte] ^= 1 << bit;
+                    let _ = codec.try_decode_sorted(&corrupt, ids.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_decode_reports_truncation() {
+        let ids = sorted_sample(17, 300, 100);
+        for codec in all_codecs() {
+            let bytes = codec.encode_sorted(&ids);
+            let res = codec.try_decode_sorted(&bytes[..bytes.len() / 2], ids.len());
+            assert!(res.is_err(), "codec {} accepted truncated input", codec.name());
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_try_decode_never_panics(
+            bytes in proptest::collection::vec(proptest::num::u8::ANY, 0..400),
+            n in 0usize..400,
+        ) {
+            for codec in all_codecs() {
+                let _ = codec.try_decode_sorted(&bytes, n);
+                let _ = codec.try_decode_values(&bytes, n);
+            }
+        }
 
         #[test]
         fn prop_all_codecs_roundtrip(ids in proptest::collection::btree_set(0u32..1 << 27, 0..600)) {

@@ -10,7 +10,9 @@
 
 use iiu_index::bitpack::{bits_for, BitReader, BitWriter};
 
-use crate::Codec;
+use crate::{Codec, CodecError};
+
+const NAME: &str = "MILC";
 
 /// Default block length (MILC's dynamic partitioning averages near this;
 /// the IIU paper's own dynamic partitioner is evaluated separately).
@@ -48,13 +50,47 @@ impl Milc {
     }
 
     fn decode_block(bytes: &[u8], pos: &mut usize, n: usize) -> Vec<u32> {
-        let base = u32::from_le_bytes(bytes[*pos..*pos + 4].try_into().expect("4-byte base"));
-        let width = bytes[*pos + 4];
-        *pos += 5;
-        let block_bytes = (n * width as usize).div_ceil(8);
-        let mut r = BitReader::new(&bytes[*pos..*pos + block_bytes]);
-        *pos += block_bytes;
-        (0..n).map(|_| base + r.read(width)).collect()
+        Self::try_decode_block(bytes, pos, n).expect("malformed MILC block")
+    }
+
+    /// Checked block decoder: bad widths, short inputs and offset
+    /// overflows become errors instead of panics.
+    fn try_decode_block(bytes: &[u8], pos: &mut usize, n: usize) -> Result<Vec<u32>, CodecError> {
+        let base = crate::take_u32(bytes, pos, NAME, "block base")?;
+        let width = crate::take_u8(bytes, pos, NAME, "offset bitwidth")?;
+        if width > 32 {
+            return Err(CodecError::Malformed { codec: NAME, what: "offset bitwidth exceeds 32" });
+        }
+        let block_bytes = n
+            .checked_mul(width as usize)
+            .map(|bits| bits.div_ceil(8))
+            .ok_or(CodecError::Malformed { codec: NAME, what: "block length overflows" })?;
+        let slice = crate::take(bytes, pos, block_bytes, NAME, "packed offsets")?;
+        let mut r = BitReader::new(slice);
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = base.checked_add(r.read(width)).ok_or(CodecError::Malformed {
+                codec: NAME,
+                what: "base plus offset overflows u32",
+            })?;
+            out.push(v);
+        }
+        Ok(out)
+    }
+
+    fn try_decode_seq(&self, bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {
+        if self.block_len == 0 {
+            return Err(CodecError::Malformed { codec: NAME, what: "block length is zero" });
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut pos = 0usize;
+        let mut left = n;
+        while left > 0 {
+            let take = left.min(self.block_len);
+            out.extend(Self::try_decode_block(bytes, &mut pos, take)?);
+            left -= take;
+        }
+        Ok(out)
     }
 }
 
@@ -97,6 +133,14 @@ impl Codec for Milc {
     fn decode_values(&self, bytes: &[u8], n: usize) -> Vec<u32> {
         self.decode_sorted(bytes, n)
     }
+
+    fn try_decode_sorted(&self, bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {
+        self.try_decode_seq(bytes, n)
+    }
+
+    fn try_decode_values(&self, bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {
+        self.try_decode_seq(bytes, n)
+    }
 }
 
 #[cfg(test)]
@@ -131,6 +175,26 @@ mod tests {
         let values = vec![50u32, 10, 30, 10, 90];
         let bytes = Milc::default().encode_values(&values).unwrap();
         assert_eq!(Milc::default().decode_values(&bytes, 5), values);
+    }
+
+    #[test]
+    fn try_decode_rejects_bad_width_and_overflow() {
+        // width byte of 40 is impossible.
+        let mut bytes = vec![0u8; 5];
+        bytes[4] = 40;
+        assert!(matches!(
+            Milc::default().try_decode_sorted(&bytes, 1),
+            Err(CodecError::Malformed { .. })
+        ));
+        // base u32::MAX with a non-zero offset overflows.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.push(1); // width 1
+        bytes.push(0b11); // two offsets: 1 and 1
+        assert!(matches!(
+            Milc::default().try_decode_sorted(&bytes, 2),
+            Err(CodecError::Malformed { .. })
+        ));
     }
 
     #[test]

@@ -13,7 +13,17 @@ use iiu_index::bitpack::{bits_for, BitReader, BitWriter};
 
 use crate::simple9::Simple9;
 use crate::vbyte::VByte;
-use crate::{deltas, prefix_sums, Codec};
+use crate::{deltas, prefix_sums, try_prefix_sums, Codec, CodecError};
+
+/// Re-tags an error from an embedded codec (VByte counts, Simple9 side
+/// arrays) with the outer codec's name.
+fn retag(e: CodecError, codec: &'static str) -> CodecError {
+    match e {
+        CodecError::Truncated { what, .. } => CodecError::Truncated { codec, what },
+        CodecError::Malformed { what, .. } => CodecError::Malformed { codec, what },
+        other => other,
+    }
+}
 
 /// Block length used by the whole family (the paper: "data blocks of 128
 /// d-gaps").
@@ -125,34 +135,71 @@ impl Pfor {
     }
 
     /// Decodes one block of `n` values, advancing `*pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on truncated or malformed input; use
+    /// [`Pfor::try_decode_block`] for untrusted bytes.
     fn decode_block(bytes: &[u8], pos: &mut usize, n: usize) -> Vec<u32> {
-        let b = bytes[*pos];
-        let first_exc = bytes[*pos + 1];
-        let exc_count = bytes[*pos + 2] as usize;
-        *pos += 3;
-        let slot_bytes = (n * b as usize).div_ceil(8);
-        let mut reader = BitReader::new(&bytes[*pos..*pos + slot_bytes]);
+        Self::try_decode_block(bytes, pos, n).expect("malformed Pfor block")
+    }
+
+    /// Checked block decoder: the header, slot array, exception values and
+    /// the patch chain walk are all validated before use.
+    fn try_decode_block(
+        bytes: &[u8],
+        pos: &mut usize,
+        n: usize,
+    ) -> Result<Vec<u32>, CodecError> {
+        const NAME: &str = "Pfor";
+        let header = crate::take(bytes, pos, 3, NAME, "block header")?;
+        let b = header[0];
+        let first_exc = header[1];
+        let exc_count = header[2] as usize;
+        if b > 32 {
+            return Err(CodecError::Malformed { codec: NAME, what: "slot bitwidth exceeds 32" });
+        }
+        if (first_exc == 0xff) != (exc_count == 0) {
+            return Err(CodecError::Malformed {
+                codec: NAME,
+                what: "inconsistent exception chain header",
+            });
+        }
+        if exc_count > n {
+            return Err(CodecError::Malformed { codec: NAME, what: "more exceptions than values" });
+        }
+        let slot_bytes = n
+            .checked_mul(b as usize)
+            .map(|bits| bits.div_ceil(8))
+            .ok_or(CodecError::Malformed { codec: NAME, what: "slot array length overflows" })?;
+        let slots = crate::take(bytes, pos, slot_bytes, NAME, "slot array")?;
+        let mut reader = BitReader::new(slots);
         let mut values: Vec<u32> = (0..n).map(|_| reader.read(b)).collect();
-        *pos += slot_bytes;
 
         let mut exc_values = Vec::with_capacity(exc_count);
         for _ in 0..exc_count {
-            let raw = u32::from_le_bytes(bytes[*pos..*pos + 4].try_into().expect("4 bytes"));
-            exc_values.push(raw);
-            *pos += 4;
+            exc_values.push(crate::take_u32(bytes, pos, NAME, "exception value")?);
         }
 
         if first_exc != 0xff {
             let mut p = first_exc as usize;
             for (k, &ev) in exc_values.iter().enumerate() {
-                let jump = values[p];
+                let jump = *values.get(p).ok_or(CodecError::Malformed {
+                    codec: NAME,
+                    what: "exception position out of range",
+                })?;
                 values[p] = ev;
                 if k + 1 < exc_values.len() {
-                    p = p + 1 + jump as usize;
+                    p = p
+                        .checked_add(1 + jump as usize)
+                        .ok_or(CodecError::Malformed {
+                            codec: NAME,
+                            what: "exception chain jump overflows",
+                        })?;
                 }
             }
         }
-        values
+        Ok(values)
     }
 
     fn encode_seq(values: &[u32]) -> Vec<u8> {
@@ -173,6 +220,18 @@ impl Pfor {
             left -= take;
         }
         out
+    }
+
+    fn try_decode_seq(bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {
+        let mut out = Vec::with_capacity(n);
+        let mut pos = 0usize;
+        let mut left = n;
+        while left > 0 {
+            let take = left.min(PFOR_BLOCK_LEN);
+            out.extend(Self::try_decode_block(bytes, &mut pos, take)?);
+            left -= take;
+        }
+        Ok(out)
     }
 }
 
@@ -203,6 +262,14 @@ impl Codec for Pfor {
 
     fn decode_values(&self, bytes: &[u8], n: usize) -> Vec<u32> {
         Self::decode_seq(bytes, n)
+    }
+
+    fn try_decode_sorted(&self, bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {
+        try_prefix_sums(&Self::try_decode_seq(bytes, n)?, "Pfor")
+    }
+
+    fn try_decode_values(&self, bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {
+        Self::try_decode_seq(bytes, n)
     }
 }
 
@@ -255,36 +322,78 @@ fn newpfor_encode_block(out: &mut Vec<u8>, values: &[u32], b: u8) {
 }
 
 /// Decodes one NewPfor-layout block of `n` values, advancing `*pos`.
+///
+/// # Panics
+///
+/// Panics on truncated or malformed input; use
+/// [`try_newpfor_decode_block`] for untrusted bytes.
 fn newpfor_decode_block(bytes: &[u8], pos: &mut usize, n: usize) -> Vec<u32> {
-    let b = bytes[*pos];
-    *pos += 1;
-    let slot_bytes = (n * b as usize).div_ceil(8);
-    let mut reader = BitReader::new(&bytes[*pos..*pos + slot_bytes]);
-    let mut values: Vec<u32> = (0..n).map(|_| reader.read(b)).collect();
-    *pos += slot_bytes;
+    try_newpfor_decode_block(bytes, pos, n, "NewPfor").expect("malformed NewPfor block")
+}
 
-    let exc_count = VByte::get(bytes, pos) as usize;
-    if exc_count == 0 {
-        return values;
+/// Checked NewPfor-layout block decoder shared by [`NewPfor`] and
+/// [`OptPfor`]; `codec` names the caller in errors.
+fn try_newpfor_decode_block(
+    bytes: &[u8],
+    pos: &mut usize,
+    n: usize,
+    codec: &'static str,
+) -> Result<Vec<u32>, CodecError> {
+    let b = crate::take_u8(bytes, pos, codec, "slot bitwidth")?;
+    if b > 32 {
+        return Err(CodecError::Malformed { codec, what: "slot bitwidth exceeds 32" });
     }
-    let gaps = Simple9::decode_words_at(bytes, pos, exc_count);
+    let slot_bytes = n
+        .checked_mul(b as usize)
+        .map(|bits| bits.div_ceil(8))
+        .ok_or(CodecError::Malformed { codec, what: "slot array length overflows" })?;
+    let slots = crate::take(bytes, pos, slot_bytes, codec, "slot array")?;
+    let mut reader = BitReader::new(slots);
+    let mut values: Vec<u32> = (0..n).map(|_| reader.read(b)).collect();
+
+    let exc_count = VByte::try_get(bytes, pos).map_err(|e| retag(e, codec))? as usize;
+    if exc_count == 0 {
+        return Ok(values);
+    }
+    if exc_count > n {
+        return Err(CodecError::Malformed { codec, what: "more exceptions than values" });
+    }
+    let gaps =
+        Simple9::try_decode_words_at(bytes, pos, exc_count).map_err(|e| retag(e, codec))?;
     let mut positions = Vec::with_capacity(exc_count);
     let mut p = 0usize;
     for (k, &gap) in gaps.iter().enumerate() {
-        p = if k == 0 { gap as usize } else { p + gap as usize };
+        p = if k == 0 {
+            gap as usize
+        } else {
+            p.checked_add(gap as usize)
+                .ok_or(CodecError::Malformed { codec, what: "exception position overflows" })?
+        };
+        if p >= n {
+            return Err(CodecError::Malformed { codec, what: "exception position out of range" });
+        }
         positions.push(p);
     }
-    let flag = bytes[*pos];
-    *pos += 1;
-    let highs = if flag == 1 {
-        Simple9::decode_words_at(bytes, pos, exc_count)
-    } else {
-        (0..exc_count).map(|_| VByte::get(bytes, pos)).collect()
+    let flag = crate::take_u8(bytes, pos, codec, "high-bits flag")?;
+    let highs = match flag {
+        1 => Simple9::try_decode_words_at(bytes, pos, exc_count).map_err(|e| retag(e, codec))?,
+        0 => {
+            let mut highs = Vec::with_capacity(exc_count);
+            for _ in 0..exc_count {
+                highs.push(VByte::try_get(bytes, pos).map_err(|e| retag(e, codec))?);
+            }
+            highs
+        }
+        _ => return Err(CodecError::Malformed { codec, what: "invalid high-bits flag" }),
     };
     for (&p, &high) in positions.iter().zip(&highs) {
-        values[p] |= high << b;
+        let patched = (u64::from(high) << b) | u64::from(values[p]);
+        values[p] = u32::try_from(patched).map_err(|_| CodecError::Malformed {
+            codec,
+            what: "patched value overflows u32",
+        })?;
     }
-    values
+    Ok(values)
 }
 
 /// Encoded size in bytes of one block at width `b` (for OptPfor's search).
@@ -337,6 +446,18 @@ macro_rules! newpfor_codec {
                 }
                 out
             }
+
+            fn try_decode_seq(bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {
+                let mut out = Vec::with_capacity(n);
+                let mut pos = 0usize;
+                let mut left = n;
+                while left > 0 {
+                    let take = left.min(PFOR_BLOCK_LEN);
+                    out.extend(try_newpfor_decode_block(bytes, &mut pos, take, $name)?);
+                    left -= take;
+                }
+                Ok(out)
+            }
         }
 
         impl Codec for $ty {
@@ -358,6 +479,14 @@ macro_rules! newpfor_codec {
 
             fn decode_values(&self, bytes: &[u8], n: usize) -> Vec<u32> {
                 Self::decode_seq(bytes, n)
+            }
+
+            fn try_decode_sorted(&self, bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {
+                try_prefix_sums(&Self::try_decode_seq(bytes, n)?, $name)
+            }
+
+            fn try_decode_values(&self, bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {
+                Self::try_decode_seq(bytes, n)
             }
         }
     };
@@ -446,6 +575,45 @@ mod tests {
         let mut pos = 0;
         assert_eq!(newpfor_decode_block(&out, &mut pos, 128), values);
         assert_eq!(pos, out.len());
+    }
+
+    #[test]
+    fn try_decode_block_rejects_corrupt_chains() {
+        // A header that claims exceptions but marks the chain empty.
+        let bytes = [3u8, 0xff, 2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+        let mut pos = 0;
+        assert!(matches!(
+            Pfor::try_decode_block(&bytes, &mut pos, 4),
+            Err(CodecError::Malformed { .. })
+        ));
+        // A first-exception position past the block end.
+        let mut values = vec![1u32; 9];
+        values.push(1 << 20); // one real exception at position 9
+        let mut out = Vec::new();
+        Pfor::encode_block(&mut out, &values);
+        assert_eq!(out[1], 9);
+        out[1] = 200; // first_exc points outside n = 10
+        let mut pos = 0;
+        assert!(matches!(
+            Pfor::try_decode_block(&out, &mut pos, 10),
+            Err(CodecError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn newpfor_try_decode_rejects_bad_flag() {
+        let mut out = Vec::new();
+        newpfor_encode_block(&mut out, &[1u32, 1 << 20, 1], 2);
+        // Locate the flag byte: header(1) + slots(1) + vbyte count(1),
+        // then Simple9 gaps (4), then the flag.
+        let flag_at = 1 + 1 + 1 + 4;
+        assert!(out[flag_at] == 0 || out[flag_at] == 1);
+        out[flag_at] = 7;
+        let mut pos = 0;
+        assert!(matches!(
+            try_newpfor_decode_block(&out, &mut pos, 3, "NewPfor"),
+            Err(CodecError::Malformed { .. })
+        ));
     }
 
     #[test]

@@ -6,7 +6,9 @@
 
 use iiu_index::bitpack::{bits_for, BitReader, BitWriter};
 
-use crate::{deltas, prefix_sums, Codec};
+use crate::{deltas, prefix_sums, try_prefix_sums, Codec, CodecError};
+
+const NAME: &str = "SIMD-BP128";
 
 /// Values per block.
 pub const BP_BLOCK_LEN: usize = 128;
@@ -31,20 +33,30 @@ impl SimdBp128 {
     }
 
     fn decode_seq(bytes: &[u8], n: usize) -> Vec<u32> {
+        Self::try_decode_seq(bytes, n).expect("malformed SIMD-BP128 block")
+    }
+
+    /// Checked decoder: impossible widths and short blocks become errors.
+    fn try_decode_seq(bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {
         let mut out = Vec::with_capacity(n);
         let mut pos = 0usize;
         let mut left = n;
         while left > 0 {
             let take = left.min(BP_BLOCK_LEN);
-            let width = bytes[pos];
-            pos += 1;
+            let width = crate::take_u8(bytes, &mut pos, NAME, "block bitwidth")?;
+            if width > 32 {
+                return Err(CodecError::Malformed {
+                    codec: NAME,
+                    what: "block bitwidth exceeds 32",
+                });
+            }
             let block_bytes = (take * width as usize).div_ceil(8);
-            let mut r = BitReader::new(&bytes[pos..pos + block_bytes]);
+            let slice = crate::take(bytes, &mut pos, block_bytes, NAME, "packed block")?;
+            let mut r = BitReader::new(slice);
             out.extend((0..take).map(|_| r.read(width)));
-            pos += block_bytes;
             left -= take;
         }
-        out
+        Ok(out)
     }
 }
 
@@ -67,6 +79,14 @@ impl Codec for SimdBp128 {
 
     fn decode_values(&self, bytes: &[u8], n: usize) -> Vec<u32> {
         Self::decode_seq(bytes, n)
+    }
+
+    fn try_decode_sorted(&self, bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {
+        try_prefix_sums(&Self::try_decode_seq(bytes, n)?, NAME)
+    }
+
+    fn try_decode_values(&self, bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {
+        Self::try_decode_seq(bytes, n)
     }
 }
 
@@ -102,6 +122,19 @@ mod tests {
         let expected = 1 + (128usize * 21).div_ceil(8) + 1 + 128usize.div_ceil(8);
         assert_eq!(bytes.len(), expected);
         assert_eq!(SimdBp128.decode_values(&bytes, 256), values);
+    }
+
+    #[test]
+    fn try_decode_rejects_wide_width_and_short_block() {
+        assert!(matches!(
+            SimdBp128.try_decode_values(&[33], 1),
+            Err(CodecError::Malformed { .. })
+        ));
+        // width 8 promises `take` bytes, but only one follows.
+        assert!(matches!(
+            SimdBp128.try_decode_values(&[8, 0xaa], 5),
+            Err(CodecError::Truncated { .. })
+        ));
     }
 
     proptest! {

@@ -4,7 +4,9 @@
 //! NewPForDelta compresses its exception arrays with (Simple16 in the
 //! paper; Simple9 is its simpler homogeneous sibling).
 
-use crate::{deltas, prefix_sums, Codec};
+use crate::{deltas, prefix_sums, try_prefix_sums, Codec, CodecError};
+
+const NAME: &str = "Simple9";
 
 /// The nine layouts: (values per word, bits per value).
 pub const MODES: [(u32, u32); 9] =
@@ -62,13 +64,37 @@ impl Simple9 {
 
     /// Decodes `n` values starting at byte `*pos`, advancing it past the
     /// consumed words (for embedding Simple9 runs inside other formats).
+    ///
+    /// # Panics
+    ///
+    /// Panics on truncated input or an invalid selector. Use
+    /// [`Simple9::try_decode_words_at`] for untrusted bytes.
     pub fn decode_words_at(bytes: &[u8], pos: &mut usize, n: usize) -> Vec<u32> {
-        let pos = &mut *pos;
-        let mut out = Vec::with_capacity(n);
+        Self::try_decode_words_at(bytes, pos, n).expect("malformed Simple9 words")
+    }
+
+    /// Checked variant of [`Simple9::decode_words`].
+    pub fn try_decode_words(bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {
+        let mut pos = 0usize;
+        Self::try_decode_words_at(bytes, &mut pos, n)
+    }
+
+    /// Checked variant of [`Simple9::decode_words_at`]: truncated words
+    /// and the seven unused selectors (9..=15) become errors, not panics.
+    pub fn try_decode_words_at(
+        bytes: &[u8],
+        pos: &mut usize,
+        n: usize,
+    ) -> Result<Vec<u32>, CodecError> {
+        // Each 4-byte word yields at most 28 values, which bounds the
+        // allocation even when `n` wildly exceeds the input.
+        let mut out = Vec::with_capacity(n.min(bytes.len().saturating_mul(7)));
         while out.len() < n {
-            let word = u32::from_le_bytes(bytes[*pos..*pos + 4].try_into().expect("word"));
-            *pos += 4;
-            let (count, bits) = MODES[(word & 0xf) as usize];
+            let word = crate::take_u32(bytes, pos, NAME, "selector word")?;
+            let &(count, bits) = MODES.get((word & 0xf) as usize).ok_or(CodecError::Malformed {
+                codec: NAME,
+                what: "invalid selector (only 0..=8 are defined)",
+            })?;
             let mask = if bits == 28 { (1u32 << 28) - 1 } else { (1u32 << bits) - 1 };
             for i in 0..count {
                 if out.len() == n {
@@ -77,7 +103,7 @@ impl Simple9 {
                 out.push((word >> (4 + i * bits)) & mask);
             }
         }
-        out
+        Ok(out)
     }
 
     /// Whether every value is encodable.
@@ -109,6 +135,14 @@ impl Codec for Simple9 {
 
     fn decode_values(&self, bytes: &[u8], n: usize) -> Vec<u32> {
         Self::decode_words(bytes, n)
+    }
+
+    fn try_decode_sorted(&self, bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {
+        try_prefix_sums(&Self::try_decode_words(bytes, n)?, NAME)
+    }
+
+    fn try_decode_values(&self, bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {
+        Self::try_decode_words(bytes, n)
     }
 }
 
@@ -143,6 +177,21 @@ mod tests {
     #[should_panic(expected = "exceeds 28 bits")]
     fn oversized_value_panics() {
         let _ = Simple9::encode_words(&[1 << 28]);
+    }
+
+    #[test]
+    fn try_decode_rejects_bad_selector_and_truncation() {
+        // Selector 0xf is one of the seven unused layouts.
+        let word = 0x0000_000fu32.to_le_bytes();
+        assert!(matches!(
+            Simple9::try_decode_words(&word, 1),
+            Err(CodecError::Malformed { .. })
+        ));
+        // Three bytes cannot hold a selector word.
+        assert!(matches!(
+            Simple9::try_decode_words(&[1, 2, 3], 1),
+            Err(CodecError::Truncated { .. })
+        ));
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //! 1972; Cutting & Pedersen 1989). Each byte carries 7 payload bits; the
 //! high bit marks continuation.
 
-use crate::{deltas, prefix_sums, Codec};
+use crate::{deltas, prefix_sums, try_prefix_sums, Codec, CodecError};
+
+const NAME: &str = "VByte";
 
 /// The VByte codec. Sorted sequences are delta-encoded first.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -26,18 +28,36 @@ impl VByte {
     ///
     /// # Panics
     ///
-    /// Panics on truncated input or a varint longer than 5 bytes.
+    /// Panics on truncated input or a varint longer than 5 bytes. Use
+    /// [`VByte::try_get`] for untrusted bytes.
     pub fn get(bytes: &[u8], pos: &mut usize) -> u32 {
+        match Self::try_get(bytes, pos) {
+            Ok(v) => v,
+            Err(CodecError::Truncated { .. }) => panic!("truncated varint"),
+            Err(_) => panic!("varint too long for u32"),
+        }
+    }
+
+    /// Checked varint read: reports truncation or an over-long varint
+    /// instead of panicking.
+    pub fn try_get(bytes: &[u8], pos: &mut usize) -> Result<u32, CodecError> {
         let mut v: u32 = 0;
         let mut shift = 0u32;
         loop {
-            assert!(*pos < bytes.len(), "truncated varint");
-            assert!(shift <= 28, "varint too long for u32");
-            let byte = bytes[*pos];
+            if shift > 28 {
+                return Err(CodecError::Malformed {
+                    codec: NAME,
+                    what: "varint longer than 5 bytes",
+                });
+            }
+            let byte = *bytes.get(*pos).ok_or(CodecError::Truncated {
+                codec: NAME,
+                what: "varint",
+            })?;
             *pos += 1;
             v |= u32::from(byte & 0x7f) << shift;
             if byte & 0x80 == 0 {
-                return v;
+                return Ok(v);
             }
             shift += 7;
         }
@@ -54,6 +74,17 @@ impl VByte {
     fn decode_seq(bytes: &[u8], n: usize) -> Vec<u32> {
         let mut pos = 0usize;
         (0..n).map(|_| Self::get(bytes, &mut pos)).collect()
+    }
+
+    fn try_decode_seq(bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {
+        // Every varint is at least one byte, so a sane capacity bound
+        // exists even when `n` is far larger than the input.
+        let mut out = Vec::with_capacity(n.min(bytes.len()));
+        let mut pos = 0usize;
+        for _ in 0..n {
+            out.push(Self::try_get(bytes, &mut pos)?);
+        }
+        Ok(out)
     }
 }
 
@@ -76,6 +107,14 @@ impl Codec for VByte {
 
     fn decode_values(&self, bytes: &[u8], n: usize) -> Vec<u32> {
         Self::decode_seq(bytes, n)
+    }
+
+    fn try_decode_sorted(&self, bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {
+        try_prefix_sums(&Self::try_decode_seq(bytes, n)?, NAME)
+    }
+
+    fn try_decode_values(&self, bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {
+        Self::try_decode_seq(bytes, n)
     }
 }
 
@@ -116,6 +155,20 @@ mod tests {
     fn truncated_input_panics() {
         let mut pos = 0;
         let _ = VByte::get(&[0x80], &mut pos);
+    }
+
+    #[test]
+    fn try_get_reports_truncation_and_overlength() {
+        let mut pos = 0;
+        assert!(matches!(
+            VByte::try_get(&[0x80], &mut pos),
+            Err(CodecError::Truncated { .. })
+        ));
+        let mut pos = 0;
+        assert!(matches!(
+            VByte::try_get(&[0xff, 0xff, 0xff, 0xff, 0xff, 0x01], &mut pos),
+            Err(CodecError::Malformed { .. })
+        ));
     }
 
     #[test]

@@ -15,6 +15,7 @@ use iiu_index::score::term_score_fixed;
 use iiu_index::{DocId, Fixed, IndexError, InvertedIndex, PositionIndex};
 use iiu_sim::{HostModel, IiuMachine, SimConfig, SimQuery};
 
+use crate::error::{Degradation, SearchError};
 use crate::query::Query;
 
 /// Where a query's time went.
@@ -45,6 +46,9 @@ pub struct SearchResponse {
     pub candidates: u64,
     /// Modeled time breakdown.
     pub breakdown: LatencyBreakdown,
+    /// How the query was weakened to keep serving (unknown terms pruned).
+    /// Empty for a fully-served query.
+    pub degraded: Vec<Degradation>,
 }
 
 impl SearchResponse {
@@ -52,17 +56,127 @@ impl SearchResponse {
     pub fn latency_ns(&self) -> f64 {
         self.breakdown.total_ns()
     }
+
+    /// True if any part of the query was pruned rather than served.
+    pub fn is_degraded(&self) -> bool {
+        !self.degraded.is_empty()
+    }
+
+    /// The empty response a fully-pruned query yields.
+    fn empty(degraded: Vec<Degradation>) -> Self {
+        SearchResponse {
+            hits: Vec::new(),
+            candidates: 0,
+            breakdown: LatencyBreakdown::default(),
+            degraded,
+        }
+    }
 }
 
 /// A query engine: takes a boolean [`Query`], returns ranked hits with a
 /// modeled latency.
+///
+/// Unknown terms are not errors: both engines prune them — an unknown term
+/// under `OR` drops out, one under `AND` (or in a phrase) short-circuits
+/// that conjunction to empty — and report each pruning in
+/// [`SearchResponse::degraded`].
 pub trait SearchEngine {
     /// Runs `query`, returning the top `k` hits.
     ///
     /// # Errors
     ///
-    /// Returns [`IndexError::UnknownTerm`] if a query term is not indexed.
-    fn search(&mut self, query: &Query, k: usize) -> Result<SearchResponse, IndexError>;
+    /// Returns [`SearchError::Index`] for index-plane failures (e.g. a
+    /// phrase query without a positional sidecar) and
+    /// [`SearchError::Sim`] if the accelerator simulation stalls.
+    fn search(&mut self, query: &Query, k: usize) -> Result<SearchResponse, SearchError>;
+}
+
+// ---------------------------------------------------------------------------
+// Unknown-term pruning (graceful degradation)
+// ---------------------------------------------------------------------------
+
+/// A pruned subtree: what survives, plus unknown terms whose degradation
+/// kind is still undecided (a bare unknown term is only classified once we
+/// see whether an `AND` or an `OR` absorbs the hole it left).
+struct Pruned {
+    query: Option<Query>,
+    pending: Vec<String>,
+}
+
+fn classify_pending(pending: Vec<String>, and_like: bool, degraded: &mut Vec<Degradation>) {
+    for term in pending {
+        degraded.push(if and_like {
+            Degradation::UnknownTermEmptyAnd { term }
+        } else {
+            Degradation::UnknownTermDropped { term }
+        });
+    }
+}
+
+/// Rewrites `q` without its unknown terms, recording every pruning in
+/// `degraded`. `None` means the whole query pruned away (serve empty).
+fn prune_query(index: &InvertedIndex, q: &Query, degraded: &mut Vec<Degradation>) -> Option<Query> {
+    let pruned = prune_tree(index, q, degraded);
+    // Whatever is still unclassified at the root vanished without an AND
+    // forcing emptiness, so it "dropped out".
+    classify_pending(pruned.pending, false, degraded);
+    pruned.query
+}
+
+fn prune_tree(index: &InvertedIndex, q: &Query, degraded: &mut Vec<Degradation>) -> Pruned {
+    match q {
+        Query::Term(t) => {
+            if index.term_id(t).is_some() {
+                Pruned { query: Some(q.clone()), pending: Vec::new() }
+            } else {
+                Pruned { query: None, pending: vec![t.clone()] }
+            }
+        }
+        Query::Phrase(terms) => {
+            let unknown: Vec<String> = terms
+                .iter()
+                .filter(|t| index.term_id(t).is_none())
+                .cloned()
+                .collect();
+            if unknown.is_empty() {
+                Pruned { query: Some(q.clone()), pending: Vec::new() }
+            } else {
+                // A phrase is a conjunction: one unknown word empties it.
+                classify_pending(unknown, true, degraded);
+                Pruned { query: None, pending: Vec::new() }
+            }
+        }
+        Query::And(a, b) => {
+            let pa = prune_tree(index, a, degraded);
+            let pb = prune_tree(index, b, degraded);
+            let mut pending = pa.pending;
+            pending.extend(pb.pending);
+            match (pa.query, pb.query) {
+                (Some(x), Some(y)) => Pruned { query: Some(Query::and(x, y)), pending },
+                _ => {
+                    classify_pending(pending, true, degraded);
+                    Pruned { query: None, pending: Vec::new() }
+                }
+            }
+        }
+        Query::Or(a, b) => {
+            let pa = prune_tree(index, a, degraded);
+            let pb = prune_tree(index, b, degraded);
+            let mut pending = pa.pending;
+            pending.extend(pb.pending);
+            match (pa.query, pb.query) {
+                (Some(x), Some(y)) => Pruned { query: Some(Query::or(x, y)), pending },
+                (Some(x), None) | (None, Some(x)) => {
+                    classify_pending(pending, false, degraded);
+                    Pruned { query: Some(x), pending: Vec::new() }
+                }
+                (None, None) => {
+                    classify_pending(pending, false, degraded);
+                    Pruned { query: None, pending: Vec::new() }
+                }
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -174,7 +288,12 @@ impl<'a> CpuSearchEngine<'a> {
 }
 
 impl SearchEngine for CpuSearchEngine<'_> {
-    fn search(&mut self, query: &Query, k: usize) -> Result<SearchResponse, IndexError> {
+    fn search(&mut self, query: &Query, k: usize) -> Result<SearchResponse, SearchError> {
+        let mut degraded = Vec::new();
+        let Some(query) = prune_query(self.inner.index(), query, &mut degraded) else {
+            return Ok(SearchResponse::empty(degraded));
+        };
+        let query = &query;
         // Primitive shapes take the specialized paths (SvS etc.).
         let outcome = match query {
             Query::Term(t) => Some(self.inner.search_single(t, k)?),
@@ -200,6 +319,7 @@ impl SearchEngine for CpuSearchEngine<'_> {
                     device_ns,
                     topk_ns: o.phases.topk_ns,
                 },
+                degraded,
             });
         }
 
@@ -216,6 +336,7 @@ impl SearchEngine for CpuSearchEngine<'_> {
                 device_ns: phases.total_ns() - phases.topk_ns,
                 topk_ns: phases.topk_ns,
             },
+            degraded,
         })
     }
 }
@@ -293,22 +414,22 @@ impl<'a> IiuSearchEngine<'a> {
     /// Sibling subtrees run concurrently (inter-query parallelism), so a
     /// node's start time is the max of its children.
     /// Returns `(results, accelerator cycles, host phrase verifications)`.
-    fn eval_iiu(&self, q: &Query) -> Result<EvalOutcome, IndexError> {
+    fn eval_iiu(&self, q: &Query) -> Result<EvalOutcome, SearchError> {
         match q {
             Query::Term(t) => {
                 let id = t_id(self.index(), t)?;
-                let run = self.machine.run_query(SimQuery::Single(id), self.cores);
+                let run = self.machine.run_query(SimQuery::Single(id), self.cores)?;
                 Ok((run.results, run.cycles, 0))
             }
             // Two-term set operations map straight onto the accelerator.
             Query::And(a, b) if leaf_pair(a, b) => {
                 let (x, y) = leaf_ids(self.index(), a, b)?;
-                let run = self.machine.run_query(SimQuery::Intersect(x, y), self.cores);
+                let run = self.machine.run_query(SimQuery::Intersect(x, y), self.cores)?;
                 Ok((run.results, run.cycles, 0))
             }
             Query::Or(a, b) if leaf_pair(a, b) => {
                 let (x, y) = leaf_ids(self.index(), a, b)?;
-                let run = self.machine.run_query(SimQuery::Union(x, y), self.cores);
+                let run = self.machine.run_query(SimQuery::Union(x, y), self.cores)?;
                 Ok((run.results, run.cycles, 0))
             }
             Query::Phrase(terms) => {
@@ -399,8 +520,13 @@ fn merge_lists(
 }
 
 impl SearchEngine for IiuSearchEngine<'_> {
-    fn search(&mut self, query: &Query, k: usize) -> Result<SearchResponse, IndexError> {
+    fn search(&mut self, query: &Query, k: usize) -> Result<SearchResponse, SearchError> {
         let index = self.index();
+        let mut degraded = Vec::new();
+        let Some(query) = prune_query(index, query, &mut degraded) else {
+            return Ok(SearchResponse::empty(degraded));
+        };
+        let query = &query;
         // Primitive shapes run directly on the simulator.
         let direct = match query {
             Query::Term(t) => Some(SimQuery::Single(t_id(index, t)?)),
@@ -420,7 +546,7 @@ impl SearchEngine for IiuSearchEngine<'_> {
         };
 
         let (results, cycles, phrase_checks) = if let Some(sq) = direct {
-            let run = self.machine.run_query(sq, self.cores);
+            let run = self.machine.run_query(sq, self.cores)?;
             (run.results, run.cycles, 0)
         } else {
             self.eval_iiu(query)?
@@ -439,6 +565,7 @@ impl SearchEngine for IiuSearchEngine<'_> {
                 device_ns: cycles as f64 / clock,
                 topk_ns: self.host.topk_ns(candidates) + verify_ns,
             },
+            degraded,
         })
     }
 }

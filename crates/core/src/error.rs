@@ -1,0 +1,106 @@
+//! Typed search errors and graceful-degradation records.
+//!
+//! The engines distinguish two failure planes: the *index* plane
+//! ([`IndexError`] — a corrupt or incomplete index) and the *simulation*
+//! plane ([`SimError`] — the accelerator model wedged or was misconfigured).
+//! Unknown query terms are no longer errors at all: the engines prune them
+//! and report what was pruned through [`Degradation`] entries on the
+//! response, so a serving layer can return partial results instead of a
+//! 5xx.
+
+use std::error::Error;
+use std::fmt;
+
+use iiu_index::IndexError;
+use iiu_sim::SimError;
+
+/// An error from either engine.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SearchError {
+    /// The index rejected the request (missing positional sidecar,
+    /// corruption detected mid-read, ...).
+    Index(IndexError),
+    /// The accelerator simulation failed (stall watchdog, bad allocation).
+    Sim(SimError),
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::Index(e) => write!(f, "index error: {e}"),
+            SearchError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl Error for SearchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SearchError::Index(e) => Some(e),
+            SearchError::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<IndexError> for SearchError {
+    fn from(e: IndexError) -> Self {
+        SearchError::Index(e)
+    }
+}
+
+impl From<SimError> for SearchError {
+    fn from(e: SimError) -> Self {
+        SearchError::Sim(e)
+    }
+}
+
+/// How a response was weakened to keep serving despite a problem term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Degradation {
+    /// An unknown term under `OR` contributed nothing and was dropped;
+    /// the rest of the query ran normally.
+    UnknownTermDropped {
+        /// The term that is not in the dictionary.
+        term: String,
+    },
+    /// An unknown term under `AND` (or inside a phrase) forced that whole
+    /// conjunction to an empty result.
+    UnknownTermEmptyAnd {
+        /// The term that is not in the dictionary.
+        term: String,
+    },
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Degradation::UnknownTermDropped { term } => {
+                write!(f, "unknown term {term:?} dropped from OR")
+            }
+            Degradation::UnknownTermEmptyAnd { term } => {
+                write!(f, "unknown term {term:?} empties its AND/phrase")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_and_displays() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SearchError>();
+        assert_send_sync::<Degradation>();
+
+        let e = SearchError::Index(IndexError::PositionsUnavailable);
+        assert!(e.to_string().starts_with("index error:"));
+        assert!(e.source().is_some());
+
+        let d = Degradation::UnknownTermDropped { term: "zyzzy".into() };
+        assert!(d.to_string().contains("zyzzy"));
+    }
+}

@@ -37,11 +37,14 @@
 //! ```
 
 pub mod engine;
+pub mod error;
 pub mod query;
 
 pub use engine::{
     CpuSearchEngine, IiuSearchEngine, LatencyBreakdown, SearchEngine, SearchResponse,
 };
+pub use error::{Degradation, SearchError};
 pub use iiu_baseline::topk::Hit;
 pub use iiu_index::{Bm25Params, DocId, IndexError, InvertedIndex, Partitioner};
+pub use iiu_sim::SimError;
 pub use query::{ParseQueryError, Query};

@@ -2,7 +2,7 @@
 //! must return identical hits for every query shape, and their modeled
 //! latencies must have the shapes the paper reports.
 
-use iiu_core::{CpuSearchEngine, IiuSearchEngine, Query, SearchEngine};
+use iiu_core::{CpuSearchEngine, Degradation, IiuSearchEngine, Query, SearchEngine};
 use iiu_workloads::{CorpusConfig, QuerySampler};
 
 fn index() -> iiu_index::InvertedIndex {
@@ -102,13 +102,43 @@ fn iiu_is_faster_than_cpu_on_primitive_queries() {
 }
 
 #[test]
-fn unknown_terms_error_in_both_engines() {
+fn unknown_terms_degrade_instead_of_erroring() {
     let index = index();
     let mut cpu = CpuSearchEngine::new(&index);
     let mut iiu = IiuSearchEngine::new(&index);
+
+    // A bare unknown term serves an empty (degraded) response.
     let q = Query::parse("nosuchterm0000001").unwrap();
-    assert!(cpu.search(&q, 5).is_err());
-    assert!(iiu.search(&q, 5).is_err());
+    for r in [cpu.search(&q, 5).unwrap(), iiu.search(&q, 5).unwrap()] {
+        assert!(r.hits.is_empty());
+        assert!(r.is_degraded(), "pruning must be reported");
+    }
+
+    // Under OR the unknown term drops out and the rest still serves.
+    let mut sampler = QuerySampler::new(&index, 3);
+    let known = sampler.single_queries(1).remove(0);
+    let q = Query::or(Query::term(known.clone()), Query::term("nosuchterm0000001"));
+    let rc = cpu.search(&q, 10).unwrap();
+    let ri = iiu.search(&q, 10).unwrap();
+    let want = cpu.search(&Query::term(known.clone()), 10).unwrap();
+    assert!(!rc.hits.is_empty());
+    assert_eq!(rc.hits, want.hits, "OR degrades to the known side");
+    assert_eq!(rc.hits, ri.hits, "both engines degrade identically");
+    assert_eq!(
+        rc.degraded,
+        vec![Degradation::UnknownTermDropped { term: "nosuchterm0000001".into() }]
+    );
+    assert_eq!(ri.degraded, rc.degraded);
+
+    // Under AND the unknown term empties the conjunction.
+    let q = Query::and(Query::term(known), Query::term("nosuchterm0000001"));
+    for r in [cpu.search(&q, 10).unwrap(), iiu.search(&q, 10).unwrap()] {
+        assert!(r.hits.is_empty());
+        assert_eq!(
+            r.degraded,
+            vec![Degradation::UnknownTermEmptyAnd { term: "nosuchterm0000001".into() }]
+        );
+    }
 }
 
 #[test]

@@ -1,7 +1,7 @@
 //! Phrase-query semantics across both engines (paper §2.2: phrase queries
 //! are built from an intersection query plus positional verification).
 
-use iiu_core::{CpuSearchEngine, IiuSearchEngine, Query, SearchEngine};
+use iiu_core::{CpuSearchEngine, IiuSearchEngine, Query, SearchEngine, SearchError};
 use iiu_index::{BuildOptions, IndexBuilder, IndexError, PositionIndex};
 
 fn build() -> (iiu_index::InvertedIndex, PositionIndex) {
@@ -60,8 +60,14 @@ fn phrase_without_positions_errors() {
     let mut cpu = CpuSearchEngine::new(&index);
     let mut iiu = IiuSearchEngine::new(&index);
     let q = Query::parse("\"new york\"").unwrap();
-    assert!(matches!(cpu.search(&q, 5), Err(IndexError::PositionsUnavailable)));
-    assert!(matches!(iiu.search(&q, 5), Err(IndexError::PositionsUnavailable)));
+    assert!(matches!(
+        cpu.search(&q, 5),
+        Err(SearchError::Index(IndexError::PositionsUnavailable))
+    ));
+    assert!(matches!(
+        iiu.search(&q, 5),
+        Err(SearchError::Index(IndexError::PositionsUnavailable))
+    ));
 }
 
 #[test]

@@ -13,6 +13,8 @@
 //! value supplies its docID ("the skip value is added to a d-gap to obtain
 //! the uncompressed docID").
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use crate::bitpack::{bits_for, BitReader, BitWriter};
 use crate::error::IndexError;
 use crate::posting::{DocId, Posting, PostingList};
@@ -300,6 +302,53 @@ impl EncodedList {
     pub fn model_bits(&self) -> u64 {
         self.model_bits
     }
+
+    /// Checks the structural invariants every decoder on the hot path
+    /// relies on, without decoding any payload:
+    ///
+    /// * one skip value per metadata word;
+    /// * bitwidths at most 31 and counts in `1..=`[`MAX_BLOCK_LEN`]
+    ///   (guaranteed by the packed layout, but re-checked for lists built
+    ///   by hand);
+    /// * block counts summing to [`EncodedList::num_postings`];
+    /// * every block's payload range in-bounds;
+    /// * skip values strictly increasing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::CorruptIndex`] naming the violated invariant.
+    pub fn validate(&self) -> Result<(), IndexError> {
+        if self.metas.len() != self.skips.len() {
+            return Err(IndexError::CorruptIndex { context: "skip/meta count mismatch" });
+        }
+        let mut total: u64 = 0;
+        for meta in &self.metas {
+            if meta.dn_bits > 31 || meta.tf_bits > 31 {
+                return Err(IndexError::CorruptIndex { context: "block bitwidths" });
+            }
+            if meta.count == 0 || meta.count as usize > MAX_BLOCK_LEN {
+                return Err(IndexError::CorruptIndex { context: "block count" });
+            }
+            total += u64::from(meta.count);
+            let bits_needed = meta
+                .offset
+                .checked_mul(8)
+                .and_then(|b| {
+                    b.checked_add(u64::from(meta.pair_bits()) * u64::from(meta.count))
+                })
+                .ok_or(IndexError::CorruptIndex { context: "payload bounds" })?;
+            if bits_needed > self.payload.len() as u64 * 8 {
+                return Err(IndexError::CorruptIndex { context: "payload bounds" });
+            }
+        }
+        if total != self.num_postings {
+            return Err(IndexError::CorruptIndex { context: "posting count mismatch" });
+        }
+        if self.skips.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(IndexError::CorruptIndex { context: "skip values not increasing" });
+        }
+        Ok(())
+    }
 }
 
 /// Streaming iterator over an [`EncodedList`]'s postings.
@@ -471,6 +520,48 @@ mod tests {
         let enc = EncodedList::encode(&l, &[1]).unwrap();
         assert_eq!(enc.metas()[0].dn_bits, 0);
         assert_eq!(enc.decode_all(), l);
+    }
+
+    #[test]
+    fn validate_accepts_encoder_output_and_catches_tampering() {
+        let l = list(&[(0, 1), (2, 2), (11, 1), (20, 9), (38, 1), (46, 2)]);
+        let enc = EncodedList::encode(&l, &[2, 2, 2]).unwrap();
+        assert!(enc.validate().is_ok());
+
+        let mut bad = enc.clone();
+        bad.num_postings += 1;
+        assert!(matches!(
+            bad.validate(),
+            Err(IndexError::CorruptIndex { context: "posting count mismatch" })
+        ));
+
+        let mut bad = enc.clone();
+        bad.skips[1] = bad.skips[0]; // not strictly increasing
+        assert!(matches!(
+            bad.validate(),
+            Err(IndexError::CorruptIndex { context: "skip values not increasing" })
+        ));
+
+        let mut bad = enc.clone();
+        bad.metas[2].offset = (1 << 43) - 1; // way out of the payload
+        assert!(matches!(
+            bad.validate(),
+            Err(IndexError::CorruptIndex { context: "payload bounds" })
+        ));
+
+        let mut bad = enc.clone();
+        bad.skips.pop();
+        assert!(matches!(
+            bad.validate(),
+            Err(IndexError::CorruptIndex { context: "skip/meta count mismatch" })
+        ));
+
+        let mut bad = enc;
+        bad.metas[0].dn_bits = 63;
+        assert!(matches!(
+            bad.validate(),
+            Err(IndexError::CorruptIndex { context: "block bitwidths" })
+        ));
     }
 
     #[test]

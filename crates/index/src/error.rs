@@ -32,6 +32,16 @@ pub enum IndexError {
         /// What was being parsed when the failure occurred.
         context: &'static str,
     },
+    /// A section checksum did not match its contents (format v2).
+    ChecksumMismatch {
+        /// Which section failed (e.g. `"header"`, `"doc length table"`,
+        /// `"term record"`, `"footer"`).
+        section: &'static str,
+        /// The checksum stored in the file.
+        expected: u32,
+        /// The checksum computed over the actual bytes.
+        found: u32,
+    },
     /// The serialized index has an unsupported magic number or version.
     UnsupportedFormat {
         /// The magic/version actually found.
@@ -64,6 +74,10 @@ impl fmt::Display for IndexError {
             IndexError::CorruptIndex { context } => {
                 write!(f, "corrupt serialized index while reading {context}")
             }
+            IndexError::ChecksumMismatch { section, expected, found } => write!(
+                f,
+                "checksum mismatch in {section}: stored {expected:#010x}, computed {found:#010x}"
+            ),
             IndexError::UnsupportedFormat { found } => {
                 write!(f, "unsupported index format (magic/version {found:#x})")
             }
@@ -88,6 +102,14 @@ mod tests {
         assert!(s.contains("10") && s.contains('9'));
         let e = IndexError::UnknownTerm { term: "zebra".into() };
         assert!(e.to_string().contains("zebra"));
+        let e = IndexError::ChecksumMismatch {
+            section: "doc length table",
+            expected: 0xDEAD_BEEF,
+            found: 0x0BAD_F00D,
+        };
+        let s = e.to_string();
+        assert!(s.contains("doc length table"));
+        assert!(s.contains("0xdeadbeef") && s.contains("0x0badf00d"), "{s}");
     }
 
     #[test]

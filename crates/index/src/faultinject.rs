@@ -1,0 +1,274 @@
+//! Deterministic fault injection for serialized indexes.
+//!
+//! A production load path (the paper's `init(file invFile)` host primitive,
+//! §4.1) must survive truncated, bit-flipped and adversarially spliced
+//! inputs without panicking. This module generates such inputs
+//! *deterministically* — every corruption is a pure function of a seed —
+//! so a failure reproduces from its seed alone, and drives them through
+//! [`crate::io::deserialize`] to produce a survival report.
+//!
+//! The generator is a SplitMix64 PRNG (Steele et al., "Fast splittable
+//! pseudorandom number generators") so the crate needs no `rand`
+//! dependency.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use crate::error::IndexError;
+use crate::index::InvertedIndex;
+use crate::io::deserialize;
+
+/// SplitMix64: tiny, seedable, statistically solid for fuzzing purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "below() needs a positive bound");
+        self.next_u64() % bound.max(1)
+    }
+}
+
+/// One concrete corruption applied to a serialized index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Corruption {
+    /// Flip one bit.
+    BitFlip {
+        /// Byte offset of the flipped bit.
+        byte: usize,
+        /// Bit position within the byte (0..8).
+        bit: u8,
+    },
+    /// Cut the file to a prefix.
+    Truncate {
+        /// New length in bytes.
+        len: usize,
+    },
+    /// Overwrite a run of bytes with pseudo-random content.
+    Splice {
+        /// Start offset of the overwritten run.
+        at: usize,
+        /// Length of the run.
+        len: usize,
+    },
+    /// Overwrite 4 bytes with an adversarial length-like value — the
+    /// mutation bit-packed formats are most sensitive to (huge counts,
+    /// off-by-one sizes, sign-bit patterns).
+    LengthField {
+        /// Byte offset of the 32-bit field.
+        at: usize,
+        /// The value written (little endian).
+        value: u32,
+    },
+}
+
+/// Deterministically derives one corruption from `seed` and applies it to a
+/// copy of `bytes`. Returns the corrupted bytes and a description of what
+/// was done. Empty input is returned unchanged as a zero-length truncation;
+/// any other input is guaranteed to come back byte-different (a splice or
+/// length-field write that happens to reproduce the original bytes falls
+/// back to a bit flip, so no trial of a campaign is wasted on a no-op).
+pub fn corrupt(bytes: &[u8], seed: u64) -> (Vec<u8>, Corruption) {
+    let mut rng = SplitMix64::new(seed);
+    let out = bytes.to_vec();
+    if out.is_empty() {
+        return (out, Corruption::Truncate { len: 0 });
+    }
+    let len = out.len() as u64;
+    let (out, kind) = apply(&mut rng, out, len);
+    if out.len() == bytes.len() && out == bytes {
+        let mut out = out;
+        let byte = rng.below(len) as usize;
+        let bit = rng.below(8) as u8;
+        out[byte] ^= 1 << bit;
+        return (out, Corruption::BitFlip { byte, bit });
+    }
+    (out, kind)
+}
+
+fn apply(rng: &mut SplitMix64, mut out: Vec<u8>, len: u64) -> (Vec<u8>, Corruption) {
+    match rng.below(4) {
+        0 => {
+            let byte = rng.below(len) as usize;
+            let bit = (rng.below(8)) as u8;
+            out[byte] ^= 1 << bit;
+            (out, Corruption::BitFlip { byte, bit })
+        }
+        1 => {
+            let cut = rng.below(len) as usize;
+            out.truncate(cut);
+            (out, Corruption::Truncate { len: cut })
+        }
+        2 => {
+            let at = rng.below(len) as usize;
+            let run = 1 + rng.below(64.min(len)) as usize;
+            let end = (at + run).min(out.len());
+            for b in &mut out[at..end] {
+                *b = (rng.next_u64() & 0xff) as u8;
+            }
+            (out, Corruption::Splice { at, len: end - at })
+        }
+        _ => {
+            // Length-like fields are 4 or 8 bytes; hitting any aligned or
+            // unaligned offset with an adversarial 32-bit value exercises
+            // the count/offset sanity checks.
+            let at = rng.below(len) as usize;
+            let value = match rng.below(6) {
+                0 => u32::MAX,
+                1 => u32::MAX - 1,
+                2 => 1 << 31,
+                3 => (len as u32).wrapping_add(1),
+                4 => 0,
+                _ => (rng.next_u64() & 0xffff_ffff) as u32,
+            };
+            let end = (at + 4).min(out.len());
+            let le = value.to_le_bytes();
+            out[at..end].copy_from_slice(&le[..end - at]);
+            (out, Corruption::LengthField { at, value })
+        }
+    }
+}
+
+/// Outcome tally of a deterministic corruption campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SurvivalReport {
+    /// Corruptions attempted.
+    pub trials: u64,
+    /// Loads rejected with a typed [`IndexError`].
+    pub typed_errors: u64,
+    /// Rejections specifically via [`IndexError::ChecksumMismatch`].
+    pub checksum_rejections: u64,
+    /// Loads that succeeded and decoded to an index deep-equal to the
+    /// original (the corruption was a semantic no-op — possible only in
+    /// regions a v1 file leaves unchecksummed, never byte-identity, which
+    /// [`corrupt`] rules out).
+    pub accepted_equal: u64,
+    /// Loads that succeeded but decoded to a *different* index — silent
+    /// corruption. Must stay 0 for the format to be considered hardened.
+    pub accepted_divergent: u64,
+}
+
+impl SurvivalReport {
+    /// Whether every corruption was either rejected with a typed error or
+    /// proved to be a semantic no-op.
+    pub fn survived(&self) -> bool {
+        self.accepted_divergent == 0
+            && self.trials == self.typed_errors + self.accepted_equal
+    }
+}
+
+/// Runs `trials` deterministic corruptions (seeds `seed_base..seed_base +
+/// trials`) of `bytes` through [`deserialize`], comparing any successful
+/// load against `original`.
+///
+/// Panics inside `deserialize` are *not* caught here: under `cargo test` a
+/// panic is the failure signal we want, and the CLI harness wraps this in
+/// `catch_unwind` per trial.
+pub fn survival_report(
+    original: &InvertedIndex,
+    bytes: &[u8],
+    trials: u64,
+    seed_base: u64,
+) -> SurvivalReport {
+    let mut report = SurvivalReport { trials, ..Default::default() };
+    for t in 0..trials {
+        let (mutated, _what) = corrupt(bytes, seed_base + t);
+        match deserialize(&mutated) {
+            Err(e) => {
+                report.typed_errors += 1;
+                if matches!(e, IndexError::ChecksumMismatch { .. }) {
+                    report.checksum_rejections += 1;
+                }
+            }
+            Ok(idx) => {
+                if idx == *original {
+                    report.accepted_equal += 1;
+                } else {
+                    report.accepted_divergent += 1;
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{BuildOptions, IndexBuilder};
+    use crate::io::serialize;
+
+    fn sample() -> InvertedIndex {
+        let mut b = IndexBuilder::new(BuildOptions::default());
+        b.add_document("the quick brown fox jumps over the lazy dog");
+        b.add_document("pack my box with five dozen liquor jugs");
+        b.add_document("the five boxing wizards jump quickly");
+        b.build()
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_nontrivial() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), xs.len(), "16 draws should not collide");
+    }
+
+    #[test]
+    fn corrupt_is_deterministic() {
+        let bytes = serialize(&sample()).expect("serialize");
+        for seed in 0..50 {
+            let (a, ka) = corrupt(&bytes, seed);
+            let (b, kb) = corrupt(&bytes, seed);
+            assert_eq!(a, b);
+            assert_eq!(ka, kb);
+        }
+    }
+
+    #[test]
+    fn corrupt_changes_or_truncates() {
+        let bytes = serialize(&sample()).expect("serialize");
+        let mut changed = 0;
+        for seed in 0..200 {
+            let (m, _) = corrupt(&bytes, seed);
+            if m != bytes.as_ref() {
+                changed += 1;
+            }
+        }
+        // The bit-flip fallback guarantees every corruption of a non-empty
+        // file actually changes the bytes.
+        assert_eq!(changed, 200, "only {changed}/200 corruptions changed the bytes");
+    }
+
+    #[test]
+    fn survival_report_on_hardened_format() {
+        let idx = sample();
+        let bytes = serialize(&idx).expect("serialize");
+        let report = survival_report(&idx, &bytes, 300, 0xfa_017);
+        assert!(report.survived(), "unsurvived: {report:?}");
+        assert!(report.typed_errors > 0);
+        assert!(report.checksum_rejections > 0, "checksums never fired: {report:?}");
+    }
+}

@@ -1,6 +1,8 @@
 //! The inverted index: dictionary, compressed posting lists, and the
 //! precomputed BM25 constants the scoring units load at query time.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use std::collections::HashMap;
 
 use crate::block::EncodedList;
@@ -199,6 +201,49 @@ impl InvertedIndex {
         &self.dl_bars
     }
 
+    /// Checks every structural invariant the query hot path relies on:
+    /// each encoded list passes [`EncodedList::validate`], the dictionary
+    /// and term table agree, and the per-document tables are sized to the
+    /// corpus.
+    ///
+    /// A [`deserialize`](crate::io::deserialize)d index always passes (the
+    /// reader rebuilds lists from decoded postings); this is the
+    /// belt-and-braces check for indexes assembled by other means, and the
+    /// oracle the fault-injection harness holds accepted loads against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::CorruptIndex`] naming the violated invariant.
+    pub fn validate(&self) -> Result<(), IndexError> {
+        if self.terms.len() != self.lists.len() {
+            return Err(IndexError::CorruptIndex { context: "term/list count mismatch" });
+        }
+        if self.dictionary.len() != self.terms.len() {
+            return Err(IndexError::CorruptIndex { context: "dictionary size" });
+        }
+        if self.dl_bars.len() != self.doc_lens.len() {
+            return Err(IndexError::CorruptIndex { context: "dl-bar table size" });
+        }
+        let n_docs = self.doc_lens.len() as u64;
+        for (id, (info, list)) in self.terms.iter().zip(&self.lists).enumerate() {
+            if self.dictionary.get(&info.term) != Some(&(id as TermId)) {
+                return Err(IndexError::CorruptIndex { context: "dictionary mapping" });
+            }
+            list.validate()?;
+            if info.df != list.num_postings() {
+                return Err(IndexError::CorruptIndex { context: "document frequency" });
+            }
+            if let Some(&last) = list.skips().last() {
+                if u64::from(last) >= n_docs {
+                    return Err(IndexError::CorruptIndex {
+                        context: "posting list references docID beyond corpus",
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Aggregate size accounting across all posting lists.
     pub fn size_stats(&self) -> IndexSizeStats {
         let mut stats = IndexSizeStats::default();
@@ -295,6 +340,37 @@ mod tests {
         assert_eq!(s.skip_bytes, s.num_blocks * 4);
         assert!(s.compressed_bytes() > 0);
         assert!(s.compression_ratio() > 1.0);
+    }
+
+    #[test]
+    fn validate_passes_on_built_index_and_catches_tampering() {
+        let idx = tiny_index();
+        assert!(idx.validate().is_ok());
+
+        let mut bad = idx.clone();
+        bad.terms[0].df += 1;
+        assert!(matches!(
+            bad.validate(),
+            Err(IndexError::CorruptIndex { context: "document frequency" })
+        ));
+
+        let mut bad = idx.clone();
+        bad.dictionary.insert("business".into(), 1);
+        assert!(matches!(
+            bad.validate(),
+            Err(IndexError::CorruptIndex { context: "dictionary mapping" })
+        ));
+
+        let mut bad = idx.clone();
+        bad.doc_lens.truncate(5); // lists now reference docIDs beyond corpus
+        assert!(bad.validate().is_err());
+
+        let mut bad = idx;
+        bad.lists.pop();
+        assert!(matches!(
+            bad.validate(),
+            Err(IndexError::CorruptIndex { context: "term/list count mismatch" })
+        ));
     }
 
     #[test]

@@ -5,23 +5,69 @@
 //! module defines that file format: a little-endian, sectioned layout with a
 //! magic/version word, the BM25 parameters, the document-length table, and
 //! one record per term (name, metadata words, skip values, payload bytes).
+//!
+//! # Format v2 (current)
+//!
+//! Version 2 hardens the load path with per-section CRC32 checksums
+//! ([`crate::checksum`]):
+//!
+//! ```text
+//! magic/version            u64   (MAGIC, not covered by a section CRC)
+//! header                   k1 f64 · b f64 · partitioner (u8 kind + u32 arg)
+//!                          · num_docs u64 · num_terms u64      + crc32 u32
+//! doc-length table         num_docs × u32                      + crc32 u32
+//! term record (× num_terms)
+//!                          name_len u32 · name bytes
+//!                          · num_postings u64 · num_blocks u64
+//!                          · num_blocks × meta u64
+//!                          · num_blocks × skip u32
+//!                          · payload_len u64 · payload bytes   + crc32 u32
+//! footer                   crc32 u32 over every preceding byte
+//! ```
+//!
+//! [`deserialize`] verifies each section checksum before trusting its
+//! contents, then rebuilds every posting list by decoding it (bounds
+//! checked) and re-encoding, so a malformed file yields a typed
+//! [`IndexError`] — never a panic or an out-of-bounds read. Version 1 files
+//! (no checksums) remain readable; unknown versions are rejected with
+//! [`IndexError::UnsupportedFormat`].
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use bytes::{BufMut, Bytes, BytesMut};
 
 use crate::block::BlockMeta;
+use crate::checksum::crc32;
 use crate::error::IndexError;
 use crate::index::InvertedIndex;
 use crate::partition::Partitioner;
 use crate::posting::PostingList;
 use crate::score::Bm25Params;
 
-/// Magic + version identifying the format ("IIUX" + 0x0001).
-pub const MAGIC: u64 = 0x4949_5558_0000_0001;
+/// Magic + version identifying the current format ("IIUX" + 0x0002).
+pub const MAGIC: u64 = 0x4949_5558_0000_0002;
 
-/// Serializes `index` to bytes.
-pub fn serialize(index: &InvertedIndex) -> Bytes {
+/// Magic + version of the legacy checksum-free format ("IIUX" + 0x0001),
+/// still accepted by [`deserialize`].
+pub const MAGIC_V1: u64 = 0x4949_5558_0000_0001;
+
+/// Serializes `index` to bytes in format v2.
+///
+/// # Errors
+///
+/// Returns [`IndexError::UnknownTerm`] if the index's dictionary is
+/// inconsistent with its term table (an internal-corruption guard that
+/// replaces the old panic on this path).
+pub fn serialize(index: &InvertedIndex) -> Result<Bytes, IndexError> {
+    fn seal_section(buf: &mut BytesMut, start: usize) {
+        let crc = crc32(&buf[start..]);
+        buf.put_u32_le(crc);
+    }
+
     let mut buf = BytesMut::new();
     buf.put_u64_le(MAGIC);
+
+    let header_start = buf.len();
     buf.put_f64_le(index.params().k1);
     buf.put_f64_le(index.params().b);
     match index.partitioner() {
@@ -35,12 +81,21 @@ pub fn serialize(index: &InvertedIndex) -> Bytes {
         }
     }
     buf.put_u64_le(index.num_docs());
+    buf.put_u64_le(index.num_terms() as u64);
+    seal_section(&mut buf, header_start);
+
+    let doc_start = buf.len();
     for &l in index.doc_lens() {
         buf.put_u32_le(l);
     }
-    buf.put_u64_le(index.num_terms() as u64);
+    seal_section(&mut buf, doc_start);
+
     for info in index.terms() {
-        let list = index.encoded_list(index.term_id(&info.term).expect("term in dictionary"));
+        let id = index
+            .term_id(&info.term)
+            .ok_or_else(|| IndexError::UnknownTerm { term: info.term.clone() })?;
+        let list = index.encoded_list(id);
+        let record_start = buf.len();
         buf.put_u32_le(info.term.len() as u32);
         buf.put_slice(info.term.as_bytes());
         buf.put_u64_le(list.num_postings());
@@ -53,83 +108,214 @@ pub fn serialize(index: &InvertedIndex) -> Bytes {
         }
         buf.put_u64_le(list.payload().len() as u64);
         buf.put_slice(list.payload());
+        seal_section(&mut buf, record_start);
     }
-    buf.freeze()
+
+    let footer = crc32(&buf);
+    buf.put_u32_le(footer);
+    Ok(buf.freeze())
 }
 
-/// Deserializes an index previously written by [`serialize`].
+/// A bounds-checked little-endian cursor over the serialized bytes that
+/// remembers its position, so section checksums can be computed over the
+/// exact byte ranges that were parsed.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], IndexError> {
+        if self.remaining() < n {
+            return Err(IndexError::CorruptIndex { context });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, context: &'static str) -> Result<u8, IndexError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    fn u32(&mut self, context: &'static str) -> Result<u32, IndexError> {
+        let s = self.take(4, context)?;
+        let mut b = [0u8; 4];
+        b.copy_from_slice(s);
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn u64(&mut self, context: &'static str) -> Result<u64, IndexError> {
+        let s = self.take(8, context)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(s);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn f64(&mut self, context: &'static str) -> Result<f64, IndexError> {
+        Ok(f64::from_bits(self.u64(context)?))
+    }
+
+    /// Reads a stored section checksum and verifies it against the bytes
+    /// parsed since `start`.
+    fn verify_section(
+        &mut self,
+        start: usize,
+        section: &'static str,
+        crc_context: &'static str,
+    ) -> Result<(), IndexError> {
+        let found = crc32(&self.buf[start..self.pos]);
+        let expected = self.u32(crc_context)?;
+        if expected != found {
+            return Err(IndexError::ChecksumMismatch { section, expected, found });
+        }
+        Ok(())
+    }
+}
+
+/// Deserializes an index previously written by [`serialize`] (format v2) or
+/// by the v1 writer (no checksums).
 ///
 /// # Errors
 ///
-/// Returns [`IndexError::UnsupportedFormat`] on a bad magic word and
-/// [`IndexError::CorruptIndex`] on truncated or inconsistent content.
-pub fn deserialize(mut bytes: &[u8]) -> Result<InvertedIndex, IndexError> {
-    fn need(buf: &[u8], n: usize, context: &'static str) -> Result<(), IndexError> {
-        if buf.remaining() < n {
-            Err(IndexError::CorruptIndex { context })
-        } else {
-            Ok(())
-        }
+/// Returns [`IndexError::UnsupportedFormat`] on an unknown magic/version
+/// word, [`IndexError::ChecksumMismatch`] when a v2 section checksum fails,
+/// and [`IndexError::CorruptIndex`] on truncated or inconsistent content.
+pub fn deserialize(bytes: &[u8]) -> Result<InvertedIndex, IndexError> {
+    let mut r = Reader::new(bytes);
+    let magic = r.u64("magic")?;
+    match magic {
+        MAGIC => deserialize_v2(r),
+        MAGIC_V1 => deserialize_v1(r),
+        found => Err(IndexError::UnsupportedFormat { found }),
     }
+}
 
-    need(bytes, 8, "magic")?;
-    let magic = bytes.get_u64_le();
-    if magic != MAGIC {
-        return Err(IndexError::UnsupportedFormat { found: magic });
+fn read_partitioner(kind: u8, arg: usize) -> Result<Partitioner, IndexError> {
+    match kind {
+        0 => Ok(Partitioner::fixed(arg)),
+        1 => Ok(Partitioner::dynamic(arg)),
+        _ => Err(IndexError::CorruptIndex { context: "partitioner kind" }),
     }
-    need(bytes, 8 + 8 + 1 + 4 + 8, "header")?;
-    let k1 = bytes.get_f64_le();
-    let b = bytes.get_f64_le();
+}
+
+fn deserialize_v2(mut r: Reader<'_>) -> Result<InvertedIndex, IndexError> {
+    let header_start = r.pos;
+    let k1 = r.f64("header")?;
+    let b = r.f64("header")?;
     let params = Bm25Params { k1, b };
-    let part_kind = bytes.get_u8();
-    let part_arg = bytes.get_u32_le() as usize;
-    let partitioner = match part_kind {
-        0 => Partitioner::fixed(part_arg),
-        1 => Partitioner::dynamic(part_arg),
-        _ => return Err(IndexError::CorruptIndex { context: "partitioner kind" }),
-    };
-    let n_docs = bytes.get_u64_le() as usize;
-    need(bytes, n_docs * 4, "doc length table")?;
-    let doc_lens: Vec<u32> = (0..n_docs).map(|_| bytes.get_u32_le()).collect();
+    let part_kind = r.u8("header")?;
+    let part_arg = r.u32("header")? as usize;
+    let n_docs = r.u64("header")? as usize;
+    let n_terms = r.u64("header")? as usize;
+    r.verify_section(header_start, "header", "header checksum")?;
+    let partitioner = read_partitioner(part_kind, part_arg)?;
 
-    need(bytes, 8, "term count")?;
-    let n_terms = bytes.get_u64_le() as usize;
-    let mut lists = Vec::with_capacity(n_terms);
+    let doc_start = r.pos;
+    let doc_bytes = n_docs
+        .checked_mul(4)
+        .ok_or(IndexError::CorruptIndex { context: "doc length table" })?;
+    let raw = r.take(doc_bytes, "doc length table")?;
+    let doc_lens: Vec<u32> = raw
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    r.verify_section(doc_start, "doc length table", "doc length checksum")?;
+
+    let mut lists = Vec::with_capacity(n_terms.min(r.remaining()));
     for _ in 0..n_terms {
-        need(bytes, 4, "term name length")?;
-        let name_len = bytes.get_u32_le() as usize;
-        need(bytes, name_len, "term name")?;
-        let name = std::str::from_utf8(&bytes[..name_len])
-            .map_err(|_| IndexError::CorruptIndex { context: "term name utf-8" })?
-            .to_owned();
-        bytes.advance(name_len);
-
-        need(bytes, 16, "list header")?;
-        let num_postings = bytes.get_u64_le();
-        let num_blocks = bytes.get_u64_le() as usize;
-        need(bytes, num_blocks * 12 + 8, "block tables")?;
-        let metas: Vec<BlockMeta> =
-            (0..num_blocks).map(|_| BlockMeta::unpack(bytes.get_u64_le())).collect();
-        let skips: Vec<u32> = (0..num_blocks).map(|_| bytes.get_u32_le()).collect();
-        let payload_len = bytes.get_u64_le() as usize;
-        need(bytes, payload_len, "payload")?;
-        let payload = bytes[..payload_len].to_vec();
-        bytes.advance(payload_len);
-
-        // Rebuild the list by decoding and re-encoding: this validates the
-        // content and reconstructs the derived fields (model cost) without
-        // trusting the file.
-        let block_lens: Vec<usize> = metas.iter().map(|m| m.count as usize).collect();
-        let total: u64 = block_lens.iter().map(|&l| l as u64).sum();
-        if total != num_postings {
-            return Err(IndexError::CorruptIndex { context: "posting count mismatch" });
-        }
-        let decoded = decode_raw(&metas, &skips, &payload)?;
-        let list = PostingList::from_sorted(decoded);
+        let record_start = r.pos;
+        let (name, list) = read_term_record(&mut r, "term record")?;
+        r.verify_section(record_start, "term record", "term record checksum")?;
         lists.push((name, list));
     }
 
+    let body_end = r.pos;
+    let found = crc32(&r.buf[..body_end]);
+    let expected = r.u32("footer")?;
+    if expected != found {
+        return Err(IndexError::ChecksumMismatch { section: "footer", expected, found });
+    }
+    if r.remaining() != 0 {
+        return Err(IndexError::CorruptIndex { context: "trailing bytes" });
+    }
+
     InvertedIndex::from_lists(lists, doc_lens, partitioner, params)
+}
+
+fn deserialize_v1(mut r: Reader<'_>) -> Result<InvertedIndex, IndexError> {
+    let k1 = r.f64("header")?;
+    let b = r.f64("header")?;
+    let params = Bm25Params { k1, b };
+    let part_kind = r.u8("header")?;
+    let part_arg = r.u32("header")? as usize;
+    let partitioner = read_partitioner(part_kind, part_arg)?;
+    let n_docs = r.u64("header")? as usize;
+    let doc_bytes = n_docs
+        .checked_mul(4)
+        .ok_or(IndexError::CorruptIndex { context: "doc length table" })?;
+    let raw = r.take(doc_bytes, "doc length table")?;
+    let doc_lens: Vec<u32> = raw
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+
+    let n_terms = r.u64("term count")? as usize;
+    let mut lists = Vec::with_capacity(n_terms.min(r.remaining()));
+    for _ in 0..n_terms {
+        lists.push(read_term_record(&mut r, "term record")?);
+    }
+    InvertedIndex::from_lists(lists, doc_lens, partitioner, params)
+}
+
+/// Reads one term record (shared between v1 and v2) and rebuilds the list
+/// by decoding and re-encoding: this validates the content and
+/// reconstructs the derived fields (model cost) without trusting the file.
+fn read_term_record(
+    r: &mut Reader<'_>,
+    context: &'static str,
+) -> Result<(String, PostingList), IndexError> {
+    let name_len = r.u32(context)? as usize;
+    let name = std::str::from_utf8(r.take(name_len, context)?)
+        .map_err(|_| IndexError::CorruptIndex { context: "term name utf-8" })?
+        .to_owned();
+
+    let num_postings = r.u64(context)?;
+    let num_blocks = r.u64(context)? as usize;
+    let table_bytes = num_blocks
+        .checked_mul(12)
+        .ok_or(IndexError::CorruptIndex { context: "block tables" })?;
+    let raw = r.take(table_bytes, context)?;
+    let (meta_raw, skip_raw) = raw.split_at(num_blocks * 8);
+    let metas: Vec<BlockMeta> = meta_raw
+        .chunks_exact(8)
+        .map(|c| {
+            BlockMeta::unpack(u64::from_le_bytes([
+                c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7],
+            ]))
+        })
+        .collect();
+    let skips: Vec<u32> = skip_raw
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    let payload_len = r.u64(context)? as usize;
+    let payload = r.take(payload_len, context)?;
+
+    let total: u64 = metas.iter().map(|m| u64::from(m.count)).sum();
+    if total != num_postings {
+        return Err(IndexError::CorruptIndex { context: "posting count mismatch" });
+    }
+    let decoded = decode_raw(&metas, &skips, payload)?;
+    Ok((name, PostingList::from_sorted(decoded)))
 }
 
 /// Decodes raw block tables into postings, with bounds checking.
@@ -187,17 +373,65 @@ mod tests {
         b.build()
     }
 
+    /// Writes `index` in the legacy v1 layout (no checksums), byte-for-byte
+    /// what the old writer produced.
+    fn serialize_v1(index: &InvertedIndex) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(MAGIC_V1);
+        buf.put_f64_le(index.params().k1);
+        buf.put_f64_le(index.params().b);
+        match index.partitioner() {
+            Partitioner::Fixed { block_len } => {
+                buf.put_u8(0);
+                buf.put_u32_le(block_len as u32);
+            }
+            Partitioner::Dynamic { max_size } => {
+                buf.put_u8(1);
+                buf.put_u32_le(max_size as u32);
+            }
+        }
+        buf.put_u64_le(index.num_docs());
+        for &l in index.doc_lens() {
+            buf.put_u32_le(l);
+        }
+        buf.put_u64_le(index.num_terms() as u64);
+        for info in index.terms() {
+            let list = index.encoded_list(index.term_id(&info.term).unwrap());
+            buf.put_u32_le(info.term.len() as u32);
+            buf.put_slice(info.term.as_bytes());
+            buf.put_u64_le(list.num_postings());
+            buf.put_u64_le(list.num_blocks() as u64);
+            for meta in list.metas() {
+                buf.put_u64_le(meta.pack());
+            }
+            for &skip in list.skips() {
+                buf.put_u32_le(skip);
+            }
+            buf.put_u64_le(list.payload().len() as u64);
+            buf.put_slice(list.payload());
+        }
+        buf.to_vec()
+    }
+
     #[test]
     fn roundtrip_preserves_index() {
         let idx = sample_index();
-        let bytes = serialize(&idx);
+        let bytes = serialize(&idx).unwrap();
+        let back = deserialize(&bytes).unwrap();
+        assert_eq!(idx, back);
+    }
+
+    #[test]
+    fn reads_legacy_v1_files() {
+        let idx = sample_index();
+        let bytes = serialize_v1(&idx);
         let back = deserialize(&bytes).unwrap();
         assert_eq!(idx, back);
     }
 
     #[test]
     fn rejects_bad_magic() {
-        let mut bytes = serialize(&sample_index()).to_vec();
+        let mut bytes = serialize(&sample_index()).unwrap().to_vec();
         bytes[0] ^= 0xff;
         assert!(matches!(
             deserialize(&bytes),
@@ -206,8 +440,18 @@ mod tests {
     }
 
     #[test]
+    fn rejects_unknown_future_version() {
+        let mut bytes = serialize(&sample_index()).unwrap().to_vec();
+        bytes[0] = 0x03; // "IIUX" + 0x0003
+        assert!(matches!(
+            deserialize(&bytes),
+            Err(IndexError::UnsupportedFormat { found }) if found & 0xffff == 3
+        ));
+    }
+
+    #[test]
     fn rejects_truncation_everywhere() {
-        let bytes = serialize(&sample_index()).to_vec();
+        let bytes = serialize(&sample_index()).unwrap().to_vec();
         // Every strict prefix must fail cleanly, never panic.
         for cut in 0..bytes.len() {
             let r = deserialize(&bytes[..cut]);
@@ -216,9 +460,125 @@ mod tests {
     }
 
     #[test]
+    fn rejects_v1_truncation_everywhere() {
+        let bytes = serialize_v1(&sample_index());
+        for cut in 0..bytes.len() {
+            let r = deserialize(&bytes[..cut]);
+            assert!(r.is_err(), "v1 prefix of {cut} bytes must be rejected");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = serialize(&sample_index()).unwrap().to_vec();
+        bytes.push(0);
+        assert!(matches!(
+            deserialize(&bytes),
+            Err(IndexError::CorruptIndex { context: "trailing bytes" })
+        ));
+    }
+
+    #[test]
+    fn every_bit_flip_is_detected() {
+        // With per-section CRCs plus a whole-file footer, any single-bit
+        // flip anywhere in the file must be rejected.
+        let bytes = serialize(&sample_index()).unwrap().to_vec();
+        for byte in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[byte] ^= 1 << (byte % 8);
+            assert!(
+                deserialize(&flipped).is_err(),
+                "bit flip at byte {byte} was silently accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn checksum_error_names_the_section() {
+        let idx = sample_index();
+        let bytes = serialize(&idx).unwrap().to_vec();
+        // Flip a doc-length byte: header is 8 (magic) + 37 + 4 bytes in.
+        let mut corrupt = bytes.clone();
+        corrupt[8 + 37 + 4 + 1] ^= 0x10;
+        match deserialize(&corrupt) {
+            Err(IndexError::ChecksumMismatch { section, expected, found }) => {
+                assert_eq!(section, "doc length table");
+                assert_ne!(expected, found);
+            }
+            other => panic!("expected doc-length checksum failure, got {other:?}"),
+        }
+        // Flip a byte in the header (k1).
+        let mut corrupt = bytes.clone();
+        corrupt[9] ^= 0x01;
+        match deserialize(&corrupt) {
+            Err(IndexError::ChecksumMismatch { section, .. }) => {
+                assert_eq!(section, "header");
+            }
+            other => panic!("expected header checksum failure, got {other:?}"),
+        }
+        // Flip the last payload byte before the footer: a term record.
+        let mut corrupt = bytes.clone();
+        let n = corrupt.len();
+        corrupt[n - 9] ^= 0x80;
+        match deserialize(&corrupt) {
+            Err(
+                IndexError::ChecksumMismatch { section: "term record", .. }
+                | IndexError::CorruptIndex { .. },
+            ) => {}
+            other => panic!("expected term-record failure, got {other:?}"),
+        }
+    }
+
+    /// Byte offsets of every section boundary in a v2 file, in order, each
+    /// labeled with the context/section expected when the file is cut
+    /// *inside* the following section.
+    fn v2_section_boundaries(index: &InvertedIndex) -> Vec<(usize, &'static str)> {
+        let mut bounds = Vec::new();
+        let mut pos = 0usize;
+        bounds.push((pos, "magic"));
+        pos += 8;
+        bounds.push((pos, "header"));
+        pos += 37;
+        bounds.push((pos, "header checksum"));
+        pos += 4;
+        bounds.push((pos, "doc length table"));
+        pos += index.doc_lens().len() * 4;
+        bounds.push((pos, "doc length checksum"));
+        pos += 4;
+        for info in index.terms() {
+            let list = index.encoded_list(index.term_id(&info.term).unwrap());
+            bounds.push((pos, "term record"));
+            pos += 4 + info.term.len() + 8 + 8 + list.num_blocks() * 12 + 8
+                + list.payload().len();
+            bounds.push((pos, "term record checksum"));
+            pos += 4;
+        }
+        bounds.push((pos, "footer"));
+        bounds
+    }
+
+    #[test]
+    fn truncation_context_names_the_right_section() {
+        let idx = sample_index();
+        let bytes = serialize(&idx).unwrap().to_vec();
+        let bounds = v2_section_boundaries(&idx);
+        assert_eq!(bounds.last().unwrap().0 + 4, bytes.len(), "boundary math");
+        for &(at, expect) in &bounds {
+            // Cutting exactly at a boundary fails while *needing* the next
+            // section, so the context must name it.
+            match deserialize(&bytes[..at]) {
+                Err(IndexError::CorruptIndex { context }) => {
+                    assert_eq!(context, expect, "cut at {at}");
+                }
+                other => panic!("cut at {at}: expected CorruptIndex, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn roundtrip_empty_index() {
         let idx = IndexBuilder::new(BuildOptions::default()).build();
-        let bytes = serialize(&idx);
+        let bytes = serialize(&idx).unwrap();
         let back = deserialize(&bytes).unwrap();
         assert_eq!(idx, back);
     }
@@ -232,7 +592,7 @@ mod tests {
         });
         b.add_document("alpha beta gamma alpha");
         let idx = b.build();
-        let back = deserialize(&serialize(&idx)).unwrap();
+        let back = deserialize(&serialize(&idx).unwrap()).unwrap();
         assert_eq!(back.partitioner(), Partitioner::fixed(128));
         assert!((back.params().k1 - 0.9).abs() < 1e-12);
         assert!((back.params().b - 0.4).abs() < 1e-12);

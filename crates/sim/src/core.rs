@@ -171,10 +171,16 @@ impl Dcu {
         self.pending_job = false;
     }
 
-    /// Records the arrival of a directly fetched line.
+    /// Records the arrival of a directly fetched line. Lines that fall
+    /// outside the current job's window — on either side — are stale
+    /// deliveries for a block that already finished (or was aborted) while
+    /// its last fetches were still in flight, and are ignored.
     pub fn deliver_fetch_line(&mut self, addr: u64) {
         if let DcuState::Fetch { job, arrived, avail_lines, .. } = &mut self.state {
-            let rel = ((addr - job.base_addr) / LINE_BYTES) as usize;
+            let Some(off) = addr.checked_sub(job.base_addr) else {
+                return;
+            };
+            let rel = (off / LINE_BYTES) as usize;
             if rel < arrived.len() {
                 arrived[rel] = true;
                 while *avail_lines < arrived.len() && arrived[*avail_lines] {

@@ -1,0 +1,225 @@
+//! Typed simulator errors and the watchdog's stall snapshot.
+//!
+//! The run methods on [`crate::IiuMachine`] used to `assert!` on invalid
+//! allocations and wedge diagnostics; they now return [`SimError`] so a
+//! serving layer can degrade gracefully instead of crashing. A stall
+//! carries a structured [`StallSnapshot`] of every in-flight execution —
+//! queue depths and fetch counters per unit — so the failure is
+//! diagnosable after the fact.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::machine::SimQuery;
+
+/// Progress counters for one Block Reader payload stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamSnapshot {
+    /// Every line has been fetched and consumed.
+    pub done: bool,
+    /// Lines the stream must fetch in total.
+    pub total_lines: usize,
+    /// Cycles the stream window was full while a consumer waited.
+    pub stall_cycles: u64,
+}
+
+/// Progress counters for one Block Scheduler (metadata + skip streams).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerSnapshot {
+    /// Blocks whose metadata and skip entries have both arrived.
+    pub blocks_ready: usize,
+    /// Next block index to dispatch.
+    pub next_block: usize,
+    /// All blocks have been handed to DCUs.
+    pub all_dispatched: bool,
+}
+
+/// Queue depths and counters for one IIU core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreSnapshot {
+    /// DCU0/DCU1 idle flags.
+    pub dcu_idle: [bool; 2],
+    /// DCU0/DCU1 output-queue depths.
+    pub dcu_out_depth: [usize; 2],
+    /// Postings decoded so far per DCU.
+    pub dcu_postings_decoded: [u64; 2],
+    /// DCU1 has a candidate-block load waiting to materialize.
+    pub dcu1_pending_job: bool,
+    /// SU0/SU1 fully drained flags.
+    pub su_drained: [bool; 2],
+    /// SU0/SU1 output-queue depths.
+    pub su_out_depth: [usize; 2],
+    /// Matched-posting queue depths feeding SU0/SU1 (intersection).
+    pub match_queue_depth: [usize; 2],
+    /// The Block Search Unit is idle.
+    pub bsu_idle: bool,
+    /// A BSU probe is outstanding.
+    pub bsu_pending: bool,
+    /// BSU probes issued so far.
+    pub bsu_probes: u64,
+    /// Candidate L1 block currently loaded (intersection).
+    pub cur_block: Option<usize>,
+}
+
+/// One wedged query execution: which query, and where every unit stood.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecSnapshot {
+    /// The query being executed (terms as resolved; an intersection may
+    /// show its operands swapped, since the shorter list drives).
+    pub query: SimQuery,
+    /// One entry per Block Scheduler (two for union).
+    pub schedulers: Vec<SchedulerSnapshot>,
+    /// One entry per payload stream (two for union).
+    pub streams: Vec<StreamSnapshot>,
+    /// One entry per allocated core.
+    pub cores: Vec<CoreSnapshot>,
+}
+
+/// Machine-wide progress snapshot taken when the watchdog fires.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StallSnapshot {
+    /// Cycle at which the watchdog gave up.
+    pub cycle: u64,
+    /// Cycle of the last observed forward progress.
+    pub last_progress_cycle: u64,
+    /// Every execution that was in flight.
+    pub execs: Vec<ExecSnapshot>,
+}
+
+impl fmt::Display for ExecSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "query {:?}", self.query)?;
+        for (i, s) in self.schedulers.iter().enumerate() {
+            writeln!(
+                f,
+                "bsch{i}: ready={} next={} dispatched_all={}",
+                s.blocks_ready, s.next_block, s.all_dispatched
+            )?;
+        }
+        for (i, s) in self.streams.iter().enumerate() {
+            writeln!(
+                f,
+                "stream{i}: done={} total={} stalls={}",
+                s.done, s.total_lines, s.stall_cycles
+            )?;
+        }
+        for (i, c) in self.cores.iter().enumerate() {
+            writeln!(
+                f,
+                "core{i}: dcu0(idle={} out={} dec={}) dcu1(idle={} pend={} out={} dec={}) \
+                 su(drained={:?} out={:?}) mq={:?} bsu(idle={} pending={} probes={}) \
+                 cur_block={:?}",
+                c.dcu_idle[0],
+                c.dcu_out_depth[0],
+                c.dcu_postings_decoded[0],
+                c.dcu_idle[1],
+                c.dcu1_pending_job,
+                c.dcu_out_depth[1],
+                c.dcu_postings_decoded[1],
+                c.su_drained,
+                c.su_out_depth,
+                c.match_queue_depth,
+                c.bsu_idle,
+                c.bsu_pending,
+                c.bsu_probes,
+                c.cur_block,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for StallSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "stalled at cycle {} (last progress at cycle {}), {} execution(s) in flight",
+            self.cycle,
+            self.last_progress_cycle,
+            self.execs.len()
+        )?;
+        for e in &self.execs {
+            write!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors returned by the [`crate::IiuMachine`] run methods.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The simulation stopped making forward progress (or exceeded its
+    /// cycle budget) and was aborted by the watchdog. The snapshot records
+    /// where every unit stood.
+    Stalled {
+        /// Per-unit progress at the moment the watchdog fired.
+        snapshot: StallSnapshot,
+    },
+    /// The request itself was invalid (zero cores, an allocation larger
+    /// than the machine, unsorted arrivals, ...).
+    BadRequest {
+        /// Which invariant the request violates.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Stalled { snapshot } => write!(f, "simulation {snapshot}"),
+            SimError::BadRequest { what } => write!(f, "bad simulation request: {what}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+        assert_send_sync::<StallSnapshot>();
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::BadRequest { what: "core allocation out of range" };
+        assert!(e.to_string().contains("core allocation"));
+
+        let snapshot = StallSnapshot {
+            cycle: 2_000_000,
+            last_progress_cycle: 17,
+            execs: vec![ExecSnapshot {
+                query: SimQuery::Single(3),
+                schedulers: vec![SchedulerSnapshot {
+                    blocks_ready: 0,
+                    next_block: 1,
+                    all_dispatched: false,
+                }],
+                streams: vec![StreamSnapshot { done: false, total_lines: 9, stall_cycles: 4 }],
+                cores: vec![CoreSnapshot {
+                    dcu_idle: [true, true],
+                    dcu_out_depth: [0, 0],
+                    dcu_postings_decoded: [0, 0],
+                    dcu1_pending_job: false,
+                    su_drained: [true, true],
+                    su_out_depth: [0, 0],
+                    match_queue_depth: [0, 0],
+                    bsu_idle: true,
+                    bsu_pending: false,
+                    bsu_probes: 0,
+                    cur_block: None,
+                }],
+            }],
+        };
+        let e = SimError::Stalled { snapshot };
+        let s = e.to_string();
+        assert!(s.contains("cycle 2000000"), "{s}");
+        assert!(s.contains("bsch0") && s.contains("stream0") && s.contains("core0"), "{s}");
+    }
+}

@@ -16,9 +16,16 @@ use iiu_index::{DocId, Fixed, InvertedIndex, Posting, TermId};
 
 use crate::core::{Bsu, Dcu, FetchJob, ScoringUnit, StreamJob, WriteBack};
 use crate::dram::{DramConfig, MemorySystem, LINE_BYTES, TICKS_PER_CYCLE};
+use crate::error::{
+    CoreSnapshot, ExecSnapshot, SchedulerSnapshot, SimError, StallSnapshot, StreamSnapshot,
+};
 use crate::frontend::{payload_consumers, BlockScheduler, StreamBuffer};
 use crate::layout::MemoryLayout;
 use crate::mai::Mai;
+
+/// Cycles without any forward progress before the watchdog declares a
+/// stall (independent of the absolute [`SimConfig::max_cycles`] budget).
+const NO_PROGRESS_WINDOW: u64 = 1_000_000;
 
 /// Accelerator configuration (defaults follow Table 1).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,6 +57,12 @@ pub struct SimConfig {
     pub dram: DramConfig,
     /// Accelerator clock in GHz (paper: 1.0; cycles are nanoseconds).
     pub clock_ghz: f64,
+    /// Absolute cycle budget per run. `None` derives a generous budget
+    /// from the posting-list sizes involved; the watchdog additionally
+    /// aborts any run that makes no forward progress for
+    /// 1,000,000 consecutive cycles. When either limit trips, the run
+    /// methods return [`SimError::Stalled`] with a per-unit snapshot.
+    pub max_cycles: Option<u64>,
 }
 
 impl Default for SimConfig {
@@ -67,6 +80,7 @@ impl Default for SimConfig {
             device_topk: 0,
             dram: DramConfig::ddr4_2400(),
             clock_ghz: 1.0,
+            max_cycles: None,
         }
     }
 }
@@ -433,50 +447,62 @@ impl<'a> QueryExec<'a> {
         self.done_cycle.is_some()
     }
 
-    /// Human-readable state dump for wedge diagnostics.
-    fn snapshot(&self) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::new();
-        for (i, b) in self.bschs.iter().enumerate() {
-            let _ = writeln!(
-                out,
-                "bsch{i}: ready={} next={} dispatched_all={}",
-                b.blocks_ready(),
-                b.next_block,
-                b.all_dispatched()
-            );
+    /// The query this execution serves (an intersection may report its
+    /// operands swapped: the shorter list drives).
+    fn query(&self) -> SimQuery {
+        match (self.role, self.l1) {
+            (Role::Single, _) => SimQuery::Single(self.l0),
+            (Role::Intersect, Some(l1)) => SimQuery::Intersect(self.l0, l1),
+            (Role::Union, Some(l1)) => SimQuery::Union(self.l0, l1),
+            // l1 is always present for two-list roles; fall back rather
+            // than panic inside diagnostics code.
+            _ => SimQuery::Single(self.l0),
         }
-        for (i, st) in self.streams.iter().enumerate() {
-            let _ = writeln!(
-                out,
-                "stream{i}: done={} total={} stalls={}",
-                st.is_done(),
-                st.total_lines(),
-                st.stall_cycles
-            );
+    }
+
+    /// Structured per-unit state dump for the watchdog's stall report.
+    fn stall_snapshot(&self) -> ExecSnapshot {
+        ExecSnapshot {
+            query: self.query(),
+            schedulers: self
+                .bschs
+                .iter()
+                .map(|b| SchedulerSnapshot {
+                    blocks_ready: b.blocks_ready(),
+                    next_block: b.next_block,
+                    all_dispatched: b.all_dispatched(),
+                })
+                .collect(),
+            streams: self
+                .streams
+                .iter()
+                .map(|st| StreamSnapshot {
+                    done: st.is_done(),
+                    total_lines: st.total_lines(),
+                    stall_cycles: st.stall_cycles,
+                })
+                .collect(),
+            cores: self
+                .cores
+                .iter()
+                .map(|c| CoreSnapshot {
+                    dcu_idle: [c.dcu[0].is_idle(), c.dcu[1].is_idle()],
+                    dcu_out_depth: [c.dcu[0].out.len(), c.dcu[1].out.len()],
+                    dcu_postings_decoded: [
+                        c.dcu[0].postings_decoded,
+                        c.dcu[1].postings_decoded,
+                    ],
+                    dcu1_pending_job: c.dcu[1].has_pending_job(),
+                    su_drained: [c.su[0].is_drained(), c.su[1].is_drained()],
+                    su_out_depth: [c.su[0].out.len(), c.su[1].out.len()],
+                    match_queue_depth: [c.match_q0.len(), c.match_q1.len()],
+                    bsu_idle: c.bsu.is_idle(),
+                    bsu_pending: c.bsu_pending,
+                    bsu_probes: c.bsu.probes,
+                    cur_block: c.cur_block,
+                })
+                .collect(),
         }
-        for (i, c) in self.cores.iter().enumerate() {
-            let _ = writeln!(
-                out,
-                "core{i}: dcu0(idle={} out={} dec={}) dcu1(idle={} pend={} out={} dec={}) \
-                 su0(drained={}) su1(drained={}) mq0={} mq1={} bsu_idle={} bsu_pending={} cur_block={:?}",
-                c.dcu[0].is_idle(),
-                c.dcu[0].out.len(),
-                c.dcu[0].postings_decoded,
-                c.dcu[1].is_idle(),
-                c.dcu[1].has_pending_job(),
-                c.dcu[1].out.len(),
-                c.dcu[1].postings_decoded,
-                c.su[0].is_drained(),
-                c.su[1].is_drained(),
-                c.match_q0.len(),
-                c.match_q1.len(),
-                c.bsu.is_idle(),
-                c.bsu_pending,
-                c.cur_block,
-            );
-        }
-        out
     }
 
     /// One cycle for the whole query execution.
@@ -868,19 +894,43 @@ impl<'a> IiuMachine<'a> {
         &self.layout
     }
 
+    /// Absolute cycle budget for a run: [`SimConfig::max_cycles`] when
+    /// set, otherwise derived generously from the posting-list sizes the
+    /// queries touch.
+    fn cycle_budget(&self, queries: &[SimQuery]) -> u64 {
+        if let Some(m) = self.cfg.max_cycles {
+            return m;
+        }
+        let postings: u64 = queries
+            .iter()
+            .map(|q| match *q {
+                SimQuery::Single(t) => self.index.encoded_list(t).num_postings(),
+                SimQuery::Intersect(a, b) | SimQuery::Union(a, b) => {
+                    self.index.encoded_list(a).num_postings()
+                        + self.index.encoded_list(b).num_postings()
+                }
+            })
+            .sum();
+        // Even a fully serialized decode+score pipeline under memory
+        // contention stays far below 1,000 cycles per posting; the floor
+        // covers DRAM warm-up, refresh and drain.
+        NO_PROGRESS_WINDOW.saturating_add(postings.saturating_mul(1_000))
+    }
+
     /// Runs one query with intra-query parallelism over `n_cores` cores
     /// (Fig. 12a): one BR/B-SCH pair feeding all allocated cores.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `n_cores` is 0 or exceeds the configuration, or if the
-    /// simulation stops making progress (internal invariant).
-    pub fn run_query(&self, query: SimQuery, n_cores: usize) -> QueryRun {
-        assert!(
-            n_cores >= 1 && n_cores <= self.cfg.n_cores,
-            "core allocation must be in 1..={}",
-            self.cfg.n_cores
-        );
+    /// [`SimError::BadRequest`] if `n_cores` is 0 or exceeds the
+    /// configuration; [`SimError::Stalled`] (with a per-unit progress
+    /// snapshot) if the simulation stops making forward progress or
+    /// exceeds its cycle budget.
+    pub fn run_query(&self, query: SimQuery, n_cores: usize) -> Result<QueryRun, SimError> {
+        if n_cores < 1 || n_cores > self.cfg.n_cores {
+            return Err(SimError::BadRequest { what: "core allocation out of range" });
+        }
+        let budget = self.cycle_budget(&[query]);
         let mut mem = MemorySystem::new(self.cfg.dram);
         let mut mai = Mai::new(self.cfg.mai_entries);
         let mut exec = QueryExec::new(
@@ -912,28 +962,36 @@ impl<'a> IiuMachine<'a> {
                 progress_mark = mark;
                 last_progress = cycle;
             }
-            assert!(
-                cycle - last_progress < 1_000_000,
-                "simulation wedged at cycle {cycle} (query {query:?})\n{}",
-                exec.snapshot()
-            );
+            if cycle - last_progress >= NO_PROGRESS_WINDOW || cycle >= budget {
+                return Err(SimError::Stalled {
+                    snapshot: StallSnapshot {
+                        cycle,
+                        last_progress_cycle: last_progress,
+                        execs: vec![exec.stall_snapshot()],
+                    },
+                });
+            }
         }
         let mem_stats = mem_stats_of(&mem, &mai, cycle);
-        exec.collect(cycle, mem_stats)
+        Ok(exec.collect(cycle, mem_stats))
     }
 
     /// Runs a backlog of queries with inter-query parallelism over
     /// `n_units` independent (pair, core) units (Fig. 12b).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `n_units` is 0 or exceeds the configuration.
-    pub fn run_batch(&self, queries: &[SimQuery], n_units: usize) -> BatchRun {
-        assert!(
-            n_units >= 1 && n_units <= self.cfg.n_pairs.min(self.cfg.n_cores),
-            "unit allocation must be in 1..={}",
-            self.cfg.n_pairs.min(self.cfg.n_cores)
-        );
+    /// [`SimError::BadRequest`] if `n_units` is 0 or exceeds the
+    /// configuration; [`SimError::Stalled`] if the simulation wedges.
+    pub fn run_batch(
+        &self,
+        queries: &[SimQuery],
+        n_units: usize,
+    ) -> Result<BatchRun, SimError> {
+        if n_units < 1 || n_units > self.cfg.n_pairs.min(self.cfg.n_cores) {
+            return Err(SimError::BadRequest { what: "unit allocation out of range" });
+        }
+        let budget = self.cycle_budget(queries);
         let mut mem = MemorySystem::new(self.cfg.dram);
         let mut mai = Mai::new(self.cfg.mai_entries);
         let dl_bars = self.index.dl_bars();
@@ -998,21 +1056,30 @@ impl<'a> IiuMachine<'a> {
                 progress_mark = mark;
                 last_progress = cycle;
             }
-            assert!(
-                cycle - last_progress < 1_000_000,
-                "batch simulation wedged at cycle {cycle}"
-            );
+            if cycle - last_progress >= NO_PROGRESS_WINDOW || cycle >= budget {
+                return Err(SimError::Stalled {
+                    snapshot: StallSnapshot {
+                        cycle,
+                        last_progress_cycle: last_progress,
+                        execs: slots
+                            .iter()
+                            .flatten()
+                            .map(|(_, e)| e.stall_snapshot())
+                            .collect(),
+                    },
+                });
+            }
         }
 
         let mem_stats = mem_stats_of(&mem, &mai, cycle);
-        BatchRun {
+        Ok(BatchRun {
             cycles: cycle,
             queries: finished
                 .into_iter()
                 .map(|q| q.expect("all queries finished"))
                 .collect(),
             mem: mem_stats,
-        }
+        })
     }
 
     /// Runs an open-loop arrival process: query `i` may not start before
@@ -1020,23 +1087,31 @@ impl<'a> IiuMachine<'a> {
     /// arrival), the quantity a latency-vs-offered-load curve plots.
     /// Queries are served FCFS by `n_units` independent (pair, core) units.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `arrivals` is not sorted or sized like `queries`, or if
-    /// `n_units` is out of range.
+    /// [`SimError::BadRequest`] if `arrivals` is not sorted or sized like
+    /// `queries`, or if `n_units` is out of range;
+    /// [`SimError::Stalled`] if the simulation wedges.
     pub fn run_arrivals(
         &self,
         queries: &[SimQuery],
         arrivals: &[u64],
         n_units: usize,
-    ) -> BatchRun {
-        assert_eq!(queries.len(), arrivals.len(), "one arrival per query");
-        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]), "arrivals must be sorted");
-        assert!(
-            n_units >= 1 && n_units <= self.cfg.n_pairs.min(self.cfg.n_cores),
-            "unit allocation must be in 1..={}",
-            self.cfg.n_pairs.min(self.cfg.n_cores)
-        );
+    ) -> Result<BatchRun, SimError> {
+        if queries.len() != arrivals.len() {
+            return Err(SimError::BadRequest { what: "one arrival per query" });
+        }
+        if !arrivals.windows(2).all(|w| w[0] <= w[1]) {
+            return Err(SimError::BadRequest { what: "arrivals must be sorted" });
+        }
+        if n_units < 1 || n_units > self.cfg.n_pairs.min(self.cfg.n_cores) {
+            return Err(SimError::BadRequest { what: "unit allocation out of range" });
+        }
+        // The run cannot legitimately end before the last arrival, so the
+        // absolute budget gets that much headroom on top.
+        let budget = self
+            .cycle_budget(queries)
+            .saturating_add(arrivals.last().copied().unwrap_or(0));
         let mut mem = MemorySystem::new(self.cfg.dram);
         let mut mai = Mai::new(self.cfg.mai_entries);
         let dl_bars = self.index.dl_bars();
@@ -1114,21 +1189,30 @@ impl<'a> IiuMachine<'a> {
             if idle_ok {
                 last_progress = cycle;
             }
-            assert!(
-                cycle - last_progress < 1_000_000,
-                "open-loop simulation wedged at cycle {cycle}"
-            );
+            if cycle - last_progress >= NO_PROGRESS_WINDOW || cycle >= budget {
+                return Err(SimError::Stalled {
+                    snapshot: StallSnapshot {
+                        cycle,
+                        last_progress_cycle: last_progress,
+                        execs: slots
+                            .iter()
+                            .flatten()
+                            .map(|(_, e)| e.stall_snapshot())
+                            .collect(),
+                    },
+                });
+            }
         }
 
         let mem_stats = mem_stats_of(&mem, &mai, cycle);
-        BatchRun {
+        Ok(BatchRun {
             cycles: cycle,
             queries: finished
                 .into_iter()
                 .map(|q| q.expect("all queries finished"))
                 .collect(),
             mem: mem_stats,
-        }
+        })
     }
 
     /// Runs a hybrid configuration (Fig. 12c): `latency_query` gets one
@@ -1137,24 +1221,30 @@ impl<'a> IiuMachine<'a> {
     /// (pair, core) units on the same MAI/DRAM path. Models serving a
     /// low-latency query alongside a high-throughput stream.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the allocation exceeds the configuration
+    /// [`SimError::BadRequest`] if the allocation exceeds the configuration
     /// (`latency_cores + batch_units <= n_cores` and
-    /// `1 + batch_units <= n_pairs`).
+    /// `1 + batch_units <= n_pairs`);
+    /// [`SimError::Stalled`] if the simulation wedges.
     pub fn run_hybrid(
         &self,
         latency_query: SimQuery,
         batch: &[SimQuery],
         latency_cores: usize,
         batch_units: usize,
-    ) -> HybridRun {
-        assert!(latency_cores >= 1 && batch_units >= 1, "both sides need resources");
-        assert!(
-            latency_cores + batch_units <= self.cfg.n_cores
-                && batch_units < self.cfg.n_pairs,
-            "hybrid allocation exceeds the machine"
-        );
+    ) -> Result<HybridRun, SimError> {
+        if latency_cores < 1 || batch_units < 1 {
+            return Err(SimError::BadRequest { what: "both sides need resources" });
+        }
+        if latency_cores + batch_units > self.cfg.n_cores
+            || batch_units >= self.cfg.n_pairs
+        {
+            return Err(SimError::BadRequest { what: "hybrid allocation exceeds the machine" });
+        }
+        let mut all_queries = vec![latency_query];
+        all_queries.extend_from_slice(batch);
+        let budget = self.cycle_budget(&all_queries);
         let mut mem = MemorySystem::new(self.cfg.dram);
         let mut mai = Mai::new(self.cfg.mai_entries);
         let dl_bars = self.index.dl_bars();
@@ -1254,13 +1344,23 @@ impl<'a> IiuMachine<'a> {
                 progress_mark = mark;
                 last_progress = cycle;
             }
-            assert!(
-                cycle - last_progress < 1_000_000,
-                "hybrid simulation wedged at cycle {cycle}"
-            );
+            if cycle - last_progress >= NO_PROGRESS_WINDOW || cycle >= budget {
+                let execs = latency_exec
+                    .iter()
+                    .map(QueryExec::stall_snapshot)
+                    .chain(slots.iter().flatten().map(|(_, e)| e.stall_snapshot()))
+                    .collect();
+                return Err(SimError::Stalled {
+                    snapshot: StallSnapshot {
+                        cycle,
+                        last_progress_cycle: last_progress,
+                        execs,
+                    },
+                });
+            }
         }
 
-        HybridRun {
+        Ok(HybridRun {
             latency_query: latency_run.expect("latency query finished"),
             batch: finished
                 .into_iter()
@@ -1268,7 +1368,7 @@ impl<'a> IiuMachine<'a> {
                 .collect(),
             batch_cycles,
             mem: mem_stats_of(&mem, &mai, cycle),
-        }
+        })
     }
 }
 

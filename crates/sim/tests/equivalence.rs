@@ -71,7 +71,7 @@ proptest! {
             SimQuery::Union(ta % index.num_terms() as u32, tb % index.num_terms() as u32),
         ];
         for q in queries {
-            let run = machine.run_query(q, cores);
+            let run = machine.run_query(q, cores).expect("sim completes");
             let want = reference(&index, q);
             prop_assert_eq!(&run.results, &want, "query {:?} cores {} seed {}", q, cores, seed);
         }

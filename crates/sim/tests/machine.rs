@@ -3,7 +3,7 @@
 //! conservation invariants.
 
 use iiu_index::{DocId, Fixed};
-use iiu_sim::{DramConfig, IiuMachine, SimConfig, SimQuery};
+use iiu_sim::{DramConfig, IiuMachine, SimConfig, SimError, SimQuery};
 use iiu_workloads::CorpusConfig;
 
 fn test_index() -> iiu_index::InvertedIndex {
@@ -33,7 +33,7 @@ fn single_term_produces_every_posting() {
     let index = test_index();
     let machine = IiuMachine::new(&index, SimConfig::default());
     let t = frequent_term(&index, 0, 50);
-    let run = machine.run_query(SimQuery::Single(t), 1);
+    let run = machine.run_query(SimQuery::Single(t), 1).expect("sim completes");
     let expected = index.encoded_list(t).decode_all();
     assert_eq!(run.results.len(), expected.len());
     let docs: Vec<DocId> = run.results.iter().map(|&(d, _)| d).collect();
@@ -50,7 +50,7 @@ fn single_term_scores_match_fixed_point_bm25() {
     let index = test_index();
     let machine = IiuMachine::new(&index, SimConfig::default());
     let t = frequent_term(&index, 3, 30);
-    let run = machine.run_query(SimQuery::Single(t), 2);
+    let run = machine.run_query(SimQuery::Single(t), 2).expect("sim completes");
     let idf = index.term_info(t).idf_bar;
     for &(d, s) in &run.results {
         let p = index
@@ -71,7 +71,7 @@ fn intersection_matches_reference_sets() {
     let machine = IiuMachine::new(&index, SimConfig::default());
     let a = frequent_term(&index, 0, 100);
     let b = frequent_term(&index, 1, 100);
-    let run = machine.run_query(SimQuery::Intersect(a, b), 1);
+    let run = machine.run_query(SimQuery::Intersect(a, b), 1).expect("sim completes");
 
     let sa: std::collections::BTreeSet<DocId> =
         index.encoded_list(a).decode_all().doc_ids().into_iter().collect();
@@ -99,7 +99,7 @@ fn intersection_skips_blocks_and_uses_traversal_cache() {
         ids.sort_by_key(|&t| index.term_info(t).df);
         ids[0]
     };
-    let run = machine.run_query(SimQuery::Intersect(rare, common), 1);
+    let run = machine.run_query(SimQuery::Intersect(rare, common), 1).expect("sim completes");
     let total_blocks = index.encoded_list(common).num_blocks() as u64;
     assert!(total_blocks > 2, "common list should have several blocks");
     assert!(
@@ -127,7 +127,7 @@ fn union_matches_merged_reference() {
     let machine = IiuMachine::new(&index, SimConfig::default());
     let a = frequent_term(&index, 2, 50);
     let b = frequent_term(&index, 5, 30);
-    let run = machine.run_query(SimQuery::Union(a, b), 1);
+    let run = machine.run_query(SimQuery::Union(a, b), 1).expect("sim completes");
 
     let pa = index.encoded_list(a).decode_all();
     let pb = index.encoded_list(b).decode_all();
@@ -157,8 +157,8 @@ fn intra_query_parallelism_cuts_single_term_latency() {
     let index = larger_index();
     let machine = IiuMachine::new(&index, SimConfig::default());
     let t = frequent_term(&index, 0, 2_000);
-    let one = machine.run_query(SimQuery::Single(t), 1);
-    let eight = machine.run_query(SimQuery::Single(t), 8);
+    let one = machine.run_query(SimQuery::Single(t), 1).expect("sim completes");
+    let eight = machine.run_query(SimQuery::Single(t), 8).expect("sim completes");
     assert_eq!(one.results, eight.results, "parallelism must not change results");
     assert!(
         (eight.cycles as f64) < 0.6 * one.cycles as f64,
@@ -176,8 +176,8 @@ fn union_latency_flat_in_core_count() {
     let machine = IiuMachine::new(&index, SimConfig::default());
     let a = frequent_term(&index, 0, 100);
     let b = frequent_term(&index, 1, 100);
-    let one = machine.run_query(SimQuery::Union(a, b), 1);
-    let eight = machine.run_query(SimQuery::Union(a, b), 8);
+    let one = machine.run_query(SimQuery::Union(a, b), 1).expect("sim completes");
+    let eight = machine.run_query(SimQuery::Union(a, b), 8).expect("sim completes");
     assert_eq!(one.cycles, eight.cycles);
     assert_eq!(one.results, eight.results);
 }
@@ -189,8 +189,8 @@ fn simulation_is_deterministic() {
     let a = frequent_term(&index, 0, 100);
     let b = frequent_term(&index, 1, 100);
     for q in [SimQuery::Single(a), SimQuery::Intersect(a, b), SimQuery::Union(a, b)] {
-        let r1 = machine.run_query(q, 4);
-        let r2 = machine.run_query(q, 4);
+        let r1 = machine.run_query(q, 4).expect("sim completes");
+        let r2 = machine.run_query(q, 4).expect("sim completes");
         assert_eq!(r1, r2, "same query must simulate identically");
     }
 }
@@ -208,10 +208,10 @@ fn batch_matches_individual_runs_functionally() {
         SimQuery::Union(t1, t2),
         SimQuery::Single(t2),
     ];
-    let batch = machine.run_batch(&queries, 2);
+    let batch = machine.run_batch(&queries, 2).expect("sim completes");
     assert_eq!(batch.queries.len(), queries.len());
     for (q, run) in queries.iter().zip(&batch.queries) {
-        let solo = machine.run_query(*q, 1);
+        let solo = machine.run_query(*q, 1).expect("sim completes");
         assert_eq!(run.results, solo.results, "batch result differs for {q:?}");
     }
     assert!(batch.cycles > 0);
@@ -223,8 +223,8 @@ fn more_units_raise_batch_throughput() {
     let machine = IiuMachine::new(&index, SimConfig::default());
     let terms: Vec<u32> = (0..8).map(|i| frequent_term(&index, i, 1_000)).collect();
     let queries: Vec<SimQuery> = terms.iter().map(|&t| SimQuery::Single(t)).collect();
-    let one = machine.run_batch(&queries, 1);
-    let four = machine.run_batch(&queries, 4);
+    let one = machine.run_batch(&queries, 1).expect("sim completes");
+    let four = machine.run_batch(&queries, 4).expect("sim completes");
     // Scaling is sub-linear because DRAM bandwidth saturates — the paper's
     // own observation ("the speedup is eventually limited by the available
     // memory bandwidth", §5.3) — but must still be substantial.
@@ -247,7 +247,7 @@ fn bandwidth_utilization_is_sane() {
     let index = test_index();
     let machine = IiuMachine::new(&index, SimConfig::default());
     let t = frequent_term(&index, 0, 200);
-    let run = machine.run_query(SimQuery::Single(t), 8);
+    let run = machine.run_query(SimQuery::Single(t), 8).expect("sim completes");
     assert!(run.mem.bandwidth_utilization > 0.0);
     assert!(run.mem.bandwidth_utilization <= 1.0);
     assert!(run.mem.peak_mai <= 128);
@@ -267,8 +267,8 @@ fn hbm_helps_bandwidth_bound_batches() {
     );
     let queries: Vec<SimQuery> =
         (0..16).map(|i| SimQuery::Single(frequent_term(&index, i % 8, 1_000))).collect();
-    let r_ddr = ddr.run_batch(&queries, 8);
-    let r_hbm = hbm.run_batch(&queries, 8);
+    let r_ddr = ddr.run_batch(&queries, 8).expect("sim completes");
+    let r_hbm = hbm.run_batch(&queries, 8).expect("sim completes");
     for (a, b) in r_ddr.queries.iter().zip(&r_hbm.queries) {
         assert_eq!(a.results, b.results);
     }
@@ -285,7 +285,7 @@ fn read_bytes_cover_compressed_payload() {
     let index = test_index();
     let machine = IiuMachine::new(&index, SimConfig::default());
     let t = frequent_term(&index, 0, 200);
-    let run = machine.run_query(SimQuery::Single(t), 1);
+    let run = machine.run_query(SimQuery::Single(t), 1).expect("sim completes");
     let payload = index.encoded_list(t).payload().len() as u64;
     assert!(
         run.mem.bytes_read >= payload,
@@ -305,13 +305,13 @@ fn hybrid_mode_serves_both_traffic_classes() {
     let backlog: Vec<SimQuery> =
         (1..9).map(|i| SimQuery::Single(frequent_term(&index, i, 500))).collect();
 
-    let hybrid = machine.run_hybrid(SimQuery::Single(hot), &backlog, 4, 4);
-    let solo = machine.run_query(SimQuery::Single(hot), 4);
+    let hybrid = machine.run_hybrid(SimQuery::Single(hot), &backlog, 4, 4).expect("sim completes");
+    let solo = machine.run_query(SimQuery::Single(hot), 4).expect("sim completes");
 
     // Functional results are unaffected by co-running traffic.
     assert_eq!(hybrid.latency_query.results, solo.results);
     for (h, q) in hybrid.batch.iter().zip(&backlog) {
-        let alone = machine.run_query(*q, 1);
+        let alone = machine.run_query(*q, 1).expect("sim completes");
         assert_eq!(h.results, alone.results);
     }
     // Contention can only slow the latency query down, and not absurdly.
@@ -326,12 +326,15 @@ fn hybrid_mode_serves_both_traffic_classes() {
 }
 
 #[test]
-#[should_panic(expected = "hybrid allocation exceeds the machine")]
 fn hybrid_rejects_oversubscription() {
     let index = test_index();
     let machine = IiuMachine::new(&index, SimConfig::default());
     let t = frequent_term(&index, 0, 50);
-    let _ = machine.run_hybrid(SimQuery::Single(t), &[SimQuery::Single(t)], 8, 8);
+    let err = machine
+        .run_hybrid(SimQuery::Single(t), &[SimQuery::Single(t)], 8, 8)
+        .expect_err("oversubscription must be rejected");
+    assert!(matches!(err, SimError::BadRequest { .. }), "{err}");
+    assert!(err.to_string().contains("hybrid allocation exceeds the machine"));
 }
 
 #[test]
@@ -342,10 +345,10 @@ fn open_loop_sojourn_includes_queueing() {
     let queries = vec![SimQuery::Single(t); 8];
 
     // Closed-form service time of one query in isolation.
-    let service = machine.run_query(SimQuery::Single(t), 1).cycles;
+    let service = machine.run_query(SimQuery::Single(t), 1).expect("sim completes").cycles;
 
     // All arrive at once on one unit: query i queues behind i others.
-    let burst = machine.run_arrivals(&queries, &vec![0; 8], 1);
+    let burst = machine.run_arrivals(&queries, &vec![0; 8], 1).expect("sim completes");
     let sojourns: Vec<u64> = burst.queries.iter().map(|q| q.cycles).collect();
     assert!(
         sojourns.windows(2).all(|w| w[0] <= w[1]),
@@ -355,7 +358,7 @@ fn open_loop_sojourn_includes_queueing() {
 
     // Widely spaced arrivals: no queueing, sojourn ~ service time.
     let spaced: Vec<u64> = (0..8).map(|i| i * service * 4).collect();
-    let relaxed = machine.run_arrivals(&queries, &spaced, 1);
+    let relaxed = machine.run_arrivals(&queries, &spaced, 1).expect("sim completes");
     for q in &relaxed.queries {
         assert!(
             q.cycles < service * 2,
@@ -371,12 +374,15 @@ fn open_loop_sojourn_includes_queueing() {
 }
 
 #[test]
-#[should_panic(expected = "arrivals must be sorted")]
 fn open_loop_rejects_unsorted_arrivals() {
     let index = test_index();
     let machine = IiuMachine::new(&index, SimConfig::default());
     let t = frequent_term(&index, 0, 50);
-    let _ = machine.run_arrivals(&[SimQuery::Single(t); 2], &[5, 1], 1);
+    let err = machine
+        .run_arrivals(&[SimQuery::Single(t); 2], &[5, 1], 1)
+        .expect_err("unsorted arrivals must be rejected");
+    assert!(matches!(err, SimError::BadRequest { .. }), "{err}");
+    assert!(err.to_string().contains("arrivals must be sorted"));
 }
 
 #[test]
@@ -402,7 +408,7 @@ fn roofline_bounds_hold() {
             8,
         ),
     ] {
-        let run = machine.run_query(q, cores);
+        let run = machine.run_query(q, cores).expect("sim completes");
         let compute_roof = run.stats.postings_decoded / (2 * cores as u64); // 2 DCUs/core
         let memory_roof =
             ((run.mem.bytes_read + run.mem.bytes_written) as f64 / peak_bytes_per_cycle) as u64;
@@ -435,8 +441,8 @@ fn device_topk_keeps_global_best_and_cuts_writes() {
     let dev_machine =
         IiuMachine::new(&index, SimConfig { device_topk: 10, ..SimConfig::default() });
 
-    let full = host_machine.run_query(SimQuery::Single(t), 8);
-    let filtered = dev_machine.run_query(SimQuery::Single(t), 8);
+    let full = host_machine.run_query(SimQuery::Single(t), 8).expect("sim completes");
+    let filtered = dev_machine.run_query(SimQuery::Single(t), 8).expect("sim completes");
 
     // 8 cores × k = 10 survivors at most.
     assert!(filtered.results.len() <= 80);

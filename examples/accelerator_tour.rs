@@ -29,7 +29,7 @@ fn main() {
     ] {
         println!("\n{label}:");
         for cores in [1usize, 2, 4, 8] {
-            let run = machine.run_query(query, cores);
+            let run = machine.run_query(query, cores).expect("sim completes");
             println!(
                 "  {cores} core(s): {:>7} cycles, {:>6} postings decoded, \
                  {:>5} results, bw {:>4.1}%, host top-k {:>6.1} us",
@@ -43,7 +43,7 @@ fn main() {
     }
 
     println!("\n=== what intersection hardware actually did (1 core) ===");
-    let run = machine.run_query(SimQuery::Intersect(a, b), 1);
+    let run = machine.run_query(SimQuery::Intersect(a, b), 1).expect("sim completes");
     println!("  L1 blocks fetched:  {}", run.stats.l1_blocks_fetched);
     println!("  L1 blocks skipped:  {} (membership testing via skip list)", run.stats.l1_blocks_skipped);
     println!(
@@ -63,7 +63,7 @@ fn main() {
         .map(|t| SimQuery::Single(index.term_id(t).expect("sampled")))
         .collect();
     for units in [1usize, 2, 4, 8] {
-        let batch = machine.run_batch(&queries, units);
+        let batch = machine.run_batch(&queries, units).expect("sim completes");
         println!(
             "  {units} unit(s): {:>8} cycles total, bw {:>4.1}%, peak MAI {:>3}/128",
             batch.cycles,

@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 2. Persist and reload (the host's init(invFile) path, §4.1).
-    let bytes = serialize(&index);
+    let bytes = serialize(&index)?;
     println!("serialized index: {} KiB", bytes.len() / 1024);
     let index = deserialize(&bytes)?;
 

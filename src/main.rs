@@ -1,23 +1,28 @@
 //! `iiu` — command-line front end of the reproduction.
 //!
 //! ```text
-//! iiu gen    <index-file> [--docs N] [--preset ccnews|clueweb] [--seed S]
-//! iiu build  <corpus.txt> <index-file> [--max-size N] [--positions yes]
-//! iiu stats  <index-file>
-//! iiu search <index-file> "<query>" [--k N] [--engine cpu|iiu|both] [--cores N]
+//! iiu gen     <index-file> [--docs N] [--preset ccnews|clueweb] [--seed S]
+//! iiu build   <corpus.txt> <index-file> [--max-size N] [--positions yes]
+//! iiu stats   <index-file>
+//! iiu inspect <index-file> [--fault-rate R] [--trials N] [--seed S]
+//! iiu search  <index-file> "<query>" [--k N] [--engine cpu|iiu|both] [--cores N]
 //! ```
 //!
 //! `gen` writes an index over a synthetic Zipfian corpus; `build` indexes a
 //! text file (one document per line), optionally with a positional sidecar
-//! (`<index-file>.pos`) that enables quoted phrase queries; `search` runs a
-//! boolean query on the baseline engine, the simulated accelerator, or
-//! both, auto-loading the sidecar when present.
+//! (`<index-file>.pos`) that enables quoted phrase queries; `inspect`
+//! verifies checksums and structural invariants, optionally fuzzing the
+//! file with deterministic corruptions; `search` runs a boolean query on
+//! the baseline engine, the simulated accelerator, or both, auto-loading
+//! the sidecar when present.
 
 use std::process::ExitCode;
 
 use iiu_core::{CpuSearchEngine, IiuSearchEngine, Query, SearchEngine, SearchResponse};
-use iiu_index::io::{deserialize, serialize};
-use iiu_index::{BuildOptions, IndexBuilder, InvertedIndex, Partitioner, PositionIndex};
+use iiu_index::io::{deserialize, serialize, MAGIC, MAGIC_V1};
+use iiu_index::{
+    corrupt, BuildOptions, IndexBuilder, IndexError, InvertedIndex, Partitioner, PositionIndex,
+};
 use iiu_workloads::CorpusConfig;
 
 fn main() -> ExitCode {
@@ -26,6 +31,7 @@ fn main() -> ExitCode {
         Some("gen") => cmd_gen(&args[1..]),
         Some("build") => cmd_build(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
         Some("search") => cmd_search(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
@@ -47,10 +53,18 @@ fn print_usage() {
         "iiu — reproduction of 'IIU: Specialized Architecture for Inverted Index Search'\n\
          \n\
          USAGE:\n\
-         \x20 iiu gen    <index-file> [--docs N] [--preset ccnews|clueweb] [--seed S]\n\
-         \x20 iiu build  <corpus.txt> <index-file> [--max-size N] [--positions yes]\n\
-         \x20 iiu stats  <index-file>\n\
-         \x20 iiu search <index-file> \"<query>\" [--k N] [--engine cpu|iiu|both] [--cores N]\n\
+         \x20 iiu gen     <index-file> [--docs N] [--preset ccnews|clueweb] [--seed S]\n\
+         \x20 iiu build   <corpus.txt> <index-file> [--max-size N] [--positions yes]\n\
+         \x20 iiu stats   <index-file>\n\
+         \x20 iiu inspect <index-file> [--fault-rate R] [--trials N] [--seed S]\n\
+         \x20 iiu search  <index-file> \"<query>\" [--k N] [--engine cpu|iiu|both] [--cores N]\n\
+         \n\
+         inspect verifies the file's section checksums and the decoded\n\
+         index's structural invariants. With --fault-rate R (fraction of\n\
+         bytes corrupted per trial, e.g. 0.0001) it additionally runs a\n\
+         deterministic fault-injection campaign over the file and prints a\n\
+         survival report; any panic or silently accepted corruption fails\n\
+         the command.\n\
          \n\
          Query syntax: terms, AND, OR, parentheses, and quoted phrases — e.g.\n\
          \x20 \"business AND (cameo OR news)\" or '\"new york\" AND times' (phrases need\n\
@@ -121,7 +135,7 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         corpus.total_postings()
     );
     let index = corpus.into_default_index();
-    let bytes = serialize(&index);
+    let bytes = serialize(&index).map_err(|e| format!("cannot serialize index: {e}"))?;
     std::fs::write(out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!(
         "wrote {out}: {} KiB, compression {:.2}x",
@@ -159,7 +173,7 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     } else {
         builder.build()
     };
-    let bytes = serialize(&index);
+    let bytes = serialize(&index).map_err(|e| format!("cannot serialize index: {e}"))?;
     std::fs::write(out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!(
         "wrote {out}: {} KiB, compression {:.2}x",
@@ -193,6 +207,98 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_inspect(args: &[String]) -> Result<(), String> {
+    let parsed = split_args(args);
+    let flag = |n: &str| parsed.flag(n);
+    let [path] = parsed.positional[..] else {
+        return Err("usage: iiu inspect <index-file> [--fault-rate R] [--trials N] [--seed S]".into());
+    };
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    println!("file:     {path} ({} bytes)", bytes.len());
+
+    let magic = bytes
+        .get(..8)
+        .map(|m| u64::from_le_bytes([m[0], m[1], m[2], m[3], m[4], m[5], m[6], m[7]]));
+    let (version, checked) = match magic {
+        Some(MAGIC) => ("v2", true),
+        Some(MAGIC_V1) => ("v1 (legacy)", false),
+        _ => ("unrecognized", false),
+    };
+    println!("format:   {version}");
+
+    let index = deserialize(&bytes).map_err(|e| format!("load failed: {e}"))?;
+    println!(
+        "load:     ok ({})",
+        if checked {
+            "header, doc-length, per-term and footer checksums verified"
+        } else {
+            "no checksums in this format version"
+        }
+    );
+    index.validate().map_err(|e| format!("validation failed: {e}"))?;
+    println!("validate: ok (structural invariants hold)");
+    println!(
+        "contents: {} documents, {} terms, {} postings",
+        index.num_docs(),
+        index.num_terms(),
+        index.size_stats().postings
+    );
+
+    let Some(rate) = flag("fault-rate") else {
+        return Ok(());
+    };
+    let rate: f64 = parse_num(rate, "--fault-rate")?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("--fault-rate must be in 0..=1, got {rate}"));
+    }
+    let trials: u64 = parse_num(flag("trials").unwrap_or("1000"), "--trials")?;
+    let seed: u64 = parse_num(flag("seed").unwrap_or("7"), "--seed")?;
+    // Each trial stacks enough single corruptions to hit `rate` of the file.
+    let per_trial = ((rate * bytes.len() as f64).ceil() as u64).max(1);
+
+    let (mut typed, mut checksums, mut equal, mut divergent, mut panics) = (0u64, 0u64, 0u64, 0u64, 0u64);
+    for t in 0..trials {
+        let mut mutated = bytes.clone();
+        for i in 0..per_trial {
+            let trial_seed = seed
+                .wrapping_add(t.wrapping_mul(per_trial).wrapping_add(i))
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            mutated = corrupt(&mutated, trial_seed).0;
+        }
+        // A panic anywhere in the load path is itself a reportable failure.
+        match std::panic::catch_unwind(|| deserialize(&mutated)) {
+            Err(_) => panics += 1,
+            Ok(Err(e)) => {
+                typed += 1;
+                if matches!(e, IndexError::ChecksumMismatch { .. }) {
+                    checksums += 1;
+                }
+            }
+            Ok(Ok(loaded)) => {
+                if loaded == index {
+                    equal += 1;
+                } else {
+                    divergent += 1;
+                }
+            }
+        }
+    }
+
+    println!();
+    println!("fault injection: {trials} trials x {per_trial} corruption(s), seed {seed}");
+    println!("  rejected with typed error:    {typed}  ({checksums} by checksum)");
+    println!("  accepted, semantically equal: {equal}");
+    println!("  accepted, DIVERGENT:          {divergent}");
+    println!("  panics:                       {panics}");
+    if divergent > 0 || panics > 0 {
+        return Err(format!(
+            "survival: FAIL ({divergent} silent corruption(s), {panics} panic(s))"
+        ));
+    }
+    println!("survival: PASS");
+    Ok(())
+}
+
 fn cmd_search(args: &[String]) -> Result<(), String> {
     let parsed = split_args(args);
     let flag = |n: &str| parsed.flag(n);
@@ -221,6 +327,9 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
             r.breakdown.device_ns / 1e3,
             r.breakdown.topk_ns / 1e3
         );
+        for d in &r.degraded {
+            println!("  [degraded: {d}]");
+        }
         for hit in &r.hits {
             println!("  doc {:>8}  score {:.4}", hit.doc_id, hit.score);
         }

@@ -29,7 +29,7 @@ fn full_pipeline_corpus_to_ranked_hits() {
 #[test]
 fn serialized_index_serves_identical_results() {
     let index = CorpusConfig::tiny(7).generate().into_default_index();
-    let reloaded = deserialize(&serialize(&index)).unwrap();
+    let reloaded = deserialize(&serialize(&index).unwrap()).unwrap();
     assert_eq!(index, reloaded);
 
     let mut sampler = QuerySampler::new(&index, 3);

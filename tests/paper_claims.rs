@@ -121,7 +121,7 @@ fn claim_iiu_latency_wins_and_intersection_wins_most() {
         record(
             "single",
             engine.search_single(name, 10).unwrap().latency_ns(),
-            &machine.run_query(SimQuery::Single(t), 8),
+            &machine.run_query(SimQuery::Single(t), 8).expect("sim completes"),
         );
     }
     for &(a, b) in &pairs {
@@ -129,12 +129,12 @@ fn claim_iiu_latency_wins_and_intersection_wins_most() {
         record(
             "intersection",
             engine.search_intersection(na, nb, 10).unwrap().latency_ns(),
-            &machine.run_query(SimQuery::Intersect(a, b), 8),
+            &machine.run_query(SimQuery::Intersect(a, b), 8).expect("sim completes"),
         );
         record(
             "union",
             engine.search_union(na, nb, 10).unwrap().latency_ns(),
-            &machine.run_query(SimQuery::Union(a, b), 8),
+            &machine.run_query(SimQuery::Union(a, b), 8).expect("sim completes"),
         );
     }
     let speedup =
@@ -157,13 +157,13 @@ fn claim_union_flat_single_scales() {
     let index = index();
     let machine = IiuMachine::new(&index, SimConfig::default());
     let (a, b) = sample_pairs(&index, 1)[0];
-    let u1 = machine.run_query(SimQuery::Union(a, b), 1);
-    let u8_ = machine.run_query(SimQuery::Union(a, b), 8);
+    let u1 = machine.run_query(SimQuery::Union(a, b), 1).expect("sim completes");
+    let u8_ = machine.run_query(SimQuery::Union(a, b), 8).expect("sim completes");
     assert_eq!(u1.cycles, u8_.cycles, "union must be flat in core count");
 
     let t = head_term(&index);
-    let s1 = machine.run_query(SimQuery::Single(t), 1);
-    let s8 = machine.run_query(SimQuery::Single(t), 8);
+    let s1 = machine.run_query(SimQuery::Single(t), 1).expect("sim completes");
+    let s8 = machine.run_query(SimQuery::Single(t), 8).expect("sim completes");
     assert!(
         (s8.cycles as f64) < 0.7 * s1.cycles as f64,
         "single-term must scale with cores ({} vs {})",
@@ -197,8 +197,8 @@ fn claim_intersection_is_not_bandwidth_bound() {
         .into_iter()
         .map(|(a, b)| SimQuery::Intersect(a, b))
         .collect();
-    let bw_single = machine.run_batch(&singles, 8).mem.bandwidth_utilization;
-    let bw_isect = machine.run_batch(&isects, 8).mem.bandwidth_utilization;
+    let bw_single = machine.run_batch(&singles, 8).expect("sim completes").mem.bandwidth_utilization;
+    let bw_isect = machine.run_batch(&isects, 8).expect("sim completes").mem.bandwidth_utilization;
     assert!(
         bw_single > 2.0 * bw_isect,
         "single-term ({bw_single:.2}) should stress bandwidth far more than \

@@ -1,0 +1,119 @@
+//! Workspace-level robustness: the hardened load path survives a large
+//! deterministic corruption campaign, the simulator watchdog reports
+//! stalls instead of spinning, and unknown query terms degrade responses
+//! instead of erroring.
+
+use iiu_core::{CpuSearchEngine, Degradation, IiuSearchEngine, Query, SearchEngine};
+use iiu_index::io::{deserialize, serialize};
+use iiu_index::{survival_report, BuildOptions, IndexBuilder, PositionIndex};
+use iiu_sim::{IiuMachine, SimConfig, SimError, SimQuery};
+use iiu_workloads::{CorpusConfig, QuerySampler};
+use proptest::prelude::*;
+
+fn index() -> iiu_index::InvertedIndex {
+    CorpusConfig::tiny(0xDEAD_BEEF).generate().into_default_index()
+}
+
+#[test]
+fn a_thousand_corruptions_never_panic_or_silently_load() {
+    // The acceptance bar of the hardened format: 1,000+ deterministic
+    // corruptions, zero panics (a panic fails this test), zero loads that
+    // silently accept corrupt data.
+    let idx = index();
+    let bytes = serialize(&idx).expect("serialize");
+    let report = survival_report(&idx, &bytes, 1_200, 0x5eed_0001);
+    assert!(report.survived(), "campaign not survived: {report:?}");
+    assert_eq!(report.trials, 1_200);
+    assert!(report.typed_errors > 1_000, "{report:?}");
+    assert!(report.checksum_rejections > 0, "checksums never fired: {report:?}");
+    assert_eq!(report.accepted_divergent, 0, "{report:?}");
+}
+
+#[test]
+fn stalled_simulation_reports_snapshot_instead_of_spinning() {
+    // queue_cap = 0 means no unit can ever hand data downstream: the
+    // machine wedges immediately. The watchdog must convert that into a
+    // typed error carrying a per-unit progress snapshot, bounded by
+    // max_cycles so the test is fast.
+    let idx = index();
+    let cfg = SimConfig { queue_cap: 0, max_cycles: Some(10_000), ..SimConfig::default() };
+    let machine = IiuMachine::new(&idx, cfg);
+    let t = (0..idx.num_terms() as u32)
+        .max_by_key(|&t| idx.term_info(t).df)
+        .expect("non-empty index");
+    let err = machine
+        .run_query(SimQuery::Single(t), 1)
+        .expect_err("a zero-capacity pipeline cannot finish");
+    match err {
+        SimError::Stalled { snapshot } => {
+            assert!(snapshot.cycle <= 10_000 + 1);
+            assert!(!snapshot.execs.is_empty(), "snapshot must name the stuck execution");
+            let exec = &snapshot.execs[0];
+            assert!(!exec.cores.is_empty());
+            assert!(!exec.streams.is_empty());
+            // Diagnostics must render without panicking.
+            let rendered = SimError::Stalled { snapshot }.to_string();
+            assert!(rendered.contains("stalled at cycle"), "{rendered}");
+        }
+        other => panic!("expected Stalled, got {other:?}"),
+    }
+
+    // The same machine config with sane queues completes fine.
+    let ok = IiuMachine::new(&idx, SimConfig::default()).run_query(SimQuery::Single(t), 1);
+    assert!(ok.is_ok());
+}
+
+#[test]
+fn or_with_unknown_term_degrades_on_both_engines() {
+    let idx = index();
+    let mut sampler = QuerySampler::new(&idx, 11);
+    let known = sampler.single_queries(1).remove(0);
+    let q = Query::or(Query::term(known), Query::term("zzz_not_a_term"));
+
+    let mut cpu = CpuSearchEngine::new(&idx);
+    let mut iiu = IiuSearchEngine::new(&idx);
+    let rc = cpu.search(&q, 10).expect("degrades, not errors");
+    let ri = iiu.search(&q, 10).expect("degrades, not errors");
+    assert!(!rc.hits.is_empty(), "the known side must still serve");
+    assert_eq!(rc.hits, ri.hits);
+    for r in [&rc, &ri] {
+        assert!(r.is_degraded());
+        assert_eq!(
+            r.degraded,
+            vec![Degradation::UnknownTermDropped { term: "zzz_not_a_term".into() }]
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// v2 round-trip is lossless — deep equality of the index, and the
+    /// positional sidecar (its own little format) round-trips alongside.
+    #[test]
+    fn prop_v2_roundtrip_with_positions(
+        docs in proptest::collection::vec(
+            proptest::collection::vec("[a-e]{1,6}", 1..12),
+            1..20,
+        )
+    ) {
+        let mut b = IndexBuilder::new(BuildOptions {
+            track_positions: true,
+            ..BuildOptions::default()
+        });
+        for words in &docs {
+            b.add_document(&words.join(" "));
+        }
+        let (index, positions) = b.build_with_positions();
+
+        let bytes = serialize(&index).expect("serialize");
+        let reloaded = deserialize(&bytes).expect("own output must load");
+        prop_assert_eq!(&reloaded, &index);
+        reloaded.validate().expect("round-tripped index validates");
+
+        let pos_bytes = positions.to_bytes();
+        let pos_reloaded =
+            PositionIndex::from_bytes(&pos_bytes).expect("sidecar round-trips");
+        prop_assert_eq!(&pos_reloaded, &positions);
+    }
+}
