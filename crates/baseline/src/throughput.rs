@@ -5,10 +5,13 @@
 //! of cores drains the backlog. The makespan of a batch is therefore a
 //! multiprocessor-scheduling problem; this module models it with the
 //! longest-processing-time (LPT) greedy rule, which is what a work-stealing
-//! query pool approximates. A real multithreaded executor (crossbeam) is
-//! also provided so examples can demonstrate genuine parallel execution.
+//! query pool approximates. A real multithreaded executor (std scoped
+//! threads over a shared work queue) is also provided so examples can
+//! demonstrate genuine parallel execution.
 
-use crossbeam::thread;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Mutex;
 
 /// Makespan in nanoseconds of running queries with the given latencies on
 /// `cores` single-query cores, using LPT assignment.
@@ -57,24 +60,24 @@ where
         return Vec::new();
     }
     let workers = workers.max(1).min(n);
-    let queue = crossbeam::queue::SegQueue::new();
-    for j in jobs.into_iter().enumerate() {
-        queue.push(j);
-    }
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, T)>();
-    thread::scope(|s| {
+    let queue: Mutex<VecDeque<(usize, F)>> = Mutex::new(jobs.into_iter().enumerate().collect());
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|s| {
         for _ in 0..workers {
             let queue = &queue;
             let tx = tx.clone();
-            s.spawn(move |_| {
-                while let Some((idx, job)) = queue.pop() {
-                    tx.send((idx, job())).expect("receiver alive in scope");
+            s.spawn(move || loop {
+                let next = queue.lock().expect("queue lock poisoned").pop_front();
+                match next {
+                    Some((idx, job)) => {
+                        tx.send((idx, job())).expect("receiver alive in scope");
+                    }
+                    None => break,
                 }
             });
         }
         drop(tx);
-    })
-    .expect("worker panicked");
+    });
     let mut results: Vec<(usize, T)> = rx.into_iter().collect();
     results.sort_by_key(|&(idx, _)| idx);
     results.into_iter().map(|(_, r)| r).collect()

@@ -1,7 +1,9 @@
-//! Criterion microbenchmarks: encode/decode throughput of every
-//! compression codec on realistic gap distributions.
+//! Microbenchmarks: encode/decode throughput of every compression codec
+//! on realistic gap distributions. Run with `cargo bench --bench codecs`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use iiu_bench::micro::bench;
 use iiu_codecs::all_codecs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -18,44 +20,24 @@ fn clustered_doc_ids(n: usize, seed: u64) -> Vec<u32> {
         .collect()
 }
 
-fn bench_codecs(c: &mut Criterion) {
+fn main() {
     let ids = clustered_doc_ids(100_000, 42);
-    let mut group = c.benchmark_group("codec");
-    group.throughput(Throughput::Elements(ids.len() as u64));
     for codec in all_codecs() {
         let encoded = codec.encode_sorted(&ids);
-        group.bench_with_input(
-            BenchmarkId::new("encode", codec.name()),
-            &ids,
-            |b, ids| b.iter(|| black_box(codec.encode_sorted(ids))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("decode", codec.name()),
-            &encoded,
-            |b, bytes| b.iter(|| black_box(codec.decode_sorted(bytes, ids.len()))),
-        );
+        bench(&format!("codec/encode/{}", codec.name()), || {
+            black_box(codec.encode_sorted(&ids))
+        });
+        bench(&format!("codec/decode/{}", codec.name()), || {
+            black_box(codec.decode_sorted(&encoded, ids.len()))
+        });
     }
-    group.finish();
-}
 
-fn bench_iiu_block_decode(c: &mut Criterion) {
-    use iiu_index::{Partitioner, Posting, PostingList};
-    let ids = clustered_doc_ids(100_000, 7);
-    let list = PostingList::from_sorted(ids.iter().map(|&d| Posting::new(d, 2)).collect());
-    let part = Partitioner::dynamic(256).partition(&list);
-    let enc = iiu_index::EncodedList::encode(&list, &part).expect("encodes");
-    let mut group = c.benchmark_group("iiu-format");
-    group.throughput(Throughput::Elements(list.len() as u64));
-    group.bench_function("decode_all", |b| b.iter(|| black_box(enc.decode_all())));
-    group.finish();
+    {
+        use iiu_index::{Partitioner, Posting, PostingList};
+        let ids = clustered_doc_ids(100_000, 7);
+        let list = PostingList::from_sorted(ids.iter().map(|&d| Posting::new(d, 2)).collect());
+        let part = Partitioner::dynamic(256).partition(&list);
+        let enc = iiu_index::EncodedList::encode(&list, &part).expect("encodes");
+        bench("iiu-format/decode_all", || black_box(enc.decode_all()));
+    }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(1));
-    targets = bench_codecs, bench_iiu_block_decode
-}
-criterion_main!(benches);

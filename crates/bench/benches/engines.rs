@@ -1,12 +1,15 @@
-//! Criterion macrobenchmarks: end-to-end query processing on the baseline
-//! engine and wall-clock speed of the cycle-level simulator.
+//! Macrobenchmarks: end-to-end query processing on the baseline engine
+//! and wall-clock speed of the cycle-level simulator. Run with
+//! `cargo bench --bench engines`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
 use iiu_baseline::CpuEngine;
+use iiu_bench::micro::bench;
 use iiu_sim::{IiuMachine, SimConfig, SimQuery};
 use iiu_workloads::{CorpusConfig, QuerySampler};
 
-fn bench_engines(c: &mut Criterion) {
+fn main() {
     let index = CorpusConfig::ccnews_like(20_000).generate().into_default_index();
     let mut sampler = QuerySampler::new(&index, 9);
     let term = sampler.single_queries(1).remove(0);
@@ -17,25 +20,15 @@ fn bench_engines(c: &mut Criterion) {
     let term_id = index.term_id(&term).unwrap();
 
     let engine = CpuEngine::new(&index);
-    c.bench_function("baseline/single_term", |b| {
-        b.iter(|| black_box(engine.search_single(&term, 10).unwrap()))
+    bench("baseline/single_term", || {
+        black_box(engine.search_single(&term, 10).unwrap())
     });
 
     let machine = IiuMachine::new(&index, SimConfig::default());
-    c.bench_function("simulator/single_term_1core", |b| {
-        b.iter(|| black_box(machine.run_query(SimQuery::Single(term_id), 1).expect("sim completes")))
+    bench("simulator/single_term_1core", || {
+        black_box(machine.run_query(SimQuery::Single(term_id), 1).expect("sim completes"))
     });
-    c.bench_function("simulator/intersection_1core", |b| {
-        b.iter(|| black_box(machine.run_query(SimQuery::Intersect(ta, tb), 1).expect("sim completes")))
+    bench("simulator/intersection_1core", || {
+        black_box(machine.run_query(SimQuery::Intersect(ta, tb), 1).expect("sim completes"))
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(1));
-    targets = bench_engines
-}
-criterion_main!(benches);

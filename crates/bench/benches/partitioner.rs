@@ -1,7 +1,10 @@
-//! Criterion microbenchmarks: the dynamic-programming partitioner versus
-//! fixed partitioning across list lengths and maxSize values.
+//! Microbenchmarks: the dynamic-programming partitioner versus fixed
+//! partitioning across list lengths and maxSize values. Run with
+//! `cargo bench --bench partitioner`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use iiu_bench::micro::bench;
 use iiu_index::{Partitioner, Posting, PostingList};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -19,31 +22,16 @@ fn bursty_list(n: usize, seed: u64) -> PostingList {
     )
 }
 
-fn bench_partitioners(c: &mut Criterion) {
-    let mut group = c.benchmark_group("partition");
+fn main() {
     for n in [10_000usize, 100_000] {
         let list = bursty_list(n, 3);
-        group.throughput(Throughput::Elements(n as u64));
         for max in [64usize, 256, 1024] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("dynamic-{max}"), n),
-                &list,
-                |b, list| b.iter(|| black_box(Partitioner::dynamic(max).partition(list))),
-            );
+            bench(&format!("partition/dynamic-{max}/{n}"), || {
+                black_box(Partitioner::dynamic(max).partition(&list))
+            });
         }
-        group.bench_with_input(BenchmarkId::new("fixed-128", n), &list, |b, list| {
-            b.iter(|| black_box(Partitioner::fixed(128).partition(list)))
+        bench(&format!("partition/fixed-128/{n}"), || {
+            black_box(Partitioner::fixed(128).partition(&list))
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(1));
-    targets = bench_partitioners
-}
-criterion_main!(benches);

@@ -20,6 +20,7 @@
 
 pub mod context;
 pub mod experiments;
+pub mod micro;
 pub mod report;
 
 pub use context::{Ctx, DatasetName};

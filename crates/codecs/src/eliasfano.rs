@@ -89,7 +89,7 @@ impl Codec for EliasFano {
             out.push(0);
             return out;
         }
-        let last = *doc_ids.last().expect("non-empty");
+        let last = doc_ids[n - 1];
         let universe = u64::from(last) + 1;
         let l = Self::low_bits(universe, n);
         out.extend_from_slice(&last.to_le_bytes());
@@ -113,16 +113,8 @@ impl Codec for EliasFano {
         out
     }
 
-    fn decode_sorted(&self, bytes: &[u8], n: usize) -> Vec<u32> {
-        Self::try_decode(bytes, n).expect("malformed Elias-Fano input")
-    }
-
     fn encode_values(&self, _values: &[u32]) -> Option<Vec<u8>> {
         None
-    }
-
-    fn decode_values(&self, _bytes: &[u8], _n: usize) -> Vec<u32> {
-        panic!("Elias-Fano only supports sorted sequences");
     }
 
     fn try_decode_sorted(&self, bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {

@@ -28,18 +28,15 @@
 //! arrays with [`Simple9`] (Simple16 in the original — a sibling with the
 //! same selector-coded structure).
 //!
-//! Two decode surfaces exist: the legacy `decode_*` methods keep their
-//! documented panicking contract for trusted, self-produced bytes, and the
-//! checked `try_decode_*` methods accept arbitrary (possibly corrupt)
-//! bytes and return [`CodecError`] instead of panicking. The legacy
-//! methods delegate to the checked ones, so there is a single decoder per
-//! format.
+//! Two decode surfaces exist: the convenience `decode_*` methods keep
+//! their documented panicking contract for trusted, self-produced bytes,
+//! and the checked `try_decode_*` methods accept arbitrary (possibly
+//! corrupt) bytes and return [`CodecError`] instead of panicking. Only the
+//! checked paths are implemented per codec; the panicking methods are
+//! default trait wrappers over them, so there is a single decoder per
+//! format and no `unwrap`/`expect` anywhere on a decode path.
 
-// verify.sh runs clippy with -D clippy::unwrap_used -D clippy::expect_used
-// to keep the hardened index-loading paths panic-free. The legacy decode
-// wrappers in this crate panic by documented contract (they delegate to the
-// checked try_decode_* paths), so the gate is relaxed here.
-#![allow(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::error::Error;
 use std::fmt;
@@ -162,7 +159,20 @@ pub trait Codec {
     fn encode_sorted(&self, doc_ids: &[u32]) -> Vec<u8>;
 
     /// Decompresses `n` docIDs produced by [`Codec::encode_sorted`].
-    fn decode_sorted(&self, bytes: &[u8], n: usize) -> Vec<u32>;
+    ///
+    /// Convenience wrapper over [`Codec::try_decode_sorted`] for trusted,
+    /// self-produced bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bytes are truncated or malformed; use
+    /// [`Codec::try_decode_sorted`] for untrusted input.
+    fn decode_sorted(&self, bytes: &[u8], n: usize) -> Vec<u32> {
+        match self.try_decode_sorted(bytes, n) {
+            Ok(values) => values,
+            Err(e) => panic!("{}::decode_sorted on invalid input: {e}", self.name()),
+        }
+    }
 
     /// Compresses an arbitrary (possibly unsorted) value sequence, e.g.
     /// term frequencies. Returns `None` for codecs that only handle sorted
@@ -173,11 +183,21 @@ pub trait Codec {
 
     /// Decompresses `n` values produced by [`Codec::encode_values`].
     ///
+    /// Convenience wrapper over [`Codec::try_decode_values`] for trusted,
+    /// self-produced bytes.
+    ///
     /// # Panics
     ///
-    /// Implementations may panic if the codec does not support unsorted
-    /// values (callers should have received `None` from `encode_values`).
-    fn decode_values(&self, bytes: &[u8], n: usize) -> Vec<u32>;
+    /// Panics if the bytes are truncated or malformed, or if the codec has
+    /// no unsorted-value format (callers should have received `None` from
+    /// `encode_values`); use [`Codec::try_decode_values`] for untrusted
+    /// input.
+    fn decode_values(&self, bytes: &[u8], n: usize) -> Vec<u32> {
+        match self.try_decode_values(bytes, n) {
+            Ok(values) => values,
+            Err(e) => panic!("{}::decode_values on invalid input: {e}", self.name()),
+        }
+    }
 
     /// Checked counterpart of [`Codec::decode_sorted`]: decodes `n` docIDs
     /// from untrusted bytes. Never panics — truncated or malformed input
@@ -220,7 +240,10 @@ pub(crate) fn deltas(doc_ids: &[u32]) -> Vec<u32> {
     out
 }
 
-/// Inverse of [`deltas`].
+/// Inverse of [`deltas`]. Production decode paths use the
+/// overflow-checked [`try_prefix_sums`]; tests keep this for building
+/// expected sequences.
+#[cfg(test)]
 pub(crate) fn prefix_sums(gaps: &[u32]) -> Vec<u32> {
     let mut out = Vec::with_capacity(gaps.len());
     let mut acc = 0u32;
@@ -331,8 +354,9 @@ mod tests {
 
     #[test]
     fn codec_error_display_and_send_sync() {
-        fn assert_send_sync<T: Send + Sync>() {}
-        assert_send_sync::<CodecError>();
+        // The full bound callers need to box and send across threads.
+        fn assert_error<T: Error + Send + Sync + 'static>() {}
+        assert_error::<CodecError>();
         let e = CodecError::Truncated { codec: "VByte", what: "varint" };
         assert!(e.to_string().contains("VByte") && e.to_string().contains("varint"));
         let e = CodecError::Malformed { codec: "Simple9", what: "invalid selector" };

@@ -49,10 +49,6 @@ impl Milc {
         out.extend_from_slice(&w.finish());
     }
 
-    fn decode_block(bytes: &[u8], pos: &mut usize, n: usize) -> Vec<u32> {
-        Self::try_decode_block(bytes, pos, n).expect("malformed MILC block")
-    }
-
     /// Checked block decoder: bad widths, short inputs and offset
     /// overflows become errors instead of panics.
     fn try_decode_block(bytes: &[u8], pos: &mut usize, n: usize) -> Result<Vec<u32>, CodecError> {
@@ -107,31 +103,16 @@ impl Codec for Milc {
         out
     }
 
-    fn decode_sorted(&self, bytes: &[u8], n: usize) -> Vec<u32> {
-        let mut out = Vec::with_capacity(n);
-        let mut pos = 0usize;
-        let mut left = n;
-        while left > 0 {
-            let take = left.min(self.block_len);
-            out.extend(Self::decode_block(bytes, &mut pos, take));
-            left -= take;
-        }
-        out
-    }
-
     fn encode_values(&self, values: &[u32]) -> Option<Vec<u8>> {
         // Offset encoding generalizes to unsorted data by taking the block
         // minimum as the base.
         let mut out = Vec::new();
         for chunk in values.chunks(self.block_len) {
-            let base = chunk.iter().copied().min().expect("chunks are non-empty");
+            // chunks() never yields an empty slice, so 0 is unreachable.
+            let base = chunk.iter().copied().min().unwrap_or(0);
             Self::encode_block(&mut out, chunk, base);
         }
         Some(out)
-    }
-
-    fn decode_values(&self, bytes: &[u8], n: usize) -> Vec<u32> {
-        self.decode_sorted(bytes, n)
     }
 
     fn try_decode_sorted(&self, bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {
@@ -165,7 +146,7 @@ mod tests {
         let ids: Vec<u32> = (0..64).map(|i| i * i).collect();
         let bytes = Milc::default().encode_sorted(&ids);
         let mut pos = 0;
-        let block = Milc::decode_block(&bytes, &mut pos, 64);
+        let block = Milc::try_decode_block(&bytes, &mut pos, 64).unwrap();
         assert_eq!(block[10], 100);
         assert_eq!(block[63], 63 * 63);
     }

@@ -13,7 +13,7 @@ use iiu_index::bitpack::{bits_for, BitReader, BitWriter};
 
 use crate::simple9::Simple9;
 use crate::vbyte::VByte;
-use crate::{deltas, prefix_sums, try_prefix_sums, Codec, CodecError};
+use crate::{deltas, try_prefix_sums, Codec, CodecError};
 
 /// Re-tags an error from an embedded codec (VByte counts, Simple9 side
 /// arrays) with the outer codec's name.
@@ -134,16 +134,6 @@ impl Pfor {
         }
     }
 
-    /// Decodes one block of `n` values, advancing `*pos`.
-    ///
-    /// # Panics
-    ///
-    /// Panics on truncated or malformed input; use
-    /// [`Pfor::try_decode_block`] for untrusted bytes.
-    fn decode_block(bytes: &[u8], pos: &mut usize, n: usize) -> Vec<u32> {
-        Self::try_decode_block(bytes, pos, n).expect("malformed Pfor block")
-    }
-
     /// Checked block decoder: the header, slot array, exception values and
     /// the patch chain walk are all validated before use.
     fn try_decode_block(
@@ -210,18 +200,6 @@ impl Pfor {
         out
     }
 
-    fn decode_seq(bytes: &[u8], n: usize) -> Vec<u32> {
-        let mut out = Vec::with_capacity(n);
-        let mut pos = 0usize;
-        let mut left = n;
-        while left > 0 {
-            let take = left.min(PFOR_BLOCK_LEN);
-            out.extend(Self::decode_block(bytes, &mut pos, take));
-            left -= take;
-        }
-        out
-    }
-
     fn try_decode_seq(bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {
         let mut out = Vec::with_capacity(n);
         let mut pos = 0usize;
@@ -252,16 +230,8 @@ impl Codec for Pfor {
         Self::encode_seq(&deltas(doc_ids))
     }
 
-    fn decode_sorted(&self, bytes: &[u8], n: usize) -> Vec<u32> {
-        prefix_sums(&Self::decode_seq(bytes, n))
-    }
-
     fn encode_values(&self, values: &[u32]) -> Option<Vec<u8>> {
         Some(Self::encode_seq(values))
-    }
-
-    fn decode_values(&self, bytes: &[u8], n: usize) -> Vec<u32> {
-        Self::decode_seq(bytes, n)
     }
 
     fn try_decode_sorted(&self, bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {
@@ -319,16 +289,6 @@ fn newpfor_encode_block(out: &mut Vec<u8>, values: &[u32], b: u8) {
             }
         }
     }
-}
-
-/// Decodes one NewPfor-layout block of `n` values, advancing `*pos`.
-///
-/// # Panics
-///
-/// Panics on truncated or malformed input; use
-/// [`try_newpfor_decode_block`] for untrusted bytes.
-fn newpfor_decode_block(bytes: &[u8], pos: &mut usize, n: usize) -> Vec<u32> {
-    try_newpfor_decode_block(bytes, pos, n, "NewPfor").expect("malformed NewPfor block")
 }
 
 /// Checked NewPfor-layout block decoder shared by [`NewPfor`] and
@@ -435,18 +395,6 @@ macro_rules! newpfor_codec {
                 out
             }
 
-            fn decode_seq(bytes: &[u8], n: usize) -> Vec<u32> {
-                let mut out = Vec::with_capacity(n);
-                let mut pos = 0usize;
-                let mut left = n;
-                while left > 0 {
-                    let take = left.min(PFOR_BLOCK_LEN);
-                    out.extend(newpfor_decode_block(bytes, &mut pos, take));
-                    left -= take;
-                }
-                out
-            }
-
             fn try_decode_seq(bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {
                 let mut out = Vec::with_capacity(n);
                 let mut pos = 0usize;
@@ -469,16 +417,8 @@ macro_rules! newpfor_codec {
                 Self::encode_seq(&deltas(doc_ids))
             }
 
-            fn decode_sorted(&self, bytes: &[u8], n: usize) -> Vec<u32> {
-                prefix_sums(&Self::decode_seq(bytes, n))
-            }
-
             fn encode_values(&self, values: &[u32]) -> Option<Vec<u8>> {
                 Some(Self::encode_seq(values))
-            }
-
-            fn decode_values(&self, bytes: &[u8], n: usize) -> Vec<u32> {
-                Self::decode_seq(bytes, n)
             }
 
             fn try_decode_sorted(&self, bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {
@@ -514,6 +454,7 @@ newpfor_codec!(OptPfor, "OptPfor", |chunk: &[u32]| {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::prefix_sums;
     use proptest::prelude::*;
 
     #[test]
@@ -540,7 +481,7 @@ mod tests {
         let mut out = Vec::new();
         Pfor::encode_block(&mut out, &values);
         let mut pos = 0;
-        assert_eq!(Pfor::decode_block(&out, &mut pos, 100), values);
+        assert_eq!(Pfor::try_decode_block(&out, &mut pos, 100).unwrap(), values);
         assert_eq!(pos, out.len());
     }
 
@@ -553,7 +494,7 @@ mod tests {
         let mut out = Vec::new();
         Pfor::encode_block(&mut out, &values);
         let mut pos = 0;
-        assert_eq!(Pfor::decode_block(&out, &mut pos, 128), values);
+        assert_eq!(Pfor::try_decode_block(&out, &mut pos, 128).unwrap(), values);
     }
 
     #[test]
@@ -562,7 +503,7 @@ mod tests {
         let mut out = Vec::new();
         Pfor::encode_block(&mut out, &values);
         let mut pos = 0;
-        assert_eq!(Pfor::decode_block(&out, &mut pos, 64), values);
+        assert_eq!(Pfor::try_decode_block(&out, &mut pos, 64).unwrap(), values);
     }
 
     #[test]
@@ -573,7 +514,10 @@ mod tests {
         let mut out = Vec::new();
         newpfor_encode_block(&mut out, &values, 3);
         let mut pos = 0;
-        assert_eq!(newpfor_decode_block(&out, &mut pos, 128), values);
+        assert_eq!(
+            try_newpfor_decode_block(&out, &mut pos, 128, "NewPfor").unwrap(),
+            values
+        );
         assert_eq!(pos, out.len());
     }
 

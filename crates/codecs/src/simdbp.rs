@@ -6,7 +6,7 @@
 
 use iiu_index::bitpack::{bits_for, BitReader, BitWriter};
 
-use crate::{deltas, prefix_sums, try_prefix_sums, Codec, CodecError};
+use crate::{deltas, try_prefix_sums, Codec, CodecError};
 
 const NAME: &str = "SIMD-BP128";
 
@@ -30,10 +30,6 @@ impl SimdBp128 {
             out.extend_from_slice(&w.finish());
         }
         out
-    }
-
-    fn decode_seq(bytes: &[u8], n: usize) -> Vec<u32> {
-        Self::try_decode_seq(bytes, n).expect("malformed SIMD-BP128 block")
     }
 
     /// Checked decoder: impossible widths and short blocks become errors.
@@ -69,16 +65,8 @@ impl Codec for SimdBp128 {
         Self::encode_seq(&deltas(doc_ids))
     }
 
-    fn decode_sorted(&self, bytes: &[u8], n: usize) -> Vec<u32> {
-        prefix_sums(&Self::decode_seq(bytes, n))
-    }
-
     fn encode_values(&self, values: &[u32]) -> Option<Vec<u8>> {
         Some(Self::encode_seq(values))
-    }
-
-    fn decode_values(&self, bytes: &[u8], n: usize) -> Vec<u32> {
-        Self::decode_seq(bytes, n)
     }
 
     fn try_decode_sorted(&self, bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {

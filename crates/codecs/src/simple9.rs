@@ -4,7 +4,7 @@
 //! NewPForDelta compresses its exception arrays with (Simple16 in the
 //! paper; Simple9 is its simpler homogeneous sibling).
 
-use crate::{deltas, prefix_sums, try_prefix_sums, Codec, CodecError};
+use crate::{deltas, try_prefix_sums, Codec, CodecError};
 
 const NAME: &str = "Simple9";
 
@@ -57,30 +57,16 @@ impl Simple9 {
     }
 
     /// Decodes `n` values from words produced by [`Simple9::encode_words`].
-    pub fn decode_words(bytes: &[u8], n: usize) -> Vec<u32> {
-        let mut pos = 0usize;
-        Self::decode_words_at(bytes, &mut pos, n)
-    }
-
-    /// Decodes `n` values starting at byte `*pos`, advancing it past the
-    /// consumed words (for embedding Simple9 runs inside other formats).
-    ///
-    /// # Panics
-    ///
-    /// Panics on truncated input or an invalid selector. Use
-    /// [`Simple9::try_decode_words_at`] for untrusted bytes.
-    pub fn decode_words_at(bytes: &[u8], pos: &mut usize, n: usize) -> Vec<u32> {
-        Self::try_decode_words_at(bytes, pos, n).expect("malformed Simple9 words")
-    }
-
-    /// Checked variant of [`Simple9::decode_words`].
+    /// Truncated words and the seven unused selectors (9..=15) become
+    /// errors, never panics.
     pub fn try_decode_words(bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {
         let mut pos = 0usize;
         Self::try_decode_words_at(bytes, &mut pos, n)
     }
 
-    /// Checked variant of [`Simple9::decode_words_at`]: truncated words
-    /// and the seven unused selectors (9..=15) become errors, not panics.
+    /// Variant of [`Simple9::try_decode_words`] starting at byte `*pos`
+    /// and advancing it past the consumed words (for embedding Simple9
+    /// runs inside other formats).
     pub fn try_decode_words_at(
         bytes: &[u8],
         pos: &mut usize,
@@ -125,16 +111,8 @@ impl Codec for Simple9 {
         Self::encode_words(&deltas(doc_ids))
     }
 
-    fn decode_sorted(&self, bytes: &[u8], n: usize) -> Vec<u32> {
-        prefix_sums(&Self::decode_words(bytes, n))
-    }
-
     fn encode_values(&self, values: &[u32]) -> Option<Vec<u8>> {
         Self::fits(values).then(|| Self::encode_words(values))
-    }
-
-    fn decode_values(&self, bytes: &[u8], n: usize) -> Vec<u32> {
-        Self::decode_words(bytes, n)
     }
 
     fn try_decode_sorted(&self, bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {
@@ -156,21 +134,21 @@ mod tests {
         let values = vec![1u32; 56];
         let bytes = Simple9::encode_words(&values);
         assert_eq!(bytes.len(), 8); // two words
-        assert_eq!(Simple9::decode_words(&bytes, 56), values);
+        assert_eq!(Simple9::try_decode_words(&bytes, 56).unwrap(), values);
     }
 
     #[test]
     fn mixed_magnitudes() {
         let values = vec![1, 3, 200, 5, 1, 1 << 27, 0, 0, 9];
         let bytes = Simple9::encode_words(&values);
-        assert_eq!(Simple9::decode_words(&bytes, values.len()), values);
+        assert_eq!(Simple9::try_decode_words(&bytes, values.len()).unwrap(), values);
     }
 
     #[test]
     fn max_value_roundtrips() {
         let values = vec![MAX_VALUE, 0, MAX_VALUE];
         let bytes = Simple9::encode_words(&values);
-        assert_eq!(Simple9::decode_words(&bytes, 3), values);
+        assert_eq!(Simple9::try_decode_words(&bytes, 3).unwrap(), values);
     }
 
     #[test]
@@ -213,7 +191,7 @@ mod tests {
         #[test]
         fn prop_roundtrip(values in proptest::collection::vec(0u32..=MAX_VALUE, 0..500)) {
             let bytes = Simple9::encode_words(&values);
-            prop_assert_eq!(Simple9::decode_words(&bytes, values.len()), values);
+            prop_assert_eq!(Simple9::try_decode_words(&bytes, values.len()).unwrap(), values);
         }
 
         #[test]

@@ -2,7 +2,7 @@
 //! 1972; Cutting & Pedersen 1989). Each byte carries 7 payload bits; the
 //! high bit marks continuation.
 
-use crate::{deltas, prefix_sums, try_prefix_sums, Codec, CodecError};
+use crate::{deltas, try_prefix_sums, Codec, CodecError};
 
 const NAME: &str = "VByte";
 
@@ -71,11 +71,6 @@ impl VByte {
         out
     }
 
-    fn decode_seq(bytes: &[u8], n: usize) -> Vec<u32> {
-        let mut pos = 0usize;
-        (0..n).map(|_| Self::get(bytes, &mut pos)).collect()
-    }
-
     fn try_decode_seq(bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {
         // Every varint is at least one byte, so a sane capacity bound
         // exists even when `n` is far larger than the input.
@@ -97,16 +92,8 @@ impl Codec for VByte {
         Self::encode_seq(&deltas(doc_ids))
     }
 
-    fn decode_sorted(&self, bytes: &[u8], n: usize) -> Vec<u32> {
-        prefix_sums(&Self::decode_seq(bytes, n))
-    }
-
     fn encode_values(&self, values: &[u32]) -> Option<Vec<u8>> {
         Some(Self::encode_seq(values))
-    }
-
-    fn decode_values(&self, bytes: &[u8], n: usize) -> Vec<u32> {
-        Self::decode_seq(bytes, n)
     }
 
     fn try_decode_sorted(&self, bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {

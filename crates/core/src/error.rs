@@ -34,6 +34,17 @@ impl fmt::Display for SearchError {
     }
 }
 
+impl SearchError {
+    /// Whether a retry of the same query could succeed. Only simulator
+    /// stalls qualify; index errors and bad requests are permanent.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            SearchError::Sim(e) => e.is_transient(),
+            SearchError::Index(_) => false,
+        }
+    }
+}
+
 impl Error for SearchError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
@@ -71,6 +82,19 @@ pub enum Degradation {
         /// The term that is not in the dictionary.
         term: String,
     },
+    /// The query was answered by the CPU baseline instead of the device
+    /// path. Hits are bit-identical, so this only degrades latency, but a
+    /// serving layer must surface it.
+    CpuFallback {
+        /// Why the device path was bypassed (breaker open, retries
+        /// exhausted, device panic, ...).
+        reason: String,
+    },
+    /// The device path succeeded only after transient failures.
+    Retried {
+        /// Device attempts consumed, including the successful one (≥ 2).
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for Degradation {
@@ -82,6 +106,12 @@ impl fmt::Display for Degradation {
             Degradation::UnknownTermEmptyAnd { term } => {
                 write!(f, "unknown term {term:?} empties its AND/phrase")
             }
+            Degradation::CpuFallback { reason } => {
+                write!(f, "served by CPU fallback: {reason}")
+            }
+            Degradation::Retried { attempts } => {
+                write!(f, "device path needed {attempts} attempts")
+            }
         }
     }
 }
@@ -92,13 +122,16 @@ mod tests {
 
     #[test]
     fn error_is_send_sync_and_displays() {
+        // The full bound callers need to box and send across threads.
+        fn assert_error<T: Error + Send + Sync + 'static>() {}
         fn assert_send_sync<T: Send + Sync>() {}
-        assert_send_sync::<SearchError>();
+        assert_error::<SearchError>();
         assert_send_sync::<Degradation>();
 
         let e = SearchError::Index(IndexError::PositionsUnavailable);
         assert!(e.to_string().starts_with("index error:"));
         assert!(e.source().is_some());
+        let _boxed: Box<dyn Error + Send + Sync + 'static> = Box::new(e);
 
         let d = Degradation::UnknownTermDropped { term: "zyzzy".into() };
         assert!(d.to_string().contains("zyzzy"));

@@ -1,0 +1,101 @@
+//! Concurrent cross-engine equivalence: under real thread-level
+//! parallelism, the CPU baseline and the IIU engine must return identical
+//! hits *and* identical degradation reports for randomized query streams —
+//! including queries that mix in out-of-vocabulary terms. Each thread
+//! builds its own engines over one shared index, so this also exercises
+//! the `Sync` story of [`iiu_index::InvertedIndex`].
+
+use std::sync::Arc;
+
+use iiu_core::{CpuSearchEngine, IiuSearchEngine, Query, SearchEngine};
+use iiu_index::InvertedIndex;
+use iiu_workloads::{CorpusConfig, QuerySampler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const THREADS: usize = 4;
+const QUERIES_PER_THREAD: usize = 60;
+
+fn shared_index() -> Arc<InvertedIndex> {
+    let cfg = CorpusConfig { n_docs: 600, n_terms: 140, ..CorpusConfig::tiny(0xC0C0) };
+    Arc::new(cfg.generate().into_default_index())
+}
+
+/// A term guaranteed out-of-vocabulary: the corpus generator only emits
+/// `t…`-prefixed term names.
+fn oov_term(rng: &mut StdRng) -> String {
+    format!("zzoov{:05}", rng.gen_range(0u32..100_000))
+}
+
+/// Samples one random query over `index`'s vocabulary, mixing in an
+/// unknown term with probability ~1/4.
+fn random_query(index: &InvertedIndex, sampler: &mut QuerySampler, rng: &mut StdRng) -> Query {
+    let known = sampler.single_queries(2);
+    debug_assert!(index.term_id(&known[0]).is_some());
+    match rng.gen_range(0u32..8) {
+        0 => Query::term(&known[0]),
+        1 => Query::and(Query::term(&known[0]), Query::term(&known[1])),
+        2 => Query::or(Query::term(&known[0]), Query::term(&known[1])),
+        3 => Query::and(
+            Query::or(Query::term(&known[0]), Query::term(&known[1])),
+            Query::term(&known[0]),
+        ),
+        // Unknown-term shapes: dropped from OR, empties AND.
+        4 => Query::or(Query::term(&oov_term(rng)), Query::term(&known[0])),
+        5 => Query::and(Query::term(&oov_term(rng)), Query::term(&known[0])),
+        6 => Query::term(&oov_term(rng)),
+        _ => Query::or(
+            Query::and(Query::term(&known[0]), Query::term(&known[1])),
+            Query::term(&oov_term(rng)),
+        ),
+    }
+}
+
+#[test]
+fn engines_agree_on_random_queries_under_concurrency() {
+    let index = shared_index();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let index = Arc::clone(&index);
+                scope.spawn(move || {
+                    let mut cpu = CpuSearchEngine::new(&index);
+                    let mut iiu = IiuSearchEngine::new(&index);
+                    let mut sampler = QuerySampler::new(&index, 0x9_0000 + t as u64);
+                    let mut rng = StdRng::seed_from_u64(0xD1CE ^ t as u64);
+                    let mut checked = 0usize;
+                    let mut saw_degraded = false;
+                    for i in 0..QUERIES_PER_THREAD {
+                        let q = random_query(&index, &mut sampler, &mut rng);
+                        let k = 1 + (i % 20);
+                        let a = cpu.search(&q, k).unwrap_or_else(|e| {
+                            panic!("cpu search failed for {q}: {e}")
+                        });
+                        let b = iiu.search(&q, k).unwrap_or_else(|e| {
+                            panic!("iiu search failed for {q}: {e}")
+                        });
+                        assert_eq!(a.hits, b.hits, "hits diverge for {q} (thread {t})");
+                        assert_eq!(
+                            a.degraded, b.degraded,
+                            "degradation reports diverge for {q} (thread {t})"
+                        );
+                        saw_degraded |= !a.degraded.is_empty();
+                        checked += 1;
+                    }
+                    (checked, saw_degraded)
+                })
+            })
+            .collect();
+        let mut total = 0usize;
+        for handle in handles {
+            let (checked, saw_degraded) = handle.join().expect("worker thread panicked");
+            assert_eq!(checked, QUERIES_PER_THREAD);
+            assert!(
+                saw_degraded,
+                "query mix never produced a degraded response; OOV shapes untested"
+            );
+            total += checked;
+        }
+        assert_eq!(total, THREADS * QUERIES_PER_THREAD);
+    });
+}

@@ -253,7 +253,7 @@ mod tests {
         let mut changed = 0;
         for seed in 0..200 {
             let (m, _) = corrupt(&bytes, seed);
-            if m != bytes.as_ref() {
+            if m != bytes {
                 changed += 1;
             }
         }

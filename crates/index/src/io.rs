@@ -34,8 +34,6 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
-use bytes::{BufMut, Bytes, BytesMut};
-
 use crate::block::BlockMeta;
 use crate::checksum::crc32;
 use crate::error::IndexError;
@@ -43,6 +41,38 @@ use crate::index::InvertedIndex;
 use crate::partition::Partitioner;
 use crate::posting::PostingList;
 use crate::score::Bm25Params;
+
+/// Little-endian append helpers over the output buffer (the serialized
+/// format is defined in terms of these primitives).
+trait PutLe {
+    fn put_u8(&mut self, v: u8);
+    fn put_u32_le(&mut self, v: u32);
+    fn put_u64_le(&mut self, v: u64);
+    fn put_f64_le(&mut self, v: f64);
+    fn put_slice(&mut self, s: &[u8]);
+}
+
+impl PutLe for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
 
 /// Magic + version identifying the current format ("IIUX" + 0x0002).
 pub const MAGIC: u64 = 0x4949_5558_0000_0002;
@@ -58,13 +88,13 @@ pub const MAGIC_V1: u64 = 0x4949_5558_0000_0001;
 /// Returns [`IndexError::UnknownTerm`] if the index's dictionary is
 /// inconsistent with its term table (an internal-corruption guard that
 /// replaces the old panic on this path).
-pub fn serialize(index: &InvertedIndex) -> Result<Bytes, IndexError> {
-    fn seal_section(buf: &mut BytesMut, start: usize) {
+pub fn serialize(index: &InvertedIndex) -> Result<Vec<u8>, IndexError> {
+    fn seal_section(buf: &mut Vec<u8>, start: usize) {
         let crc = crc32(&buf[start..]);
         buf.put_u32_le(crc);
     }
 
-    let mut buf = BytesMut::new();
+    let mut buf = Vec::new();
     buf.put_u64_le(MAGIC);
 
     let header_start = buf.len();
@@ -113,7 +143,7 @@ pub fn serialize(index: &InvertedIndex) -> Result<Bytes, IndexError> {
 
     let footer = crc32(&buf);
     buf.put_u32_le(footer);
-    Ok(buf.freeze())
+    Ok(buf)
 }
 
 /// A bounds-checked little-endian cursor over the serialized bytes that
@@ -376,7 +406,7 @@ mod tests {
     /// Writes `index` in the legacy v1 layout (no checksums), byte-for-byte
     /// what the old writer produced.
     fn serialize_v1(index: &InvertedIndex) -> Vec<u8> {
-        let mut buf = BytesMut::new();
+        let mut buf = Vec::new();
         buf.put_u64_le(MAGIC_V1);
         buf.put_f64_le(index.params().k1);
         buf.put_f64_le(index.params().b);
@@ -410,7 +440,7 @@ mod tests {
             buf.put_u64_le(list.payload().len() as u64);
             buf.put_slice(list.payload());
         }
-        buf.to_vec()
+        buf
     }
 
     #[test]

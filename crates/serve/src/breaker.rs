@@ -1,0 +1,274 @@
+//! Circuit breaker guarding the device (IIU) path.
+//!
+//! The paper's architecture splits every query between a host CPU and the
+//! IIU device (§4); the two paths return bit-identical hits. That makes
+//! the CPU baseline a semantically lossless fallback, and this breaker
+//! decides when to take it:
+//!
+//! ```text
+//!            failures < threshold
+//!          ┌──────────────────────┐
+//!          ▼                      │
+//!      ┌────────┐  N consecutive  │
+//!      │ Closed │─────────────────┴──▶ ┌──────┐
+//!      └────────┘     failures         │ Open │◀─────────────┐
+//!          ▲                           └──┬───┘              │
+//!          │                              │ cooldown elapsed │
+//!          │ M consecutive                ▼                  │ probe
+//!          │ probe successes         ┌──────────┐            │ fails
+//!          └─────────────────────────│ HalfOpen │────────────┘
+//!                                    └──────────┘
+//! ```
+//!
+//! While `Open`, every query routes to the CPU. While `HalfOpen`, one
+//! probe query at a time is allowed onto the device; the rest keep
+//! falling back until enough probes succeed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+use crate::config::BreakerConfig;
+
+/// The breaker's externally visible state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Device path healthy; all queries use it.
+    Closed,
+    /// Device path failing; all queries fall back to the CPU.
+    Open,
+    /// Cooling down: single probes test the device while other queries
+    /// still fall back.
+    HalfOpen,
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BreakerState::Closed => write!(f, "closed"),
+            BreakerState::Open => write!(f, "open"),
+            BreakerState::HalfOpen => write!(f, "half-open"),
+        }
+    }
+}
+
+/// Where the breaker routes one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Run on the device. When `probe` is true this query is a half-open
+    /// probe and its outcome MUST be reported via [`CircuitBreaker::on_success`]
+    /// / [`CircuitBreaker::on_failure`] with `probe = true`.
+    Device {
+        /// This query is the single in-flight half-open probe.
+        probe: bool,
+    },
+    /// Bypass the device; serve from the CPU baseline.
+    Fallback,
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    probe_in_flight: bool,
+    probe_successes: u32,
+}
+
+/// Thread-safe breaker shared by all workers.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    inner: Mutex<Inner>,
+    trips: AtomicU64,
+    recoveries: AtomicU64,
+}
+
+/// Locks a mutex, recovering from poisoning: the breaker's invariants
+/// hold at every await-free write, so a panicking peer cannot leave it
+/// half-updated.
+fn lock(m: &Mutex<Inner>) -> MutexGuard<'_, Inner> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl CircuitBreaker {
+    /// Creates a closed breaker.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: None,
+                probe_in_flight: false,
+                probe_successes: 0,
+            }),
+            trips: AtomicU64::new(0),
+            recoveries: AtomicU64::new(0),
+        }
+    }
+
+    /// Routes one query. Calls that return `Device { probe: true }`
+    /// acquire the single probe slot and must report an outcome.
+    pub fn route(&self) -> Route {
+        let mut g = lock(&self.inner);
+        match g.state {
+            BreakerState::Closed => Route::Device { probe: false },
+            BreakerState::Open => {
+                let cooled =
+                    g.opened_at.is_some_and(|t| t.elapsed() >= self.cfg.cooldown);
+                if cooled {
+                    g.state = BreakerState::HalfOpen;
+                    g.probe_successes = 0;
+                    g.probe_in_flight = true;
+                    Route::Device { probe: true }
+                } else {
+                    Route::Fallback
+                }
+            }
+            BreakerState::HalfOpen => {
+                if g.probe_in_flight {
+                    Route::Fallback
+                } else {
+                    g.probe_in_flight = true;
+                    Route::Device { probe: true }
+                }
+            }
+        }
+    }
+
+    /// Reports a successful device query.
+    pub fn on_success(&self, probe: bool) {
+        let mut g = lock(&self.inner);
+        match g.state {
+            BreakerState::Closed => g.consecutive_failures = 0,
+            BreakerState::HalfOpen if probe => {
+                g.probe_in_flight = false;
+                g.probe_successes += 1;
+                if g.probe_successes >= self.cfg.probe_successes {
+                    g.state = BreakerState::Closed;
+                    g.consecutive_failures = 0;
+                    g.opened_at = None;
+                    self.recoveries.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Reports a failed device query (retries already exhausted).
+    pub fn on_failure(&self, probe: bool) {
+        let mut g = lock(&self.inner);
+        match g.state {
+            BreakerState::Closed => {
+                g.consecutive_failures += 1;
+                if g.consecutive_failures >= self.cfg.failure_threshold {
+                    g.state = BreakerState::Open;
+                    g.opened_at = Some(Instant::now());
+                    self.trips.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            BreakerState::HalfOpen if probe => {
+                // A failed probe re-opens and restarts the cooldown.
+                g.probe_in_flight = false;
+                g.probe_successes = 0;
+                g.state = BreakerState::Open;
+                g.opened_at = Some(Instant::now());
+                self.trips.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        lock(&self.inner).state
+    }
+
+    /// Closed → Open transitions so far (including failed-probe re-opens).
+    pub fn trips(&self) -> u64 {
+        self.trips.load(Ordering::Relaxed)
+    }
+
+    /// HalfOpen → Closed recoveries so far.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn cfg(threshold: u32, cooldown_ms: u64, probes: u32) -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: threshold,
+            cooldown: Duration::from_millis(cooldown_ms),
+            probe_successes: probes,
+        }
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let b = CircuitBreaker::new(cfg(3, 1000, 1));
+        b.on_failure(false);
+        b.on_failure(false);
+        b.on_success(false); // resets the streak
+        b.on_failure(false);
+        b.on_failure(false);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.on_failure(false);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        assert!(matches!(b.route(), Route::Fallback));
+    }
+
+    #[test]
+    fn half_open_probe_cycle_recovers() {
+        let b = CircuitBreaker::new(cfg(1, 0, 2));
+        b.on_failure(false);
+        assert_eq!(b.state(), BreakerState::Open);
+        // Zero cooldown: next route is a probe.
+        assert!(matches!(b.route(), Route::Device { probe: true }));
+        // While the probe is in flight, everyone else falls back.
+        assert!(matches!(b.route(), Route::Fallback));
+        b.on_success(true);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(matches!(b.route(), Route::Device { probe: true }));
+        b.on_success(true);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.recoveries(), 1);
+        assert!(matches!(b.route(), Route::Device { probe: false }));
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let b = CircuitBreaker::new(cfg(1, 0, 1));
+        b.on_failure(false);
+        assert!(matches!(b.route(), Route::Device { probe: true }));
+        b.on_failure(true);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn open_respects_cooldown() {
+        let b = CircuitBreaker::new(cfg(1, 10_000, 1));
+        b.on_failure(false);
+        assert!(matches!(b.route(), Route::Fallback), "cooldown has not elapsed");
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn late_non_probe_outcomes_are_ignored_while_open() {
+        let b = CircuitBreaker::new(cfg(1, 10_000, 1));
+        b.on_failure(false);
+        // Stragglers from queries routed before the trip must not corrupt
+        // the open state.
+        b.on_success(false);
+        b.on_failure(false);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+    }
+}

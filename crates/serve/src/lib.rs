@@ -1,0 +1,49 @@
+//! Resilient query-serving layer over the IIU reproduction.
+//!
+//! The paper (Heo et al., ASPLOS 2020) evaluates the accelerator under an
+//! offered query stream; this crate adds the host-side machinery a real
+//! deployment would wrap around it, built on one invariant the paper's
+//! design gives us for free: the CPU baseline and the IIU device produce
+//! **bit-identical hits**, so falling back never changes answers — only
+//! latency.
+//!
+//! A [`QueryService`] owns a worker pool sharing one `Arc<InvertedIndex>`
+//! and resolves every submitted query to exactly one of:
+//!
+//! * clean hits from the device path,
+//! * degraded hits (tagged [`iiu_core::Degradation`] — CPU fallback,
+//!   retries, pruned unknown terms), or
+//! * a typed [`Rejected`] (shed on overload, deadline exceeded, permanent
+//!   failure, isolated panic).
+//!
+//! Resilience mechanisms, each configured via [`ServeConfig`]:
+//!
+//! * **Deadlines** — enforced at admission, after dequeue, and between
+//!   device attempts.
+//! * **Load shedding** — a bounded admission queue; overflow is rejected
+//!   immediately with [`Rejected::Overloaded`] instead of growing tail
+//!   latency unboundedly.
+//! * **Retry with jittered exponential backoff** — transient device
+//!   failures ([`iiu_sim::SimError::Stalled`]) are retried on a fresh
+//!   simulator; backoff never sleeps past the query's deadline.
+//! * **Panic isolation** — every engine run is wrapped in
+//!   `catch_unwind`; a poisoned query cannot take down a worker.
+//! * **Circuit breaker** — consecutive device failures trip the service
+//!   onto the CPU baseline; half-open probes restore the device path once
+//!   it heals ([`CircuitBreaker`]).
+//!
+//! Deterministic fault injection ([`FaultPlan`]) sabotages chosen device
+//! attempts with a 1-cycle budget so soak tests and `iiu serve-bench` can
+//! exercise every one of these paths reproducibly.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod breaker;
+pub mod config;
+pub mod service;
+pub mod stats;
+
+pub use breaker::{BreakerState, CircuitBreaker, Route};
+pub use config::{BreakerConfig, FaultPlan, RetryPolicy, ServeConfig};
+pub use service::{PendingQuery, QueryService, Rejected};
+pub use stats::{HealthSnapshot, ServeStats};

@@ -1,0 +1,484 @@
+//! The multi-worker query service: bounded admission, deadlines, retry
+//! with jittered backoff, panic isolation, and breaker-guarded CPU
+//! fallback.
+//!
+//! One [`QueryService`] owns a worker-thread pool sharing a single
+//! `Arc<InvertedIndex>` (the paper's host-resident index image, §4.1).
+//! Every submitted query resolves to exactly one of: clean hits, degraded
+//! hits (carrying [`Degradation`] records), or a typed [`Rejected`] — the
+//! service never panics a caller and never silently drops a query.
+
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use iiu_core::{
+    CpuSearchEngine, Degradation, IiuSearchEngine, Query, SearchEngine, SearchError,
+    SearchResponse,
+};
+use iiu_index::faultinject::SplitMix64;
+use iiu_index::InvertedIndex;
+use iiu_sim::SimConfig;
+
+use crate::breaker::{CircuitBreaker, Route};
+use crate::config::ServeConfig;
+use crate::stats::{HealthSnapshot, ServeStats};
+
+/// Why the service declined to answer a query with hits.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Rejected {
+    /// Shed at admission: the queue was at capacity.
+    Overloaded {
+        /// Queue depth observed at admission time.
+        queue_depth: usize,
+    },
+    /// The per-query deadline expired before an answer was produced.
+    DeadlineExceeded {
+        /// Pipeline stage at which the deadline was detected
+        /// (`"admission"`, `"queue"`, `"device"`, `"retry"`, `"fallback"`).
+        stage: &'static str,
+    },
+    /// Both the device path and the CPU fallback failed with a typed
+    /// error.
+    Failed {
+        /// The final error (from the fallback, which ran last).
+        error: SearchError,
+    },
+    /// The query panicked even on the CPU fallback path; the panic was
+    /// isolated to this query and the worker survived.
+    Panicked {
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// The service is shutting down and no longer admits queries.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejected::Overloaded { queue_depth } => {
+                write!(f, "shed: admission queue full ({queue_depth} queued)")
+            }
+            Rejected::DeadlineExceeded { stage } => {
+                write!(f, "deadline exceeded at stage {stage:?}")
+            }
+            Rejected::Failed { error } => write!(f, "query failed: {error}"),
+            Rejected::Panicked { message } => {
+                write!(f, "query panicked (isolated): {message}")
+            }
+            Rejected::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for Rejected {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Rejected::Failed { error } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+struct Job {
+    query: Query,
+    k: usize,
+    deadline: Instant,
+    seq: u64,
+    reply: mpsc::Sender<Result<SearchResponse, Rejected>>,
+}
+
+struct Shared {
+    index: Arc<InvertedIndex>,
+    cfg: ServeConfig,
+    queue: Mutex<VecDeque<Job>>,
+    not_empty: Condvar,
+    shutdown: AtomicBool,
+    stats: ServeStats,
+    breaker: CircuitBreaker,
+    seq: AtomicU64,
+}
+
+/// Locks a mutex, recovering from poisoning. Queue contents are plain
+/// data pushed/popped atomically under the lock, so a poisoned guard
+/// cannot expose a half-updated queue.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// An admitted query waiting for its answer.
+#[derive(Debug)]
+pub struct PendingQuery {
+    rx: mpsc::Receiver<Result<SearchResponse, Rejected>>,
+}
+
+impl PendingQuery {
+    /// Blocks until the query resolves.
+    pub fn wait(self) -> Result<SearchResponse, Rejected> {
+        // A dropped sender means the pool died mid-query; surface it as a
+        // shutdown rather than panicking the caller.
+        self.rx.recv().unwrap_or(Err(Rejected::ShuttingDown))
+    }
+}
+
+/// Multi-worker query service over a shared [`InvertedIndex`].
+pub struct QueryService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl QueryService {
+    /// Starts `cfg.workers` worker threads serving `index`.
+    ///
+    /// `cfg.cores_per_query` is clamped to `1..=cfg.sim.n_cores` so a
+    /// misconfigured pool cannot panic the simulator's allocator.
+    pub fn start(index: Arc<InvertedIndex>, mut cfg: ServeConfig) -> Self {
+        cfg.workers = cfg.workers.max(1);
+        cfg.queue_capacity = cfg.queue_capacity.max(1);
+        cfg.cores_per_query = cfg.cores_per_query.clamp(1, cfg.sim.n_cores.max(1));
+        let breaker = CircuitBreaker::new(cfg.breaker);
+        let shared = Arc::new(Shared {
+            index,
+            cfg,
+            queue: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            stats: ServeStats::default(),
+            breaker,
+            seq: AtomicU64::new(0),
+        });
+        let workers = (0..shared.cfg.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("iiu-serve-{i}"))
+                    .spawn(move || worker_loop(&shared, i as u64))
+                    .unwrap_or_else(|e| panic!("spawning serve worker {i}: {e}"))
+            })
+            .collect();
+        QueryService { shared, workers }
+    }
+
+    /// Submits a query under the configured default deadline. Returns
+    /// immediately: `Err` is an admission-time shed, `Ok` a handle to
+    /// wait on.
+    pub fn submit(&self, query: Query, k: usize) -> Result<PendingQuery, Rejected> {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(Rejected::ShuttingDown);
+        }
+        let stats = &self.shared.stats;
+        stats.submitted.fetch_add(1, Ordering::Relaxed);
+        let now = Instant::now();
+        let deadline = now + self.shared.cfg.default_deadline;
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut q = lock(&self.shared.queue);
+            if q.len() >= self.shared.cfg.queue_capacity {
+                stats.shed_overload.fetch_add(1, Ordering::Relaxed);
+                return Err(Rejected::Overloaded { queue_depth: q.len() });
+            }
+            // Sequence numbers count *admitted* queries only, so
+            // FaultPlan windows keyed on seq target queries that actually
+            // reach a worker regardless of how many submissions shed.
+            let job = Job {
+                query,
+                k,
+                deadline,
+                seq: self.shared.seq.fetch_add(1, Ordering::Relaxed),
+                reply: tx,
+            };
+            q.push_back(job);
+        }
+        self.shared.not_empty.notify_one();
+        Ok(PendingQuery { rx })
+    }
+
+    /// Submits and blocks for the answer.
+    pub fn search_blocking(
+        &self,
+        query: Query,
+        k: usize,
+    ) -> Result<SearchResponse, Rejected> {
+        self.submit(query, k)?.wait()
+    }
+
+    /// Point-in-time operator snapshot.
+    pub fn health(&self) -> HealthSnapshot {
+        let s = &self.shared.stats;
+        HealthSnapshot {
+            submitted: s.submitted.load(Ordering::Relaxed),
+            completed: s.completed.load(Ordering::Relaxed),
+            degraded_ok: s.degraded_ok.load(Ordering::Relaxed),
+            shed_overload: s.shed_overload.load(Ordering::Relaxed),
+            shed_deadline: s.shed_deadline.load(Ordering::Relaxed),
+            failed: s.failed.load(Ordering::Relaxed),
+            panicked: s.panicked.load(Ordering::Relaxed),
+            retries: s.retries.load(Ordering::Relaxed),
+            cpu_fallbacks: s.cpu_fallbacks.load(Ordering::Relaxed),
+            breaker: self.shared.breaker.state(),
+            breaker_trips: self.shared.breaker.trips(),
+            breaker_recoveries: self.shared.breaker.recoveries(),
+            p50: s.latency_quantile(0.5),
+            p99: s.latency_quantile(0.99),
+            queue_depth: lock(&self.shared.queue).len(),
+        }
+    }
+
+    /// Stops admitting queries, drains everything already admitted, and
+    /// joins the workers. Called automatically on drop.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.not_empty.notify_all();
+        for h in self.workers.drain(..) {
+            // A worker that somehow panicked outside a query's
+            // catch_unwind has nothing left to deliver; joining it is
+            // best-effort.
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Outcome of the device-path attempt loop.
+enum DeviceOutcome {
+    /// Device answered; `attempts` includes the successful one.
+    Ok { response: SearchResponse, attempts: u32 },
+    /// All attempts failed; fall back to the CPU for `reason`.
+    GiveUp { reason: String },
+    /// The deadline expired between attempts.
+    Deadline,
+}
+
+fn worker_loop(shared: &Shared, worker_id: u64) {
+    // Per-worker jitter stream, decorrelated across workers and runs.
+    let mut rng =
+        SplitMix64::new(shared.cfg.fault.seed ^ worker_id.wrapping_mul(0xA076_1D64_78BD_642F));
+    loop {
+        let job = {
+            let mut q = lock(&shared.queue);
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                q = shared
+                    .not_empty
+                    .wait(q)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        serve_one(shared, job, &mut rng);
+    }
+}
+
+fn serve_one(shared: &Shared, job: Job, rng: &mut SplitMix64) {
+    let started = Instant::now();
+    let stats = &shared.stats;
+    if started >= job.deadline {
+        stats.shed_deadline.fetch_add(1, Ordering::Relaxed);
+        let _ = job.reply.send(Err(Rejected::DeadlineExceeded { stage: "queue" }));
+        return;
+    }
+
+    let route = shared.breaker.route();
+    let (mut response, outcome_err) = match route {
+        Route::Device { probe } => match run_device(shared, &job, rng) {
+            DeviceOutcome::Ok { mut response, attempts } => {
+                shared.breaker.on_success(probe);
+                if attempts > 1 {
+                    stats.retries.fetch_add(u64::from(attempts - 1), Ordering::Relaxed);
+                    response.degraded.push(Degradation::Retried { attempts });
+                }
+                (Some(response), None)
+            }
+            DeviceOutcome::Deadline => {
+                // The device never got a verdict; don't charge the breaker.
+                stats.shed_deadline.fetch_add(1, Ordering::Relaxed);
+                let _ =
+                    job.reply.send(Err(Rejected::DeadlineExceeded { stage: "retry" }));
+                return;
+            }
+            DeviceOutcome::GiveUp { reason } => {
+                shared.breaker.on_failure(probe);
+                match run_fallback(shared, &job, reason) {
+                    Ok(resp) => (Some(resp), None),
+                    Err(rej) => (None, Some(rej)),
+                }
+            }
+        },
+        Route::Fallback => {
+            match run_fallback(shared, &job, "circuit breaker open".to_string()) {
+                Ok(resp) => (Some(resp), None),
+                Err(rej) => (None, Some(rej)),
+            }
+        }
+    };
+
+    match (response.take(), outcome_err) {
+        (Some(resp), _) => {
+            if resp.degraded.is_empty() {
+                stats.completed.fetch_add(1, Ordering::Relaxed);
+            } else {
+                stats.degraded_ok.fetch_add(1, Ordering::Relaxed);
+            }
+            stats.record_latency(started.elapsed());
+            let _ = job.reply.send(Ok(resp));
+        }
+        (None, Some(rej)) => {
+            match &rej {
+                Rejected::DeadlineExceeded { .. } => {
+                    stats.shed_deadline.fetch_add(1, Ordering::Relaxed);
+                }
+                // Panicked still counts as `failed` so that
+                // answered + shed + failed == submitted holds exactly.
+                _ => {
+                    stats.failed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            let _ = job.reply.send(Err(rej));
+        }
+        (None, None) => unreachable!("every query resolves to a response or a rejection"),
+    }
+}
+
+fn run_device(shared: &Shared, job: &Job, rng: &mut SplitMix64) -> DeviceOutcome {
+    let cfg = &shared.cfg;
+    for attempt in 0..cfg.retry.max_attempts.max(1) {
+        if Instant::now() >= job.deadline {
+            return DeviceOutcome::Deadline;
+        }
+        // Sabotaged attempts run with a 1-cycle budget so the watchdog
+        // reports `SimError::Stalled` deterministically; clean attempts
+        // (including every retry outside a fault burst) use the real
+        // config — the "fresh SimConfig" the retry contract promises.
+        let sim = if cfg.fault.sabotage(job.seq, attempt) {
+            SimConfig { max_cycles: Some(1), ..cfg.sim }
+        } else {
+            cfg.sim
+        };
+        let index = &*shared.index;
+        let attempt_result = panic::catch_unwind(AssertUnwindSafe(|| {
+            if cfg.fault.sabotage_panic(job.seq, attempt) {
+                panic!("injected panic fault (seq {})", job.seq);
+            }
+            let mut engine =
+                IiuSearchEngine::with_config(index, sim, cfg.cores_per_query);
+            engine.search(&job.query, job.k)
+        }));
+        match attempt_result {
+            Ok(Ok(response)) => {
+                return DeviceOutcome::Ok { response, attempts: attempt + 1 }
+            }
+            Ok(Err(e)) if e.is_transient() && attempt + 1 < cfg.retry.max_attempts => {
+                let sleep = cfg.retry.backoff(attempt + 1, rng);
+                let remaining = job.deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return DeviceOutcome::Deadline;
+                }
+                std::thread::sleep(sleep.min(remaining));
+            }
+            Ok(Err(e)) => {
+                let transient = e.is_transient();
+                let reason = if transient {
+                    format!(
+                        "device retries exhausted after {} attempts: {e}",
+                        attempt + 1
+                    )
+                } else {
+                    format!("device error: {e}")
+                };
+                // Trim the reason: a stall snapshot Display is multi-line.
+                let reason = reason.lines().next().unwrap_or("device error").to_string();
+                return DeviceOutcome::GiveUp { reason };
+            }
+            Err(payload) => {
+                shared.stats.panicked.fetch_add(1, Ordering::Relaxed);
+                let message = panic_message(payload.as_ref());
+                return DeviceOutcome::GiveUp {
+                    reason: format!("device panicked: {message}"),
+                };
+            }
+        }
+    }
+    // max_attempts == 0 is normalized to 1 above; unreachable in practice
+    // but a typed answer is still better than a panic.
+    DeviceOutcome::GiveUp { reason: "retry budget exhausted".to_string() }
+}
+
+fn run_fallback(
+    shared: &Shared,
+    job: &Job,
+    reason: String,
+) -> Result<SearchResponse, Rejected> {
+    if Instant::now() >= job.deadline {
+        return Err(Rejected::DeadlineExceeded { stage: "fallback" });
+    }
+    shared.stats.cpu_fallbacks.fetch_add(1, Ordering::Relaxed);
+    let index = &*shared.index;
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        let mut engine = CpuSearchEngine::new(index);
+        engine.search(&job.query, job.k)
+    }));
+    match result {
+        Ok(Ok(mut response)) => {
+            response.degraded.push(Degradation::CpuFallback { reason });
+            Ok(response)
+        }
+        Ok(Err(error)) => Err(Rejected::Failed { error }),
+        Err(payload) => {
+            shared.stats.panicked.fetch_add(1, Ordering::Relaxed);
+            Err(Rejected::Panicked { message: panic_message(payload.as_ref()) })
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejected_is_a_full_error() {
+        // The full bound callers need to box and send across threads.
+        fn assert_error<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<Rejected>();
+
+        let e = Rejected::Failed {
+            error: iiu_core::SearchError::Index(
+                iiu_index::IndexError::PositionsUnavailable,
+            ),
+        };
+        assert!(std::error::Error::source(&e).is_some(), "Failed must expose its cause");
+        let boxed: Box<dyn std::error::Error + Send + Sync + 'static> = Box::new(e);
+        assert!(boxed.to_string().contains("failed"));
+    }
+
+    #[test]
+    fn rejection_displays_are_operator_readable() {
+        assert!(Rejected::Overloaded { queue_depth: 7 }.to_string().contains('7'));
+        assert!(Rejected::DeadlineExceeded { stage: "queue" }.to_string().contains("queue"));
+        assert!(Rejected::ShuttingDown.to_string().contains("shutting down"));
+        assert!(Rejected::Panicked { message: "boom".into() }.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,245 @@
+//! Lock-free serving statistics: outcome counters and a log₂ latency
+//! histogram, snapshotted into a [`HealthSnapshot`] for operators.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::breaker::BreakerState;
+
+/// Number of log₂ latency buckets. Bucket `i` holds latencies in
+/// `[2^i, 2^(i+1))` microseconds; the last bucket is open-ended, covering
+/// everything from ~4.6 hours up.
+const BUCKETS: usize = 44;
+
+/// Shared, lock-free counters updated by admission and workers.
+#[derive(Debug)]
+pub struct ServeStats {
+    /// Queries offered to the service (accepted or not).
+    pub submitted: AtomicU64,
+    /// Queries answered with hits from the device path, no degradation.
+    pub completed: AtomicU64,
+    /// Queries answered with hits but carrying a degradation record
+    /// (CPU fallback, retries, pruned unknown terms).
+    pub degraded_ok: AtomicU64,
+    /// Queries shed at admission because the queue was full.
+    pub shed_overload: AtomicU64,
+    /// Queries rejected because their deadline expired (at admission, in
+    /// queue, or mid-pipeline).
+    pub shed_deadline: AtomicU64,
+    /// Queries that failed permanently with a typed error.
+    pub failed: AtomicU64,
+    /// Queries whose device attempt panicked (isolated; the query then
+    /// fell back or failed, and the worker survived).
+    pub panicked: AtomicU64,
+    /// Device attempts beyond the first, summed over all queries.
+    pub retries: AtomicU64,
+    /// Queries answered by the CPU baseline instead of the device.
+    pub cpu_fallbacks: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for ServeStats {
+    fn default() -> Self {
+        ServeStats {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            degraded_ok: AtomicU64::new(0),
+            shed_overload: AtomicU64::new(0),
+            shed_deadline: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            cpu_fallbacks: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+fn bucket_of(latency: Duration) -> usize {
+    let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+    if us == 0 {
+        return 0;
+    }
+    (63 - us.leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+impl ServeStats {
+    /// Records the end-to-end latency of one answered query.
+    pub fn record_latency(&self, latency: Duration) {
+        self.buckets[bucket_of(latency)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Latency quantile `q` in `0.0..=1.0`, as the upper edge of the
+    /// bucket containing it (log₂-µs resolution). `None` until at least
+    /// one latency is recorded.
+    pub fn latency_quantile(&self, q: f64) -> Option<Duration> {
+        let counts: Vec<u64> =
+            self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Duration::from_micros(2u64.saturating_pow(i as u32 + 1)));
+            }
+        }
+        Some(Duration::from_micros(u64::MAX))
+    }
+
+    /// Queries that were answered with hits (clean or degraded).
+    pub fn answered(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed) + self.degraded_ok.load(Ordering::Relaxed)
+    }
+
+    /// Queries resolved as a typed rejection rather than hits.
+    pub fn rejected(&self) -> u64 {
+        self.shed_overload.load(Ordering::Relaxed)
+            + self.shed_deadline.load(Ordering::Relaxed)
+            + self.failed.load(Ordering::Relaxed)
+    }
+}
+
+/// Point-in-time operator view of the service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthSnapshot {
+    /// Queries offered so far.
+    pub submitted: u64,
+    /// Clean device-path answers.
+    pub completed: u64,
+    /// Degraded answers (fallback / retried / pruned terms).
+    pub degraded_ok: u64,
+    /// Shed at admission (queue full).
+    pub shed_overload: u64,
+    /// Rejected on deadline.
+    pub shed_deadline: u64,
+    /// Permanent typed failures.
+    pub failed: u64,
+    /// Isolated device-attempt panics.
+    pub panicked: u64,
+    /// Extra device attempts.
+    pub retries: u64,
+    /// CPU-baseline answers.
+    pub cpu_fallbacks: u64,
+    /// Breaker state at snapshot time.
+    pub breaker: BreakerState,
+    /// Breaker trips so far.
+    pub breaker_trips: u64,
+    /// Breaker recoveries so far.
+    pub breaker_recoveries: u64,
+    /// Median answer latency, if any were recorded.
+    pub p50: Option<Duration>,
+    /// 99th-percentile answer latency, if any were recorded.
+    pub p99: Option<Duration>,
+    /// Current depth of the admission queue.
+    pub queue_depth: usize,
+}
+
+impl HealthSnapshot {
+    /// Queries answered with hits (clean or degraded).
+    pub fn answered(&self) -> u64 {
+        self.completed + self.degraded_ok
+    }
+
+    /// Queries resolved as a typed rejection rather than hits.
+    pub fn rejected_total(&self) -> u64 {
+        self.shed_overload + self.shed_deadline + self.failed
+    }
+
+    /// Fraction of submitted queries shed or rejected, in `0.0..=1.0`.
+    pub fn shed_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            return 0.0;
+        }
+        (self.shed_overload + self.shed_deadline + self.failed) as f64
+            / self.submitted as f64
+    }
+}
+
+impl std::fmt::Display for HealthSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "submitted={} completed={} degraded={} shed(overload={} deadline={}) \
+             failed={} panicked={}",
+            self.submitted,
+            self.completed,
+            self.degraded_ok,
+            self.shed_overload,
+            self.shed_deadline,
+            self.failed,
+            self.panicked,
+        )?;
+        writeln!(
+            f,
+            "retries={} cpu_fallbacks={} breaker={} trips={} recoveries={} queue_depth={}",
+            self.retries,
+            self.cpu_fallbacks,
+            self.breaker,
+            self.breaker_trips,
+            self.breaker_recoveries,
+            self.queue_depth,
+        )?;
+        match (self.p50, self.p99) {
+            (Some(p50), Some(p99)) => write!(f, "p50≤{p50:?} p99≤{p99:?}"),
+            _ => write!(f, "no latencies recorded"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_microseconds() {
+        assert_eq!(bucket_of(Duration::from_micros(0)), 0);
+        assert_eq!(bucket_of(Duration::from_micros(1)), 0);
+        assert_eq!(bucket_of(Duration::from_micros(2)), 1);
+        assert_eq!(bucket_of(Duration::from_micros(3)), 1);
+        assert_eq!(bucket_of(Duration::from_micros(1024)), 10);
+        assert_eq!(bucket_of(Duration::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_track_recorded_latencies() {
+        let s = ServeStats::default();
+        assert_eq!(s.latency_quantile(0.5), None);
+        for _ in 0..99 {
+            s.record_latency(Duration::from_micros(100)); // bucket 6
+        }
+        s.record_latency(Duration::from_millis(10)); // bucket 13
+        let p50 = s.latency_quantile(0.5).unwrap();
+        let p99 = s.latency_quantile(0.99).unwrap();
+        let p999 = s.latency_quantile(0.999).unwrap();
+        assert_eq!(p50, Duration::from_micros(128), "upper edge of bucket 6");
+        assert_eq!(p99, Duration::from_micros(128));
+        assert_eq!(p999, Duration::from_micros(16_384), "upper edge of bucket 13");
+    }
+
+    #[test]
+    fn shed_rate_is_total_rejections_over_submitted() {
+        let h = HealthSnapshot {
+            submitted: 100,
+            completed: 70,
+            degraded_ok: 10,
+            shed_overload: 12,
+            shed_deadline: 5,
+            failed: 3,
+            panicked: 0,
+            retries: 4,
+            cpu_fallbacks: 6,
+            breaker: BreakerState::Closed,
+            breaker_trips: 1,
+            breaker_recoveries: 1,
+            p50: None,
+            p99: None,
+            queue_depth: 0,
+        };
+        assert!((h.shed_rate() - 0.20).abs() < 1e-12);
+        assert!(h.to_string().contains("breaker=closed"));
+    }
+}

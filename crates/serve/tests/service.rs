@@ -1,0 +1,271 @@
+//! End-to-end tests of the resilient serving layer: shedding, deadlines,
+//! retries, breaker trip/recovery, panic isolation, and shutdown drain.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use iiu_core::{CpuSearchEngine, Degradation, Query, SearchEngine};
+use iiu_index::InvertedIndex;
+use iiu_serve::{
+    BreakerConfig, BreakerState, FaultPlan, QueryService, Rejected, RetryPolicy,
+    ServeConfig,
+};
+use iiu_workloads::{CorpusConfig, QuerySampler};
+
+fn tiny_index(seed: u64) -> InvertedIndex {
+    let cfg = CorpusConfig { n_docs: 400, n_terms: 120, ..CorpusConfig::tiny(seed) };
+    cfg.generate().into_default_index()
+}
+
+fn quick_config() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        queue_capacity: 64,
+        default_deadline: Duration::from_secs(10),
+        retry: RetryPolicy {
+            base_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_micros(500),
+            ..RetryPolicy::default()
+        },
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn clean_queries_match_cpu_engine() {
+    let index = Arc::new(tiny_index(0xA11CE));
+    let svc = QueryService::start(Arc::clone(&index), quick_config());
+    let mut sampler = QuerySampler::new(&index, 7);
+    let mut cpu = CpuSearchEngine::new(&index);
+    for (a, b) in sampler.pair_queries(6) {
+        let q = Query::and(Query::term(&a), Query::term(&b));
+        let served = svc.search_blocking(q.clone(), 10).expect("serving failed");
+        let direct = cpu.search(&q, 10).expect("cpu search failed");
+        assert_eq!(served.hits, direct.hits, "hits diverge for {a} AND {b}");
+        assert!(served.degraded.is_empty(), "unexpected degradation: {:?}", served.degraded);
+    }
+    let h = svc.health();
+    assert_eq!(h.submitted, 6);
+    assert_eq!(h.completed, 6);
+    assert_eq!(h.breaker, BreakerState::Closed);
+    assert!(h.p50.is_some() && h.p99.is_some());
+}
+
+#[test]
+fn unknown_terms_degrade_identically_to_cpu() {
+    let index = Arc::new(tiny_index(0xBEE));
+    let svc = QueryService::start(Arc::clone(&index), quick_config());
+    let mut cpu = CpuSearchEngine::new(&index);
+    let q = Query::or(Query::term("zzznotaterm"), Query::term(term_of(&index, 3)));
+    let served = svc.search_blocking(q.clone(), 10).expect("serving failed");
+    let direct = cpu.search(&q, 10).expect("cpu search failed");
+    assert_eq!(served.hits, direct.hits);
+    assert_eq!(served.degraded, direct.degraded);
+    assert!(served
+        .degraded
+        .iter()
+        .any(|d| matches!(d, Degradation::UnknownTermDropped { .. })));
+}
+
+fn term_of(index: &InvertedIndex, id: u32) -> &str {
+    &index.term_info(id).term
+}
+
+#[test]
+fn zero_deadline_is_shed_with_stage() {
+    let index = Arc::new(tiny_index(0xD0));
+    let cfg = ServeConfig { default_deadline: Duration::ZERO, ..quick_config() };
+    let svc = QueryService::start(Arc::clone(&index), cfg);
+    let q = Query::term(term_of(&index, 0));
+    match svc.search_blocking(q, 10) {
+        Err(Rejected::DeadlineExceeded { stage }) => {
+            assert!(!stage.is_empty());
+        }
+        other => panic!("expected deadline rejection, got {other:?}"),
+    }
+    assert_eq!(svc.health().shed_deadline, 1);
+}
+
+#[test]
+fn overload_sheds_typed_rejections() {
+    let index = Arc::new(tiny_index(0x10AD));
+    // One worker pinned down by retry backoff (the whole burst stalls
+    // every attempt), a 2-deep queue: the burst of submissions must shed.
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_capacity: 2,
+        default_deadline: Duration::from_secs(30),
+        retry: RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(40),
+            max_backoff: Duration::from_millis(80),
+            jitter: 0.0,
+        },
+        fault: FaultPlan { burst: Some((0, 64)), ..FaultPlan::NONE },
+        ..ServeConfig::default()
+    };
+    let svc = QueryService::start(Arc::clone(&index), cfg);
+    let q = Query::term(term_of(&index, 0));
+    let mut pending = Vec::new();
+    let mut shed = 0usize;
+    for _ in 0..16 {
+        match svc.submit(q.clone(), 5) {
+            Ok(p) => pending.push(p),
+            Err(Rejected::Overloaded { queue_depth }) => {
+                assert_eq!(queue_depth, 2);
+                shed += 1;
+            }
+            Err(other) => panic!("unexpected rejection: {other:?}"),
+        }
+    }
+    assert!(shed >= 8, "only {shed}/16 shed with a 2-deep queue and a pinned worker");
+    for p in pending {
+        // Burst-sabotaged queries exhaust retries and fall back to CPU.
+        let resp = p.wait().expect("admitted queries must still resolve");
+        assert!(resp
+            .degraded
+            .iter()
+            .any(|d| matches!(d, Degradation::CpuFallback { .. })));
+    }
+    let h = svc.health();
+    assert_eq!(h.shed_overload, shed as u64);
+    assert_eq!(h.submitted, 16);
+    assert_eq!(h.degraded_ok + h.shed_overload, 16);
+}
+
+#[test]
+fn transient_stall_is_retried_and_tagged() {
+    let index = Arc::new(tiny_index(0x7E57));
+    // stall_rate 1.0 sabotages exactly the first attempt of every query;
+    // the retry runs clean and must succeed with bit-identical hits.
+    let cfg = ServeConfig {
+        fault: FaultPlan { stall_rate: 1.0, seed: 9, ..FaultPlan::NONE },
+        ..quick_config()
+    };
+    let svc = QueryService::start(Arc::clone(&index), cfg);
+    let mut cpu = CpuSearchEngine::new(&index);
+    let q = Query::term(term_of(&index, 1));
+    let served = svc.search_blocking(q.clone(), 10).expect("retry should recover");
+    let direct = cpu.search(&q, 10).expect("cpu search failed");
+    assert_eq!(served.hits, direct.hits);
+    assert!(
+        served.degraded.contains(&Degradation::Retried { attempts: 2 }),
+        "missing retry tag: {:?}",
+        served.degraded
+    );
+    let h = svc.health();
+    assert_eq!(h.retries, 1);
+    assert_eq!(h.degraded_ok, 1);
+    assert_eq!(h.cpu_fallbacks, 0, "retry must recover without falling back");
+}
+
+#[test]
+fn breaker_trips_then_recovers() {
+    let index = Arc::new(tiny_index(0xB12));
+    // Single worker for a deterministic seq → outcome order. Queries
+    // 0..3 stall on every attempt (retries disabled), tripping the
+    // 3-failure breaker; later queries find a healed device.
+    let cfg = ServeConfig {
+        workers: 1,
+        default_deadline: Duration::from_secs(30),
+        retry: RetryPolicy { max_attempts: 1, ..RetryPolicy::default() },
+        breaker: BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(20),
+            probe_successes: 2,
+        },
+        fault: FaultPlan { burst: Some((0, 3)), ..FaultPlan::NONE },
+        ..quick_config()
+    };
+    let svc = QueryService::start(Arc::clone(&index), cfg);
+    let q = Query::term(term_of(&index, 2));
+
+    for _ in 0..3 {
+        let resp = svc.search_blocking(q.clone(), 10).expect("fallback answers");
+        assert!(resp
+            .degraded
+            .iter()
+            .any(|d| matches!(d, Degradation::CpuFallback { .. })));
+    }
+    assert_eq!(svc.health().breaker, BreakerState::Open);
+    assert_eq!(svc.health().breaker_trips, 1);
+
+    // While open (cooldown not elapsed), queries take the CPU with the
+    // breaker-open reason.
+    let resp = svc.search_blocking(q.clone(), 10).expect("open breaker still answers");
+    assert!(resp.degraded.iter().any(|d| matches!(
+        d,
+        Degradation::CpuFallback { reason } if reason.contains("breaker")
+    )));
+
+    // After the cooldown, probes run on the healed device and close the
+    // breaker again.
+    std::thread::sleep(Duration::from_millis(30));
+    let mut recovered = false;
+    for _ in 0..8 {
+        let resp = svc.search_blocking(q.clone(), 10).expect("probing answers");
+        if resp.degraded.is_empty() {
+            recovered = true;
+        }
+    }
+    assert!(recovered, "device path never served again after cooldown");
+    let h = svc.health();
+    assert_eq!(h.breaker, BreakerState::Closed);
+    assert!(h.breaker_recoveries >= 1);
+    assert_eq!(h.panicked, 0);
+}
+
+#[test]
+fn injected_panic_is_isolated_and_falls_back() {
+    // Keep the intentional panic's backtrace out of the test output;
+    // real panics still print.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .unwrap_or("");
+        if !msg.contains("injected panic fault") {
+            default_hook(info);
+        }
+    }));
+    let index = Arc::new(tiny_index(0xFA11));
+    let cfg = ServeConfig {
+        workers: 1,
+        fault: FaultPlan { panic_burst: Some((0, 1)), ..FaultPlan::NONE },
+        ..quick_config()
+    };
+    let svc = QueryService::start(Arc::clone(&index), cfg);
+    let q = Query::term(term_of(&index, 0));
+
+    let resp = svc.search_blocking(q.clone(), 10).expect("panic must not kill query");
+    assert!(resp.degraded.iter().any(|d| matches!(
+        d,
+        Degradation::CpuFallback { reason } if reason.contains("panicked")
+    )));
+
+    // The worker survived and serves the next query cleanly.
+    let resp = svc.search_blocking(q, 10).expect("worker must survive the panic");
+    assert!(resp.degraded.is_empty(), "{:?}", resp.degraded);
+    let h = svc.health();
+    assert_eq!(h.panicked, 1);
+    assert_eq!(h.completed, 1);
+    assert_eq!(h.degraded_ok, 1);
+}
+
+#[test]
+fn shutdown_drains_admitted_queries_and_rejects_new_ones() {
+    let index = Arc::new(tiny_index(0x5D));
+    let mut svc = QueryService::start(Arc::clone(&index), quick_config());
+    let q = Query::term(term_of(&index, 0));
+    let pending: Vec<_> =
+        (0..8).map(|_| svc.submit(q.clone(), 5).expect("admission")).collect();
+    svc.shutdown();
+    assert!(matches!(svc.submit(q, 5), Err(Rejected::ShuttingDown)));
+    for p in pending {
+        p.wait().expect("admitted before shutdown, must be drained");
+    }
+    let h = svc.health();
+    assert_eq!(h.completed, 8);
+}

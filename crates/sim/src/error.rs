@@ -173,6 +173,15 @@ impl fmt::Display for SimError {
     }
 }
 
+impl SimError {
+    /// Whether retrying the same request on a fresh machine could succeed.
+    /// Stalls are transient (watchdogs fire on contention and tight cycle
+    /// budgets); a `BadRequest` will fail identically every time.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SimError::Stalled { .. })
+    }
+}
+
 impl Error for SimError {}
 
 #[cfg(test)]
@@ -181,8 +190,10 @@ mod tests {
 
     #[test]
     fn error_is_send_sync() {
+        // The full bound callers need to box and send across threads.
+        fn assert_error<T: Error + Send + Sync + 'static>() {}
         fn assert_send_sync<T: Send + Sync>() {}
-        assert_send_sync::<SimError>();
+        assert_error::<SimError>();
         assert_send_sync::<StallSnapshot>();
     }
 

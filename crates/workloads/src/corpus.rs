@@ -224,7 +224,7 @@ impl GeneratedCorpus {
     /// format's bitwidth limits).
     pub fn into_index(self, partitioner: Partitioner, params: Bm25Params) -> InvertedIndex {
         InvertedIndex::from_lists(self.lists, self.doc_lens, partitioner, params)
-            .expect("generated corpus always encodes")
+            .unwrap_or_else(|e| panic!("generated corpus always encodes: {e}"))
     }
 
     /// Builds an index with default partitioning and BM25 parameters.

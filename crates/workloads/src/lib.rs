@@ -19,6 +19,8 @@
 
 pub mod corpus;
 pub mod queries;
+pub mod traffic;
 
 pub use corpus::{CorpusConfig, GeneratedCorpus};
 pub use queries::QuerySampler;
+pub use traffic::{TimedQuery, TrafficConfig};

@@ -69,7 +69,9 @@ impl<'a> QuerySampler<'a> {
 
     /// Draws one term.
     pub fn term(&mut self) -> &'a str {
-        let total = *self.cumulative.last().expect("non-empty candidates");
+        // The constructor asserts `candidates` (and so `cumulative`) is
+        // non-empty.
+        let total = self.cumulative.last().copied().unwrap_or(1.0);
         let x = self.rng.gen_range(0.0..total);
         let i = self.cumulative.partition_point(|&c| c <= x);
         let id = self.candidates[i.min(self.candidates.len() - 1)];

@@ -1,0 +1,215 @@
+//! Open-loop traffic generation for the serving layer.
+//!
+//! An *open-loop* (Poisson) arrival process submits queries at their
+//! scheduled times regardless of whether earlier queries have finished —
+//! the load model under which queueing delay, shedding and tail latency
+//! are actually meaningful (a closed loop self-throttles and can never
+//! overload the service). Inter-arrival gaps are exponential with mean
+//! `1 / rate_qps`, the standard model for independent user queries.
+//!
+//! Queries are drawn from the indexed vocabulary through
+//! [`QuerySampler`]'s document-frequency-biased distribution, matching
+//! how the paper samples TREC queries; a configurable fraction is
+//! replaced by terms guaranteed to be out-of-vocabulary so downstream
+//! consumers exercise the unknown-term degradation paths.
+
+use std::time::Duration;
+
+use iiu_index::InvertedIndex;
+
+use crate::queries::QuerySampler;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of an open-loop query stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficConfig {
+    /// Mean offered rate in queries per second (> 0).
+    pub rate_qps: f64,
+    /// Number of queries in the stream.
+    pub n_queries: usize,
+    /// Fraction of queries with two terms (the rest are single-term).
+    pub pair_fraction: f64,
+    /// Of the two-term queries, the fraction joined with `AND`
+    /// (intersection); the rest use `OR` (union).
+    pub and_fraction: f64,
+    /// Fraction of queries in which one term is replaced by an
+    /// out-of-vocabulary term, exercising degradation paths.
+    pub unknown_term_rate: f64,
+    /// Seed for arrivals, sampling, and unknown-term placement.
+    pub seed: u64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            rate_qps: 200.0,
+            n_queries: 1_000,
+            pair_fraction: 0.5,
+            and_fraction: 0.5,
+            unknown_term_rate: 0.0,
+            seed: 0x7_EA5,
+        }
+    }
+}
+
+/// One scheduled query: submit `text` at offset `at` from stream start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedQuery {
+    /// Arrival offset from the start of the stream.
+    pub at: Duration,
+    /// Query text in the `iiu_core::Query::parse` grammar
+    /// (`a`, `a AND b`, `a OR b`).
+    pub text: String,
+    /// Whether an out-of-vocabulary term was planted in this query.
+    pub has_unknown_term: bool,
+}
+
+/// A term that [`crate::corpus::term_name`] can never produce (vocabulary
+/// names are `t<digits>`), so it is out-of-vocabulary by construction.
+fn unknown_term(rng: &mut StdRng) -> String {
+    format!("zzoov{:05}", rng.gen_range(0u32..100_000))
+}
+
+/// Generates a Poisson open-loop stream of `cfg.n_queries` queries against
+/// `index`'s vocabulary. Deterministic in `cfg.seed`; arrivals are sorted
+/// by construction.
+///
+/// # Panics
+///
+/// Panics if `cfg.rate_qps` is not strictly positive or the fractions are
+/// outside `[0, 1]`.
+pub fn open_loop(index: &InvertedIndex, cfg: &TrafficConfig) -> Vec<TimedQuery> {
+    assert!(
+        cfg.rate_qps.is_finite() && cfg.rate_qps > 0.0,
+        "rate_qps must be positive"
+    );
+    for (name, f) in [
+        ("pair_fraction", cfg.pair_fraction),
+        ("and_fraction", cfg.and_fraction),
+        ("unknown_term_rate", cfg.unknown_term_rate),
+    ] {
+        assert!((0.0..=1.0).contains(&f), "{name} must be in [0, 1], got {f}");
+    }
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut sampler = QuerySampler::new(index, cfg.seed ^ 0x5EED_CAFE);
+    let mut at = 0.0f64;
+    (0..cfg.n_queries)
+        .map(|_| {
+            // Exponential inter-arrival via inverse CDF; 1 - u avoids
+            // ln(0) since gen_range's f64 interval is half-open at 1.
+            let u: f64 = rng.gen_range(0.0..1.0);
+            at += -(1.0 - u).ln() / cfg.rate_qps;
+
+            let pair = rng.gen_bool(cfg.pair_fraction);
+            let unknown = cfg.unknown_term_rate > 0.0
+                && rng.gen_bool(cfg.unknown_term_rate);
+            let text = if pair {
+                let op = if rng.gen_bool(cfg.and_fraction) { "AND" } else { "OR" };
+                let a = sampler.term().to_owned();
+                let b = if unknown {
+                    unknown_term(&mut rng)
+                } else {
+                    loop {
+                        let b = sampler.term().to_owned();
+                        if b != a {
+                            break b;
+                        }
+                    }
+                };
+                format!("{a} {op} {b}")
+            } else if unknown {
+                unknown_term(&mut rng)
+            } else {
+                sampler.term().to_owned()
+            };
+            TimedQuery {
+                at: Duration::from_secs_f64(at),
+                text,
+                has_unknown_term: unknown,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusConfig;
+
+    fn index() -> InvertedIndex {
+        CorpusConfig { n_docs: 300, n_terms: 80, ..CorpusConfig::tiny(0x717) }
+            .generate()
+            .into_default_index()
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_sorted() {
+        let idx = index();
+        let cfg = TrafficConfig { n_queries: 500, ..TrafficConfig::default() };
+        let a = open_loop(&idx, &cfg);
+        let b = open_loop(&idx, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at), "arrivals out of order");
+    }
+
+    #[test]
+    fn mean_rate_is_close_to_configured() {
+        let idx = index();
+        let cfg = TrafficConfig {
+            rate_qps: 1_000.0,
+            n_queries: 4_000,
+            ..TrafficConfig::default()
+        };
+        let stream = open_loop(&idx, &cfg);
+        let span = stream.last().map(|q| q.at.as_secs_f64()).unwrap_or(0.0);
+        let empirical = cfg.n_queries as f64 / span;
+        assert!(
+            (empirical / cfg.rate_qps - 1.0).abs() < 0.1,
+            "offered rate {empirical:.1} qps vs configured {}",
+            cfg.rate_qps
+        );
+    }
+
+    #[test]
+    fn unknown_terms_appear_at_configured_rate_and_are_oov() {
+        let idx = index();
+        let cfg = TrafficConfig {
+            n_queries: 2_000,
+            unknown_term_rate: 0.25,
+            ..TrafficConfig::default()
+        };
+        let stream = open_loop(&idx, &cfg);
+        let unknown = stream.iter().filter(|q| q.has_unknown_term).count();
+        assert!(
+            (350..650).contains(&unknown),
+            "unknown-term rate off: {unknown}/2000"
+        );
+        for q in stream.iter().filter(|q| q.has_unknown_term) {
+            let oov = q
+                .text
+                .split_whitespace()
+                .find(|t| t.starts_with("zzoov"))
+                .unwrap_or_else(|| panic!("no OOV term in {:?}", q.text));
+            assert!(idx.term_id(oov).is_none(), "{oov:?} is in vocabulary");
+        }
+    }
+
+    #[test]
+    fn query_mix_covers_all_shapes() {
+        let idx = index();
+        let cfg = TrafficConfig {
+            n_queries: 400,
+            pair_fraction: 0.5,
+            and_fraction: 0.5,
+            ..TrafficConfig::default()
+        };
+        let stream = open_loop(&idx, &cfg);
+        let ands = stream.iter().filter(|q| q.text.contains(" AND ")).count();
+        let ors = stream.iter().filter(|q| q.text.contains(" OR ")).count();
+        let singles = stream.len() - ands - ors;
+        assert!(ands > 0 && ors > 0 && singles > 0, "{ands} AND / {ors} OR / {singles} single");
+    }
+}

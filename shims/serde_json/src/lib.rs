@@ -1,0 +1,431 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the subset the bench reports use: [`Value`], the [`json!`] macro,
+//! [`Map`], [`to_string_pretty`], and indexing (`value["key"] = ...`).
+//! There is no serde integration and no parser — the benches only ever
+//! *construct and print* JSON. Object keys are stored in a `BTreeMap`, so
+//! output key order is sorted rather than insertion-ordered; JSON object
+//! order carries no meaning, and nothing downstream depends on it.
+
+// Vendored stand-in, not a production decode/serving path: its
+// internal serializer plumbing panics by documented contract, so the
+// workspace-wide unwrap/expect wall is relaxed here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// JSON object representation (sorted keys).
+pub type Map = BTreeMap<String, Value>;
+
+/// A JSON number: one of the three wire shapes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// A finite or non-finite double (non-finite prints as `null`).
+    Float(f64),
+}
+
+impl Number {
+    /// The number as an `f64` (always possible, possibly lossy).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(v) => v as f64,
+            Number::NegInt(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::PosInt(v) => write!(f, "{v}"),
+            Number::NegInt(v) => write!(f, "{v}"),
+            // {:?} keeps a trailing ".0" on integral floats, matching
+            // upstream serde_json output.
+            Number::Float(v) if v.is_finite() => write!(f, "{v:?}"),
+            Number::Float(_) => write!(f, "null"),
+        }
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+impl Value {
+    /// The value as `f64` if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::PosInt(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str` if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool` if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array if it is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as an object if it is one.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    /// Missing keys read as `Null`, like upstream.
+    ///
+    /// # Panics
+    ///
+    /// Panics when indexing into a non-object.
+    fn index(&self, key: &str) -> &Value {
+        match self {
+            Value::Object(map) => map.get(key).unwrap_or(&NULL),
+            other => panic!("cannot index non-object JSON value {other:?} with {key:?}"),
+        }
+    }
+}
+
+impl IndexMut<&str> for Value {
+    /// Assigning to a missing key inserts it (auto-vivification).
+    ///
+    /// # Panics
+    ///
+    /// Panics when indexing into a non-object.
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        match self {
+            Value::Object(map) => map.entry(key.to_string()).or_insert(Value::Null),
+            other => panic!("cannot index non-object JSON value {other:?} with {key:?}"),
+        }
+    }
+}
+
+impl Index<String> for Value {
+    type Output = Value;
+
+    fn index(&self, key: String) -> &Value {
+        &self[key.as_str()]
+    }
+}
+
+impl IndexMut<String> for Value {
+    fn index_mut(&mut self, key: String) -> &mut Value {
+        match self {
+            Value::Object(map) => map.entry(key).or_insert(Value::Null),
+            other => panic!("cannot index non-object JSON value {other:?} with {key:?}"),
+        }
+    }
+}
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(Number::PosInt(v as u64))
+            }
+        }
+    )*};
+}
+
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v as i64))
+                }
+            }
+        }
+    )*};
+}
+
+from_unsigned!(u8, u16, u32, u64, usize);
+from_signed!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::Float(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::Float(v as f64))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl From<Map> for Value {
+    fn from(v: Map) -> Value {
+        Value::Object(v)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+/// Builds a [`Value`] from a `{ "key": expr, ... }` object literal, a
+/// `[ expr, ... ]` array literal, `null`, or any expression convertible
+/// via [`From`].
+#[macro_export]
+macro_rules! json {
+    (null) => {
+        $crate::Value::Null
+    };
+    ({ $($k:literal : $v:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $(map.insert(($k).to_string(), $crate::Value::from($v));)*
+        $crate::Value::Object(map)
+    }};
+    ([ $($v:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![$($crate::Value::from($v)),*])
+    };
+    ($other:expr) => {
+        $crate::Value::from($other)
+    };
+}
+
+/// Serialization error. The shim writer is infallible, so this is never
+/// actually produced; it exists so call sites keep the upstream
+/// `Result`-shaped API.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, v: &Value, indent: usize, pretty: bool) {
+    const STEP: usize = 2;
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(indent + STEP));
+                }
+                write_value(out, item, indent + STEP, pretty);
+            }
+            if pretty {
+                out.push('\n');
+                out.push_str(&" ".repeat(indent));
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(indent + STEP));
+                }
+                escape_into(out, k);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(out, item, indent + STEP, pretty);
+            }
+            if pretty {
+                out.push('\n');
+                out.push_str(&" ".repeat(indent));
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Compact single-line serialization.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, value, 0, false);
+    Ok(out)
+}
+
+/// Two-space-indented serialization, matching upstream's layout.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, value, 0, true);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({
+            "name": "iiu",
+            "cores": 8u32,
+            "speedup": 13.5,
+            "nested": vec![json!(1u32), json!(2u32)],
+        });
+        assert_eq!(v["name"].as_str(), Some("iiu"));
+        assert_eq!(v["cores"].as_u64(), Some(8));
+        assert_eq!(v["speedup"].as_f64(), Some(13.5));
+        assert_eq!(v["nested"].as_array().map(Vec::len), Some(2));
+        assert_eq!(v["missing"], Value::Null);
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!([1u32, 2u32]).as_array().map(Vec::len), Some(2));
+    }
+
+    #[test]
+    fn index_assign_auto_inserts() {
+        let mut v = json!({ "a": 1u32 });
+        v["b"] = json!(2u32);
+        v[format!("c{}", 3)] = json!(3u32);
+        assert_eq!(v["b"].as_u64(), Some(2));
+        assert_eq!(v["c3"].as_u64(), Some(3));
+    }
+
+    #[test]
+    fn pretty_output_is_stable() {
+        let v = json!({ "b": vec![json!(1u32)], "a": "x\"y" });
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(s, "{\n  \"a\": \"x\\\"y\",\n  \"b\": [\n    1\n  ]\n}");
+        let c = to_string(&v).unwrap();
+        assert_eq!(c, "{\"a\":\"x\\\"y\",\"b\":[1]}");
+    }
+
+    #[test]
+    fn number_display_shapes() {
+        assert_eq!(json!(3.0f64).as_f64(), Some(3.0));
+        assert_eq!(to_string(&json!(3.0f64)).unwrap(), "3.0");
+        assert_eq!(to_string(&json!(7u64)).unwrap(), "7");
+        assert_eq!(to_string(&json!(-7i64)).unwrap(), "-7");
+        assert_eq!(to_string(&json!(f64::NAN)).unwrap(), "null");
+        let m: Map = Map::new();
+        assert_eq!(to_string(&Value::from(m)).unwrap(), "{}");
+    }
+}

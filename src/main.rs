@@ -6,6 +6,8 @@
 //! iiu stats   <index-file>
 //! iiu inspect <index-file> [--fault-rate R] [--trials N] [--seed S]
 //! iiu search  <index-file> "<query>" [--k N] [--engine cpu|iiu|both] [--cores N]
+//! iiu serve-bench <index-file> [--workers N] [--rate QPS] [--queries N]
+//!                 [--deadline-ms MS] [--fault-rate R] [--seed S]
 //! ```
 //!
 //! `gen` writes an index over a synthetic Zipfian corpus; `build` indexes a
@@ -14,7 +16,9 @@
 //! verifies checksums and structural invariants, optionally fuzzing the
 //! file with deterministic corruptions; `search` runs a boolean query on
 //! the baseline engine, the simulated accelerator, or both, auto-loading
-//! the sidecar when present.
+//! the sidecar when present; `serve-bench` drives the resilient serving
+//! layer with a Poisson open-loop query stream and reports tail latency,
+//! shed rate and circuit-breaker activity.
 
 use std::process::ExitCode;
 
@@ -23,7 +27,8 @@ use iiu_index::io::{deserialize, serialize, MAGIC, MAGIC_V1};
 use iiu_index::{
     corrupt, BuildOptions, IndexBuilder, IndexError, InvertedIndex, Partitioner, PositionIndex,
 };
-use iiu_workloads::CorpusConfig;
+use iiu_serve::{FaultPlan, QueryService, ServeConfig};
+use iiu_workloads::{CorpusConfig, TrafficConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,6 +38,7 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("search") => cmd_search(&args[1..]),
+        Some("serve-bench") => cmd_serve_bench(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -58,6 +64,14 @@ fn print_usage() {
          \x20 iiu stats   <index-file>\n\
          \x20 iiu inspect <index-file> [--fault-rate R] [--trials N] [--seed S]\n\
          \x20 iiu search  <index-file> \"<query>\" [--k N] [--engine cpu|iiu|both] [--cores N]\n\
+         \x20 iiu serve-bench <index-file> [--workers N] [--rate QPS] [--queries N]\n\
+         \x20                 [--deadline-ms MS] [--fault-rate R] [--seed S] [--unknown-rate R]\n\
+         \n\
+         serve-bench submits a Poisson open-loop query stream to the\n\
+         resilient serving layer (deadlines, load shedding, retry, CPU\n\
+         fallback) and reports p50/p99 latency, shed rate, and circuit-\n\
+         breaker activity. --fault-rate injects that fraction of device\n\
+         stalls to exercise the recovery paths.\n\
          \n\
          inspect verifies the file's section checksums and the decoded\n\
          index's structural invariants. With --fault-rate R (fraction of\n\
@@ -296,6 +310,123 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
         ));
     }
     println!("survival: PASS");
+    Ok(())
+}
+
+fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let parsed = split_args(args);
+    let flag = |n: &str| parsed.flag(n);
+    let [path] = parsed.positional[..] else {
+        return Err(
+            "usage: iiu serve-bench <index-file> [--workers N] [--rate QPS] \
+             [--queries N] [--deadline-ms MS] [--fault-rate R] [--seed S] \
+             [--unknown-rate R]"
+                .into(),
+        );
+    };
+    let workers: usize = parse_num(flag("workers").unwrap_or("4"), "--workers")?;
+    let rate: f64 = parse_num(flag("rate").unwrap_or("200"), "--rate")?;
+    let queries: usize = parse_num(flag("queries").unwrap_or("2000"), "--queries")?;
+    let deadline_ms: u64 = parse_num(flag("deadline-ms").unwrap_or("250"), "--deadline-ms")?;
+    let fault_rate: f64 = parse_num(flag("fault-rate").unwrap_or("0"), "--fault-rate")?;
+    let seed: u64 = parse_num(flag("seed").unwrap_or("7"), "--seed")?;
+    let unknown_rate: f64 = parse_num(flag("unknown-rate").unwrap_or("0"), "--unknown-rate")?;
+    let k: usize = parse_num(flag("k").unwrap_or("10"), "--k")?;
+    if !(0.0..=1.0).contains(&fault_rate) || !(0.0..=1.0).contains(&unknown_rate) {
+        return Err("--fault-rate and --unknown-rate must be in 0..=1".into());
+    }
+    if !(rate.is_finite() && rate > 0.0) {
+        return Err("--rate must be positive".into());
+    }
+
+    let index = Arc::new(load_index(path)?);
+    let stream = iiu_workloads::traffic::open_loop(
+        &index,
+        &TrafficConfig {
+            rate_qps: rate,
+            n_queries: queries,
+            unknown_term_rate: unknown_rate,
+            seed,
+            ..TrafficConfig::default()
+        },
+    );
+    let cfg = ServeConfig {
+        workers,
+        default_deadline: Duration::from_millis(deadline_ms),
+        fault: FaultPlan { stall_rate: fault_rate, seed, ..FaultPlan::NONE },
+        ..ServeConfig::default()
+    };
+    println!(
+        "serve-bench: {queries} queries at {rate} qps, {workers} workers, \
+         deadline {deadline_ms} ms, fault rate {fault_rate}"
+    );
+
+    let mut svc = QueryService::start(Arc::clone(&index), cfg);
+    let start = Instant::now();
+    let mut pending = Vec::with_capacity(queries);
+    let (mut shed_at_admission, mut parse_failures) = (0u64, 0u64);
+    for tq in &stream {
+        // Open loop: submit on schedule no matter how far behind the
+        // service is; lateness shows up as queueing delay and shedding.
+        if let Some(wait) = tq.at.checked_sub(start.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        let Ok(query) = Query::parse(&tq.text) else {
+            parse_failures += 1;
+            continue;
+        };
+        match svc.submit(query, k) {
+            Ok(p) => pending.push(p),
+            Err(_) => shed_at_admission += 1,
+        }
+    }
+    let offered_secs = start.elapsed().as_secs_f64();
+    let mut answered = 0u64;
+    let mut rejected = 0u64;
+    for p in pending {
+        match p.wait() {
+            Ok(_) => answered += 1,
+            Err(_) => rejected += 1,
+        }
+    }
+    svc.shutdown();
+
+    let h = svc.health();
+    if parse_failures > 0 {
+        return Err(format!("{parse_failures} generated queries failed to parse"));
+    }
+    println!();
+    println!("offered:       {queries} queries in {offered_secs:.2} s");
+    println!("answered:      {answered} ({} clean, {} degraded)", h.completed, h.degraded_ok);
+    println!(
+        "rejected:      {} ({} shed on overload, {} on deadline, {} failed)",
+        rejected + shed_at_admission,
+        h.shed_overload, h.shed_deadline, h.failed
+    );
+    println!(
+        "resilience:    {} retries, {} cpu fallbacks, {} isolated panics",
+        h.retries, h.cpu_fallbacks, h.panicked
+    );
+    println!(
+        "breaker:       {} ({} trips, {} recoveries)",
+        h.breaker, h.breaker_trips, h.breaker_recoveries
+    );
+    println!("shed rate:     {:.2}%", h.shed_rate() * 100.0);
+    match (h.p50, h.p99) {
+        (Some(p50), Some(p99)) => println!("latency:       p50 ≤ {p50:?}, p99 ≤ {p99:?}"),
+        _ => println!("latency:       no queries answered"),
+    }
+    if h.submitted != h.answered() + h.rejected_total() {
+        return Err(format!(
+            "accounting violated: {} submitted vs {} answered + {} rejected",
+            h.submitted,
+            h.answered(),
+            h.rejected_total()
+        ));
+    }
     Ok(())
 }
 

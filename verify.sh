@@ -1,17 +1,29 @@
 #!/usr/bin/env sh
-# Full verification gate: build, tests, and the no-panic lint wall.
+# Full verification gate: build, tests, the fault-injected serving soak,
+# and the no-panic lint wall.
 #
 # The clippy pass denies unwrap()/expect() across the workspace. Crates
 # whose internals legitimately panic (simulator queue plumbing, the bench
 # harness, the baseline) opt back out with a crate-root
 # `#![allow(clippy::unwrap_used, clippy::expect_used)]`; the hardened
-# index modules (io, checksum, faultinject, block decode paths) re-deny
-# via `#![cfg_attr(not(test), deny(...))]` so a panicking call cannot
-# sneak back into the load path.
+# crates (iiu-codecs decode paths, iiu-index io/checksum/faultinject, and
+# all of iiu-serve) re-deny via `#![cfg_attr(not(test), deny(...))]` so a
+# panicking call cannot sneak back into an untrusted-input or serving
+# path. The second clippy line keeps iiu-serve and iiu-codecs honest even
+# if the workspace-wide wall is ever relaxed.
 set -eu
 
-cargo build --release
-cargo test -q
+cargo build --release --workspace
+cargo test -q --workspace
+
+# Acceptance soak for the resilient serving layer (DESIGN.md §10): 10k
+# queries open-loop at 2x the measured sustainable rate with injected
+# stalls, an all-fail burst, and injected panics. Release mode, ~30s
+# budget (typically far less); exact outcome accounting, a breaker
+# trip+recovery, and zero worker deaths are asserted inside.
+cargo test --release --test soak -q
+
 cargo clippy --workspace -- -D clippy::unwrap_used -D clippy::expect_used
+cargo clippy -p iiu-serve -p iiu-codecs -- -D clippy::unwrap_used -D clippy::expect_used
 
 echo "verify: OK"
