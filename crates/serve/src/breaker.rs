@@ -156,6 +156,22 @@ impl CircuitBreaker {
         }
     }
 
+    /// Reports that a device-routed query was abandoned before the device
+    /// produced a verdict (e.g. its deadline expired between attempts or
+    /// during backoff). Releases the probe slot without counting success
+    /// or failure — a caller-side deadline says nothing about device
+    /// health — so the next half-open query can probe instead of the
+    /// breaker sticking in `HalfOpen` forever.
+    pub fn on_abandoned(&self, probe: bool) {
+        if !probe {
+            return;
+        }
+        let mut g = lock(&self.inner);
+        if g.state == BreakerState::HalfOpen {
+            g.probe_in_flight = false;
+        }
+    }
+
     /// Reports a failed device query (retries already exhausted).
     pub fn on_failure(&self, probe: bool) {
         let mut g = lock(&self.inner);
@@ -250,6 +266,33 @@ mod tests {
         b.on_failure(true);
         assert_eq!(b.state(), BreakerState::Open);
         assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn abandoned_probe_releases_the_slot() {
+        let b = CircuitBreaker::new(cfg(1, 0, 1));
+        b.on_failure(false);
+        assert!(matches!(b.route(), Route::Device { probe: true }));
+        assert!(matches!(b.route(), Route::Fallback), "probe slot is held");
+        // The probe's deadline expired before the device answered; the
+        // slot must free up without counting as success or failure.
+        b.on_abandoned(true);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(matches!(b.route(), Route::Device { probe: true }));
+        b.on_success(true);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.recoveries(), 1);
+    }
+
+    #[test]
+    fn abandoned_non_probe_is_a_no_op() {
+        let b = CircuitBreaker::new(cfg(3, 1000, 1));
+        b.on_failure(false);
+        b.on_abandoned(false);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.on_failure(false);
+        b.on_failure(false);
+        assert_eq!(b.state(), BreakerState::Open, "failure streak untouched");
     }
 
     #[test]

@@ -172,12 +172,19 @@ impl QueryService {
             return Err(Rejected::ShuttingDown);
         }
         let stats = &self.shared.stats;
-        stats.submitted.fetch_add(1, Ordering::Relaxed);
         let now = Instant::now();
         let deadline = now + self.shared.cfg.default_deadline;
         let (tx, rx) = mpsc::channel();
         {
             let mut q = lock(&self.shared.queue);
+            // Re-checked under the queue lock: workers only exit after
+            // observing (queue empty && shutdown) under this same lock, so
+            // a submit racing with shutdown() cannot enqueue a job no
+            // worker will ever pick up (which would block wait() forever).
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                return Err(Rejected::ShuttingDown);
+            }
+            stats.submitted.fetch_add(1, Ordering::Relaxed);
             if q.len() >= self.shared.cfg.queue_capacity {
                 stats.shed_overload.fetch_add(1, Ordering::Relaxed);
                 return Err(Rejected::Overloaded { queue_depth: q.len() });
@@ -239,6 +246,14 @@ impl QueryService {
             // catch_unwind has nothing left to deliver; joining it is
             // best-effort.
             let _ = h.join();
+        }
+        // Belt and braces: the in-lock shutdown re-check in submit()
+        // prevents jobs landing after the last worker exits, but if one
+        // ever did (or a worker died outside catch_unwind), resolve it
+        // rather than leaving its caller blocked in wait().
+        let mut q = lock(&self.shared.queue);
+        while let Some(job) = q.pop_front() {
+            let _ = job.reply.send(Err(Rejected::ShuttingDown));
         }
     }
 }
@@ -304,7 +319,10 @@ fn serve_one(shared: &Shared, job: Job, rng: &mut SplitMix64) {
                 (Some(response), None)
             }
             DeviceOutcome::Deadline => {
-                // The device never got a verdict; don't charge the breaker.
+                // The device never got a verdict; don't charge the breaker
+                // either way — but a held probe slot must be released or
+                // the breaker would stick in HalfOpen forever.
+                shared.breaker.on_abandoned(probe);
                 stats.shed_deadline.fetch_add(1, Ordering::Relaxed);
                 let _ =
                     job.reply.send(Err(Rejected::DeadlineExceeded { stage: "retry" }));

@@ -8,7 +8,7 @@ use crate::breaker::BreakerState;
 
 /// Number of log₂ latency buckets. Bucket `i` holds latencies in
 /// `[2^i, 2^(i+1))` microseconds; the last bucket is open-ended, covering
-/// everything from ~4.6 hours up.
+/// everything from 2⁴³ µs (≈101 days) up.
 const BUCKETS: usize = 44;
 
 /// Shared, lock-free counters updated by admission and workers.
@@ -28,8 +28,10 @@ pub struct ServeStats {
     pub shed_deadline: AtomicU64,
     /// Queries that failed permanently with a typed error.
     pub failed: AtomicU64,
-    /// Queries whose device attempt panicked (isolated; the query then
-    /// fell back or failed, and the worker survived).
+    /// Queries that panicked under `catch_unwind` on either path — a
+    /// device attempt (the query then fell back) or the CPU fallback
+    /// (the query became `Rejected::Panicked`). The worker survived
+    /// either way.
     pub panicked: AtomicU64,
     /// Device attempts beyond the first, summed over all queries.
     pub retries: AtomicU64,
@@ -70,8 +72,9 @@ impl ServeStats {
     }
 
     /// Latency quantile `q` in `0.0..=1.0`, as the upper edge of the
-    /// bucket containing it (log₂-µs resolution). `None` until at least
-    /// one latency is recorded.
+    /// bucket containing it (log₂-µs resolution). For the open-ended top
+    /// bucket the reported 2⁴⁴ µs "edge" is a lower bound, not an upper
+    /// one. `None` until at least one latency is recorded.
     pub fn latency_quantile(&self, q: f64) -> Option<Duration> {
         let counts: Vec<u64> =
             self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
@@ -118,7 +121,7 @@ pub struct HealthSnapshot {
     pub shed_deadline: u64,
     /// Permanent typed failures.
     pub failed: u64,
-    /// Isolated device-attempt panics.
+    /// Isolated query panics (device attempt or CPU fallback).
     pub panicked: u64,
     /// Extra device attempts.
     pub retries: u64,

@@ -67,6 +67,24 @@ impl<'a> QuerySampler<'a> {
         }
     }
 
+    /// Redraw budget when hunting for a term distinct from a given one.
+    const MAX_DISTINCT_DRAWS: usize = 16;
+
+    /// Draws a term, redrawing a bounded number of times until it differs
+    /// from `other`. A degenerate candidate set (e.g. a single qualifying
+    /// term) exhausts the budget and yields the duplicate instead of
+    /// looping forever — `a AND a` is still a valid query.
+    pub fn term_distinct_from(&mut self, other: &str) -> &'a str {
+        let mut b = self.term();
+        for _ in 0..Self::MAX_DISTINCT_DRAWS {
+            if b != other {
+                break;
+            }
+            b = self.term();
+        }
+        b
+    }
+
     /// Draws one term.
     pub fn term(&mut self) -> &'a str {
         // The constructor asserts `candidates` (and so `cumulative`) is
@@ -83,18 +101,15 @@ impl<'a> QuerySampler<'a> {
         (0..n).map(|_| self.term().to_owned()).collect()
     }
 
-    /// Draws `n` double-term queries with distinct terms (for intersection
-    /// and union).
+    /// Draws `n` double-term queries (for intersection and union). Terms
+    /// are distinct whenever the candidate set allows it; see
+    /// [`Self::term_distinct_from`].
     pub fn pair_queries(&mut self, n: usize) -> Vec<(String, String)> {
         (0..n)
             .map(|_| {
                 let a = self.term().to_owned();
-                loop {
-                    let b = self.term().to_owned();
-                    if b != a {
-                        return (a, b);
-                    }
-                }
+                let b = self.term_distinct_from(&a).to_owned();
+                (a, b)
             })
             .collect()
     }
@@ -125,6 +140,19 @@ mod tests {
         let mut s = QuerySampler::new(&idx, 2);
         for (a, b) in s.pair_queries(50) {
             assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn single_candidate_vocabulary_yields_duplicate_pairs() {
+        // Regression: the distinct-term hunt used to loop forever when
+        // only one term qualified. It must terminate with a duplicate.
+        let idx = CorpusConfig { n_terms: 1, ..CorpusConfig::tiny(0x1) }
+            .generate()
+            .into_default_index();
+        let mut s = QuerySampler::new(&idx, 5);
+        for (a, b) in s.pair_queries(5) {
+            assert_eq!(a, b, "only one term exists, so pairs must duplicate");
         }
     }
 

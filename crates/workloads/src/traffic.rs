@@ -111,12 +111,9 @@ pub fn open_loop(index: &InvertedIndex, cfg: &TrafficConfig) -> Vec<TimedQuery> 
                 let b = if unknown {
                     unknown_term(&mut rng)
                 } else {
-                    loop {
-                        let b = sampler.term().to_owned();
-                        if b != a {
-                            break b;
-                        }
-                    }
+                    // Bounded redraws: a single-term vocabulary yields a
+                    // duplicate instead of hanging the generator.
+                    sampler.term_distinct_from(&a).to_owned()
                 };
                 format!("{a} {op} {b}")
             } else if unknown {
@@ -194,6 +191,29 @@ mod tests {
                 .find(|t| t.starts_with("zzoov"))
                 .unwrap_or_else(|| panic!("no OOV term in {:?}", q.text));
             assert!(idx.term_id(oov).is_none(), "{oov:?} is in vocabulary");
+        }
+    }
+
+    #[test]
+    fn single_term_vocabulary_does_not_hang() {
+        // Regression: drawing a second distinct term used to spin forever
+        // when the vocabulary had exactly one qualifying term.
+        let idx = CorpusConfig { n_terms: 1, ..CorpusConfig::tiny(0x99) }
+            .generate()
+            .into_default_index();
+        let cfg = TrafficConfig {
+            n_queries: 50,
+            pair_fraction: 1.0,
+            ..TrafficConfig::default()
+        };
+        let stream = open_loop(&idx, &cfg);
+        assert_eq!(stream.len(), 50);
+        for q in &stream {
+            assert!(
+                q.has_unknown_term || q.text.contains(" AND ") || q.text.contains(" OR "),
+                "pair_fraction=1.0 must produce two-term queries: {:?}",
+                q.text
+            );
         }
     }
 
