@@ -5,7 +5,7 @@ use iiu_index::score::term_score_fixed;
 use iiu_index::{IndexError, InvertedIndex, TermId};
 
 use crate::cost::{CpuCostModel, PhaseBreakdown};
-use crate::ops::{self, OpCounts};
+use crate::ops::{self, DecodeScratch, OpCounts};
 use crate::topk::{top_k, Hit};
 
 /// The result of one query: ranked hits, raw operation counts, and the
@@ -37,21 +37,31 @@ impl QueryOutcome {
 /// hardware so that both engines return bit-identical scores; the paper's
 /// baseline comparison is about *time*, which the cost model prices from
 /// operation counts.
+///
+/// The engine owns a [`DecodeScratch`] — reusable decode buffers plus the
+/// decoded-block probe cache — so query methods take `&mut self` and the
+/// steady-state hot path allocates only for results.
 #[derive(Debug, Clone)]
 pub struct CpuEngine<'a> {
     index: &'a InvertedIndex,
     cost: CpuCostModel,
+    scratch: DecodeScratch,
 }
 
 impl<'a> CpuEngine<'a> {
     /// Creates an engine with the default cost model.
     pub fn new(index: &'a InvertedIndex) -> Self {
-        CpuEngine { index, cost: CpuCostModel::default() }
+        CpuEngine { index, cost: CpuCostModel::default(), scratch: DecodeScratch::new() }
     }
 
     /// Creates an engine with a custom cost model.
     pub fn with_cost_model(index: &'a InvertedIndex, cost: CpuCostModel) -> Self {
-        CpuEngine { index, cost }
+        CpuEngine { index, cost, scratch: DecodeScratch::new() }
+    }
+
+    /// The engine's decode scratch (buffers + decoded-block cache).
+    pub fn scratch(&self) -> &DecodeScratch {
+        &self.scratch
     }
 
     /// The engine's cost model.
@@ -75,18 +85,21 @@ impl<'a> CpuEngine<'a> {
     /// # Errors
     ///
     /// Returns [`IndexError::UnknownTerm`] if `term` is not indexed.
-    pub fn search_single(&self, term: &str, k: usize) -> Result<QueryOutcome, IndexError> {
+    pub fn search_single(&mut self, term: &str, k: usize) -> Result<QueryOutcome, IndexError> {
         let id = self.resolve(term)?;
         let list = self.index.encoded_list(id);
         let idf_bar = self.index.term_info(id).idf_bar;
 
         let mut counts = OpCounts::default();
-        let postings = ops::decode_full(list, &mut counts);
-        let hits: Vec<Hit> = postings
+        ops::decode_full_into(list, &mut counts, &mut self.scratch.full_a);
+        let index = self.index;
+        let hits: Vec<Hit> = self
+            .scratch
+            .full_a
             .iter()
             .map(|p| Hit {
                 doc_id: p.doc_id,
-                score: term_score_fixed(idf_bar, self.index.dl_bar(p.doc_id), p.tf).to_f64(),
+                score: term_score_fixed(idf_bar, index.dl_bar(p.doc_id), p.tf).to_f64(),
             })
             .collect();
         counts.docs_scored = hits.len() as u64;
@@ -104,7 +117,7 @@ impl<'a> CpuEngine<'a> {
     ///
     /// Returns [`IndexError::UnknownTerm`] if either term is not indexed.
     pub fn search_intersection(
-        &self,
+        &mut self,
         term_a: &str,
         term_b: &str,
         k: usize,
@@ -124,7 +137,8 @@ impl<'a> CpuEngine<'a> {
         let idf_long = self.index.term_info(long_id).idf_bar;
 
         let mut counts = OpCounts::default();
-        let matches = ops::intersect_svs(short, long, &mut counts);
+        let matches =
+            ops::intersect_svs(short, long, long_id, &mut counts, &mut self.scratch);
         let hits: Vec<Hit> = matches
             .iter()
             .map(|&(doc_id, tf_s, tf_l)| {
@@ -148,7 +162,7 @@ impl<'a> CpuEngine<'a> {
     ///
     /// Returns [`IndexError::UnknownTerm`] if either term is not indexed.
     pub fn search_union(
-        &self,
+        &mut self,
         term_a: &str,
         term_b: &str,
         k: usize,
@@ -161,7 +175,7 @@ impl<'a> CpuEngine<'a> {
         let idf_b = self.index.term_info(ib).idf_bar;
 
         let mut counts = OpCounts::default();
-        let merged = ops::union_merge(la, lb, &mut counts);
+        let merged = ops::union_merge(la, lb, &mut counts, &mut self.scratch);
         let mut scored = 0u64;
         let hits: Vec<Hit> = merged
             .iter()
@@ -206,7 +220,7 @@ mod tests {
     #[test]
     fn single_term_ranks_by_tf() {
         let idx = engine_index();
-        let engine = CpuEngine::new(&idx);
+        let mut engine = CpuEngine::new(&idx);
         let out = engine.search_single("business", 10).unwrap();
         assert_eq!(out.hits.len(), 3);
         // doc 2 has tf 2 and the shortest competitive length.
@@ -218,7 +232,7 @@ mod tests {
     #[test]
     fn intersection_returns_common_docs() {
         let idx = engine_index();
-        let engine = CpuEngine::new(&idx);
+        let mut engine = CpuEngine::new(&idx);
         let out = engine.search_intersection("business", "cameo", 10).unwrap();
         let docs: Vec<u32> = out.hits.iter().map(|h| h.doc_id).collect();
         let mut sorted = docs.clone();
@@ -230,7 +244,7 @@ mod tests {
     #[test]
     fn intersection_is_symmetric() {
         let idx = engine_index();
-        let engine = CpuEngine::new(&idx);
+        let mut engine = CpuEngine::new(&idx);
         let ab = engine.search_intersection("business", "cameo", 10).unwrap();
         let ba = engine.search_intersection("cameo", "business", 10).unwrap();
         assert_eq!(ab.hits, ba.hits);
@@ -239,7 +253,7 @@ mod tests {
     #[test]
     fn union_covers_both_lists() {
         let idx = engine_index();
-        let engine = CpuEngine::new(&idx);
+        let mut engine = CpuEngine::new(&idx);
         let out = engine.search_union("business", "cameo", 10).unwrap();
         let mut docs: Vec<u32> = out.hits.iter().map(|h| h.doc_id).collect();
         docs.sort_unstable();
@@ -251,7 +265,7 @@ mod tests {
     #[test]
     fn unknown_term_is_an_error() {
         let idx = engine_index();
-        let engine = CpuEngine::new(&idx);
+        let mut engine = CpuEngine::new(&idx);
         assert!(engine.search_single("zebra", 5).is_err());
         assert!(engine.search_intersection("zebra", "business", 5).is_err());
         assert!(engine.search_union("business", "zebra", 5).is_err());
@@ -260,7 +274,7 @@ mod tests {
     #[test]
     fn k_truncates_results() {
         let idx = engine_index();
-        let engine = CpuEngine::new(&idx);
+        let mut engine = CpuEngine::new(&idx);
         let out = engine.search_single("business", 1).unwrap();
         assert_eq!(out.hits.len(), 1);
         assert_eq!(out.candidates, 3);

@@ -26,6 +26,6 @@ pub mod topk;
 
 pub use cost::{CpuCostModel, PhaseBreakdown};
 pub use engine::{CpuEngine, QueryOutcome};
-pub use ops::OpCounts;
+pub use ops::{BlockCache, DecodeScratch, OpCounts, BLOCK_CACHE_ENTRIES};
 pub use throughput::parallel_makespan_ns;
-pub use topk::top_k;
+pub use topk::{top_k, Hit};

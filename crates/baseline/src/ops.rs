@@ -5,16 +5,26 @@
 //! for single-term queries, Small-versus-Small intersection with skip-list
 //! membership testing, and linear-merge union. Every function fills an
 //! [`OpCounts`] so the cost model can price the work.
+//!
+//! All hot-path decoding goes through [`iiu_index::EncodedList::decode_block_into`]
+//! with buffers owned by a [`DecodeScratch`], so steady-state query
+//! processing performs no per-block allocation. The scratch also carries a
+//! small LRU cache of decoded blocks — the software analogue of the paper's
+//! 32-entry traversal cache — that serves repeated membership probes
+//! without re-decoding (cache hits and misses are tallied in [`OpCounts`];
+//! the `blocks_decoded`/`postings_decoded` tallies count *logical* decodes
+//! and are unaffected by caching, so the cost model's pricing is stable).
 
 use iiu_index::block::EncodedList;
-use iiu_index::{DocId, Posting};
+use iiu_index::{DocId, Posting, TermId};
 
 /// Counters of the primitive operations a query performed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct OpCounts {
-    /// Postings decompressed (d-gap + tf decode and prefix-sum).
+    /// Postings decompressed (d-gap + tf decode and prefix-sum). Counts
+    /// logical decodes: a decoded-block cache hit still tallies here.
     pub postings_decoded: u64,
-    /// Blocks decompressed.
+    /// Blocks decompressed (logical; see `postings_decoded`).
     pub blocks_decoded: u64,
     /// Blocks skipped thanks to skip-list membership testing.
     pub blocks_skipped: u64,
@@ -31,6 +41,10 @@ pub struct OpCounts {
     pub results: u64,
     /// Phrase-position verifications performed (host side).
     pub phrase_checks: u64,
+    /// Probe-path block requests served from the decoded-block cache.
+    pub cache_hits: u64,
+    /// Probe-path block requests that had to decode for real.
+    pub cache_misses: u64,
 }
 
 impl OpCounts {
@@ -45,38 +59,220 @@ impl OpCounts {
         self.topk_candidates += other.topk_candidates;
         self.results += other.results;
         self.phrase_checks += other.phrase_checks;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
     }
 }
 
-/// Decompresses an entire list (single-term query path).
-pub fn decode_full(list: &EncodedList, counts: &mut OpCounts) -> Vec<Posting> {
-    let mut out = Vec::with_capacity(list.num_postings() as usize);
+/// Number of decoded blocks the probe cache retains, matching the paper's
+/// 32-entry traversal cache (§4.4).
+pub const BLOCK_CACHE_ENTRIES: usize = 32;
+
+/// An LRU cache of decoded blocks keyed by `(term, block)` — the software
+/// analogue of the traversal cache the paper puts in front of the BSU.
+/// Entries recycle their posting buffers on eviction, so a warm cache
+/// allocates nothing.
+///
+/// Capacity is [`BLOCK_CACHE_ENTRIES`]; lookup is a linear scan, which at
+/// 32 entries is cheaper than hashing.
+#[derive(Debug, Clone)]
+pub struct BlockCache {
+    cap: usize,
+    tick: u64,
+    /// Index of the most recently used entry: consecutive probes of the
+    /// same block (the common case in SvS) skip the scan entirely.
+    mru: usize,
+    entries: Vec<CacheEntry>,
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    term: TermId,
+    block: u32,
+    last_used: u64,
+    postings: Vec<Posting>,
+}
+
+impl Default for BlockCache {
+    fn default() -> Self {
+        BlockCache::with_capacity(BLOCK_CACHE_ENTRIES)
+    }
+}
+
+impl BlockCache {
+    /// Creates a cache holding at most `cap` decoded blocks (0 disables
+    /// caching: every probe is a miss that decodes into a recycled buffer).
+    pub fn with_capacity(cap: usize) -> Self {
+        BlockCache { cap, tick: 0, mru: 0, entries: Vec::with_capacity(cap.min(64)) }
+    }
+
+    /// Returns the decoded postings of `list`'s block `block_idx`, from
+    /// cache when possible, decoding (into a recycled buffer) otherwise.
+    /// `counts` tallies the hit or miss.
+    fn get_or_decode(
+        &mut self,
+        list: &EncodedList,
+        term: TermId,
+        block_idx: usize,
+        counts: &mut OpCounts,
+    ) -> &[Posting] {
+        self.tick += 1;
+        let block = block_idx as u32;
+        // MRU fast path: the SvS probe loop asks for the same block many
+        // times in a row, and this check keeps that O(1).
+        let mru_matches = self
+            .entries
+            .get(self.mru)
+            .is_some_and(|e| e.term == term && e.block == block);
+        let pos = if mru_matches {
+            Some(self.mru)
+        } else {
+            self.entries.iter().position(|e| e.term == term && e.block == block)
+        };
+        if let Some(pos) = pos {
+            counts.cache_hits += 1;
+            self.entries[pos].last_used = self.tick;
+            self.mru = pos;
+            return &self.entries[pos].postings;
+        }
+        counts.cache_misses += 1;
+        let pos = if self.entries.len() < self.cap.max(1) {
+            self.entries.push(CacheEntry {
+                term,
+                block,
+                last_used: self.tick,
+                postings: Vec::new(),
+            });
+            self.entries.len() - 1
+        } else {
+            // Evict the least recently used entry, keeping its buffer.
+            let pos = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            self.entries[pos].term = term;
+            self.entries[pos].block = block;
+            self.entries[pos].last_used = self.tick;
+            self.entries[pos].postings.clear();
+            pos
+        };
+        self.mru = pos;
+        let entry = &mut self.entries[pos];
+        if entry.postings.is_empty() {
+            list.decode_block_into(block_idx, &mut entry.postings);
+        }
+        // A zero-capacity cache keeps one recycled slot that is always
+        // repopulated; cap >= 1 keeps decoded contents.
+        if self.cap == 0 {
+            entry.term = TermId::MAX;
+            entry.block = u32::MAX;
+        }
+        &self.entries[pos].postings
+    }
+
+    /// Drops all cached blocks (buffers are freed too).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.tick = 0;
+        self.mru = 0;
+    }
+
+    /// Number of blocks currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Reusable decode buffers for one query engine. Owning one per engine
+/// (rather than allocating inside every op) is what makes the hot path
+/// allocation-free: `decode_full`-style work lands in `full_a`/`full_b`,
+/// membership probes go through the [`BlockCache`].
+///
+/// Ownership rule: a `DecodeScratch` belongs to exactly one engine and is
+/// borrowed mutably for the duration of one op — the slices the ops return
+/// to their callers are copied out (results), never aliases of the scratch.
+#[derive(Debug, Clone, Default)]
+pub struct DecodeScratch {
+    pub(crate) full_a: Vec<Posting>,
+    pub(crate) full_b: Vec<Posting>,
+    pub(crate) cache: BlockCache,
+}
+
+impl DecodeScratch {
+    /// Creates an empty scratch with the default
+    /// [`BLOCK_CACHE_ENTRIES`]-entry block cache.
+    pub fn new() -> Self {
+        DecodeScratch::default()
+    }
+
+    /// Creates a scratch whose block cache holds `cap` entries (0 disables
+    /// reuse across probes but still recycles the decode buffer).
+    pub fn with_cache_capacity(cap: usize) -> Self {
+        DecodeScratch {
+            full_a: Vec::new(),
+            full_b: Vec::new(),
+            cache: BlockCache::with_capacity(cap),
+        }
+    }
+
+    /// The decoded-block cache.
+    pub fn cache(&self) -> &BlockCache {
+        &self.cache
+    }
+}
+
+/// Decompresses an entire list into `out` (cleared first), counting blocks
+/// and postings. The zero-alloc form of [`decode_full`].
+pub fn decode_full_into(list: &EncodedList, counts: &mut OpCounts, out: &mut Vec<Posting>) {
+    out.clear();
+    out.reserve(list.num_postings() as usize);
     for b in 0..list.num_blocks() {
-        out.extend(list.decode_block(b));
+        list.decode_block_into(b, out);
         counts.blocks_decoded += 1;
     }
     counts.postings_decoded += out.len() as u64;
+}
+
+/// Decompresses an entire list (single-term query path), allocating the
+/// result. Hot paths use [`decode_full_into`] with a scratch buffer.
+pub fn decode_full(list: &EncodedList, counts: &mut OpCounts) -> Vec<Posting> {
+    let mut out = Vec::new();
+    decode_full_into(list, counts, &mut out);
     out
 }
 
 /// Small-versus-Small intersection (§2.2): decompresses the shorter list in
 /// full, then for each of its docIDs binary-searches the longer list's skip
 /// list to find the one candidate block, decompressing only those blocks.
+/// Candidate blocks come from `scratch`'s decoded-block cache; `long_term`
+/// keys the cache entries.
 ///
 /// Returns matched postings as `(docID, tf_short, tf_long)`.
 pub fn intersect_svs(
     short: &EncodedList,
     long: &EncodedList,
+    long_term: TermId,
     counts: &mut OpCounts,
+    scratch: &mut DecodeScratch,
 ) -> Vec<(DocId, u32, u32)> {
     debug_assert!(short.num_postings() <= long.num_postings());
-    let short_postings = decode_full(short, counts);
+    let DecodeScratch { full_a, cache, .. } = scratch;
+    decode_full_into(short, counts, full_a);
+    let short_postings: &[Posting] = full_a;
     let skips = long.skips();
     let mut out = Vec::new();
-    let mut cached_block: Option<(usize, Vec<Posting>)> = None;
+    let mut last_block: Option<usize> = None;
     let mut decoded_blocks = vec![false; long.num_blocks()];
 
-    for p in &short_postings {
+    for p in short_postings {
         // Binary search over the skip list for the last skip <= docID.
         let mut lo = 0usize;
         let mut hi = skips.len();
@@ -93,15 +289,17 @@ pub fn intersect_svs(
             continue; // docID precedes the first block
         };
 
-        let cache_hit = matches!(&cached_block, Some((idx, _)) if *idx == block_idx);
-        if !cache_hit {
+        // Logical decode accounting matches the pre-cache baseline: a new
+        // block (relative to the previous probe) counts as decoded whether
+        // or not the cache already holds it.
+        if last_block != Some(block_idx) {
             counts.blocks_decoded += 1;
             decoded_blocks[block_idx] = true;
-            let decoded = long.decode_block(block_idx);
-            counts.postings_decoded += decoded.len() as u64;
-            cached_block = Some((block_idx, decoded));
+            counts.postings_decoded +=
+                u64::from(long.metas()[block_idx].count);
+            last_block = Some(block_idx);
         }
-        let block = &cached_block.as_ref().expect("decoded above").1;
+        let block = cache.get_or_decode(long, long_term, block_idx, counts);
 
         // Binary search within the decompressed block.
         let mut lo = 0usize;
@@ -126,7 +324,8 @@ pub fn intersect_svs(
 }
 
 /// Linear-merge union (§2.2, §4.2): decompresses both lists and merges like
-/// a 2-way merge sort; matched docIDs carry both term frequencies.
+/// a 2-way merge sort; matched docIDs carry both term frequencies. Both
+/// full decodes land in `scratch` buffers — no per-block allocation.
 ///
 /// Returns `(docID, tf_a, tf_b)` with a zero tf marking "absent from that
 /// list".
@@ -134,9 +333,12 @@ pub fn union_merge(
     a: &EncodedList,
     b: &EncodedList,
     counts: &mut OpCounts,
+    scratch: &mut DecodeScratch,
 ) -> Vec<(DocId, u32, u32)> {
-    let pa = decode_full(a, counts);
-    let pb = decode_full(b, counts);
+    let DecodeScratch { full_a, full_b, .. } = scratch;
+    decode_full_into(a, counts, full_a);
+    decode_full_into(b, counts, full_b);
+    let (pa, pb): (&[Posting], &[Posting]) = (full_a, full_b);
     let mut out = Vec::with_capacity(pa.len() + pb.len());
     let (mut i, mut j) = (0usize, 0usize);
     while i < pa.len() && j < pb.len() {
@@ -195,6 +397,19 @@ mod tests {
     }
 
     #[test]
+    fn decode_full_into_reuses_the_buffer() {
+        let list = encode(&[(0, 1), (5, 2), (9, 1), (100, 3)], 2);
+        let mut c = OpCounts::default();
+        let mut buf = Vec::new();
+        decode_full_into(&list, &mut c, &mut buf);
+        assert_eq!(buf.len(), 4);
+        let cap = buf.capacity();
+        decode_full_into(&list, &mut c, &mut buf);
+        assert_eq!(buf.len(), 4);
+        assert_eq!(buf.capacity(), cap, "second decode must not reallocate");
+    }
+
+    #[test]
     fn intersect_paper_example() {
         // L(business) ∩ L(cameo) = [11, 38, 46] (§2.2).
         let business = encode(&[(0, 1), (2, 1), (11, 1), (20, 1), (38, 1), (46, 1)], 2);
@@ -203,7 +418,8 @@ mod tests {
             2,
         );
         let mut c = OpCounts::default();
-        let result = intersect_svs(&business, &cameo, &mut c);
+        let mut s = DecodeScratch::new();
+        let result = intersect_svs(&business, &cameo, 1, &mut c, &mut s);
         assert_eq!(
             result.iter().map(|&(d, _, _)| d).collect::<Vec<_>>(),
             vec![11, 38, 46]
@@ -211,6 +427,11 @@ mod tests {
         assert_eq!(result[0], (11, 1, 2));
         assert_eq!(c.results, 3);
         assert!(c.binary_probes > 0);
+        // Probes 2/11/20 land in the long list's block 0, then 38 and 46
+        // each open a new block: 3 cold misses, 2 consecutive-probe hits.
+        // (`blocks_decoded` additionally counts the short list's 3 blocks.)
+        assert_eq!(c.cache_misses, 3);
+        assert_eq!(c.cache_hits, 2);
     }
 
     #[test]
@@ -221,7 +442,8 @@ mod tests {
         let long = encode(&long, 64);
         let short = encode(&[(1990, 1), (1998, 1)], 64);
         let mut c = OpCounts::default();
-        let result = intersect_svs(&short, &long, &mut c);
+        let mut s = DecodeScratch::new();
+        let result = intersect_svs(&short, &long, 0, &mut c, &mut s);
         assert_eq!(result.len(), 2);
         assert!(c.blocks_skipped > 10, "expected most blocks skipped, got {c:?}");
         assert!(c.blocks_decoded < 5);
@@ -232,9 +454,54 @@ mod tests {
         let long = encode(&[(100, 1), (200, 1)], 2);
         let short = encode(&[(5, 1), (100, 1)], 2);
         let mut c = OpCounts::default();
-        let result = intersect_svs(&short, &long, &mut c);
+        let mut s = DecodeScratch::new();
+        let result = intersect_svs(&short, &long, 0, &mut c, &mut s);
         assert_eq!(result.len(), 1);
         assert_eq!(result[0].0, 100);
+    }
+
+    #[test]
+    fn block_cache_serves_repeat_probes_without_changing_tallies() {
+        let long: Vec<(u32, u32)> = (0..256).map(|i| (i * 3, 1)).collect();
+        let long = encode(&long, 16);
+        // Probes cluster in two far-apart blocks: consecutive probes of the
+        // same block hit the cache, and a repeat of the whole query on the
+        // same scratch is served entirely from cache — while the logical
+        // blocks_decoded tally stays identical to the uncached engine.
+        let short = encode(&[(0, 1), (3, 1), (6, 1), (600, 1), (603, 1), (606, 1)], 2);
+        let mut warm_counts = OpCounts::default();
+        let mut s = DecodeScratch::new();
+        let warm = intersect_svs(&short, &long, 7, &mut warm_counts, &mut s);
+
+        let mut cold_counts = OpCounts::default();
+        let mut cold_scratch = DecodeScratch::with_cache_capacity(0);
+        let cold = intersect_svs(&short, &long, 7, &mut cold_counts, &mut cold_scratch);
+
+        assert_eq!(warm, cold, "cache must not change results");
+        assert_eq!(warm_counts.blocks_decoded, cold_counts.blocks_decoded);
+        assert_eq!(warm_counts.postings_decoded, cold_counts.postings_decoded);
+        assert!(warm_counts.cache_hits > 0, "alternating probes must hit: {warm_counts:?}");
+        assert_eq!(cold_counts.cache_hits, 0, "cap 0 disables the cache");
+
+        // A second identical query on the same scratch is all hits.
+        let mut again = OpCounts::default();
+        let rerun = intersect_svs(&short, &long, 7, &mut again, &mut s);
+        assert_eq!(rerun, warm);
+        assert_eq!(again.cache_misses, 0, "warm cache must serve every probe: {again:?}");
+        assert_eq!(again.blocks_decoded, warm_counts.blocks_decoded);
+    }
+
+    #[test]
+    fn block_cache_evicts_lru_beyond_capacity() {
+        let long: Vec<(u32, u32)> = (0..4096).map(|i| (i, 1)).collect();
+        let long = encode(&long, 8); // hundreds of blocks
+        let probes: Vec<(u32, u32)> = (0..400).map(|i| (i * 10, 1)).collect();
+        let short = encode(&probes, 64);
+        let mut c = OpCounts::default();
+        let mut s = DecodeScratch::new();
+        let _ = intersect_svs(&short, &long, 3, &mut c, &mut s);
+        assert!(s.cache().len() <= BLOCK_CACHE_ENTRIES);
+        assert!(c.cache_misses as usize > BLOCK_CACHE_ENTRIES);
     }
 
     #[test]
@@ -245,7 +512,8 @@ mod tests {
             3,
         );
         let mut c = OpCounts::default();
-        let result = union_merge(&business, &cameo, &mut c);
+        let mut s = DecodeScratch::new();
+        let result = union_merge(&business, &cameo, &mut c, &mut s);
         assert_eq!(
             result.iter().map(|&(d, _, _)| d).collect::<Vec<_>>(),
             vec![0, 1, 2, 11, 20, 38, 39, 46, 55, 62]
@@ -262,7 +530,8 @@ mod tests {
         let a = encode(&[(3, 1), (9, 2)], 2);
         let b = EncodedList::default();
         let mut c = OpCounts::default();
-        let result = union_merge(&a, &b, &mut c);
+        let mut s = DecodeScratch::new();
+        let result = union_merge(&a, &b, &mut c, &mut s);
         assert_eq!(result.len(), 2);
         assert_eq!(result[0], (3, 1, 0));
     }
@@ -279,7 +548,8 @@ mod tests {
             let eb = encode(&b.iter().map(|&d| (d, 2)).collect::<Vec<_>>(), 16);
             let (short, long) = if a.len() <= b.len() { (&ea, &eb) } else { (&eb, &ea) };
             let mut c = OpCounts::default();
-            let got: Vec<u32> = intersect_svs(short, long, &mut c)
+            let mut s = DecodeScratch::new();
+            let got: Vec<u32> = intersect_svs(short, long, 1, &mut c, &mut s)
                 .into_iter().map(|(d, _, _)| d).collect();
             let want: Vec<u32> = a.intersection(&b).copied().collect();
             prop_assert_eq!(got, want);
@@ -293,13 +563,49 @@ mod tests {
             let ea = encode(&a.iter().map(|&d| (d, 1)).collect::<Vec<_>>(), 16);
             let eb = encode(&b.iter().map(|&d| (d, 2)).collect::<Vec<_>>(), 16);
             let mut c = OpCounts::default();
-            let got = union_merge(&ea, &eb, &mut c);
+            let mut s = DecodeScratch::new();
+            let got = union_merge(&ea, &eb, &mut c, &mut s);
             let mut want: BTreeMap<u32, (u32, u32)> = BTreeMap::new();
             for &d in &a { want.entry(d).or_insert((0, 0)).0 = 1; }
             for &d in &b { want.entry(d).or_insert((0, 0)).1 = 2; }
             let want: Vec<(u32, u32, u32)> =
                 want.into_iter().map(|(d, (x, y))| (d, x, y)).collect();
             prop_assert_eq!(got, want);
+        }
+
+        /// Scratch reuse across many randomized queries never changes
+        /// results or block/posting tallies versus a fresh scratch.
+        #[test]
+        fn prop_scratch_reuse_is_invisible(
+            a in proptest::collection::btree_set(0u32..2000, 1..100),
+            b in proptest::collection::btree_set(0u32..2000, 1..100),
+        ) {
+            let ea = encode(&a.iter().map(|&d| (d, 1)).collect::<Vec<_>>(), 8);
+            let eb = encode(&b.iter().map(|&d| (d, 2)).collect::<Vec<_>>(), 8);
+            let (short, long) = if a.len() <= b.len() { (&ea, &eb) } else { (&eb, &ea) };
+
+            let mut reused = DecodeScratch::new();
+            let mut c1 = OpCounts::default();
+            let first = intersect_svs(short, long, 9, &mut c1, &mut reused);
+            let mut c2 = OpCounts::default();
+            let second = intersect_svs(short, long, 9, &mut c2, &mut reused);
+            let mut fresh = DecodeScratch::new();
+            let mut c3 = OpCounts::default();
+            let third = intersect_svs(short, long, 9, &mut c3, &mut fresh);
+
+            prop_assert_eq!(&first, &second);
+            prop_assert_eq!(&first, &third);
+            prop_assert_eq!(c1.blocks_decoded, c2.blocks_decoded);
+            prop_assert_eq!(c1.postings_decoded, c2.postings_decoded);
+            prop_assert_eq!(c1.blocks_decoded, c3.blocks_decoded);
+            prop_assert_eq!(c1.comparisons, c3.comparisons);
+
+            let mut u1 = OpCounts::default();
+            let mut u2 = OpCounts::default();
+            let ua = union_merge(&ea, &eb, &mut u1, &mut reused);
+            let ub = union_merge(&ea, &eb, &mut u2, &mut fresh);
+            prop_assert_eq!(ua, ub);
+            prop_assert_eq!(u1, u2);
         }
     }
 }

@@ -13,7 +13,11 @@ fn clustered_doc_ids(n: usize, seed: u64) -> Vec<u32> {
     let mut acc = 0u32;
     (0..n)
         .map(|_| {
-            let gap = if rng.gen_bool(0.85) { rng.gen_range(1..4) } else { rng.gen_range(4..600) };
+            let gap = if rng.gen_bool(0.85) {
+                rng.gen_range(1u32..4)
+            } else {
+                rng.gen_range(4u32..600)
+            };
             acc += gap;
             acc
         })

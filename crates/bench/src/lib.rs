@@ -24,4 +24,4 @@ pub mod micro;
 pub mod report;
 
 pub use context::{Ctx, DatasetName};
-pub use report::{print_table, write_json};
+pub use report::{print_table, workspace_root, write_json};

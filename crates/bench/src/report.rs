@@ -41,18 +41,23 @@ pub fn write_json(name: &str, value: &serde_json::Value) {
 }
 
 fn results_dir() -> PathBuf {
-    // Prefer the workspace root (where Cargo.toml with [workspace] lives).
-    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    workspace_root().map_or_else(|| PathBuf::from("results"), |r| r.join("results"))
+}
+
+/// Walks up from the current directory to the workspace root (the
+/// directory whose Cargo.toml has a `[workspace]` section).
+pub fn workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
     loop {
         if dir.join("Cargo.toml").exists()
             && fs::read_to_string(dir.join("Cargo.toml"))
                 .map(|s| s.contains("[workspace]"))
                 .unwrap_or(false)
         {
-            return dir.join("results");
+            return Some(dir);
         }
         if !dir.pop() {
-            return PathBuf::from("results");
+            return None;
         }
     }
 }

@@ -195,14 +195,19 @@ fn eval_tree(
     match q {
         Query::Term(t) => {
             let id = t_id(index, t)?;
-            let mut scored = Vec::new();
             let list = index.encoded_list(id);
             let idf = index.term_info(id).idf_bar;
+            let mut scored = Vec::with_capacity(list.num_postings() as usize);
+            // One reused buffer per term, not one allocation per block; a
+            // corrupt payload surfaces as Err instead of a decode panic.
+            let mut block = Vec::new();
             for b in 0..list.num_blocks() {
                 counts.blocks_decoded += 1;
-                for p in list.decode_block(b) {
-                    counts.postings_decoded += 1;
-                    counts.docs_scored += 1;
+                block.clear();
+                list.try_decode_block_into(b, &mut block)?;
+                counts.postings_decoded += block.len() as u64;
+                counts.docs_scored += block.len() as u64;
+                for p in &block {
                     scored.push((p.doc_id, term_score_fixed(idf, index.dl_bar(p.doc_id), p.tf)));
                 }
             }

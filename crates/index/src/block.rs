@@ -15,7 +15,7 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
-use crate::bitpack::{bits_for, BitReader, BitWriter};
+use crate::bitpack::{self, bits_for, BitWriter};
 use crate::error::IndexError;
 use crate::posting::{DocId, Posting, PostingList};
 
@@ -212,30 +212,99 @@ impl EncodedList {
 
     /// Decodes block `idx` into postings.
     ///
+    /// Allocates a fresh `Vec` per call; hot paths should reuse a scratch
+    /// buffer with [`EncodedList::decode_block_into`] instead.
+    ///
     /// # Panics
     ///
-    /// Panics if `idx` is out of range.
+    /// Panics if `idx` is out of range or the payload is corrupt.
     pub fn decode_block(&self, idx: usize) -> Vec<Posting> {
-        let meta = self.metas[idx];
-        let skip = self.skips[idx];
-        let mut r = BitReader::with_bit_offset(&self.payload, meta.offset as usize * 8);
-        let mut out = Vec::with_capacity(meta.count as usize);
+        let mut out =
+            Vec::with_capacity(self.metas.get(idx).map_or(0, |m| m.count as usize));
+        self.decode_block_into(idx, &mut out);
+        out
+    }
+
+    /// Appends block `idx`'s postings onto `out` without allocating (beyond
+    /// `out`'s own growth): the zero-alloc decode kernel every hot path
+    /// uses. Delta-decoding of docIDs and the tf interleave are fused into
+    /// one pass of word-window field extractions (see
+    /// [`crate::bitpack::try_unpack_into`] for the kernel family).
+    ///
+    /// `out` is appended to, not cleared — callers reusing a scratch buffer
+    /// clear it first; [`crate::EncodedList::decode_all`] exploits the
+    /// append to concatenate blocks without an intermediate copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or the payload is corrupt. Use
+    /// [`EncodedList::try_decode_block_into`] for untrusted payloads.
+    pub fn decode_block_into(&self, idx: usize, out: &mut Vec<Posting>) {
+        if let Err(e) = self.try_decode_block_into(idx, out) {
+            panic!("decode of block {idx} failed: {e}");
+        }
+    }
+
+    /// [`EncodedList::decode_block_into`], returning
+    /// [`IndexError::CorruptIndex`] instead of panicking when `idx` is out
+    /// of range or a corrupted payload would read past the buffer. `out` is
+    /// untouched on error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::CorruptIndex`] naming the violated bound.
+    pub fn try_decode_block_into(
+        &self,
+        idx: usize,
+        out: &mut Vec<Posting>,
+    ) -> Result<(), IndexError> {
+        let meta = *self
+            .metas
+            .get(idx)
+            .ok_or(IndexError::CorruptIndex { context: "block index out of range" })?;
+        let skip = *self
+            .skips
+            .get(idx)
+            .ok_or(IndexError::CorruptIndex { context: "skip/meta count mismatch" })?;
+        if meta.dn_bits > 31 || meta.tf_bits > 31 {
+            return Err(IndexError::CorruptIndex { context: "block bitwidths" });
+        }
+        let count = meta.count as usize;
+        let end_bits = meta
+            .offset
+            .checked_mul(8)
+            .and_then(|b| b.checked_add(u64::from(meta.pair_bits()) * count as u64))
+            .ok_or(IndexError::CorruptIndex { context: "payload bounds" })?;
+        if end_bits > self.payload.len() as u64 * 8 {
+            return Err(IndexError::CorruptIndex { context: "payload bounds" });
+        }
+
+        let payload = self.payload.as_slice();
+        let dn = meta.dn_bits;
+        let tf_bits = meta.tf_bits;
+        let mut bit = meta.offset as usize * 8;
+        out.reserve(count);
         let mut prev = skip;
-        for i in 0..meta.count {
-            let gap = r.read(meta.dn_bits);
-            let tf = r.read(meta.tf_bits);
-            let doc = if i == 0 { skip } else { prev + gap };
+        for i in 0..count {
+            let gap = bitpack::extract(payload, bit, dn);
+            bit += dn as usize;
+            let tf = bitpack::extract(payload, bit, tf_bits);
+            bit += tf_bits as usize;
+            // wrapping: bounds were checked above, but a corrupt (yet
+            // in-bounds) payload must degrade to garbage values, not a
+            // debug-build overflow panic.
+            let doc = if i == 0 { skip } else { prev.wrapping_add(gap) };
             out.push(Posting::new(doc, tf));
             prev = doc;
         }
-        out
+        Ok(())
     }
 
     /// Decodes the entire list.
     pub fn decode_all(&self) -> PostingList {
         let mut postings = Vec::with_capacity(self.num_postings as usize);
         for i in 0..self.num_blocks() {
-            postings.extend(self.decode_block(i));
+            self.decode_block_into(i, &mut postings);
         }
         PostingList::from_sorted(postings)
     }
@@ -292,10 +361,35 @@ impl EncodedList {
     /// ```
     pub fn find(&self, doc_id: DocId) -> Option<u32> {
         let block = self.candidate_block(doc_id)?;
-        self.decode_block(block)
-            .iter()
-            .find(|p| p.doc_id == doc_id)
-            .map(|p| p.tf)
+        // Scan the packed pairs directly — no block materialization. DocIDs
+        // within a block are increasing, so the scan stops at the first
+        // docID past the probe.
+        let meta = self.metas[block];
+        let skip = self.skips[block];
+        let end_bits = meta.offset as usize * 8
+            + meta.pair_bits() as usize * meta.count as usize;
+        assert!(
+            end_bits <= self.payload.len() * 8,
+            "bit read past end of buffer"
+        );
+        let payload = self.payload.as_slice();
+        let mut bit = meta.offset as usize * 8;
+        let mut prev = skip;
+        for i in 0..meta.count as usize {
+            let gap = bitpack::extract(payload, bit, meta.dn_bits);
+            bit += meta.dn_bits as usize;
+            let tf = bitpack::extract(payload, bit, meta.tf_bits);
+            bit += meta.tf_bits as usize;
+            let doc = if i == 0 { skip } else { prev.wrapping_add(gap) };
+            if doc == doc_id {
+                return Some(tf);
+            }
+            if doc > doc_id {
+                return None;
+            }
+            prev = doc;
+        }
+        None
     }
 
     /// Cost in bits under the paper's model (Eq. 3), before byte alignment.
@@ -370,7 +464,10 @@ impl Iterator for Iter<'_> {
             if self.block >= self.list.num_blocks() {
                 return None;
             }
-            self.buffered = self.list.decode_block(self.block);
+            // Reuse the buffer across blocks: one allocation per list, not
+            // one per block.
+            self.buffered.clear();
+            self.list.decode_block_into(self.block, &mut self.buffered);
             self.block += 1;
             self.pos = 0;
         }
@@ -523,6 +620,87 @@ mod tests {
     }
 
     #[test]
+    fn width_zero_both_fields_decodes_without_reading_bits() {
+        // A singleton with tf 0: dn_bits = 0 AND tf_bits = 0, so the block
+        // payload is empty and the decoder must not touch any bytes.
+        let l = list(&[(1000, 0)]);
+        let enc = EncodedList::encode(&l, &[1]).unwrap();
+        assert_eq!(enc.metas()[0].dn_bits, 0);
+        assert_eq!(enc.metas()[0].tf_bits, 0);
+        assert!(enc.payload().is_empty());
+        assert_eq!(enc.decode_block(0), vec![Posting::new(1000, 0)]);
+        assert_eq!(enc.find(1000), Some(0));
+    }
+
+    #[test]
+    fn width_zero_tf_decodes_run_of_zeros() {
+        // Multi-posting block with every tf 0: tf_bits = 0, docIDs still
+        // delta-decode correctly.
+        let l = list(&[(3, 0), (4, 0), (5, 0), (6, 0)]);
+        let enc = EncodedList::encode(&l, &[4]).unwrap();
+        assert_eq!(enc.metas()[0].tf_bits, 0);
+        assert_eq!(enc.decode_all(), l);
+        assert_eq!(enc.find(5), Some(0));
+        assert_eq!(enc.find(7), None);
+    }
+
+    #[test]
+    fn decode_block_into_appends_and_reuses_capacity() {
+        let l = list(&[(0, 1), (2, 2), (11, 1), (20, 9), (38, 1), (46, 2)]);
+        let enc = EncodedList::encode(&l, &[3, 3]).unwrap();
+        let mut scratch = Vec::new();
+        enc.decode_block_into(0, &mut scratch);
+        enc.decode_block_into(1, &mut scratch); // appends
+        assert_eq!(scratch, l.as_slice());
+        let cap = scratch.capacity();
+        // Reuse: clear + decode must not reallocate.
+        scratch.clear();
+        enc.decode_block_into(1, &mut scratch);
+        assert_eq!(scratch, enc.decode_block(1));
+        assert_eq!(scratch.capacity(), cap);
+    }
+
+    #[test]
+    fn try_decode_block_into_reports_corruption_not_panic() {
+        let l = list(&[(0, 1), (2, 2), (11, 1), (20, 9)]);
+        let enc = EncodedList::encode(&l, &[2, 2]).unwrap();
+        let mut out = Vec::new();
+
+        // Out-of-range block index.
+        assert!(matches!(
+            enc.try_decode_block_into(9, &mut out),
+            Err(IndexError::CorruptIndex { context: "block index out of range" })
+        ));
+
+        // Offset pointing past the payload.
+        let mut bad = enc.clone();
+        bad.metas[1].offset = (1 << 43) - 1;
+        assert!(matches!(
+            bad.try_decode_block_into(1, &mut out),
+            Err(IndexError::CorruptIndex { context: "payload bounds" })
+        ));
+
+        // Widths out of the packed range.
+        let mut bad = enc.clone();
+        bad.metas[0].dn_bits = 40;
+        assert!(matches!(
+            bad.try_decode_block_into(0, &mut out),
+            Err(IndexError::CorruptIndex { context: "block bitwidths" })
+        ));
+
+        // A count overrunning the payload.
+        let mut bad = enc;
+        bad.metas[1].count = MAX_BLOCK_LEN as u16;
+        assert!(matches!(
+            bad.try_decode_block_into(1, &mut out),
+            Err(IndexError::CorruptIndex { context: "payload bounds" })
+        ));
+
+        // Every error left the scratch untouched.
+        assert!(out.is_empty());
+    }
+
+    #[test]
     fn validate_accepts_encoder_output_and_catches_tampering() {
         let l = list(&[(0, 1), (2, 2), (11, 1), (20, 9), (38, 1), (46, 2)]);
         let enc = EncodedList::encode(&l, &[2, 2, 2]).unwrap();
@@ -655,6 +833,38 @@ mod tests {
             let enc = EncodedList::encode(&l, &lens).unwrap();
             prop_assert_eq!(enc.decode_all(), l);
             prop_assert_eq!(enc.num_blocks(), lens.len());
+        }
+
+        /// `decode_block_into` (fused batch kernel) matches `decode_block`
+        /// for every block of random lists under random partitions,
+        /// including when the scratch buffer carries stale capacity.
+        #[test]
+        fn prop_decode_block_into_equals_decode_block(
+            ids in proptest::collection::btree_set(0u32..1 << 24, 1..400),
+            seed in 0u64..1000,
+        ) {
+            let postings: Vec<Posting> = ids
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| Posting::new(d, (seed as u32).wrapping_mul(i as u32) % 512))
+                .collect();
+            let l = PostingList::from_sorted(postings);
+            let mut lens = Vec::new();
+            let mut left = l.len();
+            let mut s = seed.wrapping_add(7);
+            while left > 0 {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let take = ((s >> 33) as usize % left.min(97) + 1).min(left);
+                lens.push(take);
+                left -= take;
+            }
+            let enc = EncodedList::encode(&l, &lens).unwrap();
+            let mut scratch = vec![Posting::new(u32::MAX, u32::MAX); 8]; // stale junk
+            for b in 0..enc.num_blocks() {
+                scratch.clear();
+                enc.decode_block_into(b, &mut scratch);
+                prop_assert_eq!(&scratch, &enc.decode_block(b), "block {}", b);
+            }
         }
 
         #[test]

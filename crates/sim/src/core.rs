@@ -97,6 +97,9 @@ pub struct Dcu {
     /// A block load has been requested but not yet materialized (used by
     /// the intersection control to defer job construction).
     pending_job: bool,
+    /// Recycled postings buffer from the last finished/aborted job, handed
+    /// back out via [`Dcu::take_spare`] so block loads do not allocate.
+    spare: Vec<Posting>,
 }
 
 impl Dcu {
@@ -111,6 +114,32 @@ impl Dcu {
             postings_decoded: 0,
             blocks_done: 0,
             pending_job: false,
+            spare: Vec::new(),
+        }
+    }
+
+    /// Takes the recycled postings buffer (cleared) for the next block
+    /// load; empty on the first use, warm afterwards.
+    pub fn take_spare(&mut self) -> Vec<Posting> {
+        let mut buf = std::mem::take(&mut self.spare);
+        buf.clear();
+        buf
+    }
+
+    /// Keeps the larger of the current spare and a retired job's buffer.
+    fn recycle(&mut self, mut buf: Vec<Posting>) {
+        buf.clear();
+        if buf.capacity() > self.spare.capacity() {
+            self.spare = buf;
+        }
+    }
+
+    /// Retires the current job (if any), reclaiming its buffer.
+    fn retire(&mut self) {
+        match std::mem::replace(&mut self.state, DcuState::Idle) {
+            DcuState::Idle => {}
+            DcuState::Stream { job, .. } => self.recycle(job.postings),
+            DcuState::Fetch { job, .. } => self.recycle(job.postings),
         }
     }
 
@@ -166,7 +195,7 @@ impl Dcu {
     /// Discards the in-flight block and output queue (used when the
     /// intersection moves to a new candidate block).
     pub fn abort(&mut self) {
-        self.state = DcuState::Idle;
+        self.retire();
         self.out.clear();
         self.pending_job = false;
     }
@@ -260,7 +289,7 @@ impl Dcu {
             }
         }
         if done {
-            self.state = DcuState::Idle;
+            self.retire();
         }
     }
 }

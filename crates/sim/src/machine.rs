@@ -378,8 +378,15 @@ impl<'a> QueryExec<'a> {
     }
 
     /// Builds a stream-decode job for block `b` of `term` (fed through
-    /// `stream_idx`).
-    fn stream_job(&self, term: TermId, stream_idx: usize, b: usize) -> StreamJob {
+    /// `stream_idx`). `postings` is the target DCU's recycled buffer —
+    /// the functional decode lands there without allocating.
+    fn stream_job(
+        &self,
+        term: TermId,
+        stream_idx: usize,
+        b: usize,
+        mut postings: Vec<Posting>,
+    ) -> StreamJob {
         let list = self.list(term);
         let meta = list.metas()[b];
         let bytes = meta.payload_bytes();
@@ -391,9 +398,11 @@ impl<'a> QueryExec<'a> {
                 ((meta.offset + bytes - 1) / LINE_BYTES) as usize,
             )
         };
+        postings.clear();
+        list.decode_block_into(b, &mut postings);
         StreamJob {
             stream_idx,
-            postings: list.decode_block(b),
+            postings,
             start_bit: meta.offset * 8,
             pair_bits: u64::from(meta.pair_bits()),
             first_line,
@@ -402,8 +411,8 @@ impl<'a> QueryExec<'a> {
     }
 
     /// Builds a direct-fetch job for candidate block `b` of L1
-    /// (intersection).
-    fn fetch_job(&self, l1_payload_base: u64, b: usize) -> FetchJob {
+    /// (intersection), decoding into the recycled `postings` buffer.
+    fn fetch_job(&self, l1_payload_base: u64, b: usize, mut postings: Vec<Posting>) -> FetchJob {
         let list = self.list(self.l1.expect("intersection has L1"));
         let meta = list.metas()[b];
         let bytes = meta.payload_bytes();
@@ -414,8 +423,10 @@ impl<'a> QueryExec<'a> {
         } else {
             ((abs_start + bytes - 1) / LINE_BYTES - base_addr / LINE_BYTES + 1) as usize
         };
+        postings.clear();
+        list.decode_block_into(b, &mut postings);
         FetchJob {
-            postings: list.decode_block(b),
+            postings,
             pair_bits: u64::from(meta.pair_bits()),
             base_addr,
             start_bit: (abs_start - base_addr) * 8,
@@ -651,7 +662,8 @@ impl<'a> QueryExec<'a> {
 
         // Materialize deferred candidate-block loads (needs &self access).
         for (ci, b) in pending_fetches {
-            let job = self.fetch_job(l1_payload_base, b);
+            let spare = self.cores[ci].dcu[1].take_spare();
+            let job = self.fetch_job(l1_payload_base, b, spare);
             self.cores[ci].dcu[1].start_fetch(job);
             self.cores[ci].l1_blocks_fetched += 1;
         }
@@ -664,7 +676,8 @@ impl<'a> QueryExec<'a> {
             Role::Single => {
                 if let Some(b) = self.bschs[0].pop_ready_block() {
                     if let Some((ci, di)) = self.find_idle_dcu(2) {
-                        let job = self.stream_job(l0, 0, b);
+                        let spare = self.cores[ci].dcu[di].take_spare();
+                        let job = self.stream_job(l0, 0, b, spare);
                         self.cores[ci].dcu[di].start_stream(job);
                     } else {
                         self.bschs[0].next_block -= 1; // no free DCU: retry
@@ -674,7 +687,8 @@ impl<'a> QueryExec<'a> {
             Role::Intersect => {
                 if let Some(b) = self.bschs[0].pop_ready_block() {
                     if let Some((ci, _)) = self.find_idle_dcu(1) {
-                        let job = self.stream_job(l0, 0, b);
+                        let spare = self.cores[ci].dcu[0].take_spare();
+                        let job = self.stream_job(l0, 0, b, spare);
                         self.cores[ci].dcu[0].start_stream(job);
                     } else {
                         self.bschs[0].next_block -= 1;
@@ -686,7 +700,8 @@ impl<'a> QueryExec<'a> {
                     if let Some(b) = self.bschs[si].pop_ready_block() {
                         if self.cores[0].dcu[di].is_idle() {
                             let term = if si == 0 { l0 } else { l1.expect("union L1") };
-                            let job = self.stream_job(term, si, b);
+                            let spare = self.cores[0].dcu[di].take_spare();
+                            let job = self.stream_job(term, si, b, spare);
                             self.cores[0].dcu[di].start_stream(job);
                         } else {
                             self.bschs[si].next_block -= 1;

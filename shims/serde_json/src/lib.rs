@@ -2,11 +2,13 @@
 //!
 //! The build environment has no crates.io access, so the workspace vendors
 //! the subset the bench reports use: [`Value`], the [`json!`] macro,
-//! [`Map`], [`to_string_pretty`], and indexing (`value["key"] = ...`).
-//! There is no serde integration and no parser — the benches only ever
-//! *construct and print* JSON. Object keys are stored in a `BTreeMap`, so
-//! output key order is sorted rather than insertion-ordered; JSON object
-//! order carries no meaning, and nothing downstream depends on it.
+//! [`Map`], [`to_string_pretty`], [`from_str`], and indexing
+//! (`value["key"] = ...`). There is no serde derive integration — the
+//! benches construct, print, and (for the perf gate's committed
+//! thresholds) re-read untyped [`Value`] trees. Object keys are stored in
+//! a `BTreeMap`, so output key order is sorted rather than
+//! insertion-ordered; JSON object order carries no meaning, and nothing
+//! downstream depends on it.
 
 // Vendored stand-in, not a production decode/serving path: its
 // internal serializer plumbing panics by documented contract, so the
@@ -274,15 +276,23 @@ macro_rules! json {
     };
 }
 
-/// Serialization error. The shim writer is infallible, so this is never
-/// actually produced; it exists so call sites keep the upstream
-/// `Result`-shaped API.
+/// Serialization or parse error. The shim writer is infallible (the
+/// `Result`-shaped API matches upstream); [`from_str`] produces errors
+/// carrying a message and byte offset.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn parse(pos: usize, msg: &str) -> Self {
+        Error { msg: format!("{msg} at byte {pos}") }
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON serialization error")
+        write!(f, "JSON error: {}", self.msg)
     }
 }
 
@@ -365,6 +375,229 @@ fn write_value(out: &mut String, v: &Value, indent: usize, pretty: bool) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse(self.pos, what))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(Error::parse(self.pos, "invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null", Value::Null),
+            Some(b't') => self.eat_literal("true", Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(Error::parse(self.pos, "expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::parse(self.pos, "expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{', "expected '{'")?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected ':'")?;
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(Error::parse(self.pos, "expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let s = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or_else(|| Error::parse(self.pos, "truncated \\u escape"))?;
+        let v = u32::from_str_radix(s, 16)
+            .map_err(|_| Error::parse(self.pos, "invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::parse(self.pos, "unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::parse(self.pos, "truncated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let mut code = self.hex4()?;
+                            // Surrogate pair: combine with the low half.
+                            if (0xD800..0xDC00).contains(&code)
+                                && self.bytes[self.pos..].starts_with(b"\\u")
+                            {
+                                let save = self.pos;
+                                self.pos += 2;
+                                let low = self.hex4()?;
+                                if (0xDC00..0xE000).contains(&low) {
+                                    code = 0x10000
+                                        + ((code - 0xD800) << 10)
+                                        + (low - 0xDC00);
+                                } else {
+                                    self.pos = save;
+                                }
+                            }
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(Error::parse(self.pos, "unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so slicing
+                    // at char boundaries is safe).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error::parse(self.pos, "invalid UTF-8"))?;
+                    let c = s.chars().next().unwrap_or('\u{FFFD}');
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::parse(start, "invalid number"))?;
+        let num = if float {
+            Number::Float(
+                text.parse::<f64>().map_err(|_| Error::parse(start, "invalid number"))?,
+            )
+        } else if let Ok(v) = text.parse::<u64>() {
+            Number::PosInt(v)
+        } else {
+            Number::NegInt(
+                text.parse::<i64>().map_err(|_| Error::parse(start, "invalid number"))?,
+            )
+        };
+        Ok(Value::Number(num))
+    }
+}
+
+/// Parses a JSON document into an untyped [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns [`Error`] (with a byte offset) on malformed input or trailing
+/// non-whitespace data.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::parse(p.pos, "trailing data"));
+    }
+    Ok(v)
+}
+
 /// Compact single-line serialization.
 pub fn to_string(value: &Value) -> Result<String, Error> {
     let mut out = String::new();
@@ -416,6 +649,39 @@ mod tests {
         assert_eq!(s, "{\n  \"a\": \"x\\\"y\",\n  \"b\": [\n    1\n  ]\n}");
         let c = to_string(&v).unwrap();
         assert_eq!(c, "{\"a\":\"x\\\"y\",\"b\":[1]}");
+    }
+
+    #[test]
+    fn from_str_round_trips_writer_output() {
+        let v = json!({
+            "name": "iiu \"quoted\"\n",
+            "widths": vec![json!(1u32), json!(32u32)],
+            "min_ns": 12.5,
+            "neg": -3i64,
+            "ok": true,
+            "none": json!(null),
+        });
+        let parsed = from_str(&to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(parsed, v);
+        let parsed = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn from_str_parses_common_shapes() {
+        assert_eq!(from_str("  null ").unwrap(), Value::Null);
+        assert_eq!(from_str("[1, 2.5e1, -3]").unwrap(), json!([1u64, 25.0, -3i64]));
+        assert_eq!(from_str("\"a\\u0041\\ud83d\\ude00b\"").unwrap(), json!("aA\u{1F600}b"));
+        assert_eq!(from_str("{}").unwrap(), Value::Object(Map::new()));
+        let nested = from_str("{\"a\": {\"b\": [true, false]}}").unwrap();
+        assert_eq!(nested["a"]["b"].as_array().map(Vec::len), Some(2));
+    }
+
+    #[test]
+    fn from_str_rejects_malformed_input() {
+        for bad in ["", "{", "[1,]", "{\"a\" 1}", "tru", "1 2", "\"unterminated", "nan"] {
+            assert!(from_str(bad).is_err(), "{bad:?} must fail");
+        }
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! Equivalence suite for the hot-path decode kernels: the batch unpack
+//! kernel against the retained scalar reference, fused block decode
+//! against the allocating wrapper, and engine-level invariance of both
+//! results and logical cost tallies under scratch reuse and block
+//! caching.
+
+use iiu_baseline::CpuEngine;
+use iiu_index::bitpack::{
+    pack_all, try_unpack_into, unpack_all, unpack_all_scalar, unpack_into, BitWriter,
+};
+use iiu_index::block::EncodedList;
+use iiu_index::{Posting, PostingList};
+use iiu_workloads::{CorpusConfig, QuerySampler};
+use proptest::prelude::*;
+
+/// Masks `v` down to `width` bits so it is representable.
+fn clamp(v: u32, width: u8) -> u32 {
+    if width == 0 {
+        0
+    } else if width >= 32 {
+        v
+    } else {
+        v & ((1u32 << width) - 1)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The batch kernel decodes exactly what was packed, at every width
+    /// 0..=32, for lengths crossing the 32-value group boundary, and it
+    /// appends rather than overwriting.
+    #[test]
+    fn prop_unpack_into_matches_packed_values(
+        width in 0u8..=32,
+        raw in proptest::collection::vec(0u32..u32::MAX, 0..200),
+    ) {
+        let values: Vec<u32> = raw.iter().map(|&v| clamp(v, width)).collect();
+        let bytes = pack_all(&values, width);
+
+        let mut out = vec![0xDEAD_BEEF];
+        unpack_into(&bytes, 0, values.len(), width, &mut out);
+        prop_assert_eq!(out[0], 0xDEAD_BEEF, "must append, not overwrite");
+        prop_assert_eq!(&out[1..], &values[..]);
+
+        prop_assert_eq!(unpack_all(&bytes, values.len(), width), values.clone());
+        prop_assert_eq!(unpack_all_scalar(&bytes, values.len(), width), values);
+    }
+
+    /// Unaligned starts: after `lead` junk bits, the kernel still decodes
+    /// the packed values — every (lead mod 8, width) combination reaches
+    /// the word-window path with a nonzero in-byte offset.
+    #[test]
+    fn prop_unpack_into_handles_unaligned_offsets(
+        width in 0u8..=32,
+        lead in 0usize..64,
+        raw in proptest::collection::vec(0u32..u32::MAX, 0..140),
+    ) {
+        let values: Vec<u32> = raw.iter().map(|&v| clamp(v, width)).collect();
+        let mut w = BitWriter::new();
+        for i in 0..lead {
+            w.write((i as u32) & 1, 1);
+        }
+        for &v in &values {
+            w.write(v, width);
+        }
+        let bytes = w.finish();
+
+        let mut out = Vec::new();
+        unpack_into(&bytes, lead, values.len(), width, &mut out);
+        prop_assert_eq!(out, values);
+    }
+
+    /// Truncated payloads surface a typed error and leave the output
+    /// untouched; oversized widths are rejected the same way.
+    #[test]
+    fn prop_try_unpack_into_rejects_truncation(
+        width in 1u8..=32,
+        raw in proptest::collection::vec(0u32..u32::MAX, 1..100),
+        cut in 1usize..8,
+    ) {
+        let values: Vec<u32> = raw.iter().map(|&v| clamp(v, width)).collect();
+        let bytes = pack_all(&values, width);
+        // Claim more values than were packed (8 extra always outruns the
+        // up-to-7 bits of byte-alignment slack), or cut real bytes off.
+        let mut out = vec![7u32];
+        prop_assert!(try_unpack_into(&bytes, 0, values.len() + 8, width, &mut out).is_err());
+        let keep = bytes.len().saturating_sub(cut);
+        prop_assert!(try_unpack_into(&bytes[..keep], 0, values.len(), width, &mut out).is_err());
+        prop_assert_eq!(out, vec![7u32], "failed unpack must not touch out");
+        let mut out = Vec::new();
+        prop_assert!(try_unpack_into(&bytes, 0, values.len(), 33, &mut out).is_err());
+    }
+
+    /// The fused zero-alloc block decode and the allocating wrapper agree
+    /// with each other and with the postings that were encoded, across
+    /// random gap/tf distributions (including tf == 1 lists that encode
+    /// at tf_bits == 1 and constant lists hitting width 0 paths) and
+    /// random block partitions.
+    #[test]
+    fn prop_decode_block_into_matches_decode_block(
+        pairs in proptest::collection::vec((1u32..2000, 1u32..200), 1..300),
+        chunk in 1usize..48,
+    ) {
+        let mut list = PostingList::new();
+        let mut doc = 0u32;
+        for &(gap, tf) in &pairs {
+            doc += gap;
+            list.push(doc, tf);
+        }
+        let n = list.len();
+        let mut block_lens = vec![chunk; n / chunk];
+        if n % chunk != 0 {
+            block_lens.push(n % chunk);
+        }
+        let enc = EncodedList::encode(&list, &block_lens).expect("encodable");
+
+        let mut fused_all: Vec<Posting> = Vec::new();
+        let mut reused = Vec::new();
+        for b in 0..enc.num_blocks() {
+            let fresh = enc.decode_block(b);
+            reused.clear();
+            enc.decode_block_into(b, &mut reused);
+            prop_assert_eq!(&fresh, &reused);
+            let mut tried = Vec::new();
+            enc.try_decode_block_into(b, &mut tried).expect("valid block");
+            prop_assert_eq!(&fresh, &tried);
+            fused_all.extend_from_slice(&reused);
+        }
+        prop_assert_eq!(fused_all, list.as_slice().to_vec());
+    }
+}
+
+/// Running the same queries twice on one engine (warm scratch + warm
+/// block cache) and on a fresh engine must return bit-identical hits and
+/// identical logical decode tallies — the cache changes wall-clock work,
+/// never results or the cost-model accounting. Cache hit counters are the
+/// only thing allowed to move.
+#[test]
+fn scratch_reuse_and_caching_never_change_results_or_tallies() {
+    let index = CorpusConfig::tiny(0xC0FFEE).generate().into_default_index();
+    let mut sampler = QuerySampler::new(&index, 9);
+    let singles = sampler.single_queries(8);
+    let pairs = sampler.pair_queries(8);
+
+    let mut warm = CpuEngine::new(&index);
+    for term in &singles {
+        let cold = CpuEngine::new(&index).search_single(term, 10).expect("known term");
+        let first = warm.search_single(term, 10).expect("known term");
+        let second = warm.search_single(term, 10).expect("known term");
+        for run in [&first, &second] {
+            assert_eq!(cold.hits, run.hits, "hits must be bit-identical for {term}");
+            assert_eq!(cold.counts.blocks_decoded, run.counts.blocks_decoded, "{term}");
+            assert_eq!(cold.counts.postings_decoded, run.counts.postings_decoded, "{term}");
+            assert_eq!(cold.candidates, run.candidates, "{term}");
+        }
+    }
+
+    let mut hits_total = 0u64;
+    for (a, b) in &pairs {
+        let cold_and = CpuEngine::new(&index).search_intersection(a, b, 10).expect("known");
+        let warm_and = warm.search_intersection(a, b, 10).expect("known");
+        assert_eq!(cold_and.hits, warm_and.hits);
+        assert_eq!(cold_and.counts.blocks_decoded, warm_and.counts.blocks_decoded);
+        assert_eq!(cold_and.counts.postings_decoded, warm_and.counts.postings_decoded);
+        // Every probe consults the cache: probes = hits + misses.
+        assert_eq!(
+            warm_and.counts.cache_hits + warm_and.counts.cache_misses,
+            cold_and.counts.cache_hits + cold_and.counts.cache_misses,
+            "probe count must not depend on cache temperature"
+        );
+        hits_total += warm_and.counts.cache_hits;
+
+        let cold_or = CpuEngine::new(&index).search_union(a, b, 10).expect("known");
+        let warm_or = warm.search_union(a, b, 10).expect("known");
+        assert_eq!(cold_or.hits, warm_or.hits);
+        assert_eq!(cold_or.counts.blocks_decoded, warm_or.counts.blocks_decoded);
+        assert_eq!(cold_or.counts.postings_decoded, warm_or.counts.postings_decoded);
+    }
+    // Consecutive same-block probes exist in any clustered intersection;
+    // the tiny corpus produces some, so the counter must have moved.
+    assert!(hits_total > 0, "expected at least one block-cache hit across 8 AND queries");
+}

@@ -1,6 +1,10 @@
 #!/usr/bin/env sh
 # Full verification gate: build, tests, the fault-injected serving soak,
-# and the no-panic lint wall.
+# the no-panic lint wall, and the hot-path decode perf gate.
+#
+# Usage: ./verify.sh [--quick]
+#   --quick  skip the decode perf gate (the slowest step; use while
+#            iterating on functional changes).
 #
 # The clippy pass denies unwrap()/expect() across the workspace. Crates
 # whose internals legitimately panic (simulator queue plumbing, the bench
@@ -12,6 +16,14 @@
 # path. The second clippy line keeps iiu-serve and iiu-codecs honest even
 # if the workspace-wide wall is ever relaxed.
 set -eu
+
+quick=0
+for arg in "$@"; do
+    case "$arg" in
+        --quick) quick=1 ;;
+        *) echo "usage: $0 [--quick]" >&2; exit 2 ;;
+    esac
+done
 
 cargo build --release --workspace
 cargo test -q --workspace
@@ -25,5 +37,19 @@ cargo test --release --test soak -q
 
 cargo clippy --workspace -- -D clippy::unwrap_used -D clippy::expect_used
 cargo clippy -p iiu-serve -p iiu-codecs -- -D clippy::unwrap_used -D clippy::expect_used
+
+# Decode perf gate (DESIGN.md §11): re-measures the unpack kernels and
+# end-to-end query throughput, rewrites BENCH_decode.json, and fails if
+# any gated min_ns exceeds the committed baseline by more than the
+# fail_above_ratio in BENCH_decode_thresholds.json. Regenerate baselines
+# (only after an intentional perf change, on a quiet machine) with:
+#   cargo run --release -p iiu-bench --bin decode_bench -- \
+#     --write-thresholds BENCH_decode_thresholds.json
+if [ "$quick" -eq 0 ]; then
+    cargo run --release -p iiu-bench --bin decode_bench -- \
+        --check BENCH_decode_thresholds.json
+else
+    echo "verify: --quick set, skipping decode perf gate"
+fi
 
 echo "verify: OK"
