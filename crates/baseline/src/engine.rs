@@ -6,6 +6,7 @@ use iiu_index::{IndexError, InvertedIndex, TermId};
 
 use crate::cost::{CpuCostModel, PhaseBreakdown};
 use crate::ops::{self, DecodeScratch, OpCounts};
+use crate::pruned;
 use crate::topk::{top_k, Hit};
 
 /// The result of one query: ranked hits, raw operation counts, and the
@@ -41,22 +42,58 @@ impl QueryOutcome {
 /// The engine owns a [`DecodeScratch`] — reusable decode buffers plus the
 /// decoded-block probe cache — so query methods take `&mut self` and the
 /// steady-state hot path allocates only for results.
+///
+/// With [`CpuEngine::with_pruning`] the engine runs in block-max pruned
+/// mode ([`crate::pruned`]): top-k is fused into the scoring loop and
+/// blocks whose score upper bound cannot beat the heap threshold are
+/// skipped. Results are bit-identical to the exhaustive mode; only the
+/// operation counts (and therefore modeled latency) change.
 #[derive(Debug, Clone)]
 pub struct CpuEngine<'a> {
     index: &'a InvertedIndex,
     cost: CpuCostModel,
     scratch: DecodeScratch,
+    pruned: bool,
 }
 
 impl<'a> CpuEngine<'a> {
-    /// Creates an engine with the default cost model.
+    /// Creates an engine with the default cost model (exhaustive mode).
     pub fn new(index: &'a InvertedIndex) -> Self {
-        CpuEngine { index, cost: CpuCostModel::default(), scratch: DecodeScratch::new() }
+        CpuEngine {
+            index,
+            cost: CpuCostModel::default(),
+            scratch: DecodeScratch::new(),
+            pruned: false,
+        }
     }
 
     /// Creates an engine with a custom cost model.
     pub fn with_cost_model(index: &'a InvertedIndex, cost: CpuCostModel) -> Self {
-        CpuEngine { index, cost, scratch: DecodeScratch::new() }
+        CpuEngine { index, cost, scratch: DecodeScratch::new(), pruned: false }
+    }
+
+    /// Enables or disables block-max pruned execution (builder style).
+    #[must_use]
+    pub fn with_pruning(mut self, pruned: bool) -> Self {
+        self.pruned = pruned;
+        self
+    }
+
+    /// Enables or disables block-max pruned execution.
+    pub fn set_pruning(&mut self, pruned: bool) {
+        self.pruned = pruned;
+    }
+
+    /// True when the engine skips blocks via score bounds.
+    pub fn pruning(&self) -> bool {
+        self.pruned
+    }
+
+    /// Wraps pruned-path results into a [`QueryOutcome`].
+    fn pruned_outcome(&self, hits: Vec<Hit>, counts: OpCounts) -> QueryOutcome {
+        let candidates = counts.topk_candidates;
+        let phases = self.cost.price(&counts);
+        QueryOutcome { hits, candidates, counts, phases }
     }
 
     /// The engine's decode scratch (buffers + decoded-block cache).
@@ -87,6 +124,12 @@ impl<'a> CpuEngine<'a> {
     /// Returns [`IndexError::UnknownTerm`] if `term` is not indexed.
     pub fn search_single(&mut self, term: &str, k: usize) -> Result<QueryOutcome, IndexError> {
         let id = self.resolve(term)?;
+        if self.pruned {
+            let mut counts = OpCounts::default();
+            let hits =
+                pruned::search_single_pruned(self.index, id, k, &mut counts, &mut self.scratch);
+            return Ok(self.pruned_outcome(hits, counts));
+        }
         let list = self.index.encoded_list(id);
         let idf_bar = self.index.term_info(id).idf_bar;
 
@@ -131,6 +174,18 @@ impl<'a> CpuEngine<'a> {
             } else {
                 (ib, ia)
             };
+        if self.pruned {
+            let mut counts = OpCounts::default();
+            let hits = pruned::search_intersection_pruned(
+                self.index,
+                short_id,
+                long_id,
+                k,
+                &mut counts,
+                &mut self.scratch,
+            );
+            return Ok(self.pruned_outcome(hits, counts));
+        }
         let short = self.index.encoded_list(short_id);
         let long = self.index.encoded_list(long_id);
         let idf_short = self.index.term_info(short_id).idf_bar;
@@ -169,6 +224,18 @@ impl<'a> CpuEngine<'a> {
     ) -> Result<QueryOutcome, IndexError> {
         let ia = self.resolve(term_a)?;
         let ib = self.resolve(term_b)?;
+        if self.pruned {
+            let mut counts = OpCounts::default();
+            let hits = pruned::search_union_pruned(
+                self.index,
+                ia,
+                ib,
+                k,
+                &mut counts,
+                &mut self.scratch,
+            );
+            return Ok(self.pruned_outcome(hits, counts));
+        }
         let la = self.index.encoded_list(ia);
         let lb = self.index.encoded_list(ib);
         let idf_a = self.index.term_info(ia).idf_bar;
@@ -278,5 +345,49 @@ mod tests {
         let out = engine.search_single("business", 1).unwrap();
         assert_eq!(out.hits.len(), 1);
         assert_eq!(out.candidates, 3);
+    }
+
+    #[test]
+    fn pruned_mode_matches_exhaustive_on_every_query_shape() {
+        let idx = engine_index();
+        let mut plain = CpuEngine::new(&idx);
+        let mut pruned = CpuEngine::new(&idx).with_pruning(true);
+        assert!(pruned.pruning() && !plain.pruning());
+        for k in [0usize, 1, 2, 10] {
+            let a = plain.search_single("business", k).unwrap();
+            let b = pruned.search_single("business", k).unwrap();
+            assert_eq!(a.hits, b.hits, "single k={k}");
+            let a = plain.search_intersection("business", "cameo", k).unwrap();
+            let b = pruned.search_intersection("business", "cameo", k).unwrap();
+            assert_eq!(a.hits, b.hits, "and k={k}");
+            let a = plain.search_union("business", "cameo", k).unwrap();
+            let b = pruned.search_union("business", "cameo", k).unwrap();
+            assert_eq!(a.hits, b.hits, "or k={k}");
+        }
+    }
+
+    #[test]
+    fn pruned_single_skips_blocks_on_a_skewed_list() {
+        // One high-tf posting per far-apart block region, k=1: after the
+        // best doc is seen, lower-bound blocks must be skipped.
+        let mut b = iiu_index::IndexBuilder::new(iiu_index::BuildOptions {
+            partitioner: iiu_index::Partitioner::fixed(4),
+            ..Default::default()
+        });
+        b.add_document(&"hot ".repeat(50));
+        for _ in 0..200 {
+            b.add_document("hot cold");
+        }
+        let idx = b.build();
+        let mut pruned = CpuEngine::new(&idx).with_pruning(true);
+        let out = pruned.search_single("hot", 1).unwrap();
+        assert!(out.counts.blocks_skipped > 0, "no blocks skipped: {:?}", out.counts);
+        assert!(out.counts.postings_skipped > 0);
+        let mut plain = CpuEngine::new(&idx);
+        assert_eq!(plain.search_single("hot", 1).unwrap().hits, out.hits);
+        assert!(
+            out.counts.postings_decoded
+                < plain.search_single("hot", 1).unwrap().counts.postings_decoded
+        );
     }
 }

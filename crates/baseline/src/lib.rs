@@ -21,6 +21,7 @@
 pub mod cost;
 pub mod engine;
 pub mod ops;
+pub mod pruned;
 pub mod throughput;
 pub mod topk;
 
@@ -28,4 +29,4 @@ pub use cost::{CpuCostModel, PhaseBreakdown};
 pub use engine::{CpuEngine, QueryOutcome};
 pub use ops::{BlockCache, DecodeScratch, OpCounts, BLOCK_CACHE_ENTRIES};
 pub use throughput::parallel_makespan_ns;
-pub use topk::{top_k, Hit};
+pub use topk::{rank_cmp, top_k, FusedTopK, Hit};

@@ -26,8 +26,13 @@ pub struct OpCounts {
     pub postings_decoded: u64,
     /// Blocks decompressed (logical; see `postings_decoded`).
     pub blocks_decoded: u64,
-    /// Blocks skipped thanks to skip-list membership testing.
+    /// Blocks skipped thanks to skip-list membership testing or block-max
+    /// score pruning.
     pub blocks_skipped: u64,
+    /// Postings never decoded or scored because their block's score upper
+    /// bound (or their own partial score) could not beat the top-k
+    /// threshold (pruned mode only).
+    pub postings_skipped: u64,
     /// Skip-list binary-search probes.
     pub binary_probes: u64,
     /// Element comparisons in merge/intersect loops (and within-block
@@ -53,6 +58,7 @@ impl OpCounts {
         self.postings_decoded += other.postings_decoded;
         self.blocks_decoded += other.blocks_decoded;
         self.blocks_skipped += other.blocks_skipped;
+        self.postings_skipped += other.postings_skipped;
         self.binary_probes += other.binary_probes;
         self.comparisons += other.comparisons;
         self.docs_scored += other.docs_scored;
@@ -109,7 +115,7 @@ impl BlockCache {
     /// Returns the decoded postings of `list`'s block `block_idx`, from
     /// cache when possible, decoding (into a recycled buffer) otherwise.
     /// `counts` tallies the hit or miss.
-    fn get_or_decode(
+    pub(crate) fn get_or_decode(
         &mut self,
         list: &EncodedList,
         term: TermId,

@@ -1,0 +1,457 @@
+//! Block-max pruned top-k execution: the scoring loops fused with a
+//! [`FusedTopK`] heap so whole blocks whose score upper bound cannot beat
+//! the current heap minimum are skipped instead of decoded.
+//!
+//! # Equivalence guarantee
+//!
+//! Every function here returns *bit-identical* hits to its exhaustive
+//! counterpart in [`crate::engine::CpuEngine`]. The argument, shared by
+//! all three query shapes:
+//!
+//! * admission is strict (`candidate > heap minimum`), so the heap's
+//!   threshold `t` only grows;
+//! * a candidate is only skipped when an upper bound on its final score is
+//!   `<= t` at decision time — and since `t` is monotone, the candidate
+//!   would also have been *refused* by the heap at its own position in the
+//!   exhaustive stream;
+//! * therefore the sequence of **admitted** pushes is identical in both
+//!   modes, and the final heap contents (and
+//!   [`crate::topk::rank_cmp`]-sorted output) are equal.
+//!
+//! For unions the bound on a partially-seen document is `partial score +
+//! other list's MaxScore`; skipping one list's block under that bound also
+//! covers documents present in *both* lists, because the combined score is
+//! below `t` and the other list's partial push (which the pruned merge
+//! still makes) is refused just like the combined push would have been.
+//! Once `t` reaches one list's MaxScore the union switches to MaxScore
+//! probe mode: the other list drives, and the non-essential list is only
+//! consulted through skip-list probes — documents unique to it can no
+//! longer enter the heap at all.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use iiu_index::block::EncodedList;
+use iiu_index::score::term_score_fixed;
+use iiu_index::{DocId, Fixed, InvertedIndex, ListBounds, Posting, TermId};
+
+use crate::ops::{DecodeScratch, OpCounts};
+use crate::topk::{FusedTopK, Hit};
+
+/// Binary search over a skip list for the block that could contain
+/// `doc_id` (`None` if the docID precedes the first block). Probes are
+/// tallied exactly like [`crate::ops::intersect_svs`].
+fn candidate_block(skips: &[u32], doc_id: DocId, counts: &mut OpCounts) -> Option<usize> {
+    let mut lo = 0usize;
+    let mut hi = skips.len();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        counts.binary_probes += 1;
+        if skips[mid] <= doc_id {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo.checked_sub(1)
+}
+
+/// Binary search for `doc_id` inside one decoded block, returning its term
+/// frequency. Comparisons are tallied exactly like the exhaustive SvS.
+fn tf_in_block(block: &[Posting], doc_id: DocId, counts: &mut OpCounts) -> Option<u32> {
+    let mut lo = 0usize;
+    let mut hi = block.len();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        counts.comparisons += 1;
+        if block[mid].doc_id < doc_id {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo < block.len() && block[lo].doc_id == doc_id).then(|| block[lo].tf)
+}
+
+/// Single-term query with block-max skipping: blocks whose bound is at or
+/// below the heap threshold are never decoded.
+pub fn search_single_pruned(
+    index: &InvertedIndex,
+    id: TermId,
+    k: usize,
+    counts: &mut OpCounts,
+    scratch: &mut DecodeScratch,
+) -> Vec<Hit> {
+    let list = index.encoded_list(id);
+    let bounds = index.list_bounds(id);
+    let idf = index.term_info(id).idf_bar;
+    let mut heap = FusedTopK::new(k);
+    let buf = &mut scratch.full_a;
+    for b in 0..list.num_blocks() {
+        if let Some(t) = heap.threshold() {
+            if bounds.block_ub(b) <= t {
+                counts.blocks_skipped += 1;
+                counts.postings_skipped += u64::from(list.metas()[b].count);
+                continue;
+            }
+        }
+        buf.clear();
+        list.decode_block_into(b, buf);
+        counts.blocks_decoded += 1;
+        counts.postings_decoded += buf.len() as u64;
+        for p in buf.iter() {
+            let s = term_score_fixed(idf, index.dl_bar(p.doc_id), p.tf);
+            counts.docs_scored += 1;
+            counts.topk_candidates += 1;
+            heap.push(p.doc_id, s);
+        }
+    }
+    let hits = heap.into_hits();
+    counts.results += hits.len() as u64;
+    hits
+}
+
+/// SvS intersection with score-aware skipping on top of the candidate-block
+/// skipping the exhaustive SvS already does: whole short-list blocks, then
+/// individual candidates, then long-list probe decodes are dropped whenever
+/// their combined-score upper bound cannot beat the threshold.
+pub fn search_intersection_pruned(
+    index: &InvertedIndex,
+    short_id: TermId,
+    long_id: TermId,
+    k: usize,
+    counts: &mut OpCounts,
+    scratch: &mut DecodeScratch,
+) -> Vec<Hit> {
+    let short = index.encoded_list(short_id);
+    let long = index.encoded_list(long_id);
+    let short_bounds = index.list_bounds(short_id);
+    let long_bounds = index.list_bounds(long_id);
+    let idf_short = index.term_info(short_id).idf_bar;
+    let idf_long = index.term_info(long_id).idf_bar;
+    let max_long = long_bounds.max_ub();
+    let skips = long.skips();
+
+    let mut heap = FusedTopK::new(k);
+    let DecodeScratch { full_a, cache, .. } = scratch;
+    let mut decoded = vec![false; long.num_blocks()];
+    let mut last_block: Option<usize> = None;
+
+    for blk in 0..short.num_blocks() {
+        if let Some(t) = heap.threshold() {
+            if short_bounds.block_ub(blk).saturating_add(max_long) <= t {
+                counts.blocks_skipped += 1;
+                counts.postings_skipped += u64::from(short.metas()[blk].count);
+                continue;
+            }
+        }
+        full_a.clear();
+        short.decode_block_into(blk, full_a);
+        counts.blocks_decoded += 1;
+        counts.postings_decoded += full_a.len() as u64;
+
+        for p in full_a.iter() {
+            let dl = index.dl_bar(p.doc_id);
+            let s_short = term_score_fixed(idf_short, dl, p.tf);
+            counts.docs_scored += 1;
+            if let Some(t) = heap.threshold() {
+                if s_short.saturating_add(max_long) <= t {
+                    counts.postings_skipped += 1;
+                    continue;
+                }
+            }
+            let Some(block_idx) = candidate_block(skips, p.doc_id, counts) else {
+                continue; // docID precedes the long list's first block
+            };
+            if let Some(t) = heap.threshold() {
+                if s_short.saturating_add(long_bounds.block_ub(block_idx)) <= t {
+                    counts.postings_skipped += 1;
+                    continue;
+                }
+            }
+            // Logical decode accounting matches the exhaustive SvS.
+            if last_block != Some(block_idx) {
+                counts.blocks_decoded += 1;
+                decoded[block_idx] = true;
+                counts.postings_decoded += u64::from(long.metas()[block_idx].count);
+                last_block = Some(block_idx);
+            }
+            let block = cache.get_or_decode(long, long_id, block_idx, counts);
+            if let Some(tf_long) = tf_in_block(block, p.doc_id, counts) {
+                let s = s_short.saturating_add(term_score_fixed(idf_long, dl, tf_long));
+                counts.docs_scored += 1;
+                counts.topk_candidates += 1;
+                heap.push(p.doc_id, s);
+            }
+        }
+    }
+
+    counts.blocks_skipped += decoded.iter().filter(|&&d| !d).count() as u64;
+    let hits = heap.into_hits();
+    counts.results += hits.len() as u64;
+    hits
+}
+
+/// A block-at-a-time cursor over one encoded list that skips blocks whose
+/// bound (plus the other list's MaxScore) cannot beat the threshold.
+struct Cursor<'b, 'i> {
+    list: &'i EncodedList,
+    bounds: &'i ListBounds,
+    idf: Fixed,
+    /// Added to block bounds before comparing against the threshold: the
+    /// other list's MaxScore while it can still contribute, zero once the
+    /// cursor is draining alone.
+    other_max: Fixed,
+    blk: usize,
+    buf: &'b mut Vec<Posting>,
+    pos: usize,
+}
+
+impl Cursor<'_, '_> {
+    /// Makes `head()` valid, decoding (or skipping) blocks as needed.
+    /// Returns false when the list is exhausted.
+    fn refill(&mut self, t: Option<Fixed>, counts: &mut OpCounts) -> bool {
+        while self.pos >= self.buf.len() {
+            if self.blk >= self.list.num_blocks() {
+                return false;
+            }
+            let b = self.blk;
+            self.blk += 1;
+            if let Some(t) = t {
+                if self.bounds.block_ub(b).saturating_add(self.other_max) <= t {
+                    counts.blocks_skipped += 1;
+                    counts.postings_skipped += u64::from(self.list.metas()[b].count);
+                    continue;
+                }
+            }
+            self.buf.clear();
+            self.pos = 0;
+            self.list.decode_block_into(b, self.buf);
+            counts.blocks_decoded += 1;
+            counts.postings_decoded += self.buf.len() as u64;
+        }
+        true
+    }
+
+    /// The current posting. Only valid after `refill` returned true.
+    fn head(&self) -> Posting {
+        self.buf[self.pos]
+    }
+
+    fn advance(&mut self) {
+        self.pos += 1;
+    }
+
+    /// Skips everything left in the list, counting it as pruned.
+    fn abandon(&mut self, counts: &mut OpCounts) {
+        counts.postings_skipped += (self.buf.len() - self.pos) as u64;
+        self.pos = self.buf.len();
+        while self.blk < self.list.num_blocks() {
+            counts.blocks_skipped += 1;
+            counts.postings_skipped += u64::from(self.list.metas()[self.blk].count);
+            self.blk += 1;
+        }
+    }
+}
+
+/// Union with MaxScore-style pruning.
+///
+/// Phase 1 merges both lists (skipping blocks under the combined bound);
+/// once the threshold reaches one list's MaxScore, documents unique to
+/// that list can no longer qualify, so phase 2 lets the other list drive
+/// and consults the non-essential list only through skip-list probes.
+/// When the threshold reaches the *sum* of both MaxScores, everything
+/// remaining is abandoned.
+pub fn search_union_pruned(
+    index: &InvertedIndex,
+    ia: TermId,
+    ib: TermId,
+    k: usize,
+    counts: &mut OpCounts,
+    scratch: &mut DecodeScratch,
+) -> Vec<Hit> {
+    let la = index.encoded_list(ia);
+    let lb = index.encoded_list(ib);
+    let ba = index.list_bounds(ia);
+    let bb = index.list_bounds(ib);
+    let idf_a = index.term_info(ia).idf_bar;
+    let idf_b = index.term_info(ib).idf_bar;
+    let max_a = ba.max_ub();
+    let max_b = bb.max_ub();
+    let both_max = max_a.saturating_add(max_b);
+
+    let mut heap = FusedTopK::new(k);
+    let DecodeScratch { full_a, full_b, cache } = scratch;
+    full_a.clear();
+    full_b.clear();
+    let mut ca = Cursor {
+        list: la,
+        bounds: ba,
+        idf: idf_a,
+        other_max: max_b,
+        blk: 0,
+        buf: full_a,
+        pos: 0,
+    };
+    let mut cb = Cursor {
+        list: lb,
+        bounds: bb,
+        idf: idf_b,
+        other_max: max_a,
+        blk: 0,
+        buf: full_b,
+        pos: 0,
+    };
+
+    // Phase 1: 2-way merge while both lists are essential.
+    let probe = loop {
+        let t = heap.threshold();
+        if let Some(tv) = t {
+            if both_max <= tv {
+                ca.abandon(counts);
+                cb.abandon(counts);
+                break None;
+            }
+            // One list's MaxScore can no longer stand alone: switch to
+            // probe mode with the other list driving.
+            if max_b <= tv {
+                cb.abandon(counts);
+                break Some((ca, lb, bb, idf_b, ib));
+            }
+            if max_a <= tv {
+                ca.abandon(counts);
+                break Some((cb, la, ba, idf_a, ia));
+            }
+        }
+        match (ca.refill(t, counts), cb.refill(t, counts)) {
+            (false, false) => break None,
+            (true, false) => {
+                ca.other_max = Fixed::ZERO;
+                drain_single(index, &mut ca, &mut heap, counts);
+                break None;
+            }
+            (false, true) => {
+                cb.other_max = Fixed::ZERO;
+                drain_single(index, &mut cb, &mut heap, counts);
+                break None;
+            }
+            (true, true) => {
+                let pa = ca.head();
+                let pb = cb.head();
+                counts.comparisons += 1;
+                match pa.doc_id.cmp(&pb.doc_id) {
+                    std::cmp::Ordering::Less => {
+                        let dl = index.dl_bar(pa.doc_id);
+                        let s = term_score_fixed(idf_a, dl, pa.tf);
+                        counts.docs_scored += 1;
+                        counts.topk_candidates += 1;
+                        heap.push(pa.doc_id, s);
+                        ca.advance();
+                    }
+                    std::cmp::Ordering::Greater => {
+                        let dl = index.dl_bar(pb.doc_id);
+                        let s = term_score_fixed(idf_b, dl, pb.tf);
+                        counts.docs_scored += 1;
+                        counts.topk_candidates += 1;
+                        heap.push(pb.doc_id, s);
+                        cb.advance();
+                    }
+                    std::cmp::Ordering::Equal => {
+                        let dl = index.dl_bar(pa.doc_id);
+                        let s = term_score_fixed(idf_a, dl, pa.tf)
+                            .saturating_add(term_score_fixed(idf_b, dl, pb.tf));
+                        counts.docs_scored += 2;
+                        counts.topk_candidates += 1;
+                        heap.push(pa.doc_id, s);
+                        ca.advance();
+                        cb.advance();
+                    }
+                }
+            }
+        }
+    };
+
+    // Phase 2: essential list drives, non-essential list is probed.
+    if let Some((mut driver, probed, probed_bounds, probed_idf, probed_id)) = probe {
+        let driver_max = driver.bounds.max_ub();
+        let probed_max = probed_bounds.max_ub();
+        let skips = probed.skips();
+        let mut last_block: Option<usize> = None;
+        loop {
+            let t = heap.threshold();
+            if let Some(tv) = t {
+                if driver_max.saturating_add(probed_max) <= tv {
+                    driver.abandon(counts);
+                    break;
+                }
+            }
+            if !driver.refill(t, counts) {
+                break;
+            }
+            let p = driver.head();
+            driver.advance();
+            let dl = index.dl_bar(p.doc_id);
+            let s_drv = term_score_fixed(driver.idf, dl, p.tf);
+            counts.docs_scored += 1;
+            let t = heap.threshold();
+            let s = match candidate_block(skips, p.doc_id, counts) {
+                None => s_drv, // precedes the probed list entirely
+                Some(bi) => {
+                    let can_improve = match t {
+                        Some(tv) => s_drv.saturating_add(probed_bounds.block_ub(bi)) > tv,
+                        None => true,
+                    };
+                    if can_improve {
+                        if last_block != Some(bi) {
+                            counts.blocks_decoded += 1;
+                            counts.postings_decoded += u64::from(probed.metas()[bi].count);
+                            last_block = Some(bi);
+                        }
+                        let block = cache.get_or_decode(probed, probed_id, bi, counts);
+                        match tf_in_block(block, p.doc_id, counts) {
+                            Some(tf) => {
+                                counts.docs_scored += 1;
+                                s_drv.saturating_add(term_score_fixed(probed_idf, dl, tf))
+                            }
+                            None => s_drv,
+                        }
+                    } else {
+                        // Even a probed match could not beat the heap, and
+                        // if the doc is absent the driver score alone is
+                        // pushed either way — skip the decode.
+                        counts.postings_skipped += 1;
+                        s_drv
+                    }
+                }
+            };
+            counts.topk_candidates += 1;
+            heap.push(p.doc_id, s);
+        }
+    }
+
+    let hits = heap.into_hits();
+    counts.results += hits.len() as u64;
+    hits
+}
+
+/// Drains the sole remaining cursor of a union merge, skipping blocks that
+/// cannot beat the threshold.
+fn drain_single(
+    index: &InvertedIndex,
+    c: &mut Cursor<'_, '_>,
+    heap: &mut FusedTopK,
+    counts: &mut OpCounts,
+) {
+    loop {
+        let t = heap.threshold();
+        if !c.refill(t, counts) {
+            return;
+        }
+        let p = c.head();
+        c.advance();
+        let dl = index.dl_bar(p.doc_id);
+        let s = term_score_fixed(c.idf, dl, p.tf);
+        counts.docs_scored += 1;
+        counts.topk_candidates += 1;
+        heap.push(p.doc_id, s);
+    }
+}

@@ -1,10 +1,15 @@
 //! Top-k selection with a size-k min-heap (the paper's Fig. 13 pseudocode,
 //! executed on the host CPU in both the baseline and the IIU system).
+//!
+//! [`rank_cmp`] is the single definition of result order — descending
+//! score, ties broken by ascending docID — shared by the exhaustive heap,
+//! the pruned-mode [`FusedTopK`], and the simulator's host heap, so pruned
+//! vs exhaustive comparisons can be exact rather than set-based.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use iiu_index::DocId;
+use iiu_index::{DocId, Fixed};
 
 /// A scored document.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -15,9 +20,21 @@ pub struct Hit {
     pub score: f64,
 }
 
-/// Wrapper giving `Hit` the min-heap ordering the algorithm needs
-/// (`BinaryHeap` is a max-heap, so order is reversed; ties break on docID
-/// so results are deterministic).
+/// The canonical result ordering: descending score, equal scores by
+/// ascending docID. `Less` means `a` ranks ahead of `b`. Every ranked
+/// surface (exhaustive top-k, the fused pruning heap, the simulator's
+/// host heap) sorts with this one function.
+pub fn rank_cmp(a: &Hit, b: &Hit) -> Ordering {
+    b.score
+        .partial_cmp(&a.score)
+        .unwrap_or(Ordering::Equal)
+        .then_with(|| a.doc_id.cmp(&b.doc_id))
+}
+
+/// Wrapper giving `Hit` the min-heap ordering the algorithm needs:
+/// `BinaryHeap` is a max-heap, so its top is the *worst-ranked* hit under
+/// [`rank_cmp`] — the minimum score, ties evicting the largest docID —
+/// and the final drain matches a full [`rank_cmp`] sort.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct MinScore(Hit);
 
@@ -25,15 +42,7 @@ impl Eq for MinScore {}
 
 impl Ord for MinScore {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed on score (min-heap); among tied scores the *largest*
-        // docID is the heap top, so ties evict high docIDs and the final
-        // order (descending score, ascending docID) matches a full sort.
-        other
-            .0
-            .score
-            .partial_cmp(&self.0.score)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| self.0.doc_id.cmp(&other.0.doc_id))
+        rank_cmp(&self.0, &other.0)
     }
 }
 
@@ -78,13 +87,115 @@ pub fn top_k(candidates: impl IntoIterator<Item = Hit>, k: usize) -> Vec<Hit> {
         }
     }
     let mut out: Vec<Hit> = pq.into_iter().map(|m| m.0).collect();
-    out.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| a.doc_id.cmp(&b.doc_id))
-    });
+    out.sort_by(rank_cmp);
     out
+}
+
+/// A fixed-point hit in the fused heap (scores stay in the Q16.16 domain
+/// so the admission threshold can be compared against block bounds without
+/// conversion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FixedHit {
+    doc_id: DocId,
+    score: Fixed,
+}
+
+/// Min-heap ordering for [`FixedHit`], the `Fixed`-domain mirror of
+/// [`MinScore`]. `Fixed → f64` conversion is exact and monotone, so this
+/// heap admits and evicts exactly the hits the f64 heap would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct MinFixed(FixedHit);
+
+impl Ord for MinFixed {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .0
+            .score
+            .cmp(&self.0.score)
+            .then_with(|| self.0.doc_id.cmp(&other.0.doc_id))
+    }
+}
+
+impl PartialOrd for MinFixed {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A size-k min-heap over fixed-point scores that exposes its admission
+/// threshold, so scoring loops can skip whole blocks whose upper bound
+/// cannot beat it (block-max pruning).
+///
+/// Admission is strict (`candidate > current minimum`), exactly like
+/// [`top_k`]; with skipping gated on `bound <= threshold`, the pruned and
+/// exhaustive paths admit the *same sequence* of hits and therefore return
+/// bit-identical results.
+#[derive(Debug, Clone)]
+pub struct FusedTopK {
+    k: usize,
+    heap: BinaryHeap<MinFixed>,
+}
+
+impl FusedTopK {
+    /// Creates an empty heap selecting the best `k` hits.
+    pub fn new(k: usize) -> Self {
+        FusedTopK { k, heap: BinaryHeap::with_capacity(k.saturating_add(1).min(1 << 20)) }
+    }
+
+    /// Number of hits currently held.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no hit has been admitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Offers a candidate; admitted only while the heap is filling or when
+    /// it strictly beats the current minimum (ties never evict).
+    pub fn push(&mut self, doc_id: DocId, score: Fixed) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(MinFixed(FixedHit { doc_id, score }));
+        } else if let Some(min) = self.heap.peek() {
+            if min.0.score < score {
+                self.heap.pop();
+                self.heap.push(MinFixed(FixedHit { doc_id, score }));
+            }
+        }
+    }
+
+    /// The pruning threshold: any candidate with `score <= threshold` is
+    /// guaranteed to be refused, so blocks whose upper bound is at or
+    /// below it may be skipped without changing the result.
+    ///
+    /// `None` while the heap is still filling (nothing may be skipped);
+    /// for `k == 0` every candidate is refused, so the threshold is the
+    /// maximum representable score.
+    pub fn threshold(&self) -> Option<Fixed> {
+        if self.k == 0 {
+            return Some(Fixed::from_raw(u32::MAX));
+        }
+        if self.heap.len() < self.k {
+            return None;
+        }
+        self.heap.peek().map(|m| m.0.score)
+    }
+
+    /// Drains into [`Hit`]s in canonical [`rank_cmp`] order — the same
+    /// shape [`top_k`] returns.
+    pub fn into_hits(self) -> Vec<Hit> {
+        let mut out: Vec<Hit> = self
+            .heap
+            .into_iter()
+            .map(|m| Hit { doc_id: m.0.doc_id, score: m.0.score.to_f64() })
+            .collect();
+        out.sort_by(rank_cmp);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -129,7 +240,66 @@ mod tests {
         assert_eq!(top[0].doc_id, 1);
     }
 
+    #[test]
+    fn rank_cmp_orders_by_score_then_docid() {
+        assert_eq!(rank_cmp(&hit(5, 2.0), &hit(1, 1.0)), std::cmp::Ordering::Less);
+        assert_eq!(rank_cmp(&hit(1, 1.0), &hit(5, 2.0)), std::cmp::Ordering::Greater);
+        assert_eq!(rank_cmp(&hit(1, 1.0), &hit(5, 1.0)), std::cmp::Ordering::Less);
+        assert_eq!(rank_cmp(&hit(3, 1.0), &hit(3, 1.0)), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn fused_threshold_lifecycle() {
+        let mut f = FusedTopK::new(2);
+        assert_eq!(f.threshold(), None, "filling heap must not prune");
+        f.push(1, Fixed::from_f64(1.0));
+        assert_eq!(f.threshold(), None);
+        f.push(2, Fixed::from_f64(3.0));
+        assert_eq!(f.threshold(), Some(Fixed::from_f64(1.0)));
+        // Equal to the minimum: refused, threshold unchanged.
+        f.push(3, Fixed::from_f64(1.0));
+        assert_eq!(f.threshold(), Some(Fixed::from_f64(1.0)));
+        // Strictly above: admitted, threshold grows.
+        f.push(4, Fixed::from_f64(2.0));
+        assert_eq!(f.threshold(), Some(Fixed::from_f64(2.0)));
+        let hits = f.into_hits();
+        assert_eq!(hits.iter().map(|h| h.doc_id).collect::<Vec<_>>(), vec![2, 4]);
+    }
+
+    #[test]
+    fn fused_k_zero_refuses_everything() {
+        let mut f = FusedTopK::new(0);
+        assert_eq!(f.threshold(), Some(Fixed::from_raw(u32::MAX)));
+        f.push(1, Fixed::from_raw(u32::MAX));
+        assert!(f.is_empty());
+        assert!(f.into_hits().is_empty());
+    }
+
     proptest! {
+        /// The fused Fixed-domain heap returns exactly what [`top_k`]
+        /// returns for the same candidate stream (scores converted the
+        /// way the engines convert them).
+        #[test]
+        fn prop_fused_matches_top_k(
+            raws in proptest::collection::vec(0u32..5_000_000, 0..300),
+            k in 0usize..50,
+        ) {
+            let mut fused = FusedTopK::new(k);
+            for (i, &r) in raws.iter().enumerate() {
+                fused.push(i as u32, Fixed::from_raw(r));
+            }
+            let cands: Vec<Hit> = raws.iter().enumerate()
+                .map(|(i, &r)| hit(i as u32, Fixed::from_raw(r).to_f64()))
+                .collect();
+            let want = top_k(cands, k);
+            let got = fused.into_hits();
+            prop_assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert_eq!(g.doc_id, w.doc_id);
+                prop_assert_eq!(g.score, w.score);
+            }
+        }
+
         #[test]
         fn prop_matches_full_sort(
             scores in proptest::collection::vec(0u32..1000, 0..300),

@@ -7,6 +7,12 @@
 //! where the "before" is a faithful replica of the old per-byte,
 //! alloc-per-block query path kept in this binary as `mod legacy`.
 //!
+//! Also times block-max pruned top-k (DESIGN.md §13) against exhaustive
+//! scoring on the same engine at k ∈ {10, 100, 1000} for single/AND/OR
+//! queries, asserting bit-identical hits first. `--check` fails unless
+//! pruning delivers ≥1.5× single-term QPS at k = 10 with a nonzero
+//! skipped-block tally.
+//!
 //! Writes `BENCH_decode.json` at the workspace root. With
 //! `--check <thresholds.json>` it additionally compares the gated
 //! `min_ns` metrics against the committed thresholds and exits nonzero on
@@ -34,10 +40,16 @@ const KERNEL_N: usize = 4096;
 /// Queries sampled per end-to-end query type.
 const N_QUERIES: usize = 32;
 /// Documents in the end-to-end corpus (small enough for the verify gate,
-/// large enough that lists span many blocks).
-const E2E_DOCS: u32 = 30_000;
+/// large enough that lists span many blocks and block-max pruning has
+/// real skip opportunities).
+const E2E_DOCS: u32 = 60_000;
 /// Widths whose batch kernel time is gated (the §5-relevant 4–20 range).
 const GATED_WIDTHS: [u8; 5] = [4, 8, 12, 16, 20];
+/// Result-set sizes for the pruned-vs-exhaustive top-k comparison.
+const PRUNED_KS: [usize; 3] = [10, 100, 1000];
+/// Minimum single-term QPS gain pruning must deliver at k = 10 for
+/// `--check` to pass.
+const PRUNED_SINGLE_K10_MIN_GAIN: f64 = 1.5;
 
 /// The old query path, kept verbatim as the perf gate's "before"
 /// reference: per-byte bit extraction, a fresh `Vec` per decoded block,
@@ -250,7 +262,9 @@ fn bench_kernels(gate: &mut Map) -> Vec<Value> {
             unpack_all_scalar(&bytes, KERNEL_N, width)
         });
         let mut out: Vec<u32> = Vec::with_capacity(KERNEL_N);
-        let batch = bench_with(&format!("unpack/batch/w{width:02}"), 6, 12, &mut || {
+        // The gated metric is a min over samples; extra samples keep a
+        // noisy-neighbor spike from inflating it past the threshold.
+        let batch = bench_with(&format!("unpack/batch/w{width:02}"), 6, 24, &mut || {
             out.clear();
             unpack_into(&bytes, 0, KERNEL_N, width, &mut out);
             out.len()
@@ -358,6 +372,118 @@ fn bench_e2e(index: &InvertedIndex, gate: &mut Map) -> Value {
     Value::Object(e2e)
 }
 
+/// Pruned-vs-exhaustive top-k on the same engine and queries: the only
+/// difference is block-max pruning (DESIGN.md §13). Asserts bit-identical
+/// hits before timing anything, tallies the skip counters, and gates the
+/// pruned latency of every shape at k = 10.
+fn bench_pruned(index: &InvertedIndex, gate: &mut Map) -> Value {
+    let mut sampler = QuerySampler::with_bias(index, 42, 1.0, 64);
+    let singles = sampler.single_queries(N_QUERIES);
+    let pairs = sampler.pair_queries(N_QUERIES);
+
+    let mut shapes = Map::new();
+    for shape in ["single", "and", "or"] {
+        let mut rows = Map::new();
+        for k in PRUNED_KS {
+            let mut exh = CpuEngine::new(index);
+            let mut pru = CpuEngine::new(index).with_pruning(true);
+
+            // Correctness first: the timed runs below only count hits, so
+            // prove bit-identity over the whole query set up front, and
+            // collect the logical skip tallies while at it.
+            let (mut blocks_skipped, mut postings_skipped) = (0u64, 0u64);
+            let query = |exh: &mut CpuEngine, pru: &mut CpuEngine, i: usize| {
+                let (a, b) = match shape {
+                    "single" => {
+                        let t = &singles[i % N_QUERIES];
+                        (
+                            exh.search_single(t, k).expect("sampled term"),
+                            pru.search_single(t, k).expect("sampled term"),
+                        )
+                    }
+                    "and" => {
+                        let (ta, tb) = &pairs[i % N_QUERIES];
+                        (
+                            exh.search_intersection(ta, tb, k).expect("sampled terms"),
+                            pru.search_intersection(ta, tb, k).expect("sampled terms"),
+                        )
+                    }
+                    _ => {
+                        let (ta, tb) = &pairs[i % N_QUERIES];
+                        (
+                            exh.search_union(ta, tb, k).expect("sampled terms"),
+                            pru.search_union(ta, tb, k).expect("sampled terms"),
+                        )
+                    }
+                };
+                assert_eq!(a.hits, b.hits, "pruned {shape} diverged at query {i} k={k}");
+                (b.counts.blocks_skipped, b.counts.postings_skipped)
+            };
+            for i in 0..N_QUERIES {
+                let (bs, ps) = query(&mut exh, &mut pru, i);
+                blocks_skipped += bs;
+                postings_skipped += ps;
+            }
+
+            let mut i = 0usize;
+            let e = bench_with(&format!("pruned/{shape}/k{k}/exhaustive"), 8, 30, &mut || {
+                i += 1;
+                let idx = i - 1;
+                match shape {
+                    "single" => {
+                        exh.search_single(&singles[idx % N_QUERIES], k).expect("term").hits.len()
+                    }
+                    "and" => {
+                        let (a, b) = &pairs[idx % N_QUERIES];
+                        exh.search_intersection(a, b, k).expect("terms").hits.len()
+                    }
+                    _ => {
+                        let (a, b) = &pairs[idx % N_QUERIES];
+                        exh.search_union(a, b, k).expect("terms").hits.len()
+                    }
+                }
+            });
+            let mut j = 0usize;
+            let p = bench_with(&format!("pruned/{shape}/k{k}/pruned"), 8, 30, &mut || {
+                j += 1;
+                let idx = j - 1;
+                match shape {
+                    "single" => {
+                        pru.search_single(&singles[idx % N_QUERIES], k).expect("term").hits.len()
+                    }
+                    "and" => {
+                        let (a, b) = &pairs[idx % N_QUERIES];
+                        pru.search_intersection(a, b, k).expect("terms").hits.len()
+                    }
+                    _ => {
+                        let (a, b) = &pairs[idx % N_QUERIES];
+                        pru.search_union(a, b, k).expect("terms").hits.len()
+                    }
+                }
+            });
+
+            if k == 10 {
+                gate.insert(format!("e2e_pruned_{shape}_k10"), json!(p.min_ns));
+            }
+            rows.insert(
+                format!("k{k}"),
+                json!({
+                    "k": k,
+                    "exhaustive_min_ns": e.min_ns,
+                    "pruned_min_ns": p.min_ns,
+                    "exhaustive_qps": qps(e.min_ns),
+                    "pruned_qps": qps(p.min_ns),
+                    "qps_gain": e.min_ns / p.min_ns,
+                    "blocks_skipped": blocks_skipped,
+                    "postings_skipped": postings_skipped,
+                }),
+            );
+        }
+        shapes.insert(shape.to_string(), Value::Object(rows));
+    }
+    Value::Object(shapes)
+}
+
 /// Checks this run's gated metrics against committed thresholds. Returns
 /// the list of violations (empty = pass).
 fn check_thresholds(gate: &Map, thresholds: &Value) -> Vec<String> {
@@ -428,6 +554,9 @@ fn main() -> ExitCode {
     let index = CorpusConfig::ccnews_like(E2E_DOCS).generate().into_default_index();
     let e2e = bench_e2e(&index, &mut gate);
 
+    println!("== pruned vs exhaustive top-k, k in {PRUNED_KS:?} ==");
+    let pruned = bench_pruned(&index, &mut gate);
+
     let widths_4_20: Vec<f64> = kernels
         .iter()
         .filter(|r| (4..=20).contains(&r["width"].as_u64().unwrap_or(0)))
@@ -443,6 +572,7 @@ fn main() -> ExitCode {
         "kernels": Value::Array(kernels),
         "min_kernel_speedup_widths_4_20": min_speedup_4_20,
         "e2e": e2e,
+        "pruned": pruned.clone(),
         "gate_min_ns": Value::Object(gate.clone()),
     });
     let text = serde_json::to_string_pretty(&report).expect("serializable");
@@ -477,7 +607,19 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let violations = check_thresholds(&gate, &thresholds);
+        let mut violations = check_thresholds(&gate, &thresholds);
+        // Latency thresholds alone can't prove pruning pays off; also
+        // require the k=10 single-term win and that blocks were skipped.
+        let k10 = &pruned["single"]["k10"];
+        let gain = k10["qps_gain"].as_f64().unwrap_or(0.0);
+        if gain < PRUNED_SINGLE_K10_MIN_GAIN {
+            violations.push(format!(
+                "pruned single k=10 qps_gain {gain:.2} below required {PRUNED_SINGLE_K10_MIN_GAIN}"
+            ));
+        }
+        if k10["blocks_skipped"].as_u64().unwrap_or(0) == 0 {
+            violations.push("pruned single k=10 skipped no blocks".to_string());
+        }
         if violations.is_empty() {
             println!("decode gate: OK ({} metrics within threshold)", gate.len());
         } else {

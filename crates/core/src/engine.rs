@@ -286,6 +286,21 @@ impl<'a> CpuSearchEngine<'a> {
         self
     }
 
+    /// Enables block-max pruned top-k for the primitive query shapes
+    /// (single term, two-term AND/OR). Results are bit-identical to the
+    /// exhaustive mode; general expression trees always evaluate
+    /// exhaustively.
+    #[must_use]
+    pub fn with_pruning(mut self, pruned: bool) -> Self {
+        self.inner.set_pruning(pruned);
+        self
+    }
+
+    /// True when primitive shapes use block-max pruning.
+    pub fn pruning(&self) -> bool {
+        self.inner.pruning()
+    }
+
     /// The wrapped low-level engine.
     pub fn inner(&self) -> &CpuEngine<'a> {
         &self.inner

@@ -1,0 +1,279 @@
+//! Per-block score upper bounds — the block-max metadata that lets the
+//! software engines skip whole blocks that provably cannot enter the
+//! current top-k (the block-max WAND/MaxScore family of optimizations).
+//!
+//! For every block of every posting list we record
+//!
+//! * `ub` — an upper bound on the Q16.16 fixed-point BM25 contribution of
+//!   any posting in the block, and
+//! * `max_tf` — the largest term frequency in the block (kept for
+//!   inspection and as a cheap cross-check; `ub` is what pruning uses).
+//!
+//! # Why the bound is the exact per-block maximum
+//!
+//! The obvious closed-form bound `score(max_tf, min dl̄)` is *not* sound
+//! for the fixed-point datapath: [`term_score_fixed`] truncates its
+//! reciprocal, so the score is not exactly monotone in `tf` (at `dl̄ = 0`,
+//! `s(tf) = tf · ⌊2³²/tf⌋` gives `s(5) < s(4)` in raw units). A bound that
+//! can undershoot by even one raw unit would break the bit-exact
+//! equivalence guarantee between pruned and exhaustive top-k. Instead we
+//! evaluate the actual datapath for every posting at build time and keep
+//! the per-block maximum — trivially a correct upper bound, and tighter
+//! than any closed form. Build cost is one fixed-point division per
+//! posting, paid once per index build.
+//!
+//! Bounds are derived data: every construction path
+//! ([`crate::InvertedIndex::from_lists`]) recomputes them from the
+//! postings, so v1/v2 index files load with bounds available and the v3
+//! reader can cross-check the persisted section against the recomputation.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use crate::block::EncodedList;
+use crate::error::IndexError;
+use crate::posting::Posting;
+use crate::score::{term_score_fixed, Fixed};
+
+/// Per-block score upper bounds for one posting list.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ListBounds {
+    ubs: Vec<Fixed>,
+    max_tfs: Vec<u32>,
+    max_ub: Fixed,
+}
+
+impl ListBounds {
+    /// Computes bounds for a list laid out as `block_lens`-sized runs of
+    /// `postings` (the same partition handed to [`EncodedList::encode`]).
+    ///
+    /// `idf_bar` is the list's term constant; `dl_bars` the per-document
+    /// normalization table. Postings referencing documents beyond
+    /// `dl_bars` contribute a zero-`dl̄` (i.e. maximal) score rather than
+    /// panicking — [`crate::InvertedIndex::from_lists`] rejects such lists
+    /// before bounds are ever computed.
+    pub fn compute(
+        postings: &[Posting],
+        block_lens: &[usize],
+        idf_bar: Fixed,
+        dl_bars: &[Fixed],
+    ) -> Self {
+        let mut ubs = Vec::with_capacity(block_lens.len());
+        let mut max_tfs = Vec::with_capacity(block_lens.len());
+        let mut max_ub = Fixed::ZERO;
+        let mut at = 0usize;
+        for &len in block_lens {
+            let block = &postings[at..(at + len).min(postings.len())];
+            at += len;
+            let mut ub = Fixed::ZERO;
+            let mut max_tf = 0u32;
+            for p in block {
+                let dl = dl_bars.get(p.doc_id as usize).copied().unwrap_or(Fixed::ZERO);
+                ub = ub.max(term_score_fixed(idf_bar, dl, p.tf));
+                max_tf = max_tf.max(p.tf);
+            }
+            max_ub = max_ub.max(ub);
+            ubs.push(ub);
+            max_tfs.push(max_tf);
+        }
+        ListBounds { ubs, max_tfs, max_ub }
+    }
+
+    /// Recomputes bounds from an encoded list by decoding every block —
+    /// the oracle [`crate::InvertedIndex::validate`] and the v3 file
+    /// reader hold stored bounds against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::CorruptIndex`] if a block fails to decode.
+    pub fn recompute(
+        list: &EncodedList,
+        idf_bar: Fixed,
+        dl_bars: &[Fixed],
+    ) -> Result<Self, IndexError> {
+        let mut ubs = Vec::with_capacity(list.num_blocks());
+        let mut max_tfs = Vec::with_capacity(list.num_blocks());
+        let mut max_ub = Fixed::ZERO;
+        let mut block = Vec::new();
+        for b in 0..list.num_blocks() {
+            block.clear();
+            list.try_decode_block_into(b, &mut block)?;
+            let mut ub = Fixed::ZERO;
+            let mut max_tf = 0u32;
+            for p in &block {
+                let dl = dl_bars.get(p.doc_id as usize).copied().unwrap_or(Fixed::ZERO);
+                ub = ub.max(term_score_fixed(idf_bar, dl, p.tf));
+                max_tf = max_tf.max(p.tf);
+            }
+            max_ub = max_ub.max(ub);
+            ubs.push(ub);
+            max_tfs.push(max_tf);
+        }
+        Ok(ListBounds { ubs, max_tfs, max_ub })
+    }
+
+    /// Constructs bounds from raw per-block values (the v3 file reader).
+    pub fn from_raw_parts(ubs: Vec<Fixed>, max_tfs: Vec<u32>) -> Self {
+        let max_ub = ubs.iter().copied().max().unwrap_or(Fixed::ZERO);
+        ListBounds { ubs, max_tfs, max_ub }
+    }
+
+    /// Number of blocks covered.
+    pub fn num_blocks(&self) -> usize {
+        self.ubs.len()
+    }
+
+    /// Upper bound on the fixed-point score of any posting in block `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    pub fn block_ub(&self, b: usize) -> Fixed {
+        self.ubs[b]
+    }
+
+    /// All per-block upper bounds, in block order.
+    pub fn ubs(&self) -> &[Fixed] {
+        &self.ubs
+    }
+
+    /// All per-block maximum term frequencies, in block order.
+    pub fn max_tfs(&self) -> &[u32] {
+        &self.max_tfs
+    }
+
+    /// Upper bound over the whole list (max of the block bounds) — the
+    /// term's MaxScore.
+    pub fn max_ub(&self) -> Fixed {
+        self.max_ub
+    }
+
+    /// Structural consistency with the list the bounds describe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::CorruptIndex`] if the block counts disagree
+    /// or the cached list-level maximum does not match the blocks.
+    pub fn validate_against(&self, list: &EncodedList) -> Result<(), IndexError> {
+        if self.ubs.len() != list.num_blocks() || self.max_tfs.len() != list.num_blocks() {
+            return Err(IndexError::CorruptIndex { context: "score bounds block count" });
+        }
+        let max = self.ubs.iter().copied().max().unwrap_or(Fixed::ZERO);
+        if max != self.max_ub {
+            return Err(IndexError::CorruptIndex { context: "score bounds list maximum" });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Partitioner;
+    use crate::posting::PostingList;
+    use proptest::prelude::*;
+
+    fn fixture(pairs: &[(u32, u32)], max_size: usize) -> (PostingList, Vec<usize>, Vec<Fixed>) {
+        let list = PostingList::from_sorted(
+            pairs.iter().map(|&(d, t)| Posting::new(d, t)).collect(),
+        );
+        let lens = Partitioner::dynamic(max_size).partition(&list);
+        let n = pairs.last().map_or(0, |&(d, _)| d + 1) as usize;
+        let dl_bars: Vec<Fixed> =
+            (0..n).map(|d| Fixed::from_f64(1.0 + (d % 7) as f64 * 0.3)).collect();
+        (list, lens, dl_bars)
+    }
+
+    #[test]
+    fn compute_and_recompute_agree() {
+        let pairs: Vec<(u32, u32)> = (0..500).map(|i| (i * 3, 1 + i % 11)).collect();
+        let (list, lens, dl_bars) = fixture(&pairs, 16);
+        let idf = Fixed::from_f64(4.2);
+        let direct = ListBounds::compute(list.as_slice(), &lens, idf, &dl_bars);
+        let enc = EncodedList::encode(&list, &lens).unwrap();
+        let via_decode = ListBounds::recompute(&enc, idf, &dl_bars).unwrap();
+        assert_eq!(direct, via_decode);
+        assert_eq!(direct.num_blocks(), enc.num_blocks());
+        direct.validate_against(&enc).unwrap();
+    }
+
+    #[test]
+    fn every_posting_is_below_its_block_bound() {
+        let pairs: Vec<(u32, u32)> = (0..300).map(|i| (i * 2 + 1, 1 + (i * i) % 23)).collect();
+        let (list, lens, dl_bars) = fixture(&pairs, 8);
+        let idf = Fixed::from_f64(7.7);
+        let bounds = ListBounds::compute(list.as_slice(), &lens, idf, &dl_bars);
+        let mut at = 0usize;
+        for (b, &len) in lens.iter().enumerate() {
+            for p in &list.as_slice()[at..at + len] {
+                let s = term_score_fixed(idf, dl_bars[p.doc_id as usize], p.tf);
+                assert!(s <= bounds.block_ub(b), "posting above its block bound");
+                assert!(s <= bounds.max_ub());
+            }
+            at += len;
+        }
+    }
+
+    #[test]
+    fn validate_against_catches_tampering() {
+        let pairs: Vec<(u32, u32)> = (0..64).map(|i| (i, 1)).collect();
+        let (list, lens, dl_bars) = fixture(&pairs, 8);
+        let enc = EncodedList::encode(&list, &lens).unwrap();
+        let good = ListBounds::compute(list.as_slice(), &lens, Fixed::ONE, &dl_bars);
+        good.validate_against(&enc).unwrap();
+
+        let mut bad = good.clone();
+        bad.ubs.pop();
+        assert!(matches!(
+            bad.validate_against(&enc),
+            Err(IndexError::CorruptIndex { context: "score bounds block count" })
+        ));
+
+        let mut bad = good.clone();
+        bad.max_ub = bad.max_ub.saturating_add(Fixed::ONE);
+        assert!(matches!(
+            bad.validate_against(&enc),
+            Err(IndexError::CorruptIndex { context: "score bounds list maximum" })
+        ));
+    }
+
+    #[test]
+    fn empty_list_has_no_blocks() {
+        let b = ListBounds::compute(&[], &[], Fixed::ONE, &[]);
+        assert_eq!(b.num_blocks(), 0);
+        assert_eq!(b.max_ub(), Fixed::ZERO);
+        assert_eq!(ListBounds::from_raw_parts(Vec::new(), Vec::new()), b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The exact-maximum bound dominates every per-posting score, and
+        /// the two computation paths (raw postings vs decoded blocks)
+        /// agree bit-for-bit.
+        #[test]
+        fn prop_bounds_are_sound_and_consistent(
+            gaps in proptest::collection::vec((1u32..50, 1u32..200), 1..200),
+            chunk in 1usize..32,
+            idf_raw in 1u32..(200u32 << 16),
+        ) {
+            let mut doc = 0u32;
+            let pairs: Vec<(u32, u32)> = gaps.iter().map(|&(g, t)| {
+                doc += g;
+                (doc, t)
+            }).collect();
+            let (list, lens, dl_bars) = fixture(&pairs, chunk);
+            let idf = Fixed::from_raw(idf_raw);
+            let bounds = ListBounds::compute(list.as_slice(), &lens, idf, &dl_bars);
+            let enc = EncodedList::encode(&list, &lens).unwrap();
+            prop_assert_eq!(&bounds, &ListBounds::recompute(&enc, idf, &dl_bars).unwrap());
+            let mut at = 0usize;
+            for (b, &len) in lens.iter().enumerate() {
+                for p in &list.as_slice()[at..at + len] {
+                    let s = term_score_fixed(idf, dl_bars[p.doc_id as usize], p.tf);
+                    prop_assert!(s <= bounds.block_ub(b));
+                }
+                at += len;
+            }
+        }
+    }
+}

@@ -271,4 +271,35 @@ mod tests {
         assert!(report.typed_errors > 0);
         assert!(report.checksum_rejections > 0, "checksums never fired: {report:?}");
     }
+
+    #[test]
+    fn bounds_section_faults_surface_typed_errors() {
+        // Every corruption landing in the v3 score-bounds section must be
+        // rejected with a typed error — a silently-wrong bound would make
+        // pruned top-k drop valid results. The file tail is
+        // [bounds content][bounds crc 4][footer 4].
+        use crate::io::deserialize;
+        let idx = sample();
+        let bytes = serialize(&idx).expect("serialize");
+        let bounds_len: usize =
+            idx.bounds().iter().map(|b| 8 + b.num_blocks() * 8).sum();
+        let n = bytes.len();
+        let start = n - 8 - bounds_len;
+        for byte in start..n {
+            for bit in [0u8, 3, 7] {
+                let mut m = bytes.clone();
+                m[byte] ^= 1 << bit;
+                assert!(
+                    deserialize(&m).is_err(),
+                    "bounds-section flip at byte {byte} bit {bit} was accepted"
+                );
+            }
+        }
+        for cut in start..n {
+            assert!(
+                deserialize(&bytes[..cut]).is_err(),
+                "truncation inside bounds section at {cut} was accepted"
+            );
+        }
+    }
 }

@@ -6,6 +6,7 @@
 use std::collections::HashMap;
 
 use crate::block::EncodedList;
+use crate::bounds::ListBounds;
 use crate::error::IndexError;
 use crate::partition::Partitioner;
 use crate::posting::{DocId, PostingList};
@@ -37,6 +38,7 @@ pub struct InvertedIndex {
     dictionary: HashMap<String, TermId>,
     terms: Vec<TermInfo>,
     lists: Vec<EncodedList>,
+    bounds: Vec<ListBounds>,
     doc_lens: Vec<u32>,
     dl_bars: Vec<Fixed>,
     avgdl: f64,
@@ -67,9 +69,17 @@ impl InvertedIndex {
             doc_lens.iter().map(|&l| f64::from(l)).sum::<f64>() / n_docs as f64
         };
 
+        // Per-document constants first: block score bounds are computed
+        // from the same dl̄ table the scoring datapath will read.
+        let dl_bars: Vec<Fixed> = doc_lens
+            .iter()
+            .map(|&l| Fixed::from_f64(params.dl_bar(l, avgdl)))
+            .collect();
+
         let mut dictionary = HashMap::with_capacity(lists.len());
         let mut terms = Vec::with_capacity(lists.len());
         let mut encoded = Vec::with_capacity(lists.len());
+        let mut bounds = Vec::with_capacity(lists.len());
         for (term, list) in lists {
             if let Some(last) = list.as_slice().last() {
                 if u64::from(last.doc_id) >= n_docs {
@@ -80,25 +90,19 @@ impl InvertedIndex {
             }
             let id = terms.len() as TermId;
             let df = list.len() as u64;
+            let idf_bar = Fixed::from_f64(params.idf_bar(n_docs, df));
             let partition = partitioner.partition(&list);
+            bounds.push(ListBounds::compute(list.as_slice(), &partition, idf_bar, &dl_bars));
             encoded.push(EncodedList::encode(&list, &partition)?);
-            terms.push(TermInfo {
-                idf_bar: Fixed::from_f64(params.idf_bar(n_docs, df)),
-                df,
-                term: term.clone(),
-            });
+            terms.push(TermInfo { idf_bar, df, term: term.clone() });
             dictionary.insert(term, id);
         }
-
-        let dl_bars = doc_lens
-            .iter()
-            .map(|&l| Fixed::from_f64(params.dl_bar(l, avgdl)))
-            .collect();
 
         Ok(InvertedIndex {
             dictionary,
             terms,
             lists: encoded,
+            bounds,
             doc_lens,
             dl_bars,
             avgdl,
@@ -158,6 +162,21 @@ impl InvertedIndex {
     /// Panics if `id` is out of range.
     pub fn encoded_list(&self, id: TermId) -> &EncodedList {
         &self.lists[id as usize]
+    }
+
+    /// Per-block score upper bounds of a term's list (the block-max
+    /// metadata the pruned top-k mode skips with).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn list_bounds(&self, id: TermId) -> &ListBounds {
+        &self.bounds[id as usize]
+    }
+
+    /// All per-list score bounds, in term-id order.
+    pub fn bounds(&self) -> &[ListBounds] {
+        &self.bounds
     }
 
     /// Decodes the posting list of `term` in full.
@@ -224,6 +243,9 @@ impl InvertedIndex {
         if self.dl_bars.len() != self.doc_lens.len() {
             return Err(IndexError::CorruptIndex { context: "dl-bar table size" });
         }
+        if self.bounds.len() != self.lists.len() {
+            return Err(IndexError::CorruptIndex { context: "score bounds count" });
+        }
         let n_docs = self.doc_lens.len() as u64;
         for (id, (info, list)) in self.terms.iter().zip(&self.lists).enumerate() {
             if self.dictionary.get(&info.term) != Some(&(id as TermId)) {
@@ -239,6 +261,13 @@ impl InvertedIndex {
                         context: "posting list references docID beyond corpus",
                     });
                 }
+            }
+            // Pruning correctness rests on the bounds, so hold them to the
+            // decode-and-recompute oracle, not just structural checks.
+            let bounds = &self.bounds[id];
+            bounds.validate_against(list)?;
+            if *bounds != ListBounds::recompute(list, info.idf_bar, &self.dl_bars)? {
+                return Err(IndexError::CorruptIndex { context: "score bounds mismatch" });
             }
         }
         Ok(())
@@ -371,6 +400,38 @@ mod tests {
             bad.validate(),
             Err(IndexError::CorruptIndex { context: "term/list count mismatch" })
         ));
+    }
+
+    #[test]
+    fn bounds_cover_every_list_and_tampering_is_caught() {
+        let idx = tiny_index();
+        assert_eq!(idx.bounds().len(), idx.num_terms());
+        for id in 0..idx.num_terms() as TermId {
+            let list = idx.encoded_list(id);
+            let b = idx.list_bounds(id);
+            assert_eq!(b.num_blocks(), list.num_blocks());
+            // The exact-maximum bound is attained by some posting.
+            let info = idx.term_info(id);
+            let attained = list.decode_all().as_slice().iter().any(|p| {
+                crate::score::term_score_fixed(info.idf_bar, idx.dl_bar(p.doc_id), p.tf)
+                    == b.max_ub()
+            });
+            assert!(attained, "max_ub must be an attained score, not a loose bound");
+        }
+
+        let mut bad = idx.clone();
+        bad.bounds.pop();
+        assert!(matches!(
+            bad.validate(),
+            Err(IndexError::CorruptIndex { context: "score bounds count" })
+        ));
+
+        let mut bad = idx;
+        let mut ubs = bad.bounds[0].ubs().to_vec();
+        ubs[0] = ubs[0].saturating_add(crate::score::Fixed::ONE);
+        let max_tfs = bad.bounds[0].max_tfs().to_vec();
+        bad.bounds[0] = ListBounds::from_raw_parts(ubs, max_tfs);
+        assert!(bad.validate().is_err(), "inflated bound must fail the recompute oracle");
     }
 
     #[test]

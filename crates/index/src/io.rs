@@ -6,10 +6,11 @@
 //! magic/version word, the BM25 parameters, the document-length table, and
 //! one record per term (name, metadata words, skip values, payload bytes).
 //!
-//! # Format v2 (current)
+//! # Format v3 (current)
 //!
-//! Version 2 hardens the load path with per-section CRC32 checksums
-//! ([`crate::checksum`]):
+//! Version 3 extends the checksummed v2 layout with a per-block score
+//! bounds section (the block-max metadata [`crate::bounds`] that the
+//! pruned top-k mode skips with):
 //!
 //! ```text
 //! magic/version            u64   (MAGIC, not covered by a section CRC)
@@ -22,25 +23,34 @@
 //!                          · num_blocks × meta u64
 //!                          · num_blocks × skip u32
 //!                          · payload_len u64 · payload bytes   + crc32 u32
+//! score bounds (v3 only)   per term: num_blocks u64
+//!                          · num_blocks × (ub_raw u32 · max_tf u32)
+//!                          whole section                       + crc32 u32
 //! footer                   crc32 u32 over every preceding byte
 //! ```
 //!
 //! [`deserialize`] verifies each section checksum before trusting its
 //! contents, then rebuilds every posting list by decoding it (bounds
 //! checked) and re-encoding, so a malformed file yields a typed
-//! [`IndexError`] — never a panic or an out-of-bounds read. Version 1 files
-//! (no checksums) remain readable; unknown versions are rejected with
-//! [`IndexError::UnsupportedFormat`].
+//! [`IndexError`] — never a panic or an out-of-bounds read. The score
+//! bounds section is additionally held against a full recomputation from
+//! the decoded postings: a CRC-consistent file whose stored bounds
+//! disagree with the postings is rejected (`score bounds mismatch`)
+//! rather than silently pruning wrong results. Version 2 files (no bounds
+//! section) and version 1 files (no checksums) remain readable — bounds
+//! are derived data, recomputed on every load path — and unknown versions
+//! are rejected with [`IndexError::UnsupportedFormat`].
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use crate::block::BlockMeta;
+use crate::bounds::ListBounds;
 use crate::checksum::crc32;
 use crate::error::IndexError;
 use crate::index::InvertedIndex;
 use crate::partition::Partitioner;
 use crate::posting::PostingList;
-use crate::score::Bm25Params;
+use crate::score::{Bm25Params, Fixed};
 
 /// Little-endian append helpers over the output buffer (the serialized
 /// format is defined in terms of these primitives).
@@ -74,14 +84,18 @@ impl PutLe for Vec<u8> {
     }
 }
 
-/// Magic + version identifying the current format ("IIUX" + 0x0002).
-pub const MAGIC: u64 = 0x4949_5558_0000_0002;
+/// Magic + version identifying the current format ("IIUX" + 0x0003).
+pub const MAGIC: u64 = 0x4949_5558_0000_0003;
+
+/// Magic + version of the v2 format (checksums, no score bounds
+/// section), still accepted by [`deserialize`].
+pub const MAGIC_V2: u64 = 0x4949_5558_0000_0002;
 
 /// Magic + version of the legacy checksum-free format ("IIUX" + 0x0001),
 /// still accepted by [`deserialize`].
 pub const MAGIC_V1: u64 = 0x4949_5558_0000_0001;
 
-/// Serializes `index` to bytes in format v2.
+/// Serializes `index` to bytes in format v3.
 ///
 /// # Errors
 ///
@@ -140,6 +154,16 @@ pub fn serialize(index: &InvertedIndex) -> Result<Vec<u8>, IndexError> {
         buf.put_slice(list.payload());
         seal_section(&mut buf, record_start);
     }
+
+    let bounds_start = buf.len();
+    for bounds in index.bounds() {
+        buf.put_u64_le(bounds.num_blocks() as u64);
+        for (ub, &max_tf) in bounds.ubs().iter().zip(bounds.max_tfs()) {
+            buf.put_u32_le(ub.raw());
+            buf.put_u32_le(max_tf);
+        }
+    }
+    seal_section(&mut buf, bounds_start);
 
     let footer = crc32(&buf);
     buf.put_u32_le(footer);
@@ -211,19 +235,22 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Deserializes an index previously written by [`serialize`] (format v2) or
-/// by the v1 writer (no checksums).
+/// Deserializes an index previously written by [`serialize`] (format v3) or
+/// by the v2 writer (no bounds section) or v1 writer (no checksums).
 ///
 /// # Errors
 ///
 /// Returns [`IndexError::UnsupportedFormat`] on an unknown magic/version
-/// word, [`IndexError::ChecksumMismatch`] when a v2 section checksum fails,
-/// and [`IndexError::CorruptIndex`] on truncated or inconsistent content.
+/// word, [`IndexError::ChecksumMismatch`] when a v2/v3 section checksum
+/// fails, and [`IndexError::CorruptIndex`] on truncated or inconsistent
+/// content — including a v3 score-bounds section that passes its CRC but
+/// disagrees with the bounds recomputed from the postings.
 pub fn deserialize(bytes: &[u8]) -> Result<InvertedIndex, IndexError> {
     let mut r = Reader::new(bytes);
     let magic = r.u64("magic")?;
     match magic {
-        MAGIC => deserialize_v2(r),
+        MAGIC => deserialize_v3(r),
+        MAGIC_V2 => deserialize_v2(r),
         MAGIC_V1 => deserialize_v1(r),
         found => Err(IndexError::UnsupportedFormat { found }),
     }
@@ -237,7 +264,18 @@ fn read_partitioner(kind: u8, arg: usize) -> Result<Partitioner, IndexError> {
     }
 }
 
-fn deserialize_v2(mut r: Reader<'_>) -> Result<InvertedIndex, IndexError> {
+/// Everything a checksummed file (v2/v3) carries before its
+/// version-specific tail sections.
+struct ChecksummedBody {
+    params: Bm25Params,
+    partitioner: Partitioner,
+    doc_lens: Vec<u32>,
+    lists: Vec<(String, PostingList)>,
+}
+
+/// Reads the header, doc-length table and term records shared by the v2
+/// and v3 layouts, verifying each section checksum.
+fn read_checksummed_body(r: &mut Reader<'_>) -> Result<ChecksummedBody, IndexError> {
     let header_start = r.pos;
     let k1 = r.f64("header")?;
     let b = r.f64("header")?;
@@ -263,11 +301,15 @@ fn deserialize_v2(mut r: Reader<'_>) -> Result<InvertedIndex, IndexError> {
     let mut lists = Vec::with_capacity(n_terms.min(r.remaining()));
     for _ in 0..n_terms {
         let record_start = r.pos;
-        let (name, list) = read_term_record(&mut r, "term record")?;
+        let (name, list) = read_term_record(r, "term record")?;
         r.verify_section(record_start, "term record", "term record checksum")?;
         lists.push((name, list));
     }
+    Ok(ChecksummedBody { params, partitioner, doc_lens, lists })
+}
 
+/// Verifies the whole-file footer CRC and that no bytes trail it.
+fn verify_footer(r: &mut Reader<'_>) -> Result<(), IndexError> {
     let body_end = r.pos;
     let found = crc32(&r.buf[..body_end]);
     let expected = r.u32("footer")?;
@@ -277,8 +319,49 @@ fn deserialize_v2(mut r: Reader<'_>) -> Result<InvertedIndex, IndexError> {
     if r.remaining() != 0 {
         return Err(IndexError::CorruptIndex { context: "trailing bytes" });
     }
+    Ok(())
+}
 
-    InvertedIndex::from_lists(lists, doc_lens, partitioner, params)
+fn deserialize_v2(mut r: Reader<'_>) -> Result<InvertedIndex, IndexError> {
+    let body = read_checksummed_body(&mut r)?;
+    verify_footer(&mut r)?;
+    InvertedIndex::from_lists(body.lists, body.doc_lens, body.partitioner, body.params)
+}
+
+fn deserialize_v3(mut r: Reader<'_>) -> Result<InvertedIndex, IndexError> {
+    let body = read_checksummed_body(&mut r)?;
+
+    let bounds_start = r.pos;
+    let n_terms = body.lists.len();
+    let mut stored: Vec<ListBounds> = Vec::with_capacity(n_terms);
+    for _ in 0..n_terms {
+        let num_blocks = r.u64("score bounds")? as usize;
+        let entry_bytes = num_blocks
+            .checked_mul(8)
+            .ok_or(IndexError::CorruptIndex { context: "score bounds" })?;
+        let raw = r.take(entry_bytes, "score bounds")?;
+        let mut ubs = Vec::with_capacity(num_blocks);
+        let mut max_tfs = Vec::with_capacity(num_blocks);
+        for c in raw.chunks_exact(8) {
+            ubs.push(Fixed::from_raw(u32::from_le_bytes([c[0], c[1], c[2], c[3]])));
+            max_tfs.push(u32::from_le_bytes([c[4], c[5], c[6], c[7]]));
+        }
+        stored.push(ListBounds::from_raw_parts(ubs, max_tfs));
+    }
+    r.verify_section(bounds_start, "score bounds", "score bounds checksum")?;
+    verify_footer(&mut r)?;
+
+    let index =
+        InvertedIndex::from_lists(body.lists, body.doc_lens, body.partitioner, body.params)?;
+    // `from_lists` recomputed the bounds from the decoded postings; a
+    // CRC-consistent file whose stored bounds disagree was written wrong
+    // (or tampered with checksums recomputed) and must not drive pruning.
+    for (id, stored) in stored.iter().enumerate() {
+        if *stored != *index.list_bounds(id as crate::index::TermId) {
+            return Err(IndexError::CorruptIndex { context: "score bounds mismatch" });
+        }
+    }
+    Ok(index)
 }
 
 fn deserialize_v1(mut r: Reader<'_>) -> Result<InvertedIndex, IndexError> {
@@ -443,6 +526,62 @@ mod tests {
         buf
     }
 
+    /// Writes `index` in the v2 layout (checksummed, no score bounds
+    /// section), byte-for-byte what the v2 writer produced.
+    fn serialize_v2(index: &InvertedIndex) -> Vec<u8> {
+        fn seal_section(buf: &mut Vec<u8>, start: usize) {
+            let crc = crc32(&buf[start..]);
+            buf.put_u32_le(crc);
+        }
+
+        let mut buf = Vec::new();
+        buf.put_u64_le(MAGIC_V2);
+        let header_start = buf.len();
+        buf.put_f64_le(index.params().k1);
+        buf.put_f64_le(index.params().b);
+        match index.partitioner() {
+            Partitioner::Fixed { block_len } => {
+                buf.put_u8(0);
+                buf.put_u32_le(block_len as u32);
+            }
+            Partitioner::Dynamic { max_size } => {
+                buf.put_u8(1);
+                buf.put_u32_le(max_size as u32);
+            }
+        }
+        buf.put_u64_le(index.num_docs());
+        buf.put_u64_le(index.num_terms() as u64);
+        seal_section(&mut buf, header_start);
+
+        let doc_start = buf.len();
+        for &l in index.doc_lens() {
+            buf.put_u32_le(l);
+        }
+        seal_section(&mut buf, doc_start);
+
+        for info in index.terms() {
+            let list = index.encoded_list(index.term_id(&info.term).unwrap());
+            let record_start = buf.len();
+            buf.put_u32_le(info.term.len() as u32);
+            buf.put_slice(info.term.as_bytes());
+            buf.put_u64_le(list.num_postings());
+            buf.put_u64_le(list.num_blocks() as u64);
+            for meta in list.metas() {
+                buf.put_u64_le(meta.pack());
+            }
+            for &skip in list.skips() {
+                buf.put_u32_le(skip);
+            }
+            buf.put_u64_le(list.payload().len() as u64);
+            buf.put_slice(list.payload());
+            seal_section(&mut buf, record_start);
+        }
+
+        let footer = crc32(&buf);
+        buf.put_u32_le(footer);
+        buf
+    }
+
     #[test]
     fn roundtrip_preserves_index() {
         let idx = sample_index();
@@ -460,6 +599,49 @@ mod tests {
     }
 
     #[test]
+    fn reads_legacy_v2_files() {
+        // Bounds are derived data: a v2 file (no bounds section) loads
+        // into an index equal to the v3 roundtrip, bounds included.
+        let idx = sample_index();
+        let bytes = serialize_v2(&idx);
+        let back = deserialize(&bytes).unwrap();
+        assert_eq!(idx, back);
+        assert_eq!(back.bounds().len(), back.num_terms());
+    }
+
+    #[test]
+    fn rejects_v2_truncation_everywhere() {
+        let bytes = serialize_v2(&sample_index());
+        for cut in 0..bytes.len() {
+            let r = deserialize(&bytes[..cut]);
+            assert!(r.is_err(), "v2 prefix of {cut} bytes must be rejected");
+        }
+    }
+
+    #[test]
+    fn stored_bounds_cross_check_catches_consistent_tampering() {
+        // Tamper with a stored block bound, then recompute the section CRC
+        // and footer so every checksum passes. The recomputation oracle
+        // must still reject the file — CRCs can't catch a file that was
+        // *written* wrong.
+        let idx = sample_index();
+        let mut bytes = serialize(&idx).unwrap().to_vec();
+        let n = bytes.len();
+        let bounds_len: usize = idx.bounds().iter().map(|b| 8 + b.num_blocks() * 8).sum();
+        let content_start = n - 8 - bounds_len;
+        // First term's first block ub, low byte (right after its num_blocks).
+        bytes[content_start + 8] ^= 0x01;
+        let crc = crc32(&bytes[content_start..n - 8]);
+        bytes[n - 8..n - 4].copy_from_slice(&crc.to_le_bytes());
+        let footer = crc32(&bytes[..n - 4]);
+        bytes[n - 4..].copy_from_slice(&footer.to_le_bytes());
+        assert!(matches!(
+            deserialize(&bytes),
+            Err(IndexError::CorruptIndex { context: "score bounds mismatch" })
+        ));
+    }
+
+    #[test]
     fn rejects_bad_magic() {
         let mut bytes = serialize(&sample_index()).unwrap().to_vec();
         bytes[0] ^= 0xff;
@@ -472,10 +654,10 @@ mod tests {
     #[test]
     fn rejects_unknown_future_version() {
         let mut bytes = serialize(&sample_index()).unwrap().to_vec();
-        bytes[0] = 0x03; // "IIUX" + 0x0003
+        bytes[0] = 0x04; // "IIUX" + 0x0004
         assert!(matches!(
             deserialize(&bytes),
-            Err(IndexError::UnsupportedFormat { found }) if found & 0xffff == 3
+            Err(IndexError::UnsupportedFormat { found }) if found & 0xffff == 4
         ));
     }
 
@@ -546,10 +728,10 @@ mod tests {
             }
             other => panic!("expected header checksum failure, got {other:?}"),
         }
-        // Flip the last payload byte before the footer: a term record.
+        // Flip a byte of the first term record (its name byte at offset
+        // 8 magic + 37 header + 4 crc + 16 doc table + 4 crc + 4 name_len).
         let mut corrupt = bytes.clone();
-        let n = corrupt.len();
-        corrupt[n - 9] ^= 0x80;
+        corrupt[8 + 37 + 4 + 16 + 4 + 4] ^= 0x04;
         match deserialize(&corrupt) {
             Err(
                 IndexError::ChecksumMismatch { section: "term record", .. }
@@ -557,12 +739,23 @@ mod tests {
             ) => {}
             other => panic!("expected term-record failure, got {other:?}"),
         }
+        // Flip the last score-bounds byte before its checksum: the file
+        // ends [bounds content][bounds crc 4][footer 4].
+        let mut corrupt = bytes.clone();
+        let n = corrupt.len();
+        corrupt[n - 9] ^= 0x80;
+        match deserialize(&corrupt) {
+            Err(IndexError::ChecksumMismatch { section, .. }) => {
+                assert_eq!(section, "score bounds");
+            }
+            other => panic!("expected score-bounds checksum failure, got {other:?}"),
+        }
     }
 
-    /// Byte offsets of every section boundary in a v2 file, in order, each
+    /// Byte offsets of every section boundary in a v3 file, in order, each
     /// labeled with the context/section expected when the file is cut
     /// *inside* the following section.
-    fn v2_section_boundaries(index: &InvertedIndex) -> Vec<(usize, &'static str)> {
+    fn v3_section_boundaries(index: &InvertedIndex) -> Vec<(usize, &'static str)> {
         let mut bounds = Vec::new();
         let mut pos = 0usize;
         bounds.push((pos, "magic"));
@@ -583,6 +776,12 @@ mod tests {
             bounds.push((pos, "term record checksum"));
             pos += 4;
         }
+        bounds.push((pos, "score bounds"));
+        for b in index.bounds() {
+            pos += 8 + b.num_blocks() * 8;
+        }
+        bounds.push((pos, "score bounds checksum"));
+        pos += 4;
         bounds.push((pos, "footer"));
         bounds
     }
@@ -591,7 +790,7 @@ mod tests {
     fn truncation_context_names_the_right_section() {
         let idx = sample_index();
         let bytes = serialize(&idx).unwrap().to_vec();
-        let bounds = v2_section_boundaries(&idx);
+        let bounds = v3_section_boundaries(&idx);
         assert_eq!(bounds.last().unwrap().0 + 4, bytes.len(), "boundary math");
         for &(at, expect) in &bounds {
             // Cutting exactly at a boundary fails while *needing* the next

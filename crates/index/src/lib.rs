@@ -32,7 +32,7 @@
 //! ```
 
 // The hardened load/query modules (io, checksum, faultinject, index,
-// block) re-deny unwrap/expect locally; the rest of the crate documents its
+// block, bounds) re-deny unwrap/expect locally; the rest of the crate documents its
 // panics instead. verify.sh runs clippy with -D clippy::unwrap_used
 // -D clippy::expect_used, which these scoped attributes focus on the
 // modules where a panic would take down a serving thread.
@@ -40,6 +40,7 @@
 
 pub mod bitpack;
 pub mod block;
+pub mod bounds;
 pub mod builder;
 pub mod checksum;
 pub mod delta;
@@ -56,6 +57,7 @@ pub mod stats;
 pub mod tokenize;
 
 pub use block::{BlockMeta, EncodedList};
+pub use bounds::ListBounds;
 pub use builder::{BuildOptions, IndexBuilder};
 pub use checksum::{crc32, Crc32};
 pub use error::IndexError;

@@ -156,6 +156,11 @@ pub struct ServeConfig {
     /// Injected faults (tests and `serve-bench`; [`FaultPlan::NONE`] in
     /// normal operation).
     pub fault: FaultPlan,
+    /// Run the CPU-fallback path with block-max pruned top-k (results are
+    /// bit-identical to exhaustive; only the work done changes). Off by
+    /// default to keep fallback behavior byte-compatible with prior
+    /// deployments.
+    pub pruned_cpu_fallback: bool,
 }
 
 impl Default for ServeConfig {
@@ -170,6 +175,7 @@ impl Default for ServeConfig {
             cores_per_query: sim.n_cores,
             sim,
             fault: FaultPlan::NONE,
+            pruned_cpu_fallback: false,
         }
     }
 }

@@ -446,7 +446,8 @@ fn run_fallback(
     shared.stats.cpu_fallbacks.fetch_add(1, Ordering::Relaxed);
     let index = &*shared.index;
     let result = panic::catch_unwind(AssertUnwindSafe(|| {
-        let mut engine = CpuSearchEngine::new(index);
+        let mut engine =
+            CpuSearchEngine::new(index).with_pruning(shared.cfg.pruned_cpu_fallback);
         engine.search(&job.query, job.k)
     }));
     match result {

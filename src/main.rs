@@ -23,7 +23,7 @@
 use std::process::ExitCode;
 
 use iiu_core::{CpuSearchEngine, IiuSearchEngine, Query, SearchEngine, SearchResponse};
-use iiu_index::io::{deserialize, serialize, MAGIC, MAGIC_V1};
+use iiu_index::io::{deserialize, serialize, MAGIC, MAGIC_V1, MAGIC_V2};
 use iiu_index::{
     corrupt, BuildOptions, IndexBuilder, IndexError, InvertedIndex, Partitioner, PositionIndex,
 };
@@ -64,8 +64,15 @@ fn print_usage() {
          \x20 iiu stats   <index-file>\n\
          \x20 iiu inspect <index-file> [--fault-rate R] [--trials N] [--seed S]\n\
          \x20 iiu search  <index-file> \"<query>\" [--k N] [--engine cpu|iiu|both] [--cores N]\n\
+         \x20             [--pruned yes]\n\
          \x20 iiu serve-bench <index-file> [--workers N] [--rate QPS] [--queries N]\n\
          \x20                 [--deadline-ms MS] [--fault-rate R] [--seed S] [--unknown-rate R]\n\
+         \x20                 [--pruned yes]\n\
+         \n\
+         --pruned yes runs the CPU engine with block-max pruned top-k:\n\
+         whole blocks whose score upper bound cannot reach the current\n\
+         top-k threshold are skipped. Results are bit-identical to\n\
+         exhaustive scoring; only the work done changes.\n\
          \n\
          serve-bench submits a Poisson open-loop query stream to the\n\
          resilient serving layer (deadlines, load shedding, retry, CPU\n\
@@ -234,7 +241,8 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
         .get(..8)
         .map(|m| u64::from_le_bytes([m[0], m[1], m[2], m[3], m[4], m[5], m[6], m[7]]));
     let (version, checked) = match magic {
-        Some(MAGIC) => ("v2", true),
+        Some(MAGIC) => ("v3 (block-max score bounds)", true),
+        Some(MAGIC_V2) => ("v2", true),
         Some(MAGIC_V1) => ("v1 (legacy)", false),
         _ => ("unrecognized", false),
     };
@@ -323,7 +331,7 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
         return Err(
             "usage: iiu serve-bench <index-file> [--workers N] [--rate QPS] \
              [--queries N] [--deadline-ms MS] [--fault-rate R] [--seed S] \
-             [--unknown-rate R]"
+             [--unknown-rate R] [--pruned yes]"
                 .into(),
         );
     };
@@ -335,6 +343,7 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
     let seed: u64 = parse_num(flag("seed").unwrap_or("7"), "--seed")?;
     let unknown_rate: f64 = parse_num(flag("unknown-rate").unwrap_or("0"), "--unknown-rate")?;
     let k: usize = parse_num(flag("k").unwrap_or("10"), "--k")?;
+    let pruned = flag("pruned").is_some();
     if !(0.0..=1.0).contains(&fault_rate) || !(0.0..=1.0).contains(&unknown_rate) {
         return Err("--fault-rate and --unknown-rate must be in 0..=1".into());
     }
@@ -357,11 +366,13 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
         workers,
         default_deadline: Duration::from_millis(deadline_ms),
         fault: FaultPlan { stall_rate: fault_rate, seed, ..FaultPlan::NONE },
+        pruned_cpu_fallback: pruned,
         ..ServeConfig::default()
     };
     println!(
         "serve-bench: {queries} queries at {rate} qps, {workers} workers, \
-         deadline {deadline_ms} ms, fault rate {fault_rate}"
+         deadline {deadline_ms} ms, fault rate {fault_rate}{}",
+        if pruned { ", pruned CPU fallback" } else { "" }
     );
 
     let mut svc = QueryService::start(Arc::clone(&index), cfg);
@@ -435,12 +446,15 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
     let flag = |n: &str| parsed.flag(n);
     let [path, query_text] = parsed.positional[..] else {
         return Err(
-            "usage: iiu search <index-file> \"<query>\" [--k N] [--engine cpu|iiu|both]".into(),
+            "usage: iiu search <index-file> \"<query>\" [--k N] [--engine cpu|iiu|both] \
+             [--pruned yes]"
+                .into(),
         );
     };
     let k: usize = parse_num(flag("k").unwrap_or("10"), "--k")?;
     let cores: usize = parse_num(flag("cores").unwrap_or("8"), "--cores")?;
     let engine = flag("engine").unwrap_or("both");
+    let pruned = flag("pruned").is_some();
     let index = load_index(path)?;
     let positions = std::fs::read(format!("{path}.pos"))
         .ok()
@@ -467,12 +481,12 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
     };
 
     let cpu_result = if engine != "iiu" {
-        let mut cpu = CpuSearchEngine::new(&index);
+        let mut cpu = CpuSearchEngine::new(&index).with_pruning(pruned);
         if let Some(p) = &positions {
             cpu = cpu.with_position_index(p);
         }
         let r = cpu.search(&query, k).map_err(|e| e.to_string())?;
-        show("baseline", &r);
+        show(if pruned { "baseline (pruned)" } else { "baseline" }, &r);
         Some(r)
     } else {
         None

@@ -10,7 +10,8 @@
 # whose internals legitimately panic (simulator queue plumbing, the bench
 # harness, the baseline) opt back out with a crate-root
 # `#![allow(clippy::unwrap_used, clippy::expect_used)]`; the hardened
-# crates (iiu-codecs decode paths, iiu-index io/checksum/faultinject, and
+# crates (iiu-codecs decode paths, iiu-index
+# io/checksum/faultinject/bounds, iiu-baseline's pruned execution, and
 # all of iiu-serve) re-deny via `#![cfg_attr(not(test), deny(...))]` so a
 # panicking call cannot sneak back into an untrusted-input or serving
 # path. The second clippy line keeps iiu-serve and iiu-codecs honest even
@@ -28,6 +29,11 @@ done
 cargo build --release --workspace
 cargo test -q --workspace
 
+# Pruned top-k equivalence (DESIGN.md §13): release-mode run of the
+# property suite proving block-max pruned search is bit-identical to
+# exhaustive scoring across query shapes, k values, and engines.
+cargo test --release --test topk_equivalence -q
+
 # Acceptance soak for the resilient serving layer (DESIGN.md §10): 10k
 # queries open-loop at 2x the measured sustainable rate with injected
 # stalls, an all-fail burst, and injected panics. Release mode, ~30s
@@ -38,11 +44,14 @@ cargo test --release --test soak -q
 cargo clippy --workspace -- -D clippy::unwrap_used -D clippy::expect_used
 cargo clippy -p iiu-serve -p iiu-codecs -- -D clippy::unwrap_used -D clippy::expect_used
 
-# Decode perf gate (DESIGN.md §11): re-measures the unpack kernels and
-# end-to-end query throughput, rewrites BENCH_decode.json, and fails if
-# any gated min_ns exceeds the committed baseline by more than the
-# fail_above_ratio in BENCH_decode_thresholds.json. Regenerate baselines
-# (only after an intentional perf change, on a quiet machine) with:
+# Decode perf gate (DESIGN.md §11, §13): re-measures the unpack kernels,
+# end-to-end query throughput, and pruned-vs-exhaustive top-k, rewrites
+# BENCH_decode.json, and fails if any gated min_ns exceeds the committed
+# baseline by more than the fail_above_ratio in
+# BENCH_decode_thresholds.json, if pruning stops skipping blocks, or if
+# the single-term k=10 pruning gain drops below 1.5x. Regenerate
+# baselines (only after an intentional perf change, on a quiet machine)
+# with:
 #   cargo run --release -p iiu-bench --bin decode_bench -- \
 #     --write-thresholds BENCH_decode_thresholds.json
 if [ "$quick" -eq 0 ]; then
