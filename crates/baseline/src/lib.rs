@@ -22,11 +22,13 @@ pub mod cost;
 pub mod engine;
 pub mod ops;
 pub mod pruned;
+pub mod sharded;
 pub mod throughput;
 pub mod topk;
 
 pub use cost::{CpuCostModel, PhaseBreakdown};
 pub use engine::{CpuEngine, QueryOutcome};
 pub use ops::{BlockCache, DecodeScratch, OpCounts, BLOCK_CACHE_ENTRIES};
+pub use sharded::{ShardPool, ShardedEngine, ShardedOutcome};
 pub use throughput::parallel_makespan_ns;
-pub use topk::{rank_cmp, top_k, FusedTopK, Hit};
+pub use topk::{rank_cmp, top_k, FusedTopK, Hit, SharedThreshold};

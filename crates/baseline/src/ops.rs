@@ -53,20 +53,39 @@ pub struct OpCounts {
 }
 
 impl OpCounts {
-    /// Merges another counter set into this one.
+    /// Merges another counter set into this one, field by field.
+    ///
+    /// Per-shard tallies are summed through this exact function, so it
+    /// exhaustively destructures `other`: adding a counter to the struct
+    /// without adding it here is a compile error, not a silently dropped
+    /// tally.
     pub fn merge(&mut self, other: &OpCounts) {
-        self.postings_decoded += other.postings_decoded;
-        self.blocks_decoded += other.blocks_decoded;
-        self.blocks_skipped += other.blocks_skipped;
-        self.postings_skipped += other.postings_skipped;
-        self.binary_probes += other.binary_probes;
-        self.comparisons += other.comparisons;
-        self.docs_scored += other.docs_scored;
-        self.topk_candidates += other.topk_candidates;
-        self.results += other.results;
-        self.phrase_checks += other.phrase_checks;
-        self.cache_hits += other.cache_hits;
-        self.cache_misses += other.cache_misses;
+        let OpCounts {
+            postings_decoded,
+            blocks_decoded,
+            blocks_skipped,
+            postings_skipped,
+            binary_probes,
+            comparisons,
+            docs_scored,
+            topk_candidates,
+            results,
+            phrase_checks,
+            cache_hits,
+            cache_misses,
+        } = *other;
+        self.postings_decoded += postings_decoded;
+        self.blocks_decoded += blocks_decoded;
+        self.blocks_skipped += blocks_skipped;
+        self.postings_skipped += postings_skipped;
+        self.binary_probes += binary_probes;
+        self.comparisons += comparisons;
+        self.docs_scored += docs_scored;
+        self.topk_candidates += topk_candidates;
+        self.results += results;
+        self.phrase_checks += phrase_checks;
+        self.cache_hits += cache_hits;
+        self.cache_misses += cache_misses;
     }
 }
 
@@ -383,6 +402,40 @@ mod tests {
     use iiu_index::{Partitioner, Posting, PostingList};
     use proptest::prelude::*;
     use std::collections::BTreeMap;
+
+    #[test]
+    fn merge_sums_every_field_exactly() {
+        // Give every field a distinct value so a swapped or dropped field
+        // in merge() cannot cancel out.
+        fn distinct(base: u64) -> OpCounts {
+            OpCounts {
+                postings_decoded: base,
+                blocks_decoded: base * 2,
+                blocks_skipped: base * 3,
+                postings_skipped: base * 4,
+                binary_probes: base * 5,
+                comparisons: base * 6,
+                docs_scored: base * 7,
+                topk_candidates: base * 8,
+                results: base * 9,
+                phrase_checks: base * 10,
+                cache_hits: base * 11,
+                cache_misses: base * 12,
+            }
+        }
+        let mut a = distinct(100);
+        let b = distinct(1000);
+        a.merge(&b);
+        assert_eq!(a, distinct(1100), "every field must sum: {a:?}");
+
+        // Merging a default is the identity; merge order is immaterial.
+        let mut c = distinct(7);
+        c.merge(&OpCounts::default());
+        assert_eq!(c, distinct(7));
+        let mut d = OpCounts::default();
+        d.merge(&distinct(7));
+        assert_eq!(d, distinct(7));
+    }
 
     fn encode(ids: &[(u32, u32)], max_size: usize) -> EncodedList {
         let list = PostingList::from_sorted(

@@ -35,7 +35,54 @@ use iiu_index::score::term_score_fixed;
 use iiu_index::{DocId, Fixed, InvertedIndex, ListBounds, Posting, TermId};
 
 use crate::ops::{DecodeScratch, OpCounts};
-use crate::topk::{FusedTopK, Hit};
+use crate::topk::{FusedTopK, Hit, SharedThreshold};
+
+/// A [`FusedTopK`] wired into an optional cross-shard
+/// [`SharedThreshold`]: every local threshold increase is published, and
+/// [`threshold`](Self::threshold) reads the max of the local threshold
+/// and the strict foreign one. With `shared == None` this is exactly the
+/// bare heap — the single-shard paths are bit- and work-identical to
+/// before the gate existed.
+struct GatedHeap<'a> {
+    heap: FusedTopK,
+    shared: Option<&'a SharedThreshold>,
+}
+
+impl<'a> GatedHeap<'a> {
+    fn new(k: usize, shared: Option<&'a SharedThreshold>) -> Self {
+        let g = GatedHeap { heap: FusedTopK::new(k), shared };
+        g.publish(); // k == 0 prices out everything immediately
+        g
+    }
+
+    fn publish(&self) {
+        if let (Some(sh), Some(t)) = (self.shared, self.heap.threshold()) {
+            sh.publish(t);
+        }
+    }
+
+    fn push(&mut self, doc_id: DocId, score: Fixed) {
+        self.heap.push(doc_id, score);
+        self.publish();
+    }
+
+    /// The effective pruning threshold for the non-strict skip rule
+    /// (`bound <= threshold`): the local heap threshold, raised to the
+    /// strict reading of the shared one when a foreign shard has priced
+    /// out more.
+    fn threshold(&self) -> Option<Fixed> {
+        let local = self.heap.threshold();
+        let foreign = self.shared.and_then(SharedThreshold::strict);
+        match (local, foreign) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn into_hits(self) -> Vec<Hit> {
+        self.heap.into_hits()
+    }
+}
 
 /// Binary search over a skip list for the block that could contain
 /// `doc_id` (`None` if the docID precedes the first block). Probes are
@@ -81,10 +128,27 @@ pub fn search_single_pruned(
     counts: &mut OpCounts,
     scratch: &mut DecodeScratch,
 ) -> Vec<Hit> {
+    search_single_pruned_shared(index, id, k, counts, scratch, None)
+}
+
+/// [`search_single_pruned`] with an optional cross-shard threshold: the
+/// heap publishes its threshold as it grows and skips additionally under
+/// the strict foreign threshold. The returned hits always contain every
+/// member of the *global* top-k that lives in this index (shard), so a
+/// [`crate::topk::rank_cmp`] merge across shards is bit-identical to the
+/// unsharded engine.
+pub fn search_single_pruned_shared(
+    index: &InvertedIndex,
+    id: TermId,
+    k: usize,
+    counts: &mut OpCounts,
+    scratch: &mut DecodeScratch,
+    shared: Option<&SharedThreshold>,
+) -> Vec<Hit> {
     let list = index.encoded_list(id);
     let bounds = index.list_bounds(id);
     let idf = index.term_info(id).idf_bar;
-    let mut heap = FusedTopK::new(k);
+    let mut heap = GatedHeap::new(k, shared);
     let buf = &mut scratch.full_a;
     for b in 0..list.num_blocks() {
         if let Some(t) = heap.threshold() {
@@ -110,6 +174,87 @@ pub fn search_single_pruned(
     hits
 }
 
+/// Serial budget for [`prime_single_threshold`]: stop refining once this
+/// many postings have been scored even if later blocks could still move
+/// the kth-best score. Bounds coordinator time on lists whose block upper
+/// bounds are flat.
+const PRIME_MAX_POSTINGS: usize = 256;
+
+/// Primes a cross-shard threshold before fan-out: scores the postings of
+/// the highest-bound blocks — walking blocks in descending score upper
+/// bound until the `k`-th best score seen matches or beats every
+/// remaining block's upper bound (or a serial budget runs out) — and
+/// publishes that `k`-th best score.
+///
+/// Without priming every shard starts with a cold heap and re-pays the
+/// threshold ramp-up the unsharded scan pays once, which is exactly the
+/// serial fraction that kills single-term scaling. The dynamic
+/// partitioner isolates score outliers into short blocks, so this walk
+/// typically decodes a handful of tiny blocks holding the list's hottest
+/// postings — a near-global threshold for a few hundred nanoseconds of
+/// serial work. The published value is the score of a real document that
+/// `k - 1` others match or beat — the same invariant a shard's own heap
+/// publishes — so foreign shards reading it strictly still return every
+/// global top-k member and the merged output stays bit-identical.
+///
+/// All work is tallied into `counts`; the caller prices it onto the
+/// serial (pre-dispatch) part of the critical path. Does nothing when `k`
+/// is 0 or the whole list holds fewer than `k` postings.
+pub fn prime_single_threshold(
+    index: &InvertedIndex,
+    id: TermId,
+    k: usize,
+    counts: &mut OpCounts,
+    scratch: &mut DecodeScratch,
+    shared: &SharedThreshold,
+) {
+    if k == 0 {
+        return;
+    }
+    let list = index.encoded_list(id);
+    if (list.num_postings() as usize) < k {
+        return;
+    }
+    let bounds = index.list_bounds(id);
+    let mut order: Vec<usize> = (0..list.num_blocks()).collect();
+    order.sort_unstable_by(|&a, &b| {
+        counts.comparisons += 1;
+        bounds.block_ub(b).cmp(&bounds.block_ub(a))
+    });
+    let idf = index.term_info(id).idf_bar;
+    let buf = &mut scratch.full_a;
+    let mut scores: Vec<Fixed> = Vec::with_capacity(k * 2);
+    let mut scored = 0usize;
+    for &b in &order {
+        if scores.len() >= k {
+            // Once k real scores are in hand, keep walking only while the
+            // next block's upper bound can still displace the kth best;
+            // when it can't, `scores[k-1]` is this shard's exact kth score
+            // — the tightest threshold the shard can contribute. The cap
+            // bounds the serial spend when upper bounds are flat.
+            counts.comparisons += 1;
+            if bounds.block_ub(b) <= scores[k - 1] || scored >= PRIME_MAX_POSTINGS {
+                break;
+            }
+        }
+        buf.clear();
+        list.decode_block_into(b, buf);
+        counts.blocks_decoded += 1;
+        counts.postings_decoded += buf.len() as u64;
+        for p in buf.iter() {
+            counts.docs_scored += 1;
+            counts.topk_candidates += 1;
+            scores.push(term_score_fixed(idf, index.dl_bar(p.doc_id), p.tf));
+        }
+        scored += buf.len();
+        scores.sort_unstable_by(|x, y| y.cmp(x));
+        scores.truncate(k);
+    }
+    if let Some(&kth) = scores.get(k - 1) {
+        shared.publish(kth);
+    }
+}
+
 /// SvS intersection with score-aware skipping on top of the candidate-block
 /// skipping the exhaustive SvS already does: whole short-list blocks, then
 /// individual candidates, then long-list probe decodes are dropped whenever
@@ -122,6 +267,21 @@ pub fn search_intersection_pruned(
     counts: &mut OpCounts,
     scratch: &mut DecodeScratch,
 ) -> Vec<Hit> {
+    search_intersection_pruned_shared(index, short_id, long_id, k, counts, scratch, None)
+}
+
+/// [`search_intersection_pruned`] with an optional cross-shard threshold
+/// (see [`search_single_pruned_shared`]).
+#[allow(clippy::too_many_arguments)]
+pub fn search_intersection_pruned_shared(
+    index: &InvertedIndex,
+    short_id: TermId,
+    long_id: TermId,
+    k: usize,
+    counts: &mut OpCounts,
+    scratch: &mut DecodeScratch,
+    shared: Option<&SharedThreshold>,
+) -> Vec<Hit> {
     let short = index.encoded_list(short_id);
     let long = index.encoded_list(long_id);
     let short_bounds = index.list_bounds(short_id);
@@ -131,7 +291,7 @@ pub fn search_intersection_pruned(
     let max_long = long_bounds.max_ub();
     let skips = long.skips();
 
-    let mut heap = FusedTopK::new(k);
+    let mut heap = GatedHeap::new(k, shared);
     let DecodeScratch { full_a, cache, .. } = scratch;
     let mut decoded = vec![false; long.num_blocks()];
     let mut last_block: Option<usize> = None;
@@ -269,6 +429,21 @@ pub fn search_union_pruned(
     counts: &mut OpCounts,
     scratch: &mut DecodeScratch,
 ) -> Vec<Hit> {
+    search_union_pruned_shared(index, ia, ib, k, counts, scratch, None)
+}
+
+/// [`search_union_pruned`] with an optional cross-shard threshold
+/// (see [`search_single_pruned_shared`]).
+#[allow(clippy::too_many_arguments)]
+pub fn search_union_pruned_shared(
+    index: &InvertedIndex,
+    ia: TermId,
+    ib: TermId,
+    k: usize,
+    counts: &mut OpCounts,
+    scratch: &mut DecodeScratch,
+    shared: Option<&SharedThreshold>,
+) -> Vec<Hit> {
     let la = index.encoded_list(ia);
     let lb = index.encoded_list(ib);
     let ba = index.list_bounds(ia);
@@ -279,7 +454,7 @@ pub fn search_union_pruned(
     let max_b = bb.max_ub();
     let both_max = max_a.saturating_add(max_b);
 
-    let mut heap = FusedTopK::new(k);
+    let mut heap = GatedHeap::new(k, shared);
     let DecodeScratch { full_a, full_b, cache } = scratch;
     full_a.clear();
     full_b.clear();
@@ -438,7 +613,7 @@ pub fn search_union_pruned(
 fn drain_single(
     index: &InvertedIndex,
     c: &mut Cursor<'_, '_>,
-    heap: &mut FusedTopK,
+    heap: &mut GatedHeap<'_>,
     counts: &mut OpCounts,
 ) {
     loop {

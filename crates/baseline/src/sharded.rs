@@ -1,0 +1,717 @@
+//! Document-sharded intra-query parallelism: a persistent per-shard
+//! worker pool and an engine that fans one query out across shards,
+//! merges with [`rank_cmp`], and stays bit-identical to the unsharded
+//! engine.
+//!
+//! # Execution substrate
+//!
+//! [`ShardPool`] owns one worker thread per shard. Each worker holds its
+//! shard's [`iiu_index::InvertedIndex`] (via the shared
+//! [`ShardedIndex`]) and a private [`DecodeScratch`], so queries reuse
+//! warm decode buffers and the probe cache without any cross-thread
+//! sharing. Jobs are boxed closures; each runs under `catch_unwind`, so
+//! a panicking query marks its shard's slot failed instead of killing
+//! the worker or hanging the caller.
+//!
+//! # Why sharded results are bit-identical
+//!
+//! Shards are built with global scoring statistics
+//! ([`iiu_index::shard`]), so any document's Q16.16 score is the same in
+//! its shard as in the whole index. Each shard computes a *local* top-k
+//! under [`rank_cmp`] on (score, local docID); the round-robin docID map
+//! is monotone per shard, so local rank order equals global rank order
+//! restricted to the shard. If a document is in the global top-k, fewer
+//! than k documents rank ahead of it globally — so fewer than k rank
+//! ahead of it in its own shard, and it survives the shard-local top-k.
+//! Concatenating the per-shard results, mapping docIDs back to global,
+//! sorting with the shared [`rank_cmp`], and truncating to k therefore
+//! yields exactly the unsharded result, ties included.
+//!
+//! Pruned execution additionally exchanges a [`SharedThreshold`]: shards
+//! publish their local heap thresholds monotonically and skip blocks
+//! under the *strict* foreign threshold (see
+//! [`crate::topk::SharedThreshold`]), which prices out only documents
+//! provably below the global k-th score — never a boundary tie — so the
+//! per-shard result still contains every global top-k member from that
+//! shard.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+use iiu_index::score::term_score_fixed;
+use iiu_index::shard::ShardedIndex;
+use iiu_index::{IndexError, InvertedIndex, TermId};
+
+use crate::cost::{CpuCostModel, PhaseBreakdown};
+use crate::ops::{self, DecodeScratch, OpCounts};
+use crate::pruned;
+use crate::topk::{rank_cmp, top_k, Hit, SharedThreshold};
+
+/// Locks a mutex, recovering the guard if a previous holder panicked
+/// (shard state stays usable; the panicked query already reported
+/// failure through its result slot).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+type Job = Box<dyn FnOnce(&InvertedIndex, &mut DecodeScratch) + Send>;
+
+/// A persistent pool with one worker per shard, each owning its shard
+/// reference and decode scratch. The execution substrate sharded engines
+/// (and higher layers running general query trees) submit onto.
+#[derive(Debug)]
+pub struct ShardPool {
+    index: Arc<ShardedIndex>,
+    senders: Vec<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ShardPool {
+    /// Spawns one worker per shard of `index`.
+    pub fn new(index: Arc<ShardedIndex>) -> Self {
+        let n = index.num_shards();
+        let mut senders = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for s in 0..n {
+            let (tx, rx) = mpsc::channel::<Job>();
+            let index = Arc::clone(&index);
+            let builder = std::thread::Builder::new().name(format!("iiu-shard-{s}"));
+            let handle = builder.spawn(move || {
+                let mut scratch = DecodeScratch::new();
+                while let Ok(job) = rx.recv() {
+                    // The submit path wraps the caller's closure in its
+                    // own catch_unwind so the result slot is always
+                    // signalled; this outer guard keeps the worker alive
+                    // even if that wrapper itself panics.
+                    let _ = catch_unwind(AssertUnwindSafe(|| {
+                        job(index.shard(s), &mut scratch);
+                    }));
+                }
+            });
+            match handle {
+                Ok(h) => {
+                    senders.push(tx);
+                    handles.push(h);
+                }
+                Err(_) => {
+                    // Spawn failure: drop the sender; run() treats the
+                    // missing worker as a failed shard.
+                    drop(tx);
+                }
+            }
+        }
+        ShardPool { index, senders, handles }
+    }
+
+    /// The sharded index the pool serves.
+    pub fn index(&self) -> &Arc<ShardedIndex> {
+        &self.index
+    }
+
+    /// Number of shards (== workers).
+    pub fn num_shards(&self) -> usize {
+        self.index.num_shards()
+    }
+
+    /// Runs `f` once on every shard worker (in parallel) and collects the
+    /// per-shard results in shard order. A slot is `None` if that shard's
+    /// execution panicked or its worker is gone — the other shards still
+    /// complete and the pool remains usable.
+    pub fn run<T, F>(&self, f: F) -> Vec<Option<T>>
+    where
+        F: Fn(usize, &InvertedIndex, &mut DecodeScratch) -> T + Send + Sync + 'static,
+        T: Send + 'static,
+    {
+        struct Slot<T> {
+            state: Mutex<(Vec<Option<T>>, usize)>,
+            done: Condvar,
+        }
+        let n = self.num_shards();
+        let f = Arc::new(f);
+        let slot = Arc::new(Slot {
+            state: Mutex::new(((0..n).map(|_| None).collect::<Vec<Option<T>>>(), 0usize)),
+            done: Condvar::new(),
+        });
+        let mut expected = 0usize;
+        for (s, tx) in self.senders.iter().enumerate() {
+            let f = Arc::clone(&f);
+            let slot = Arc::clone(&slot);
+            let job: Job = Box::new(move |shard, scratch| {
+                let out = catch_unwind(AssertUnwindSafe(|| f(s, shard, scratch))).ok();
+                let mut g = lock(&slot.state);
+                g.0[s] = out;
+                g.1 += 1;
+                slot.done.notify_all();
+            });
+            if tx.send(job).is_ok() {
+                expected += 1;
+            }
+        }
+        let mut g = lock(&slot.state);
+        while g.1 < expected {
+            g = slot.done.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+        std::mem::take(&mut g.0)
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        // Closing the channels ends every worker loop; then join so no
+        // worker outlives the pool (and its Arc of the index).
+        self.senders.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The result of one sharded query: merged hits plus exact per-shard and
+/// summed operation counts, priced as a parallel execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedOutcome {
+    /// Global top-k hits, bit-identical to the unsharded engine.
+    pub hits: Vec<Hit>,
+    /// Candidate documents offered to top-k selection, summed over shards.
+    pub candidates: u64,
+    /// Operation counts summed exactly over all shards plus the
+    /// coordinator's threshold primer (via [`OpCounts::merge`]).
+    pub counts: OpCounts,
+    /// Per-shard operation counts, in shard order.
+    pub shard_counts: Vec<OpCounts>,
+    /// Coordinator-side work done *before* dispatch (the single-term
+    /// threshold primer, [`pruned::prime_single_threshold`]); zero for
+    /// exhaustive and multi-term queries. `counts` is the sum of
+    /// `shard_counts` and this.
+    pub primer: OpCounts,
+    /// Modeled parallel timing: the critical-path (slowest) shard's phase
+    /// breakdown plus the cross-shard merge priced into the top-k phase.
+    pub phases: PhaseBreakdown,
+}
+
+impl ShardedOutcome {
+    /// Modeled end-to-end latency in nanoseconds (critical path + merge).
+    pub fn latency_ns(&self) -> f64 {
+        self.phases.total_ns()
+    }
+}
+
+/// A query engine executing every query across the shards of a
+/// [`ShardedIndex`] in parallel. The sharded mirror of
+/// [`crate::engine::CpuEngine`]: same query shapes, same error contract,
+/// bit-identical hits.
+///
+/// Methods take `&self` — per-query mutable state lives in the pool
+/// workers (scratch) or per-query structures (heaps, shared threshold).
+#[derive(Debug)]
+pub struct ShardedEngine {
+    pool: ShardPool,
+    cost: CpuCostModel,
+    pruned: bool,
+    /// Cumulative docs scored per shard, for operator load-balance views.
+    loads: Vec<std::sync::atomic::AtomicU64>,
+}
+
+impl ShardedEngine {
+    /// Creates an engine (and its worker pool) over a sharded index, with
+    /// the default cost model, in exhaustive mode.
+    pub fn new(index: Arc<ShardedIndex>) -> Self {
+        let pool = ShardPool::new(index);
+        let loads = (0..pool.num_shards())
+            .map(|_| std::sync::atomic::AtomicU64::new(0))
+            .collect();
+        ShardedEngine { pool, cost: CpuCostModel::default(), pruned: false, loads }
+    }
+
+    /// Enables or disables block-max pruned execution (builder style).
+    #[must_use]
+    pub fn with_pruning(mut self, pruned: bool) -> Self {
+        self.pruned = pruned;
+        self
+    }
+
+    /// Replaces the cost model (builder style).
+    #[must_use]
+    pub fn with_cost_model(mut self, cost: CpuCostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// True when the engine skips blocks via score bounds.
+    pub fn pruning(&self) -> bool {
+        self.pruned
+    }
+
+    /// The cost model pricing per-shard work.
+    pub fn cost_model(&self) -> &CpuCostModel {
+        &self.cost
+    }
+
+    /// Cumulative documents scored per shard since the engine started —
+    /// an operator's load-balance view across the shard workers.
+    pub fn shard_loads(&self) -> Vec<u64> {
+        self.loads
+            .iter()
+            .map(|l| l.load(std::sync::atomic::Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The underlying sharded index.
+    pub fn index(&self) -> &Arc<ShardedIndex> {
+        self.pool.index()
+    }
+
+    /// The worker pool (for layers running general query trees).
+    pub fn pool(&self) -> &ShardPool {
+        &self.pool
+    }
+
+    /// Number of shards queries fan out across.
+    pub fn num_shards(&self) -> usize {
+        self.pool.num_shards()
+    }
+
+    fn resolve(&self, term: &str) -> Result<TermId, IndexError> {
+        // Dictionaries are uniform across shards; shard 0 speaks for all.
+        self.pool
+            .index()
+            .shard(0)
+            .term_id(term)
+            .ok_or_else(|| IndexError::UnknownTerm { term: term.to_owned() })
+    }
+
+    /// Sums a term's document frequency across shards (the global df).
+    fn global_df(&self, id: TermId) -> u64 {
+        self.pool.index().shards().iter().map(|s| s.term_info(id).df).sum()
+    }
+
+    /// Merges per-shard `(hits, counts)` results into a [`ShardedOutcome`],
+    /// mapping shard-local docIDs back to global ones.
+    fn merge_outcome(
+        &self,
+        results: Vec<Option<(Vec<Hit>, OpCounts)>>,
+        k: usize,
+        primer: OpCounts,
+    ) -> Result<ShardedOutcome, IndexError> {
+        let n = self.num_shards() as u32;
+        let mut all_hits = Vec::new();
+        let mut counts = OpCounts::default();
+        let mut shard_counts = Vec::with_capacity(results.len());
+        let mut crit = PhaseBreakdown::default();
+        for (s, r) in results.into_iter().enumerate() {
+            let Some((hits, shard)) = r else {
+                return Err(IndexError::CorruptIndex { context: "shard execution failed" });
+            };
+            all_hits.extend(hits.into_iter().map(|h| Hit {
+                doc_id: h.doc_id * n + s as u32,
+                score: h.score,
+            }));
+            counts.merge(&shard);
+            if let Some(load) = self.loads.get(s) {
+                load.fetch_add(shard.docs_scored, std::sync::atomic::Ordering::Relaxed);
+            }
+            let phases = self.cost.price(&shard);
+            if phases.total_ns() > crit.total_ns() {
+                crit = phases;
+            }
+            shard_counts.push(shard);
+        }
+        // The host-side cross-shard merge is a top-k pass over at most
+        // n·k candidates; price it into the top-k phase.
+        crit.topk_ns += self.cost.price_topk(all_hits.len() as u64);
+        // The primer runs serially before dispatch, so its phases land on
+        // the critical path in full. `price` bakes the fixed per-query
+        // overhead into `other_ns`; the primer belongs to the same query,
+        // so strip that term rather than charging it twice.
+        if primer != OpCounts::default() {
+            let p = self.cost.price(&primer);
+            crit.decompress_ns += p.decompress_ns;
+            crit.setop_ns += p.setop_ns;
+            crit.score_ns += p.score_ns;
+            crit.topk_ns += p.topk_ns;
+            crit.other_ns += p.other_ns - self.cost.query_overhead_ns;
+            counts.merge(&primer);
+        }
+        all_hits.sort_by(rank_cmp);
+        all_hits.truncate(k);
+        Ok(ShardedOutcome {
+            hits: all_hits,
+            candidates: counts.topk_candidates,
+            counts,
+            shard_counts,
+            primer,
+            phases: crit,
+        })
+    }
+
+    /// Single-term query fanned across shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::UnknownTerm`] if `term` is not indexed and
+    /// [`IndexError::CorruptIndex`] if a shard execution failed.
+    pub fn search_single(&self, term: &str, k: usize) -> Result<ShardedOutcome, IndexError> {
+        let id = self.resolve(term)?;
+        let pruned_mode = self.pruned;
+        let shared = Arc::new(SharedThreshold::new());
+        // Prime the shared threshold from the shard holding the
+        // highest-bound block, so no shard pays the cold-heap ramp-up
+        // (the serial fraction that would otherwise cap scaling).
+        let mut primer = OpCounts::default();
+        if pruned_mode && self.num_shards() > 1 {
+            let shards = self.pool.index().shards();
+            if let Some(best) = shards.iter().max_by_key(|sh| sh.list_bounds(id).max_ub()) {
+                let mut scratch = DecodeScratch::default();
+                pruned::prime_single_threshold(best, id, k, &mut primer, &mut scratch, &shared);
+            }
+        }
+        let results = self.pool.run(move |_, shard, scratch| {
+            let mut counts = OpCounts::default();
+            let hits = if pruned_mode {
+                pruned::search_single_pruned_shared(
+                    shard,
+                    id,
+                    k,
+                    &mut counts,
+                    scratch,
+                    Some(&shared),
+                )
+            } else {
+                exhaustive_single(shard, id, k, &mut counts, scratch)
+            };
+            (hits, counts)
+        });
+        self.merge_outcome(results, k, primer)
+    }
+
+    /// Intersection query fanned across shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::UnknownTerm`] if either term is not indexed
+    /// and [`IndexError::CorruptIndex`] if a shard execution failed.
+    pub fn search_intersection(
+        &self,
+        term_a: &str,
+        term_b: &str,
+        k: usize,
+    ) -> Result<ShardedOutcome, IndexError> {
+        let ia = self.resolve(term_a)?;
+        let ib = self.resolve(term_b)?;
+        // Global SvS order by global df; a shard whose local lists invert
+        // the order swaps locally (hits are symmetric, only work differs).
+        let (ga, gb) = if self.global_df(ia) <= self.global_df(ib) { (ia, ib) } else { (ib, ia) };
+        let pruned_mode = self.pruned;
+        let shared = Arc::new(SharedThreshold::new());
+        let results = self.pool.run(move |_, shard, scratch| {
+            let (short_id, long_id) =
+                if shard.term_info(ga).df <= shard.term_info(gb).df { (ga, gb) } else { (gb, ga) };
+            let mut counts = OpCounts::default();
+            let hits = if pruned_mode {
+                pruned::search_intersection_pruned_shared(
+                    shard,
+                    short_id,
+                    long_id,
+                    k,
+                    &mut counts,
+                    scratch,
+                    Some(&shared),
+                )
+            } else {
+                exhaustive_intersection(shard, short_id, long_id, k, &mut counts, scratch)
+            };
+            (hits, counts)
+        });
+        self.merge_outcome(results, k, OpCounts::default())
+    }
+
+    /// Union query fanned across shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::UnknownTerm`] if either term is not indexed
+    /// and [`IndexError::CorruptIndex`] if a shard execution failed.
+    pub fn search_union(
+        &self,
+        term_a: &str,
+        term_b: &str,
+        k: usize,
+    ) -> Result<ShardedOutcome, IndexError> {
+        let ia = self.resolve(term_a)?;
+        let ib = self.resolve(term_b)?;
+        let pruned_mode = self.pruned;
+        let shared = Arc::new(SharedThreshold::new());
+        let results = self.pool.run(move |_, shard, scratch| {
+            let mut counts = OpCounts::default();
+            let hits = if pruned_mode {
+                pruned::search_union_pruned_shared(
+                    shard,
+                    ia,
+                    ib,
+                    k,
+                    &mut counts,
+                    scratch,
+                    Some(&shared),
+                )
+            } else {
+                exhaustive_union(shard, ia, ib, k, &mut counts, scratch)
+            };
+            (hits, counts)
+        });
+        self.merge_outcome(results, k, OpCounts::default())
+    }
+}
+
+/// Per-shard exhaustive single-term execution, count-compatible with
+/// [`crate::engine::CpuEngine::search_single`].
+fn exhaustive_single(
+    index: &InvertedIndex,
+    id: TermId,
+    k: usize,
+    counts: &mut OpCounts,
+    scratch: &mut DecodeScratch,
+) -> Vec<Hit> {
+    let list = index.encoded_list(id);
+    let idf_bar = index.term_info(id).idf_bar;
+    ops::decode_full_into(list, counts, &mut scratch.full_a);
+    let hits: Vec<Hit> = scratch
+        .full_a
+        .iter()
+        .map(|p| Hit {
+            doc_id: p.doc_id,
+            score: term_score_fixed(idf_bar, index.dl_bar(p.doc_id), p.tf).to_f64(),
+        })
+        .collect();
+    counts.docs_scored = hits.len() as u64;
+    counts.topk_candidates = hits.len() as u64;
+    counts.results = hits.len() as u64;
+    top_k(hits, k)
+}
+
+/// Per-shard exhaustive SvS intersection, count-compatible with
+/// [`crate::engine::CpuEngine::search_intersection`].
+fn exhaustive_intersection(
+    index: &InvertedIndex,
+    short_id: TermId,
+    long_id: TermId,
+    k: usize,
+    counts: &mut OpCounts,
+    scratch: &mut DecodeScratch,
+) -> Vec<Hit> {
+    let short = index.encoded_list(short_id);
+    let long = index.encoded_list(long_id);
+    let idf_short = index.term_info(short_id).idf_bar;
+    let idf_long = index.term_info(long_id).idf_bar;
+    let matches = ops::intersect_svs(short, long, long_id, counts, scratch);
+    let hits: Vec<Hit> = matches
+        .iter()
+        .map(|&(doc_id, tf_s, tf_l)| {
+            let dl = index.dl_bar(doc_id);
+            let s = term_score_fixed(idf_short, dl, tf_s)
+                .saturating_add(term_score_fixed(idf_long, dl, tf_l));
+            Hit { doc_id, score: s.to_f64() }
+        })
+        .collect();
+    counts.docs_scored = 2 * hits.len() as u64;
+    counts.topk_candidates = hits.len() as u64;
+    top_k(hits, k)
+}
+
+/// Per-shard exhaustive union merge, count-compatible with
+/// [`crate::engine::CpuEngine::search_union`].
+fn exhaustive_union(
+    index: &InvertedIndex,
+    ia: TermId,
+    ib: TermId,
+    k: usize,
+    counts: &mut OpCounts,
+    scratch: &mut DecodeScratch,
+) -> Vec<Hit> {
+    let la = index.encoded_list(ia);
+    let lb = index.encoded_list(ib);
+    let idf_a = index.term_info(ia).idf_bar;
+    let idf_b = index.term_info(ib).idf_bar;
+    let merged = ops::union_merge(la, lb, counts, scratch);
+    let mut scored = 0u64;
+    let hits: Vec<Hit> = merged
+        .iter()
+        .map(|&(doc_id, tf_a, tf_b)| {
+            let dl = index.dl_bar(doc_id);
+            let mut s = iiu_index::Fixed::ZERO;
+            if tf_a > 0 {
+                s = s.saturating_add(term_score_fixed(idf_a, dl, tf_a));
+                scored += 1;
+            }
+            if tf_b > 0 {
+                s = s.saturating_add(term_score_fixed(idf_b, dl, tf_b));
+                scored += 1;
+            }
+            Hit { doc_id, score: s.to_f64() }
+        })
+        .collect();
+    counts.docs_scored = scored;
+    counts.topk_candidates = hits.len() as u64;
+    top_k(hits, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::CpuEngine;
+    use iiu_index::{BuildOptions, IndexBuilder, Partitioner};
+
+    fn sample_index() -> InvertedIndex {
+        let mut b = IndexBuilder::new(BuildOptions {
+            partitioner: Partitioner::fixed(4),
+            ..Default::default()
+        });
+        b.add_document(&"hot ".repeat(40));
+        b.add_document(&"cold ".repeat(40));
+        b.add_document(&"hot cold ".repeat(25));
+        for i in 0..120 {
+            b.add_document(&format!("hot cold filler{}", i % 7));
+        }
+        b.build()
+    }
+
+    fn sharded(n: usize, pruned: bool) -> ShardedEngine {
+        let idx = sample_index();
+        let s = Arc::new(ShardedIndex::split(&idx, n).unwrap());
+        ShardedEngine::new(s).with_pruning(pruned)
+    }
+
+    #[test]
+    fn sharded_matches_unsharded_on_all_shapes() {
+        let idx = sample_index();
+        for n in [1usize, 2, 3, 4, 7] {
+            for pruned in [false, true] {
+                let eng = sharded(n, pruned);
+                let mut cpu = CpuEngine::new(&idx).with_pruning(pruned);
+                for k in [0usize, 1, 5, 10, 1000] {
+                    let a = cpu.search_single("hot", k).unwrap();
+                    let b = eng.search_single("hot", k).unwrap();
+                    assert_eq!(a.hits, b.hits, "single n={n} pruned={pruned} k={k}");
+                    let a = cpu.search_intersection("hot", "cold", k).unwrap();
+                    let b = eng.search_intersection("hot", "cold", k).unwrap();
+                    assert_eq!(a.hits, b.hits, "and n={n} pruned={pruned} k={k}");
+                    let a = cpu.search_union("hot", "cold", k).unwrap();
+                    let b = eng.search_union("hot", "cold", k).unwrap();
+                    assert_eq!(a.hits, b.hits, "or n={n} pruned={pruned} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_counts_sum_exactly_into_merged_counts() {
+        let eng = sharded(3, true);
+        let out = eng.search_single("hot", 10).unwrap();
+        assert_eq!(out.shard_counts.len(), 3);
+        let mut sum = OpCounts::default();
+        for c in &out.shard_counts {
+            sum.merge(c);
+        }
+        sum.merge(&out.primer);
+        assert_eq!(sum, out.counts, "shard tallies + primer must sum exactly");
+        assert_eq!(out.candidates, out.counts.topk_candidates);
+    }
+
+    #[test]
+    fn unknown_term_is_an_error() {
+        let eng = sharded(2, false);
+        assert!(matches!(
+            eng.search_single("zebra", 5),
+            Err(IndexError::UnknownTerm { .. })
+        ));
+        assert!(eng.search_intersection("zebra", "hot", 5).is_err());
+        assert!(eng.search_union("hot", "zebra", 5).is_err());
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_job() {
+        let idx = sample_index();
+        let s = Arc::new(ShardedIndex::split(&idx, 3).unwrap());
+        let pool = ShardPool::new(s);
+        let r = pool.run(|s, _, _| {
+            if s == 1 {
+                panic!("injected shard panic");
+            }
+            s * 10
+        });
+        assert_eq!(r, vec![Some(0), None, Some(20)]);
+        // The pool (including the worker whose job panicked) still works.
+        let r = pool.run(|s, shard, _| (s, shard.num_docs()));
+        assert!(r.iter().all(|x| x.is_some()));
+    }
+
+    #[test]
+    fn engine_reports_shard_failure_as_error() {
+        let eng = sharded(2, true);
+        // Panic inside a run() on the engine's own pool, then confirm the
+        // engine still answers queries on the same workers.
+        let r = eng.pool().run::<(), _>(|_, _, _| panic!("boom"));
+        assert!(r.iter().all(|x| x.is_none()));
+        let out = eng.search_single("hot", 3).unwrap();
+        assert_eq!(out.hits.len(), 3);
+    }
+
+    #[test]
+    fn modeled_parallel_latency_is_critical_path_not_sum() {
+        let eng = sharded(4, true);
+        let out = eng.search_single("hot", 10).unwrap();
+        let cost = CpuCostModel::default();
+        let slowest = out
+            .shard_counts
+            .iter()
+            .map(|c| cost.price(c).total_ns())
+            .fold(0.0f64, f64::max);
+        let summed = cost.price(&out.counts).total_ns();
+        assert!(out.latency_ns() >= slowest);
+        assert!(
+            out.latency_ns() < summed,
+            "parallel model {} must beat serial sum {}",
+            out.latency_ns(),
+            summed
+        );
+    }
+
+    #[test]
+    fn pool_and_engine_are_shareable_across_threads() {
+        // Serve workers hold the engine behind an Arc and query through
+        // &self; losing Sync would silently break that layer.
+        fn assert_share<T: Send + Sync>() {}
+        assert_share::<ShardPool>();
+        assert_share::<ShardedEngine>();
+    }
+
+    #[test]
+    fn shard_loads_accumulate_docs_scored_per_shard() {
+        let eng = sharded(3, false);
+        assert_eq!(eng.shard_loads(), vec![0, 0, 0]);
+        let out = eng.search_single("hot", 10).unwrap();
+        let want: Vec<u64> = out.shard_counts.iter().map(|c| c.docs_scored).collect();
+        assert_eq!(eng.shard_loads(), want);
+        let out2 = eng.search_union("hot", "cold", 10).unwrap();
+        let want2: Vec<u64> = want
+            .iter()
+            .zip(&out2.shard_counts)
+            .map(|(a, c)| a + c.docs_scored)
+            .collect();
+        assert_eq!(eng.shard_loads(), want2, "loads are cumulative across queries");
+    }
+
+    #[test]
+    fn sharded_pruning_still_skips_blocks() {
+        let eng = sharded(2, true);
+        let out = eng.search_single("hot", 1).unwrap();
+        assert!(
+            out.counts.blocks_skipped > 0,
+            "sharded pruning never skipped: {:?}",
+            out.counts
+        );
+    }
+}

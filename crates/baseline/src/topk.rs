@@ -8,6 +8,7 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU32, Ordering as AtomicOrdering};
 
 use iiu_index::{DocId, Fixed};
 
@@ -198,6 +199,63 @@ impl FusedTopK {
     }
 }
 
+/// A pruning threshold shared across shards executing one query.
+///
+/// Each shard publishes its local [`FusedTopK::threshold`] as it grows;
+/// late shards then read the maximum published so far and skip blocks
+/// earlier shards already priced out. Two rules make this safe:
+///
+/// * **Publication is monotone.** [`publish`](Self::publish) uses
+///   `fetch_max`, never a plain store: with a racy store, a shard holding
+///   a *stale* low threshold could overwrite a higher one already
+///   published, and a shard that read between the two values would skip a
+///   block it was never entitled to skip. `fetch_max` makes the visible
+///   value non-decreasing under every interleaving, so any value a shard
+///   reads was genuinely reached by some shard's heap. `Relaxed` ordering
+///   suffices — the value itself carries the invariant; no other memory
+///   is published alongside it.
+/// * **Foreign thresholds are strict.** A published value `S` proves that
+///   some shard holds k hits scoring `>= S` — so scores `< S` are out of
+///   the global top-k, but a score *equal* to `S` may still belong in it
+///   (a tie at the global k-th boundary, won on docID). [`strict`]
+///   (Self::strict) therefore returns `S − 1`: under the engines' skip
+///   rule `bound <= threshold`, that prices out exactly the provably-dead
+///   scores `< S` and never a boundary tie. (A shard's *own* heap
+///   threshold stays usable non-strictly, exactly as in single-shard
+///   pruning, because local pushes happen in ascending docID order.)
+///
+/// The raw value is the Q16.16 bit pattern of the threshold; `0` (no
+/// score can be below zero) doubles as "nothing published yet".
+#[derive(Debug, Default)]
+pub struct SharedThreshold(AtomicU32);
+
+impl SharedThreshold {
+    /// A threshold with nothing published yet.
+    pub fn new() -> Self {
+        SharedThreshold(AtomicU32::new(0))
+    }
+
+    /// Raises the shared threshold to at least `t`. Monotone under any
+    /// interleaving: a concurrent publish of a smaller value can never
+    /// lower what other shards see.
+    pub fn publish(&self, t: Fixed) {
+        self.0.fetch_max(t.raw(), AtomicOrdering::Relaxed);
+    }
+
+    /// The highest score provably refused by every shard, usable with the
+    /// engines' non-strict skip rule (`bound <= threshold`). `None` until
+    /// a nonzero threshold has been published.
+    pub fn strict(&self) -> Option<Fixed> {
+        let raw = self.0.load(AtomicOrdering::Relaxed);
+        (raw > 0).then(|| Fixed::from_raw(raw - 1))
+    }
+
+    /// The raw published maximum (tests and introspection).
+    pub fn raw(&self) -> u32 {
+        self.0.load(AtomicOrdering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +263,50 @@ mod tests {
 
     fn hit(doc_id: u32, score: f64) -> Hit {
         Hit { doc_id, score }
+    }
+
+    #[test]
+    fn shared_threshold_is_monotone_and_strict() {
+        let s = SharedThreshold::new();
+        assert_eq!(s.strict(), None, "nothing published yet");
+        s.publish(Fixed::from_f64(2.0));
+        assert_eq!(s.raw(), Fixed::from_f64(2.0).raw());
+        // Publishing a smaller value must not lower the visible maximum.
+        s.publish(Fixed::from_f64(1.0));
+        assert_eq!(s.raw(), Fixed::from_f64(2.0).raw());
+        s.publish(Fixed::from_f64(3.0));
+        assert_eq!(s.raw(), Fixed::from_f64(3.0).raw());
+        // Strict reading: one ulp below the published value, so a
+        // boundary tie (score == published) is never priced out.
+        assert_eq!(s.strict(), Some(Fixed::from_raw(Fixed::from_f64(3.0).raw() - 1)));
+    }
+
+    #[test]
+    fn shared_threshold_publish_races_keep_the_maximum() {
+        // Regression for the publish protocol: hammer one threshold from
+        // two threads publishing interleaved rising-and-falling values. A
+        // racy relaxed *store* would let a stale low value overwrite a
+        // higher one; `fetch_max` must keep the running maximum exact at
+        // every step and end at the global maximum.
+        let s = std::sync::Arc::new(SharedThreshold::new());
+        let mut handles = Vec::new();
+        for lane in 0..2u32 {
+            let s = std::sync::Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                // Lane 0 publishes 1..=1000 ascending; lane 1 descending,
+                // so late publishes in lane 1 are stale by construction.
+                for i in 1..=1000u32 {
+                    let v = if lane == 0 { i } else { 1001 - i };
+                    s.publish(Fixed::from_raw(v));
+                    let seen = s.raw();
+                    assert!(seen >= v, "visible threshold dropped below a published value");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.raw(), 1000);
     }
 
     #[test]

@@ -1,17 +1,23 @@
-//! The two search engines of the reproduction, behind one interface:
+//! The search engines of the reproduction, behind one interface:
 //!
 //! * [`CpuSearchEngine`] — the Lucene-like software baseline, priced by the
 //!   calibrated CPU cost model;
+//! * [`ShardedSearchEngine`] — the same baseline fanned across the document
+//!   shards of a [`ShardedIndex`] with a shared pruning threshold
+//!   (intra-query parallelism on the host);
 //! * [`IiuSearchEngine`] — the cycle-level accelerator simulation plus the
 //!   host-side top-k pass.
 //!
-//! Both return bit-identical hits for the same query (the scoring datapath
+//! All return bit-identical hits for the same query (the scoring datapath
 //! is shared), so every comparison between them is about *time*, exactly
 //! like the paper's evaluation.
 
+use std::sync::Arc;
+
 use iiu_baseline::topk::{top_k, Hit};
-use iiu_baseline::{CpuCostModel, CpuEngine, OpCounts};
+use iiu_baseline::{CpuCostModel, CpuEngine, OpCounts, PhaseBreakdown, ShardedEngine};
 use iiu_index::score::term_score_fixed;
+use iiu_index::shard::ShardedIndex;
 use iiu_index::{DocId, Fixed, IndexError, InvertedIndex, PositionIndex};
 use iiu_sim::{HostModel, IiuMachine, SimConfig, SimQuery};
 
@@ -358,6 +364,182 @@ impl SearchEngine for CpuSearchEngine<'_> {
             },
             degraded,
         })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded CPU engine
+// ---------------------------------------------------------------------------
+
+/// The baseline engine fanned across document shards, behind the
+/// [`SearchEngine`] interface.
+///
+/// Primitive shapes (single term, two-term AND/OR) execute on every shard
+/// in parallel — pruned mode exchanges a shared threshold between shards —
+/// and merge under the common rank order, so hits are bit-identical to
+/// [`CpuSearchEngine`] over the unsharded index. General expression trees
+/// also fan out: each shard evaluates the whole tree over its documents
+/// exhaustively, and the host merges the scored lists. Phrase queries need
+/// the (global-docID) positional sidecar and are not supported sharded;
+/// they fail with [`IndexError::PositionsUnavailable`].
+///
+/// The modeled latency prices the critical-path (slowest) shard plus the
+/// host-side merge, not the sum of all shards.
+#[derive(Debug)]
+pub struct ShardedSearchEngine {
+    inner: ShardedEngine,
+}
+
+impl ShardedSearchEngine {
+    /// Creates an engine (and its shard worker pool) over a sharded index.
+    pub fn new(index: Arc<ShardedIndex>) -> Self {
+        ShardedSearchEngine { inner: ShardedEngine::new(index) }
+    }
+
+    /// Splits an unsharded index into `shards` document shards and builds
+    /// an engine over them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::CorruptIndex`] if `shards` is zero.
+    pub fn split(index: &InvertedIndex, shards: usize) -> Result<Self, IndexError> {
+        Ok(Self::new(Arc::new(ShardedIndex::split(index, shards)?)))
+    }
+
+    /// Enables block-max pruned top-k with cross-shard threshold sharing
+    /// for the primitive query shapes. Bit-identical to exhaustive mode.
+    #[must_use]
+    pub fn with_pruning(mut self, pruned: bool) -> Self {
+        self.inner = self.inner.with_pruning(pruned);
+        self
+    }
+
+    /// Replaces the cost model (builder style).
+    #[must_use]
+    pub fn with_cost_model(mut self, cost: CpuCostModel) -> Self {
+        self.inner = self.inner.with_cost_model(cost);
+        self
+    }
+
+    /// True when primitive shapes use block-max pruning.
+    pub fn pruning(&self) -> bool {
+        self.inner.pruning()
+    }
+
+    /// Number of shards queries fan out across.
+    pub fn num_shards(&self) -> usize {
+        self.inner.num_shards()
+    }
+
+    /// The wrapped sharded engine (per-shard counts, pool access).
+    pub fn inner(&self) -> &ShardedEngine {
+        &self.inner
+    }
+
+    /// Runs a query through a shared reference. Unlike the
+    /// [`SearchEngine`] trait (whose `&mut self` receiver suits the
+    /// single-threaded engines), sharded execution keeps all per-query
+    /// state on the pool workers, so concurrent callers can share one
+    /// engine — and one shard pool — behind an `Arc`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SearchEngine::search`].
+    pub fn search_ref(&self, query: &Query, k: usize) -> Result<SearchResponse, SearchError> {
+        let mut degraded = Vec::new();
+        // Dictionaries are uniform across shards; shard 0 speaks for all.
+        let dict = self.inner.index().shard(0);
+        let Some(query) = prune_query(dict, query, &mut degraded) else {
+            return Ok(SearchResponse::empty(degraded));
+        };
+        let query = &query;
+        let outcome = match query {
+            Query::Term(t) => Some(self.inner.search_single(t, k)?),
+            Query::Phrase(_) => {
+                return Err(SearchError::Index(IndexError::PositionsUnavailable));
+            }
+            Query::And(a, b) => match (&**a, &**b) {
+                (Query::Term(x), Query::Term(y)) => {
+                    Some(self.inner.search_intersection(x, y, k)?)
+                }
+                _ => None,
+            },
+            Query::Or(a, b) => match (&**a, &**b) {
+                (Query::Term(x), Query::Term(y)) => Some(self.inner.search_union(x, y, k)?),
+                _ => None,
+            },
+        };
+        if let Some(o) = outcome {
+            let device_ns = o.phases.total_ns() - o.phases.topk_ns;
+            return Ok(SearchResponse {
+                hits: o.hits,
+                candidates: o.candidates,
+                breakdown: LatencyBreakdown {
+                    dispatch_ns: 0.0,
+                    device_ns,
+                    topk_ns: o.phases.topk_ns,
+                },
+                degraded,
+            });
+        }
+
+        let (hits, candidates, phases) = self.eval_sharded(query, k)?;
+        Ok(SearchResponse {
+            hits,
+            candidates,
+            breakdown: LatencyBreakdown {
+                dispatch_ns: 0.0,
+                device_ns: phases.total_ns() - phases.topk_ns,
+                topk_ns: phases.topk_ns,
+            },
+            degraded,
+        })
+    }
+
+    /// Fans a general expression tree out: every shard evaluates the whole
+    /// tree over its own documents, the host concatenates (mapping local
+    /// docIDs to global) and selects top-k.
+    fn eval_sharded(
+        &self,
+        query: &Query,
+        k: usize,
+    ) -> Result<(Vec<Hit>, u64, PhaseBreakdown), SearchError> {
+        let q = query.clone();
+        let per_shard = self.inner.pool().run(move |_, shard, _| {
+            let mut counts = OpCounts::default();
+            let scored = eval_tree(shard, &q, &mut counts, None);
+            scored.map(|s| (s, counts))
+        });
+        let n = self.num_shards() as u32;
+        let cost = self.inner.cost_model();
+        let mut all = Vec::new();
+        let mut crit = PhaseBreakdown::default();
+        for (s, r) in per_shard.into_iter().enumerate() {
+            let Some(r) = r else {
+                return Err(SearchError::Index(IndexError::CorruptIndex {
+                    context: "shard execution failed",
+                }));
+            };
+            let (scored, mut counts) = r?;
+            counts.topk_candidates = scored.len() as u64;
+            let phases = cost.price(&counts);
+            if phases.total_ns() > crit.total_ns() {
+                crit = phases;
+            }
+            all.extend(scored.into_iter().map(|(d, sc)| (d * n + s as u32, sc)));
+        }
+        crit.topk_ns += cost.price_topk(all.len() as u64);
+        let candidates = all.len() as u64;
+        // Global docID order is what rank_cmp ties on; sort so to_hits sees
+        // the same candidate order as the unsharded evaluation.
+        all.sort_by_key(|&(d, _)| d);
+        Ok((to_hits(&all, k), candidates, crit))
+    }
+}
+
+impl SearchEngine for ShardedSearchEngine {
+    fn search(&mut self, query: &Query, k: usize) -> Result<SearchResponse, SearchError> {
+        self.search_ref(query, k)
     }
 }
 

@@ -42,9 +42,11 @@ pub mod query;
 
 pub use engine::{
     CpuSearchEngine, IiuSearchEngine, LatencyBreakdown, SearchEngine, SearchResponse,
+    ShardedSearchEngine,
 };
 pub use error::{Degradation, SearchError};
 pub use iiu_baseline::topk::Hit;
+pub use iiu_index::shard::{ShardBalance, ShardedIndex};
 pub use iiu_index::{Bm25Params, DocId, IndexError, InvertedIndex, Partitioner};
 pub use iiu_sim::SimError;
 pub use query::{ParseQueryError, Query};

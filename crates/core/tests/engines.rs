@@ -2,7 +2,9 @@
 //! must return identical hits for every query shape, and their modeled
 //! latencies must have the shapes the paper reports.
 
-use iiu_core::{CpuSearchEngine, Degradation, IiuSearchEngine, Query, SearchEngine};
+use iiu_core::{
+    CpuSearchEngine, Degradation, IiuSearchEngine, Query, SearchEngine, ShardedSearchEngine,
+};
 use iiu_workloads::{CorpusConfig, QuerySampler};
 
 fn index() -> iiu_index::InvertedIndex {
@@ -75,6 +77,102 @@ fn complex_tree_matches_manual_set_algebra() {
         .collect();
     let got_docs: BTreeSet<u32> = got.hits.iter().map(|h| h.doc_id).collect();
     assert_eq!(got_docs, expected);
+}
+
+#[test]
+fn sharded_engine_agrees_with_unsharded_everywhere() {
+    let index = index();
+    let mut cpu = CpuSearchEngine::new(&index);
+    for shards in [1usize, 2, 4] {
+        for pruned in [false, true] {
+            let mut eng =
+                ShardedSearchEngine::split(&index, shards).unwrap().with_pruning(pruned);
+            let mut cpu_p = CpuSearchEngine::new(&index).with_pruning(pruned);
+            let mut sampler = QuerySampler::new(&index, 11);
+            for term in sampler.single_queries(6) {
+                let q = Query::term(term);
+                let a = cpu_p.search(&q, 10).unwrap();
+                let b = eng.search(&q, 10).unwrap();
+                assert_eq!(a.hits, b.hits, "single hits differ {shards}/{pruned} for {q}");
+            }
+            let mut sampler = QuerySampler::new(&index, 12);
+            for (x, y) in sampler.pair_queries(6) {
+                for q in [
+                    Query::parse(&format!("{x} AND {y}")).unwrap(),
+                    Query::parse(&format!("{x} OR {y}")).unwrap(),
+                ] {
+                    let a = cpu_p.search(&q, 10).unwrap();
+                    let b = eng.search(&q, 10).unwrap();
+                    assert_eq!(a.hits, b.hits, "pair hits differ {shards}/{pruned} for {q}");
+                    if !pruned {
+                        // Exhaustive candidate sets are the same documents;
+                        // pruned candidate *counts* are a work metric and
+                        // legitimately differ across shard layouts.
+                        assert_eq!(a.candidates, b.candidates, "candidates differ for {q}");
+                    }
+                }
+            }
+            // General trees fan out per shard and must also agree.
+            let mut sampler = QuerySampler::new(&index, 13);
+            let t = sampler.single_queries(4);
+            let q = Query::parse(&format!(
+                "({} OR {}) AND ({} OR {})",
+                t[0], t[1], t[2], t[3]
+            ))
+            .unwrap();
+            let a = cpu.search(&q, 20).unwrap();
+            let b = eng.search(&q, 20).unwrap();
+            assert_eq!(a.hits, b.hits, "tree hits differ {shards}/{pruned} for {q}");
+            assert_eq!(a.candidates, b.candidates);
+        }
+    }
+}
+
+#[test]
+fn sharded_engine_degrades_unknown_terms_like_unsharded() {
+    let index = index();
+    let mut eng = ShardedSearchEngine::split(&index, 3).unwrap().with_pruning(true);
+    let mut sampler = QuerySampler::new(&index, 14);
+    let known = sampler.single_queries(1).remove(0);
+    let q = Query::or(Query::term(known.clone()), Query::term("nosuchterm0000001"));
+    let r = eng.search(&q, 10).unwrap();
+    let want = eng.search(&Query::term(known), 10).unwrap();
+    assert_eq!(r.hits, want.hits, "OR degrades to the known side");
+    assert_eq!(
+        r.degraded,
+        vec![Degradation::UnknownTermDropped { term: "nosuchterm0000001".into() }]
+    );
+}
+
+#[test]
+fn sharded_engine_rejects_phrase_queries() {
+    let index = index();
+    let mut eng = ShardedSearchEngine::split(&index, 2).unwrap();
+    let mut sampler = QuerySampler::new(&index, 15);
+    let t = sampler.single_queries(2);
+    let q = Query::phrase(vec![t[0].clone(), t[1].clone()]);
+    assert!(eng.search(&q, 10).is_err(), "phrases need the global positional sidecar");
+}
+
+#[test]
+fn sharded_modeled_latency_beats_unsharded_on_heavy_queries() {
+    // The whole point of document sharding: the critical-path shard is
+    // cheaper than the full index scan.
+    let index = index();
+    let mut cpu = CpuSearchEngine::new(&index).with_pruning(false);
+    let mut eng = ShardedSearchEngine::split(&index, 4).unwrap().with_pruning(false);
+    let mut sampler = QuerySampler::new(&index, 16);
+    let term = sampler.single_queries(1).remove(0);
+    let q = Query::term(term);
+    let a = cpu.search(&q, 10).unwrap();
+    let b = eng.search(&q, 10).unwrap();
+    assert_eq!(a.hits, b.hits);
+    assert!(
+        b.breakdown.device_ns < a.breakdown.device_ns,
+        "4-shard device time {} should beat unsharded {}",
+        b.breakdown.device_ns,
+        a.breakdown.device_ns
+    );
 }
 
 #[test]

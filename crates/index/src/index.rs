@@ -68,6 +68,39 @@ impl InvertedIndex {
         } else {
             doc_lens.iter().map(|&l| f64::from(l)).sum::<f64>() / n_docs as f64
         };
+        let with_idf = lists
+            .into_iter()
+            .map(|(term, list)| {
+                let idf_bar = Fixed::from_f64(params.idf_bar(n_docs, list.len() as u64));
+                (term, list, idf_bar)
+            })
+            .collect();
+        Self::from_lists_with_stats(with_idf, doc_lens, avgdl, partitioner, params)
+    }
+
+    /// Builds an index from posting lists with *explicit* collection
+    /// statistics: a supplied `avgdl` and a per-term `idf_bar` instead of
+    /// ones recomputed from the local lists.
+    ///
+    /// This is the constructor document sharding relies on: a shard holds a
+    /// fraction of the corpus, but its scoring constants (and therefore its
+    /// block score bounds) must come from the *global* collection so shard
+    /// results merge bit-identically with the unsharded engine.
+    /// [`from_lists`](Self::from_lists) is the common case and simply feeds
+    /// locally computed stats through here.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a list references an out-of-range docID or fails
+    /// to encode (see [`EncodedList::encode`]).
+    pub fn from_lists_with_stats(
+        lists: Vec<(String, PostingList, Fixed)>,
+        doc_lens: Vec<u32>,
+        avgdl: f64,
+        partitioner: Partitioner,
+        params: Bm25Params,
+    ) -> Result<Self, IndexError> {
+        let n_docs = doc_lens.len() as u64;
 
         // Per-document constants first: block score bounds are computed
         // from the same dl̄ table the scoring datapath will read.
@@ -80,7 +113,7 @@ impl InvertedIndex {
         let mut terms = Vec::with_capacity(lists.len());
         let mut encoded = Vec::with_capacity(lists.len());
         let mut bounds = Vec::with_capacity(lists.len());
-        for (term, list) in lists {
+        for (term, list, idf_bar) in lists {
             if let Some(last) = list.as_slice().last() {
                 if u64::from(last.doc_id) >= n_docs {
                     return Err(IndexError::CorruptIndex {
@@ -90,7 +123,6 @@ impl InvertedIndex {
             }
             let id = terms.len() as TermId;
             let df = list.len() as u64;
-            let idf_bar = Fixed::from_f64(params.idf_bar(n_docs, df));
             let partition = partitioner.partition(&list);
             bounds.push(ListBounds::compute(list.as_slice(), &partition, idf_bar, &dl_bars));
             encoded.push(EncodedList::encode(&list, &partition)?);

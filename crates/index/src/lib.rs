@@ -53,6 +53,7 @@ pub mod positions;
 pub mod posting;
 pub mod reorder;
 pub mod score;
+pub mod shard;
 pub mod stats;
 pub mod tokenize;
 
@@ -67,4 +68,5 @@ pub use partition::Partitioner;
 pub use positions::{PositionIndex, PositionList};
 pub use posting::{DocId, Posting, PostingList, TermFreq};
 pub use score::{Bm25Params, Fixed};
+pub use shard::{ShardBalance, ShardedIndex};
 pub use stats::IndexSizeStats;

@@ -1,0 +1,480 @@
+//! Document-space sharding: round-robin partitioning of a corpus into N
+//! sub-indexes that score identically to the whole.
+//!
+//! A [`ShardedIndex`] splits the docID space round-robin: global document
+//! `d` lives in shard `d % n` under the shard-local identifier `d / n`.
+//! The mapping is pure arithmetic in both directions (no stored table),
+//! and because it is monotone within a shard, every per-shard posting
+//! list stays sorted and delta-encodes exactly as before — random
+//! (round-robin) document partitioning is known to preserve compression
+//! and balance load across shards.
+//!
+//! Two properties make shard results merge *bit-identically* with the
+//! unsharded engine:
+//!
+//! 1. every shard is built with the **global** collection statistics
+//!    (`avgdl` and per-term `idf̄`) via
+//!    [`InvertedIndex::from_lists_with_stats`], so a document's BM25
+//!    score is the same Q16.16 value no matter which shard scores it;
+//! 2. every shard carries the **same dictionary** (terms absent from a
+//!    shard get an empty posting list), so a term resolves to the same
+//!    [`TermId`] everywhere and per-shard block bounds line up with the
+//!    global term table.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use crate::error::IndexError;
+use crate::index::{InvertedIndex, TermId};
+use crate::partition::Partitioner;
+use crate::posting::{DocId, Posting, PostingList};
+
+/// Floor on the shard partitioner's block-length parameter, so a
+/// degenerate parent (or a huge shard count) cannot produce one-posting
+/// blocks whose metadata outweighs their payload.
+const MIN_SHARD_BLOCK_LEN: usize = 8;
+
+/// The partitioner shard lists are encoded with: the parent's strategy
+/// with its block-length parameter tightened to the parent's *observed*
+/// postings-per-block granularity.
+///
+/// Round-robin subsampling smooths out both the gap burstiness and the
+/// score outliers that make the dynamic partitioner cut the parent's
+/// lists into short blocks, so re-partitioning a shard list with the
+/// parent's own `max_size` yields blocks several times longer — and a
+/// block is the unit of block-max skipping, so coarser blocks directly
+/// erode pruning. Capping shard blocks at the parent's observed average
+/// keeps the skip granularity (postings priced per bound check)
+/// comparable to the unsharded index.
+fn shard_partitioner(index: &InvertedIndex) -> Partitioner {
+    match index.partitioner() {
+        p @ Partitioner::Fixed { .. } => p,
+        Partitioner::Dynamic { max_size } => {
+            let stats = index.size_stats();
+            let avg = if stats.num_blocks > 0 {
+                stats.postings.div_ceil(stats.num_blocks) as usize
+            } else {
+                max_size
+            };
+            Partitioner::dynamic(avg.clamp(MIN_SHARD_BLOCK_LEN.min(max_size), max_size))
+        }
+    }
+}
+
+/// Per-shard load summary for operators (`iiu inspect`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardBalance {
+    /// Shard index.
+    pub shard: usize,
+    /// Documents assigned to this shard.
+    pub docs: u64,
+    /// Postings across all of this shard's lists.
+    pub postings: u64,
+    /// Encoded blocks across all of this shard's lists.
+    pub blocks: u64,
+    /// Lists with at least one posting (the rest are dictionary-only
+    /// placeholders keeping TermIds uniform across shards).
+    pub nonempty_lists: u64,
+    /// Lists whose block score bounds cover at least one block — always
+    /// equal to `nonempty_lists` on a well-formed shard.
+    pub bounded_lists: u64,
+}
+
+/// A corpus split round-robin across N shard sub-indexes.
+///
+/// Built with [`ShardedIndex::split`]; reassembled (exactly) with
+/// [`ShardedIndex::merge`]. Each shard is a full [`InvertedIndex`] over
+/// remapped shard-local docIDs, sharing the global dictionary and global
+/// scoring constants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedIndex {
+    shards: Vec<InvertedIndex>,
+    n_docs: u64,
+    /// The partitioner of the index this was split from. Shard lists are
+    /// encoded with a tightened partitioner (see [`shard_partitioner`]);
+    /// [`merge`](Self::merge) re-encodes with this one so the round trip
+    /// reproduces the source index exactly.
+    parent_partitioner: Partitioner,
+}
+
+impl ShardedIndex {
+    /// Splits `index` into `n` round-robin document shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::CorruptIndex`] if `n` is zero or a shard
+    /// fails to encode (which would indicate corruption in the source
+    /// index, since splitting only shrinks lists).
+    pub fn split(index: &InvertedIndex, n: usize) -> Result<Self, IndexError> {
+        if n == 0 {
+            return Err(IndexError::CorruptIndex { context: "shard count must be nonzero" });
+        }
+        let doc_lens = index.doc_lens();
+        let mut shard_doc_lens: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (d, &len) in doc_lens.iter().enumerate() {
+            shard_doc_lens[d % n].push(len);
+        }
+
+        // One decoded pass per term, fanned out into per-shard lists with
+        // remapped (local) docIDs. The global term order is preserved so
+        // TermIds agree across every shard and with the source index.
+        let mut shard_lists: Vec<Vec<(String, PostingList, crate::score::Fixed)>> =
+            (0..n).map(|_| Vec::with_capacity(index.num_terms())).collect();
+        for id in 0..index.num_terms() as TermId {
+            let info = index.term_info(id);
+            let mut split: Vec<Vec<Posting>> = vec![Vec::new(); n];
+            for p in index.encoded_list(id).decode_all().iter() {
+                let s = p.doc_id as usize % n;
+                split[s].push(Posting::new(p.doc_id / n as u32, p.tf));
+            }
+            for (s, postings) in split.into_iter().enumerate() {
+                shard_lists[s].push((
+                    info.term.clone(),
+                    PostingList::from_sorted(postings),
+                    info.idf_bar,
+                ));
+            }
+        }
+
+        let avgdl = index.avgdl();
+        // A single "shard" is the index itself; only a real split tightens
+        // the partitioner to preserve skip granularity.
+        let partitioner = if n == 1 { index.partitioner() } else { shard_partitioner(index) };
+        let mut shards = Vec::with_capacity(n);
+        for (lists, lens) in shard_lists.into_iter().zip(shard_doc_lens) {
+            shards.push(InvertedIndex::from_lists_with_stats(
+                lists,
+                lens,
+                avgdl,
+                partitioner,
+                index.params(),
+            )?);
+        }
+        Ok(ShardedIndex {
+            shards,
+            n_docs: index.num_docs(),
+            parent_partitioner: index.partitioner(),
+        })
+    }
+
+    /// Reassembles the original unsharded index. Exact inverse of
+    /// [`split`](Self::split): the result compares equal to the source
+    /// index, byte for byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::CorruptIndex`] if the shards disagree on
+    /// their dictionaries or a merged list fails to encode.
+    pub fn merge(&self) -> Result<InvertedIndex, IndexError> {
+        let n = self.shards.len();
+        let Some(first) = self.shards.first() else {
+            return Err(IndexError::CorruptIndex { context: "sharded index has no shards" });
+        };
+        let mut doc_lens = vec![0u32; self.n_docs as usize];
+        for (s, shard) in self.shards.iter().enumerate() {
+            for (local, &len) in shard.doc_lens().iter().enumerate() {
+                let global = local * n + s;
+                if global >= doc_lens.len() {
+                    return Err(IndexError::CorruptIndex {
+                        context: "shard document beyond merged corpus",
+                    });
+                }
+                doc_lens[global] = len;
+            }
+        }
+
+        let mut lists = Vec::with_capacity(first.num_terms());
+        for id in 0..first.num_terms() as TermId {
+            let term = &first.term_info(id).term;
+            let mut merged: Vec<Posting> = Vec::new();
+            for (s, shard) in self.shards.iter().enumerate() {
+                if shard.term_id(term) != Some(id) {
+                    return Err(IndexError::CorruptIndex {
+                        context: "shard dictionaries disagree",
+                    });
+                }
+                merged.extend(shard.encoded_list(id).decode_all().iter().map(|p| {
+                    Posting::new(p.doc_id * n as u32 + s as u32, p.tf)
+                }));
+            }
+            merged.sort_unstable_by_key(|p| p.doc_id);
+            lists.push((term.clone(), PostingList::from_sorted(merged)));
+        }
+        InvertedIndex::from_lists(lists, doc_lens, self.parent_partitioner, first.params())
+    }
+
+    /// The partitioner of the index this was split from (the one
+    /// [`merge`](Self::merge) re-encodes with).
+    pub fn parent_partitioner(&self) -> Partitioner {
+        self.parent_partitioner
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total documents across all shards (the global corpus size).
+    pub fn num_docs(&self) -> u64 {
+        self.n_docs
+    }
+
+    /// The shard sub-indexes, in shard order.
+    pub fn shards(&self) -> &[InvertedIndex] {
+        &self.shards
+    }
+
+    /// One shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn shard(&self, s: usize) -> &InvertedIndex {
+        &self.shards[s]
+    }
+
+    /// Maps a shard-local docID back to its global docID.
+    pub fn global_doc(&self, shard: usize, local: DocId) -> DocId {
+        local * self.shards.len() as u32 + shard as u32
+    }
+
+    /// Per-shard document/posting balance and bounds coverage.
+    pub fn balance(&self) -> Vec<ShardBalance> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(s, shard)| {
+                let mut postings = 0u64;
+                let mut blocks = 0u64;
+                let mut nonempty = 0u64;
+                let mut bounded = 0u64;
+                for id in 0..shard.num_terms() as TermId {
+                    let list = shard.encoded_list(id);
+                    postings += list.num_postings();
+                    blocks += list.num_blocks() as u64;
+                    if list.num_postings() > 0 {
+                        nonempty += 1;
+                    }
+                    if shard.list_bounds(id).num_blocks() > 0 {
+                        bounded += 1;
+                    }
+                }
+                ShardBalance {
+                    shard: s,
+                    docs: shard.num_docs(),
+                    postings,
+                    blocks,
+                    nonempty_lists: nonempty,
+                    bounded_lists: bounded,
+                }
+            })
+            .collect()
+    }
+
+    /// Validates every shard (see [`InvertedIndex::validate`]) plus the
+    /// cross-shard invariants: document counts sum to the global corpus
+    /// and the round-robin split is balanced (counts differ by at most
+    /// one).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::CorruptIndex`] naming the violated invariant.
+    pub fn validate(&self) -> Result<(), IndexError> {
+        if self.shards.is_empty() {
+            return Err(IndexError::CorruptIndex { context: "sharded index has no shards" });
+        }
+        let mut total = 0u64;
+        let n = self.shards.len() as u64;
+        for (s, shard) in self.shards.iter().enumerate() {
+            shard.validate()?;
+            // Round-robin gives shard s exactly ceil((n_docs - s) / n) docs.
+            let expect = (self.n_docs + n - 1 - s as u64) / n;
+            if shard.num_docs() != expect {
+                return Err(IndexError::CorruptIndex {
+                    context: "shard document count off round-robin",
+                });
+            }
+            total += shard.num_docs();
+        }
+        if total != self.n_docs {
+            return Err(IndexError::CorruptIndex {
+                context: "shard document counts do not sum to corpus",
+            });
+        }
+        Ok(())
+    }
+
+    /// Assembles a sharded index from parts (the deserializer's entry
+    /// point). Validates the cross-shard invariants before accepting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::CorruptIndex`] if the parts are inconsistent.
+    pub fn from_shards(
+        shards: Vec<InvertedIndex>,
+        n_docs: u64,
+        parent_partitioner: Partitioner,
+    ) -> Result<Self, IndexError> {
+        let sharded = ShardedIndex { shards, n_docs, parent_partitioner };
+        sharded.validate()?;
+        Ok(sharded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{BuildOptions, IndexBuilder};
+    use crate::partition::Partitioner;
+
+    fn sample_index() -> InvertedIndex {
+        let mut b = IndexBuilder::new(BuildOptions {
+            partitioner: Partitioner::fixed(4),
+            ..Default::default()
+        });
+        b.add_document(&"alpha beta ".repeat(6));
+        b.add_document("beta gamma");
+        b.add_document(&"alpha ".repeat(3));
+        for i in 0..40 {
+            b.add_document(&format!("alpha filler{} beta", i % 5));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn split_is_round_robin_with_remapped_ids() {
+        let idx = sample_index();
+        let sharded = ShardedIndex::split(&idx, 3).unwrap();
+        assert_eq!(sharded.num_shards(), 3);
+        assert_eq!(sharded.num_docs(), idx.num_docs());
+        sharded.validate().unwrap();
+
+        // Every global posting appears in exactly one shard at d / n.
+        let id = idx.term_id("alpha").unwrap();
+        for p in idx.encoded_list(id).decode_all().iter() {
+            let s = p.doc_id as usize % 3;
+            let shard = sharded.shard(s);
+            let sid = shard.term_id("alpha").unwrap();
+            let local = shard
+                .encoded_list(sid)
+                .decode_all()
+                .iter()
+                .find(|q| q.doc_id == p.doc_id / 3)
+                .copied()
+                .unwrap();
+            assert_eq!(local.tf, p.tf);
+            assert_eq!(sharded.global_doc(s, local.doc_id), p.doc_id);
+        }
+    }
+
+    #[test]
+    fn shards_share_dictionary_and_global_stats() {
+        let idx = sample_index();
+        let sharded = ShardedIndex::split(&idx, 4).unwrap();
+        for shard in sharded.shards() {
+            assert_eq!(shard.num_terms(), idx.num_terms());
+            assert!((shard.avgdl() - idx.avgdl()).abs() < 1e-12);
+            for id in 0..idx.num_terms() as TermId {
+                let gi = idx.term_info(id);
+                let si = shard.term_info(id);
+                assert_eq!(si.term, gi.term, "TermIds must agree across shards");
+                assert_eq!(si.idf_bar, gi.idf_bar, "idf̄ must be the global value");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_scores_match_global_scores() {
+        // The whole point: a document's Q16.16 score is identical whether
+        // computed against the shard or the full index.
+        let idx = sample_index();
+        let sharded = ShardedIndex::split(&idx, 3).unwrap();
+        let id = idx.term_id("beta").unwrap();
+        for p in idx.encoded_list(id).decode_all().iter() {
+            let s = p.doc_id as usize % 3;
+            let local = p.doc_id / 3;
+            let global_score = crate::score::term_score_fixed(
+                idx.term_info(id).idf_bar,
+                idx.dl_bar(p.doc_id),
+                p.tf,
+            );
+            let shard = sharded.shard(s);
+            let shard_score = crate::score::term_score_fixed(
+                shard.term_info(id).idf_bar,
+                shard.dl_bar(local),
+                p.tf,
+            );
+            assert_eq!(shard_score, global_score);
+        }
+    }
+
+    #[test]
+    fn merge_is_exact_inverse_of_split() {
+        let idx = sample_index();
+        for n in [1, 2, 3, 7] {
+            let sharded = ShardedIndex::split(&idx, n).unwrap();
+            let merged = sharded.merge().unwrap();
+            assert_eq!(merged, idx, "split({n}) then merge must reproduce the index");
+        }
+    }
+
+    #[test]
+    fn more_shards_than_docs_leaves_empty_shards() {
+        let mut b = IndexBuilder::new(BuildOptions::default());
+        b.add_document("solo doc");
+        let idx = b.build();
+        let sharded = ShardedIndex::split(&idx, 4).unwrap();
+        sharded.validate().unwrap();
+        assert_eq!(sharded.shard(0).num_docs(), 1);
+        for s in 1..4 {
+            assert_eq!(sharded.shard(s).num_docs(), 0);
+            assert_eq!(sharded.shard(s).num_terms(), idx.num_terms());
+        }
+        assert_eq!(sharded.merge().unwrap(), idx);
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        let idx = sample_index();
+        assert!(matches!(
+            ShardedIndex::split(&idx, 0),
+            Err(IndexError::CorruptIndex { .. })
+        ));
+    }
+
+    #[test]
+    fn balance_sums_to_corpus_totals() {
+        let idx = sample_index();
+        let sharded = ShardedIndex::split(&idx, 3).unwrap();
+        let balance = sharded.balance();
+        assert_eq!(balance.len(), 3);
+        let docs: u64 = balance.iter().map(|b| b.docs).sum();
+        assert_eq!(docs, idx.num_docs());
+        let postings: u64 = balance.iter().map(|b| b.postings).sum();
+        assert_eq!(postings, idx.size_stats().postings);
+        // Round-robin balance: doc counts differ by at most one.
+        let max = balance.iter().map(|b| b.docs).max().unwrap();
+        let min = balance.iter().map(|b| b.docs).min().unwrap();
+        assert!(max - min <= 1, "round-robin must balance docs: {balance:?}");
+        for b in &balance {
+            assert_eq!(b.bounded_lists, b.nonempty_lists);
+        }
+    }
+
+    #[test]
+    fn validate_catches_doc_count_tampering() {
+        let idx = sample_index();
+        let sharded = ShardedIndex::split(&idx, 2).unwrap();
+        let bad = ShardedIndex {
+            shards: sharded.shards.clone(),
+            n_docs: sharded.n_docs + 1,
+            parent_partitioner: sharded.parent_partitioner,
+        };
+        assert!(bad.validate().is_err());
+        let bad = ShardedIndex {
+            shards: vec![sharded.shards[0].clone(), sharded.shards[0].clone()],
+            n_docs: sharded.n_docs,
+            parent_partitioner: sharded.parent_partitioner,
+        };
+        assert!(bad.validate().is_err(), "duplicated shard must fail round-robin check");
+    }
+}

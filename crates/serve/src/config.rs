@@ -161,6 +161,12 @@ pub struct ServeConfig {
     /// default to keep fallback behavior byte-compatible with prior
     /// deployments.
     pub pruned_cpu_fallback: bool,
+    /// Document shards the CPU-fallback path fans each query across
+    /// (intra-query parallelism). `1` (the default, and the floor the
+    /// service clamps to) keeps the unsharded fallback; `N > 1` splits the
+    /// index round-robin at service start and answers every fallback query
+    /// on an N-worker shard pool with bit-identical results.
+    pub shards: usize,
 }
 
 impl Default for ServeConfig {
@@ -176,6 +182,7 @@ impl Default for ServeConfig {
             sim,
             fault: FaultPlan::NONE,
             pruned_cpu_fallback: false,
+            shards: 1,
         }
     }
 }

@@ -17,7 +17,7 @@ use std::time::Instant;
 
 use iiu_core::{
     CpuSearchEngine, Degradation, IiuSearchEngine, Query, SearchEngine, SearchError,
-    SearchResponse,
+    SearchResponse, ShardedSearchEngine,
 };
 use iiu_index::faultinject::SplitMix64;
 use iiu_index::InvertedIndex;
@@ -102,6 +102,10 @@ struct Shared {
     stats: ServeStats,
     breaker: CircuitBreaker,
     seq: AtomicU64,
+    /// Shard fan-out engine for the CPU-fallback path when
+    /// `cfg.shards > 1`. One shard pool shared by every serve worker
+    /// (`search_ref` takes `&self`); `None` keeps the unsharded fallback.
+    sharded: Option<ShardedSearchEngine>,
 }
 
 /// Locks a mutex, recovering from poisoning. Queue contents are plain
@@ -141,6 +145,17 @@ impl QueryService {
         cfg.workers = cfg.workers.max(1);
         cfg.queue_capacity = cfg.queue_capacity.max(1);
         cfg.cores_per_query = cfg.cores_per_query.clamp(1, cfg.sim.n_cores.max(1));
+        cfg.shards = cfg.shards.max(1);
+        // Splitting a valid index cannot fail for shards >= 1; if it ever
+        // does, serving unsharded is strictly better than refusing to
+        // start (same results, just no fan-out).
+        let sharded = (cfg.shards > 1)
+            .then(|| {
+                ShardedSearchEngine::split(&index, cfg.shards)
+                    .ok()
+                    .map(|e| e.with_pruning(cfg.pruned_cpu_fallback))
+            })
+            .flatten();
         let breaker = CircuitBreaker::new(cfg.breaker);
         let shared = Arc::new(Shared {
             index,
@@ -151,6 +166,7 @@ impl QueryService {
             stats: ServeStats::default(),
             breaker,
             seq: AtomicU64::new(0),
+            sharded,
         });
         let workers = (0..shared.cfg.workers)
             .map(|i| {
@@ -227,6 +243,15 @@ impl QueryService {
             panicked: s.panicked.load(Ordering::Relaxed),
             retries: s.retries.load(Ordering::Relaxed),
             cpu_fallbacks: s.cpu_fallbacks.load(Ordering::Relaxed),
+            fallback_candidates: s.fallback_candidates.load(Ordering::Relaxed),
+            fallback_modeled_ns: s.fallback_modeled_ns.load(Ordering::Relaxed),
+            shards: self.shared.cfg.shards,
+            shard_docs_scored: self
+                .shared
+                .sharded
+                .as_ref()
+                .map(|e| e.inner().shard_loads())
+                .unwrap_or_default(),
             breaker: self.shared.breaker.state(),
             breaker_trips: self.shared.breaker.trips(),
             breaker_recoveries: self.shared.breaker.recoveries(),
@@ -446,12 +471,32 @@ fn run_fallback(
     shared.stats.cpu_fallbacks.fetch_add(1, Ordering::Relaxed);
     let index = &*shared.index;
     let result = panic::catch_unwind(AssertUnwindSafe(|| {
-        let mut engine =
-            CpuSearchEngine::new(index).with_pruning(shared.cfg.pruned_cpu_fallback);
-        engine.search(&job.query, job.k)
+        // Sharded fan-out when configured (intra-query parallelism, same
+        // hits); otherwise the plain single-threaded baseline. The shard
+        // pool is shared across serve workers, so the engine is queried
+        // through &self.
+        match &shared.sharded {
+            Some(engine) => engine.search_ref(&job.query, job.k),
+            None => {
+                let mut engine =
+                    CpuSearchEngine::new(index).with_pruning(shared.cfg.pruned_cpu_fallback);
+                engine.search(&job.query, job.k)
+            }
+        }
     }));
     match result {
         Ok(Ok(mut response)) => {
+            // Keep the CPU outcome's work accounting instead of dropping
+            // it with the response wrapper: operators see how much index
+            // work the fallback absorbed.
+            shared
+                .stats
+                .fallback_candidates
+                .fetch_add(response.candidates, Ordering::Relaxed);
+            shared
+                .stats
+                .fallback_modeled_ns
+                .fetch_add(response.latency_ns() as u64, Ordering::Relaxed);
             response.degraded.push(Degradation::CpuFallback { reason });
             Ok(response)
         }

@@ -37,6 +37,13 @@ pub struct ServeStats {
     pub retries: AtomicU64,
     /// Queries answered by the CPU baseline instead of the device.
     pub cpu_fallbacks: AtomicU64,
+    /// Candidate documents scanned by CPU-fallback answers. The fallback
+    /// path keeps (not drops) the baseline's work accounting, so operators
+    /// can see how much index work the CPU absorbed while the device was
+    /// unhealthy.
+    pub fallback_candidates: AtomicU64,
+    /// Modeled nanoseconds of CPU work spent by fallback answers.
+    pub fallback_modeled_ns: AtomicU64,
     buckets: [AtomicU64; BUCKETS],
 }
 
@@ -52,6 +59,8 @@ impl Default for ServeStats {
             panicked: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             cpu_fallbacks: AtomicU64::new(0),
+            fallback_candidates: AtomicU64::new(0),
+            fallback_modeled_ns: AtomicU64::new(0),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -127,6 +136,15 @@ pub struct HealthSnapshot {
     pub retries: u64,
     /// CPU-baseline answers.
     pub cpu_fallbacks: u64,
+    /// Candidate documents scanned by CPU-fallback answers.
+    pub fallback_candidates: u64,
+    /// Modeled nanoseconds of CPU work spent by fallback answers.
+    pub fallback_modeled_ns: u64,
+    /// Document shards the CPU fallback fans out across (1 = unsharded).
+    pub shards: usize,
+    /// Cumulative documents scored per shard (empty when unsharded) — the
+    /// operator's load-balance view.
+    pub shard_docs_scored: Vec<u64>,
     /// Breaker state at snapshot time.
     pub breaker: BreakerState,
     /// Breaker trips so far.
@@ -178,14 +196,19 @@ impl std::fmt::Display for HealthSnapshot {
         )?;
         writeln!(
             f,
-            "retries={} cpu_fallbacks={} breaker={} trips={} recoveries={} queue_depth={}",
+            "retries={} cpu_fallbacks={} fallback_candidates={} breaker={} trips={} \
+             recoveries={} queue_depth={}",
             self.retries,
             self.cpu_fallbacks,
+            self.fallback_candidates,
             self.breaker,
             self.breaker_trips,
             self.breaker_recoveries,
             self.queue_depth,
         )?;
+        if self.shards > 1 {
+            writeln!(f, "shards={} docs_scored_per_shard={:?}", self.shards, self.shard_docs_scored)?;
+        }
         match (self.p50, self.p99) {
             (Some(p50), Some(p99)) => write!(f, "p50≤{p50:?} p99≤{p99:?}"),
             _ => write!(f, "no latencies recorded"),
@@ -235,6 +258,10 @@ mod tests {
             panicked: 0,
             retries: 4,
             cpu_fallbacks: 6,
+            fallback_candidates: 120,
+            fallback_modeled_ns: 9_000,
+            shards: 2,
+            shard_docs_scored: vec![60, 60],
             breaker: BreakerState::Closed,
             breaker_trips: 1,
             breaker_recoveries: 1,
@@ -244,5 +271,7 @@ mod tests {
         };
         assert!((h.shed_rate() - 0.20).abs() < 1e-12);
         assert!(h.to_string().contains("breaker=closed"));
+        assert!(h.to_string().contains("fallback_candidates=120"));
+        assert!(h.to_string().contains("shards=2"));
     }
 }

@@ -134,6 +134,82 @@ fn overload_sheds_typed_rejections() {
 }
 
 #[test]
+fn sharded_fallback_serves_identical_hits_and_reports_shard_stats() {
+    let index = Arc::new(tiny_index(0x5AAD));
+    // Every device attempt of every query is sabotaged, so each query
+    // exhausts retries and lands on the CPU fallback — which here fans
+    // out across 3 document shards.
+    let cfg = ServeConfig {
+        shards: 3,
+        retry: RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_micros(100),
+            jitter: 0.0,
+        },
+        fault: FaultPlan { burst: Some((0, 1024)), ..FaultPlan::NONE },
+        ..quick_config()
+    };
+    let svc = QueryService::start(Arc::clone(&index), cfg);
+    let mut cpu = CpuSearchEngine::new(&index);
+    let mut sampler = QuerySampler::new(&index, 21);
+    let mut expected_candidates = 0u64;
+    for (a, b) in sampler.pair_queries(5) {
+        for q in [
+            Query::term(a.clone()),
+            Query::and(Query::term(&a), Query::term(&b)),
+            Query::or(Query::term(&a), Query::term(&b)),
+        ] {
+            let served = svc.search_blocking(q.clone(), 10).expect("fallback should serve");
+            let direct = cpu.search(&q, 10).expect("cpu search failed");
+            assert_eq!(served.hits, direct.hits, "sharded fallback diverges for {q}");
+            assert!(
+                served.degraded.iter().any(|d| matches!(d, Degradation::CpuFallback { .. })),
+                "expected a fallback tag: {:?}",
+                served.degraded
+            );
+            expected_candidates += served.candidates;
+        }
+    }
+    let h = svc.health();
+    assert_eq!(h.cpu_fallbacks, 15);
+    assert_eq!(h.shards, 3);
+    assert_eq!(h.shard_docs_scored.len(), 3, "one load counter per shard");
+    assert!(
+        h.shard_docs_scored.iter().all(|&d| d > 0),
+        "every shard should have scored documents: {:?}",
+        h.shard_docs_scored
+    );
+    // The fallback path keeps (not drops) the CPU outcome's accounting.
+    assert_eq!(h.fallback_candidates, expected_candidates);
+    assert!(h.fallback_modeled_ns > 0);
+    assert!(h.to_string().contains("shards=3"));
+}
+
+#[test]
+fn unsharded_fallback_still_records_its_work() {
+    let index = Arc::new(tiny_index(0x5AAE));
+    let cfg = ServeConfig {
+        retry: RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_micros(100),
+            jitter: 0.0,
+        },
+        fault: FaultPlan { burst: Some((0, 1024)), ..FaultPlan::NONE },
+        ..quick_config()
+    };
+    let svc = QueryService::start(Arc::clone(&index), cfg);
+    let q = Query::term(term_of(&index, 2));
+    let served = svc.search_blocking(q, 10).expect("fallback should serve");
+    let h = svc.health();
+    assert_eq!(h.shards, 1);
+    assert!(h.shard_docs_scored.is_empty());
+    assert_eq!(h.fallback_candidates, served.candidates);
+    assert!(h.fallback_candidates > 0, "fallback work accounting was dropped");
+}
+
+#[test]
 fn transient_stall_is_retried_and_tagged() {
     let index = Arc::new(tiny_index(0x7E57));
     // stall_rate 1.0 sabotages exactly the first attempt of every query;

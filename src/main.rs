@@ -1,13 +1,14 @@
 //! `iiu` — command-line front end of the reproduction.
 //!
 //! ```text
-//! iiu gen     <index-file> [--docs N] [--preset ccnews|clueweb] [--seed S]
+//! iiu gen     <index-file> [--docs N] [--preset ccnews|clueweb] [--seed S] [--shards N]
 //! iiu build   <corpus.txt> <index-file> [--max-size N] [--positions yes]
 //! iiu stats   <index-file>
 //! iiu inspect <index-file> [--fault-rate R] [--trials N] [--seed S]
 //! iiu search  <index-file> "<query>" [--k N] [--engine cpu|iiu|both] [--cores N]
+//!             [--shards N]
 //! iiu serve-bench <index-file> [--workers N] [--rate QPS] [--queries N]
-//!                 [--deadline-ms MS] [--fault-rate R] [--seed S]
+//!                 [--deadline-ms MS] [--fault-rate R] [--seed S] [--shards N]
 //! ```
 //!
 //! `gen` writes an index over a synthetic Zipfian corpus; `build` indexes a
@@ -22,8 +23,14 @@
 
 use std::process::ExitCode;
 
-use iiu_core::{CpuSearchEngine, IiuSearchEngine, Query, SearchEngine, SearchResponse};
-use iiu_index::io::{deserialize, serialize, MAGIC, MAGIC_V1, MAGIC_V2};
+use iiu_core::{
+    CpuSearchEngine, IiuSearchEngine, Query, SearchEngine, SearchResponse, ShardedSearchEngine,
+};
+use iiu_index::io::{
+    deserialize, deserialize_sharded, is_sharded, serialize, serialize_sharded, MAGIC, MAGIC_V1,
+    MAGIC_V2,
+};
+use iiu_index::shard::ShardedIndex;
 use iiu_index::{
     corrupt, BuildOptions, IndexBuilder, IndexError, InvertedIndex, Partitioner, PositionIndex,
 };
@@ -60,19 +67,28 @@ fn print_usage() {
          \n\
          USAGE:\n\
          \x20 iiu gen     <index-file> [--docs N] [--preset ccnews|clueweb] [--seed S]\n\
+         \x20             [--shards N]\n\
          \x20 iiu build   <corpus.txt> <index-file> [--max-size N] [--positions yes]\n\
          \x20 iiu stats   <index-file>\n\
          \x20 iiu inspect <index-file> [--fault-rate R] [--trials N] [--seed S]\n\
          \x20 iiu search  <index-file> \"<query>\" [--k N] [--engine cpu|iiu|both] [--cores N]\n\
-         \x20             [--pruned yes]\n\
+         \x20             [--pruned yes] [--shards N]\n\
          \x20 iiu serve-bench <index-file> [--workers N] [--rate QPS] [--queries N]\n\
          \x20                 [--deadline-ms MS] [--fault-rate R] [--seed S] [--unknown-rate R]\n\
-         \x20                 [--pruned yes]\n\
+         \x20                 [--pruned yes] [--shards N]\n\
          \n\
          --pruned yes runs the CPU engine with block-max pruned top-k:\n\
          whole blocks whose score upper bound cannot reach the current\n\
          top-k threshold are skipped. Results are bit-identical to\n\
          exhaustive scoring; only the work done changes.\n\
+         \n\
+         --shards N splits the document space round-robin across N shards\n\
+         and fans each query out across a shard worker pool (intra-query\n\
+         parallelism); pruned shards exchange a shared top-k threshold.\n\
+         Hits stay bit-identical to the unsharded engine. In `gen` the flag\n\
+         writes a sharded manifest instead of a plain index (every other\n\
+         command loads either format; `inspect` reports per-shard balance\n\
+         and bounds coverage).\n\
          \n\
          serve-bench submits a Poisson open-loop query stream to the\n\
          resilient serving layer (deadlines, load shedding, retry, CPU\n\
@@ -131,6 +147,13 @@ fn parse_num<T: std::str::FromStr>(v: &str, what: &str) -> Result<T, String> {
 
 fn load_index(path: &str) -> Result<InvertedIndex, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if is_sharded(&bytes) {
+        // A shard manifest merges back into the exact unsharded index, so
+        // every command accepts either file format.
+        let sharded =
+            deserialize_sharded(&bytes).map_err(|e| format!("cannot parse {path}: {e}"))?;
+        return sharded.merge().map_err(|e| format!("cannot merge shards of {path}: {e}"));
+    }
     deserialize(&bytes).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
@@ -142,6 +165,10 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     };
     let docs: u32 = parse_num(flag("docs").unwrap_or("50000"), "--docs")?;
     let seed: u64 = parse_num(flag("seed").unwrap_or("42"), "--seed")?;
+    let shards: usize = parse_num(flag("shards").unwrap_or("1"), "--shards")?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
     let mut cfg = match flag("preset").unwrap_or("ccnews") {
         "ccnews" => CorpusConfig::ccnews_like(docs),
         "clueweb" => CorpusConfig::clueweb_like(docs),
@@ -156,7 +183,14 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         corpus.total_postings()
     );
     let index = corpus.into_default_index();
-    let bytes = serialize(&index).map_err(|e| format!("cannot serialize index: {e}"))?;
+    let bytes = if shards > 1 {
+        let sharded = ShardedIndex::split(&index, shards)
+            .map_err(|e| format!("cannot shard index: {e}"))?;
+        println!("split into {shards} round-robin document shards");
+        serialize_sharded(&sharded).map_err(|e| format!("cannot serialize index: {e}"))?
+    } else {
+        serialize(&index).map_err(|e| format!("cannot serialize index: {e}"))?
+    };
     std::fs::write(out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!(
         "wrote {out}: {} KiB, compression {:.2}x",
@@ -236,6 +270,10 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
     };
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     println!("file:     {path} ({} bytes)", bytes.len());
+
+    if is_sharded(&bytes) {
+        return inspect_sharded(&bytes, &parsed);
+    }
 
     let magic = bytes
         .get(..8)
@@ -321,6 +359,80 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn inspect_sharded(bytes: &[u8], parsed: &Args<'_>) -> Result<(), String> {
+    println!("format:   sharded manifest (round-robin document shards)");
+    let sharded = deserialize_sharded(bytes).map_err(|e| format!("load failed: {e}"))?;
+    println!("load:     ok (shard header, per-shard and footer checksums verified)");
+    sharded.validate().map_err(|e| format!("validation failed: {e}"))?;
+    println!("validate: ok (per-shard invariants and round-robin balance hold)");
+    println!(
+        "contents: {} documents across {} shards, {} terms",
+        sharded.num_docs(),
+        sharded.num_shards(),
+        sharded.shard(0).num_terms()
+    );
+    println!("balance:  shard    docs    postings    blocks    bounds-coverage");
+    for b in sharded.balance() {
+        println!(
+            "          {:>5} {:>7} {:>11} {:>9}    {}/{} nonempty lists bounded",
+            b.shard, b.docs, b.postings, b.blocks, b.bounded_lists, b.nonempty_lists
+        );
+    }
+
+    let Some(rate) = parsed.flag("fault-rate") else {
+        return Ok(());
+    };
+    let rate: f64 = parse_num(rate, "--fault-rate")?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("--fault-rate must be in 0..=1, got {rate}"));
+    }
+    let trials: u64 = parse_num(parsed.flag("trials").unwrap_or("1000"), "--trials")?;
+    let seed: u64 = parse_num(parsed.flag("seed").unwrap_or("7"), "--seed")?;
+    let per_trial = ((rate * bytes.len() as f64).ceil() as u64).max(1);
+
+    let (mut typed, mut checksums, mut equal, mut divergent, mut panics) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    for t in 0..trials {
+        let mut mutated = bytes.to_vec();
+        for i in 0..per_trial {
+            let trial_seed = seed
+                .wrapping_add(t.wrapping_mul(per_trial).wrapping_add(i))
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            mutated = corrupt(&mutated, trial_seed).0;
+        }
+        match std::panic::catch_unwind(|| deserialize_sharded(&mutated)) {
+            Err(_) => panics += 1,
+            Ok(Err(e)) => {
+                typed += 1;
+                if matches!(e, IndexError::ChecksumMismatch { .. }) {
+                    checksums += 1;
+                }
+            }
+            Ok(Ok(loaded)) => {
+                if loaded == sharded {
+                    equal += 1;
+                } else {
+                    divergent += 1;
+                }
+            }
+        }
+    }
+
+    println!();
+    println!("fault injection: {trials} trials x {per_trial} corruption(s), seed {seed}");
+    println!("  rejected with typed error:    {typed}  ({checksums} by checksum)");
+    println!("  accepted, semantically equal: {equal}");
+    println!("  accepted, DIVERGENT:          {divergent}");
+    println!("  panics:                       {panics}");
+    if divergent > 0 || panics > 0 {
+        return Err(format!(
+            "survival: FAIL ({divergent} silent corruption(s), {panics} panic(s))"
+        ));
+    }
+    println!("survival: PASS");
+    Ok(())
+}
+
 fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
     use std::sync::Arc;
     use std::time::{Duration, Instant};
@@ -336,6 +448,7 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
         );
     };
     let workers: usize = parse_num(flag("workers").unwrap_or("4"), "--workers")?;
+    let shards: usize = parse_num(flag("shards").unwrap_or("1"), "--shards")?;
     let rate: f64 = parse_num(flag("rate").unwrap_or("200"), "--rate")?;
     let queries: usize = parse_num(flag("queries").unwrap_or("2000"), "--queries")?;
     let deadline_ms: u64 = parse_num(flag("deadline-ms").unwrap_or("250"), "--deadline-ms")?;
@@ -364,6 +477,7 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
     );
     let cfg = ServeConfig {
         workers,
+        shards: shards.max(1),
         default_deadline: Duration::from_millis(deadline_ms),
         fault: FaultPlan { stall_rate: fault_rate, seed, ..FaultPlan::NONE },
         pruned_cpu_fallback: pruned,
@@ -371,8 +485,9 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
     };
     println!(
         "serve-bench: {queries} queries at {rate} qps, {workers} workers, \
-         deadline {deadline_ms} ms, fault rate {fault_rate}{}",
-        if pruned { ", pruned CPU fallback" } else { "" }
+         deadline {deadline_ms} ms, fault rate {fault_rate}{}{}",
+        if pruned { ", pruned CPU fallback" } else { "" },
+        if shards > 1 { format!(", {shards}-shard CPU fallback") } else { String::new() }
     );
 
     let mut svc = QueryService::start(Arc::clone(&index), cfg);
@@ -421,6 +536,19 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
         "resilience:    {} retries, {} cpu fallbacks, {} isolated panics",
         h.retries, h.cpu_fallbacks, h.panicked
     );
+    if h.cpu_fallbacks > 0 {
+        println!(
+            "fallback work: {} candidates scanned, {:.2} ms modeled CPU time",
+            h.fallback_candidates,
+            h.fallback_modeled_ns as f64 / 1e6
+        );
+    }
+    if h.shards > 1 {
+        println!(
+            "shards:        {} workers, docs scored per shard {:?}",
+            h.shards, h.shard_docs_scored
+        );
+    }
     println!(
         "breaker:       {} ({} trips, {} recoveries)",
         h.breaker, h.breaker_trips, h.breaker_recoveries
@@ -447,7 +575,7 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
     let [path, query_text] = parsed.positional[..] else {
         return Err(
             "usage: iiu search <index-file> \"<query>\" [--k N] [--engine cpu|iiu|both] \
-             [--pruned yes]"
+             [--pruned yes] [--shards N]"
                 .into(),
         );
     };
@@ -455,6 +583,10 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
     let cores: usize = parse_num(flag("cores").unwrap_or("8"), "--cores")?;
     let engine = flag("engine").unwrap_or("both");
     let pruned = flag("pruned").is_some();
+    let shards: usize = parse_num(flag("shards").unwrap_or("1"), "--shards")?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
     let index = load_index(path)?;
     let positions = std::fs::read(format!("{path}.pos"))
         .ok()
@@ -491,6 +623,19 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
     } else {
         None
     };
+    if shards > 1 && engine != "iiu" {
+        // Same baseline fanned across document shards: bit-identical hits,
+        // critical-path (not summed) modeled latency.
+        let eng = ShardedSearchEngine::split(&index, shards)
+            .map_err(|e| e.to_string())?
+            .with_pruning(pruned);
+        let r = eng.search_ref(&query, k).map_err(|e| e.to_string())?;
+        show(&format!("baseline ({shards} shards{})", if pruned { ", pruned" } else { "" }), &r);
+        if let Some(c) = &cpu_result {
+            println!("shard speedup: {:.1}x", c.latency_ns() / r.latency_ns());
+            assert_eq!(c.hits, r.hits, "sharded baseline must agree with unsharded");
+        }
+    }
     if engine != "cpu" {
         let mut iiu = IiuSearchEngine::with_config(&index, Default::default(), cores);
         if let Some(p) = &positions {

@@ -1,9 +1,10 @@
 #!/usr/bin/env sh
 # Full verification gate: build, tests, the fault-injected serving soak,
-# the no-panic lint wall, and the hot-path decode perf gate.
+# the no-panic lint wall, and the hot-path decode and shard-scaling perf
+# gates.
 #
 # Usage: ./verify.sh [--quick]
-#   --quick  skip the decode perf gate (the slowest step; use while
+#   --quick  skip the perf gates (the slowest steps; use while
 #            iterating on functional changes).
 #
 # The clippy pass denies unwrap()/expect() across the workspace. Crates
@@ -34,6 +35,12 @@ cargo test -q --workspace
 # exhaustive scoring across query shapes, k values, and engines.
 cargo test --release --test topk_equivalence -q
 
+# Sharded-search equivalence (DESIGN.md §14): release-mode proof that the
+# document-sharded engine returns bit-identical hits (score and docID
+# order) to the unsharded engine across shard counts and query shapes,
+# including under the cross-shard shared threshold.
+cargo test --release --test shard_equivalence -q
+
 # Acceptance soak for the resilient serving layer (DESIGN.md §10): 10k
 # queries open-loop at 2x the measured sustainable rate with injected
 # stalls, an all-fail burst, and injected panics. Release mode, ~30s
@@ -59,6 +66,20 @@ if [ "$quick" -eq 0 ]; then
         --check BENCH_decode_thresholds.json
 else
     echo "verify: --quick set, skipping decode perf gate"
+fi
+
+# Shard scaling gate (DESIGN.md §14): re-measures document-sharded vs
+# unsharded pruned top-k on the 60k-doc corpus, rewrites BENCH_shard.json,
+# and fails if a gated wall min_ns regresses past the committed baseline,
+# if the 4-shard single-term k=10 modeled QPS gain drops below 2.5x, or
+# if per-shard pruning stops skipping blocks. Regenerate baselines with:
+#   cargo run --release -p iiu-bench --bin shard_bench -- \
+#     --write-thresholds BENCH_shard_thresholds.json
+if [ "$quick" -eq 0 ]; then
+    cargo run --release -p iiu-bench --bin shard_bench -- \
+        --check BENCH_shard_thresholds.json
+else
+    echo "verify: --quick set, skipping shard scaling gate"
 fi
 
 echo "verify: OK"
