@@ -13,10 +13,7 @@
 //! (see DESIGN.md §2 for why this substitution preserves the paper's
 //! comparisons).
 
-// The baseline's internal merge loops pop from queues they just checked;
-// verify.sh lints the workspace with -D clippy::unwrap_used/expect_used,
-// which source-level allows override.
-#![allow(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cost;
 pub mod engine;
@@ -29,6 +26,9 @@ pub mod topk;
 pub use cost::{CpuCostModel, PhaseBreakdown};
 pub use engine::{CpuEngine, QueryOutcome};
 pub use ops::{BlockCache, DecodeScratch, OpCounts, BLOCK_CACHE_ENTRIES};
-pub use sharded::{ShardPool, ShardedEngine, ShardedOutcome};
+pub use sharded::{
+    ShardHealth, ShardHealthReport, ShardOutcome, ShardPool, ShardPoolConfig, ShardRun,
+    ShardedEngine, ShardedOutcome,
+};
 pub use throughput::parallel_makespan_ns;
 pub use topk::{rank_cmp, top_k, FusedTopK, Hit, SharedThreshold};

@@ -38,10 +38,13 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
+use iiu_index::faultinject::ShardChaosPlan;
 use iiu_index::score::term_score_fixed;
 use iiu_index::shard::ShardedIndex;
 use iiu_index::{IndexError, InvertedIndex, TermId};
@@ -60,51 +63,282 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 
 type Job = Box<dyn FnOnce(&InvertedIndex, &mut DecodeScratch) + Send>;
 
-/// A persistent pool with one worker per shard, each owning its shard
-/// reference and decode scratch. The execution substrate sharded engines
-/// (and higher layers running general query trees) submit onto.
+/// Supervision policy for a [`ShardPool`]: how long the coordinator
+/// waits per fan-out, when a failing shard is quarantined, and how dead
+/// workers are respawned.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardPoolConfig {
+    /// Maximum time one fan-out waits for its dispatched shards. A shard
+    /// missing the deadline is marked [`ShardHealth::Wedged`], its slot
+    /// comes back `None`, and the run proceeds with the shards that
+    /// answered. `None` (the default) waits unboundedly — the legacy
+    /// library behavior; serving layers should always set a deadline.
+    pub deadline: Option<Duration>,
+    /// Consecutive failures (panic, timeout, dead dispatch) after which a
+    /// shard is quarantined: skipped at fan-out, then probed half-open
+    /// after [`Self::quarantine_cooldown`]. `0` disables quarantine.
+    pub quarantine_threshold: u32,
+    /// How long a quarantined shard sits out before one probe query is
+    /// allowed through (half-open, mirroring the serve circuit breaker).
+    pub quarantine_cooldown: Duration,
+    /// Base delay before respawning a dead worker; doubles per
+    /// consecutive failed attempt up to [`Self::respawn_max_backoff`].
+    pub respawn_base_backoff: Duration,
+    /// Cap on the respawn backoff.
+    pub respawn_max_backoff: Duration,
+    /// How long `Drop` waits for each worker to finish before detaching
+    /// it (a wedged worker must not deadlock shutdown).
+    pub drop_join_timeout: Duration,
+}
+
+impl Default for ShardPoolConfig {
+    fn default() -> Self {
+        ShardPoolConfig {
+            deadline: None,
+            quarantine_threshold: 3,
+            quarantine_cooldown: Duration::from_millis(100),
+            respawn_base_backoff: Duration::from_millis(10),
+            respawn_max_backoff: Duration::from_secs(1),
+            drop_join_timeout: Duration::from_millis(500),
+        }
+    }
+}
+
+/// A shard's current supervision state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Answering normally.
+    Ok,
+    /// Last execution panicked (still dispatched; quarantine trips after
+    /// enough consecutive failures).
+    Panicked,
+    /// Missed the fan-out deadline; skipped until its backlog drains.
+    Wedged,
+    /// Worker thread is gone (spawn failure or death); respawned with
+    /// bounded exponential backoff.
+    DeadWorker,
+    /// Tripped the consecutive-failure threshold; skipped at fan-out
+    /// until the cooldown elapses, then probed half-open.
+    Quarantined,
+}
+
+impl std::fmt::Display for ShardHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ShardHealth::Ok => "ok",
+            ShardHealth::Panicked => "panicked",
+            ShardHealth::Wedged => "wedged",
+            ShardHealth::DeadWorker => "dead-worker",
+            ShardHealth::Quarantined => "quarantined",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What happened to one shard during one [`ShardPool::run_on`] fan-out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardOutcome {
+    /// Not in the run's target set.
+    NotDispatched,
+    /// Dispatched and answered in time.
+    Answered,
+    /// Dispatched; the execution panicked (slot is `None`).
+    Panicked,
+    /// Dispatched; missed the deadline (slot is `None`, shard marked
+    /// wedged).
+    TimedOut,
+    /// Skipped: still draining a backlog from an earlier timeout.
+    SkippedWedged,
+    /// Skipped: quarantined and not yet due for a half-open probe.
+    SkippedQuarantined,
+    /// Skipped: no worker thread (spawn failed or died; respawn pending).
+    NoWorker,
+}
+
+impl ShardOutcome {
+    /// Whether the shard produced a result this run.
+    pub fn answered(self) -> bool {
+        self == ShardOutcome::Answered
+    }
+}
+
+/// Cumulative supervision counters for one shard, as reported by
+/// [`ShardPool::supervision`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardHealthReport {
+    /// Shard index.
+    pub shard: usize,
+    /// Current state.
+    pub health: ShardHealth,
+    /// Consecutive failures since the last success.
+    pub consecutive_failures: u32,
+    /// Total failed executions (panics + timeouts + dead dispatches).
+    pub failures: u64,
+    /// Executions that panicked.
+    pub panics: u64,
+    /// Executions that missed the fan-out deadline.
+    pub timeouts: u64,
+    /// Times quarantine tripped.
+    pub quarantine_trips: u64,
+    /// Times a half-open probe recovered the shard from quarantine.
+    pub quarantine_recoveries: u64,
+    /// Worker threads respawned after death.
+    pub respawns: u64,
+}
+
+/// Per-shard worker bookkeeping (behind the pool's supervision mutex).
+#[derive(Debug)]
+struct WorkerState {
+    sender: Option<Sender<Job>>,
+    handle: Option<JoinHandle<()>>,
+    /// Kill switch the worker checks between jobs ([`ShardPool::kill_worker`]).
+    die: Arc<AtomicBool>,
+    /// Jobs the worker has finished (incremented by the worker thread).
+    completed: Arc<AtomicU64>,
+    /// Jobs handed to the worker's channel. `completed >= submitted`
+    /// means the backlog has drained (respawn realigns the two, and a
+    /// dying worker's final increments can briefly overshoot).
+    submitted: u64,
+    health: ShardHealth,
+    consecutive_failures: u32,
+    quarantined_at: Option<Instant>,
+    probe_in_flight: bool,
+    respawn_attempts: u32,
+    last_respawn: Option<Instant>,
+    failures: u64,
+    panics: u64,
+    timeouts: u64,
+    dead_dispatches: u64,
+    quarantine_trips: u64,
+    quarantine_recoveries: u64,
+    respawns: u64,
+}
+
+impl WorkerState {
+    fn drained(&self) -> bool {
+        self.completed.load(Ordering::Relaxed) >= self.submitted
+    }
+
+    fn worker_dead(&self) -> bool {
+        self.sender.is_none() || self.handle.as_ref().is_none_or(|h| h.is_finished())
+    }
+}
+
+/// The per-run result slots plus what happened to every shard.
+#[derive(Debug)]
+pub struct ShardRun<T> {
+    /// Per-shard results in shard order; `None` where the shard did not
+    /// answer (see the matching outcome for why).
+    pub slots: Vec<Option<T>>,
+    /// Per-shard dispatch outcome in shard order.
+    pub outcomes: Vec<ShardOutcome>,
+}
+
+fn spawn_worker(
+    index: &Arc<ShardedIndex>,
+    s: usize,
+    die: Arc<AtomicBool>,
+    completed: Arc<AtomicU64>,
+) -> std::io::Result<(Sender<Job>, JoinHandle<()>)> {
+    let (tx, rx) = mpsc::channel::<Job>();
+    let index = Arc::clone(index);
+    let builder = std::thread::Builder::new().name(format!("iiu-shard-{s}"));
+    let handle = builder.spawn(move || {
+        let mut scratch = DecodeScratch::new();
+        while !die.load(Ordering::Relaxed) {
+            let Ok(job) = rx.recv() else { break };
+            // The submit path wraps the caller's closure in its own
+            // catch_unwind so the result slot is always signalled; this
+            // outer guard keeps the worker alive even if that wrapper
+            // itself panics.
+            let _ = catch_unwind(AssertUnwindSafe(|| {
+                job(index.shard(s), &mut scratch);
+            }));
+            completed.fetch_add(1, Ordering::Relaxed);
+        }
+    })?;
+    Ok((tx, handle))
+}
+
+/// A persistent pool with one supervised worker per shard, each owning
+/// its shard reference and decode scratch. The execution substrate
+/// sharded engines (and higher layers running general query trees)
+/// submit onto.
+///
+/// Supervision (see [`ShardPoolConfig`]): fan-outs wait at most the
+/// configured deadline; a shard missing it is *wedged* and skipped until
+/// its backlog drains; a shard failing repeatedly is *quarantined* and
+/// probed half-open after a cooldown; a dead worker thread is respawned
+/// with bounded exponential backoff. All of it is fail-soft — the
+/// surviving shards keep answering throughout.
 #[derive(Debug)]
 pub struct ShardPool {
     index: Arc<ShardedIndex>,
-    senders: Vec<Sender<Job>>,
-    handles: Vec<JoinHandle<()>>,
+    cfg: ShardPoolConfig,
+    workers: Mutex<Vec<WorkerState>>,
+    /// Test-only spawn sabotage: bit `s` set means shard `s`'s worker
+    /// can never spawn (exercises the spawn-failure path end to end).
+    fail_spawn_mask: u64,
 }
 
 impl ShardPool {
-    /// Spawns one worker per shard of `index`.
+    /// Spawns one worker per shard of `index` with default supervision.
     pub fn new(index: Arc<ShardedIndex>) -> Self {
+        Self::with_config(index, ShardPoolConfig::default())
+    }
+
+    /// Spawns one worker per shard of `index` under `cfg`.
+    pub fn with_config(index: Arc<ShardedIndex>, cfg: ShardPoolConfig) -> Self {
+        Self::build(index, cfg, 0)
+    }
+
+    #[cfg(test)]
+    fn with_unspawnable(index: Arc<ShardedIndex>, cfg: ShardPoolConfig, mask: u64) -> Self {
+        Self::build(index, cfg, mask)
+    }
+
+    fn build(index: Arc<ShardedIndex>, cfg: ShardPoolConfig, fail_spawn_mask: u64) -> Self {
         let n = index.num_shards();
-        let mut senders = Vec::with_capacity(n);
-        let mut handles = Vec::with_capacity(n);
+        let mut workers = Vec::with_capacity(n);
         for s in 0..n {
-            let (tx, rx) = mpsc::channel::<Job>();
-            let index = Arc::clone(&index);
-            let builder = std::thread::Builder::new().name(format!("iiu-shard-{s}"));
-            let handle = builder.spawn(move || {
-                let mut scratch = DecodeScratch::new();
-                while let Ok(job) = rx.recv() {
-                    // The submit path wraps the caller's closure in its
-                    // own catch_unwind so the result slot is always
-                    // signalled; this outer guard keeps the worker alive
-                    // even if that wrapper itself panics.
-                    let _ = catch_unwind(AssertUnwindSafe(|| {
-                        job(index.shard(s), &mut scratch);
-                    }));
+            let die = Arc::new(AtomicBool::new(false));
+            let completed = Arc::new(AtomicU64::new(0));
+            let masked = s < 64 && fail_spawn_mask & (1u64 << s) != 0;
+            let spawned = if masked {
+                None
+            } else {
+                spawn_worker(&index, s, Arc::clone(&die), Arc::clone(&completed)).ok()
+            };
+            let (sender, handle, health, attempts, last) = match spawned {
+                Some((tx, h)) => (Some(tx), Some(h), ShardHealth::Ok, 0, None),
+                // Spawn failure: run_on reports the shard NoWorker and
+                // retries the spawn with backoff at later dispatches.
+                None => {
+                    (None, None, ShardHealth::DeadWorker, 1, Some(Instant::now()))
                 }
+            };
+            workers.push(WorkerState {
+                sender,
+                handle,
+                die,
+                completed,
+                submitted: 0,
+                health,
+                consecutive_failures: 0,
+                quarantined_at: None,
+                probe_in_flight: false,
+                respawn_attempts: attempts,
+                last_respawn: last,
+                failures: 0,
+                panics: 0,
+                timeouts: 0,
+                dead_dispatches: 0,
+                quarantine_trips: 0,
+                quarantine_recoveries: 0,
+                respawns: 0,
             });
-            match handle {
-                Ok(h) => {
-                    senders.push(tx);
-                    handles.push(h);
-                }
-                Err(_) => {
-                    // Spawn failure: drop the sender; run() treats the
-                    // missing worker as a failed shard.
-                    drop(tx);
-                }
-            }
         }
-        ShardPool { index, senders, handles }
+        ShardPool { index, cfg, workers: Mutex::new(workers), fail_spawn_mask }
     }
 
     /// The sharded index the pool serves.
@@ -117,55 +351,345 @@ impl ShardPool {
         self.index.num_shards()
     }
 
+    /// The pool's supervision policy.
+    pub fn config(&self) -> &ShardPoolConfig {
+        &self.cfg
+    }
+
+    fn backoff(cfg: &ShardPoolConfig, attempts: u32) -> Duration {
+        let mult = 1u32 << attempts.min(16).min(31);
+        cfg.respawn_base_backoff.saturating_mul(mult).min(cfg.respawn_max_backoff)
+    }
+
+    /// Attempts to respawn a dead worker, honoring the exponential
+    /// backoff. Returns whether the shard now has a live worker.
+    fn try_respawn(&self, w: &mut WorkerState, s: usize) -> bool {
+        let backoff = Self::backoff(&self.cfg, w.respawn_attempts);
+        if w.last_respawn.is_some_and(|t| t.elapsed() < backoff) {
+            return false;
+        }
+        w.last_respawn = Some(Instant::now());
+        w.respawn_attempts = w.respawn_attempts.saturating_add(1);
+        if s < 64 && self.fail_spawn_mask & (1u64 << s) != 0 {
+            return false;
+        }
+        let die = Arc::new(AtomicBool::new(false));
+        match spawn_worker(&self.index, s, Arc::clone(&die), Arc::clone(&w.completed)) {
+            Ok((tx, handle)) => {
+                // Jobs queued to the dead channel are lost; realign the
+                // drain accounting with what the new worker can complete.
+                w.submitted = w.completed.load(Ordering::Relaxed);
+                w.sender = Some(tx);
+                w.handle = Some(handle);
+                w.die = die;
+                w.respawns += 1;
+                if w.health == ShardHealth::DeadWorker {
+                    w.health = ShardHealth::Ok;
+                }
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn record_failure(cfg: &ShardPoolConfig, w: &mut WorkerState, kind: ShardHealth) {
+        w.failures += 1;
+        w.consecutive_failures = w.consecutive_failures.saturating_add(1);
+        if cfg.quarantine_threshold > 0
+            && w.consecutive_failures >= cfg.quarantine_threshold
+        {
+            if w.health != ShardHealth::Quarantined {
+                w.quarantine_trips += 1;
+            }
+            w.health = ShardHealth::Quarantined;
+            w.quarantined_at = Some(Instant::now());
+        } else {
+            w.health = kind;
+        }
+    }
+
+    /// Kills shard `s`'s worker thread: the chaos-campaign instrument for
+    /// worker death mid-stream. The worker exits after its current job;
+    /// dead-worker detection and respawn take over at a later dispatch.
+    pub fn kill_worker(&self, s: usize) {
+        let mut ws = lock(&self.workers);
+        let Some(w) = ws.get_mut(s) else { return };
+        w.die.store(true, Ordering::Relaxed);
+        // A no-op job wakes a worker blocked in recv() so it sees the
+        // kill switch; it completes (and is counted) before the exit.
+        if let Some(tx) = &w.sender {
+            if tx.send(Box::new(|_, _| {})).is_ok() {
+                w.submitted += 1;
+            }
+        }
+    }
+
+    /// Current per-shard supervision state and counters.
+    pub fn supervision(&self) -> Vec<ShardHealthReport> {
+        let ws = lock(&self.workers);
+        ws.iter()
+            .enumerate()
+            .map(|(shard, w)| {
+                let health = if w.worker_dead() && w.health != ShardHealth::Quarantined
+                {
+                    ShardHealth::DeadWorker
+                } else {
+                    w.health
+                };
+                ShardHealthReport {
+                    shard,
+                    health,
+                    consecutive_failures: w.consecutive_failures,
+                    failures: w.failures,
+                    panics: w.panics,
+                    timeouts: w.timeouts,
+                    quarantine_trips: w.quarantine_trips,
+                    quarantine_recoveries: w.quarantine_recoveries,
+                    respawns: w.respawns,
+                }
+            })
+            .collect()
+    }
+
+    /// Shards a fan-out would currently dispatch to (no side effects):
+    /// live or respawn-due workers that are neither quarantine-cooling
+    /// nor draining a wedge backlog. Engines use this to pick fan-out
+    /// targets (and the threshold primer shard) up front instead of
+    /// discovering unavailability mid-run.
+    pub fn ready_shards(&self) -> Vec<usize> {
+        let ws = lock(&self.workers);
+        ws.iter()
+            .enumerate()
+            .filter_map(|(s, w)| {
+                if w.worker_dead() {
+                    // A dispatch would attempt a respawn once the backoff
+                    // elapses (optimistically ready; a failed spawn just
+                    // yields a NoWorker slot).
+                    let backoff = Self::backoff(&self.cfg, w.respawn_attempts);
+                    let due = w.last_respawn.is_none_or(|t| t.elapsed() >= backoff);
+                    return due.then_some(s);
+                }
+                match w.health {
+                    ShardHealth::Quarantined => {
+                        let cooled = w.quarantined_at.is_none_or(|t| {
+                            t.elapsed() >= self.cfg.quarantine_cooldown
+                        });
+                        (cooled && !w.probe_in_flight && w.drained()).then_some(s)
+                    }
+                    ShardHealth::Wedged => w.drained().then_some(s),
+                    _ => Some(s),
+                }
+            })
+            .collect()
+    }
+
     /// Runs `f` once on every shard worker (in parallel) and collects the
     /// per-shard results in shard order. A slot is `None` if that shard's
-    /// execution panicked or its worker is gone — the other shards still
-    /// complete and the pool remains usable.
+    /// execution panicked, missed the deadline, was quarantined, or its
+    /// worker is gone — the other shards still complete and the pool
+    /// remains usable.
     pub fn run<T, F>(&self, f: F) -> Vec<Option<T>>
     where
         F: Fn(usize, &InvertedIndex, &mut DecodeScratch) -> T + Send + Sync + 'static,
         T: Send + 'static,
     {
+        self.run_on(None, f).slots
+    }
+
+    /// Like [`Self::run`] but also reports what happened to every shard.
+    pub fn run_with_report<T, F>(&self, f: F) -> ShardRun<T>
+    where
+        F: Fn(usize, &InvertedIndex, &mut DecodeScratch) -> T + Send + Sync + 'static,
+        T: Send + 'static,
+    {
+        self.run_on(None, f)
+    }
+
+    /// Runs `f` on the shards in `targets` (all shards when `None`),
+    /// waiting at most the configured deadline, and updates supervision
+    /// state from the outcomes.
+    pub fn run_on<T, F>(&self, targets: Option<&[usize]>, f: F) -> ShardRun<T>
+    where
+        F: Fn(usize, &InvertedIndex, &mut DecodeScratch) -> T + Send + Sync + 'static,
+        T: Send + 'static,
+    {
         struct Slot<T> {
-            state: Mutex<(Vec<Option<T>>, usize)>,
+            /// (per-shard results, per-shard done flags, done count)
+            state: Mutex<(Vec<Option<T>>, Vec<bool>, usize)>,
             done: Condvar,
         }
         let n = self.num_shards();
         let f = Arc::new(f);
         let slot = Arc::new(Slot {
-            state: Mutex::new(((0..n).map(|_| None).collect::<Vec<Option<T>>>(), 0usize)),
+            state: Mutex::new((
+                (0..n).map(|_| None).collect::<Vec<Option<T>>>(),
+                vec![false; n],
+                0usize,
+            )),
             done: Condvar::new(),
         });
+        let mut outcomes = vec![ShardOutcome::NotDispatched; n];
+        let mut dispatched = vec![false; n];
+        let mut probing = vec![false; n];
         let mut expected = 0usize;
-        for (s, tx) in self.senders.iter().enumerate() {
-            let f = Arc::clone(&f);
-            let slot = Arc::clone(&slot);
-            let job: Job = Box::new(move |shard, scratch| {
-                let out = catch_unwind(AssertUnwindSafe(|| f(s, shard, scratch))).ok();
-                let mut g = lock(&slot.state);
-                g.0[s] = out;
-                g.1 += 1;
-                slot.done.notify_all();
-            });
-            if tx.send(job).is_ok() {
-                expected += 1;
+        {
+            let mut ws = lock(&self.workers);
+            for (s, w) in ws.iter_mut().enumerate() {
+                if targets.is_some_and(|t| !t.contains(&s)) {
+                    continue;
+                }
+                if w.worker_dead() && !self.try_respawn(w, s) {
+                    w.dead_dispatches += 1;
+                    if w.health != ShardHealth::Quarantined {
+                        w.health = ShardHealth::DeadWorker;
+                    }
+                    outcomes[s] = ShardOutcome::NoWorker;
+                    continue;
+                }
+                match w.health {
+                    ShardHealth::Quarantined => {
+                        let cooled = w.quarantined_at.is_none_or(|t| {
+                            t.elapsed() >= self.cfg.quarantine_cooldown
+                        });
+                        if !cooled || w.probe_in_flight || !w.drained() {
+                            outcomes[s] = ShardOutcome::SkippedQuarantined;
+                            continue;
+                        }
+                        // Half-open: let exactly one probe through.
+                        w.probe_in_flight = true;
+                        probing[s] = true;
+                    }
+                    ShardHealth::Wedged => {
+                        if w.drained() {
+                            // Backlog flushed; the wedge is over.
+                            w.health = ShardHealth::Ok;
+                        } else {
+                            outcomes[s] = ShardOutcome::SkippedWedged;
+                            continue;
+                        }
+                    }
+                    _ => {}
+                }
+                let f = Arc::clone(&f);
+                let slot = Arc::clone(&slot);
+                let job: Job = Box::new(move |shard, scratch| {
+                    let out =
+                        catch_unwind(AssertUnwindSafe(|| f(s, shard, scratch))).ok();
+                    let mut g = lock(&slot.state);
+                    g.0[s] = out;
+                    g.1[s] = true;
+                    g.2 += 1;
+                    slot.done.notify_all();
+                });
+                let sent = w.sender.as_ref().is_some_and(|tx| tx.send(job).is_ok());
+                if sent {
+                    w.submitted += 1;
+                    dispatched[s] = true;
+                    expected += 1;
+                } else {
+                    // The worker died between the liveness check and the
+                    // send; respawn takes over at a later dispatch.
+                    w.sender = None;
+                    w.dead_dispatches += 1;
+                    if probing[s] {
+                        w.probe_in_flight = false;
+                        probing[s] = false;
+                    }
+                    if w.health != ShardHealth::Quarantined {
+                        w.health = ShardHealth::DeadWorker;
+                    }
+                    outcomes[s] = ShardOutcome::NoWorker;
+                }
             }
         }
-        let mut g = lock(&slot.state);
-        while g.1 < expected {
-            g = slot.done.wait(g).unwrap_or_else(PoisonError::into_inner);
+
+        let deadline = self.cfg.deadline.map(|d| Instant::now() + d);
+        let (values, done_flags) = {
+            let mut g = lock(&slot.state);
+            loop {
+                if g.2 >= expected {
+                    break;
+                }
+                match deadline {
+                    None => g = slot.done.wait(g).unwrap_or_else(PoisonError::into_inner),
+                    Some(dl) => {
+                        let now = Instant::now();
+                        if now >= dl {
+                            break;
+                        }
+                        let (ng, _) = slot
+                            .done
+                            .wait_timeout(g, dl - now)
+                            .unwrap_or_else(PoisonError::into_inner);
+                        g = ng;
+                    }
+                }
+            }
+            // Swap in a fresh vec (not mem::take): a shard finishing after
+            // the deadline still writes into a full-length slot vec
+            // harmlessly instead of indexing out of bounds.
+            let values =
+                std::mem::replace(&mut g.0, (0..n).map(|_| None).collect());
+            (values, g.1.clone())
+        };
+
+        {
+            let mut ws = lock(&self.workers);
+            for (s, w) in ws.iter_mut().enumerate() {
+                if !dispatched[s] {
+                    continue;
+                }
+                if done_flags[s] {
+                    if values[s].is_some() {
+                        outcomes[s] = ShardOutcome::Answered;
+                        w.consecutive_failures = 0;
+                        w.respawn_attempts = 0;
+                        if w.health == ShardHealth::Quarantined {
+                            w.quarantine_recoveries += 1;
+                            w.quarantined_at = None;
+                        }
+                        w.health = ShardHealth::Ok;
+                    } else {
+                        outcomes[s] = ShardOutcome::Panicked;
+                        w.panics += 1;
+                        Self::record_failure(&self.cfg, w, ShardHealth::Panicked);
+                    }
+                } else {
+                    outcomes[s] = ShardOutcome::TimedOut;
+                    w.timeouts += 1;
+                    Self::record_failure(&self.cfg, w, ShardHealth::Wedged);
+                }
+                if probing[s] {
+                    w.probe_in_flight = false;
+                }
+            }
         }
-        std::mem::take(&mut g.0)
+        ShardRun { slots: values, outcomes }
     }
 }
 
 impl Drop for ShardPool {
     fn drop(&mut self) {
-        // Closing the channels ends every worker loop; then join so no
-        // worker outlives the pool (and its Arc of the index).
-        self.senders.clear();
-        for h in self.handles.drain(..) {
-            let _ = h.join();
+        // Closing the channels (and setting the kill switches) ends every
+        // worker loop; join with a timeout so a wedged worker cannot
+        // deadlock shutdown — past the timeout the thread is detached and
+        // keeps its Arc of the index until it finishes on its own.
+        let ws = self.workers.get_mut().unwrap_or_else(PoisonError::into_inner);
+        for w in ws.iter_mut() {
+            w.die.store(true, Ordering::Relaxed);
+            w.sender = None;
+        }
+        let deadline = Instant::now() + self.cfg.drop_join_timeout;
+        for w in ws.iter_mut() {
+            let Some(h) = w.handle.take() else { continue };
+            while !h.is_finished() && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            if h.is_finished() {
+                let _ = h.join();
+            }
+            // else: detach (dropping the handle) — leaking a stuck thread
+            // beats hanging shutdown.
         }
     }
 }
@@ -191,12 +715,24 @@ pub struct ShardedOutcome {
     /// Modeled parallel timing: the critical-path (slowest) shard's phase
     /// breakdown plus the cross-shard merge priced into the top-k phase.
     pub phases: PhaseBreakdown,
+    /// Shards that did not contribute (panicked, wedged, quarantined, or
+    /// worker gone), in shard order. Empty for a full-coverage answer;
+    /// non-empty means `hits` covers only the surviving shards' documents
+    /// (each missing round-robin shard drops a uniform ~1/total slice).
+    pub missing: Vec<usize>,
+    /// Total number of shards fanned out across.
+    pub total: usize,
 }
 
 impl ShardedOutcome {
     /// Modeled end-to-end latency in nanoseconds (critical path + merge).
     pub fn latency_ns(&self) -> f64 {
         self.phases.total_ns()
+    }
+
+    /// True when every shard contributed (the answer is exact).
+    pub fn complete(&self) -> bool {
+        self.missing.is_empty()
     }
 }
 
@@ -212,6 +748,13 @@ pub struct ShardedEngine {
     pool: ShardPool,
     cost: CpuCostModel,
     pruned: bool,
+    /// Error out instead of answering partially when a shard is missing.
+    fail_closed: bool,
+    /// Shard-level fault injection for chaos campaigns (quiet by default).
+    chaos: ShardChaosPlan,
+    /// Monotonic query sequence number driving the chaos plan's
+    /// deterministic draws.
+    seq: AtomicU64,
     /// Cumulative docs scored per shard, for operator load-balance views.
     loads: Vec<std::sync::atomic::AtomicU64>,
 }
@@ -220,11 +763,27 @@ impl ShardedEngine {
     /// Creates an engine (and its worker pool) over a sharded index, with
     /// the default cost model, in exhaustive mode.
     pub fn new(index: Arc<ShardedIndex>) -> Self {
-        let pool = ShardPool::new(index);
+        Self::with_config(index, ShardPoolConfig::default())
+    }
+
+    /// Creates an engine whose worker pool follows `cfg`.
+    pub fn with_config(index: Arc<ShardedIndex>, cfg: ShardPoolConfig) -> Self {
+        Self::from_pool(ShardPool::with_config(index, cfg))
+    }
+
+    fn from_pool(pool: ShardPool) -> Self {
         let loads = (0..pool.num_shards())
             .map(|_| std::sync::atomic::AtomicU64::new(0))
             .collect();
-        ShardedEngine { pool, cost: CpuCostModel::default(), pruned: false, loads }
+        ShardedEngine {
+            pool,
+            cost: CpuCostModel::default(),
+            pruned: false,
+            fail_closed: false,
+            chaos: ShardChaosPlan::NONE,
+            seq: AtomicU64::new(0),
+            loads,
+        }
     }
 
     /// Enables or disables block-max pruned execution (builder style).
@@ -241,9 +800,30 @@ impl ShardedEngine {
         self
     }
 
+    /// Sets the fail-closed policy (builder style): when `true`, a query
+    /// that cannot cover every shard returns
+    /// [`IndexError::CorruptIndex`] instead of a partial answer.
+    #[must_use]
+    pub fn with_fail_closed(mut self, fail_closed: bool) -> Self {
+        self.fail_closed = fail_closed;
+        self
+    }
+
+    /// Installs a shard-level fault-injection plan (builder style).
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: ShardChaosPlan) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
     /// True when the engine skips blocks via score bounds.
     pub fn pruning(&self) -> bool {
         self.pruned
+    }
+
+    /// True when partial coverage is treated as an error.
+    pub fn fail_closed(&self) -> bool {
+        self.fail_closed
     }
 
     /// The cost model pricing per-shard work.
@@ -290,7 +870,10 @@ impl ShardedEngine {
     }
 
     /// Merges per-shard `(hits, counts)` results into a [`ShardedOutcome`],
-    /// mapping shard-local docIDs back to global ones.
+    /// mapping shard-local docIDs back to global ones. Fail-soft: a `None`
+    /// slot lands in `missing` (with zeroed shard counts) and the merge
+    /// covers the shards that answered; only a fully-empty result set is
+    /// an error.
     fn merge_outcome(
         &self,
         results: Vec<Option<(Vec<Hit>, OpCounts)>>,
@@ -298,13 +881,17 @@ impl ShardedEngine {
         primer: OpCounts,
     ) -> Result<ShardedOutcome, IndexError> {
         let n = self.num_shards() as u32;
+        let total = results.len();
         let mut all_hits = Vec::new();
         let mut counts = OpCounts::default();
         let mut shard_counts = Vec::with_capacity(results.len());
+        let mut missing = Vec::new();
         let mut crit = PhaseBreakdown::default();
         for (s, r) in results.into_iter().enumerate() {
             let Some((hits, shard)) = r else {
-                return Err(IndexError::CorruptIndex { context: "shard execution failed" });
+                missing.push(s);
+                shard_counts.push(OpCounts::default());
+                continue;
             };
             all_hits.extend(hits.into_iter().map(|h| Hit {
                 doc_id: h.doc_id * n + s as u32,
@@ -319,6 +906,9 @@ impl ShardedEngine {
                 crit = phases;
             }
             shard_counts.push(shard);
+        }
+        if missing.len() == total {
+            return Err(IndexError::CorruptIndex { context: "all shards unavailable" });
         }
         // The host-side cross-shard merge is a top-k pass over at most
         // n·k candidates; price it into the top-k phase.
@@ -345,7 +935,142 @@ impl ShardedEngine {
             shard_counts,
             primer,
             phases: crit,
+            missing,
+            total,
         })
+    }
+
+    /// Runs `f` across the shards with the engine's supervision-aware
+    /// targeting and chaos injection — the fan-out primitive for layers
+    /// executing general query trees on the engine's pool. Slots are
+    /// full-length (`None` for shards that did not answer); callers
+    /// decide their own partial-coverage policy. Safe to merge partially
+    /// only for computations with no cross-shard coupling (exhaustive
+    /// evaluation; anything sharing a pruning threshold must go through
+    /// the query methods instead).
+    pub fn run_shards<T, F>(&self, f: F) -> ShardRun<T>
+    where
+        F: Fn(usize, &InvertedIndex, &mut DecodeScratch) -> T + Send + Sync + 'static,
+        T: Send + 'static,
+    {
+        let n = self.num_shards();
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        if let Some(victim) = self.chaos.kill(seq) {
+            if victim < n {
+                self.pool.kill_worker(victim);
+            }
+        }
+        let mut alive = self.pool.ready_shards();
+        if alive.is_empty() {
+            alive = (0..n).collect();
+        }
+        let chaos = self.chaos.clone();
+        self.pool.run_on(Some(&alive), move |s, shard, scratch| {
+            if let Some(d) = chaos.sabotage_stall(seq, s) {
+                std::thread::sleep(d);
+            }
+            if chaos.sabotage_panic(seq, s) {
+                panic!("injected shard panic fault (seq {seq}, shard {s})");
+            }
+            f(s, shard, scratch)
+        })
+    }
+
+    /// The fail-soft fan-out driver behind every query shape.
+    ///
+    /// `shard_fn` runs one shard's query; it receives the shared
+    /// cross-shard threshold only in pruned mode. Exhaustive shards are
+    /// independent, so survivors merge directly whatever failed. Pruned
+    /// shards exchange thresholds through [`SharedThreshold`], so a shard
+    /// that published thresholds and then failed mid-run may have
+    /// over-pruned the survivors — in that case the query reruns
+    /// restricted to the survivors with a fresh threshold (and a primer
+    /// re-chosen among them, tolerating the best shard being the missing
+    /// one). Each rerun loses at least one shard, so the loop is bounded.
+    fn fan_out<F>(
+        &self,
+        k: usize,
+        primer_term: Option<TermId>,
+        shard_fn: F,
+    ) -> Result<ShardedOutcome, IndexError>
+    where
+        F: Fn(&InvertedIndex, Option<&SharedThreshold>, &mut OpCounts, &mut DecodeScratch) -> Vec<Hit>
+            + Clone
+            + Send
+            + Sync
+            + 'static,
+    {
+        let n = self.num_shards();
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        if let Some(victim) = self.chaos.kill(seq) {
+            if victim < n {
+                self.pool.kill_worker(victim);
+            }
+        }
+        // Skip shards supervision already knows are unavailable, so the
+        // primer (and pruned threshold exchange) only involves shards
+        // that can actually reach the merge.
+        let mut alive = self.pool.ready_shards();
+        if alive.is_empty() {
+            alive = (0..n).collect();
+        }
+        for _pass in 0..=n {
+            let shared = Arc::new(SharedThreshold::new());
+            // Prime the shared threshold from the live shard holding the
+            // highest-bound block, so no shard pays the cold-heap ramp-up
+            // (the serial fraction that would otherwise cap scaling).
+            let mut primer = OpCounts::default();
+            if let Some(id) = primer_term {
+                if self.pruned && alive.len() > 1 {
+                    let shards = self.pool.index().shards();
+                    let best = alive
+                        .iter()
+                        .filter_map(|&s| shards.get(s))
+                        .max_by_key(|sh| sh.list_bounds(id).max_ub());
+                    if let Some(best) = best {
+                        let mut scratch = DecodeScratch::default();
+                        pruned::prime_single_threshold(
+                            best,
+                            id,
+                            k,
+                            &mut primer,
+                            &mut scratch,
+                            &shared,
+                        );
+                    }
+                }
+            }
+            let chaos = self.chaos.clone();
+            let f = shard_fn.clone();
+            let sh = Arc::clone(&shared);
+            let pruned_mode = self.pruned;
+            let run = self.pool.run_on(Some(&alive), move |s, shard, scratch| {
+                if let Some(d) = chaos.sabotage_stall(seq, s) {
+                    std::thread::sleep(d);
+                }
+                if chaos.sabotage_panic(seq, s) {
+                    panic!("injected shard panic fault (seq {seq}, shard {s})");
+                }
+                let mut counts = OpCounts::default();
+                let hits = f(shard, pruned_mode.then_some(&*sh), &mut counts, scratch);
+                (hits, counts)
+            });
+            let survivors: Vec<usize> =
+                (0..n).filter(|&s| run.slots[s].is_some()).collect();
+            if survivors.is_empty() {
+                return Err(IndexError::CorruptIndex { context: "all shards unavailable" });
+            }
+            if self.fail_closed && survivors.len() < n {
+                return Err(IndexError::CorruptIndex { context: "shard execution failed" });
+            }
+            if !pruned_mode || survivors.len() == alive.len() {
+                return self.merge_outcome(run.slots, k, primer);
+            }
+            // Pruned mode lost a threshold-exchange participant mid-run:
+            // rerun on the survivors only.
+            alive = survivors;
+        }
+        Err(IndexError::CorruptIndex { context: "shard execution failed" })
     }
 
     /// Single-term query fanned across shards.
@@ -353,39 +1078,21 @@ impl ShardedEngine {
     /// # Errors
     ///
     /// Returns [`IndexError::UnknownTerm`] if `term` is not indexed and
-    /// [`IndexError::CorruptIndex`] if a shard execution failed.
+    /// [`IndexError::CorruptIndex`] if no shard could answer (or, under
+    /// [`Self::with_fail_closed`], if any shard could not).
     pub fn search_single(&self, term: &str, k: usize) -> Result<ShardedOutcome, IndexError> {
         let id = self.resolve(term)?;
-        let pruned_mode = self.pruned;
-        let shared = Arc::new(SharedThreshold::new());
-        // Prime the shared threshold from the shard holding the
-        // highest-bound block, so no shard pays the cold-heap ramp-up
-        // (the serial fraction that would otherwise cap scaling).
-        let mut primer = OpCounts::default();
-        if pruned_mode && self.num_shards() > 1 {
-            let shards = self.pool.index().shards();
-            if let Some(best) = shards.iter().max_by_key(|sh| sh.list_bounds(id).max_ub()) {
-                let mut scratch = DecodeScratch::default();
-                pruned::prime_single_threshold(best, id, k, &mut primer, &mut scratch, &shared);
-            }
-        }
-        let results = self.pool.run(move |_, shard, scratch| {
-            let mut counts = OpCounts::default();
-            let hits = if pruned_mode {
-                pruned::search_single_pruned_shared(
-                    shard,
-                    id,
-                    k,
-                    &mut counts,
-                    scratch,
-                    Some(&shared),
-                )
-            } else {
-                exhaustive_single(shard, id, k, &mut counts, scratch)
-            };
-            (hits, counts)
-        });
-        self.merge_outcome(results, k, primer)
+        self.fan_out(k, Some(id), move |shard, shared, counts, scratch| match shared {
+            Some(sh) => pruned::search_single_pruned_shared(
+                shard,
+                id,
+                k,
+                counts,
+                scratch,
+                Some(sh),
+            ),
+            None => exhaustive_single(shard, id, k, counts, scratch),
+        })
     }
 
     /// Intersection query fanned across shards.
@@ -393,7 +1100,8 @@ impl ShardedEngine {
     /// # Errors
     ///
     /// Returns [`IndexError::UnknownTerm`] if either term is not indexed
-    /// and [`IndexError::CorruptIndex`] if a shard execution failed.
+    /// and [`IndexError::CorruptIndex`] if no shard could answer (or,
+    /// under [`Self::with_fail_closed`], if any shard could not).
     pub fn search_intersection(
         &self,
         term_a: &str,
@@ -405,28 +1113,22 @@ impl ShardedEngine {
         // Global SvS order by global df; a shard whose local lists invert
         // the order swaps locally (hits are symmetric, only work differs).
         let (ga, gb) = if self.global_df(ia) <= self.global_df(ib) { (ia, ib) } else { (ib, ia) };
-        let pruned_mode = self.pruned;
-        let shared = Arc::new(SharedThreshold::new());
-        let results = self.pool.run(move |_, shard, scratch| {
+        self.fan_out(k, None, move |shard, shared, counts, scratch| {
             let (short_id, long_id) =
                 if shard.term_info(ga).df <= shard.term_info(gb).df { (ga, gb) } else { (gb, ga) };
-            let mut counts = OpCounts::default();
-            let hits = if pruned_mode {
-                pruned::search_intersection_pruned_shared(
+            match shared {
+                Some(sh) => pruned::search_intersection_pruned_shared(
                     shard,
                     short_id,
                     long_id,
                     k,
-                    &mut counts,
+                    counts,
                     scratch,
-                    Some(&shared),
-                )
-            } else {
-                exhaustive_intersection(shard, short_id, long_id, k, &mut counts, scratch)
-            };
-            (hits, counts)
-        });
-        self.merge_outcome(results, k, OpCounts::default())
+                    Some(sh),
+                ),
+                None => exhaustive_intersection(shard, short_id, long_id, k, counts, scratch),
+            }
+        })
     }
 
     /// Union query fanned across shards.
@@ -434,7 +1136,8 @@ impl ShardedEngine {
     /// # Errors
     ///
     /// Returns [`IndexError::UnknownTerm`] if either term is not indexed
-    /// and [`IndexError::CorruptIndex`] if a shard execution failed.
+    /// and [`IndexError::CorruptIndex`] if no shard could answer (or,
+    /// under [`Self::with_fail_closed`], if any shard could not).
     pub fn search_union(
         &self,
         term_a: &str,
@@ -443,26 +1146,18 @@ impl ShardedEngine {
     ) -> Result<ShardedOutcome, IndexError> {
         let ia = self.resolve(term_a)?;
         let ib = self.resolve(term_b)?;
-        let pruned_mode = self.pruned;
-        let shared = Arc::new(SharedThreshold::new());
-        let results = self.pool.run(move |_, shard, scratch| {
-            let mut counts = OpCounts::default();
-            let hits = if pruned_mode {
-                pruned::search_union_pruned_shared(
-                    shard,
-                    ia,
-                    ib,
-                    k,
-                    &mut counts,
-                    scratch,
-                    Some(&shared),
-                )
-            } else {
-                exhaustive_union(shard, ia, ib, k, &mut counts, scratch)
-            };
-            (hits, counts)
-        });
-        self.merge_outcome(results, k, OpCounts::default())
+        self.fan_out(k, None, move |shard, shared, counts, scratch| match shared {
+            Some(sh) => pruned::search_union_pruned_shared(
+                shard,
+                ia,
+                ib,
+                k,
+                counts,
+                scratch,
+                Some(sh),
+            ),
+            None => exhaustive_union(shard, ia, ib, k, counts, scratch),
+        })
     }
 }
 
@@ -649,14 +1344,280 @@ mod tests {
     }
 
     #[test]
-    fn engine_reports_shard_failure_as_error() {
+    fn engine_recovers_after_pool_wide_panics() {
         let eng = sharded(2, true);
         // Panic inside a run() on the engine's own pool, then confirm the
-        // engine still answers queries on the same workers.
-        let r = eng.pool().run::<(), _>(|_, _, _| panic!("boom"));
+        // engine still answers full-coverage queries on the same workers.
+        let r = eng.pool().run::<(), _>(|_, _, _| panic!("injected shard panic"));
         assert!(r.iter().all(|x| x.is_none()));
         let out = eng.search_single("hot", 3).unwrap();
         assert_eq!(out.hits.len(), 3);
+        assert!(out.complete(), "both shards answered: {:?}", out.missing);
+    }
+
+    /// Reference: the unsharded engine's answer restricted to the
+    /// documents of the surviving shards (round-robin: doc d lives on
+    /// shard d % n).
+    fn surviving_reference(
+        idx: &InvertedIndex,
+        shape: (&str, Option<&str>, bool),
+        n: usize,
+        missing: &[usize],
+        k: usize,
+    ) -> Vec<Hit> {
+        let (a, b, and) = shape;
+        let mut cpu = CpuEngine::new(idx);
+        // k larger than the corpus: the full ranking, nothing truncated.
+        let all = idx.num_docs() as usize + 1;
+        let full = match b {
+            None => cpu.search_single(a, all).unwrap(),
+            Some(b) if and => cpu.search_intersection(a, b, all).unwrap(),
+            Some(b) => cpu.search_union(a, b, all).unwrap(),
+        };
+        let mut hits: Vec<Hit> = full
+            .hits
+            .into_iter()
+            .filter(|h| !missing.contains(&(h.doc_id as usize % n)))
+            .collect();
+        hits.truncate(k);
+        hits
+    }
+
+    #[test]
+    fn partial_hits_are_bit_identical_to_unsharded_over_surviving_docs() {
+        // Whichever shard dies — including the one the pruned primer
+        // would have chosen — the partial answer must equal the unsharded
+        // engine run over the surviving documents, bit for bit.
+        let idx = sample_index();
+        let n = 4;
+        for victim in 0..n {
+            for pruned in [false, true] {
+                let s = Arc::new(ShardedIndex::split(&idx, n).unwrap());
+                let chaos = ShardChaosPlan {
+                    panic_burst: Some((0, u64::MAX, victim)),
+                    ..ShardChaosPlan::NONE
+                };
+                let eng = ShardedEngine::new(s).with_pruning(pruned).with_chaos(chaos);
+                for (shape, label) in [
+                    (("hot", None, false), "single"),
+                    (("hot", Some("cold"), true), "and"),
+                    (("hot", Some("cold"), false), "or"),
+                ] {
+                    let out = match shape {
+                        (a, None, _) => eng.search_single(a, 10).unwrap(),
+                        (a, Some(b), true) => eng.search_intersection(a, b, 10).unwrap(),
+                        (a, Some(b), false) => eng.search_union(a, b, 10).unwrap(),
+                    };
+                    assert_eq!(
+                        out.missing,
+                        vec![victim],
+                        "{label} victim={victim} pruned={pruned}"
+                    );
+                    assert_eq!(out.total, n);
+                    assert!(!out.complete());
+                    let want = surviving_reference(&idx, shape, n, &out.missing, 10);
+                    assert_eq!(
+                        out.hits, want,
+                        "{label} victim={victim} pruned={pruned}: partial hits \
+                         must match unsharded over survivors"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fail_closed_engine_rejects_partial_coverage() {
+        let idx = sample_index();
+        let s = Arc::new(ShardedIndex::split(&idx, 3).unwrap());
+        let chaos = ShardChaosPlan {
+            panic_burst: Some((0, u64::MAX, 1)),
+            ..ShardChaosPlan::NONE
+        };
+        let eng = ShardedEngine::new(s).with_fail_closed(true).with_chaos(chaos);
+        assert!(eng.fail_closed());
+        assert!(matches!(
+            eng.search_single("hot", 5),
+            Err(IndexError::CorruptIndex { .. })
+        ));
+    }
+
+    #[test]
+    fn deadline_wedges_a_stalling_shard_then_drain_recovers_it() {
+        let idx = sample_index();
+        let s = Arc::new(ShardedIndex::split(&idx, 3).unwrap());
+        let cfg = ShardPoolConfig {
+            deadline: Some(Duration::from_millis(25)),
+            // High threshold so the wedge itself (not quarantine) is
+            // what we observe.
+            quarantine_threshold: 100,
+            ..Default::default()
+        };
+        let pool = ShardPool::with_config(s, cfg);
+        let run = pool.run_on(None, |s, _, _| {
+            if s == 1 {
+                std::thread::sleep(Duration::from_millis(150));
+            }
+            s
+        });
+        assert_eq!(run.slots, vec![Some(0), None, Some(2)]);
+        assert_eq!(run.outcomes[1], ShardOutcome::TimedOut);
+        assert_eq!(pool.supervision()[1].health, ShardHealth::Wedged);
+        assert_eq!(pool.supervision()[1].timeouts, 1);
+        assert!(!pool.ready_shards().contains(&1));
+
+        // Still draining its backlog: skipped, not re-dispatched.
+        let run = pool.run_on(None, |s, _, _| s);
+        assert_eq!(run.outcomes[1], ShardOutcome::SkippedWedged);
+        assert!(run.slots[1].is_none());
+
+        // Once the stalled job flushes, the shard answers again.
+        std::thread::sleep(Duration::from_millis(200));
+        assert!(pool.ready_shards().contains(&1));
+        let run = pool.run_on(None, |s, _, _| s);
+        assert_eq!(run.slots, vec![Some(0), Some(1), Some(2)]);
+        assert_eq!(pool.supervision()[1].health, ShardHealth::Ok);
+    }
+
+    #[test]
+    fn quarantine_trips_after_consecutive_failures_and_recovers_half_open() {
+        let idx = sample_index();
+        let s = Arc::new(ShardedIndex::split(&idx, 2).unwrap());
+        let cfg = ShardPoolConfig {
+            quarantine_threshold: 2,
+            quarantine_cooldown: Duration::from_millis(30),
+            ..Default::default()
+        };
+        let pool = ShardPool::with_config(s, cfg);
+        for _ in 0..2 {
+            let run = pool.run_on(None, |s, _, _| {
+                if s == 0 {
+                    panic!("injected shard panic");
+                }
+                s
+            });
+            assert!(run.slots[0].is_none());
+            assert_eq!(run.slots[1], Some(1));
+        }
+        let sup = pool.supervision();
+        assert_eq!(sup[0].health, ShardHealth::Quarantined);
+        assert_eq!(sup[0].quarantine_trips, 1);
+        assert_eq!(sup[0].panics, 2);
+        assert!(!pool.ready_shards().contains(&0));
+
+        // Inside the cooldown the shard is skipped without dispatch.
+        let run = pool.run_on(None, |s, _, _| s);
+        assert_eq!(run.outcomes[0], ShardOutcome::SkippedQuarantined);
+
+        // After the cooldown one half-open probe goes through; success
+        // closes the quarantine.
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(pool.ready_shards().contains(&0));
+        let run = pool.run_on(None, |s, _, _| s);
+        assert_eq!(run.outcomes[0], ShardOutcome::Answered);
+        let sup = pool.supervision();
+        assert_eq!(sup[0].health, ShardHealth::Ok);
+        assert_eq!(sup[0].quarantine_recoveries, 1);
+    }
+
+    #[test]
+    fn killed_worker_is_respawned_and_answers_again() {
+        let idx = sample_index();
+        let s = Arc::new(ShardedIndex::split(&idx, 3).unwrap());
+        let cfg = ShardPoolConfig {
+            deadline: Some(Duration::from_millis(100)),
+            ..Default::default()
+        };
+        let pool = ShardPool::with_config(s, cfg);
+        pool.kill_worker(1);
+        // Give the worker time to see the kill switch and exit.
+        std::thread::sleep(Duration::from_millis(50));
+        // The next dispatch detects the dead worker, respawns it, and the
+        // fresh worker answers.
+        let run = pool.run_on(None, |s, _, _| s);
+        assert_eq!(run.slots, vec![Some(0), Some(1), Some(2)]);
+        let sup = pool.supervision();
+        assert_eq!(sup[1].respawns, 1);
+        assert_eq!(sup[1].health, ShardHealth::Ok);
+    }
+
+    #[test]
+    fn chaos_kill_mid_stream_degrades_then_respawn_restores_coverage() {
+        let idx = sample_index();
+        let s = Arc::new(ShardedIndex::split(&idx, 3).unwrap());
+        let cfg = ShardPoolConfig {
+            deadline: Some(Duration::from_millis(100)),
+            respawn_base_backoff: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let chaos = ShardChaosPlan { kills: vec![(0, 1)], ..ShardChaosPlan::NONE };
+        let eng = ShardedEngine::from_pool(ShardPool::with_config(s, cfg))
+            .with_chaos(chaos);
+        // Query 0 assassinates worker 1 just before fan-out. Depending on
+        // how fast the worker exits, the query either rides a respawned
+        // worker (full coverage) or times out on the dying one (partial)
+        // — but it must resolve within the deadline either way.
+        let out = eng.search_single("hot", 5).unwrap();
+        assert!(out.missing.is_empty() || out.missing == vec![1]);
+        // Coverage comes back once the dead worker is detected/respawned.
+        std::thread::sleep(Duration::from_millis(120));
+        let out = eng.search_single("hot", 5).unwrap();
+        assert!(out.complete(), "still degraded: {:?}", out.missing);
+        assert!(eng.pool().supervision()[1].respawns >= 1);
+    }
+
+    #[test]
+    fn unspawnable_worker_still_answers_on_remaining_shards() {
+        // The spawn-failure arm: worker 1 can never spawn. The pool (and
+        // an engine on top of it) keeps answering on shards 0 and 2.
+        let idx = sample_index();
+        let s = Arc::new(ShardedIndex::split(&idx, 3).unwrap());
+        let cfg = ShardPoolConfig {
+            // Park the respawn far in the future so the dead slot stays
+            // dead for the whole test.
+            respawn_base_backoff: Duration::from_secs(3600),
+            respawn_max_backoff: Duration::from_secs(3600),
+            ..Default::default()
+        };
+        let pool = ShardPool::with_unspawnable(Arc::clone(&s), cfg, 1 << 1);
+        let run = pool.run_on(None, |s, _, _| s);
+        assert_eq!(run.slots, vec![Some(0), None, Some(2)]);
+        assert_eq!(run.outcomes[1], ShardOutcome::NoWorker);
+        assert_eq!(pool.supervision()[1].health, ShardHealth::DeadWorker);
+        assert!(!pool.ready_shards().contains(&1));
+
+        let eng = ShardedEngine::from_pool(pool);
+        let out = eng.search_single("hot", 10).unwrap();
+        assert_eq!(out.missing, vec![1]);
+        let want = surviving_reference(&idx, ("hot", None, false), 3, &[1], 10);
+        assert_eq!(out.hits, want);
+    }
+
+    #[test]
+    fn dropping_a_pool_with_a_wedged_worker_does_not_hang() {
+        let idx = sample_index();
+        let s = Arc::new(ShardedIndex::split(&idx, 2).unwrap());
+        let cfg = ShardPoolConfig {
+            deadline: Some(Duration::from_millis(10)),
+            drop_join_timeout: Duration::from_millis(50),
+            ..Default::default()
+        };
+        let pool = ShardPool::with_config(s, cfg);
+        let run = pool.run_on(None, |s, _, _| {
+            if s == 0 {
+                // Wedge well past both the fan-out deadline and the drop
+                // join timeout.
+                std::thread::sleep(Duration::from_secs(3));
+            }
+            s
+        });
+        assert_eq!(run.outcomes[0], ShardOutcome::TimedOut);
+        let start = Instant::now();
+        drop(pool);
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "drop must detach the wedged worker, not wait for it"
+        );
     }
 
     #[test]

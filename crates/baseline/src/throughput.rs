@@ -25,11 +25,14 @@ pub fn parallel_makespan_ns(latencies_ns: &[f64], cores: usize) -> f64 {
     sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
     let mut loads = vec![0.0f64; cores];
     for lat in sorted {
-        let min = loads
-            .iter_mut()
-            .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
-            .expect("cores > 0");
-        *min += lat;
+        // `loads` is non-empty (cores > 0 asserted above).
+        let mut min_idx = 0;
+        for (i, &l) in loads.iter().enumerate().skip(1) {
+            if l < loads[min_idx] {
+                min_idx = i;
+            }
+        }
+        loads[min_idx] += lat;
     }
     loads.iter().fold(0.0f64, |m, &l| m.max(l))
 }
@@ -67,10 +70,18 @@ where
             let queue = &queue;
             let tx = tx.clone();
             s.spawn(move || loop {
-                let next = queue.lock().expect("queue lock poisoned").pop_front();
+                // Jobs are popped atomically under the lock; a poisoned
+                // guard cannot expose a half-updated queue.
+                let next = queue
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .pop_front();
                 match next {
                     Some((idx, job)) => {
-                        tx.send((idx, job())).expect("receiver alive in scope");
+                        // The receiver outlives the scope; a failed send
+                        // means it was dropped mid-collect and the result
+                        // has nowhere to go anyway.
+                        let _ = tx.send((idx, job()));
                     }
                     None => break,
                 }

@@ -15,10 +15,12 @@
 use std::sync::Arc;
 
 use iiu_baseline::topk::{top_k, Hit};
-use iiu_baseline::{CpuCostModel, CpuEngine, OpCounts, PhaseBreakdown, ShardedEngine};
+use iiu_baseline::{
+    CpuCostModel, CpuEngine, OpCounts, PhaseBreakdown, ShardPoolConfig, ShardedEngine,
+};
 use iiu_index::score::term_score_fixed;
 use iiu_index::shard::ShardedIndex;
-use iiu_index::{DocId, Fixed, IndexError, InvertedIndex, PositionIndex};
+use iiu_index::{DocId, Fixed, IndexError, InvertedIndex, PositionIndex, ShardChaosPlan};
 use iiu_sim::{HostModel, IiuMachine, SimConfig, SimQuery};
 
 use crate::error::{Degradation, SearchError};
@@ -396,6 +398,12 @@ impl ShardedSearchEngine {
         ShardedSearchEngine { inner: ShardedEngine::new(index) }
     }
 
+    /// Creates an engine whose worker pool follows the given supervision
+    /// policy (fan-out deadline, quarantine, respawn backoff).
+    pub fn with_config(index: Arc<ShardedIndex>, cfg: ShardPoolConfig) -> Self {
+        ShardedSearchEngine { inner: ShardedEngine::with_config(index, cfg) }
+    }
+
     /// Splits an unsharded index into `shards` document shards and builds
     /// an engine over them.
     ///
@@ -404,6 +412,24 @@ impl ShardedSearchEngine {
     /// Returns [`IndexError::CorruptIndex`] if `shards` is zero.
     pub fn split(index: &InvertedIndex, shards: usize) -> Result<Self, IndexError> {
         Ok(Self::new(Arc::new(ShardedIndex::split(index, shards)?)))
+    }
+
+    /// Sets the fail-closed policy (builder style): when `true`, a query
+    /// that cannot cover every shard fails instead of answering partially
+    /// with [`Degradation::ShardsUnavailable`].
+    #[must_use]
+    pub fn with_fail_closed(mut self, fail_closed: bool) -> Self {
+        self.inner = self.inner.with_fail_closed(fail_closed);
+        self
+    }
+
+    /// Installs a shard-level fault-injection plan (builder style); quiet
+    /// by default. Chaos campaigns use this to panic, stall, or kill
+    /// shard workers on deterministic schedules.
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: ShardChaosPlan) -> Self {
+        self.inner = self.inner.with_chaos(chaos);
+        self
     }
 
     /// Enables block-max pruned top-k with cross-shard threshold sharing
@@ -470,6 +496,12 @@ impl ShardedSearchEngine {
             },
         };
         if let Some(o) = outcome {
+            if !o.missing.is_empty() {
+                degraded.push(Degradation::ShardsUnavailable {
+                    missing: o.missing.clone(),
+                    total: o.total,
+                });
+            }
             let device_ns = o.phases.total_ns() - o.phases.topk_ns;
             return Ok(SearchResponse {
                 hits: o.hits,
@@ -483,7 +515,13 @@ impl ShardedSearchEngine {
             });
         }
 
-        let (hits, candidates, phases) = self.eval_sharded(query, k)?;
+        let (hits, candidates, phases, missing) = self.eval_sharded(query, k)?;
+        if !missing.is_empty() {
+            degraded.push(Degradation::ShardsUnavailable {
+                missing,
+                total: self.num_shards(),
+            });
+        }
         Ok(SearchResponse {
             hits,
             candidates,
@@ -498,27 +536,36 @@ impl ShardedSearchEngine {
 
     /// Fans a general expression tree out: every shard evaluates the whole
     /// tree over its own documents, the host concatenates (mapping local
-    /// docIDs to global) and selects top-k.
+    /// docIDs to global) and selects top-k. Fail-soft: shards that do not
+    /// answer (panic, deadline, quarantine, dead worker) are reported in
+    /// the returned `missing` list and the merge covers the survivors —
+    /// exhaustive tree evaluation has no cross-shard coupling, so the
+    /// surviving hits are exact over the surviving documents. An
+    /// index-plane `Err` from any shard still fails the query: that is a
+    /// data problem, not an availability problem.
     fn eval_sharded(
         &self,
         query: &Query,
         k: usize,
-    ) -> Result<(Vec<Hit>, u64, PhaseBreakdown), SearchError> {
+    ) -> Result<(Vec<Hit>, u64, PhaseBreakdown, Vec<usize>), SearchError> {
         let q = query.clone();
-        let per_shard = self.inner.pool().run(move |_, shard, _| {
-            let mut counts = OpCounts::default();
-            let scored = eval_tree(shard, &q, &mut counts, None);
-            scored.map(|s| (s, counts))
-        });
+        let per_shard = self
+            .inner
+            .run_shards(move |_, shard, _| {
+                let mut counts = OpCounts::default();
+                let scored = eval_tree(shard, &q, &mut counts, None);
+                scored.map(|s| (s, counts))
+            })
+            .slots;
         let n = self.num_shards() as u32;
         let cost = self.inner.cost_model();
         let mut all = Vec::new();
+        let mut missing = Vec::new();
         let mut crit = PhaseBreakdown::default();
         for (s, r) in per_shard.into_iter().enumerate() {
             let Some(r) = r else {
-                return Err(SearchError::Index(IndexError::CorruptIndex {
-                    context: "shard execution failed",
-                }));
+                missing.push(s);
+                continue;
             };
             let (scored, mut counts) = r?;
             counts.topk_candidates = scored.len() as u64;
@@ -528,12 +575,22 @@ impl ShardedSearchEngine {
             }
             all.extend(scored.into_iter().map(|(d, sc)| (d * n + s as u32, sc)));
         }
+        if missing.len() == self.num_shards() {
+            return Err(SearchError::Index(IndexError::CorruptIndex {
+                context: "all shards unavailable",
+            }));
+        }
+        if self.inner.fail_closed() && !missing.is_empty() {
+            return Err(SearchError::Index(IndexError::CorruptIndex {
+                context: "shard execution failed",
+            }));
+        }
         crit.topk_ns += cost.price_topk(all.len() as u64);
         let candidates = all.len() as u64;
         // Global docID order is what rank_cmp ties on; sort so to_hits sees
         // the same candidate order as the unsharded evaluation.
         all.sort_by_key(|&(d, _)| d);
-        Ok((to_hits(&all, k), candidates, crit))
+        Ok((to_hits(&all, k), candidates, crit, missing))
     }
 }
 

@@ -95,6 +95,16 @@ pub enum Degradation {
         /// Device attempts consumed, including the successful one (≥ 2).
         attempts: u32,
     },
+    /// One or more shards did not contribute to a sharded answer; the
+    /// hits cover only the surviving shards' documents. Round-robin
+    /// sharding makes the loss uniform: each missing shard drops about
+    /// `1/total` of the corpus.
+    ShardsUnavailable {
+        /// Shard indices that did not answer, in ascending order.
+        missing: Vec<usize>,
+        /// Total number of shards the query fanned out across.
+        total: usize,
+    },
 }
 
 impl fmt::Display for Degradation {
@@ -111,6 +121,14 @@ impl fmt::Display for Degradation {
             }
             Degradation::Retried { attempts } => {
                 write!(f, "device path needed {attempts} attempts")
+            }
+            Degradation::ShardsUnavailable { missing, total } => {
+                write!(
+                    f,
+                    "{}/{total} shards unavailable (missing {missing:?}); \
+                     hits cover surviving shards only",
+                    missing.len()
+                )
             }
         }
     }
@@ -135,5 +153,10 @@ mod tests {
 
         let d = Degradation::UnknownTermDropped { term: "zyzzy".into() };
         assert!(d.to_string().contains("zyzzy"));
+
+        let d = Degradation::ShardsUnavailable { missing: vec![1, 3], total: 4 };
+        let s = d.to_string();
+        assert!(s.contains("2/4"), "{s}");
+        assert!(s.contains("[1, 3]"), "{s}");
     }
 }

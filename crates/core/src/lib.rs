@@ -46,7 +46,10 @@ pub use engine::{
 };
 pub use error::{Degradation, SearchError};
 pub use iiu_baseline::topk::Hit;
+pub use iiu_baseline::{ShardHealth, ShardHealthReport, ShardPoolConfig};
 pub use iiu_index::shard::{ShardBalance, ShardedIndex};
-pub use iiu_index::{Bm25Params, DocId, IndexError, InvertedIndex, Partitioner};
+pub use iiu_index::{
+    Bm25Params, DocId, IndexError, InvertedIndex, Partitioner, ShardChaosPlan,
+};
 pub use iiu_sim::SimError;
 pub use query::{ParseQueryError, Query};

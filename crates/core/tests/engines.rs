@@ -265,3 +265,82 @@ fn latency_breakdown_components_are_consistent() {
     assert!(b.topk_ns > 0.0);
     assert!((r.latency_ns() - (b.dispatch_ns + b.device_ns + b.topk_ns)).abs() < 1e-9);
 }
+
+#[test]
+fn sharded_engine_labels_partial_coverage_truthfully() {
+    // Shard 1's worker panics on every query: responses must carry
+    // ShardsUnavailable with exact counts, and the surviving hits must be
+    // bit-identical to the unsharded engine restricted to the documents
+    // of the surviving shards (round-robin: doc d lives on shard d % n).
+    let index = index();
+    let n = 3usize;
+    let chaos = iiu_core::ShardChaosPlan {
+        panic_burst: Some((0, u64::MAX, 1)),
+        ..iiu_core::ShardChaosPlan::NONE
+    };
+    for pruned in [false, true] {
+        let eng = ShardedSearchEngine::split(&index, n)
+            .unwrap()
+            .with_pruning(pruned)
+            .with_chaos(chaos.clone());
+        let mut cpu = CpuSearchEngine::new(&index);
+        let mut sampler = QuerySampler::new(&index, 11);
+        let terms = sampler.single_queries(4);
+        for q in [
+            Query::term(terms[0].clone()),
+            Query::parse(&format!("{} AND {}", terms[0], terms[1])).unwrap(),
+            Query::parse(&format!("{} OR {}", terms[1], terms[2])).unwrap(),
+            // A general expression tree takes the eval_sharded path.
+            Query::parse(&format!(
+                "({} OR {}) AND ({} OR {})",
+                terms[0], terms[1], terms[2], terms[3]
+            ))
+            .unwrap(),
+        ] {
+            let partial = eng.search_ref(&q, 10).unwrap();
+            assert!(
+                partial.degraded.iter().any(|d| matches!(
+                    d,
+                    Degradation::ShardsUnavailable { missing, total }
+                        if missing == &[1] && *total == n
+                )),
+                "pruned={pruned} {q}: degradations {:?}",
+                partial.degraded
+            );
+            let full = cpu.search(&q, index.num_docs() as usize + 1).unwrap();
+            let mut want: Vec<_> = full
+                .hits
+                .into_iter()
+                .filter(|h| h.doc_id as usize % n != 1)
+                .collect();
+            want.truncate(10);
+            assert_eq!(
+                partial.hits, want,
+                "pruned={pruned} {q}: partial hits must match unsharded over survivors"
+            );
+        }
+    }
+}
+
+#[test]
+fn fail_closed_sharded_engine_errors_instead_of_partial() {
+    let index = index();
+    let chaos = iiu_core::ShardChaosPlan {
+        panic_burst: Some((0, u64::MAX, 0)),
+        ..iiu_core::ShardChaosPlan::NONE
+    };
+    let eng = ShardedSearchEngine::split(&index, 2)
+        .unwrap()
+        .with_chaos(chaos)
+        .with_fail_closed(true);
+    let mut sampler = QuerySampler::new(&index, 12);
+    let terms = sampler.single_queries(2);
+    // Both the primitive path and the general-tree path must refuse.
+    assert!(eng.search_ref(&Query::term(terms[0].clone()), 5).is_err());
+    let tree = Query::parse(&format!(
+        "({} OR {}) AND {}",
+        terms[0], terms[1], terms[0]
+    ))
+    .unwrap();
+    assert!(eng.search_ref(&tree, 5).is_err());
+}

@@ -146,6 +146,92 @@ fn apply(rng: &mut SplitMix64, mut out: Vec<u8>, len: u64) -> (Vec<u8>, Corrupti
     }
 }
 
+/// Deterministic shard-level fault plan for chaos campaigns against a
+/// sharded engine.
+///
+/// Every decision is a pure function of `(seed, query sequence, shard)`,
+/// so a chaos run reproduces exactly from its plan — the same property
+/// [`corrupt`] gives byte-level campaigns. The plan itself injects
+/// nothing; the sharded engine consults it at fan-out and turns draws
+/// into real faults (a panic inside the shard closure, a sleep past the
+/// pool deadline, a worker kill).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardChaosPlan {
+    /// Probability a given `(seq, shard)` execution panics.
+    pub panic_rate: f64,
+    /// Probability a given `(seq, shard)` execution stalls for [`Self::stall`].
+    pub stall_rate: f64,
+    /// How long a stalled execution sleeps — set it past the pool's shard
+    /// deadline to exercise the wedged path.
+    pub stall: std::time::Duration,
+    /// Deterministic panic window `(seq_start, seq_end, shard)`: every
+    /// execution of `shard` with `seq_start <= seq < seq_end` panics.
+    /// Long enough a window trips shard quarantine on purpose.
+    pub panic_burst: Option<(u64, u64, usize)>,
+    /// Worker assassinations: at each `(seq, shard)` the engine kills
+    /// that shard's worker thread before fan-out, exercising dead-worker
+    /// detection and respawn.
+    pub kills: Vec<(u64, usize)>,
+    /// Seed for the rate draws.
+    pub seed: u64,
+}
+
+impl ShardChaosPlan {
+    /// A plan that injects nothing (the default).
+    pub const NONE: ShardChaosPlan = ShardChaosPlan {
+        panic_rate: 0.0,
+        stall_rate: 0.0,
+        stall: std::time::Duration::ZERO,
+        panic_burst: None,
+        kills: Vec::new(),
+        seed: 0,
+    };
+
+    /// Whether this plan can ever inject a fault.
+    pub fn is_quiet(&self) -> bool {
+        self.panic_rate <= 0.0
+            && self.stall_rate <= 0.0
+            && self.panic_burst.is_none()
+            && self.kills.is_empty()
+    }
+
+    fn draw(&self, seq: u64, shard: usize, salt: u64) -> f64 {
+        let mut rng = SplitMix64::new(
+            self.seed ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (shard as u64) ^ salt,
+        );
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Whether the execution of `shard` for query `seq` must panic.
+    pub fn sabotage_panic(&self, seq: u64, shard: usize) -> bool {
+        if let Some((start, end, s)) = self.panic_burst {
+            if shard == s && (start..end).contains(&seq) {
+                return true;
+            }
+        }
+        self.panic_rate > 0.0 && self.draw(seq, shard, 0xFA11) < self.panic_rate
+    }
+
+    /// How long the execution of `shard` for query `seq` must stall, if
+    /// at all.
+    pub fn sabotage_stall(&self, seq: u64, shard: usize) -> Option<std::time::Duration> {
+        (self.stall_rate > 0.0 && self.draw(seq, shard, 0x57A11) < self.stall_rate)
+            .then_some(self.stall)
+    }
+
+    /// The shard whose worker must be killed before query `seq` fans
+    /// out, if any.
+    pub fn kill(&self, seq: u64) -> Option<usize> {
+        self.kills.iter().find(|(at, _)| *at == seq).map(|&(_, s)| s)
+    }
+}
+
+impl Default for ShardChaosPlan {
+    fn default() -> Self {
+        Self::NONE
+    }
+}
+
 /// Outcome tally of a deterministic corruption campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SurvivalReport {
@@ -270,6 +356,59 @@ mod tests {
         assert!(report.survived(), "unsurvived: {report:?}");
         assert!(report.typed_errors > 0);
         assert!(report.checksum_rejections > 0, "checksums never fired: {report:?}");
+    }
+
+    #[test]
+    fn shard_chaos_plan_is_deterministic_and_respects_rates() {
+        let plan = ShardChaosPlan {
+            panic_rate: 0.05,
+            stall_rate: 0.02,
+            stall: std::time::Duration::from_millis(5),
+            panic_burst: Some((100, 110, 2)),
+            kills: vec![(7, 1)],
+            seed: 0xC0_FFEE,
+        };
+        assert!(!plan.is_quiet());
+        let mut panics = 0u32;
+        let mut stalls = 0u32;
+        for seq in 0..4_000u64 {
+            for shard in 0..4 {
+                // Deterministic: the same draw twice agrees.
+                assert_eq!(
+                    plan.sabotage_panic(seq, shard),
+                    plan.sabotage_panic(seq, shard)
+                );
+                if plan.sabotage_panic(seq, shard) {
+                    panics += 1;
+                }
+                if plan.sabotage_stall(seq, shard).is_some() {
+                    stalls += 1;
+                }
+            }
+        }
+        // 16 000 draws at 5% / 2%: expect ~800 / ~320, generous bands.
+        assert!((400..1600).contains(&panics), "panic draws off-rate: {panics}");
+        assert!((120..700).contains(&stalls), "stall draws off-rate: {stalls}");
+        // The burst window always panics its shard, and only its shard.
+        for seq in 100..110 {
+            assert!(plan.sabotage_panic(seq, 2));
+        }
+        assert!(!plan.sabotage_panic(99, 2) || plan.panic_rate > 0.0);
+        assert_eq!(plan.kill(7), Some(1));
+        assert_eq!(plan.kill(8), None);
+    }
+
+    #[test]
+    fn quiet_plan_injects_nothing() {
+        let plan = ShardChaosPlan::NONE;
+        assert!(plan.is_quiet());
+        for seq in 0..500 {
+            for shard in 0..8 {
+                assert!(!plan.sabotage_panic(seq, shard));
+                assert!(plan.sabotage_stall(seq, shard).is_none());
+            }
+            assert_eq!(plan.kill(seq), None);
+        }
     }
 
     #[test]

@@ -96,7 +96,17 @@ pub const MAGIC_V2: u64 = 0x4949_5558_0000_0002;
 /// still accepted by [`deserialize`].
 pub const MAGIC_V1: u64 = 0x4949_5558_0000_0001;
 
-/// Magic + version of the sharded-manifest format ("IIUS" + 0x0001).
+/// Magic + version of the legacy sharded-manifest format ("IIUS" +
+/// 0x0001), still accepted by [`deserialize_sharded`].
+///
+/// Identical to [`MAGIC_SHARD_V2`] except the header carries no
+/// per-shard body-length table, so a scanner cannot locate shard `s+1`
+/// without successfully parsing shard `s` — [`scan_sharded`] degrades to
+/// stop-at-first-error on these files.
+pub const MAGIC_SHARD: u64 = 0x4949_5553_0000_0001;
+
+/// Magic + version of the current sharded-manifest format ("IIUS" +
+/// 0x0002).
 ///
 /// A shard manifest is *not* N concatenated v3 files: every shard is
 /// built with the global collection statistics (avgdl, per-term idf̄),
@@ -106,18 +116,24 @@ pub const MAGIC_V1: u64 = 0x4949_5558_0000_0001;
 /// shard:
 ///
 /// ```text
-/// magic/version      u64  (MAGIC_SHARD)
+/// magic/version      u64  (MAGIC_SHARD_V2)
 /// shard header       num_shards u32 · global num_docs u64 · avgdl f64
 ///                    · parent partitioner (u8 kind + u32 arg)
-///                    · num_terms u64 · num_terms × idf̄ raw u32  + crc32
+///                    · num_terms u64 · num_terms × idf̄ raw u32
+///                    · num_shards × body byte-length u64        + crc32
 /// shard body (× N)   the checksummed body layout of v2/v3
 /// footer             crc32 u32 over every preceding byte
 /// ```
 ///
+/// The body-length table (new in manifest v2) lets [`scan_sharded`]
+/// locate every shard body independently, so a single corrupt shard is
+/// reported as *that shard* failing its CRC cross-check while the
+/// remaining shards still get scanned.
+///
 /// Per-shard score bounds are derived data (recomputed from the decoded
 /// postings plus the manifest's global statistics on load, exactly as a
 /// v2 file's bounds are), so they are not stored.
-pub const MAGIC_SHARD: u64 = 0x4949_5553_0000_0001;
+pub const MAGIC_SHARD_V2: u64 = 0x4949_5553_0000_0002;
 
 /// Serializes `index` to bytes in format v3.
 ///
@@ -201,7 +217,8 @@ fn write_checksummed_body(buf: &mut Vec<u8>, index: &InvertedIndex) -> Result<()
     Ok(())
 }
 
-/// Serializes a sharded index as a shard manifest (see [`MAGIC_SHARD`]).
+/// Serializes a sharded index as a shard manifest (see
+/// [`MAGIC_SHARD_V2`]).
 ///
 /// # Errors
 ///
@@ -212,8 +229,20 @@ pub fn serialize_sharded(sharded: &ShardedIndex) -> Result<Vec<u8>, IndexError> 
     let Some(first) = sharded.shards().first() else {
         return Err(IndexError::CorruptIndex { context: "sharded index has no shards" });
     };
+    // Render each body up front so the header can carry its byte length
+    // (the table scan_sharded uses to address shards independently).
+    let mut bodies: Vec<Vec<u8>> = Vec::with_capacity(sharded.num_shards());
+    for shard in sharded.shards() {
+        if shard.num_terms() != first.num_terms() {
+            return Err(IndexError::CorruptIndex { context: "shard dictionaries disagree" });
+        }
+        let mut body = Vec::new();
+        write_checksummed_body(&mut body, shard)?;
+        bodies.push(body);
+    }
+
     let mut buf = Vec::new();
-    buf.put_u64_le(MAGIC_SHARD);
+    buf.put_u64_le(MAGIC_SHARD_V2);
 
     let header_start = buf.len();
     buf.put_u32_le(sharded.num_shards() as u32);
@@ -233,13 +262,13 @@ pub fn serialize_sharded(sharded: &ShardedIndex) -> Result<Vec<u8>, IndexError> 
     for info in first.terms() {
         buf.put_u32_le(info.idf_bar.raw());
     }
+    for body in &bodies {
+        buf.put_u64_le(body.len() as u64);
+    }
     seal_section(&mut buf, header_start);
 
-    for shard in sharded.shards() {
-        if shard.num_terms() != first.num_terms() {
-            return Err(IndexError::CorruptIndex { context: "shard dictionaries disagree" });
-        }
-        write_checksummed_body(&mut buf, shard)?;
+    for body in &bodies {
+        buf.put_slice(body);
     }
 
     let footer = crc32(&buf);
@@ -247,13 +276,17 @@ pub fn serialize_sharded(sharded: &ShardedIndex) -> Result<Vec<u8>, IndexError> 
     Ok(buf)
 }
 
-/// Whether `bytes` starts with the shard-manifest magic — the dispatch
-/// probe loaders use to pick [`deserialize_sharded`] over [`deserialize`].
+/// Whether `bytes` starts with a shard-manifest magic (either manifest
+/// version) — the dispatch probe loaders use to pick
+/// [`deserialize_sharded`] over [`deserialize`].
 pub fn is_sharded(bytes: &[u8]) -> bool {
-    bytes.len() >= 8
-        && u64::from_le_bytes([
-            bytes[0], bytes[1], bytes[2], bytes[3], bytes[4], bytes[5], bytes[6], bytes[7],
-        ]) == MAGIC_SHARD
+    if bytes.len() < 8 {
+        return false;
+    }
+    let magic = u64::from_le_bytes([
+        bytes[0], bytes[1], bytes[2], bytes[3], bytes[4], bytes[5], bytes[6], bytes[7],
+    ]);
+    magic == MAGIC_SHARD || magic == MAGIC_SHARD_V2
 }
 
 /// Deserializes a shard manifest written by [`serialize_sharded`].
@@ -271,10 +304,61 @@ pub fn is_sharded(bytes: &[u8]) -> bool {
 pub fn deserialize_sharded(bytes: &[u8]) -> Result<ShardedIndex, IndexError> {
     let mut r = Reader::new(bytes);
     let magic = r.u64("magic")?;
-    if magic != MAGIC_SHARD {
+    if magic != MAGIC_SHARD && magic != MAGIC_SHARD_V2 {
         return Err(IndexError::UnsupportedFormat { found: magic });
     }
+    let header = read_shard_header(&mut r, magic)?;
 
+    let mut shards = Vec::with_capacity(header.num_shards.min(r.remaining()));
+    for s in 0..header.num_shards {
+        let body_start = r.pos;
+        let body = read_checksummed_body(&mut r)?;
+        if let Some(lens) = &header.body_lens {
+            // A v2 manifest records each body's byte length; a body that
+            // parses but consumed a different span means the length table
+            // and the content disagree (only possible under tampering with
+            // checksums recomputed) — reject rather than trust either.
+            if (r.pos - body_start) as u64 != lens[s] {
+                return Err(IndexError::CorruptIndex { context: "shard body length mismatch" });
+            }
+        }
+        if body.lists.len() != header.idf_bars.len() {
+            return Err(IndexError::CorruptIndex { context: "shard dictionaries disagree" });
+        }
+        let with_idf = body
+            .lists
+            .into_iter()
+            .zip(&header.idf_bars)
+            .map(|((term, list), &idf)| (term, list, idf))
+            .collect();
+        shards.push(InvertedIndex::from_lists_with_stats(
+            with_idf,
+            body.doc_lens,
+            header.avgdl,
+            body.partitioner,
+            body.params,
+        )?);
+    }
+    verify_footer(&mut r)?;
+    ShardedIndex::from_shards(shards, header.n_docs, header.parent_partitioner)
+}
+
+/// Parsed shard-manifest header, shared by [`deserialize_sharded`] and
+/// [`scan_sharded`].
+struct ShardManifestHeader {
+    num_shards: usize,
+    n_docs: u64,
+    avgdl: f64,
+    parent_partitioner: Partitioner,
+    idf_bars: Vec<Fixed>,
+    /// Per-shard body byte lengths — present only in v2 manifests.
+    body_lens: Option<Vec<u64>>,
+}
+
+fn read_shard_header(
+    r: &mut Reader<'_>,
+    magic: u64,
+) -> Result<ShardManifestHeader, IndexError> {
     let header_start = r.pos;
     let num_shards = r.u32("shard header")? as usize;
     let n_docs = r.u64("shard header")?;
@@ -290,6 +374,21 @@ pub fn deserialize_sharded(bytes: &[u8]) -> Result<ShardedIndex, IndexError> {
         .chunks_exact(4)
         .map(|c| Fixed::from_raw(u32::from_le_bytes([c[0], c[1], c[2], c[3]])))
         .collect();
+    let body_lens = if magic == MAGIC_SHARD_V2 {
+        let len_bytes = num_shards
+            .checked_mul(8)
+            .ok_or(IndexError::CorruptIndex { context: "shard header" })?;
+        let raw = r.take(len_bytes, "shard header")?;
+        Some(
+            raw.chunks_exact(8)
+                .map(|c| {
+                    u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]])
+                })
+                .collect(),
+        )
+    } else {
+        None
+    };
     r.verify_section(header_start, "shard header", "shard header checksum")?;
     let parent_partitioner = read_partitioner(part_kind, part_arg)?;
     if num_shards == 0 {
@@ -298,29 +397,191 @@ pub fn deserialize_sharded(bytes: &[u8]) -> Result<ShardedIndex, IndexError> {
     if !avgdl.is_finite() || avgdl <= 0.0 {
         return Err(IndexError::CorruptIndex { context: "shard avgdl" });
     }
+    Ok(ShardManifestHeader {
+        num_shards,
+        n_docs,
+        avgdl,
+        parent_partitioner,
+        idf_bars,
+        body_lens,
+    })
+}
 
-    let mut shards = Vec::with_capacity(num_shards.min(r.remaining()));
-    for _ in 0..num_shards {
-        let body = read_checksummed_body(&mut r)?;
-        if body.lists.len() != n_terms {
-            return Err(IndexError::CorruptIndex { context: "shard dictionaries disagree" });
-        }
-        let with_idf = body
-            .lists
-            .into_iter()
-            .zip(&idf_bars)
-            .map(|((term, list), &idf)| (term, list, idf))
-            .collect();
-        shards.push(InvertedIndex::from_lists_with_stats(
-            with_idf,
-            body.doc_lens,
-            avgdl,
-            body.partitioner,
-            body.params,
-        )?);
+/// CRC cross-check result for one shard body in a manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ShardBodyStatus {
+    /// The body parsed and every section checksum held.
+    Ok {
+        /// Documents in this shard's doc-length table.
+        docs: u64,
+        /// Total postings across this shard's term records.
+        postings: u64,
+    },
+    /// The body failed its CRC cross-check (or was structurally invalid).
+    Corrupt {
+        /// The typed rejection.
+        error: IndexError,
+    },
+    /// Not reached: a legacy (v1) manifest has no body-length table, so a
+    /// corrupt shard hides every shard after it.
+    Unscanned,
+}
+
+/// Per-shard integrity report over a shard manifest, produced by
+/// [`scan_sharded`] without aborting on the first bad shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardScanReport {
+    /// Manifest format version (1 or 2).
+    pub version: u32,
+    /// Shard count claimed by the (CRC-verified) header.
+    pub num_shards: usize,
+    /// Global document count claimed by the header.
+    pub num_docs: u64,
+    /// One status per shard body.
+    pub shards: Vec<ShardBodyStatus>,
+    /// Whether the whole-file footer CRC held (always `false` when any
+    /// body is corrupt — the footer covers every body byte).
+    pub footer_ok: bool,
+}
+
+impl ShardScanReport {
+    /// Whether every shard body verified and the footer held.
+    pub fn is_clean(&self) -> bool {
+        self.footer_ok
+            && self.shards.iter().all(|s| matches!(s, ShardBodyStatus::Ok { .. }))
     }
-    verify_footer(&mut r)?;
-    ShardedIndex::from_shards(shards, n_docs, parent_partitioner)
+
+    /// Indices of shards whose body failed verification.
+    pub fn corrupt_shards(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, ShardBodyStatus::Corrupt { .. }))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The round-robin document count shard `s` must hold for the
+    /// header's global count (`ShardedIndex::validate`'s invariant).
+    pub fn expected_docs(&self, s: usize) -> u64 {
+        let n = self.num_shards as u64;
+        (self.num_docs + n - 1 - s as u64) / n
+    }
+}
+
+/// Scans a shard manifest, CRC-cross-checking every shard body
+/// *independently* instead of erroring on the first bad one.
+///
+/// On a v2 manifest the header's body-length table addresses each body
+/// directly, so one corrupt shard leaves the others scannable. On a
+/// legacy v1 manifest bodies are only reachable sequentially: the scan
+/// stops at the first corrupt body and marks the rest
+/// [`ShardBodyStatus::Unscanned`].
+///
+/// # Errors
+///
+/// Returns [`IndexError::UnsupportedFormat`] on a non-manifest magic and
+/// a typed error if the *header* itself is unreadable — without a valid
+/// header there is no shard layout to scan.
+pub fn scan_sharded(bytes: &[u8]) -> Result<ShardScanReport, IndexError> {
+    let mut r = Reader::new(bytes);
+    let magic = r.u64("magic")?;
+    if magic != MAGIC_SHARD && magic != MAGIC_SHARD_V2 {
+        return Err(IndexError::UnsupportedFormat { found: magic });
+    }
+    let header = read_shard_header(&mut r, magic)?;
+    let version = if magic == MAGIC_SHARD_V2 { 2 } else { 1 };
+
+    let scan_body = |start: usize, limit: usize| -> (ShardBodyStatus, usize) {
+        if start > limit {
+            let error = IndexError::CorruptIndex { context: "shard body truncated" };
+            return (ShardBodyStatus::Corrupt { error }, start);
+        }
+        let mut br = Reader { buf: &bytes[..limit], pos: start };
+        match read_checksummed_body(&mut br) {
+            Ok(body) => {
+                let postings =
+                    body.lists.iter().map(|(_, l)| l.len() as u64).sum();
+                (ShardBodyStatus::Ok { docs: body.doc_lens.len() as u64, postings }, br.pos)
+            }
+            Err(error) => (ShardBodyStatus::Corrupt { error }, br.pos),
+        }
+    };
+
+    let mut shards = Vec::with_capacity(header.num_shards);
+    let footer_ok;
+    if let Some(lens) = &header.body_lens {
+        // v2: every body is addressable from the (CRC-verified) length
+        // table, so a corrupt shard is reported in place and the scan
+        // moves on to the next shard.
+        let mut start = r.pos;
+        for &len in lens {
+            let end = start.checked_add(len as usize).filter(|&e| e + 4 <= bytes.len());
+            match end {
+                Some(end) => {
+                    let (status, consumed) = scan_body(start, end);
+                    // A body that parses short of its recorded span was
+                    // spliced; don't let it masquerade as clean.
+                    if consumed != end && matches!(status, ShardBodyStatus::Ok { .. }) {
+                        shards.push(ShardBodyStatus::Corrupt {
+                            error: IndexError::CorruptIndex {
+                                context: "shard body length mismatch",
+                            },
+                        });
+                    } else {
+                        shards.push(status);
+                    }
+                    start = end;
+                }
+                None => {
+                    shards.push(ShardBodyStatus::Corrupt {
+                        error: IndexError::CorruptIndex { context: "shard body length" },
+                    });
+                }
+            }
+        }
+        footer_ok = start + 4 == bytes.len()
+            && crc32(&bytes[..start])
+                == u32::from_le_bytes([
+                    bytes[start],
+                    bytes[start + 1],
+                    bytes[start + 2],
+                    bytes[start + 3],
+                ]);
+    } else {
+        // v1: no length table — bodies are only locatable sequentially.
+        let mut pos = r.pos;
+        let mut dead = false;
+        for _ in 0..header.num_shards {
+            if dead {
+                shards.push(ShardBodyStatus::Unscanned);
+                continue;
+            }
+            let limit = bytes.len().saturating_sub(4);
+            let (status, consumed) = scan_body(pos, limit);
+            dead = matches!(status, ShardBodyStatus::Corrupt { .. });
+            shards.push(status);
+            pos = consumed;
+        }
+        footer_ok = !dead
+            && pos + 4 == bytes.len()
+            && crc32(&bytes[..pos])
+                == u32::from_le_bytes([
+                    bytes[pos],
+                    bytes[pos + 1],
+                    bytes[pos + 2],
+                    bytes[pos + 3],
+                ]);
+    }
+
+    Ok(ShardScanReport {
+        version,
+        num_shards: header.num_shards,
+        num_docs: header.n_docs,
+        shards,
+        footer_ok,
+    })
 }
 
 /// A bounds-checked little-endian cursor over the serialized bytes that
@@ -982,7 +1243,7 @@ mod tests {
         let bytes = serialize_sharded(&sharded).unwrap();
         assert!(matches!(
             deserialize(&bytes),
-            Err(IndexError::UnsupportedFormat { found }) if found == MAGIC_SHARD
+            Err(IndexError::UnsupportedFormat { found }) if found == MAGIC_SHARD_V2
         ));
         let plain = serialize(&sample_index()).unwrap();
         assert!(!is_sharded(&plain));
@@ -990,6 +1251,136 @@ mod tests {
             deserialize_sharded(&plain),
             Err(IndexError::UnsupportedFormat { .. })
         ));
+        assert!(matches!(
+            scan_sharded(&plain),
+            Err(IndexError::UnsupportedFormat { .. })
+        ));
+    }
+
+    /// Writes a legacy v1 shard manifest (no body-length table),
+    /// byte-for-byte what the old writer produced.
+    fn serialize_sharded_v1(sharded: &ShardedIndex) -> Vec<u8> {
+        let first = sharded.shards().first().unwrap();
+        let mut buf = Vec::new();
+        buf.put_u64_le(MAGIC_SHARD);
+        let header_start = buf.len();
+        buf.put_u32_le(sharded.num_shards() as u32);
+        buf.put_u64_le(sharded.num_docs());
+        buf.put_f64_le(first.avgdl());
+        match sharded.parent_partitioner() {
+            Partitioner::Fixed { block_len } => {
+                buf.put_u8(0);
+                buf.put_u32_le(block_len as u32);
+            }
+            Partitioner::Dynamic { max_size } => {
+                buf.put_u8(1);
+                buf.put_u32_le(max_size as u32);
+            }
+        }
+        buf.put_u64_le(first.num_terms() as u64);
+        for info in first.terms() {
+            buf.put_u32_le(info.idf_bar.raw());
+        }
+        seal_section(&mut buf, header_start);
+        for shard in sharded.shards() {
+            write_checksummed_body(&mut buf, shard).unwrap();
+        }
+        let footer = crc32(&buf);
+        buf.put_u32_le(footer);
+        buf
+    }
+
+    #[test]
+    fn legacy_v1_shard_manifest_still_loads() {
+        let sharded = sample_sharded();
+        let bytes = serialize_sharded_v1(&sharded);
+        assert!(is_sharded(&bytes));
+        let back = deserialize_sharded(&bytes).unwrap();
+        assert_eq!(sharded, back);
+        let report = scan_sharded(&bytes).unwrap();
+        assert_eq!(report.version, 1);
+        assert!(report.is_clean(), "clean v1 manifest must scan clean: {report:?}");
+    }
+
+    #[test]
+    fn scan_reports_clean_manifest_per_shard() {
+        let sharded = sample_sharded();
+        let bytes = serialize_sharded(&sharded).unwrap();
+        let report = scan_sharded(&bytes).unwrap();
+        assert_eq!(report.version, 2);
+        assert_eq!(report.num_shards, sharded.num_shards());
+        assert!(report.is_clean(), "{report:?}");
+        assert!(report.corrupt_shards().is_empty());
+        for (s, status) in report.shards.iter().enumerate() {
+            let ShardBodyStatus::Ok { docs, .. } = status else {
+                panic!("shard {s} not ok: {status:?}");
+            };
+            assert_eq!(*docs, sharded.shard(s).num_docs());
+            assert_eq!(*docs, report.expected_docs(s), "round-robin balance");
+        }
+    }
+
+    #[test]
+    fn scan_isolates_a_corrupt_shard_body_and_keeps_scanning() {
+        // Corrupt one byte inside shard 1's body: deserialize_sharded must
+        // reject the file, while scan_sharded must flag exactly shard 1
+        // and still verify shards 0 and 2.
+        let sharded = sample_sharded();
+        let bytes = serialize_sharded(&sharded).unwrap();
+        let clean = scan_sharded(&bytes).unwrap();
+        assert_eq!(clean.shards.len(), 3);
+
+        // Locate shard 1's body: header ends where the first body starts.
+        let header_len =
+            4 + 8 + 8 + 5 + 8 + sharded.shard(0).num_terms() * 4 + 3 * 8;
+        let bodies_start = 8 + header_len + 4;
+        let mut body_lens = Vec::new();
+        for s in 0..3 {
+            let at = 8 + 4 + 8 + 8 + 5 + 8 + sharded.shard(0).num_terms() * 4 + s * 8;
+            body_lens.push(u64::from_le_bytes(
+                bytes[at..at + 8].try_into().unwrap(),
+            ) as usize);
+        }
+        let shard1_mid = bodies_start + body_lens[0] + body_lens[1] / 2;
+        let mut corrupt = bytes.clone();
+        corrupt[shard1_mid] ^= 0x10;
+
+        assert!(deserialize_sharded(&corrupt).is_err());
+        let report = scan_sharded(&corrupt).unwrap();
+        assert!(!report.is_clean());
+        assert_eq!(report.corrupt_shards(), vec![1], "{report:?}");
+        assert!(matches!(report.shards[0], ShardBodyStatus::Ok { .. }));
+        assert!(matches!(report.shards[2], ShardBodyStatus::Ok { .. }));
+        assert!(!report.footer_ok, "footer covers the flipped byte");
+
+        // The same corruption in a v1 manifest hides the shards after it.
+        let v1 = serialize_sharded_v1(&sharded);
+        let v1_header_len = 4 + 8 + 8 + 5 + 8 + sharded.shard(0).num_terms() * 4;
+        let v1_shard1_mid = 8 + v1_header_len + 4 + body_lens[0] + body_lens[1] / 2;
+        let mut v1_corrupt = v1.clone();
+        v1_corrupt[v1_shard1_mid] ^= 0x10;
+        let v1_report = scan_sharded(&v1_corrupt).unwrap();
+        assert!(matches!(v1_report.shards[0], ShardBodyStatus::Ok { .. }));
+        assert!(matches!(v1_report.shards[1], ShardBodyStatus::Corrupt { .. }));
+        assert!(matches!(v1_report.shards[2], ShardBodyStatus::Unscanned));
+    }
+
+    #[test]
+    fn scan_survives_truncation_and_bit_flips_without_panicking() {
+        let bytes = serialize_sharded(&sample_sharded()).unwrap();
+        for cut in 0..bytes.len() {
+            // Any prefix must yield Err or a non-clean report, never panic.
+            if let Ok(report) = scan_sharded(&bytes[..cut]) {
+                assert!(!report.is_clean(), "truncation at {cut} scanned clean");
+            }
+        }
+        for byte in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[byte] ^= 1 << (byte % 8);
+            if let Ok(report) = scan_sharded(&flipped) {
+                assert!(!report.is_clean(), "bit flip at byte {byte} scanned clean");
+            }
+        }
     }
 
     #[test]
@@ -1035,7 +1426,8 @@ mod tests {
             Err(IndexError::ChecksumMismatch { section: "shard header", .. })
         ));
 
-        let header_len = 4 + 8 + 8 + 5 + 8 + sharded.shard(0).num_terms() * 4;
+        let header_len =
+            4 + 8 + 8 + 5 + 8 + sharded.shard(0).num_terms() * 4 + 3 * 8;
         let crc = crc32(&flipped[8..8 + header_len]);
         flipped[8 + header_len..8 + header_len + 4].copy_from_slice(&crc.to_le_bytes());
         let n = flipped.len();

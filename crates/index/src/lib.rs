@@ -62,7 +62,9 @@ pub use bounds::ListBounds;
 pub use builder::{BuildOptions, IndexBuilder};
 pub use checksum::{crc32, Crc32};
 pub use error::IndexError;
-pub use faultinject::{corrupt, survival_report, Corruption, SplitMix64, SurvivalReport};
+pub use faultinject::{
+    corrupt, survival_report, Corruption, ShardChaosPlan, SplitMix64, SurvivalReport,
+};
 pub use index::{InvertedIndex, TermId, TermInfo};
 pub use partition::Partitioner;
 pub use positions::{PositionIndex, PositionList};

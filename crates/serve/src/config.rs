@@ -167,6 +167,18 @@ pub struct ServeConfig {
     /// index round-robin at service start and answers every fallback query
     /// on an N-worker shard pool with bit-identical results.
     pub shards: usize,
+    /// Supervision policy for the shard pool (fan-out deadline,
+    /// quarantine, respawn backoff). A `None` deadline here is replaced
+    /// with [`Self::default_deadline`] at service start so a wedged shard
+    /// can never hang the coordinator.
+    pub shard_pool: iiu_core::ShardPoolConfig,
+    /// Shard-level fault injection (chaos campaigns and `serve-bench`;
+    /// quiet in normal operation).
+    pub shard_chaos: iiu_core::ShardChaosPlan,
+    /// When `true`, a sharded query that cannot cover every shard fails
+    /// (and falls into the error path) instead of answering partially
+    /// with [`iiu_core::Degradation::ShardsUnavailable`].
+    pub fail_closed_shards: bool,
 }
 
 impl Default for ServeConfig {
@@ -183,6 +195,9 @@ impl Default for ServeConfig {
             fault: FaultPlan::NONE,
             pruned_cpu_fallback: false,
             shards: 1,
+            shard_pool: iiu_core::ShardPoolConfig::default(),
+            shard_chaos: iiu_core::ShardChaosPlan::NONE,
+            fail_closed_shards: false,
         }
     }
 }

@@ -45,5 +45,6 @@ pub mod stats;
 
 pub use breaker::{BreakerState, CircuitBreaker, Route};
 pub use config::{BreakerConfig, FaultPlan, RetryPolicy, ServeConfig};
+pub use iiu_core::{ShardChaosPlan, ShardHealth, ShardHealthReport, ShardPoolConfig};
 pub use service::{PendingQuery, QueryService, Rejected};
 pub use stats::{HealthSnapshot, ServeStats};

@@ -146,14 +146,23 @@ impl QueryService {
         cfg.queue_capacity = cfg.queue_capacity.max(1);
         cfg.cores_per_query = cfg.cores_per_query.clamp(1, cfg.sim.n_cores.max(1));
         cfg.shards = cfg.shards.max(1);
+        // A shard pool without a fan-out deadline could hang the
+        // coordinator on a wedged worker; default it to the query
+        // deadline so every fan-out resolves in bounded time.
+        if cfg.shard_pool.deadline.is_none() {
+            cfg.shard_pool.deadline = Some(cfg.default_deadline);
+        }
         // Splitting a valid index cannot fail for shards >= 1; if it ever
         // does, serving unsharded is strictly better than refusing to
         // start (same results, just no fan-out).
         let sharded = (cfg.shards > 1)
             .then(|| {
-                ShardedSearchEngine::split(&index, cfg.shards)
-                    .ok()
-                    .map(|e| e.with_pruning(cfg.pruned_cpu_fallback))
+                iiu_core::ShardedIndex::split(&index, cfg.shards).ok().map(|s| {
+                    ShardedSearchEngine::with_config(Arc::new(s), cfg.shard_pool)
+                        .with_pruning(cfg.pruned_cpu_fallback)
+                        .with_fail_closed(cfg.fail_closed_shards)
+                        .with_chaos(cfg.shard_chaos.clone())
+                })
             })
             .flatten();
         let breaker = CircuitBreaker::new(cfg.breaker);
@@ -252,6 +261,14 @@ impl QueryService {
                 .as_ref()
                 .map(|e| e.inner().shard_loads())
                 .unwrap_or_default(),
+            shard_partials: s.shard_partials.load(Ordering::Relaxed),
+            shard_rescues: s.shard_rescues.load(Ordering::Relaxed),
+            shard_health: self
+                .shared
+                .sharded
+                .as_ref()
+                .map(|e| e.inner().pool().supervision())
+                .unwrap_or_default(),
             breaker: self.shared.breaker.state(),
             breaker_trips: self.shared.breaker.trips(),
             breaker_recoveries: self.shared.breaker.recoveries(),
@@ -264,7 +281,18 @@ impl QueryService {
     /// Stops admitting queries, drains everything already admitted, and
     /// joins the workers. Called automatically on drop.
     pub fn shutdown(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Release);
+        // The flag must flip while holding the queue lock: an idle worker
+        // re-checks `shutdown` under this lock right before parking on
+        // `not_empty`, so an unlocked store + notify could land in that
+        // window — the notification is lost, the worker parks forever,
+        // and the join below deadlocks. Holding the lock pins each worker
+        // on one side of the race: either it has not re-checked yet (and
+        // will observe the flag), or it is already parked (and will
+        // receive the notify issued after the lock drops).
+        {
+            let _q = lock(&self.shared.queue);
+            self.shared.shutdown.store(true, Ordering::Release);
+        }
         self.shared.not_empty.notify_all();
         for h in self.workers.drain(..) {
             // A worker that somehow panicked outside a query's
@@ -376,6 +404,13 @@ fn serve_one(shared: &Shared, job: Job, rng: &mut SplitMix64) {
             } else {
                 stats.degraded_ok.fetch_add(1, Ordering::Relaxed);
             }
+            if resp
+                .degraded
+                .iter()
+                .any(|d| matches!(d, Degradation::ShardsUnavailable { .. }))
+            {
+                stats.shard_partials.fetch_add(1, Ordering::Relaxed);
+            }
             stats.record_latency(started.elapsed());
             let _ = job.reply.send(Ok(resp));
         }
@@ -476,7 +511,23 @@ fn run_fallback(
         // pool is shared across serve workers, so the engine is queried
         // through &self.
         match &shared.sharded {
-            Some(engine) => engine.search_ref(&job.query, job.k),
+            Some(engine) => engine.search_ref(&job.query, job.k).or_else(|e| {
+                // Last-resort rescue: a total shard outage (every shard
+                // quarantined/wedged at once) or a fail-closed partial
+                // answer errors out of the fan-out, but the full index is
+                // still resident — answering unsharded (slower, complete
+                // coverage) beats failing the query. A genuinely bad query
+                // fails identically here and surfaces its real error.
+                shared.stats.shard_rescues.fetch_add(1, Ordering::Relaxed);
+                let mut unsharded = CpuSearchEngine::new(index)
+                    .with_pruning(shared.cfg.pruned_cpu_fallback);
+                unsharded.search(&job.query, job.k).map(|mut resp| {
+                    resp.degraded.push(Degradation::CpuFallback {
+                        reason: format!("shard fan-out unavailable: {e}"),
+                    });
+                    resp
+                })
+            }),
             None => {
                 let mut engine =
                     CpuSearchEngine::new(index).with_pruning(shared.cfg.pruned_cpu_fallback);

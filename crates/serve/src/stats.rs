@@ -44,6 +44,13 @@ pub struct ServeStats {
     pub fallback_candidates: AtomicU64,
     /// Modeled nanoseconds of CPU work spent by fallback answers.
     pub fallback_modeled_ns: AtomicU64,
+    /// Answers served with partial shard coverage (the response carried
+    /// [`iiu_core::Degradation::ShardsUnavailable`]).
+    pub shard_partials: AtomicU64,
+    /// Queries rescued by the unsharded CPU engine after the shard
+    /// fan-out errored outright (total shard outage, or fail-closed
+    /// partial coverage).
+    pub shard_rescues: AtomicU64,
     buckets: [AtomicU64; BUCKETS],
 }
 
@@ -61,6 +68,8 @@ impl Default for ServeStats {
             cpu_fallbacks: AtomicU64::new(0),
             fallback_candidates: AtomicU64::new(0),
             fallback_modeled_ns: AtomicU64::new(0),
+            shard_partials: AtomicU64::new(0),
+            shard_rescues: AtomicU64::new(0),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -145,6 +154,15 @@ pub struct HealthSnapshot {
     /// Cumulative documents scored per shard (empty when unsharded) — the
     /// operator's load-balance view.
     pub shard_docs_scored: Vec<u64>,
+    /// Answers served with partial shard coverage (truthfully labeled via
+    /// `Degradation::ShardsUnavailable`).
+    pub shard_partials: u64,
+    /// Queries rescued by the unsharded CPU engine after the shard
+    /// fan-out errored outright.
+    pub shard_rescues: u64,
+    /// Per-shard supervision state and counters (failures, quarantine
+    /// trips, respawns); empty when unsharded.
+    pub shard_health: Vec<iiu_core::ShardHealthReport>,
     /// Breaker state at snapshot time.
     pub breaker: BreakerState,
     /// Breaker trips so far.
@@ -207,7 +225,26 @@ impl std::fmt::Display for HealthSnapshot {
             self.queue_depth,
         )?;
         if self.shards > 1 {
-            writeln!(f, "shards={} docs_scored_per_shard={:?}", self.shards, self.shard_docs_scored)?;
+            writeln!(
+                f,
+                "shards={} partial_answers={} rescues={} docs_scored_per_shard={:?}",
+                self.shards, self.shard_partials, self.shard_rescues, self.shard_docs_scored
+            )?;
+            for h in &self.shard_health {
+                writeln!(
+                    f,
+                    "  shard {}: {} failures={} (panics={} timeouts={}) \
+                     quarantine(trips={} recoveries={}) respawns={}",
+                    h.shard,
+                    h.health,
+                    h.failures,
+                    h.panics,
+                    h.timeouts,
+                    h.quarantine_trips,
+                    h.quarantine_recoveries,
+                    h.respawns,
+                )?;
+            }
         }
         match (self.p50, self.p99) {
             (Some(p50), Some(p99)) => write!(f, "p50≤{p50:?} p99≤{p99:?}"),
@@ -262,6 +299,19 @@ mod tests {
             fallback_modeled_ns: 9_000,
             shards: 2,
             shard_docs_scored: vec![60, 60],
+            shard_partials: 2,
+            shard_rescues: 1,
+            shard_health: vec![iiu_core::ShardHealthReport {
+                shard: 0,
+                health: iiu_core::ShardHealth::Ok,
+                consecutive_failures: 0,
+                failures: 3,
+                panics: 2,
+                timeouts: 1,
+                quarantine_trips: 1,
+                quarantine_recoveries: 1,
+                respawns: 0,
+            }],
             breaker: BreakerState::Closed,
             breaker_trips: 1,
             breaker_recoveries: 1,
@@ -273,5 +323,9 @@ mod tests {
         assert!(h.to_string().contains("breaker=closed"));
         assert!(h.to_string().contains("fallback_candidates=120"));
         assert!(h.to_string().contains("shards=2"));
+        assert!(h.to_string().contains("partial_answers=2"));
+        assert!(h.to_string().contains("rescues=1"));
+        assert!(h.to_string().contains("shard 0: ok"));
+        assert!(h.to_string().contains("respawns=0"));
     }
 }

@@ -345,3 +345,28 @@ fn shutdown_drains_admitted_queries_and_rejects_new_ones() {
     let h = svc.health();
     assert_eq!(h.completed, 8);
 }
+
+#[test]
+fn shutdown_never_loses_the_wakeup_race() {
+    // Regression test for a lost-wakeup deadlock: a worker that had just
+    // observed `shutdown == false` under the queue lock but had not yet
+    // parked on the condvar would miss an unlocked store + notify_all and
+    // park forever, hanging shutdown() on the join (seen in the wild as a
+    // soak run wedged with one worker futex-parked). The window is a few
+    // instructions wide, so this churn is a best-effort canary, not a
+    // reliable reproducer; the real guarantee is the lock discipline in
+    // shutdown() (flag flipped under the queue lock).
+    let index = Arc::new(tiny_index(0xAA));
+    let q = Query::term(term_of(&index, 0));
+    for i in 0..400 {
+        let cfg = ServeConfig { workers: 4, ..quick_config() };
+        let mut svc = QueryService::start(Arc::clone(&index), cfg);
+        // Every few iterations run a real query so some workers race from
+        // the serve path back to the park point instead of from spawn.
+        let pending = (i % 4 == 0).then(|| svc.submit(q.clone(), 3).expect("admission"));
+        svc.shutdown();
+        if let Some(p) = pending {
+            p.wait().expect("admitted before shutdown, must be drained");
+        }
+    }
+}

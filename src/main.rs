@@ -9,6 +9,8 @@
 //!             [--shards N]
 //! iiu serve-bench <index-file> [--workers N] [--rate QPS] [--queries N]
 //!                 [--deadline-ms MS] [--fault-rate R] [--seed S] [--shards N]
+//!                 [--shard-fault-rate R] [--shard-stall-rate R]
+//!                 [--shard-stall-ms MS] [--fail-closed yes]
 //! ```
 //!
 //! `gen` writes an index over a synthetic Zipfian corpus; `build` indexes a
@@ -27,8 +29,8 @@ use iiu_core::{
     CpuSearchEngine, IiuSearchEngine, Query, SearchEngine, SearchResponse, ShardedSearchEngine,
 };
 use iiu_index::io::{
-    deserialize, deserialize_sharded, is_sharded, serialize, serialize_sharded, MAGIC, MAGIC_V1,
-    MAGIC_V2,
+    deserialize, deserialize_sharded, is_sharded, scan_sharded, serialize, serialize_sharded,
+    ShardBodyStatus, MAGIC, MAGIC_V1, MAGIC_V2,
 };
 use iiu_index::shard::ShardedIndex;
 use iiu_index::{
@@ -75,7 +77,9 @@ fn print_usage() {
          \x20             [--pruned yes] [--shards N]\n\
          \x20 iiu serve-bench <index-file> [--workers N] [--rate QPS] [--queries N]\n\
          \x20                 [--deadline-ms MS] [--fault-rate R] [--seed S] [--unknown-rate R]\n\
-         \x20                 [--pruned yes] [--shards N]\n\
+         \x20                 [--pruned yes] [--shards N] [--shard-fault-rate R]\n\
+         \x20                 [--shard-stall-rate R] [--shard-stall-ms MS] [--fail-closed yes]\n\
+         \x20                 [--no-device yes]\n\
          \n\
          --pruned yes runs the CPU engine with block-max pruned top-k:\n\
          whole blocks whose score upper bound cannot reach the current\n\
@@ -94,7 +98,14 @@ fn print_usage() {
          resilient serving layer (deadlines, load shedding, retry, CPU\n\
          fallback) and reports p50/p99 latency, shed rate, and circuit-\n\
          breaker activity. --fault-rate injects that fraction of device\n\
-         stalls to exercise the recovery paths.\n\
+         stalls to exercise the recovery paths. With --shards N, \n\
+         --shard-fault-rate panics that fraction of shard executions and\n\
+         --shard-stall-rate stalls that fraction for --shard-stall-ms,\n\
+         exercising shard supervision: partial answers are labeled, sick\n\
+         shards are quarantined and probed half-open, and per-shard health\n\
+         is reported. --fail-closed yes errors on partial coverage instead\n\
+         (rescued by an unsharded retry); --no-device yes sabotages every\n\
+         device attempt so the whole stream exercises the CPU path.\n\
          \n\
          inspect verifies the file's section checksums and the decoded\n\
          index's structural invariants. With --fault-rate R (fraction of\n\
@@ -360,7 +371,51 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
 }
 
 fn inspect_sharded(bytes: &[u8], parsed: &Args<'_>) -> Result<(), String> {
-    println!("format:   sharded manifest (round-robin document shards)");
+    // Scan first: every shard body is CRC-cross-checked *independently*,
+    // so one corrupt shard is flagged in place instead of hiding the
+    // health of every other shard behind a load error.
+    let scan = scan_sharded(bytes).map_err(|e| format!("header scan failed: {e}"))?;
+    println!(
+        "format:   sharded manifest v{} (round-robin document shards{})",
+        scan.version,
+        if scan.version >= 2 { ", per-shard body table" } else { "" }
+    );
+    println!(
+        "scan:     {} shards, {} documents claimed, footer {}",
+        scan.num_shards,
+        scan.num_docs,
+        if scan.footer_ok { "ok" } else { "FAILED" }
+    );
+    println!("          shard    docs   (expected)    postings    body");
+    for (s, status) in scan.shards.iter().enumerate() {
+        let expected = scan.expected_docs(s);
+        match status {
+            ShardBodyStatus::Ok { docs, postings } => {
+                let balance = if *docs == expected { "ok" } else { "IMBALANCED" };
+                println!(
+                    "          {s:>5} {docs:>7}   ({expected:>8})  {postings:>10}    {balance}"
+                );
+            }
+            ShardBodyStatus::Corrupt { error } => {
+                println!("          {s:>5} {:>7}   ({expected:>8})  {:>10}    CORRUPT: {error}", "?", "?");
+            }
+            _ => {
+                println!(
+                    "          {s:>5} {:>7}   ({expected:>8})  {:>10}    unscanned (v1 manifest, earlier shard corrupt)",
+                    "?", "?"
+                );
+            }
+        }
+    }
+    if !scan.is_clean() {
+        let corrupt = scan.corrupt_shards();
+        return Err(format!(
+            "scan: FAIL ({}/{} shard bodies corrupt: {corrupt:?})",
+            corrupt.len(),
+            scan.num_shards
+        ));
+    }
+
     let sharded = deserialize_sharded(bytes).map_err(|e| format!("load failed: {e}"))?;
     println!("load:     ok (shard header, per-shard and footer checksums verified)");
     sharded.validate().map_err(|e| format!("validation failed: {e}"))?;
@@ -443,7 +498,9 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
         return Err(
             "usage: iiu serve-bench <index-file> [--workers N] [--rate QPS] \
              [--queries N] [--deadline-ms MS] [--fault-rate R] [--seed S] \
-             [--unknown-rate R] [--pruned yes]"
+             [--unknown-rate R] [--pruned yes] [--shards N] \
+             [--shard-fault-rate R] [--shard-stall-rate R] [--shard-stall-ms MS] \
+             [--fail-closed yes] [--no-device yes]"
                 .into(),
         );
     };
@@ -457,8 +514,19 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
     let unknown_rate: f64 = parse_num(flag("unknown-rate").unwrap_or("0"), "--unknown-rate")?;
     let k: usize = parse_num(flag("k").unwrap_or("10"), "--k")?;
     let pruned = flag("pruned").is_some();
+    let shard_fault_rate: f64 =
+        parse_num(flag("shard-fault-rate").unwrap_or("0"), "--shard-fault-rate")?;
+    let shard_stall_rate: f64 =
+        parse_num(flag("shard-stall-rate").unwrap_or("0"), "--shard-stall-rate")?;
+    let shard_stall_ms: u64 =
+        parse_num(flag("shard-stall-ms").unwrap_or("100"), "--shard-stall-ms")?;
+    let fail_closed = flag("fail-closed").is_some();
+    let no_device = flag("no-device").is_some();
     if !(0.0..=1.0).contains(&fault_rate) || !(0.0..=1.0).contains(&unknown_rate) {
         return Err("--fault-rate and --unknown-rate must be in 0..=1".into());
+    }
+    if !(0.0..=1.0).contains(&shard_fault_rate) || !(0.0..=1.0).contains(&shard_stall_rate) {
+        return Err("--shard-fault-rate and --shard-stall-rate must be in 0..=1".into());
     }
     if !(rate.is_finite() && rate > 0.0) {
         return Err("--rate must be positive".into());
@@ -475,19 +543,45 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
             ..TrafficConfig::default()
         },
     );
+    let shard_chaos = iiu_serve::ShardChaosPlan {
+        panic_rate: shard_fault_rate,
+        stall_rate: shard_stall_rate,
+        stall: Duration::from_millis(shard_stall_ms),
+        seed: seed ^ 0x5AD,
+        ..iiu_serve::ShardChaosPlan::NONE
+    };
     let cfg = ServeConfig {
         workers,
         shards: shards.max(1),
         default_deadline: Duration::from_millis(deadline_ms),
-        fault: FaultPlan { stall_rate: fault_rate, seed, ..FaultPlan::NONE },
+        fault: FaultPlan {
+            stall_rate: fault_rate,
+            // --no-device yes sabotages every device attempt: the breaker
+            // opens and the whole stream lands on the CPU fallback, which
+            // is where the shard-chaos knobs live.
+            burst: no_device.then_some((0, u64::MAX)),
+            seed,
+            ..FaultPlan::NONE
+        },
         pruned_cpu_fallback: pruned,
+        shard_chaos,
+        fail_closed_shards: fail_closed,
         ..ServeConfig::default()
     };
     println!(
         "serve-bench: {queries} queries at {rate} qps, {workers} workers, \
-         deadline {deadline_ms} ms, fault rate {fault_rate}{}{}",
+         deadline {deadline_ms} ms, fault rate {fault_rate}{}{}{}",
         if pruned { ", pruned CPU fallback" } else { "" },
-        if shards > 1 { format!(", {shards}-shard CPU fallback") } else { String::new() }
+        if shards > 1 { format!(", {shards}-shard CPU fallback") } else { String::new() },
+        if shards > 1 && (shard_fault_rate > 0.0 || shard_stall_rate > 0.0) {
+            format!(
+                ", shard chaos (panic {shard_fault_rate}, stall {shard_stall_rate} \
+                 x {shard_stall_ms} ms, {})",
+                if fail_closed { "fail-closed" } else { "fail-soft" }
+            )
+        } else {
+            String::new()
+        }
     );
 
     let mut svc = QueryService::start(Arc::clone(&index), cfg);
@@ -545,9 +639,24 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
     }
     if h.shards > 1 {
         println!(
-            "shards:        {} workers, docs scored per shard {:?}",
-            h.shards, h.shard_docs_scored
+            "shards:        {} workers, {} partial answers, {} unsharded rescues, \
+             docs scored per shard {:?}",
+            h.shards, h.shard_partials, h.shard_rescues, h.shard_docs_scored
         );
+        for sh in &h.shard_health {
+            println!(
+                "  shard {}: {} — {} failures ({} panics, {} timeouts), \
+                 quarantine {} trips / {} recoveries, {} respawns",
+                sh.shard,
+                sh.health,
+                sh.failures,
+                sh.panics,
+                sh.timeouts,
+                sh.quarantine_trips,
+                sh.quarantine_recoveries,
+                sh.respawns,
+            );
+        }
     }
     println!(
         "breaker:       {} ({} trips, {} recoveries)",

@@ -9,14 +9,15 @@
 #
 # The clippy pass denies unwrap()/expect() across the workspace. Crates
 # whose internals legitimately panic (simulator queue plumbing, the bench
-# harness, the baseline) opt back out with a crate-root
+# harness) opt back out with a crate-root
 # `#![allow(clippy::unwrap_used, clippy::expect_used)]`; the hardened
 # crates (iiu-codecs decode paths, iiu-index
-# io/checksum/faultinject/bounds, iiu-baseline's pruned execution, and
-# all of iiu-serve) re-deny via `#![cfg_attr(not(test), deny(...))]` so a
-# panicking call cannot sneak back into an untrusted-input or serving
-# path. The second clippy line keeps iiu-serve and iiu-codecs honest even
-# if the workspace-wide wall is ever relaxed.
+# io/checksum/faultinject/bounds, all of iiu-baseline including the
+# supervised shard pool, and all of iiu-serve) re-deny via
+# `#![cfg_attr(not(test), deny(...))]` so a panicking call cannot sneak
+# back into an untrusted-input or serving path. The second clippy line
+# keeps iiu-serve, iiu-baseline and iiu-codecs honest even if the
+# workspace-wide wall is ever relaxed.
 set -eu
 
 quick=0
@@ -48,8 +49,21 @@ cargo test --release --test shard_equivalence -q
 # trip+recovery, and zero worker deaths are asserted inside.
 cargo test --release --test soak -q
 
+# Shard-level chaos campaign (DESIGN.md §15): 10k queries forced onto the
+# sharded CPU path while shard workers are panicked (randomly and in a
+# quarantine-tripping burst), stalled past the pool deadline, and killed
+# mid-stream. Asserts total availability, truthful
+# Degradation::ShardsUnavailable labeling, bit-identical surviving-shard
+# hits against an unsharded reference, and quarantine trip + half-open
+# recovery + worker respawn. Skipped under --quick (the heaviest soak).
+if [ "$quick" -eq 0 ]; then
+    cargo test --release --test shard_chaos -q
+else
+    echo "verify: --quick set, skipping shard chaos campaign"
+fi
+
 cargo clippy --workspace -- -D clippy::unwrap_used -D clippy::expect_used
-cargo clippy -p iiu-serve -p iiu-codecs -- -D clippy::unwrap_used -D clippy::expect_used
+cargo clippy -p iiu-serve -p iiu-baseline -p iiu-codecs -- -D clippy::unwrap_used -D clippy::expect_used
 
 # Decode perf gate (DESIGN.md §11, §13): re-measures the unpack kernels,
 # end-to-end query throughput, and pruned-vs-exhaustive top-k, rewrites
