@@ -126,8 +126,13 @@ impl<'a> CpuEngine<'a> {
         let id = self.resolve(term)?;
         if self.pruned {
             let mut counts = OpCounts::default();
-            let hits =
-                pruned::search_single_pruned(self.index, id, k, &mut counts, &mut self.scratch);
+            let hits = pruned::search_single_pruned(
+                self.index,
+                id,
+                k,
+                &mut counts,
+                &mut self.scratch,
+            );
             return Ok(self.pruned_outcome(hits, counts));
         }
         let list = self.index.encoded_list(id);
@@ -168,12 +173,12 @@ impl<'a> CpuEngine<'a> {
         let ia = self.resolve(term_a)?;
         let ib = self.resolve(term_b)?;
         // SvS orders by list length: shorter list drives the probing.
-        let (short_id, long_id) =
-            if self.index.term_info(ia).df <= self.index.term_info(ib).df {
-                (ia, ib)
-            } else {
-                (ib, ia)
-            };
+        let (short_id, long_id) = if self.index.term_info(ia).df <= self.index.term_info(ib).df
+        {
+            (ia, ib)
+        } else {
+            (ib, ia)
+        };
         if self.pruned {
             let mut counts = OpCounts::default();
             let hits = pruned::search_intersection_pruned(
@@ -192,8 +197,7 @@ impl<'a> CpuEngine<'a> {
         let idf_long = self.index.term_info(long_id).idf_bar;
 
         let mut counts = OpCounts::default();
-        let matches =
-            ops::intersect_svs(short, long, long_id, &mut counts, &mut self.scratch);
+        let matches = ops::intersect_svs(short, long, long_id, &mut counts, &mut self.scratch);
         let hits: Vec<Hit> = matches
             .iter()
             .map(|&(doc_id, tf_s, tf_l)| {
@@ -276,11 +280,11 @@ mod tests {
 
     fn engine_index() -> InvertedIndex {
         let mut b = IndexBuilder::new(BuildOptions::default());
-        b.add_document("business lausanne report");         // 0
-        b.add_document("cameo appearance");                 // 1
-        b.add_document("business cameo business");          // 2
-        b.add_document("weather report");                   // 3
-        b.add_document("business weather cameo");           // 4
+        b.add_document("business lausanne report"); // 0
+        b.add_document("cameo appearance"); // 1
+        b.add_document("business cameo business"); // 2
+        b.add_document("weather report"); // 3
+        b.add_document("business weather cameo"); // 4
         b.build()
     }
 

@@ -145,10 +145,8 @@ impl BlockCache {
         let block = block_idx as u32;
         // MRU fast path: the SvS probe loop asks for the same block many
         // times in a row, and this check keeps that O(1).
-        let mru_matches = self
-            .entries
-            .get(self.mru)
-            .is_some_and(|e| e.term == term && e.block == block);
+        let mru_matches =
+            self.entries.get(self.mru).is_some_and(|e| e.term == term && e.block == block);
         let pos = if mru_matches {
             Some(self.mru)
         } else {
@@ -320,8 +318,7 @@ pub fn intersect_svs(
         if last_block != Some(block_idx) {
             counts.blocks_decoded += 1;
             decoded_blocks[block_idx] = true;
-            counts.postings_decoded +=
-                u64::from(long.metas()[block_idx].count);
+            counts.postings_decoded += u64::from(long.metas()[block_idx].count);
             last_block = Some(block_idx);
         }
         let block = cache.get_or_decode(long, long_term, block_idx, counts);
@@ -438,9 +435,8 @@ mod tests {
     }
 
     fn encode(ids: &[(u32, u32)], max_size: usize) -> EncodedList {
-        let list = PostingList::from_sorted(
-            ids.iter().map(|&(d, t)| Posting::new(d, t)).collect(),
-        );
+        let list =
+            PostingList::from_sorted(ids.iter().map(|&(d, t)| Posting::new(d, t)).collect());
         let part = Partitioner::dynamic(max_size).partition(&list);
         EncodedList::encode(&list, &part).unwrap()
     }
@@ -472,17 +468,11 @@ mod tests {
     fn intersect_paper_example() {
         // L(business) ∩ L(cameo) = [11, 38, 46] (§2.2).
         let business = encode(&[(0, 1), (2, 1), (11, 1), (20, 1), (38, 1), (46, 1)], 2);
-        let cameo = encode(
-            &[(1, 2), (11, 2), (38, 2), (39, 2), (46, 2), (55, 2), (62, 2)],
-            2,
-        );
+        let cameo = encode(&[(1, 2), (11, 2), (38, 2), (39, 2), (46, 2), (55, 2), (62, 2)], 2);
         let mut c = OpCounts::default();
         let mut s = DecodeScratch::new();
         let result = intersect_svs(&business, &cameo, 1, &mut c, &mut s);
-        assert_eq!(
-            result.iter().map(|&(d, _, _)| d).collect::<Vec<_>>(),
-            vec![11, 38, 46]
-        );
+        assert_eq!(result.iter().map(|&(d, _, _)| d).collect::<Vec<_>>(), vec![11, 38, 46]);
         assert_eq!(result[0], (11, 1, 2));
         assert_eq!(c.results, 3);
         assert!(c.binary_probes > 0);
@@ -566,10 +556,7 @@ mod tests {
     #[test]
     fn union_paper_example() {
         let business = encode(&[(0, 1), (2, 1), (11, 1), (20, 1), (38, 1), (46, 1)], 3);
-        let cameo = encode(
-            &[(1, 2), (11, 2), (38, 2), (39, 2), (46, 2), (55, 2), (62, 2)],
-            3,
-        );
+        let cameo = encode(&[(1, 2), (11, 2), (38, 2), (39, 2), (46, 2), (55, 2), (62, 2)], 3);
         let mut c = OpCounts::default();
         let mut s = DecodeScratch::new();
         let result = union_merge(&business, &cameo, &mut c, &mut s);

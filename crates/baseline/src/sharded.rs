@@ -313,9 +313,7 @@ impl ShardPool {
                 Some((tx, h)) => (Some(tx), Some(h), ShardHealth::Ok, 0, None),
                 // Spawn failure: run_on reports the shard NoWorker and
                 // retries the spawn with backoff at later dispatches.
-                None => {
-                    (None, None, ShardHealth::DeadWorker, 1, Some(Instant::now()))
-                }
+                None => (None, None, ShardHealth::DeadWorker, 1, Some(Instant::now())),
             };
             workers.push(WorkerState {
                 sender,
@@ -395,9 +393,7 @@ impl ShardPool {
     fn record_failure(cfg: &ShardPoolConfig, w: &mut WorkerState, kind: ShardHealth) {
         w.failures += 1;
         w.consecutive_failures = w.consecutive_failures.saturating_add(1);
-        if cfg.quarantine_threshold > 0
-            && w.consecutive_failures >= cfg.quarantine_threshold
-        {
+        if cfg.quarantine_threshold > 0 && w.consecutive_failures >= cfg.quarantine_threshold {
             if w.health != ShardHealth::Quarantined {
                 w.quarantine_trips += 1;
             }
@@ -430,8 +426,7 @@ impl ShardPool {
         ws.iter()
             .enumerate()
             .map(|(shard, w)| {
-                let health = if w.worker_dead() && w.health != ShardHealth::Quarantined
-                {
+                let health = if w.worker_dead() && w.health != ShardHealth::Quarantined {
                     ShardHealth::DeadWorker
                 } else {
                     w.health
@@ -471,9 +466,9 @@ impl ShardPool {
                 }
                 match w.health {
                     ShardHealth::Quarantined => {
-                        let cooled = w.quarantined_at.is_none_or(|t| {
-                            t.elapsed() >= self.cfg.quarantine_cooldown
-                        });
+                        let cooled = w
+                            .quarantined_at
+                            .is_none_or(|t| t.elapsed() >= self.cfg.quarantine_cooldown);
                         (cooled && !w.probe_in_flight && w.drained()).then_some(s)
                     }
                     ShardHealth::Wedged => w.drained().then_some(s),
@@ -548,9 +543,9 @@ impl ShardPool {
                 }
                 match w.health {
                     ShardHealth::Quarantined => {
-                        let cooled = w.quarantined_at.is_none_or(|t| {
-                            t.elapsed() >= self.cfg.quarantine_cooldown
-                        });
+                        let cooled = w
+                            .quarantined_at
+                            .is_none_or(|t| t.elapsed() >= self.cfg.quarantine_cooldown);
                         if !cooled || w.probe_in_flight || !w.drained() {
                             outcomes[s] = ShardOutcome::SkippedQuarantined;
                             continue;
@@ -573,8 +568,7 @@ impl ShardPool {
                 let f = Arc::clone(&f);
                 let slot = Arc::clone(&slot);
                 let job: Job = Box::new(move |shard, scratch| {
-                    let out =
-                        catch_unwind(AssertUnwindSafe(|| f(s, shard, scratch))).ok();
+                    let out = catch_unwind(AssertUnwindSafe(|| f(s, shard, scratch))).ok();
                     let mut g = lock(&slot.state);
                     g.0[s] = out;
                     g.1[s] = true;
@@ -628,8 +622,7 @@ impl ShardPool {
             // Swap in a fresh vec (not mem::take): a shard finishing after
             // the deadline still writes into a full-length slot vec
             // harmlessly instead of indexing out of bounds.
-            let values =
-                std::mem::replace(&mut g.0, (0..n).map(|_| None).collect());
+            let values = std::mem::replace(&mut g.0, (0..n).map(|_| None).collect());
             (values, g.1.clone())
         };
 
@@ -772,9 +765,8 @@ impl ShardedEngine {
     }
 
     fn from_pool(pool: ShardPool) -> Self {
-        let loads = (0..pool.num_shards())
-            .map(|_| std::sync::atomic::AtomicU64::new(0))
-            .collect();
+        let loads =
+            (0..pool.num_shards()).map(|_| std::sync::atomic::AtomicU64::new(0)).collect();
         ShardedEngine {
             pool,
             cost: CpuCostModel::default(),
@@ -834,10 +826,7 @@ impl ShardedEngine {
     /// Cumulative documents scored per shard since the engine started —
     /// an operator's load-balance view across the shard workers.
     pub fn shard_loads(&self) -> Vec<u64> {
-        self.loads
-            .iter()
-            .map(|l| l.load(std::sync::atomic::Ordering::Relaxed))
-            .collect()
+        self.loads.iter().map(|l| l.load(std::sync::atomic::Ordering::Relaxed)).collect()
     }
 
     /// The underlying sharded index.
@@ -893,10 +882,10 @@ impl ShardedEngine {
                 shard_counts.push(OpCounts::default());
                 continue;
             };
-            all_hits.extend(hits.into_iter().map(|h| Hit {
-                doc_id: h.doc_id * n + s as u32,
-                score: h.score,
-            }));
+            all_hits.extend(
+                hits.into_iter()
+                    .map(|h| Hit { doc_id: h.doc_id * n + s as u32, score: h.score }),
+            );
             counts.merge(&shard);
             if let Some(load) = self.loads.get(s) {
                 load.fetch_add(shard.docs_scored, std::sync::atomic::Ordering::Relaxed);
@@ -994,7 +983,12 @@ impl ShardedEngine {
         shard_fn: F,
     ) -> Result<ShardedOutcome, IndexError>
     where
-        F: Fn(&InvertedIndex, Option<&SharedThreshold>, &mut OpCounts, &mut DecodeScratch) -> Vec<Hit>
+        F: Fn(
+                &InvertedIndex,
+                Option<&SharedThreshold>,
+                &mut OpCounts,
+                &mut DecodeScratch,
+            ) -> Vec<Hit>
             + Clone
             + Send
             + Sync
@@ -1055,8 +1049,7 @@ impl ShardedEngine {
                 let hits = f(shard, pruned_mode.then_some(&*sh), &mut counts, scratch);
                 (hits, counts)
             });
-            let survivors: Vec<usize> =
-                (0..n).filter(|&s| run.slots[s].is_some()).collect();
+            let survivors: Vec<usize> = (0..n).filter(|&s| run.slots[s].is_some()).collect();
             if survivors.is_empty() {
                 return Err(IndexError::CorruptIndex { context: "all shards unavailable" });
             }
@@ -1083,14 +1076,9 @@ impl ShardedEngine {
     pub fn search_single(&self, term: &str, k: usize) -> Result<ShardedOutcome, IndexError> {
         let id = self.resolve(term)?;
         self.fan_out(k, Some(id), move |shard, shared, counts, scratch| match shared {
-            Some(sh) => pruned::search_single_pruned_shared(
-                shard,
-                id,
-                k,
-                counts,
-                scratch,
-                Some(sh),
-            ),
+            Some(sh) => {
+                pruned::search_single_pruned_shared(shard, id, k, counts, scratch, Some(sh))
+            }
             None => exhaustive_single(shard, id, k, counts, scratch),
         })
     }
@@ -1112,10 +1100,14 @@ impl ShardedEngine {
         let ib = self.resolve(term_b)?;
         // Global SvS order by global df; a shard whose local lists invert
         // the order swaps locally (hits are symmetric, only work differs).
-        let (ga, gb) = if self.global_df(ia) <= self.global_df(ib) { (ia, ib) } else { (ib, ia) };
+        let (ga, gb) =
+            if self.global_df(ia) <= self.global_df(ib) { (ia, ib) } else { (ib, ia) };
         self.fan_out(k, None, move |shard, shared, counts, scratch| {
-            let (short_id, long_id) =
-                if shard.term_info(ga).df <= shard.term_info(gb).df { (ga, gb) } else { (gb, ga) };
+            let (short_id, long_id) = if shard.term_info(ga).df <= shard.term_info(gb).df {
+                (ga, gb)
+            } else {
+                (gb, ga)
+            };
             match shared {
                 Some(sh) => pruned::search_intersection_pruned_shared(
                     shard,
@@ -1147,15 +1139,9 @@ impl ShardedEngine {
         let ia = self.resolve(term_a)?;
         let ib = self.resolve(term_b)?;
         self.fan_out(k, None, move |shard, shared, counts, scratch| match shared {
-            Some(sh) => pruned::search_union_pruned_shared(
-                shard,
-                ia,
-                ib,
-                k,
-                counts,
-                scratch,
-                Some(sh),
-            ),
+            Some(sh) => {
+                pruned::search_union_pruned_shared(shard, ia, ib, k, counts, scratch, Some(sh))
+            }
             None => exhaustive_union(shard, ia, ib, k, counts, scratch),
         })
     }
@@ -1318,10 +1304,7 @@ mod tests {
     #[test]
     fn unknown_term_is_an_error() {
         let eng = sharded(2, false);
-        assert!(matches!(
-            eng.search_single("zebra", 5),
-            Err(IndexError::UnknownTerm { .. })
-        ));
+        assert!(matches!(eng.search_single("zebra", 5), Err(IndexError::UnknownTerm { .. })));
         assert!(eng.search_intersection("zebra", "hot", 5).is_err());
         assert!(eng.search_union("hot", "zebra", 5).is_err());
     }
@@ -1430,16 +1413,11 @@ mod tests {
     fn fail_closed_engine_rejects_partial_coverage() {
         let idx = sample_index();
         let s = Arc::new(ShardedIndex::split(&idx, 3).unwrap());
-        let chaos = ShardChaosPlan {
-            panic_burst: Some((0, u64::MAX, 1)),
-            ..ShardChaosPlan::NONE
-        };
+        let chaos =
+            ShardChaosPlan { panic_burst: Some((0, u64::MAX, 1)), ..ShardChaosPlan::NONE };
         let eng = ShardedEngine::new(s).with_fail_closed(true).with_chaos(chaos);
         assert!(eng.fail_closed());
-        assert!(matches!(
-            eng.search_single("hot", 5),
-            Err(IndexError::CorruptIndex { .. })
-        ));
+        assert!(matches!(eng.search_single("hot", 5), Err(IndexError::CorruptIndex { .. })));
     }
 
     #[test]
@@ -1551,8 +1529,7 @@ mod tests {
             ..Default::default()
         };
         let chaos = ShardChaosPlan { kills: vec![(0, 1)], ..ShardChaosPlan::NONE };
-        let eng = ShardedEngine::from_pool(ShardPool::with_config(s, cfg))
-            .with_chaos(chaos);
+        let eng = ShardedEngine::from_pool(ShardPool::with_config(s, cfg)).with_chaos(chaos);
         // Query 0 assassinates worker 1 just before fan-out. Depending on
         // how fast the worker exits, the query either rides a respawned
         // worker (full coverage) or times out on the dying one (partial)
@@ -1625,11 +1602,8 @@ mod tests {
         let eng = sharded(4, true);
         let out = eng.search_single("hot", 10).unwrap();
         let cost = CpuCostModel::default();
-        let slowest = out
-            .shard_counts
-            .iter()
-            .map(|c| cost.price(c).total_ns())
-            .fold(0.0f64, f64::max);
+        let slowest =
+            out.shard_counts.iter().map(|c| cost.price(c).total_ns()).fold(0.0f64, f64::max);
         let summed = cost.price(&out.counts).total_ns();
         assert!(out.latency_ns() >= slowest);
         assert!(
@@ -1657,11 +1631,8 @@ mod tests {
         let want: Vec<u64> = out.shard_counts.iter().map(|c| c.docs_scored).collect();
         assert_eq!(eng.shard_loads(), want);
         let out2 = eng.search_union("hot", "cold", 10).unwrap();
-        let want2: Vec<u64> = want
-            .iter()
-            .zip(&out2.shard_counts)
-            .map(|(a, c)| a + c.docs_scored)
-            .collect();
+        let want2: Vec<u64> =
+            want.iter().zip(&out2.shard_counts).map(|(a, c)| a + c.docs_scored).collect();
         assert_eq!(eng.shard_loads(), want2, "loads are cumulative across queries");
     }
 

@@ -63,7 +63,8 @@ where
         return Vec::new();
     }
     let workers = workers.max(1).min(n);
-    let queue: Mutex<VecDeque<(usize, F)>> = Mutex::new(jobs.into_iter().enumerate().collect());
+    let queue: Mutex<VecDeque<(usize, F)>> =
+        Mutex::new(jobs.into_iter().enumerate().collect());
     let (tx, rx) = mpsc::channel::<(usize, T)>();
     std::thread::scope(|s| {
         for _ in 0..workers {

@@ -109,11 +109,7 @@ struct MinFixed(FixedHit);
 
 impl Ord for MinFixed {
     fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .0
-            .score
-            .cmp(&self.0.score)
-            .then_with(|| self.0.doc_id.cmp(&other.0.doc_id))
+        other.0.score.cmp(&self.0.score).then_with(|| self.0.doc_id.cmp(&other.0.doc_id))
     }
 }
 
@@ -328,10 +324,7 @@ mod tests {
         assert_eq!(top.len(), 5);
         assert!(top.iter().all(|h| h.score == 9.0));
         // Ties break by ascending docID.
-        assert_eq!(
-            top.iter().map(|h| h.doc_id).collect::<Vec<_>>(),
-            vec![9, 19, 29, 39, 49]
-        );
+        assert_eq!(top.iter().map(|h| h.doc_id).collect::<Vec<_>>(), vec![9, 19, 29, 39, 49]);
     }
 
     #[test]

@@ -20,9 +20,7 @@ fn main() {
     let term_id = index.term_id(&term).unwrap();
 
     let mut engine = CpuEngine::new(&index);
-    bench("baseline/single_term", || {
-        black_box(engine.search_single(&term, 10).unwrap())
-    });
+    bench("baseline/single_term", || black_box(engine.search_single(&term, 10).unwrap()));
 
     let machine = IiuMachine::new(&index, SimConfig::default());
     bench("simulator/single_term_1core", || {

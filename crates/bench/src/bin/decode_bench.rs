@@ -194,11 +194,8 @@ mod legacy {
     ) -> Vec<Hit> {
         let ia = index.term_id(term_a).expect("sampled term");
         let ib = index.term_id(term_b).expect("sampled term");
-        let (si, li) = if index.term_info(ia).df <= index.term_info(ib).df {
-            (ia, ib)
-        } else {
-            (ib, ia)
-        };
+        let (si, li) =
+            if index.term_info(ia).df <= index.term_info(ib).df { (ia, ib) } else { (ib, ia) };
         let idf_s = index.term_info(si).idf_bar;
         let idf_l = index.term_info(li).idf_bar;
         let hits: Vec<Hit> = intersect(index.encoded_list(si), index.encoded_list(li))
@@ -306,9 +303,9 @@ fn bench_e2e(index: &InvertedIndex, gate: &mut Map) -> Value {
 
     let mut e2e = Map::new();
     let run = |name: &str,
-                   gate: &mut Map,
-                   before: &mut dyn FnMut(usize) -> usize,
-                   after: &mut dyn FnMut(usize) -> usize| {
+               gate: &mut Map,
+               before: &mut dyn FnMut(usize) -> usize,
+               after: &mut dyn FnMut(usize) -> usize| {
         let mut i = 0usize;
         let b = bench_with(&format!("e2e/{name}/before"), 8, 30, &mut || {
             i += 1;
@@ -430,9 +427,11 @@ fn bench_pruned(index: &InvertedIndex, gate: &mut Map) -> Value {
                 i += 1;
                 let idx = i - 1;
                 match shape {
-                    "single" => {
-                        exh.search_single(&singles[idx % N_QUERIES], k).expect("term").hits.len()
-                    }
+                    "single" => exh
+                        .search_single(&singles[idx % N_QUERIES], k)
+                        .expect("term")
+                        .hits
+                        .len(),
                     "and" => {
                         let (a, b) = &pairs[idx % N_QUERIES];
                         exh.search_intersection(a, b, k).expect("terms").hits.len()
@@ -448,9 +447,11 @@ fn bench_pruned(index: &InvertedIndex, gate: &mut Map) -> Value {
                 j += 1;
                 let idx = j - 1;
                 match shape {
-                    "single" => {
-                        pru.search_single(&singles[idx % N_QUERIES], k).expect("term").hits.len()
-                    }
+                    "single" => pru
+                        .search_single(&singles[idx % N_QUERIES], k)
+                        .expect("term")
+                        .hits
+                        .len(),
                     "and" => {
                         let (a, b) = &pairs[idx % N_QUERIES];
                         pru.search_intersection(a, b, k).expect("terms").hits.len()
@@ -562,8 +563,7 @@ fn main() -> ExitCode {
         .filter(|r| (4..=20).contains(&r["width"].as_u64().unwrap_or(0)))
         .map(|r| r["speedup_min"].as_f64().unwrap_or(0.0))
         .collect();
-    let min_speedup_4_20 =
-        widths_4_20.iter().copied().fold(f64::INFINITY, f64::min);
+    let min_speedup_4_20 = widths_4_20.iter().copied().fold(f64::INFINITY, f64::min);
 
     let report = json!({
         "schema": "decode-bench-v1",
@@ -583,8 +583,8 @@ fn main() -> ExitCode {
     println!("[wrote {}]", out_path.display());
 
     if let Some(path) = write_thresholds {
-        let t = serde_json::to_string_pretty(&thresholds_from(&gate, 1.25))
-            .expect("serializable");
+        let t =
+            serde_json::to_string_pretty(&thresholds_from(&gate, 1.25)).expect("serializable");
         if let Err(e) = std::fs::write(&path, t + "\n") {
             eprintln!("decode_bench: cannot write {}: {e}", path.display());
             return ExitCode::from(2);

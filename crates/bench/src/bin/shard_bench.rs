@@ -109,7 +109,8 @@ fn run_sharded(
             }
         };
         assert_eq!(
-            a.hits, b.hits,
+            a.hits,
+            b.hits,
             "sharded {shape} diverged from unsharded at query {i} \
              (n={})",
             eng.num_shards()
@@ -125,7 +126,9 @@ fn run_sharded(
         i += 1;
         let idx = i - 1;
         match shape {
-            "single" => eng.search_single(&singles[idx % N_QUERIES], K).expect("term").hits.len(),
+            "single" => {
+                eng.search_single(&singles[idx % N_QUERIES], K).expect("term").hits.len()
+            }
             "and" => {
                 let (a, b) = &pairs[idx % N_QUERIES];
                 eng.search_intersection(a, b, K).expect("terms").hits.len()
@@ -308,8 +311,8 @@ fn main() -> ExitCode {
         // runs than decode_bench's single-threaded loops, so the wall gate
         // is a coarse backstop (the hard perf gate is the modeled scaling
         // check above) and gets a correspondingly looser ratio.
-        let t = serde_json::to_string_pretty(&thresholds_from(&gate, 1.75))
-            .expect("serializable");
+        let t =
+            serde_json::to_string_pretty(&thresholds_from(&gate, 1.75)).expect("serializable");
         if let Err(e) = std::fs::write(&path, t + "\n") {
             eprintln!("shard_bench: cannot write {}: {e}", path.display());
             return ExitCode::from(2);

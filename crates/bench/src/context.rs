@@ -50,10 +50,7 @@ pub const N_QUERIES: usize = 100;
 
 /// Reads the scale factor from `IIU_SCALE` (default 1.0).
 pub fn scale() -> f64 {
-    std::env::var("IIU_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1.0)
+    std::env::var("IIU_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
 }
 
 /// Experiment context holding both datasets.
@@ -131,17 +128,12 @@ fn build_dataset(name: DatasetName) -> Dataset {
 /// Rebuilds a dataset's index with a different partitioner (Fig. 14,
 /// ablations). Queries keep their term *names*, so ids are re-resolved.
 pub fn rebuild_with_partitioner(d: &Dataset, partitioner: Partitioner) -> Dataset {
-    let names: Vec<String> = d
-        .singles
-        .iter()
-        .map(|&t| d.index.term_info(t).term.clone())
-        .collect();
+    let names: Vec<String> =
+        d.singles.iter().map(|&t| d.index.term_info(t).term.clone()).collect();
     let pair_names: Vec<(String, String)> = d
         .pairs
         .iter()
-        .map(|&(a, b)| {
-            (d.index.term_info(a).term.clone(), d.index.term_info(b).term.clone())
-        })
+        .map(|&(a, b)| (d.index.term_info(a).term.clone(), d.index.term_info(b).term.clone()))
         .collect();
 
     let n_docs = d.index.num_docs() as u32;
@@ -150,17 +142,12 @@ pub fn rebuild_with_partitioner(d: &Dataset, partitioner: Partitioner) -> Datase
         DatasetName::ClueWeb => CorpusConfig::clueweb_like(n_docs),
     };
     let index = cfg.generate().into_index(partitioner, d.index.params());
-    let singles = names
-        .iter()
-        .map(|t| index.term_id(t).expect("same corpus, same terms"))
-        .collect();
+    let singles =
+        names.iter().map(|t| index.term_id(t).expect("same corpus, same terms")).collect();
     let pairs = pair_names
         .iter()
         .map(|(a, b)| {
-            (
-                index.term_id(a).expect("same corpus"),
-                index.term_id(b).expect("same corpus"),
-            )
+            (index.term_id(a).expect("same corpus"), index.term_id(b).expect("same corpus"))
         })
         .collect();
     Dataset { name: d.name, index, singles, pairs }

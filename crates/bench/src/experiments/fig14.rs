@@ -8,7 +8,9 @@ use iiu_sim::{HostModel, IiuMachine, SimConfig};
 use serde_json::json;
 
 use crate::context::{rebuild_with_partitioner, Ctx, DatasetName};
-use crate::experiments::{baseline_latencies_ns, iiu_intra_latencies, mean, sim_queries, QueryType};
+use crate::experiments::{
+    baseline_latencies_ns, iiu_intra_latencies, mean, sim_queries, QueryType,
+};
 use crate::report::print_table;
 
 /// The swept maxSize values (the format caps blocks at 2048).
@@ -21,7 +23,9 @@ pub const QUERIES_PER_POINT: usize = 30;
 pub fn run(ctx: &Ctx) -> serde_json::Value {
     let d = ctx.dataset(DatasetName::CcNews);
     let host = HostModel::default();
-    let lucene_ns = mean(&baseline_latencies_ns(d, QueryType::Single)[..QUERIES_PER_POINT.min(d.singles.len())]);
+    let lucene_ns = mean(
+        &baseline_latencies_ns(d, QueryType::Single)[..QUERIES_PER_POINT.min(d.singles.len())],
+    );
 
     let mut rows = Vec::new();
     let mut out = Vec::new();

@@ -27,11 +27,8 @@ pub fn run(ctx: &Ctx) -> serde_json::Value {
         for qt in QueryType::all() {
             let lucene = mean(&baseline_latencies_ns(d, qt));
             let queries = sim_queries(d, qt);
-            let mut row = vec![
-                d.name.label().to_string(),
-                qt.label().to_string(),
-                fmt_ns(lucene),
-            ];
+            let mut row =
+                vec![d.name.label().to_string(), qt.label().to_string(), fmt_ns(lucene)];
             let mut entry = json!({
                 "dataset": d.name.label(),
                 "query_type": qt.label(),

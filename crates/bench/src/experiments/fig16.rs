@@ -44,8 +44,8 @@ pub fn run(ctx: &Ctx) -> serde_json::Value {
         let machine = IiuMachine::new(&d.index, SimConfig::default());
         for qt in QueryType::all() {
             let lats = baseline_latencies_ns(d, qt);
-            let lucene_qps =
-                lats.len() as f64 / (iiu_baseline::parallel_makespan_ns(&lats, CPU_CORES) * 1e-9);
+            let lucene_qps = lats.len() as f64
+                / (iiu_baseline::parallel_makespan_ns(&lats, CPU_CORES) * 1e-9);
             let lucene_1t_qps = lats.len() as f64 / (lats.iter().sum::<f64>() * 1e-9);
             let queries = sim_queries(d, qt);
             let mut row = vec![

@@ -44,7 +44,9 @@ pub fn run(ctx: &Ctx) -> serde_json::Value {
     })];
 
     for (lat_cores, units) in SPLITS {
-        let run = machine.run_hybrid(SimQuery::Single(hot), &backlog, lat_cores, units).expect("sim completes");
+        let run = machine
+            .run_hybrid(SimQuery::Single(hot), &backlog, lat_cores, units)
+            .expect("sim completes");
         let lat_ns = iiu_latency_ns(&host, &run.latency_query, clock);
         let qps = backlog.len() as f64 / (run.batch_cycles as f64 / clock * 1e-9);
         rows.push(vec![

@@ -63,7 +63,11 @@ pub fn run(ctx: &Ctx) -> serde_json::Value {
     let lucene_mean = mean(&lucene_services);
 
     // Each system's own single-query service time defines its capacity.
-    let solo: Vec<u64> = queries.iter().take(8).map(|&q| machine.run_query(q, 1).expect("sim completes").cycles).collect();
+    let solo: Vec<u64> = queries
+        .iter()
+        .take(8)
+        .map(|&q| machine.run_query(q, 1).expect("sim completes").cycles)
+        .collect();
     let iiu_service = solo.iter().sum::<u64>() as f64 / solo.len() as f64;
 
     let mut rows = Vec::new();

@@ -17,9 +17,9 @@ pub mod fig20;
 pub mod hybrid;
 pub mod load_latency;
 pub mod reordering;
-pub mod utilization;
 pub mod table2;
 pub mod table3;
+pub mod utilization;
 
 use iiu_baseline::{CpuEngine, PhaseBreakdown};
 use iiu_sim::{HostModel, IiuMachine, QueryRun, SimQuery};
@@ -115,7 +115,8 @@ pub fn iiu_intra_latencies(
     cores: usize,
 ) -> (Vec<f64>, Vec<QueryRun>) {
     let clock = machine.config().clock_ghz;
-    let runs: Vec<QueryRun> = queries.iter().map(|&q| machine.run_query(q, cores).expect("sim completes")).collect();
+    let runs: Vec<QueryRun> =
+        queries.iter().map(|&q| machine.run_query(q, cores).expect("sim completes")).collect();
     let lats = runs.iter().map(|r| iiu_latency_ns(host, r, clock)).collect();
     (lats, runs)
 }

@@ -59,10 +59,7 @@ pub fn run(ctx: &Ctx) -> serde_json::Value {
             "Lucene": lucene_ratio,
             "IIU": iiu_ratio,
         });
-        let mut row = vec![
-            d.name.label().to_string(),
-            format!("{lucene_ratio:.2}x"),
-        ];
+        let mut row = vec![d.name.label().to_string(), format!("{lucene_ratio:.2}x")];
         let mut header_names = vec!["Lucene".to_string()];
         for codec in all_codecs() {
             let r = codec_index_ratio(&d.index, codec.as_ref());
@@ -76,8 +73,17 @@ pub fn run(ctx: &Ctx) -> serde_json::Value {
         out.push(entry);
     }
     let header: Vec<&str> = [
-        "dataset", "Lucene", "Pfor", "NewPfor", "OptPfor", "SIMD-BP128", "VByte", "Simple9",
-        "Elias-Fano", "MILC", "IIU",
+        "dataset",
+        "Lucene",
+        "Pfor",
+        "NewPfor",
+        "OptPfor",
+        "SIMD-BP128",
+        "VByte",
+        "Simple9",
+        "Elias-Fano",
+        "MILC",
+        "IIU",
     ]
     .to_vec();
     print_table("Table 2: compression ratio (higher is better)", &header, &rows);

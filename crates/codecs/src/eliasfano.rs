@@ -35,7 +35,10 @@ impl EliasFano {
         let last = crate::take_u32(bytes, &mut pos, NAME, "last value")?;
         let l = crate::take_u8(bytes, &mut pos, NAME, "low bitwidth")?;
         if l > 32 {
-            return Err(CodecError::Malformed { codec: NAME, what: "low bitwidth exceeds 32" });
+            return Err(CodecError::Malformed {
+                codec: NAME,
+                what: "low bitwidth exceeds 32",
+            });
         }
         let low_len = n
             .checked_mul(l as usize)
@@ -50,10 +53,9 @@ impl EliasFano {
         let mut i = 0usize;
         let mut bit = 0usize;
         while i < n {
-            let byte = *high.get(bit / 8).ok_or(CodecError::Truncated {
-                codec: NAME,
-                what: "high-bits bitvector",
-            })?;
+            let byte = *high
+                .get(bit / 8)
+                .ok_or(CodecError::Truncated { codec: NAME, what: "high-bits bitvector" })?;
             if byte & (1 << (bit % 8)) != 0 {
                 let hi = (bit - i) as u128;
                 let v = (hi << l) | u128::from(lows[i]);

@@ -256,7 +256,10 @@ pub(crate) fn prefix_sums(gaps: &[u32]) -> Vec<u32> {
 
 /// Overflow-checked inverse of [`deltas`] for the `try_decode_*` paths:
 /// corrupt gaps whose running sum leaves u32 are reported, not wrapped.
-pub(crate) fn try_prefix_sums(gaps: &[u32], codec: &'static str) -> Result<Vec<u32>, CodecError> {
+pub(crate) fn try_prefix_sums(
+    gaps: &[u32],
+    codec: &'static str,
+) -> Result<Vec<u32>, CodecError> {
     let mut out = Vec::with_capacity(gaps.len());
     let mut acc = 0u32;
     for (i, &g) in gaps.iter().enumerate() {

@@ -35,11 +35,7 @@ impl Milc {
     /// Encodes one block: `[base: u32][width: u8]` then `len` packed
     /// offsets from `base` (`base` itself is the block minimum).
     fn encode_block(out: &mut Vec<u8>, values: &[u32], base: u32) {
-        let width = values
-            .iter()
-            .map(|&v| bits_for(v - base))
-            .max()
-            .unwrap_or(0);
+        let width = values.iter().map(|&v| bits_for(v - base)).max().unwrap_or(0);
         out.extend_from_slice(&base.to_le_bytes());
         out.push(width);
         let mut w = BitWriter::new();
@@ -51,11 +47,18 @@ impl Milc {
 
     /// Checked block decoder: bad widths, short inputs and offset
     /// overflows become errors instead of panics.
-    fn try_decode_block(bytes: &[u8], pos: &mut usize, n: usize) -> Result<Vec<u32>, CodecError> {
+    fn try_decode_block(
+        bytes: &[u8],
+        pos: &mut usize,
+        n: usize,
+    ) -> Result<Vec<u32>, CodecError> {
         let base = crate::take_u32(bytes, pos, NAME, "block base")?;
         let width = crate::take_u8(bytes, pos, NAME, "offset bitwidth")?;
         if width > 32 {
-            return Err(CodecError::Malformed { codec: NAME, what: "offset bitwidth exceeds 32" });
+            return Err(CodecError::Malformed {
+                codec: NAME,
+                what: "offset bitwidth exceeds 32",
+            });
         }
         let block_bytes = n
             .checked_mul(width as usize)

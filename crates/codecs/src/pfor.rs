@@ -147,7 +147,10 @@ impl Pfor {
         let first_exc = header[1];
         let exc_count = header[2] as usize;
         if b > 32 {
-            return Err(CodecError::Malformed { codec: NAME, what: "slot bitwidth exceeds 32" });
+            return Err(CodecError::Malformed {
+                codec: NAME,
+                what: "slot bitwidth exceeds 32",
+            });
         }
         if (first_exc == 0xff) != (exc_count == 0) {
             return Err(CodecError::Malformed {
@@ -156,12 +159,14 @@ impl Pfor {
             });
         }
         if exc_count > n {
-            return Err(CodecError::Malformed { codec: NAME, what: "more exceptions than values" });
+            return Err(CodecError::Malformed {
+                codec: NAME,
+                what: "more exceptions than values",
+            });
         }
-        let slot_bytes = n
-            .checked_mul(b as usize)
-            .map(|bits| bits.div_ceil(8))
-            .ok_or(CodecError::Malformed { codec: NAME, what: "slot array length overflows" })?;
+        let slot_bytes = n.checked_mul(b as usize).map(|bits| bits.div_ceil(8)).ok_or(
+            CodecError::Malformed { codec: NAME, what: "slot array length overflows" },
+        )?;
         let slots = crate::take(bytes, pos, slot_bytes, NAME, "slot array")?;
         let mut reader = BitReader::new(slots);
         let mut values: Vec<u32> = (0..n).map(|_| reader.read(b)).collect();
@@ -180,12 +185,10 @@ impl Pfor {
                 })?;
                 values[p] = ev;
                 if k + 1 < exc_values.len() {
-                    p = p
-                        .checked_add(1 + jump as usize)
-                        .ok_or(CodecError::Malformed {
-                            codec: NAME,
-                            what: "exception chain jump overflows",
-                        })?;
+                    p = p.checked_add(1 + jump as usize).ok_or(CodecError::Malformed {
+                        codec: NAME,
+                        what: "exception chain jump overflows",
+                    })?;
                 }
             }
         }
@@ -250,9 +253,7 @@ impl Codec for Pfor {
 /// Builds the two exception side arrays: delta-coded positions and high
 /// bits.
 fn exception_arrays(values: &[u32], b: u8) -> (Vec<u32>, Vec<u32>) {
-    let exc: Vec<usize> = (0..values.len())
-        .filter(|&i| bits_for(values[i]) > b)
-        .collect();
+    let exc: Vec<usize> = (0..values.len()).filter(|&i| bits_for(values[i]) > b).collect();
     let mut gaps = Vec::with_capacity(exc.len());
     let mut prev = 0usize;
     for (k, &p) in exc.iter().enumerate() {
@@ -330,13 +331,18 @@ fn try_newpfor_decode_block(
                 .ok_or(CodecError::Malformed { codec, what: "exception position overflows" })?
         };
         if p >= n {
-            return Err(CodecError::Malformed { codec, what: "exception position out of range" });
+            return Err(CodecError::Malformed {
+                codec,
+                what: "exception position out of range",
+            });
         }
         positions.push(p);
     }
     let flag = crate::take_u8(bytes, pos, codec, "high-bits flag")?;
     let highs = match flag {
-        1 => Simple9::try_decode_words_at(bytes, pos, exc_count).map_err(|e| retag(e, codec))?,
+        1 => {
+            Simple9::try_decode_words_at(bytes, pos, exc_count).map_err(|e| retag(e, codec))?
+        }
         0 => {
             let mut highs = Vec::with_capacity(exc_count);
             for _ in 0..exc_count {
@@ -421,11 +427,19 @@ macro_rules! newpfor_codec {
                 Some(Self::encode_seq(values))
             }
 
-            fn try_decode_sorted(&self, bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {
+            fn try_decode_sorted(
+                &self,
+                bytes: &[u8],
+                n: usize,
+            ) -> Result<Vec<u32>, CodecError> {
                 try_prefix_sums(&Self::try_decode_seq(bytes, n)?, $name)
             }
 
-            fn try_decode_values(&self, bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {
+            fn try_decode_values(
+                &self,
+                bytes: &[u8],
+                n: usize,
+            ) -> Result<Vec<u32>, CodecError> {
                 Self::try_decode_seq(bytes, n)
             }
         }
@@ -446,9 +460,7 @@ pub struct OptPfor;
 
 newpfor_codec!(OptPfor, "OptPfor", |chunk: &[u32]| {
     let hi = chunk.iter().copied().map(bits_for).max().unwrap_or(1).max(1);
-    (1..=hi)
-        .min_by_key(|&b| newpfor_block_size(chunk, b))
-        .unwrap_or(1)
+    (1..=hi).min_by_key(|&b| newpfor_block_size(chunk, b)).unwrap_or(1)
 });
 
 #[cfg(test)]
@@ -514,10 +526,7 @@ mod tests {
         let mut out = Vec::new();
         newpfor_encode_block(&mut out, &values, 3);
         let mut pos = 0;
-        assert_eq!(
-            try_newpfor_decode_block(&out, &mut pos, 128, "NewPfor").unwrap(),
-            values
-        );
+        assert_eq!(try_newpfor_decode_block(&out, &mut pos, 128, "NewPfor").unwrap(), values);
         assert_eq!(pos, out.len());
     }
 
@@ -576,9 +585,7 @@ mod tests {
         let mut values: Vec<u32> = (0..1024).map(|i| (i * 37) % 50).collect();
         values[100] = 1 << 28;
         values[900] = 1 << 22;
-        let ids = prefix_sums(
-            &values.iter().map(|&v| v + 1).collect::<Vec<_>>(),
-        );
+        let ids = prefix_sums(&values.iter().map(|&v| v + 1).collect::<Vec<_>>());
         let new = NewPfor.encode_sorted(&ids).len();
         let opt = OptPfor.encode_sorted(&ids).len();
         assert!(opt <= new, "OptPfor {opt} must be <= NewPfor {new}");

@@ -36,10 +36,7 @@ impl Simple9 {
                 .iter()
                 .enumerate()
                 .find(|&(_, &(count, bits))| {
-                    values[pos..]
-                        .iter()
-                        .take(count as usize)
-                        .all(|&v| v < (1u32 << bits))
+                    values[pos..].iter().take(count as usize).all(|&v| v < (1u32 << bits))
                 })
                 .map(|(i, m)| (i as u32, *m))
                 .unwrap_or_else(|| {
@@ -77,10 +74,11 @@ impl Simple9 {
         let mut out = Vec::with_capacity(n.min(bytes.len().saturating_mul(7)));
         while out.len() < n {
             let word = crate::take_u32(bytes, pos, NAME, "selector word")?;
-            let &(count, bits) = MODES.get((word & 0xf) as usize).ok_or(CodecError::Malformed {
-                codec: NAME,
-                what: "invalid selector (only 0..=8 are defined)",
-            })?;
+            let &(count, bits) =
+                MODES.get((word & 0xf) as usize).ok_or(CodecError::Malformed {
+                    codec: NAME,
+                    what: "invalid selector (only 0..=8 are defined)",
+                })?;
             let mask = if bits == 28 { (1u32 << 28) - 1 } else { (1u32 << bits) - 1 };
             for i in 0..count {
                 if out.len() == n {

@@ -50,10 +50,9 @@ impl VByte {
                     what: "varint longer than 5 bytes",
                 });
             }
-            let byte = *bytes.get(*pos).ok_or(CodecError::Truncated {
-                codec: NAME,
-                what: "varint",
-            })?;
+            let byte = *bytes
+                .get(*pos)
+                .ok_or(CodecError::Truncated { codec: NAME, what: "varint" })?;
             *pos += 1;
             v |= u32::from(byte & 0x7f) << shift;
             if byte & 0x80 == 0 {

@@ -123,7 +123,11 @@ fn classify_pending(pending: Vec<String>, and_like: bool, degraded: &mut Vec<Deg
 
 /// Rewrites `q` without its unknown terms, recording every pruning in
 /// `degraded`. `None` means the whole query pruned away (serve empty).
-fn prune_query(index: &InvertedIndex, q: &Query, degraded: &mut Vec<Degradation>) -> Option<Query> {
+fn prune_query(
+    index: &InvertedIndex,
+    q: &Query,
+    degraded: &mut Vec<Degradation>,
+) -> Option<Query> {
     let pruned = prune_tree(index, q, degraded);
     // Whatever is still unclassified at the root vanished without an AND
     // forcing emptiness, so it "dropped out".
@@ -141,11 +145,8 @@ fn prune_tree(index: &InvertedIndex, q: &Query, degraded: &mut Vec<Degradation>)
             }
         }
         Query::Phrase(terms) => {
-            let unknown: Vec<String> = terms
-                .iter()
-                .filter(|t| index.term_id(t).is_none())
-                .cloned()
-                .collect();
+            let unknown: Vec<String> =
+                terms.iter().filter(|t| index.term_id(t).is_none()).cloned().collect();
             if unknown.is_empty() {
                 Pruned { query: Some(q.clone()), pending: Vec::new() }
             } else {
@@ -216,7 +217,8 @@ fn eval_tree(
                 counts.postings_decoded += block.len() as u64;
                 counts.docs_scored += block.len() as u64;
                 for p in &block {
-                    scored.push((p.doc_id, term_score_fixed(idf, index.dl_bar(p.doc_id), p.tf)));
+                    scored
+                        .push((p.doc_id, term_score_fixed(idf, index.dl_bar(p.doc_id), p.tf)));
                 }
             }
             Ok(scored)
@@ -254,16 +256,11 @@ fn eval_tree(
 }
 
 fn t_id(index: &InvertedIndex, term: &str) -> Result<u32, IndexError> {
-    index
-        .term_id(term)
-        .ok_or_else(|| IndexError::UnknownTerm { term: term.to_owned() })
+    index.term_id(term).ok_or_else(|| IndexError::UnknownTerm { term: term.to_owned() })
 }
 
 fn to_hits(scored: &[(DocId, Fixed)], k: usize) -> Vec<Hit> {
-    top_k(
-        scored.iter().map(|&(doc_id, s)| Hit { doc_id, score: s.to_f64() }),
-        k,
-    )
+    top_k(scored.iter().map(|&(doc_id, s)| Hit { doc_id, score: s.to_f64() }), k)
 }
 
 // ---------------------------------------------------------------------------
@@ -517,10 +514,8 @@ impl ShardedSearchEngine {
 
         let (hits, candidates, phases, missing) = self.eval_sharded(query, k)?;
         if !missing.is_empty() {
-            degraded.push(Degradation::ShardsUnavailable {
-                missing,
-                total: self.num_shards(),
-            });
+            degraded
+                .push(Degradation::ShardsUnavailable { missing, total: self.num_shards() });
         }
         Ok(SearchResponse {
             hits,
@@ -728,11 +723,7 @@ fn leaf_pair(a: &Query, b: &Query) -> bool {
     matches!(a, Query::Term(_)) && matches!(b, Query::Term(_))
 }
 
-fn leaf_ids(
-    index: &InvertedIndex,
-    a: &Query,
-    b: &Query,
-) -> Result<(u32, u32), IndexError> {
+fn leaf_ids(index: &InvertedIndex, a: &Query, b: &Query) -> Result<(u32, u32), IndexError> {
     match (a, b) {
         (Query::Term(x), Query::Term(y)) => Ok((t_id(index, x)?, t_id(index, y)?)),
         _ => unreachable!("guarded by leaf_pair"),
@@ -814,8 +805,7 @@ impl SearchEngine for IiuSearchEngine<'_> {
         let candidates = results.len() as u64;
         let clock = self.machine.config().clock_ghz;
         // Phrase verification runs on the host, alongside top-k.
-        let verify_ns =
-            phrase_checks as f64 * 40.0 / (self.host.freq_ghz * self.host.ipc);
+        let verify_ns = phrase_checks as f64 * 40.0 / (self.host.freq_ghz * self.host.ipc);
         Ok(SearchResponse {
             hits: to_hits(&results, k),
             candidates,

@@ -248,7 +248,9 @@ fn parse_atom(tokens: &[Token], pos: &mut usize) -> Result<Query, ParseQueryErro
             *pos += 1;
             Ok(q)
         }
-        other => Err(ParseQueryError { message: format!("expected term or '(', got {other:?}") }),
+        other => {
+            Err(ParseQueryError { message: format!("expected term or '(', got {other:?}") })
+        }
     }
 }
 
@@ -264,13 +266,19 @@ mod tests {
     #[test]
     fn and_binds_tighter_than_or() {
         let q = Query::parse("a OR b AND c").unwrap();
-        assert_eq!(q, Query::or(Query::term("a"), Query::and(Query::term("b"), Query::term("c"))));
+        assert_eq!(
+            q,
+            Query::or(Query::term("a"), Query::and(Query::term("b"), Query::term("c")))
+        );
     }
 
     #[test]
     fn parentheses_override_precedence() {
         let q = Query::parse("(a OR b) AND c").unwrap();
-        assert_eq!(q, Query::and(Query::or(Query::term("a"), Query::term("b")), Query::term("c")));
+        assert_eq!(
+            q,
+            Query::and(Query::or(Query::term("a"), Query::term("b")), Query::term("c"))
+        );
     }
 
     #[test]
@@ -320,10 +328,7 @@ mod tests {
         let q = Query::parse("\"New York Times\"").unwrap();
         assert_eq!(q, Query::phrase(["new", "york", "times"]));
         let q = Query::parse("\"new york\" AND times").unwrap();
-        assert_eq!(
-            q,
-            Query::and(Query::phrase(["new", "york"]), Query::term("times"))
-        );
+        assert_eq!(q, Query::and(Query::phrase(["new", "york"]), Query::term("times")));
         // A one-word phrase degrades to a term.
         assert_eq!(Query::parse("\"solo\"").unwrap(), Query::term("solo"));
     }

@@ -68,12 +68,12 @@ fn engines_agree_on_random_queries_under_concurrency() {
                     for i in 0..QUERIES_PER_THREAD {
                         let q = random_query(&index, &mut sampler, &mut rng);
                         let k = 1 + (i % 20);
-                        let a = cpu.search(&q, k).unwrap_or_else(|e| {
-                            panic!("cpu search failed for {q}: {e}")
-                        });
-                        let b = iiu.search(&q, k).unwrap_or_else(|e| {
-                            panic!("iiu search failed for {q}: {e}")
-                        });
+                        let a = cpu
+                            .search(&q, k)
+                            .unwrap_or_else(|e| panic!("cpu search failed for {q}: {e}"));
+                        let b = iiu
+                            .search(&q, k)
+                            .unwrap_or_else(|e| panic!("iiu search failed for {q}: {e}"));
                         assert_eq!(a.hits, b.hits, "hits diverge for {q} (thread {t})");
                         assert_eq!(
                             a.degraded, b.degraded,

@@ -115,11 +115,9 @@ fn sharded_engine_agrees_with_unsharded_everywhere() {
             // General trees fan out per shard and must also agree.
             let mut sampler = QuerySampler::new(&index, 13);
             let t = sampler.single_queries(4);
-            let q = Query::parse(&format!(
-                "({} OR {}) AND ({} OR {})",
-                t[0], t[1], t[2], t[3]
-            ))
-            .unwrap();
+            let q =
+                Query::parse(&format!("({} OR {}) AND ({} OR {})", t[0], t[1], t[2], t[3]))
+                    .unwrap();
             let a = cpu.search(&q, 20).unwrap();
             let b = eng.search(&q, 20).unwrap();
             assert_eq!(a.hits, b.hits, "tree hits differ {shards}/{pruned} for {q}");
@@ -308,11 +306,8 @@ fn sharded_engine_labels_partial_coverage_truthfully() {
                 partial.degraded
             );
             let full = cpu.search(&q, index.num_docs() as usize + 1).unwrap();
-            let mut want: Vec<_> = full
-                .hits
-                .into_iter()
-                .filter(|h| h.doc_id as usize % n != 1)
-                .collect();
+            let mut want: Vec<_> =
+                full.hits.into_iter().filter(|h| h.doc_id as usize % n != 1).collect();
             want.truncate(10);
             assert_eq!(
                 partial.hits, want,
@@ -337,10 +332,7 @@ fn fail_closed_sharded_engine_errors_instead_of_partial() {
     let terms = sampler.single_queries(2);
     // Both the primitive path and the general-tree path must refuse.
     assert!(eng.search_ref(&Query::term(terms[0].clone()), 5).is_err());
-    let tree = Query::parse(&format!(
-        "({} OR {}) AND {}",
-        terms[0], terms[1], terms[0]
-    ))
-    .unwrap();
+    let tree =
+        Query::parse(&format!("({} OR {}) AND {}", terms[0], terms[1], terms[0])).unwrap();
     assert!(eng.search_ref(&tree, 5).is_err());
 }

@@ -6,14 +6,15 @@ use iiu_index::{BuildOptions, IndexBuilder, IndexError, PositionIndex};
 
 fn build() -> (iiu_index::InvertedIndex, PositionIndex) {
     let docs = [
-        "the new york times reported the story",          // 0: "new york times" ✓
-        "new shoes from york street",                     // 1: has terms, wrong order
-        "she moved to new york last year",                // 2: "new york" ✓
-        "york new times",                                 // 3: reversed
-        "the times of new york",                          // 4: "new york" ✓
-        "a new new york york times times",                // 5: "new york" at 2-3? tokens: a new new york york times times -> new@1,2 york@3,4 -> 2+1=3 ✓
+        "the new york times reported the story", // 0: "new york times" ✓
+        "new shoes from york street",            // 1: has terms, wrong order
+        "she moved to new york last year",       // 2: "new york" ✓
+        "york new times",                        // 3: reversed
+        "the times of new york",                 // 4: "new york" ✓
+        "a new new york york times times", // 5: "new york" at 2-3? tokens: a new new york york times times -> new@1,2 york@3,4 -> 2+1=3 ✓
     ];
-    let mut b = IndexBuilder::new(BuildOptions { track_positions: true, ..Default::default() });
+    let mut b =
+        IndexBuilder::new(BuildOptions { track_positions: true, ..Default::default() });
     for d in docs {
         b.add_document(d);
     }

@@ -237,9 +237,7 @@ impl<'a> BitReader<'a> {
         }
         let end = self.cursor + width as usize;
         if end > self.bytes.len() * 8 {
-            return Err(IndexError::CorruptIndex {
-                context: "bit read past end of payload",
-            });
+            return Err(IndexError::CorruptIndex { context: "bit read past end of payload" });
         }
         let v = extract(self.bytes, self.cursor, width);
         self.cursor = end;
@@ -356,8 +354,8 @@ fn group_kernel(width: u8) -> fn(&[u8], usize, &mut Vec<u32>) {
         };
     }
     dispatch!(
-        1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19,
-        20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32
+        1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24,
+        25, 26, 27, 28, 29, 30, 31, 32
     )
 }
 
@@ -391,9 +389,7 @@ pub fn try_unpack_into(
     let w = width as usize;
     let end_bits = bit_offset as u64 + n as u64 * w as u64;
     if end_bits > bytes.len() as u64 * 8 {
-        return Err(IndexError::CorruptIndex {
-            context: "bit read past end of payload",
-        });
+        return Err(IndexError::CorruptIndex { context: "bit read past end of payload" });
     }
     out.reserve(n);
     let kernel = group_kernel(width);
@@ -451,11 +447,8 @@ pub fn unpack_all_scalar(bytes: &[u8], n: usize, width: u8) -> Vec<u32> {
     let mut cursor = 0usize;
     (0..n)
         .map(|_| {
-            let (v, next) = if width == 0 {
-                (0, cursor)
-            } else {
-                scalar_extract(bytes, cursor, width)
-            };
+            let (v, next) =
+                if width == 0 { (0, cursor) } else { scalar_extract(bytes, cursor, width) };
             cursor = next;
             v
         })
@@ -533,10 +526,7 @@ mod tests {
         let bytes = [0xffu8];
         let mut r = BitReader::new(&bytes);
         assert_eq!(r.try_read(8), Ok(0xff));
-        assert!(matches!(
-            r.try_read(1),
-            Err(IndexError::CorruptIndex { .. })
-        ));
+        assert!(matches!(r.try_read(1), Err(IndexError::CorruptIndex { .. })));
         // Zero-width reads never touch the buffer, even at the end.
         assert_eq!(r.try_read(0), Ok(0));
     }

@@ -146,10 +146,7 @@ impl EncodedList {
             let dn_bits = bits_for(max_gap);
             let tf_bits = bits_for(max_tf);
             if dn_bits >= 32 || tf_bits >= 32 {
-                return Err(IndexError::ValueTooWide {
-                    dn_bits,
-                    tf_bits,
-                });
+                return Err(IndexError::ValueTooWide { dn_bits, tf_bits });
             }
 
             let offset = payload.len() as u64;
@@ -164,15 +161,10 @@ impl EncodedList {
             }
             payload.extend_from_slice(&w.finish());
 
-            metas.push(BlockMeta {
-                dn_bits,
-                tf_bits,
-                count: len as u16,
-                offset,
-            });
+            metas.push(BlockMeta { dn_bits, tf_bits, count: len as u16, offset });
             skips.push(skip);
-            model_bits += u64::from(dn_bits as u32 + tf_bits as u32) * len as u64
-                + BLOCK_OVERHEAD_BITS;
+            model_bits +=
+                u64::from(dn_bits as u32 + tf_bits as u32) * len as u64 + BLOCK_OVERHEAD_BITS;
             start += len;
         }
 
@@ -219,8 +211,7 @@ impl EncodedList {
     ///
     /// Panics if `idx` is out of range or the payload is corrupt.
     pub fn decode_block(&self, idx: usize) -> Vec<Posting> {
-        let mut out =
-            Vec::with_capacity(self.metas.get(idx).map_or(0, |m| m.count as usize));
+        let mut out = Vec::with_capacity(self.metas.get(idx).map_or(0, |m| m.count as usize));
         self.decode_block_into(idx, &mut out);
         out
     }
@@ -366,12 +357,9 @@ impl EncodedList {
         // docID past the probe.
         let meta = self.metas[block];
         let skip = self.skips[block];
-        let end_bits = meta.offset as usize * 8
-            + meta.pair_bits() as usize * meta.count as usize;
-        assert!(
-            end_bits <= self.payload.len() * 8,
-            "bit read past end of buffer"
-        );
+        let end_bits =
+            meta.offset as usize * 8 + meta.pair_bits() as usize * meta.count as usize;
+        assert!(end_bits <= self.payload.len() * 8, "bit read past end of buffer");
         let payload = self.payload.as_slice();
         let mut bit = meta.offset as usize * 8;
         let mut prev = skip;
@@ -478,13 +466,8 @@ impl Iterator for Iter<'_> {
 
     fn size_hint(&self) -> (usize, Option<usize>) {
         // Remaining = total - consumed (cheap lower bound via buffered).
-        let consumed_blocks: u64 = self
-            .list
-            .metas
-            .iter()
-            .take(self.block)
-            .map(|m| u64::from(m.count))
-            .sum();
+        let consumed_blocks: u64 =
+            self.list.metas.iter().take(self.block).map(|m| u64::from(m.count)).sum();
         let remaining = self.list.num_postings()
             - (consumed_blocks - (self.buffered.len() - self.pos) as u64);
         (remaining as usize, Some(remaining as usize))
@@ -512,7 +495,12 @@ mod tests {
     fn meta_pack_unpack_roundtrip() {
         let cases = [
             BlockMeta { dn_bits: 0, tf_bits: 0, count: 1, offset: 0 },
-            BlockMeta { dn_bits: 31, tf_bits: 31, count: MAX_BLOCK_LEN as u16, offset: (1 << 43) - 1 },
+            BlockMeta {
+                dn_bits: 31,
+                tf_bits: 31,
+                count: MAX_BLOCK_LEN as u16,
+                offset: (1 << 43) - 1,
+            },
             BlockMeta { dn_bits: 7, tf_bits: 3, count: 256, offset: 123_456 },
         ];
         for m in cases {
@@ -530,8 +518,18 @@ mod tests {
     fn encode_single_block_roundtrip() {
         // The Lausanne example from Fig. 4.
         let l = list(&[
-            (7, 11), (10, 2), (15, 1), (54, 1), (72, 5), (134, 3),
-            (170, 1), (221, 2), (294, 4), (417, 1), (500, 3), (542, 7),
+            (7, 11),
+            (10, 2),
+            (15, 1),
+            (54, 1),
+            (72, 5),
+            (134, 3),
+            (170, 1),
+            (221, 2),
+            (294, 4),
+            (417, 1),
+            (500, 3),
+            (542, 7),
         ]);
         let enc = EncodedList::encode(&l, &[12]).unwrap();
         assert_eq!(enc.num_blocks(), 1);
@@ -548,23 +546,18 @@ mod tests {
         let enc = EncodedList::encode(&l, &[2, 3, 1]).unwrap();
         assert_eq!(enc.num_blocks(), 3);
         assert_eq!(enc.skips(), &[0, 11, 46]);
-        assert_eq!(enc.decode_block(1), vec![
-            Posting::new(11, 1), Posting::new(20, 9), Posting::new(38, 1)
-        ]);
+        assert_eq!(
+            enc.decode_block(1),
+            vec![Posting::new(11, 1), Posting::new(20, 9), Posting::new(38, 1)]
+        );
         assert_eq!(enc.decode_all(), l);
     }
 
     #[test]
     fn encode_rejects_bad_partition() {
         let l = list(&[(0, 1), (5, 1)]);
-        assert!(matches!(
-            EncodedList::encode(&l, &[3]),
-            Err(IndexError::BadPartition { .. })
-        ));
-        assert!(matches!(
-            EncodedList::encode(&l, &[1]),
-            Err(IndexError::BadPartition { .. })
-        ));
+        assert!(matches!(EncodedList::encode(&l, &[3]), Err(IndexError::BadPartition { .. })));
+        assert!(matches!(EncodedList::encode(&l, &[1]), Err(IndexError::BadPartition { .. })));
         assert!(matches!(
             EncodedList::encode(&l, &[0, 2]),
             Err(IndexError::BadPartition { .. })
@@ -575,10 +568,7 @@ mod tests {
     fn encode_rejects_huge_gap() {
         // A d-gap of u32::MAX - 1 needs 32 bits, beyond the 5-bit width field.
         let l = list(&[(0, 1), (u32::MAX - 1, 1)]);
-        assert!(matches!(
-            EncodedList::encode(&l, &[2]),
-            Err(IndexError::ValueTooWide { .. })
-        ));
+        assert!(matches!(EncodedList::encode(&l, &[2]), Err(IndexError::ValueTooWide { .. })));
     }
 
     #[test]

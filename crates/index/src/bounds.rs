@@ -172,10 +172,12 @@ mod tests {
     use crate::posting::PostingList;
     use proptest::prelude::*;
 
-    fn fixture(pairs: &[(u32, u32)], max_size: usize) -> (PostingList, Vec<usize>, Vec<Fixed>) {
-        let list = PostingList::from_sorted(
-            pairs.iter().map(|&(d, t)| Posting::new(d, t)).collect(),
-        );
+    fn fixture(
+        pairs: &[(u32, u32)],
+        max_size: usize,
+    ) -> (PostingList, Vec<usize>, Vec<Fixed>) {
+        let list =
+            PostingList::from_sorted(pairs.iter().map(|&(d, t)| Posting::new(d, t)).collect());
         let lens = Partitioner::dynamic(max_size).partition(&list);
         let n = pairs.last().map_or(0, |&(d, _)| d + 1) as usize;
         let dl_bars: Vec<Fixed> =

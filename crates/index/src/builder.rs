@@ -76,16 +76,10 @@ impl IndexBuilder {
             len += 1;
         }
         for (term, tf) in tfs {
-            self.lists
-                .entry(term.to_owned())
-                .or_default()
-                .push(doc_id, tf);
+            self.lists.entry(term.to_owned()).or_default().push(doc_id, tf);
         }
         for (term, ps) in poss {
-            self.positions
-                .entry(term.to_owned())
-                .or_default()
-                .push((doc_id, ps));
+            self.positions.entry(term.to_owned()).or_default().push((doc_id, ps));
         }
         self.doc_lens.push(len);
         doc_id

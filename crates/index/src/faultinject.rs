@@ -255,8 +255,7 @@ impl SurvivalReport {
     /// Whether every corruption was either rejected with a typed error or
     /// proved to be a semantic no-op.
     pub fn survived(&self) -> bool {
-        self.accepted_divergent == 0
-            && self.trials == self.typed_errors + self.accepted_equal
+        self.accepted_divergent == 0 && self.trials == self.typed_errors + self.accepted_equal
     }
 }
 
@@ -374,10 +373,7 @@ mod tests {
         for seq in 0..4_000u64 {
             for shard in 0..4 {
                 // Deterministic: the same draw twice agrees.
-                assert_eq!(
-                    plan.sabotage_panic(seq, shard),
-                    plan.sabotage_panic(seq, shard)
-                );
+                assert_eq!(plan.sabotage_panic(seq, shard), plan.sabotage_panic(seq, shard));
                 if plan.sabotage_panic(seq, shard) {
                     panics += 1;
                 }
@@ -420,8 +416,7 @@ mod tests {
         use crate::io::deserialize;
         let idx = sample();
         let bytes = serialize(&idx).expect("serialize");
-        let bounds_len: usize =
-            idx.bounds().iter().map(|b| 8 + b.num_blocks() * 8).sum();
+        let bounds_len: usize = idx.bounds().iter().map(|b| 8 + b.num_blocks() * 8).sum();
         let n = bytes.len();
         let start = n - 8 - bounds_len;
         for byte in start..n {

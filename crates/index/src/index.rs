@@ -104,10 +104,8 @@ impl InvertedIndex {
 
         // Per-document constants first: block score bounds are computed
         // from the same dl̄ table the scoring datapath will read.
-        let dl_bars: Vec<Fixed> = doc_lens
-            .iter()
-            .map(|&l| Fixed::from_f64(params.dl_bar(l, avgdl)))
-            .collect();
+        let dl_bars: Vec<Fixed> =
+            doc_lens.iter().map(|&l| Fixed::from_f64(params.dl_bar(l, avgdl))).collect();
 
         let mut dictionary = HashMap::with_capacity(lists.len());
         let mut terms = Vec::with_capacity(lists.len());
@@ -350,15 +348,9 @@ mod tests {
         assert_eq!(idx.num_terms(), 2);
         let id = idx.term_id("business").unwrap();
         assert_eq!(idx.term_info(id).df, 6);
-        assert_eq!(
-            idx.decode_term("business").unwrap().doc_ids(),
-            vec![0, 2, 11, 20, 38, 46]
-        );
+        assert_eq!(idx.decode_term("business").unwrap().doc_ids(), vec![0, 2, 11, 20, 38, 46]);
         assert!(idx.term_id("zebra").is_none());
-        assert!(matches!(
-            idx.decode_term("zebra"),
-            Err(IndexError::UnknownTerm { .. })
-        ));
+        assert!(matches!(idx.decode_term("zebra"), Err(IndexError::UnknownTerm { .. })));
     }
 
     #[test]

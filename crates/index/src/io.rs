@@ -319,7 +319,9 @@ pub fn deserialize_sharded(bytes: &[u8]) -> Result<ShardedIndex, IndexError> {
             // and the content disagree (only possible under tampering with
             // checksums recomputed) — reject rather than trust either.
             if (r.pos - body_start) as u64 != lens[s] {
-                return Err(IndexError::CorruptIndex { context: "shard body length mismatch" });
+                return Err(IndexError::CorruptIndex {
+                    context: "shard body length mismatch",
+                });
             }
         }
         if body.lists.len() != header.idf_bars.len() {
@@ -366,9 +368,8 @@ fn read_shard_header(
     let part_kind = r.u8("shard header")?;
     let part_arg = r.u32("shard header")? as usize;
     let n_terms = r.u64("shard header")? as usize;
-    let idf_bytes = n_terms
-        .checked_mul(4)
-        .ok_or(IndexError::CorruptIndex { context: "shard header" })?;
+    let idf_bytes =
+        n_terms.checked_mul(4).ok_or(IndexError::CorruptIndex { context: "shard header" })?;
     let raw = r.take(idf_bytes, "shard header")?;
     let idf_bars: Vec<Fixed> = raw
         .chunks_exact(4)
@@ -381,9 +382,7 @@ fn read_shard_header(
         let raw = r.take(len_bytes, "shard header")?;
         Some(
             raw.chunks_exact(8)
-                .map(|c| {
-                    u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]])
-                })
+                .map(|c| u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
                 .collect(),
         )
     } else {
@@ -448,8 +447,7 @@ pub struct ShardScanReport {
 impl ShardScanReport {
     /// Whether every shard body verified and the footer held.
     pub fn is_clean(&self) -> bool {
-        self.footer_ok
-            && self.shards.iter().all(|s| matches!(s, ShardBodyStatus::Ok { .. }))
+        self.footer_ok && self.shards.iter().all(|s| matches!(s, ShardBodyStatus::Ok { .. }))
     }
 
     /// Indices of shards whose body failed verification.
@@ -501,8 +499,7 @@ pub fn scan_sharded(bytes: &[u8]) -> Result<ShardScanReport, IndexError> {
         let mut br = Reader { buf: &bytes[..limit], pos: start };
         match read_checksummed_body(&mut br) {
             Ok(body) => {
-                let postings =
-                    body.lists.iter().map(|(_, l)| l.len() as u64).sum();
+                let postings = body.lists.iter().map(|(_, l)| l.len() as u64).sum();
                 (ShardBodyStatus::Ok { docs: body.doc_lens.len() as u64, postings }, br.pos)
             }
             Err(error) => (ShardBodyStatus::Corrupt { error }, br.pos),
@@ -711,10 +708,8 @@ fn read_checksummed_body(r: &mut Reader<'_>) -> Result<ChecksummedBody, IndexErr
         .checked_mul(4)
         .ok_or(IndexError::CorruptIndex { context: "doc length table" })?;
     let raw = r.take(doc_bytes, "doc length table")?;
-    let doc_lens: Vec<u32> = raw
-        .chunks_exact(4)
-        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-        .collect();
+    let doc_lens: Vec<u32> =
+        raw.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
     r.verify_section(doc_start, "doc length table", "doc length checksum")?;
 
     let mut lists = Vec::with_capacity(n_terms.min(r.remaining()));
@@ -795,10 +790,8 @@ fn deserialize_v1(mut r: Reader<'_>) -> Result<InvertedIndex, IndexError> {
         .checked_mul(4)
         .ok_or(IndexError::CorruptIndex { context: "doc length table" })?;
     let raw = r.take(doc_bytes, "doc length table")?;
-    let doc_lens: Vec<u32> = raw
-        .chunks_exact(4)
-        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-        .collect();
+    let doc_lens: Vec<u32> =
+        raw.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
 
     let n_terms = r.u64("term count")? as usize;
     let mut lists = Vec::with_capacity(n_terms.min(r.remaining()));
@@ -862,8 +855,8 @@ fn decode_raw(
     }
     let mut out = Vec::new();
     for (meta, &skip) in metas.iter().zip(skips) {
-        let bits_needed = meta.offset as usize * 8
-            + meta.pair_bits() as usize * meta.count as usize;
+        let bits_needed =
+            meta.offset as usize * 8 + meta.pair_bits() as usize * meta.count as usize;
         if bits_needed > payload.len() * 8 {
             return Err(IndexError::CorruptIndex { context: "payload bounds" });
         }
@@ -1064,10 +1057,7 @@ mod tests {
     fn rejects_bad_magic() {
         let mut bytes = serialize(&sample_index()).unwrap().to_vec();
         bytes[0] ^= 0xff;
-        assert!(matches!(
-            deserialize(&bytes),
-            Err(IndexError::UnsupportedFormat { .. })
-        ));
+        assert!(matches!(deserialize(&bytes), Err(IndexError::UnsupportedFormat { .. })));
     }
 
     #[test]
@@ -1190,7 +1180,12 @@ mod tests {
         for info in index.terms() {
             let list = index.encoded_list(index.term_id(&info.term).unwrap());
             bounds.push((pos, "term record"));
-            pos += 4 + info.term.len() + 8 + 8 + list.num_blocks() * 12 + 8
+            pos += 4
+                + info.term.len()
+                + 8
+                + 8
+                + list.num_blocks() * 12
+                + 8
                 + list.payload().len();
             bounds.push((pos, "term record checksum"));
             pos += 4;
@@ -1251,10 +1246,7 @@ mod tests {
             deserialize_sharded(&plain),
             Err(IndexError::UnsupportedFormat { .. })
         ));
-        assert!(matches!(
-            scan_sharded(&plain),
-            Err(IndexError::UnsupportedFormat { .. })
-        ));
+        assert!(matches!(scan_sharded(&plain), Err(IndexError::UnsupportedFormat { .. })));
     }
 
     /// Writes a legacy v1 shard manifest (no body-length table),
@@ -1331,15 +1323,12 @@ mod tests {
         assert_eq!(clean.shards.len(), 3);
 
         // Locate shard 1's body: header ends where the first body starts.
-        let header_len =
-            4 + 8 + 8 + 5 + 8 + sharded.shard(0).num_terms() * 4 + 3 * 8;
+        let header_len = 4 + 8 + 8 + 5 + 8 + sharded.shard(0).num_terms() * 4 + 3 * 8;
         let bodies_start = 8 + header_len + 4;
         let mut body_lens = Vec::new();
         for s in 0..3 {
             let at = 8 + 4 + 8 + 8 + 5 + 8 + sharded.shard(0).num_terms() * 4 + s * 8;
-            body_lens.push(u64::from_le_bytes(
-                bytes[at..at + 8].try_into().unwrap(),
-            ) as usize);
+            body_lens.push(u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()) as usize);
         }
         let shard1_mid = bodies_start + body_lens[0] + body_lens[1] / 2;
         let mut corrupt = bytes.clone();
@@ -1426,8 +1415,7 @@ mod tests {
             Err(IndexError::ChecksumMismatch { section: "shard header", .. })
         ));
 
-        let header_len =
-            4 + 8 + 8 + 5 + 8 + sharded.shard(0).num_terms() * 4 + 3 * 8;
+        let header_len = 4 + 8 + 8 + 5 + 8 + sharded.shard(0).num_terms() * 4 + 3 * 8;
         let crc = crc32(&flipped[8..8 + header_len]);
         flipped[8 + header_len..8 + header_len + 4].copy_from_slice(&crc.to_le_bytes());
         let n = flipped.len();

@@ -144,8 +144,7 @@ fn dynamic_partition(list: &PostingList, max_size: usize) -> Vec<usize> {
         let mut j = i - 1;
         loop {
             let pair_bits = u64::from(bits_for(gmax) as u32 + bits_for(tmax) as u32);
-            let c = cost[j]
-                .saturating_add(pair_bits * (i - j) as u64 + BLOCK_OVERHEAD_BITS);
+            let c = cost[j].saturating_add(pair_bits * (i - j) as u64 + BLOCK_OVERHEAD_BITS);
             if c < cost[i] {
                 cost[i] = c;
                 parent[i] = j;
@@ -214,7 +213,13 @@ mod tests {
 
     /// Brute-force optimal cost over all partitions (exponential; tiny n only).
     fn brute_force_cost(list: &PostingList, max_size: usize) -> u64 {
-        fn rec(list: &PostingList, max_size: usize, from: usize, lens: &mut Vec<usize>, best: &mut u64) {
+        fn rec(
+            list: &PostingList,
+            max_size: usize,
+            from: usize,
+            lens: &mut Vec<usize>,
+            best: &mut u64,
+        ) {
             let n = list.len();
             if from == n {
                 let c = partition_cost_bits(list, lens);

@@ -61,10 +61,7 @@ impl PositionList {
         let mut prev_doc: Option<DocId> = None;
         for (doc, positions) in docs {
             assert!(!positions.is_empty(), "a posting must have at least one position");
-            assert!(
-                prev_doc.is_none_or(|p| *doc > p),
-                "documents must be sorted and unique"
-            );
+            assert!(prev_doc.is_none_or(|p| *doc > p), "documents must be sorted and unique");
             assert!(
                 positions.windows(2).all(|w| w[0] < w[1]),
                 "positions must be strictly increasing"
@@ -198,13 +195,11 @@ impl PositionIndex {
     /// Returns `None` on malformed input.
     pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
         let mut pos = 0usize;
-        let n_terms =
-            u32::from_le_bytes(bytes.get(0..4)?.try_into().ok()?) as usize;
+        let n_terms = u32::from_le_bytes(bytes.get(0..4)?.try_into().ok()?) as usize;
         pos += 4;
         let mut out = PositionIndex::new();
         for _ in 0..n_terms {
-            let len =
-                u32::from_le_bytes(bytes.get(pos..pos + 4)?.try_into().ok()?) as usize;
+            let len = u32::from_le_bytes(bytes.get(pos..pos + 4)?.try_into().ok()?) as usize;
             pos += 4;
             let term = std::str::from_utf8(bytes.get(pos..pos + len)?).ok()?.to_owned();
             pos += len;

@@ -207,10 +207,15 @@ mod tests {
     fn minhash_reorder_improves_compression_on_toy() {
         let (lists, lens) = toy_corpus();
         let ratio = |lists: Vec<(String, PostingList)>, lens: Vec<u32>| {
-            InvertedIndex::from_lists(lists, lens, Partitioner::default(), Bm25Params::default())
-                .unwrap()
-                .size_stats()
-                .model_bits
+            InvertedIndex::from_lists(
+                lists,
+                lens,
+                Partitioner::default(),
+                Bm25Params::default(),
+            )
+            .unwrap()
+            .size_stats()
+            .model_bits
         };
         let before = ratio(lists.clone(), lens.clone());
         let (l2, n2) = reorder(lists, lens, Ordering::MinHash);

@@ -213,11 +213,8 @@ mod tests {
             let idf_bar = p.idf_bar(n_docs, df);
             let dl_bar = p.dl_bar(doc_len, avgdl);
             let reference = p.term_score(idf_bar, dl_bar, tf);
-            let fixed = term_score_fixed(
-                Fixed::from_f64(idf_bar),
-                Fixed::from_f64(dl_bar),
-                tf,
-            );
+            let fixed =
+                term_score_fixed(Fixed::from_f64(idf_bar), Fixed::from_f64(dl_bar), tf);
             let err = (fixed.to_f64() - reference).abs();
             assert!(
                 err < 1e-3 * reference.max(1.0),

@@ -192,9 +192,13 @@ impl ShardedIndex {
                         context: "shard dictionaries disagree",
                     });
                 }
-                merged.extend(shard.encoded_list(id).decode_all().iter().map(|p| {
-                    Posting::new(p.doc_id * n as u32 + s as u32, p.tf)
-                }));
+                merged.extend(
+                    shard
+                        .encoded_list(id)
+                        .decode_all()
+                        .iter()
+                        .map(|p| Posting::new(p.doc_id * n as u32 + s as u32, p.tf)),
+                );
             }
             merged.sort_unstable_by_key(|p| p.doc_id);
             lists.push((term.clone(), PostingList::from_sorted(merged)));
@@ -435,10 +439,7 @@ mod tests {
     #[test]
     fn zero_shards_is_rejected() {
         let idx = sample_index();
-        assert!(matches!(
-            ShardedIndex::split(&idx, 0),
-            Err(IndexError::CorruptIndex { .. })
-        ));
+        assert!(matches!(ShardedIndex::split(&idx, 0), Err(IndexError::CorruptIndex { .. })));
     }
 
     #[test]

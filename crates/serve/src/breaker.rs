@@ -115,8 +115,7 @@ impl CircuitBreaker {
         match g.state {
             BreakerState::Closed => Route::Device { probe: false },
             BreakerState::Open => {
-                let cooled =
-                    g.opened_at.is_some_and(|t| t.elapsed() >= self.cfg.cooldown);
+                let cooled = g.opened_at.is_some_and(|t| t.elapsed() >= self.cfg.cooldown);
                 if cooled {
                     g.state = BreakerState::HalfOpen;
                     g.probe_successes = 0;

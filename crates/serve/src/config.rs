@@ -122,9 +122,7 @@ impl FaultPlan {
     /// fire because a panic immediately falls back).
     pub fn sabotage_panic(&self, seq: u64, attempt: u32) -> bool {
         attempt == 0
-            && self
-                .panic_burst
-                .is_some_and(|(start, end)| (start..end).contains(&seq))
+            && self.panic_burst.is_some_and(|(start, end)| (start..end).contains(&seq))
     }
 }
 

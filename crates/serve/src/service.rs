@@ -231,11 +231,7 @@ impl QueryService {
     }
 
     /// Submits and blocks for the answer.
-    pub fn search_blocking(
-        &self,
-        query: Query,
-        k: usize,
-    ) -> Result<SearchResponse, Rejected> {
+    pub fn search_blocking(&self, query: Query, k: usize) -> Result<SearchResponse, Rejected> {
         self.submit(query, k)?.wait()
     }
 
@@ -377,8 +373,7 @@ fn serve_one(shared: &Shared, job: Job, rng: &mut SplitMix64) {
                 // the breaker would stick in HalfOpen forever.
                 shared.breaker.on_abandoned(probe);
                 stats.shed_deadline.fetch_add(1, Ordering::Relaxed);
-                let _ =
-                    job.reply.send(Err(Rejected::DeadlineExceeded { stage: "retry" }));
+                let _ = job.reply.send(Err(Rejected::DeadlineExceeded { stage: "retry" }));
                 return;
             }
             DeviceOutcome::GiveUp { reason } => {
@@ -404,10 +399,7 @@ fn serve_one(shared: &Shared, job: Job, rng: &mut SplitMix64) {
             } else {
                 stats.degraded_ok.fetch_add(1, Ordering::Relaxed);
             }
-            if resp
-                .degraded
-                .iter()
-                .any(|d| matches!(d, Degradation::ShardsUnavailable { .. }))
+            if resp.degraded.iter().any(|d| matches!(d, Degradation::ShardsUnavailable { .. }))
             {
                 stats.shard_partials.fetch_add(1, Ordering::Relaxed);
             }
@@ -451,14 +443,11 @@ fn run_device(shared: &Shared, job: &Job, rng: &mut SplitMix64) -> DeviceOutcome
             if cfg.fault.sabotage_panic(job.seq, attempt) {
                 panic!("injected panic fault (seq {})", job.seq);
             }
-            let mut engine =
-                IiuSearchEngine::with_config(index, sim, cfg.cores_per_query);
+            let mut engine = IiuSearchEngine::with_config(index, sim, cfg.cores_per_query);
             engine.search(&job.query, job.k)
         }));
         match attempt_result {
-            Ok(Ok(response)) => {
-                return DeviceOutcome::Ok { response, attempts: attempt + 1 }
-            }
+            Ok(Ok(response)) => return DeviceOutcome::Ok { response, attempts: attempt + 1 },
             Ok(Err(e)) if e.is_transient() && attempt + 1 < cfg.retry.max_attempts => {
                 let sleep = cfg.retry.backoff(attempt + 1, rng);
                 let remaining = job.deadline.saturating_duration_since(Instant::now());
@@ -470,10 +459,7 @@ fn run_device(shared: &Shared, job: &Job, rng: &mut SplitMix64) -> DeviceOutcome
             Ok(Err(e)) => {
                 let transient = e.is_transient();
                 let reason = if transient {
-                    format!(
-                        "device retries exhausted after {} attempts: {e}",
-                        attempt + 1
-                    )
+                    format!("device retries exhausted after {} attempts: {e}", attempt + 1)
                 } else {
                     format!("device error: {e}")
                 };
@@ -519,8 +505,8 @@ fn run_fallback(
                 // coverage) beats failing the query. A genuinely bad query
                 // fails identically here and surfaces its real error.
                 shared.stats.shard_rescues.fetch_add(1, Ordering::Relaxed);
-                let mut unsharded = CpuSearchEngine::new(index)
-                    .with_pruning(shared.cfg.pruned_cpu_fallback);
+                let mut unsharded =
+                    CpuSearchEngine::new(index).with_pruning(shared.cfg.pruned_cpu_fallback);
                 unsharded.search(&job.query, job.k).map(|mut resp| {
                     resp.degraded.push(Degradation::CpuFallback {
                         reason: format!("shard fan-out unavailable: {e}"),
@@ -540,10 +526,7 @@ fn run_fallback(
             // Keep the CPU outcome's work accounting instead of dropping
             // it with the response wrapper: operators see how much index
             // work the fallback absorbed.
-            shared
-                .stats
-                .fallback_candidates
-                .fetch_add(response.candidates, Ordering::Relaxed);
+            shared.stats.fallback_candidates.fetch_add(response.candidates, Ordering::Relaxed);
             shared
                 .stats
                 .fallback_modeled_ns
@@ -580,9 +563,7 @@ mod tests {
         assert_error::<Rejected>();
 
         let e = Rejected::Failed {
-            error: iiu_core::SearchError::Index(
-                iiu_index::IndexError::PositionsUnavailable,
-            ),
+            error: iiu_core::SearchError::Index(iiu_index::IndexError::PositionsUnavailable),
         };
         assert!(std::error::Error::source(&e).is_some(), "Failed must expose its cause");
         let boxed: Box<dyn std::error::Error + Send + Sync + 'static> = Box::new(e);

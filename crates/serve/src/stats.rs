@@ -193,8 +193,7 @@ impl HealthSnapshot {
         if self.submitted == 0 {
             return 0.0;
         }
-        (self.shed_overload + self.shed_deadline + self.failed) as f64
-            / self.submitted as f64
+        (self.shed_overload + self.shed_deadline + self.failed) as f64 / self.submitted as f64
     }
 }
 

@@ -7,8 +7,7 @@ use std::time::Duration;
 use iiu_core::{CpuSearchEngine, Degradation, Query, SearchEngine};
 use iiu_index::InvertedIndex;
 use iiu_serve::{
-    BreakerConfig, BreakerState, FaultPlan, QueryService, Rejected, RetryPolicy,
-    ServeConfig,
+    BreakerConfig, BreakerState, FaultPlan, QueryService, Rejected, RetryPolicy, ServeConfig,
 };
 use iiu_workloads::{CorpusConfig, QuerySampler};
 
@@ -122,10 +121,7 @@ fn overload_sheds_typed_rejections() {
     for p in pending {
         // Burst-sabotaged queries exhaust retries and fall back to CPU.
         let resp = p.wait().expect("admitted queries must still resolve");
-        assert!(resp
-            .degraded
-            .iter()
-            .any(|d| matches!(d, Degradation::CpuFallback { .. })));
+        assert!(resp.degraded.iter().any(|d| matches!(d, Degradation::CpuFallback { .. })));
     }
     let h = svc.health();
     assert_eq!(h.shed_overload, shed as u64);
@@ -258,10 +254,7 @@ fn breaker_trips_then_recovers() {
 
     for _ in 0..3 {
         let resp = svc.search_blocking(q.clone(), 10).expect("fallback answers");
-        assert!(resp
-            .degraded
-            .iter()
-            .any(|d| matches!(d, Degradation::CpuFallback { .. })));
+        assert!(resp.degraded.iter().any(|d| matches!(d, Degradation::CpuFallback { .. })));
     }
     assert_eq!(svc.health().breaker, BreakerState::Open);
     assert_eq!(svc.health().breaker_trips, 1);
@@ -297,11 +290,7 @@ fn injected_panic_is_isolated_and_falls_back() {
     // real panics still print.
     let default_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(move |info| {
-        let msg = info
-            .payload()
-            .downcast_ref::<String>()
-            .map(String::as_str)
-            .unwrap_or("");
+        let msg = info.payload().downcast_ref::<String>().map(String::as_str).unwrap_or("");
         if !msg.contains("injected panic fault") {
             default_hook(info);
         }

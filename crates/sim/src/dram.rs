@@ -59,8 +59,8 @@ impl DramConfig {
             t_rcd: 42,   // 14 ns
             t_cas: 42,
             t_rp: 42,
-            t_ras: 96, // 32 ns
-            t_wr: 45,  // 15 ns
+            t_ras: 96,      // 32 ns
+            t_wr: 45,       // 15 ns
             t_refi: 23_400, // 7.8 us
             t_rfc: 1_050,   // 350 ns
             queue_depth: 32,
@@ -201,7 +201,8 @@ impl MemorySystem {
         let channel = (line % self.cfg.channels as u64) as usize;
         let upper = line / self.cfg.channels as u64;
         let bank = (upper % self.cfg.banks_per_channel as u64) as usize;
-        let row = upper / self.cfg.banks_per_channel as u64 / (self.cfg.row_bytes / LINE_BYTES);
+        let row =
+            upper / self.cfg.banks_per_channel as u64 / (self.cfg.row_bytes / LINE_BYTES);
         (channel, bank, row)
     }
 
@@ -302,8 +303,7 @@ impl MemorySystem {
                 self.bytes_written += LINE_BYTES;
             } else {
                 self.bytes_read += LINE_BYTES;
-                self.completed
-                    .push_back((done, MemResponse { addr: req.addr, tag: req.tag }));
+                self.completed.push_back((done, MemResponse { addr: req.addr, tag: req.tag }));
             }
         }
     }
@@ -311,10 +311,7 @@ impl MemorySystem {
     /// Pops a read response completed by the current tick, if any.
     pub fn pop_ready(&mut self) -> Option<MemResponse> {
         // Responses complete out of order across channels; scan for any due.
-        let idx = self
-            .completed
-            .iter()
-            .position(|&(done, _)| done <= self.now)?;
+        let idx = self.completed.iter().position(|&(done, _)| done <= self.now)?;
         Some(self.completed.remove(idx).expect("index valid").1)
     }
 
@@ -333,8 +330,7 @@ impl MemorySystem {
         if elapsed_ticks == 0 {
             return 0.0;
         }
-        self.bytes_total() as f64
-            / (self.cfg.peak_bytes_per_tick() * elapsed_ticks as f64)
+        self.bytes_total() as f64 / (self.cfg.peak_bytes_per_tick() * elapsed_ticks as f64)
     }
 }
 

@@ -412,7 +412,12 @@ impl<'a> QueryExec<'a> {
 
     /// Builds a direct-fetch job for candidate block `b` of L1
     /// (intersection), decoding into the recycled `postings` buffer.
-    fn fetch_job(&self, l1_payload_base: u64, b: usize, mut postings: Vec<Posting>) -> FetchJob {
+    fn fetch_job(
+        &self,
+        l1_payload_base: u64,
+        b: usize,
+        mut postings: Vec<Posting>,
+    ) -> FetchJob {
         let list = self.list(self.l1.expect("intersection has L1"));
         let meta = list.metas()[b];
         let bytes = meta.payload_bytes();
@@ -440,9 +445,7 @@ impl<'a> QueryExec<'a> {
             KIND_META => self.bschs[token_unit(tok)].meta_stream.deliver(addr),
             KIND_SKIP => self.bschs[token_unit(tok)].skip_stream.deliver(addr),
             KIND_DCU_FETCH => self.cores[token_unit(tok)].dcu[1].deliver_fetch_line(addr),
-            KIND_SU_DL => {
-                self.cores[token_unit(tok)].su[token_sub(tok)].deliver_dl_line(addr)
-            }
+            KIND_SU_DL => self.cores[token_unit(tok)].su[token_sub(tok)].deliver_dl_line(addr),
             KIND_BSU => {
                 let l1 = self.l1.expect("BSU only used for intersection");
                 let skips = self.index.encoded_list(l1).skips();
@@ -1089,10 +1092,7 @@ impl<'a> IiuMachine<'a> {
         let mem_stats = mem_stats_of(&mem, &mai, cycle);
         Ok(BatchRun {
             cycles: cycle,
-            queries: finished
-                .into_iter()
-                .map(|q| q.expect("all queries finished"))
-                .collect(),
+            queries: finished.into_iter().map(|q| q.expect("all queries finished")).collect(),
             mem: mem_stats,
         })
     }
@@ -1124,9 +1124,8 @@ impl<'a> IiuMachine<'a> {
         }
         // The run cannot legitimately end before the last arrival, so the
         // absolute budget gets that much headroom on top.
-        let budget = self
-            .cycle_budget(queries)
-            .saturating_add(arrivals.last().copied().unwrap_or(0));
+        let budget =
+            self.cycle_budget(queries).saturating_add(arrivals.last().copied().unwrap_or(0));
         let mut mem = MemorySystem::new(self.cfg.dram);
         let mut mai = Mai::new(self.cfg.mai_entries);
         let dl_bars = self.index.dl_bars();
@@ -1222,10 +1221,7 @@ impl<'a> IiuMachine<'a> {
         let mem_stats = mem_stats_of(&mem, &mai, cycle);
         Ok(BatchRun {
             cycles: cycle,
-            queries: finished
-                .into_iter()
-                .map(|q| q.expect("all queries finished"))
-                .collect(),
+            queries: finished.into_iter().map(|q| q.expect("all queries finished")).collect(),
             mem: mem_stats,
         })
     }
@@ -1252,10 +1248,10 @@ impl<'a> IiuMachine<'a> {
         if latency_cores < 1 || batch_units < 1 {
             return Err(SimError::BadRequest { what: "both sides need resources" });
         }
-        if latency_cores + batch_units > self.cfg.n_cores
-            || batch_units >= self.cfg.n_pairs
-        {
-            return Err(SimError::BadRequest { what: "hybrid allocation exceeds the machine" });
+        if latency_cores + batch_units > self.cfg.n_cores || batch_units >= self.cfg.n_pairs {
+            return Err(SimError::BadRequest {
+                what: "hybrid allocation exceeds the machine",
+            });
         }
         let mut all_queries = vec![latency_query];
         all_queries.extend_from_slice(batch);
@@ -1286,16 +1282,11 @@ impl<'a> IiuMachine<'a> {
         let mut last_progress = 0u64;
         let mut progress_mark = u64::MAX;
 
-        while latency_run.is_none()
-            || done < batch.len()
-            || !mai.is_idle()
-            || !mem.is_idle()
-        {
+        while latency_run.is_none() || done < batch.len() || !mai.is_idle() || !mem.is_idle() {
             for (unit, slot) in slots.iter_mut().enumerate() {
                 if slot.is_none() {
                     if let Some(qi) = pending.pop_front() {
-                        let base =
-                            self.layout.result_base() + (((unit + 1) as u64) << 24);
+                        let base = self.layout.result_base() + (((unit + 1) as u64) << 24);
                         *slot = Some((
                             qi,
                             QueryExec::new(
@@ -1388,10 +1379,7 @@ impl<'a> IiuMachine<'a> {
 }
 
 fn total_postings(exec: &QueryExec<'_>) -> u64 {
-    exec.cores
-        .iter()
-        .map(|c| c.dcu.iter().map(|d| d.postings_decoded).sum::<u64>())
-        .sum()
+    exec.cores.iter().map(|c| c.dcu.iter().map(|d| d.postings_decoded).sum::<u64>()).sum()
 }
 
 fn mem_stats_of(mem: &MemorySystem, mai: &Mai, cycles: u64) -> MemStats {

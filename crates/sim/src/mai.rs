@@ -104,10 +104,7 @@ impl Mai {
         }
         mem.tick_to(cycle * TICKS_PER_CYCLE);
         while let Some(MemResponse { addr, .. }) = mem.pop_ready() {
-            let waiters = self
-                .outstanding
-                .remove(&addr)
-                .expect("response for unknown line");
+            let waiters = self.outstanding.remove(&addr).expect("response for unknown line");
             self.ready.push_back((addr, waiters));
         }
     }

@@ -45,11 +45,36 @@ impl ComponentBudget {
 
 /// Table 3, verbatim (Total Area / Total Power columns).
 pub const TABLE3: &[ComponentBudget] = &[
-    ComponentBudget { name: "Block Reader", total_area_mm2: 0.160, total_power_mw: 111.7, count: 8 },
-    ComponentBudget { name: "Block Scheduler", total_area_mm2: 0.143, total_power_mw: 88.3, count: 8 },
-    ComponentBudget { name: "IIU Core", total_area_mm2: 2.687, total_power_mw: 925.4, count: 8 },
-    ComponentBudget { name: "Command Queue", total_area_mm2: 0.004, total_power_mw: 2.7, count: 1 },
-    ComponentBudget { name: "Query Scheduler", total_area_mm2: 0.009, total_power_mw: 6.4, count: 1 },
+    ComponentBudget {
+        name: "Block Reader",
+        total_area_mm2: 0.160,
+        total_power_mw: 111.7,
+        count: 8,
+    },
+    ComponentBudget {
+        name: "Block Scheduler",
+        total_area_mm2: 0.143,
+        total_power_mw: 88.3,
+        count: 8,
+    },
+    ComponentBudget {
+        name: "IIU Core",
+        total_area_mm2: 2.687,
+        total_power_mw: 925.4,
+        count: 8,
+    },
+    ComponentBudget {
+        name: "Command Queue",
+        total_area_mm2: 0.004,
+        total_power_mw: 2.7,
+        count: 1,
+    },
+    ComponentBudget {
+        name: "Query Scheduler",
+        total_area_mm2: 0.009,
+        total_power_mw: 6.4,
+        count: 1,
+    },
     ComponentBudget { name: "MAI", total_area_mm2: 0.101, total_power_mw: 9.6, count: 1 },
 ];
 

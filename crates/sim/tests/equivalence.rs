@@ -10,10 +10,7 @@ use iiu_sim::{IiuMachine, SimConfig, SimQuery};
 use iiu_workloads::CorpusConfig;
 use proptest::prelude::*;
 
-fn reference(
-    index: &iiu_index::InvertedIndex,
-    query: SimQuery,
-) -> Vec<(DocId, Fixed)> {
+fn reference(index: &iiu_index::InvertedIndex, query: SimQuery) -> Vec<(DocId, Fixed)> {
     let scored = |t: u32| -> BTreeMap<DocId, Fixed> {
         let idf = index.term_info(t).idf_bar;
         index
@@ -34,9 +31,7 @@ fn reference(
             let (sa, sb) = (scored(a), scored(b));
             let mut out = sa;
             for (d, y) in sb {
-                out.entry(d)
-                    .and_modify(|x| *x = x.saturating_add(y))
-                    .or_insert(y);
+                out.entry(d).and_modify(|x| *x = x.saturating_add(y)).or_insert(y);
             }
             out.into_iter().collect()
         }

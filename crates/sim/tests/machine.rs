@@ -21,9 +21,8 @@ fn larger_index() -> iiu_index::InvertedIndex {
 
 /// Picks the `n`-th most frequent term with at least `min_df` postings.
 fn frequent_term(index: &iiu_index::InvertedIndex, nth: usize, min_df: u64) -> u32 {
-    let mut ids: Vec<u32> = (0..index.num_terms() as u32)
-        .filter(|&t| index.term_info(t).df >= min_df)
-        .collect();
+    let mut ids: Vec<u32> =
+        (0..index.num_terms() as u32).filter(|&t| index.term_info(t).df >= min_df).collect();
     ids.sort_by_key(|&t| std::cmp::Reverse(index.term_info(t).df));
     ids[nth]
 }
@@ -108,10 +107,7 @@ fn intersection_skips_blocks_and_uses_traversal_cache() {
          ({}/{total_blocks} fetched)",
         run.stats.l1_blocks_fetched
     );
-    assert_eq!(
-        run.stats.l1_blocks_fetched + run.stats.l1_blocks_skipped,
-        total_blocks
-    );
+    assert_eq!(run.stats.l1_blocks_fetched + run.stats.l1_blocks_skipped, total_blocks);
     assert!(run.stats.bsu_probes > 0);
     if run.stats.bsu_probes > 8 {
         assert!(
@@ -136,17 +132,11 @@ fn union_matches_merged_reference() {
     let ib = index.term_info(b).idf_bar;
     for p in pa.iter() {
         let s = iiu_index::score::term_score_fixed(ia, index.dl_bar(p.doc_id), p.tf);
-        expected
-            .entry(p.doc_id)
-            .and_modify(|e| *e = e.saturating_add(s))
-            .or_insert(s);
+        expected.entry(p.doc_id).and_modify(|e| *e = e.saturating_add(s)).or_insert(s);
     }
     for p in pb.iter() {
         let s = iiu_index::score::term_score_fixed(ib, index.dl_bar(p.doc_id), p.tf);
-        expected
-            .entry(p.doc_id)
-            .and_modify(|e| *e = e.saturating_add(s))
-            .or_insert(s);
+        expected.entry(p.doc_id).and_modify(|e| *e = e.saturating_add(s)).or_insert(s);
     }
     let want: Vec<(DocId, Fixed)> = expected.into_iter().collect();
     assert_eq!(run.results, want);
@@ -305,7 +295,8 @@ fn hybrid_mode_serves_both_traffic_classes() {
     let backlog: Vec<SimQuery> =
         (1..9).map(|i| SimQuery::Single(frequent_term(&index, i, 500))).collect();
 
-    let hybrid = machine.run_hybrid(SimQuery::Single(hot), &backlog, 4, 4).expect("sim completes");
+    let hybrid =
+        machine.run_hybrid(SimQuery::Single(hot), &backlog, 4, 4).expect("sim completes");
     let solo = machine.run_query(SimQuery::Single(hot), 4).expect("sim completes");
 
     // Functional results are unaffected by co-running traffic.
@@ -403,15 +394,12 @@ fn roofline_bounds_hold() {
             ),
             4,
         ),
-        (
-            SimQuery::Union(frequent_term(&index, 2, 500), frequent_term(&index, 3, 500)),
-            8,
-        ),
+        (SimQuery::Union(frequent_term(&index, 2, 500), frequent_term(&index, 3, 500)), 8),
     ] {
         let run = machine.run_query(q, cores).expect("sim completes");
         let compute_roof = run.stats.postings_decoded / (2 * cores as u64); // 2 DCUs/core
-        let memory_roof =
-            ((run.mem.bytes_read + run.mem.bytes_written) as f64 / peak_bytes_per_cycle) as u64;
+        let memory_roof = ((run.mem.bytes_read + run.mem.bytes_written) as f64
+            / peak_bytes_per_cycle) as u64;
         assert!(
             run.cycles >= compute_roof,
             "{q:?}/{cores}: {} cycles beats the {compute_roof}-cycle compute roof",

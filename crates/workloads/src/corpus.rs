@@ -109,9 +109,7 @@ impl CorpusConfig {
             lists.push((term_name(rank), list));
         }
 
-        let doc_lens = (0..self.n_docs)
-            .map(|_| self.sample_doc_len(&mut rng))
-            .collect();
+        let doc_lens = (0..self.n_docs).map(|_| self.sample_doc_len(&mut rng)).collect();
 
         GeneratedCorpus { lists, doc_lens }
     }

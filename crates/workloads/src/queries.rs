@@ -59,12 +59,7 @@ impl<'a> QuerySampler<'a> {
             !candidates.is_empty(),
             "no term meets the minimum document frequency {min_df}"
         );
-        QuerySampler {
-            index,
-            candidates,
-            cumulative,
-            rng: StdRng::seed_from_u64(seed),
-        }
+        QuerySampler { index, candidates, cumulative, rng: StdRng::seed_from_u64(seed) }
     }
 
     /// Redraw budget when hunting for a term distinct from a given one.
@@ -182,11 +177,8 @@ mod tests {
             .filter(|t| t.df >= QuerySampler::DEFAULT_MIN_DF)
             .map(|t| t.df as f64)
             .sum::<f64>()
-            / idx
-                .terms()
-                .iter()
-                .filter(|t| t.df >= QuerySampler::DEFAULT_MIN_DF)
-                .count() as f64;
+            / idx.terms().iter().filter(|t| t.df >= QuerySampler::DEFAULT_MIN_DF).count()
+                as f64;
         assert!(mean_df > uniform_mean * 0.8, "df bias should not under-sample common terms");
     }
 

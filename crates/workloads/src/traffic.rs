@@ -80,10 +80,7 @@ fn unknown_term(rng: &mut StdRng) -> String {
 /// Panics if `cfg.rate_qps` is not strictly positive or the fractions are
 /// outside `[0, 1]`.
 pub fn open_loop(index: &InvertedIndex, cfg: &TrafficConfig) -> Vec<TimedQuery> {
-    assert!(
-        cfg.rate_qps.is_finite() && cfg.rate_qps > 0.0,
-        "rate_qps must be positive"
-    );
+    assert!(cfg.rate_qps.is_finite() && cfg.rate_qps > 0.0, "rate_qps must be positive");
     for (name, f) in [
         ("pair_fraction", cfg.pair_fraction),
         ("and_fraction", cfg.and_fraction),
@@ -103,8 +100,7 @@ pub fn open_loop(index: &InvertedIndex, cfg: &TrafficConfig) -> Vec<TimedQuery> 
             at += -(1.0 - u).ln() / cfg.rate_qps;
 
             let pair = rng.gen_bool(cfg.pair_fraction);
-            let unknown = cfg.unknown_term_rate > 0.0
-                && rng.gen_bool(cfg.unknown_term_rate);
+            let unknown = cfg.unknown_term_rate > 0.0 && rng.gen_bool(cfg.unknown_term_rate);
             let text = if pair {
                 let op = if rng.gen_bool(cfg.and_fraction) { "AND" } else { "OR" };
                 let a = sampler.term().to_owned();
@@ -121,11 +117,7 @@ pub fn open_loop(index: &InvertedIndex, cfg: &TrafficConfig) -> Vec<TimedQuery> 
             } else {
                 sampler.term().to_owned()
             };
-            TimedQuery {
-                at: Duration::from_secs_f64(at),
-                text,
-                has_unknown_term: unknown,
-            }
+            TimedQuery { at: Duration::from_secs_f64(at), text, has_unknown_term: unknown }
         })
         .collect()
 }
@@ -155,11 +147,8 @@ mod tests {
     #[test]
     fn mean_rate_is_close_to_configured() {
         let idx = index();
-        let cfg = TrafficConfig {
-            rate_qps: 1_000.0,
-            n_queries: 4_000,
-            ..TrafficConfig::default()
-        };
+        let cfg =
+            TrafficConfig { rate_qps: 1_000.0, n_queries: 4_000, ..TrafficConfig::default() };
         let stream = open_loop(&idx, &cfg);
         let span = stream.last().map(|q| q.at.as_secs_f64()).unwrap_or(0.0);
         let empirical = cfg.n_queries as f64 / span;
@@ -180,10 +169,7 @@ mod tests {
         };
         let stream = open_loop(&idx, &cfg);
         let unknown = stream.iter().filter(|q| q.has_unknown_term).count();
-        assert!(
-            (350..650).contains(&unknown),
-            "unknown-term rate off: {unknown}/2000"
-        );
+        assert!((350..650).contains(&unknown), "unknown-term rate off: {unknown}/2000");
         for q in stream.iter().filter(|q| q.has_unknown_term) {
             let oov = q
                 .text
@@ -201,11 +187,8 @@ mod tests {
         let idx = CorpusConfig { n_terms: 1, ..CorpusConfig::tiny(0x99) }
             .generate()
             .into_default_index();
-        let cfg = TrafficConfig {
-            n_queries: 50,
-            pair_fraction: 1.0,
-            ..TrafficConfig::default()
-        };
+        let cfg =
+            TrafficConfig { n_queries: 50, pair_fraction: 1.0, ..TrafficConfig::default() };
         let stream = open_loop(&idx, &cfg);
         assert_eq!(stream.len(), 50);
         for q in &stream {
@@ -230,6 +213,9 @@ mod tests {
         let ands = stream.iter().filter(|q| q.text.contains(" AND ")).count();
         let ors = stream.iter().filter(|q| q.text.contains(" OR ")).count();
         let singles = stream.len() - ands - ors;
-        assert!(ands > 0 && ors > 0 && singles > 0, "{ands} AND / {ors} OR / {singles} single");
+        assert!(
+            ands > 0 && ors > 0 && singles > 0,
+            "{ands} AND / {ors} OR / {singles} single"
+        );
     }
 }

@@ -45,7 +45,10 @@ fn main() {
     println!("\n=== what intersection hardware actually did (1 core) ===");
     let run = machine.run_query(SimQuery::Intersect(a, b), 1).expect("sim completes");
     println!("  L1 blocks fetched:  {}", run.stats.l1_blocks_fetched);
-    println!("  L1 blocks skipped:  {} (membership testing via skip list)", run.stats.l1_blocks_skipped);
+    println!(
+        "  L1 blocks skipped:  {} (membership testing via skip list)",
+        run.stats.l1_blocks_skipped
+    );
     println!(
         "  BSU probes:         {} ({} served by the 32-entry traversal cache, {:.0}%)",
         run.stats.bsu_probes,

@@ -6,8 +6,8 @@
 //! cargo run --release --example codec_explorer
 //! ```
 
-use iiu_codecs::{all_codecs, VByte};
 use iiu_codecs::Codec as _;
+use iiu_codecs::{all_codecs, VByte};
 use iiu_index::{EncodedList, Partitioner, Posting, PostingList};
 use iiu_workloads::CorpusConfig;
 
@@ -41,7 +41,11 @@ fn main() {
     println!("\n=== codecs on a realistic list (head term of a CC-News-like corpus) ===");
     let corpus = CorpusConfig::ccnews_like(40_000).generate();
     let (term, head) = &corpus.lists[0];
-    println!("list {term:?}: {} postings, {} bytes raw", head.len(), head.uncompressed_bytes());
+    println!(
+        "list {term:?}: {} postings, {} bytes raw",
+        head.len(),
+        head.uncompressed_bytes()
+    );
     let ids = head.doc_ids();
     let tfs = head.term_freqs();
     println!("{:<12} {:>10} {:>8}", "codec", "bytes", "ratio");

@@ -38,7 +38,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cpu = CpuSearchEngine::new(&index);
     let mut iiu = IiuSearchEngine::new(&index);
 
-    for text in ["search", "inverted AND search", "bm25 OR search", "(index OR unit) AND search"] {
+    for text in
+        ["search", "inverted AND search", "bm25 OR search", "(index OR unit) AND search"]
+    {
         let query = Query::parse(text)?;
         let r_cpu = cpu.search(&query, 3)?;
         let r_iiu = iiu.search(&query, 3)?;
@@ -46,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         println!("\nquery: {query}");
         for hit in &r_iiu.hits {
-            println!("  doc {:>2}  score {:.3}  {:?}", hit.doc_id, hit.score, docs[hit.doc_id as usize]);
+            println!(
+                "  doc {:>2}  score {:.3}  {:?}",
+                hit.doc_id, hit.score, docs[hit.doc_id as usize]
+            );
         }
         println!(
             "  latency: baseline {:.2} us vs IIU {:.2} us",

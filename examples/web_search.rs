@@ -54,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut iiu = IiuSearchEngine::new(&index);
     let mut total_cpu = 0.0;
     let mut total_iiu = 0.0;
-    println!("\n{:<38} {:>10} {:>12} {:>12} {:>9}", "query", "hits", "baseline", "IIU", "speedup");
+    println!(
+        "\n{:<38} {:>10} {:>12} {:>12} {:>9}",
+        "query", "hits", "baseline", "IIU", "speedup"
+    );
     for q in &queries {
         let r_cpu = cpu.search(q, 10)?;
         let r_iiu = iiu.search(q, 10)?;

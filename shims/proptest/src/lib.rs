@@ -307,11 +307,7 @@ macro_rules! tuple_strategy {
     )+};
 }
 
-tuple_strategy!(
-    (A.0, B.1),
-    (A.0, B.1, C.2),
-    (A.0, B.1, C.2, D.3),
-);
+tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
 
 // --- regex-lite string strategy --------------------------------------------
 
@@ -520,8 +516,7 @@ pub mod collection {
         type Value = Vec<S::Value>;
 
         fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
-            let n = self.size.min
-                + rng.below((self.size.max - self.size.min) as u64) as usize;
+            let n = self.size.min + rng.below((self.size.max - self.size.min) as u64) as usize;
             (0..n).map(|_| self.element.sample(rng)).collect()
         }
     }
@@ -541,8 +536,7 @@ pub mod collection {
         type Value = BTreeSet<S::Value>;
 
         fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
-            let n = self.size.min
-                + rng.below((self.size.max - self.size.min) as u64) as usize;
+            let n = self.size.min + rng.below((self.size.max - self.size.min) as u64) as usize;
             let mut out = BTreeSet::new();
             for _ in 0..n.saturating_mul(16) {
                 if out.len() >= n {
@@ -571,8 +565,7 @@ pub mod collection {
         type Value = BTreeMap<K::Value, V::Value>;
 
         fn sample(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
-            let n = self.size.min
-                + rng.below((self.size.max - self.size.min) as u64) as usize;
+            let n = self.size.min + rng.below((self.size.max - self.size.min) as u64) as usize;
             let mut out = BTreeMap::new();
             for _ in 0..n.saturating_mul(16) {
                 if out.len() >= n {
@@ -772,8 +765,7 @@ mod tests {
             }
         }
         let strat = (0u8..16).prop_map(Tree::Leaf).prop_recursive(4, 24, 2, |inner| {
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
         });
         let mut rng = TestRng::from_name("recursive_strategy_terminates");
         let mut seen_node = false;

@@ -523,9 +523,7 @@ impl<'a> Parser<'a> {
                                 self.pos += 2;
                                 let low = self.hex4()?;
                                 if (0xDC00..0xE000).contains(&low) {
-                                    code = 0x10000
-                                        + ((code - 0xD800) << 10)
-                                        + (low - 0xDC00);
+                                    code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
                                 } else {
                                     self.pos = save;
                                 }

@@ -219,7 +219,8 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     };
     let max_size: usize = parse_num(flag("max-size").unwrap_or("256"), "--max-size")?;
     let track_positions = flag("positions").is_some();
-    let text = std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    let text =
+        std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
     let mut builder = IndexBuilder::new(BuildOptions {
         partitioner: Partitioner::dynamic(max_size),
         track_positions,
@@ -277,7 +278,9 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
     let parsed = split_args(args);
     let flag = |n: &str| parsed.flag(n);
     let [path] = parsed.positional[..] else {
-        return Err("usage: iiu inspect <index-file> [--fault-rate R] [--trials N] [--seed S]".into());
+        return Err(
+            "usage: iiu inspect <index-file> [--fault-rate R] [--trials N] [--seed S]".into(),
+        );
     };
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     println!("file:     {path} ({} bytes)", bytes.len());
@@ -327,7 +330,8 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
     // Each trial stacks enough single corruptions to hit `rate` of the file.
     let per_trial = ((rate * bytes.len() as f64).ceil() as u64).max(1);
 
-    let (mut typed, mut checksums, mut equal, mut divergent, mut panics) = (0u64, 0u64, 0u64, 0u64, 0u64);
+    let (mut typed, mut checksums, mut equal, mut divergent, mut panics) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
     for t in 0..trials {
         let mut mutated = bytes.clone();
         for i in 0..per_trial {
@@ -397,7 +401,10 @@ fn inspect_sharded(bytes: &[u8], parsed: &Args<'_>) -> Result<(), String> {
                 );
             }
             ShardBodyStatus::Corrupt { error } => {
-                println!("          {s:>5} {:>7}   ({expected:>8})  {:>10}    CORRUPT: {error}", "?", "?");
+                println!(
+                    "          {s:>5} {:>7}   ({expected:>8})  {:>10}    CORRUPT: {error}",
+                    "?", "?"
+                );
             }
             _ => {
                 println!(
@@ -495,14 +502,12 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
     let parsed = split_args(args);
     let flag = |n: &str| parsed.flag(n);
     let [path] = parsed.positional[..] else {
-        return Err(
-            "usage: iiu serve-bench <index-file> [--workers N] [--rate QPS] \
+        return Err("usage: iiu serve-bench <index-file> [--workers N] [--rate QPS] \
              [--queries N] [--deadline-ms MS] [--fault-rate R] [--seed S] \
              [--unknown-rate R] [--pruned yes] [--shards N] \
              [--shard-fault-rate R] [--shard-stall-rate R] [--shard-stall-ms MS] \
              [--fail-closed yes] [--no-device yes]"
-                .into(),
-        );
+            .into());
     };
     let workers: usize = parse_num(flag("workers").unwrap_or("4"), "--workers")?;
     let shards: usize = parse_num(flag("shards").unwrap_or("1"), "--shards")?;
@@ -624,7 +629,9 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
     println!(
         "rejected:      {} ({} shed on overload, {} on deadline, {} failed)",
         rejected + shed_at_admission,
-        h.shed_overload, h.shed_deadline, h.failed
+        h.shed_overload,
+        h.shed_deadline,
+        h.failed
     );
     println!(
         "resilience:    {} retries, {} cpu fallbacks, {} isolated panics",
@@ -697,9 +704,8 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
         return Err("--shards must be at least 1".into());
     }
     let index = load_index(path)?;
-    let positions = std::fs::read(format!("{path}.pos"))
-        .ok()
-        .and_then(|b| PositionIndex::from_bytes(&b));
+    let positions =
+        std::fs::read(format!("{path}.pos")).ok().and_then(|b| PositionIndex::from_bytes(&b));
     if positions.is_some() {
         println!("[loaded positional sidecar {path}.pos]");
     }
@@ -739,7 +745,10 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
             .map_err(|e| e.to_string())?
             .with_pruning(pruned);
         let r = eng.search_ref(&query, k).map_err(|e| e.to_string())?;
-        show(&format!("baseline ({shards} shards{})", if pruned { ", pruned" } else { "" }), &r);
+        show(
+            &format!("baseline ({shards} shards{})", if pruned { ", pruned" } else { "" }),
+            &r,
+        );
         if let Some(c) = &cpu_result {
             println!("shard speedup: {:.1}x", c.latency_ns() / r.latency_ns());
             assert_eq!(c.hits, r.hits, "sharded baseline must agree with unsharded");

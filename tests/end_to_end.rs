@@ -54,10 +54,7 @@ fn custom_bm25_parameters_flow_through() {
     let hits_stock = CpuSearchEngine::new(&stock).search(&q, 5).unwrap().hits;
     let hits_flat = CpuSearchEngine::new(&flat).search(&q, 5).unwrap().hits;
     // Same documents reachable, but scores must differ.
-    assert!(hits_stock
-        .iter()
-        .zip(&hits_flat)
-        .any(|(a, b)| (a.score - b.score).abs() > 1e-6));
+    assert!(hits_stock.iter().zip(&hits_flat).any(|(a, b)| (a.score - b.score).abs() > 1e-6));
 }
 
 #[test]

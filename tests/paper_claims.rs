@@ -8,13 +8,9 @@ use iiu_sim::{HostModel, IiuMachine, PowerModel, SimConfig, SimQuery};
 use iiu_workloads::{CorpusConfig, QuerySampler};
 
 fn index() -> iiu_index::InvertedIndex {
-    CorpusConfig {
-        n_docs: 20_000,
-        n_terms: 4_000,
-        ..CorpusConfig::ccnews_like(20_000)
-    }
-    .generate()
-    .into_default_index()
+    CorpusConfig { n_docs: 20_000, n_terms: 4_000, ..CorpusConfig::ccnews_like(20_000) }
+        .generate()
+        .into_default_index()
 }
 
 fn sample_pairs(index: &iiu_index::InvertedIndex, n: usize) -> Vec<(u32, u32)> {
@@ -28,11 +24,7 @@ fn sample_pairs(index: &iiu_index::InvertedIndex, n: usize) -> Vec<(u32, u32)> {
 
 fn sample_singles(index: &iiu_index::InvertedIndex, n: usize) -> Vec<u32> {
     let mut sampler = QuerySampler::with_bias(index, 98, 0.5, 600);
-    sampler
-        .single_queries(n)
-        .iter()
-        .map(|t| index.term_id(t).unwrap())
-        .collect()
+    sampler.single_queries(n).iter().map(|t| index.term_id(t).unwrap()).collect()
 }
 
 /// The term with the longest posting list (for scaling checks that need a
@@ -88,11 +80,9 @@ fn claim_decompression_dominates_baseline() {
 #[test]
 fn claim_dynamic_partitioning_compresses_better() {
     let corpus = CorpusConfig::ccnews_like(20_000).generate();
-    let dynamic = corpus
-        .clone()
-        .into_index(iiu_index::Partitioner::dynamic(256), Default::default());
-    let fixed =
-        corpus.into_index(iiu_index::Partitioner::fixed(128), Default::default());
+    let dynamic =
+        corpus.clone().into_index(iiu_index::Partitioner::dynamic(256), Default::default());
+    let fixed = corpus.into_index(iiu_index::Partitioner::fixed(128), Default::default());
     let rd = dynamic.size_stats().compression_ratio();
     let rf = fixed.size_stats().compression_ratio();
     assert!(rd > rf * 1.15, "dynamic {rd:.2} should clearly beat static {rf:.2}");
@@ -137,8 +127,7 @@ fn claim_iiu_latency_wins_and_intersection_wins_most() {
             &machine.run_query(SimQuery::Union(a, b), 8).expect("sim completes"),
         );
     }
-    let speedup =
-        |label: &str| speedups[label].0 / speedups[label].1;
+    let speedup = |label: &str| speedups[label].0 / speedups[label].1;
     for label in ["single", "intersection", "union"] {
         assert!(speedup(label) > 1.5, "{label} speedup {:.2} too small", speedup(label));
     }
@@ -193,12 +182,12 @@ fn claim_intersection_is_not_bandwidth_bound() {
     let machine = IiuMachine::new(&index, SimConfig::default());
     let singles: Vec<SimQuery> =
         sample_singles(&index, 16).into_iter().map(SimQuery::Single).collect();
-    let isects: Vec<SimQuery> = sample_pairs(&index, 16)
-        .into_iter()
-        .map(|(a, b)| SimQuery::Intersect(a, b))
-        .collect();
-    let bw_single = machine.run_batch(&singles, 8).expect("sim completes").mem.bandwidth_utilization;
-    let bw_isect = machine.run_batch(&isects, 8).expect("sim completes").mem.bandwidth_utilization;
+    let isects: Vec<SimQuery> =
+        sample_pairs(&index, 16).into_iter().map(|(a, b)| SimQuery::Intersect(a, b)).collect();
+    let bw_single =
+        machine.run_batch(&singles, 8).expect("sim completes").mem.bandwidth_utilization;
+    let bw_isect =
+        machine.run_batch(&isects, 8).expect("sim completes").mem.bandwidth_utilization;
     assert!(
         bw_single > 2.0 * bw_isect,
         "single-term ({bw_single:.2}) should stress bandwidth far more than \

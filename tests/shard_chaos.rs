@@ -52,11 +52,7 @@ fn chaos_index() -> InvertedIndex {
 fn silence_injected_panics() {
     let default_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(move |info| {
-        let msg = info
-            .payload()
-            .downcast_ref::<String>()
-            .map(String::as_str)
-            .unwrap_or("");
+        let msg = info.payload().downcast_ref::<String>().map(String::as_str).unwrap_or("");
         if !msg.contains("injected") {
             default_hook(info);
         }
@@ -75,10 +71,7 @@ fn surviving_reference(
     let query = Query::parse(text).expect("traffic query parses");
     let full_k = index.num_docs() as usize + 1;
     let mut engine = CpuSearchEngine::new(index);
-    let mut hits = engine
-        .search(&query, full_k)
-        .expect("reference search succeeds")
-        .hits;
+    let mut hits = engine.search(&query, full_k).expect("reference search succeeds").hits;
     hits.retain(|h| !missing.contains(&(h.doc_id as usize % SHARDS)));
     hits.truncate(k);
     hits
@@ -159,18 +152,17 @@ fn shard_chaos_campaign_stays_available_and_truthful() {
                 }
             };
             answered += 1;
-            let missing: Option<&[usize]> =
-                resp.degraded.iter().find_map(|d| match d {
-                    Degradation::ShardsUnavailable { missing, total } => {
-                        assert_eq!(*total, SHARDS, "wrong shard total in label");
-                        assert!(
-                            !missing.is_empty() && missing.len() < SHARDS,
-                            "degenerate missing set {missing:?}"
-                        );
-                        Some(missing.as_slice())
-                    }
-                    _ => None,
-                });
+            let missing: Option<&[usize]> = resp.degraded.iter().find_map(|d| match d {
+                Degradation::ShardsUnavailable { missing, total } => {
+                    assert_eq!(*total, SHARDS, "wrong shard total in label");
+                    assert!(
+                        !missing.is_empty() && missing.len() < SHARDS,
+                        "degenerate missing set {missing:?}"
+                    );
+                    Some(missing.as_slice())
+                }
+                _ => None,
+            });
             if missing.is_some() {
                 partials += 1;
             }
@@ -181,9 +173,9 @@ fn shard_chaos_campaign_stays_available_and_truthful() {
             let spot_check = (wave_no * 400 + i) % 16 == 0;
             if let Some(miss) = missing {
                 let key = (text.to_string(), miss.to_vec());
-                let expect = reference_cache.entry(key).or_insert_with(|| {
-                    surviving_reference(&index, text, miss, TOP_K)
-                });
+                let expect = reference_cache
+                    .entry(key)
+                    .or_insert_with(|| surviving_reference(&index, text, miss, TOP_K));
                 assert_eq!(
                     &resp.hits, expect,
                     "partial hits diverge from surviving-doc reference \
@@ -192,9 +184,9 @@ fn shard_chaos_campaign_stays_available_and_truthful() {
                 checked += 1;
             } else if spot_check {
                 let key = (text.to_string(), Vec::new());
-                let expect = reference_cache.entry(key).or_insert_with(|| {
-                    surviving_reference(&index, text, &[], TOP_K)
-                });
+                let expect = reference_cache
+                    .entry(key)
+                    .or_insert_with(|| surviving_reference(&index, text, &[], TOP_K));
                 assert_eq!(
                     &resp.hits, expect,
                     "complete answer diverges from reference (query {text:?})"
@@ -227,10 +219,7 @@ fn shard_chaos_campaign_stays_available_and_truthful() {
 
     // 3. Shard supervision observed every injected failure mode.
     let burst_shard = &h.shard_health[PANIC_BURST.2];
-    assert!(
-        burst_shard.quarantine_trips >= 1,
-        "panic burst never tripped quarantine: {h}"
-    );
+    assert!(burst_shard.quarantine_trips >= 1, "panic burst never tripped quarantine: {h}");
     assert!(
         burst_shard.quarantine_recoveries >= 1,
         "quarantined shard never recovered half-open: {h}"
@@ -240,10 +229,7 @@ fn shard_chaos_campaign_stays_available_and_truthful() {
     let total_respawns: u64 = h.shard_health.iter().map(|s| s.respawns).sum();
     assert!(total_panics >= 1, "no shard panics recorded: {h}");
     assert!(total_timeouts >= 1, "no stall ever wedged a shard: {h}");
-    assert!(
-        total_respawns >= 1,
-        "assassinated workers were never respawned: {h}"
-    );
+    assert!(total_respawns >= 1, "assassinated workers were never respawned: {h}");
 
     println!(
         "shard chaos: {answered} answered, {partials} partial, {checked} \

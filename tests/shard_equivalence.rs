@@ -139,10 +139,11 @@ fn shard_local_topk_always_contains_its_global_topk_members() {
     for (s, shard) in split.shards().iter().enumerate() {
         let mut eng = CpuEngine::new(shard);
         let local = eng.search_single(&term, k).expect("uniform dictionary").hits;
-        union.extend(local.into_iter().map(|h| Hit {
-            doc_id: h.doc_id * n as u32 + s as u32,
-            score: h.score,
-        }));
+        union.extend(
+            local
+                .into_iter()
+                .map(|h| Hit { doc_id: h.doc_id * n as u32 + s as u32, score: h.score }),
+        );
     }
     union.sort_by(rank_cmp);
     let merged = top_k(union, k);
@@ -178,10 +179,7 @@ fn seeded_two_shard_interleaving_keeps_threshold_monotone_and_tie_safe() {
         // published score itself is dead (that score is held by a real
         // document that could win a docID tie).
         if let Some(strict) = shared.strict() {
-            assert!(
-                strict.raw() < now,
-                "strict() must stay below the published value"
-            );
+            assert!(strict.raw() < now, "strict() must stay below the published value");
         }
     }
     assert_eq!(seen, 600, "final threshold is the max over both lanes");

@@ -62,8 +62,7 @@ fn base_config(workers: usize) -> ServeConfig {
 /// at once and drained, so every worker stays busy for the whole probe.
 fn measure_sustainable_qps(index: &Arc<InvertedIndex>, workers: usize) -> f64 {
     let n_probe = 400usize;
-    let cfg =
-        ServeConfig { queue_capacity: n_probe + workers, ..base_config(workers) };
+    let cfg = ServeConfig { queue_capacity: n_probe + workers, ..base_config(workers) };
     let svc = QueryService::start(Arc::clone(index), cfg);
     let stream = traffic::open_loop(
         index,
@@ -83,8 +82,7 @@ fn measure_sustainable_qps(index: &Arc<InvertedIndex>, workers: usize) -> f64 {
             svc.submit(q, 10).expect("probe admission within capacity")
         })
         .collect();
-    let answered =
-        pending.into_iter().map(|p| p.wait()).filter(Result::is_ok).count();
+    let answered = pending.into_iter().map(|p| p.wait()).filter(Result::is_ok).count();
     let qps = answered as f64 / started.elapsed().as_secs_f64();
     assert!(answered > 0, "capacity probe answered nothing");
     qps.max(50.0)
@@ -95,11 +93,7 @@ fn measure_sustainable_qps(index: &Arc<InvertedIndex>, workers: usize) -> f64 {
 fn silence_injected_panics() {
     let default_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(move |info| {
-        let msg = info
-            .payload()
-            .downcast_ref::<String>()
-            .map(String::as_str)
-            .unwrap_or("");
+        let msg = info.payload().downcast_ref::<String>().map(String::as_str).unwrap_or("");
         if !msg.contains("injected panic fault") {
             default_hook(info);
         }
@@ -172,11 +166,7 @@ fn soak_overload_with_faults_and_breaker_recovery() {
     assert!(h.panicked >= 1, "panic injection never fired: {h}");
 
     // 2. Exact accounting: every submitted query resolved exactly once.
-    assert_eq!(
-        h.submitted,
-        h.answered() + h.rejected_total(),
-        "accounting violated: {h}"
-    );
+    assert_eq!(h.submitted, h.answered() + h.rejected_total(), "accounting violated: {h}");
     assert_eq!(h.submitted, N_QUERIES as u64, "admission lost queries: {h}");
     assert_eq!(answered, h.answered(), "caller-side vs stats answered mismatch");
     assert_eq!(
@@ -203,7 +193,5 @@ fn soak_overload_with_faults_and_breaker_recovery() {
         "answered too few even for a 2x overload: {h}"
     );
 
-    println!(
-        "soak: sustainable {sustainable:.0} qps, offered {offered:.0} qps\n{h}"
-    );
+    println!("soak: sustainable {sustainable:.0} qps, offered {offered:.0} qps\n{h}");
 }
