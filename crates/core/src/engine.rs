@@ -71,7 +71,7 @@ impl SearchResponse {
     }
 
     /// The empty response a fully-pruned query yields.
-    fn empty(degraded: Vec<Degradation>) -> Self {
+    pub(crate) fn empty(degraded: Vec<Degradation>) -> Self {
         SearchResponse {
             hits: Vec::new(),
             candidates: 0,
@@ -128,17 +128,32 @@ fn prune_query(
     q: &Query,
     degraded: &mut Vec<Degradation>,
 ) -> Option<Query> {
-    let pruned = prune_tree(index, q, degraded);
+    prune_query_with(&|t| index.term_id(t).is_some(), q, degraded)
+}
+
+/// [`prune_query`] generalized over a term-existence predicate, so engines
+/// without an [`InvertedIndex`] vocabulary (the live incremental index)
+/// share the exact degradation semantics.
+pub(crate) fn prune_query_with(
+    has_term: &dyn Fn(&str) -> bool,
+    q: &Query,
+    degraded: &mut Vec<Degradation>,
+) -> Option<Query> {
+    let pruned = prune_tree(has_term, q, degraded);
     // Whatever is still unclassified at the root vanished without an AND
     // forcing emptiness, so it "dropped out".
     classify_pending(pruned.pending, false, degraded);
     pruned.query
 }
 
-fn prune_tree(index: &InvertedIndex, q: &Query, degraded: &mut Vec<Degradation>) -> Pruned {
+fn prune_tree(
+    has_term: &dyn Fn(&str) -> bool,
+    q: &Query,
+    degraded: &mut Vec<Degradation>,
+) -> Pruned {
     match q {
         Query::Term(t) => {
-            if index.term_id(t).is_some() {
+            if has_term(t) {
                 Pruned { query: Some(q.clone()), pending: Vec::new() }
             } else {
                 Pruned { query: None, pending: vec![t.clone()] }
@@ -146,7 +161,7 @@ fn prune_tree(index: &InvertedIndex, q: &Query, degraded: &mut Vec<Degradation>)
         }
         Query::Phrase(terms) => {
             let unknown: Vec<String> =
-                terms.iter().filter(|t| index.term_id(t).is_none()).cloned().collect();
+                terms.iter().filter(|t| !has_term(t)).cloned().collect();
             if unknown.is_empty() {
                 Pruned { query: Some(q.clone()), pending: Vec::new() }
             } else {
@@ -156,8 +171,8 @@ fn prune_tree(index: &InvertedIndex, q: &Query, degraded: &mut Vec<Degradation>)
             }
         }
         Query::And(a, b) => {
-            let pa = prune_tree(index, a, degraded);
-            let pb = prune_tree(index, b, degraded);
+            let pa = prune_tree(has_term, a, degraded);
+            let pb = prune_tree(has_term, b, degraded);
             let mut pending = pa.pending;
             pending.extend(pb.pending);
             match (pa.query, pb.query) {
@@ -169,8 +184,8 @@ fn prune_tree(index: &InvertedIndex, q: &Query, degraded: &mut Vec<Degradation>)
             }
         }
         Query::Or(a, b) => {
-            let pa = prune_tree(index, a, degraded);
-            let pb = prune_tree(index, b, degraded);
+            let pa = prune_tree(has_term, a, degraded);
+            let pb = prune_tree(has_term, b, degraded);
             let mut pending = pa.pending;
             pending.extend(pb.pending);
             match (pa.query, pb.query) {
@@ -259,7 +274,7 @@ fn t_id(index: &InvertedIndex, term: &str) -> Result<u32, IndexError> {
     index.term_id(term).ok_or_else(|| IndexError::UnknownTerm { term: term.to_owned() })
 }
 
-fn to_hits(scored: &[(DocId, Fixed)], k: usize) -> Vec<Hit> {
+pub(crate) fn to_hits(scored: &[(DocId, Fixed)], k: usize) -> Vec<Hit> {
     top_k(scored.iter().map(|&(doc_id, s)| Hit { doc_id, score: s.to_f64() }), k)
 }
 
@@ -731,7 +746,7 @@ fn leaf_ids(index: &InvertedIndex, a: &Query, b: &Query) -> Result<(u32, u32), I
 }
 
 /// Linear merge of two scored lists; `intersect` keeps only matches.
-fn merge_lists(
+pub(crate) fn merge_lists(
     la: &[(DocId, Fixed)],
     lb: &[(DocId, Fixed)],
     intersect: bool,

@@ -38,6 +38,7 @@
 
 pub mod engine;
 pub mod error;
+pub mod live;
 pub mod query;
 
 pub use engine::{
@@ -49,7 +50,9 @@ pub use iiu_baseline::topk::Hit;
 pub use iiu_baseline::{ShardHealth, ShardHealthReport, ShardPoolConfig};
 pub use iiu_index::shard::{ShardBalance, ShardedIndex};
 pub use iiu_index::{
-    Bm25Params, DocId, IndexError, InvertedIndex, Partitioner, ShardChaosPlan,
+    Bm25Params, DocId, IncrementalIndex, IncrementalOptions, IndexError, IngestDoc,
+    InvertedIndex, Partitioner, RecoveryReport, ShardChaosPlan,
 };
 pub use iiu_sim::SimError;
+pub use live::LiveIndex;
 pub use query::{ParseQueryError, Query};

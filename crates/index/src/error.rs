@@ -55,6 +55,24 @@ pub enum IndexError {
     /// A phrase query was issued but the index has no positional sidecar
     /// (build with [`crate::BuildOptions::track_positions`]).
     PositionsUnavailable,
+    /// A filesystem operation on the write path failed (WAL append/fsync,
+    /// segment seal, recovery scan). The message is the stringified
+    /// `std::io::Error` (which is neither `Clone` nor `Eq`).
+    Io {
+        /// What was being done when the failure occurred.
+        context: &'static str,
+        /// The underlying I/O error, stringified.
+        message: String,
+    },
+    /// The write-ahead log contains a record that is provably corrupt —
+    /// not merely torn at the tail (torn tails are truncated and recovered
+    /// from, never reported as errors).
+    CorruptWal {
+        /// What check failed (e.g. `"record checksum"`, `"sequence gap"`).
+        context: &'static str,
+        /// Byte offset of the offending record's frame in the log.
+        offset: u64,
+    },
 }
 
 impl fmt::Display for IndexError {
@@ -85,6 +103,12 @@ impl fmt::Display for IndexError {
             IndexError::PositionsUnavailable => {
                 write!(f, "phrase queries need an index built with position tracking")
             }
+            IndexError::Io { context, message } => {
+                write!(f, "i/o failure while {context}: {message}")
+            }
+            IndexError::CorruptWal { context, offset } => {
+                write!(f, "corrupt WAL record at byte offset {offset}: {context}")
+            }
         }
     }
 }
@@ -110,6 +134,13 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("doc length table"));
         assert!(s.contains("0xdeadbeef") && s.contains("0x0badf00d"), "{s}");
+        let e =
+            IndexError::Io { context: "appending to the WAL", message: "disk full".into() };
+        let s = e.to_string();
+        assert!(s.contains("appending to the WAL") && s.contains("disk full"), "{s}");
+        let e = IndexError::CorruptWal { context: "record checksum", offset: 424_242 };
+        let s = e.to_string();
+        assert!(s.contains("424242") && s.contains("record checksum"), "{s}");
     }
 
     #[test]

@@ -1444,6 +1444,45 @@ mod tests {
     }
 
     #[test]
+    fn zero_length_files_are_typed_errors_in_every_loader() {
+        // A crash can leave an index file at length zero (created, never
+        // written). Every loader must reject it with a typed error; none
+        // may panic.
+        assert!(matches!(deserialize(&[]), Err(IndexError::CorruptIndex { .. })));
+        assert!(matches!(deserialize_sharded(&[]), Err(IndexError::CorruptIndex { .. })));
+        assert!(matches!(scan_sharded(&[]), Err(IndexError::CorruptIndex { .. })));
+        assert!(!is_sharded(&[]));
+    }
+
+    #[test]
+    fn truncation_inside_the_header_is_a_typed_error_at_every_cut() {
+        // Truncate both formats at every byte inside magic + header: the
+        // loaders must return a typed error (not panic, not succeed) for
+        // each cut. Past-magic cuts may legitimately report checksum or
+        // corruption errors; cuts inside the magic word itself must not be
+        // misread as a different format.
+        let plain = serialize(&sample_index()).unwrap();
+        let sharded = serialize_sharded(&sample_sharded()).unwrap();
+        for cut in 0..64usize {
+            if cut < plain.len() {
+                let r = std::panic::catch_unwind(|| deserialize(&plain[..cut]))
+                    .expect("plain loader must not panic on truncated header");
+                assert!(r.is_err(), "accepted a {cut}-byte prefix of a plain index");
+            }
+            if cut < sharded.len() {
+                let short = &sharded[..cut];
+                let r = std::panic::catch_unwind(|| deserialize_sharded(short))
+                    .expect("sharded loader must not panic on truncated header");
+                assert!(r.is_err(), "accepted a {cut}-byte prefix of a manifest");
+                let r = std::panic::catch_unwind(|| scan_sharded(short))
+                    .expect("scan must not panic on truncated header");
+                assert!(r.is_err(), "scanned a {cut}-byte prefix of a manifest");
+                assert!(cut >= 8 || !is_sharded(short));
+            }
+        }
+    }
+
+    #[test]
     fn roundtrip_preserves_partitioner_and_params() {
         let mut b = IndexBuilder::new(BuildOptions {
             partitioner: Partitioner::fixed(128),

@@ -46,16 +46,21 @@ pub mod checksum;
 pub mod delta;
 pub mod error;
 pub mod faultinject;
+pub mod incremental;
 pub mod index;
 pub mod io;
+pub mod memtable;
 pub mod partition;
 pub mod positions;
 pub mod posting;
+pub mod recovery;
 pub mod reorder;
 pub mod score;
+pub mod segment;
 pub mod shard;
 pub mod stats;
 pub mod tokenize;
+pub mod wal;
 
 pub use block::{BlockMeta, EncodedList};
 pub use bounds::ListBounds;
@@ -65,10 +70,15 @@ pub use error::IndexError;
 pub use faultinject::{
     corrupt, survival_report, Corruption, ShardChaosPlan, SplitMix64, SurvivalReport,
 };
+pub use incremental::{IncrementalIndex, IncrementalOptions};
 pub use index::{InvertedIndex, TermId, TermInfo};
+pub use memtable::WriteBuffer;
 pub use partition::Partitioner;
 pub use positions::{PositionIndex, PositionList};
 pub use posting::{DocId, Posting, PostingList, TermFreq};
+pub use recovery::RecoveryReport;
 pub use score::{Bm25Params, Fixed};
+pub use segment::{LoadedSegment, SegmentMeta};
 pub use shard::{ShardBalance, ShardedIndex};
 pub use stats::IndexSizeStats;
+pub use wal::{IngestDoc, Wal, WalReplay};

@@ -1,0 +1,120 @@
+//! In-memory write buffer for the incremental index.
+//!
+//! Documents accepted since the last seal live here as uncompressed
+//! posting lists over *buffer-local* document ids (0-based in arrival
+//! order). The buffer is fully searchable: the incremental index unions
+//! it with sealed segments at query time, remapping local ids by the
+//! sealed-document offset. Sealing drains the buffer into a compressed
+//! on-disk segment.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::collections::BTreeMap;
+
+use crate::posting::PostingList;
+use crate::wal::IngestDoc;
+
+/// Uncompressed, searchable buffer of not-yet-sealed documents.
+#[derive(Debug, Default)]
+pub struct WriteBuffer {
+    /// Term → postings over buffer-local doc ids. `BTreeMap` keeps terms
+    /// in lexicographic order, matching [`crate::IndexBuilder`] and the
+    /// segment seal path.
+    lists: BTreeMap<String, PostingList>,
+    /// Token length per buffered document, indexed by local doc id.
+    doc_lens: Vec<u32>,
+}
+
+impl WriteBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        WriteBuffer::default()
+    }
+
+    /// Number of buffered documents.
+    pub fn num_docs(&self) -> usize {
+        self.doc_lens.len()
+    }
+
+    /// True when no documents are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.doc_lens.is_empty()
+    }
+
+    /// Token lengths of the buffered documents, in arrival order.
+    pub fn doc_lens(&self) -> &[u32] {
+        &self.doc_lens
+    }
+
+    /// Postings for `term` over buffer-local doc ids, if any.
+    pub fn postings(&self, term: &str) -> Option<&PostingList> {
+        self.lists.get(term)
+    }
+
+    /// Document frequency of `term` within the buffer.
+    pub fn df(&self, term: &str) -> u64 {
+        self.lists.get(term).map_or(0, |l| l.len() as u64)
+    }
+
+    /// Appends one document, assigning it the next local doc id.
+    /// [`IngestDoc`]'s normalized (strictly sorted, tf ≥ 1) term pairs
+    /// make the per-list `push` monotonicity invariant hold trivially.
+    pub fn add(&mut self, doc: &IngestDoc) {
+        let local_id = self.doc_lens.len() as u32;
+        self.doc_lens.push(doc.len());
+        for (term, tf) in doc.terms() {
+            self.lists.entry(term.clone()).or_default().push(local_id, *tf);
+        }
+    }
+
+    /// Drains the buffer into `(term, postings)` pairs in lexicographic
+    /// term order plus the doc-length table — the exact shape
+    /// [`crate::InvertedIndex::from_lists`] consumes for sealing.
+    pub fn drain(&mut self) -> (Vec<(String, PostingList)>, Vec<u32>) {
+        let lists = std::mem::take(&mut self.lists).into_iter().collect();
+        let doc_lens = std::mem::take(&mut self.doc_lens);
+        (lists, doc_lens)
+    }
+
+    /// Iterates `(term, postings)` in lexicographic term order without
+    /// draining.
+    pub fn iter_lists(&self) -> impl Iterator<Item = (&str, &PostingList)> {
+        self.lists.iter().map(|(t, l)| (t.as_str(), l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(len: u32, terms: &[(&str, u32)]) -> IngestDoc {
+        IngestDoc::new(len, terms.iter().map(|(t, f)| ((*t).to_owned(), *f)).collect())
+    }
+
+    #[test]
+    fn add_assigns_sequential_local_ids() {
+        let mut buf = WriteBuffer::new();
+        buf.add(&doc(5, &[("b", 2), ("a", 1)]));
+        buf.add(&doc(3, &[("b", 7)]));
+        assert_eq!(buf.num_docs(), 2);
+        assert_eq!(buf.doc_lens(), &[5, 3]);
+        assert_eq!(buf.df("a"), 1);
+        assert_eq!(buf.df("b"), 2);
+        assert_eq!(buf.df("zzz"), 0);
+        let b = buf.postings("b").unwrap();
+        assert_eq!(b.doc_ids(), vec![0, 1]);
+        assert_eq!(b.term_freqs(), vec![2, 7]);
+    }
+
+    #[test]
+    fn drain_empties_and_orders_terms() {
+        let mut buf = WriteBuffer::new();
+        buf.add(&doc(4, &[("zeta", 1), ("alpha", 2)]));
+        let (lists, lens) = buf.drain();
+        assert_eq!(lens, vec![4]);
+        let names: Vec<&str> = lists.iter().map(|(t, _)| t.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+        assert!(buf.is_empty());
+        assert!(buf.iter_lists().next().is_none());
+    }
+}

@@ -437,6 +437,66 @@ mod tests {
     }
 
     #[test]
+    fn merge_round_trips_adversarial_shard_counts() {
+        // The recovery merge path reuses this machinery, so the inverse
+        // property must hold at the degenerate extremes too: a single
+        // shard (identity), exactly one shard per document, and far more
+        // shards than documents (trailing shards entirely empty).
+        let idx = sample_index();
+        let n_docs = idx.num_docs() as usize;
+        for n in [1, n_docs, n_docs + 1, 2 * n_docs + 3] {
+            let sharded = ShardedIndex::split(&idx, n).unwrap();
+            sharded.validate().unwrap();
+            assert_eq!(sharded.num_shards(), n);
+            assert_eq!(sharded.merge().unwrap(), idx, "split({n}) broke the round trip");
+        }
+    }
+
+    #[test]
+    fn merge_round_trips_empty_corpus_and_empty_bodies() {
+        // Every shard body empty: an empty corpus split any way must
+        // validate and merge back to the empty index.
+        let empty = IndexBuilder::new(BuildOptions::default()).build();
+        for n in [1, 3, 8] {
+            let sharded = ShardedIndex::split(&empty, n).unwrap();
+            sharded.validate().unwrap();
+            for s in 0..n {
+                assert_eq!(sharded.shard(s).num_docs(), 0);
+            }
+            assert_eq!(sharded.merge().unwrap(), empty, "empty split({n}) round trip");
+        }
+
+        // Mixed: one document fanned across 5 shards leaves shards 1..5
+        // with zero documents and every posting list an empty placeholder;
+        // those empty bodies must survive the round trip untouched.
+        let mut b = IndexBuilder::new(BuildOptions::default());
+        b.add_document("lonely little document with several distinct terms");
+        let one = b.build();
+        let sharded = ShardedIndex::split(&one, 5).unwrap();
+        for s in 1..5 {
+            let shard = sharded.shard(s);
+            assert_eq!(shard.num_docs(), 0);
+            for id in 0..shard.num_terms() as TermId {
+                assert_eq!(shard.encoded_list(id).num_postings(), 0);
+            }
+        }
+        assert_eq!(sharded.merge().unwrap(), one);
+    }
+
+    #[test]
+    fn merge_of_zero_shards_is_a_typed_error() {
+        let bad = ShardedIndex {
+            shards: Vec::new(),
+            n_docs: 0,
+            parent_partitioner: Partitioner::default(),
+        };
+        assert!(matches!(
+            bad.merge(),
+            Err(IndexError::CorruptIndex { context: "sharded index has no shards" })
+        ));
+    }
+
+    #[test]
     fn zero_shards_is_rejected() {
         let idx = sample_index();
         assert!(matches!(ShardedIndex::split(&idx, 0), Err(IndexError::CorruptIndex { .. })));

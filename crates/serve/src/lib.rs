@@ -35,6 +35,12 @@
 //! Deterministic fault injection ([`FaultPlan`]) sabotages chosen device
 //! attempts with a 1-cycle budget so soak tests and `iiu serve-bench` can
 //! exercise every one of these paths reproducibly.
+//!
+//! A service can also be started over a crash-safe **incremental** index
+//! ([`service::QueryService::start_live`]): queries answer from sealed
+//! segments unioned with the in-memory write buffer while
+//! [`service::QueryService::ingest`] accepts new documents concurrently,
+//! each batch WAL-durable (fsynced) before it is acknowledged.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
@@ -45,6 +51,9 @@ pub mod stats;
 
 pub use breaker::{BreakerState, CircuitBreaker, Route};
 pub use config::{BreakerConfig, FaultPlan, RetryPolicy, ServeConfig};
-pub use iiu_core::{ShardChaosPlan, ShardHealth, ShardHealthReport, ShardPoolConfig};
+pub use iiu_core::{
+    IncrementalOptions, IngestDoc, LiveIndex, ShardChaosPlan, ShardHealth, ShardHealthReport,
+    ShardPoolConfig,
+};
 pub use service::{PendingQuery, QueryService, Rejected};
 pub use stats::{HealthSnapshot, ServeStats};

@@ -16,11 +16,11 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use iiu_core::{
-    CpuSearchEngine, Degradation, IiuSearchEngine, Query, SearchEngine, SearchError,
-    SearchResponse, ShardedSearchEngine,
+    CpuSearchEngine, Degradation, IiuSearchEngine, IngestDoc, LiveIndex, Query, SearchEngine,
+    SearchError, SearchResponse, ShardedSearchEngine,
 };
 use iiu_index::faultinject::SplitMix64;
-use iiu_index::InvertedIndex;
+use iiu_index::{IndexError, InvertedIndex};
 use iiu_sim::SimConfig;
 
 use crate::breaker::{CircuitBreaker, Route};
@@ -94,7 +94,12 @@ struct Job {
 }
 
 struct Shared {
-    index: Arc<InvertedIndex>,
+    /// The static index image; `None` in live (incremental) mode.
+    index: Option<Arc<InvertedIndex>>,
+    /// The crash-safe incremental index; `Some` in live mode, where it
+    /// both serves queries and accepts [`QueryService::ingest`] while the
+    /// worker pool is running.
+    live: Option<Arc<LiveIndex>>,
     cfg: ServeConfig,
     queue: Mutex<VecDeque<Job>>,
     not_empty: Condvar,
@@ -142,16 +147,7 @@ impl QueryService {
     /// `cfg.cores_per_query` is clamped to `1..=cfg.sim.n_cores` so a
     /// misconfigured pool cannot panic the simulator's allocator.
     pub fn start(index: Arc<InvertedIndex>, mut cfg: ServeConfig) -> Self {
-        cfg.workers = cfg.workers.max(1);
-        cfg.queue_capacity = cfg.queue_capacity.max(1);
-        cfg.cores_per_query = cfg.cores_per_query.clamp(1, cfg.sim.n_cores.max(1));
-        cfg.shards = cfg.shards.max(1);
-        // A shard pool without a fan-out deadline could hang the
-        // coordinator on a wedged worker; default it to the query
-        // deadline so every fan-out resolves in bounded time.
-        if cfg.shard_pool.deadline.is_none() {
-            cfg.shard_pool.deadline = Some(cfg.default_deadline);
-        }
+        Self::normalize(&mut cfg);
         // Splitting a valid index cannot fail for shards >= 1; if it ever
         // does, serving unsharded is strictly better than refusing to
         // start (same results, just no fan-out).
@@ -165,9 +161,46 @@ impl QueryService {
                 })
             })
             .flatten();
+        Self::spawn(Some(index), None, cfg, sharded)
+    }
+
+    /// Starts `cfg.workers` worker threads serving a crash-safe
+    /// [`LiveIndex`]: queries answer from sealed segments unioned with
+    /// the in-memory write buffer, and [`QueryService::ingest`] accepts
+    /// documents while serving.
+    ///
+    /// Live mode serves on the CPU union path only — the device
+    /// simulation and shard fan-out operate on a static index image, so
+    /// the breaker and retry machinery are bypassed. Hits remain
+    /// bit-identical to every other engine over the same documents.
+    pub fn start_live(live: Arc<LiveIndex>, mut cfg: ServeConfig) -> Self {
+        Self::normalize(&mut cfg);
+        Self::spawn(None, Some(live), cfg, None)
+    }
+
+    fn normalize(cfg: &mut ServeConfig) {
+        cfg.workers = cfg.workers.max(1);
+        cfg.queue_capacity = cfg.queue_capacity.max(1);
+        cfg.cores_per_query = cfg.cores_per_query.clamp(1, cfg.sim.n_cores.max(1));
+        cfg.shards = cfg.shards.max(1);
+        // A shard pool without a fan-out deadline could hang the
+        // coordinator on a wedged worker; default it to the query
+        // deadline so every fan-out resolves in bounded time.
+        if cfg.shard_pool.deadline.is_none() {
+            cfg.shard_pool.deadline = Some(cfg.default_deadline);
+        }
+    }
+
+    fn spawn(
+        index: Option<Arc<InvertedIndex>>,
+        live: Option<Arc<LiveIndex>>,
+        cfg: ServeConfig,
+        sharded: Option<ShardedSearchEngine>,
+    ) -> Self {
         let breaker = CircuitBreaker::new(cfg.breaker);
         let shared = Arc::new(Shared {
             index,
+            live,
             cfg,
             queue: Mutex::new(VecDeque::new()),
             not_empty: Condvar::new(),
@@ -187,6 +220,29 @@ impl QueryService {
             })
             .collect();
         QueryService { shared, workers }
+    }
+
+    /// The live index handle, when started with
+    /// [`QueryService::start_live`].
+    pub fn live(&self) -> Option<&Arc<LiveIndex>> {
+        self.shared.live.as_ref()
+    }
+
+    /// Ingests a batch into the live index (durable on return — WAL
+    /// appended and fsynced before acknowledgment). Returns the assigned
+    /// global doc-id range.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed error when the service was not started in live
+    /// mode, or when the write path fails.
+    pub fn ingest(&self, docs: &[IngestDoc]) -> Result<std::ops::Range<u64>, IndexError> {
+        match &self.shared.live {
+            Some(live) => live.ingest_batch(docs),
+            None => Err(IndexError::CorruptIndex {
+                context: "ingest requires a service started in live mode",
+            }),
+        }
     }
 
     /// Submits a query under the configured default deadline. Returns
@@ -356,6 +412,24 @@ fn serve_one(shared: &Shared, job: Job, rng: &mut SplitMix64) {
         return;
     }
 
+    // Live mode: serve from the incremental index (segments ∪ buffer) on
+    // the CPU union path, panic-isolated like every other engine run. The
+    // breaker/device machinery is bypassed — it routes between engines
+    // over the static image, which live mode does not have.
+    if let Some(live) = &shared.live {
+        let result = panic::catch_unwind(AssertUnwindSafe(|| live.search(&job.query, job.k)));
+        let (response, outcome_err) = match result {
+            Ok(Ok(resp)) => (Some(resp), None),
+            Ok(Err(error)) => (None, Some(Rejected::Failed { error })),
+            Err(payload) => {
+                stats.panicked.fetch_add(1, Ordering::Relaxed);
+                (None, Some(Rejected::Panicked { message: panic_message(payload.as_ref()) }))
+            }
+        };
+        finish_one(shared, &job, started, response, outcome_err);
+        return;
+    }
+
     let route = shared.breaker.route();
     let (mut response, outcome_err) = match route {
         Route::Device { probe } => match run_device(shared, &job, rng) {
@@ -392,7 +466,20 @@ fn serve_one(shared: &Shared, job: Job, rng: &mut SplitMix64) {
         }
     };
 
-    match (response.take(), outcome_err) {
+    let response = response.take();
+    finish_one(shared, &job, started, response, outcome_err);
+}
+
+/// Shared tail of [`serve_one`]: accounts the outcome and replies.
+fn finish_one(
+    shared: &Shared,
+    job: &Job,
+    started: Instant,
+    response: Option<SearchResponse>,
+    outcome_err: Option<Rejected>,
+) {
+    let stats = &shared.stats;
+    match (response, outcome_err) {
         (Some(resp), _) => {
             if resp.degraded.is_empty() {
                 stats.completed.fetch_add(1, Ordering::Relaxed);
@@ -438,7 +525,13 @@ fn run_device(shared: &Shared, job: &Job, rng: &mut SplitMix64) -> DeviceOutcome
         } else {
             cfg.sim
         };
-        let index = &*shared.index;
+        // Unreachable in live mode (serve_one branches first), but a
+        // typed give-up beats an unwrap if that invariant ever breaks.
+        let Some(index) = shared.index.as_deref() else {
+            return DeviceOutcome::GiveUp {
+                reason: "no static index (live mode)".to_string(),
+            };
+        };
         let attempt_result = panic::catch_unwind(AssertUnwindSafe(|| {
             if cfg.fault.sabotage_panic(job.seq, attempt) {
                 panic!("injected panic fault (seq {})", job.seq);
@@ -490,7 +583,15 @@ fn run_fallback(
         return Err(Rejected::DeadlineExceeded { stage: "fallback" });
     }
     shared.stats.cpu_fallbacks.fetch_add(1, Ordering::Relaxed);
-    let index = &*shared.index;
+    let Some(index) = shared.index.as_deref() else {
+        // Unreachable in live mode (serve_one branches first); answer
+        // with a typed failure rather than panicking a worker.
+        return Err(Rejected::Failed {
+            error: SearchError::Index(IndexError::CorruptIndex {
+                context: "no static index to fall back to (live mode)",
+            }),
+        });
+    };
     let result = panic::catch_unwind(AssertUnwindSafe(|| {
         // Sharded fan-out when configured (intra-query parallelism, same
         // hits); otherwise the plain single-threaded baseline. The shard

@@ -11,7 +11,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use iiu_index::{Bm25Params, InvertedIndex, Partitioner, PostingList, TermFreq};
+use iiu_index::{Bm25Params, IngestDoc, InvertedIndex, Partitioner, PostingList, TermFreq};
 
 /// Parameters of a synthetic corpus.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -229,6 +229,26 @@ impl GeneratedCorpus {
     pub fn into_default_index(self) -> InvertedIndex {
         self.into_index(Partitioner::default(), Bm25Params::default())
     }
+
+    /// Transposes the corpus into per-document [`IngestDoc`]s for the
+    /// incremental write path. The generated `doc_lens` are preserved
+    /// verbatim (they are sampled independently of the posting lists, so
+    /// they must *not* be re-derived from term frequencies) — an index
+    /// built one-shot from this corpus and one grown by ingesting the
+    /// returned documents in order are bit-identical.
+    pub fn to_docs(&self) -> Vec<IngestDoc> {
+        let mut per_doc: Vec<Vec<(String, u32)>> = vec![Vec::new(); self.doc_lens.len()];
+        for (term, list) in &self.lists {
+            for p in list.iter() {
+                per_doc[p.doc_id as usize].push((term.clone(), p.tf));
+            }
+        }
+        per_doc
+            .into_iter()
+            .zip(&self.doc_lens)
+            .map(|(terms, &len)| IngestDoc::new(len, terms))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -307,6 +327,32 @@ mod tests {
         let index = c.into_default_index();
         for (term, list) in &lists {
             assert_eq!(&index.decode_term(term).unwrap(), list);
+        }
+    }
+
+    #[test]
+    fn to_docs_transposition_round_trips() {
+        let c =
+            CorpusConfig { n_docs: 300, n_terms: 60, ..CorpusConfig::tiny(0xD0C5) }.generate();
+        let docs = c.to_docs();
+        assert_eq!(docs.len(), 300);
+        // doc_lens are preserved verbatim, not re-derived.
+        for (doc, &len) in docs.iter().zip(&c.doc_lens) {
+            assert_eq!(doc.len(), len);
+        }
+        // Rebuilding lists from the transposition reproduces the corpus.
+        let mut rebuilt: std::collections::BTreeMap<String, PostingList> =
+            std::collections::BTreeMap::new();
+        for (id, doc) in docs.iter().enumerate() {
+            for (term, tf) in doc.terms() {
+                rebuilt.entry(term.clone()).or_default().push(id as u32, *tf);
+            }
+        }
+        for (term, list) in &c.lists {
+            if list.is_empty() {
+                continue;
+            }
+            assert_eq!(rebuilt.get(term), Some(list), "{term}");
         }
     }
 

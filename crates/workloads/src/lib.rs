@@ -17,6 +17,11 @@
 //! Table 2, which the presets reproduce through different clustering
 //! levels). Everything is seeded and deterministic.
 
+// Workload generation feeds the serving soaks, so its non-test code is
+// held to the same no-unwrap standard as the serving layer; verify.sh
+// runs this crate through the hardened clippy wall.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod corpus;
 pub mod queries;
 pub mod traffic;

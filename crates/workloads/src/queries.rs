@@ -124,7 +124,8 @@ mod tests {
         let idx = test_index();
         let mut s = QuerySampler::new(&idx, 1);
         for q in s.single_queries(50) {
-            let id = idx.term_id(&q).expect("sampled term must exist");
+            let id =
+                idx.term_id(&q).unwrap_or_else(|| panic!("sampled term {q:?} must exist"));
             assert!(idx.term_info(id).df >= QuerySampler::DEFAULT_MIN_DF);
         }
     }
@@ -166,7 +167,7 @@ mod tests {
         let queries = s.single_queries(300);
         let mean_df: f64 = queries
             .iter()
-            .map(|q| idx.term_info(idx.term_id(q).unwrap()).df as f64)
+            .map(|q| idx.term_id(q).map(|id| idx.term_info(id).df as f64).unwrap_or(0.0))
             .sum::<f64>()
             / queries.len() as f64;
         // Unbiased sampling over qualifying terms would give a much lower

@@ -1,0 +1,149 @@
+//! Incremental-equivalence gate (DESIGN.md §16): an index grown through
+//! the crash-safe write path — randomized batches, auto-seals, merges,
+//! and a handful of injected crash/reopen events — must be **bit-
+//! identical** to the one-shot build over the same corpus, both as a
+//! whole (`InvertedIndex` equality) and hit-for-hit across the paper's
+//! three query shapes: single term, two-term AND, two-term OR.
+//!
+//! verify.sh runs this in release over the full 60k-document CC-News-like
+//! corpus; plain `cargo test` runs a smaller same-shaped pass.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use iiu_core::{CpuSearchEngine, Query, SearchEngine};
+use iiu_index::{IncrementalIndex, IncrementalOptions, IngestDoc, InvertedIndex, PostingList};
+use iiu_workloads::{CorpusConfig, QuerySampler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("iiu-equiv-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+/// One-shot reference over a document prefix, built by transposing back
+/// into posting lists — entirely independent of the incremental code.
+fn reference_index(docs: &[IngestDoc], opts: &IncrementalOptions) -> InvertedIndex {
+    let mut lists: BTreeMap<String, PostingList> = BTreeMap::new();
+    let mut doc_lens = Vec::with_capacity(docs.len());
+    for (id, d) in docs.iter().enumerate() {
+        doc_lens.push(d.len());
+        for (term, tf) in d.terms() {
+            lists.entry(term.clone()).or_default().push(id as u32, *tf);
+        }
+    }
+    InvertedIndex::from_lists(
+        lists.into_iter().collect(),
+        doc_lens,
+        opts.partitioner,
+        opts.bm25,
+    )
+    .expect("reference build")
+}
+
+/// Recoverable crash-site damage, rotating through the torn-write modes.
+fn inject_crash_damage(dir: &std::path::Path, event: usize, rng: &mut StdRng) {
+    let wal = dir.join("wal.log");
+    match event % 3 {
+        0 => {
+            // Torn final append.
+            let len = std::fs::metadata(&wal).expect("wal meta").len();
+            let f = std::fs::OpenOptions::new().write(true).open(&wal).expect("open wal");
+            f.set_len(len.saturating_sub(rng.gen_range(1..=64u64))).expect("truncate");
+        }
+        1 => {
+            // Garbage past the last full record.
+            let mut bytes = std::fs::read(&wal).expect("read wal");
+            for _ in 0..rng.gen_range(1..=32usize) {
+                bytes.push(rng.gen_range(0..=u8::MAX));
+            }
+            std::fs::write(&wal, bytes).expect("garbage tail");
+        }
+        _ => {
+            // A seal that died before its rename.
+            std::fs::write(dir.join("seg-000000000777-000000000001.iiu.tmp"), b"torn")
+                .expect("stale tmp");
+        }
+    }
+}
+
+#[test]
+fn incremental_build_is_bit_identical_to_one_shot() {
+    let (n_docs, n_crashes, n_queries) =
+        if cfg!(debug_assertions) { (6_000u32, 3usize, 20usize) } else { (60_000, 8, 60) };
+    let corpus = CorpusConfig::ccnews_like(n_docs).generate();
+    let docs = corpus.to_docs();
+    let reference = corpus.into_default_index();
+
+    // Same partitioner and BM25 parameters as `into_default_index`.
+    let opts = IncrementalOptions {
+        seal_threshold: 4_096,
+        merge_threshold: 6,
+        ..IncrementalOptions::default()
+    };
+    let dir = tmp_dir("60k");
+    let mut rng = StdRng::seed_from_u64(0x6000_0E01);
+
+    // Crash sites: random cut points in the ingest order.
+    let mut cuts: Vec<usize> = (0..n_crashes).map(|_| rng.gen_range(1..docs.len())).collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+
+    let mut idx = IncrementalIndex::open(&dir, opts).expect("fresh open");
+    let mut i = 0usize;
+    let mut event = 0usize;
+    while i < docs.len() {
+        let stop = cuts.iter().find(|&&c| c > i).copied().unwrap_or(docs.len());
+        while i < stop {
+            let b = rng.gen_range(64..=2_048usize).min(stop - i);
+            idx.ingest_batch(&docs[i..i + b]).expect("ingest");
+            i += b;
+        }
+        if stop == docs.len() {
+            break;
+        }
+        // Crash here: drop the handle, damage the directory, recover.
+        drop(idx);
+        inject_crash_damage(&dir, event, &mut rng);
+        event += 1;
+        idx = IncrementalIndex::open(&dir, opts).expect("recovery");
+        let n_rec = idx.num_docs() as usize;
+        assert!(n_rec <= i, "phantom docs after crash {event}");
+        // Checkpoint: the surviving prefix is exactly a one-shot build.
+        assert_eq!(
+            idx.to_one_shot().expect("materialize checkpoint"),
+            reference_index(&docs[..n_rec], &opts),
+            "checkpoint diverges after crash {event}"
+        );
+        i = n_rec;
+    }
+    assert!(event > 0, "the schedule must actually exercise crash recovery");
+
+    // Leave the tail unsealed so the gate covers the segment+buffer union.
+    let got = idx.to_one_shot().expect("materialize final");
+    assert_eq!(got.num_docs(), u64::from(n_docs));
+    assert_eq!(got, reference, "incrementally built index diverges from one-shot");
+
+    // Hit-for-hit equality across the three gated query shapes, with
+    // TREC-like df-biased terms sampled from the reference vocabulary.
+    let mut eng_got = CpuSearchEngine::new(&got);
+    let mut eng_ref = CpuSearchEngine::new(&reference);
+    let mut check = |text: &str| {
+        let q = Query::parse(text).expect("query parses");
+        let a = eng_got.search(&q, 10).expect("search incremental");
+        let b = eng_ref.search(&q, 10).expect("search one-shot");
+        assert_eq!(a.hits, b.hits, "hits diverge on {text:?}");
+        assert_eq!(a.candidates, b.candidates, "candidates diverge on {text:?}");
+    };
+    let mut sampler = QuerySampler::new(&reference, 0xE0_0001);
+    for t in sampler.single_queries(n_queries) {
+        check(&t);
+    }
+    for (a, b) in sampler.pair_queries(n_queries) {
+        check(&format!("{a} AND {b}"));
+        check(&format!("{a} OR {b}"));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -12,12 +12,14 @@
 # harness) opt back out with a crate-root
 # `#![allow(clippy::unwrap_used, clippy::expect_used)]`; the hardened
 # crates (iiu-codecs decode paths, iiu-index
-# io/checksum/faultinject/bounds, all of iiu-baseline including the
-# supervised shard pool, and all of iiu-serve) re-deny via
-# `#![cfg_attr(not(test), deny(...))]` so a panicking call cannot sneak
-# back into an untrusted-input or serving path. The second clippy line
-# keeps iiu-serve, iiu-baseline and iiu-codecs honest even if the
-# workspace-wide wall is ever relaxed.
+# io/checksum/faultinject/bounds and the whole incremental write path
+# (wal/memtable/segment/recovery/incremental), all of iiu-baseline
+# including the supervised shard pool, all of iiu-serve, and
+# iiu-workloads) re-deny via `#![cfg_attr(not(test), deny(...))]` so a
+# panicking call cannot sneak back into an untrusted-input or serving
+# path. The second clippy line keeps iiu-serve, iiu-baseline,
+# iiu-codecs and iiu-workloads honest even if the workspace-wide wall
+# is ever relaxed.
 set -eu
 
 quick=0
@@ -62,8 +64,31 @@ else
     echo "verify: --quick set, skipping shard chaos campaign"
 fi
 
+# Torn-write recovery campaign (DESIGN.md §16): 1,200 randomized
+# crash-and-recover trials over the incremental write path (torn WAL
+# tails, garbage appends, stale temp segments, deleted and stale WALs),
+# plus typed-error checks for unrecoverable damage and a
+# write-while-serving soak. Zero panics, zero hangs, and bit-identical
+# post-recovery search are asserted inside. Skipped under --quick.
+if [ "$quick" -eq 0 ]; then
+    cargo test --release --test recovery_chaos -q
+else
+    echo "verify: --quick set, skipping torn-write recovery campaign"
+fi
+
+# Incremental-equivalence gate (DESIGN.md §16): the 60k-doc CC-News-like
+# corpus grown through randomized batches, auto-seals, merges and 8
+# injected crash/reopen events must be bit-identical to the one-shot
+# build — full index equality plus hit-for-hit agreement on single-term,
+# AND and OR queries. Skipped under --quick.
+if [ "$quick" -eq 0 ]; then
+    cargo test --release --test incremental_equivalence -q
+else
+    echo "verify: --quick set, skipping incremental equivalence gate"
+fi
+
 cargo clippy --workspace -- -D clippy::unwrap_used -D clippy::expect_used
-cargo clippy -p iiu-serve -p iiu-baseline -p iiu-codecs -- -D clippy::unwrap_used -D clippy::expect_used
+cargo clippy -p iiu-serve -p iiu-baseline -p iiu-codecs -p iiu-workloads -- -D clippy::unwrap_used -D clippy::expect_used
 
 # Decode perf gate (DESIGN.md §11, §13): re-measures the unpack kernels,
 # end-to-end query throughput, and pruned-vs-exhaustive top-k, rewrites
