@@ -15,7 +15,63 @@
 //! are deterministic and reflect Lucene's measured per-docID costs rather
 //! than rustc's code generation.
 
+use iiu_index::InvertedIndex;
+
 use crate::ops::OpCounts;
+
+/// Document-frequency threshold above which a query term drives enough
+/// postings work to be worth full intra-query shard fan-out. This is the
+/// `shard_bench` heavy-query sampling floor: at df ≥ 4096 the per-shard
+/// work dominates the fan-out/merge overhead, which is where the 4-shard
+/// scaling gate measures its ≥2.5x gain. Schedulers route queries below
+/// it inter-query style (one shard task, no fan-out tax) and queries at
+/// or above it intra-query style (full fan-out).
+pub const HEAVY_DF_THRESHOLD: u64 = 4096;
+
+/// A pre-execution estimate of one query's postings volume, from the
+/// term dictionary alone (no list decode). The scheduling analogue of
+/// the block-max list metadata: cheap to read, conservative, and
+/// deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryCostEstimate {
+    /// Sum of the query terms' document frequencies — an upper bound on
+    /// postings touched by exhaustive evaluation.
+    pub total_postings: u64,
+    /// The largest single term's document frequency — the longest list
+    /// any one shard task must walk.
+    pub max_list_postings: u64,
+    /// Terms that resolved in the dictionary (unknown terms contribute
+    /// no postings and are pruned before execution anyway).
+    pub resolved_terms: usize,
+}
+
+impl QueryCostEstimate {
+    /// Whether the query clears `df_threshold` on any single list —
+    /// the signal that intra-query fan-out pays for itself
+    /// ([`HEAVY_DF_THRESHOLD`] is the calibrated default).
+    pub fn is_heavy(&self, df_threshold: u64) -> bool {
+        self.max_list_postings >= df_threshold
+    }
+}
+
+/// Estimates the postings volume of a query over `index` from document
+/// frequencies alone. Terms missing from the dictionary are skipped
+/// (they cannot contribute work). O(terms) dictionary lookups; never
+/// touches a postings list.
+pub fn estimate_query_cost<S: AsRef<str>>(
+    index: &InvertedIndex,
+    terms: &[S],
+) -> QueryCostEstimate {
+    let mut est = QueryCostEstimate::default();
+    for t in terms {
+        let Some(id) = index.term_id(t.as_ref()) else { continue };
+        let df = index.term_info(id).df;
+        est.total_postings = est.total_postings.saturating_add(df);
+        est.max_list_postings = est.max_list_postings.max(df);
+        est.resolved_terms += 1;
+    }
+    est
+}
 
 /// Instruction-level cost model of the baseline CPU.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -201,5 +257,27 @@ mod tests {
         let m = CpuCostModel::default();
         let phases = m.price(&OpCounts::default());
         assert_eq!(phases.total_ns(), m.query_overhead_ns);
+    }
+
+    #[test]
+    fn query_cost_estimate_sums_dfs_and_flags_heavy_lists() {
+        let mut b = iiu_index::IndexBuilder::new(iiu_index::BuildOptions::default());
+        for i in 0..64 {
+            // "common" in every doc; "rare" in one.
+            let rare = if i == 0 { " rare" } else { "" };
+            b.add_document(&format!("common filler{i}{rare}"));
+        }
+        let idx = b.build();
+        let est = estimate_query_cost(&idx, &["common", "rare"]);
+        assert_eq!(est.total_postings, 65);
+        assert_eq!(est.max_list_postings, 64);
+        assert_eq!(est.resolved_terms, 2);
+        assert!(est.is_heavy(64));
+        assert!(!est.is_heavy(65));
+
+        // Unknown terms contribute nothing (and never panic).
+        let est = estimate_query_cost(&idx, &["zzz-not-indexed"]);
+        assert_eq!(est, QueryCostEstimate::default());
+        assert!(!est.is_heavy(HEAVY_DF_THRESHOLD));
     }
 }

@@ -23,12 +23,14 @@ pub mod sharded;
 pub mod throughput;
 pub mod topk;
 
-pub use cost::{CpuCostModel, PhaseBreakdown};
+pub use cost::{
+    estimate_query_cost, CpuCostModel, PhaseBreakdown, QueryCostEstimate, HEAVY_DF_THRESHOLD,
+};
 pub use engine::{CpuEngine, QueryOutcome};
 pub use ops::{BlockCache, DecodeScratch, OpCounts, BLOCK_CACHE_ENTRIES};
 pub use sharded::{
-    ShardHealth, ShardHealthReport, ShardOutcome, ShardPool, ShardPoolConfig, ShardRun,
-    ShardedEngine, ShardedOutcome,
+    PoolWorkerReport, ShardHealth, ShardHealthReport, ShardOutcome, ShardPool,
+    ShardPoolConfig, ShardRun, ShardedEngine, ShardedOutcome,
 };
 pub use throughput::parallel_makespan_ns;
 pub use topk::{rank_cmp, top_k, FusedTopK, Hit, SharedThreshold};

@@ -107,11 +107,17 @@ pub struct BlockCache {
     /// Index of the most recently used entry: consecutive probes of the
     /// same block (the common case in SvS) skip the scan entirely.
     mru: usize,
+    /// The realm (index identity) entries are currently keyed under. A
+    /// `(term, block)` pair is only unique within one index; a scratch
+    /// serving multiple shards (the shared work pool) must switch realms
+    /// between tasks or stale postings from another shard would alias.
+    realm: u64,
     entries: Vec<CacheEntry>,
 }
 
 #[derive(Debug, Clone)]
 struct CacheEntry {
+    realm: u64,
     term: TermId,
     block: u32,
     last_used: u64,
@@ -128,7 +134,15 @@ impl BlockCache {
     /// Creates a cache holding at most `cap` decoded blocks (0 disables
     /// caching: every probe is a miss that decodes into a recycled buffer).
     pub fn with_capacity(cap: usize) -> Self {
-        BlockCache { cap, tick: 0, mru: 0, entries: Vec::with_capacity(cap.min(64)) }
+        BlockCache { cap, tick: 0, mru: 0, realm: 0, entries: Vec::with_capacity(cap.min(64)) }
+    }
+
+    /// Switches the cache to `realm` (an index identity such as a shard
+    /// number). Entries cached under other realms stop matching but stay
+    /// resident, so a worker alternating between shards keeps whatever
+    /// warm blocks fit in the LRU budget.
+    pub fn set_realm(&mut self, realm: u64) {
+        self.realm = realm;
     }
 
     /// Returns the decoded postings of `list`'s block `block_idx`, from
@@ -145,13 +159,9 @@ impl BlockCache {
         let block = block_idx as u32;
         // MRU fast path: the SvS probe loop asks for the same block many
         // times in a row, and this check keeps that O(1).
-        let mru_matches =
-            self.entries.get(self.mru).is_some_and(|e| e.term == term && e.block == block);
-        let pos = if mru_matches {
-            Some(self.mru)
-        } else {
-            self.entries.iter().position(|e| e.term == term && e.block == block)
-        };
+        let hit = |e: &CacheEntry| e.realm == self.realm && e.term == term && e.block == block;
+        let mru_matches = self.entries.get(self.mru).is_some_and(hit);
+        let pos = if mru_matches { Some(self.mru) } else { self.entries.iter().position(hit) };
         if let Some(pos) = pos {
             counts.cache_hits += 1;
             self.entries[pos].last_used = self.tick;
@@ -161,6 +171,7 @@ impl BlockCache {
         counts.cache_misses += 1;
         let pos = if self.entries.len() < self.cap.max(1) {
             self.entries.push(CacheEntry {
+                realm: self.realm,
                 term,
                 block,
                 last_used: self.tick,
@@ -176,6 +187,7 @@ impl BlockCache {
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(i, _)| i)
                 .unwrap_or(0);
+            self.entries[pos].realm = self.realm;
             self.entries[pos].term = term;
             self.entries[pos].block = block;
             self.entries[pos].last_used = self.tick;
@@ -249,6 +261,14 @@ impl DecodeScratch {
     /// The decoded-block cache.
     pub fn cache(&self) -> &BlockCache {
         &self.cache
+    }
+
+    /// Re-keys the block cache under `realm` (see
+    /// [`BlockCache::set_realm`]). The shared shard pool calls this with
+    /// the task's shard number before every task, so one worker's warm
+    /// cache can never leak another shard's postings.
+    pub fn set_realm(&mut self, realm: u64) {
+        self.cache.set_realm(realm);
     }
 }
 

@@ -80,7 +80,7 @@ impl Ctx {
         self.datasets
             .iter()
             .find(|d| d.name == name)
-            .expect("dataset not built in this context")
+            .unwrap_or_else(|| panic!("dataset not built in this context"))
     }
 
     /// All datasets in this context.
@@ -110,15 +110,15 @@ fn build_dataset(name: DatasetName) -> Dataset {
     let singles = sampler
         .single_queries(N_QUERIES)
         .iter()
-        .map(|t| index.term_id(t).expect("sampled term exists"))
+        .map(|t| index.term_id(t).unwrap_or_else(|| panic!("sampled term exists")))
         .collect();
     let pairs = sampler
         .pair_queries(N_QUERIES)
         .iter()
         .map(|(a, b)| {
             (
-                index.term_id(a).expect("sampled term exists"),
-                index.term_id(b).expect("sampled term exists"),
+                index.term_id(a).unwrap_or_else(|| panic!("sampled term exists")),
+                index.term_id(b).unwrap_or_else(|| panic!("sampled term exists")),
             )
         })
         .collect();
@@ -142,12 +142,17 @@ pub fn rebuild_with_partitioner(d: &Dataset, partitioner: Partitioner) -> Datase
         DatasetName::ClueWeb => CorpusConfig::clueweb_like(n_docs),
     };
     let index = cfg.generate().into_index(partitioner, d.index.params());
-    let singles =
-        names.iter().map(|t| index.term_id(t).expect("same corpus, same terms")).collect();
+    let singles = names
+        .iter()
+        .map(|t| index.term_id(t).unwrap_or_else(|| panic!("same corpus, same terms")))
+        .collect();
     let pairs = pair_names
         .iter()
         .map(|(a, b)| {
-            (index.term_id(a).expect("same corpus"), index.term_id(b).expect("same corpus"))
+            (
+                index.term_id(a).unwrap_or_else(|| panic!("same corpus")),
+                index.term_id(b).unwrap_or_else(|| panic!("same corpus")),
+            )
         })
         .collect();
     Dataset { name: d.name, index, singles, pairs }

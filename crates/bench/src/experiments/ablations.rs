@@ -134,7 +134,8 @@ pub fn device_topk(ctx: &Ctx) -> serde_json::Value {
         let mut total_ns = 0.0;
         let mut wr_bytes = 0u64;
         for &q in &queries {
-            let run = machine.run_query(q, 8).expect("sim completes");
+            let run =
+                machine.run_query(q, 8).unwrap_or_else(|e| panic!("sim completes: {e:?}"));
             total_ns += host.query_latency_ns(run.cycles, clock, run.stats.candidates);
             wr_bytes += run.mem.bytes_written;
         }

@@ -26,7 +26,8 @@ pub fn iiu_batch_qps(
     queries: &[iiu_sim::SimQuery],
     units: usize,
 ) -> (f64, iiu_sim::BatchRun) {
-    let batch = machine.run_batch(queries, units).expect("sim completes");
+    let batch =
+        machine.run_batch(queries, units).unwrap_or_else(|e| panic!("sim completes: {e:?}"));
     let clock = machine.config().clock_ghz;
     let iiu_ns = batch.cycles as f64 / clock;
     let cands: Vec<u64> = batch.queries.iter().map(|q| q.stats.candidates).collect();

@@ -27,7 +27,9 @@ pub fn run(ctx: &Ctx) -> serde_json::Value {
                 "query_type": qt.label(),
             });
             for units in UNIT_COUNTS {
-                let batch = machine.run_batch(&queries, units).expect("sim completes");
+                let batch = machine
+                    .run_batch(&queries, units)
+                    .unwrap_or_else(|e| panic!("sim completes: {e:?}"));
                 let util = batch.mem.bandwidth_utilization;
                 row.push(format!("{:.1}%", 100.0 * util));
                 entry[format!("iiu{units}_bw_utilization")] = json!(util);

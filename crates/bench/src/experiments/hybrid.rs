@@ -25,11 +25,13 @@ pub fn run(ctx: &Ctx) -> serde_json::Value {
         .singles
         .iter()
         .max_by_key(|&&t| d.index.term_info(t).df)
-        .expect("non-empty workload");
+        .unwrap_or_else(|| panic!("non-empty workload"));
     let backlog: Vec<SimQuery> =
         sim_queries(d, QueryType::Single).into_iter().take(32).collect();
 
-    let solo = machine.run_query(SimQuery::Single(hot), 8).expect("sim completes");
+    let solo = machine
+        .run_query(SimQuery::Single(hot), 8)
+        .unwrap_or_else(|e| panic!("sim completes: {e:?}"));
     let solo_ns = iiu_latency_ns(&host, &solo, clock);
 
     let mut rows = vec![vec![
@@ -46,7 +48,7 @@ pub fn run(ctx: &Ctx) -> serde_json::Value {
     for (lat_cores, units) in SPLITS {
         let run = machine
             .run_hybrid(SimQuery::Single(hot), &backlog, lat_cores, units)
-            .expect("sim completes");
+            .unwrap_or_else(|e| panic!("sim completes: {e:?}"));
         let lat_ns = iiu_latency_ns(&host, &run.latency_query, clock);
         let qps = backlog.len() as f64 / (run.batch_cycles as f64 / clock * 1e-9);
         rows.push(vec![

@@ -43,7 +43,7 @@ fn queue_sim(arrivals: &[u64], services: &[f64], servers: usize) -> f64 {
             .iter()
             .enumerate()
             .min_by(|x, y| x.1.partial_cmp(y.1).unwrap_or(std::cmp::Ordering::Equal))
-            .expect("servers > 0");
+            .unwrap_or_else(|| panic!("servers > 0"));
         let start = earliest.max(a as f64);
         free_at[k] = start + s;
         total_sojourn += free_at[k] - a as f64;
@@ -66,7 +66,9 @@ pub fn run(ctx: &Ctx) -> serde_json::Value {
     let solo: Vec<u64> = queries
         .iter()
         .take(8)
-        .map(|&q| machine.run_query(q, 1).expect("sim completes").cycles)
+        .map(|&q| {
+            machine.run_query(q, 1).unwrap_or_else(|e| panic!("sim completes: {e:?}")).cycles
+        })
         .collect();
     let iiu_service = solo.iter().sum::<u64>() as f64 / solo.len() as f64;
 
@@ -76,7 +78,9 @@ pub fn run(ctx: &Ctx) -> serde_json::Value {
         // IIU: inter-arrival sized against its own aggregate capacity.
         let gap_iiu = iiu_service / UNITS as f64 / load;
         let arr = arrivals(queries.len(), gap_iiu);
-        let batch = machine.run_arrivals(&queries, &arr, UNITS).expect("sim completes");
+        let batch = machine
+            .run_arrivals(&queries, &arr, UNITS)
+            .unwrap_or_else(|e| panic!("sim completes: {e:?}"));
         let iiu_sojourn_ns = batch
             .queries
             .iter()

@@ -73,7 +73,12 @@ pub fn baseline_breakdowns(d: &Dataset, qt: QueryType) -> Vec<PhaseBreakdown> {
         QueryType::Single => d
             .singles
             .iter()
-            .map(|&t| engine.search_single(&term(t), 10).expect("sampled term").phases)
+            .map(|&t| {
+                engine
+                    .search_single(&term(t), 10)
+                    .unwrap_or_else(|e| panic!("sampled term: {e:?}"))
+                    .phases
+            })
             .collect(),
         QueryType::Intersect => d
             .pairs
@@ -81,7 +86,7 @@ pub fn baseline_breakdowns(d: &Dataset, qt: QueryType) -> Vec<PhaseBreakdown> {
             .map(|&(a, b)| {
                 engine
                     .search_intersection(&term(a), &term(b), 10)
-                    .expect("sampled terms")
+                    .unwrap_or_else(|e| panic!("sampled terms: {e:?}"))
                     .phases
             })
             .collect(),
@@ -89,7 +94,10 @@ pub fn baseline_breakdowns(d: &Dataset, qt: QueryType) -> Vec<PhaseBreakdown> {
             .pairs
             .iter()
             .map(|&(a, b)| {
-                engine.search_union(&term(a), &term(b), 10).expect("sampled terms").phases
+                engine
+                    .search_union(&term(a), &term(b), 10)
+                    .unwrap_or_else(|e| panic!("sampled terms: {e:?}"))
+                    .phases
             })
             .collect(),
     }
@@ -115,8 +123,12 @@ pub fn iiu_intra_latencies(
     cores: usize,
 ) -> (Vec<f64>, Vec<QueryRun>) {
     let clock = machine.config().clock_ghz;
-    let runs: Vec<QueryRun> =
-        queries.iter().map(|&q| machine.run_query(q, cores).expect("sim completes")).collect();
+    let runs: Vec<QueryRun> = queries
+        .iter()
+        .map(|&q| {
+            machine.run_query(q, cores).unwrap_or_else(|e| panic!("sim completes: {e:?}"))
+        })
+        .collect();
     let lats = runs.iter().map(|r| iiu_latency_ns(host, r, clock)).collect();
     (lats, runs)
 }

@@ -42,7 +42,7 @@ pub fn run(_ctx: &Ctx) -> serde_json::Value {
             Partitioner::default(),
             Bm25Params::default(),
         )
-        .expect("reordered corpus encodes");
+        .unwrap_or_else(|e| panic!("reordered corpus encodes: {e:?}"));
         let iiu = index.size_stats().compression_ratio();
         let opt = codec_index_ratio(&index, &OptPfor);
         let vbyte = codec_index_ratio(&index, &VByte);

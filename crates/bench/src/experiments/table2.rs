@@ -35,7 +35,10 @@ pub fn codec_index_ratio(index: &InvertedIndex, codec: &dyn Codec) -> f64 {
         compressed += codec.encode_sorted(&ids).len() as u64;
         compressed += match codec.encode_values(&tfs) {
             Some(bytes) => bytes.len() as u64,
-            None => VByte.encode_values(&tfs).expect("vbyte handles all").len() as u64,
+            None => {
+                VByte.encode_values(&tfs).unwrap_or_else(|| panic!("vbyte handles all")).len()
+                    as u64
+            }
         };
     }
     uncompressed as f64 / compressed as f64

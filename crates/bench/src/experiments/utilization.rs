@@ -24,7 +24,8 @@ pub fn run(ctx: &Ctx) -> serde_json::Value {
         let mut bsu = 0u64;
         let mut bw = 0.0f64;
         for &q in &queries {
-            let run = machine.run_query(q, 1).expect("sim completes");
+            let run =
+                machine.run_query(q, 1).unwrap_or_else(|e| panic!("sim completes: {e:?}"));
             cycles += run.cycles;
             dcu += run.stats.dcu_busy;
             su += run.stats.su_busy;

@@ -34,7 +34,10 @@ pub fn write_json(name: &str, value: &serde_json::Value) {
     let dir = results_dir();
     let _ = fs::create_dir_all(&dir);
     let path = dir.join(format!("{name}.json"));
-    match fs::write(&path, serde_json::to_string_pretty(value).expect("serializable")) {
+    match fs::write(
+        &path,
+        serde_json::to_string_pretty(value).unwrap_or_else(|e| panic!("serializable: {e:?}")),
+    ) {
         Ok(()) => println!("[wrote {}]", path.display()),
         Err(e) => eprintln!("[could not write {}: {e}]", path.display()),
     }

@@ -132,6 +132,46 @@ impl Default for FaultPlan {
     }
 }
 
+/// Per-query parallelism policy for the sharded CPU path (the paper's
+/// §4.4 hybrid inter/intra-query scheduling) plus admission batching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// When `true`, each query is routed by estimated cost: cheap queries
+    /// run single-shard inter-query style (on the serve worker, no
+    /// fan-out tax) and heavy queries fan out across every shard
+    /// (intra-query). When `false` (the default), every sharded query
+    /// fans out — the fixed topology prior deployments ran.
+    pub hybrid: bool,
+    /// Document-frequency floor above which a query counts as heavy
+    /// (its longest postings list reaches this many documents). Defaults
+    /// to [`iiu_core::HEAVY_DF_THRESHOLD`], the `shard_bench` calibration
+    /// point where intra-query fan-out pays for itself.
+    pub heavy_df_threshold: u64,
+    /// Upper bound on jobs a worker drains from the admission queue in
+    /// one lock acquisition. Batching only engages when the backlog is
+    /// deep enough to feed every worker (a worker never grabs more than
+    /// its fair share of the queue), so light load keeps per-job
+    /// latency. Clamped to at least 1 at service start.
+    pub admission_batch: usize,
+    /// Minimum deadline slack a dequeued job must have left to be worth
+    /// starting; jobs below it are shed immediately with
+    /// `DeadlineExceeded` instead of burning pool time on an answer
+    /// that will miss its deadline anyway. `Duration::ZERO` (the
+    /// default) sheds only jobs already past their deadline.
+    pub min_slack: Duration,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            hybrid: false,
+            heavy_df_threshold: iiu_core::HEAVY_DF_THRESHOLD,
+            admission_batch: 8,
+            min_slack: Duration::ZERO,
+        }
+    }
+}
+
 /// Full serving-layer configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
@@ -177,6 +217,8 @@ pub struct ServeConfig {
     /// (and falls into the error path) instead of answering partially
     /// with [`iiu_core::Degradation::ShardsUnavailable`].
     pub fail_closed_shards: bool,
+    /// Per-query parallelism policy and admission batching.
+    pub scheduler: SchedulerConfig,
 }
 
 impl Default for ServeConfig {
@@ -196,6 +238,7 @@ impl Default for ServeConfig {
             shard_pool: iiu_core::ShardPoolConfig::default(),
             shard_chaos: iiu_core::ShardChaosPlan::NONE,
             fail_closed_shards: false,
+            scheduler: SchedulerConfig::default(),
         }
     }
 }

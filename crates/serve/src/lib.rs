@@ -46,14 +46,16 @@
 
 pub mod breaker;
 pub mod config;
+pub mod scheduler;
 pub mod service;
 pub mod stats;
 
 pub use breaker::{BreakerState, CircuitBreaker, Route};
-pub use config::{BreakerConfig, FaultPlan, RetryPolicy, ServeConfig};
+pub use config::{BreakerConfig, FaultPlan, RetryPolicy, SchedulerConfig, ServeConfig};
 pub use iiu_core::{
-    IncrementalOptions, IngestDoc, LiveIndex, ShardChaosPlan, ShardHealth, ShardHealthReport,
-    ShardPoolConfig,
+    IncrementalOptions, IngestDoc, LiveIndex, PoolWorkerReport, ShardChaosPlan, ShardHealth,
+    ShardHealthReport, ShardPoolConfig,
 };
+pub use scheduler::{ParallelismMode, RouteDecision};
 pub use service::{PendingQuery, QueryService, Rejected};
-pub use stats::{HealthSnapshot, ServeStats};
+pub use stats::{quantile_from_counts, HealthSnapshot, Quantile, ServeStats};

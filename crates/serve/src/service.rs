@@ -88,6 +88,10 @@ impl std::error::Error for Rejected {
 struct Job {
     query: Query,
     k: usize,
+    /// Admission time: answered queries record end-to-end latency from
+    /// here, so queue wait shows up in the histogram (tail latency under
+    /// load is mostly queueing; measuring from dequeue would hide it).
+    submitted_at: Instant,
     deadline: Instant,
     seq: u64,
     reply: mpsc::Sender<Result<SearchResponse, Rejected>>,
@@ -183,6 +187,7 @@ impl QueryService {
         cfg.queue_capacity = cfg.queue_capacity.max(1);
         cfg.cores_per_query = cfg.cores_per_query.clamp(1, cfg.sim.n_cores.max(1));
         cfg.shards = cfg.shards.max(1);
+        cfg.scheduler.admission_batch = cfg.scheduler.admission_batch.max(1);
         // A shard pool without a fan-out deadline could hang the
         // coordinator on a wedged worker; default it to the query
         // deadline so every fan-out resolves in bounded time.
@@ -276,6 +281,7 @@ impl QueryService {
             let job = Job {
                 query,
                 k,
+                submitted_at: now,
                 deadline,
                 seq: self.shared.seq.fetch_add(1, Ordering::Relaxed),
                 reply: tx,
@@ -315,17 +321,26 @@ impl QueryService {
                 .unwrap_or_default(),
             shard_partials: s.shard_partials.load(Ordering::Relaxed),
             shard_rescues: s.shard_rescues.load(Ordering::Relaxed),
+            sched_inline: s.sched_inline.load(Ordering::Relaxed),
+            sched_fanout: s.sched_fanout.load(Ordering::Relaxed),
             shard_health: self
                 .shared
                 .sharded
                 .as_ref()
                 .map(|e| e.inner().pool().supervision())
                 .unwrap_or_default(),
+            pool_workers: self
+                .shared
+                .sharded
+                .as_ref()
+                .map(|e| e.inner().pool().worker_reports())
+                .unwrap_or_default(),
             breaker: self.shared.breaker.state(),
             breaker_trips: self.shared.breaker.trips(),
             breaker_recoveries: self.shared.breaker.recoveries(),
-            p50: s.latency_quantile(0.5),
-            p99: s.latency_quantile(0.99),
+            p50: s.latency_quantile_estimate(0.5),
+            p99: s.latency_quantile_estimate(0.99),
+            p999: s.latency_quantile_estimate(0.999),
             queue_depth: lock(&self.shared.queue).len(),
         }
     }
@@ -383,12 +398,21 @@ fn worker_loop(shared: &Shared, worker_id: u64) {
     // Per-worker jitter stream, decorrelated across workers and runs.
     let mut rng =
         SplitMix64::new(shared.cfg.fault.seed ^ worker_id.wrapping_mul(0xA076_1D64_78BD_642F));
+    let batch_cap = shared.cfg.scheduler.admission_batch.max(1);
+    let workers = shared.cfg.workers.max(1);
+    let min_slack = shared.cfg.scheduler.min_slack;
     loop {
-        let job = {
+        // Batched admission: drain up to `admission_batch` jobs in one
+        // lock acquisition, but never more than this worker's fair share
+        // of the backlog — batching amortizes lock traffic under
+        // overload without serializing a shallow queue behind one worker.
+        let batch: Vec<Job> = {
             let mut q = lock(&shared.queue);
             loop {
-                if let Some(job) = q.pop_front() {
-                    break job;
+                if !q.is_empty() {
+                    let fair = q.len().div_ceil(workers);
+                    let n = fair.clamp(1, batch_cap);
+                    break q.drain(..n).collect();
                 }
                 if shared.shutdown.load(Ordering::Acquire) {
                     return;
@@ -399,7 +423,21 @@ fn worker_loop(shared: &Shared, worker_id: u64) {
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
-        serve_one(shared, job, &mut rng);
+        for job in batch {
+            // Slack shedding: a job without `min_slack` of runway left
+            // would miss its deadline mid-execution anyway — rejecting
+            // it now costs nothing and keeps the doomed work from
+            // snowballing the backlog. ZERO slack degenerates to the
+            // already-expired check `serve_one` performs itself.
+            if !min_slack.is_zero()
+                && job.deadline.saturating_duration_since(Instant::now()) < min_slack
+            {
+                shared.stats.shed_deadline.fetch_add(1, Ordering::Relaxed);
+                let _ = job.reply.send(Err(Rejected::DeadlineExceeded { stage: "queue" }));
+                continue;
+            }
+            serve_one(shared, job, &mut rng);
+        }
     }
 }
 
@@ -426,7 +464,7 @@ fn serve_one(shared: &Shared, job: Job, rng: &mut SplitMix64) {
                 (None, Some(Rejected::Panicked { message: panic_message(payload.as_ref()) }))
             }
         };
-        finish_one(shared, &job, started, response, outcome_err);
+        finish_one(shared, &job, response, outcome_err);
         return;
     }
 
@@ -467,14 +505,13 @@ fn serve_one(shared: &Shared, job: Job, rng: &mut SplitMix64) {
     };
 
     let response = response.take();
-    finish_one(shared, &job, started, response, outcome_err);
+    finish_one(shared, &job, response, outcome_err);
 }
 
 /// Shared tail of [`serve_one`]: accounts the outcome and replies.
 fn finish_one(
     shared: &Shared,
     job: &Job,
-    started: Instant,
     response: Option<SearchResponse>,
     outcome_err: Option<Rejected>,
 ) {
@@ -490,7 +527,7 @@ fn finish_one(
             {
                 stats.shard_partials.fetch_add(1, Ordering::Relaxed);
             }
-            stats.record_latency(started.elapsed());
+            stats.record_latency(job.submitted_at.elapsed());
             let _ = job.reply.send(Ok(resp));
         }
         (None, Some(rej)) => {
@@ -592,12 +629,29 @@ fn run_fallback(
             }),
         });
     };
+    // Hybrid scheduling (§4.4): price the query from document
+    // frequencies and only pay the shard fan-out tax when its longest
+    // postings list clears the heavy threshold; cheap queries answer
+    // inline on this worker (inter-query style), leaving the pool to the
+    // queries that actually scale with it. With the scheduler off every
+    // sharded query fans out, exactly as before.
+    let fan_out = shared.sharded.is_some()
+        && (!shared.cfg.scheduler.hybrid
+            || crate::scheduler::route(index, &job.query, &shared.cfg.scheduler).mode
+                == crate::scheduler::ParallelismMode::IntraQuery);
+    if shared.sharded.is_some() {
+        if fan_out {
+            shared.stats.sched_fanout.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shared.stats.sched_inline.fetch_add(1, Ordering::Relaxed);
+        }
+    }
     let result = panic::catch_unwind(AssertUnwindSafe(|| {
         // Sharded fan-out when configured (intra-query parallelism, same
         // hits); otherwise the plain single-threaded baseline. The shard
         // pool is shared across serve workers, so the engine is queried
         // through &self.
-        match &shared.sharded {
+        match shared.sharded.as_ref().filter(|_| fan_out) {
             Some(engine) => engine.search_ref(&job.query, job.k).or_else(|e| {
                 // Last-resort rescue: a total shard outage (every shard
                 // quarantined/wedged at once) or a fail-closed partial

@@ -359,3 +359,96 @@ fn shutdown_never_loses_the_wakeup_race() {
         }
     }
 }
+
+#[test]
+fn wedged_shard_task_degrades_instead_of_hanging() {
+    // Regression test for the fan-out deadline policy: a shard task that
+    // stalls past the pool deadline must resolve as a partial answer
+    // carrying Degradation::ShardsUnavailable — never hang the query or
+    // the service. Chaos stalls half of all (seq, shard) executions for
+    // 5x the fan-out deadline, so the stream mixes clean fan-outs,
+    // one-shard wedges (partial answers), and total wedges (rescued by
+    // the unsharded engine). All of them must answer, in bounded time.
+    let index = Arc::new(tiny_index(0x3ED6ED));
+    let cfg = ServeConfig {
+        shards: 2,
+        retry: RetryPolicy { max_attempts: 1, ..RetryPolicy::default() },
+        fault: FaultPlan { burst: Some((0, u64::MAX)), ..FaultPlan::NONE },
+        shard_pool: iiu_serve::ShardPoolConfig {
+            deadline: Some(Duration::from_millis(40)),
+            ..iiu_serve::ShardPoolConfig::default()
+        },
+        shard_chaos: iiu_serve::ShardChaosPlan {
+            stall_rate: 0.5,
+            stall: Duration::from_millis(200),
+            seed: 0xC0FFEE,
+            ..iiu_serve::ShardChaosPlan::NONE
+        },
+        ..quick_config()
+    };
+    let svc = QueryService::start(Arc::clone(&index), cfg);
+    let started = std::time::Instant::now();
+    let mut partials = 0u64;
+    for id in 0..12u32 {
+        let q = Query::term(term_of(&index, id));
+        let resp = svc.search_blocking(q, 10).expect("fail-soft serving must answer");
+        if resp.degraded.iter().any(|d| matches!(d, Degradation::ShardsUnavailable { .. })) {
+            partials += 1;
+        }
+        // Let a stalled task finish sleeping so its shard drains and the
+        // next query exercises a fresh wedge instead of piling onto a
+        // shard already marked wedged (which resolves as a rescue, not a
+        // partial).
+        std::thread::sleep(Duration::from_millis(220));
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "wedged shard tasks must not stack into a hang"
+    );
+    let h = svc.health();
+    assert!(partials > 0, "the stall plan should wedge at least one single shard");
+    assert_eq!(h.shard_partials, partials);
+    assert_eq!(h.answered(), 12, "every query answers despite wedged tasks");
+}
+
+#[test]
+fn hybrid_scheduler_routes_by_cost_and_stays_bit_identical() {
+    let index = Arc::new(tiny_index(0x11B71D));
+    // Pick the rarest and the most common term, then set the heavy
+    // threshold between them so the scheduler must use both routes.
+    let df_of = |id: u32| index.term_info(id).df;
+    let ids: Vec<u32> = (0..index.num_terms() as u32).collect();
+    let rare = *ids.iter().min_by_key(|&&i| df_of(i)).expect("nonempty dictionary");
+    let common = *ids.iter().max_by_key(|&&i| df_of(i)).expect("nonempty dictionary");
+    assert!(df_of(rare) < df_of(common), "corpus must have df spread");
+    let cfg = ServeConfig {
+        shards: 2,
+        retry: RetryPolicy { max_attempts: 1, ..RetryPolicy::default() },
+        fault: FaultPlan { burst: Some((0, u64::MAX)), ..FaultPlan::NONE },
+        scheduler: iiu_serve::SchedulerConfig {
+            hybrid: true,
+            heavy_df_threshold: df_of(common),
+            ..iiu_serve::SchedulerConfig::default()
+        },
+        ..quick_config()
+    };
+    let svc = QueryService::start(Arc::clone(&index), cfg);
+    let mut cpu = CpuSearchEngine::new(&index);
+    let (rare, common) =
+        (term_of(&index, rare).to_string(), term_of(&index, common).to_string());
+    let queries = [
+        Query::term(&rare),                                   // inline
+        Query::term(&common),                                 // fan-out
+        Query::and(Query::term(&rare), Query::term(&common)), // fan-out (longest list)
+        Query::or(Query::term(&rare), Query::term(&common)),  // fan-out
+    ];
+    for q in queries {
+        let served = svc.search_blocking(q.clone(), 10).expect("fallback should serve");
+        let direct = cpu.search(&q, 10).expect("cpu search failed");
+        assert_eq!(served.hits, direct.hits, "hybrid routing changed hits for {q}");
+    }
+    let h = svc.health();
+    assert_eq!(h.sched_inline, 1, "the rare query routes inter-query");
+    assert_eq!(h.sched_fanout, 3, "heavy-list queries route intra-query");
+    assert_eq!(h.sched_inline + h.sched_fanout, h.cpu_fallbacks);
+}

@@ -12,6 +12,16 @@
 //! how the paper samples TREC queries; a configurable fraction is
 //! replaced by terms guaranteed to be out-of-vocabulary so downstream
 //! consumers exercise the unknown-term degradation paths.
+//!
+//! # Zipfian query popularity
+//!
+//! Real query logs are heavily skewed: a few queries repeat constantly
+//! while the tail is long. With [`TrafficConfig::zipf_skew`] `> 0` the
+//! generator first draws a fixed pool of distinct queries, then assigns
+//! each arrival the pool's rank-`r` query with probability `∝
+//! 1/(r+1)^skew` (inverse-CDF over precomputed cumulative weights). At
+//! `skew = 0` (the default) every arrival draws a fresh query — the
+//! legacy uniform-popularity stream.
 
 use std::time::Duration;
 
@@ -36,8 +46,21 @@ pub struct TrafficConfig {
     /// Fraction of queries in which one term is replaced by an
     /// out-of-vocabulary term, exercising degradation paths.
     pub unknown_term_rate: f64,
+    /// Zipf popularity skew `s ≥ 0`: arrival `i` repeats the popularity
+    /// pool's rank-`r` query with probability `∝ 1/(r+1)^s`. `0` (the
+    /// default) disables pooling — every arrival is an independent draw.
+    /// Web query logs are typically fit with `s ≈ 0.6–1.0`.
+    pub zipf_skew: f64,
+    /// Size of the distinct-query popularity pool when `zipf_skew > 0`
+    /// (`0` auto-sizes to [`Self::DEFAULT_ZIPF_POOL`]).
+    pub zipf_pool: usize,
     /// Seed for arrivals, sampling, and unknown-term placement.
     pub seed: u64,
+}
+
+impl TrafficConfig {
+    /// Default popularity-pool size under Zipfian skew.
+    pub const DEFAULT_ZIPF_POOL: usize = 1024;
 }
 
 impl Default for TrafficConfig {
@@ -48,6 +71,8 @@ impl Default for TrafficConfig {
             pair_fraction: 0.5,
             and_fraction: 0.5,
             unknown_term_rate: 0.0,
+            zipf_skew: 0.0,
+            zipf_pool: 0,
             seed: 0x7_EA5,
         }
     }
@@ -88,9 +113,35 @@ pub fn open_loop(index: &InvertedIndex, cfg: &TrafficConfig) -> Vec<TimedQuery> 
     ] {
         assert!((0.0..=1.0).contains(&f), "{name} must be in [0, 1], got {f}");
     }
+    assert!(
+        cfg.zipf_skew.is_finite() && cfg.zipf_skew >= 0.0,
+        "zipf_skew must be finite and >= 0, got {}",
+        cfg.zipf_skew
+    );
 
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut sampler = QuerySampler::new(index, cfg.seed ^ 0x5EED_CAFE);
+
+    // Zipfian popularity: a fixed pool of distinct queries with
+    // cumulative rank weights, sampled by inverse CDF. Drawn up front so
+    // the pool (and therefore every arrival) is deterministic in seed.
+    let (pool, cumulative) = if cfg.zipf_skew > 0.0 {
+        let size =
+            if cfg.zipf_pool == 0 { TrafficConfig::DEFAULT_ZIPF_POOL } else { cfg.zipf_pool };
+        let pool: Vec<(String, bool)> =
+            (0..size).map(|_| draw_query(cfg, &mut rng, &mut sampler)).collect();
+        let mut acc = 0.0f64;
+        let cumulative: Vec<f64> = (0..size)
+            .map(|r| {
+                acc += 1.0 / ((r + 1) as f64).powf(cfg.zipf_skew);
+                acc
+            })
+            .collect();
+        (pool, cumulative)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+
     let mut at = 0.0f64;
     (0..cfg.n_queries)
         .map(|_| {
@@ -99,27 +150,44 @@ pub fn open_loop(index: &InvertedIndex, cfg: &TrafficConfig) -> Vec<TimedQuery> 
             let u: f64 = rng.gen_range(0.0..1.0);
             at += -(1.0 - u).ln() / cfg.rate_qps;
 
-            let pair = rng.gen_bool(cfg.pair_fraction);
-            let unknown = cfg.unknown_term_rate > 0.0 && rng.gen_bool(cfg.unknown_term_rate);
-            let text = if pair {
-                let op = if rng.gen_bool(cfg.and_fraction) { "AND" } else { "OR" };
-                let a = sampler.term().to_owned();
-                let b = if unknown {
-                    unknown_term(&mut rng)
-                } else {
-                    // Bounded redraws: a single-term vocabulary yields a
-                    // duplicate instead of hanging the generator.
-                    sampler.term_distinct_from(&a).to_owned()
-                };
-                format!("{a} {op} {b}")
-            } else if unknown {
-                unknown_term(&mut rng)
+            let (text, unknown) = if pool.is_empty() {
+                draw_query(cfg, &mut rng, &mut sampler)
             } else {
-                sampler.term().to_owned()
+                let total = cumulative.last().copied().unwrap_or(1.0);
+                let x = rng.gen_range(0.0..total);
+                let r = cumulative.partition_point(|&c| c <= x).min(pool.len() - 1);
+                pool[r].clone()
             };
             TimedQuery { at: Duration::from_secs_f64(at), text, has_unknown_term: unknown }
         })
         .collect()
+}
+
+/// Draws one query's text and unknown-term flag under `cfg`'s shape mix.
+fn draw_query(
+    cfg: &TrafficConfig,
+    rng: &mut StdRng,
+    sampler: &mut QuerySampler<'_>,
+) -> (String, bool) {
+    let pair = rng.gen_bool(cfg.pair_fraction);
+    let unknown = cfg.unknown_term_rate > 0.0 && rng.gen_bool(cfg.unknown_term_rate);
+    let text = if pair {
+        let op = if rng.gen_bool(cfg.and_fraction) { "AND" } else { "OR" };
+        let a = sampler.term().to_owned();
+        let b = if unknown {
+            unknown_term(rng)
+        } else {
+            // Bounded redraws: a single-term vocabulary yields a
+            // duplicate instead of hanging the generator.
+            sampler.term_distinct_from(&a).to_owned()
+        };
+        format!("{a} {op} {b}")
+    } else if unknown {
+        unknown_term(rng)
+    } else {
+        sampler.term().to_owned()
+    };
+    (text, unknown)
 }
 
 #[cfg(test)]
@@ -198,6 +266,61 @@ mod tests {
                 q.text
             );
         }
+    }
+
+    #[test]
+    fn zipf_stream_is_skewed_deterministic_and_in_vocabulary() {
+        let idx = index();
+        let cfg = TrafficConfig {
+            n_queries: 8_000,
+            zipf_skew: 1.0,
+            zipf_pool: 64,
+            pair_fraction: 0.0,
+            ..TrafficConfig::default()
+        };
+        let a = open_loop(&idx, &cfg);
+        let b = open_loop(&idx, &cfg);
+        assert_eq!(a, b, "zipf stream must be deterministic in the seed");
+
+        let mut counts: std::collections::HashMap<&str, usize> = Default::default();
+        for q in &a {
+            *counts.entry(q.text.as_str()).or_default() += 1;
+        }
+        assert!(
+            counts.len() <= 64,
+            "popularity pool of 64 produced {} distinct queries",
+            counts.len()
+        );
+        let mut by_freq: Vec<usize> = counts.values().copied().collect();
+        by_freq.sort_unstable_by(|x, y| y.cmp(x));
+
+        // Under s=1 over 64 ranks the head holds ~21% of the mass and a
+        // uniform draw would give ~1.6% per query; require a clear skew
+        // with slack for sampling noise.
+        let head = by_freq[0] as f64 / a.len() as f64;
+        assert!(head > 0.10, "hottest query holds only {head:.3} of the stream");
+        let top8: usize = by_freq.iter().take(8).sum();
+        let bottom_half: usize = by_freq.iter().skip(by_freq.len() / 2).sum();
+        assert!(
+            top8 > bottom_half,
+            "top-8 queries ({top8}) should out-draw the bottom half ({bottom_half})"
+        );
+
+        // Pool queries come from the real vocabulary when no unknown
+        // terms were requested.
+        for q in &a {
+            assert!(!q.has_unknown_term);
+            assert!(idx.term_id(&q.text).is_some(), "{:?} not in vocabulary", q.text);
+        }
+    }
+
+    #[test]
+    fn zero_skew_matches_legacy_uniform_stream() {
+        let idx = index();
+        let legacy = TrafficConfig { n_queries: 300, ..TrafficConfig::default() };
+        // zipf_pool without skew is inert: the pool is never built.
+        let pooled = TrafficConfig { zipf_pool: 16, ..legacy };
+        assert_eq!(open_loop(&idx, &legacy), open_loop(&idx, &pooled));
     }
 
     #[test]

@@ -89,7 +89,7 @@ fn print_usage() {
          \x20                 [--deadline-ms MS] [--fault-rate R] [--seed S] [--unknown-rate R]\n\
          \x20                 [--pruned yes] [--shards N] [--shard-fault-rate R]\n\
          \x20                 [--shard-stall-rate R] [--shard-stall-ms MS] [--fail-closed yes]\n\
-         \x20                 [--no-device yes]\n\
+         \x20                 [--no-device yes] [--hybrid yes] [--zipf S]\n\
          \n\
          --pruned yes runs the CPU engine with block-max pruned top-k:\n\
          whole blocks whose score upper bound cannot reach the current\n\
@@ -116,6 +116,11 @@ fn print_usage() {
          is reported. --fail-closed yes errors on partial coverage instead\n\
          (rescued by an unsharded retry); --no-device yes sabotages every\n\
          device attempt so the whole stream exercises the CPU path.\n\
+         --hybrid yes enables per-query parallelism routing: queries whose\n\
+         longest postings list is below the heavy-df threshold answer\n\
+         inline (inter-query), the rest fan out (intra-query); hits are\n\
+         bit-identical either way. --zipf S skews query popularity with a\n\
+         Zipf(S) draw over a fixed pool, modeling head-heavy traffic.\n\
          \n\
          ingest streams documents into a crash-safe incremental index\n\
          DIRECTORY: every batch is appended to a CRC-framed write-ahead log\n\
@@ -641,7 +646,7 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
              [--queries N] [--deadline-ms MS] [--fault-rate R] [--seed S] \
              [--unknown-rate R] [--pruned yes] [--shards N] \
              [--shard-fault-rate R] [--shard-stall-rate R] [--shard-stall-ms MS] \
-             [--fail-closed yes] [--no-device yes]"
+             [--fail-closed yes] [--no-device yes] [--hybrid yes] [--zipf S]"
             .into());
     };
     let workers: usize = parse_num(flag("workers").unwrap_or("4"), "--workers")?;
@@ -662,6 +667,11 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
         parse_num(flag("shard-stall-ms").unwrap_or("100"), "--shard-stall-ms")?;
     let fail_closed = flag("fail-closed").is_some();
     let no_device = flag("no-device").is_some();
+    let hybrid = flag("hybrid").is_some();
+    let zipf: f64 = parse_num(flag("zipf").unwrap_or("0"), "--zipf")?;
+    if !(zipf.is_finite() && zipf >= 0.0) {
+        return Err("--zipf must be a non-negative skew exponent".into());
+    }
     if !(0.0..=1.0).contains(&fault_rate) || !(0.0..=1.0).contains(&unknown_rate) {
         return Err("--fault-rate and --unknown-rate must be in 0..=1".into());
     }
@@ -680,6 +690,7 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
             n_queries: queries,
             unknown_term_rate: unknown_rate,
             seed,
+            zipf_skew: zipf,
             ..TrafficConfig::default()
         },
     );
@@ -706,11 +717,17 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
         pruned_cpu_fallback: pruned,
         shard_chaos,
         fail_closed_shards: fail_closed,
+        scheduler: iiu_serve::SchedulerConfig {
+            hybrid,
+            ..iiu_serve::SchedulerConfig::default()
+        },
         ..ServeConfig::default()
     };
     println!(
         "serve-bench: {queries} queries at {rate} qps, {workers} workers, \
-         deadline {deadline_ms} ms, fault rate {fault_rate}{}{}{}",
+         deadline {deadline_ms} ms, fault rate {fault_rate}{}{}{}{}{}",
+        if hybrid { ", hybrid scheduler" } else { "" },
+        if zipf > 0.0 { format!(", zipf skew {zipf}") } else { String::new() },
         if pruned { ", pruned CPU fallback" } else { "" },
         if shards > 1 { format!(", {shards}-shard CPU fallback") } else { String::new() },
         if shards > 1 && (shard_fault_rate > 0.0 || shard_stall_rate > 0.0) {
@@ -782,13 +799,18 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
     if h.shards > 1 {
         println!(
             "shards:        {} workers, {} partial answers, {} unsharded rescues, \
-             docs scored per shard {:?}",
-            h.shards, h.shard_partials, h.shard_rescues, h.shard_docs_scored
+             sched {} inline / {} fanout, docs scored per shard {:?}",
+            h.shards,
+            h.shard_partials,
+            h.shard_rescues,
+            h.sched_inline,
+            h.sched_fanout,
+            h.shard_docs_scored
         );
         for sh in &h.shard_health {
             println!(
                 "  shard {}: {} — {} failures ({} panics, {} timeouts), \
-                 quarantine {} trips / {} recoveries, {} respawns",
+                 quarantine {} trips / {} recoveries",
                 sh.shard,
                 sh.health,
                 sh.failures,
@@ -796,7 +818,15 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
                 sh.timeouts,
                 sh.quarantine_trips,
                 sh.quarantine_recoveries,
-                sh.respawns,
+            );
+        }
+        for w in &h.pool_workers {
+            println!(
+                "  pool worker {}: {} — {} tasks, {} respawns",
+                w.worker,
+                if w.alive { "alive" } else { "dead" },
+                w.tasks_completed,
+                w.respawns,
             );
         }
     }
@@ -805,8 +835,10 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
         h.breaker, h.breaker_trips, h.breaker_recoveries
     );
     println!("shed rate:     {:.2}%", h.shed_rate() * 100.0);
-    match (h.p50, h.p99) {
-        (Some(p50), Some(p99)) => println!("latency:       p50 ≤ {p50:?}, p99 ≤ {p99:?}"),
+    match (h.p50, h.p99, h.p999) {
+        (Some(p50), Some(p99), Some(p999)) => {
+            println!("latency:       p50 {p50}, p99 {p99}, p999 {p999}");
+        }
         _ => println!("latency:       no queries answered"),
     }
     if h.submitted != h.answered() + h.rejected_total() {

@@ -17,6 +17,11 @@
 //! Mirrors `tests/soak.rs`, one layer down: that soak chaoses the device
 //! path and watches the breaker; this one chaoses the shard pool under the
 //! CPU fallback and watches shard supervision.
+//!
+//! The campaign runs under the **hybrid scheduler** with Zipf-skewed
+//! query popularity: cheap queries answer inline (inter-query) and heavy
+//! ones fan out (intra-query) through the shared shard-task pool, so the
+//! availability and bit-identity bars cover both routes at once.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -25,8 +30,8 @@ use std::time::Duration;
 use iiu_core::{CpuSearchEngine, Degradation, Hit, Query, SearchEngine};
 use iiu_index::InvertedIndex;
 use iiu_serve::{
-    BreakerConfig, FaultPlan, QueryService, RetryPolicy, ServeConfig, ShardChaosPlan,
-    ShardPoolConfig,
+    BreakerConfig, FaultPlan, QueryService, RetryPolicy, SchedulerConfig, ServeConfig,
+    ShardChaosPlan, ShardPoolConfig,
 };
 use iiu_workloads::{traffic, CorpusConfig, TrafficConfig};
 
@@ -35,16 +40,40 @@ const SHARDS: usize = 4;
 const TOP_K: usize = 10;
 /// Engine-sequence window in which every execution on shard 1 panics —
 /// long enough to trip quarantine (threshold 4) many times over, placed
-/// mid-stream so the half-open recovery is also observable.
-const PANIC_BURST: (u64, u64, usize) = (2_000, 2_060, 1);
+/// mid-stream so the half-open recovery is also observable. Engine
+/// sequence numbers count only fanned-out queries: under the hybrid
+/// scheduler, inline (inter-query) answers never reach the shard engine,
+/// so the windows sit early enough that the fan-out share of 10k queries
+/// is certain to cross them.
+const PANIC_BURST: (u64, u64, usize) = (1_000, 1_060, 1);
 /// Worker assassinations `(engine seq, shard)`, exercising dead-worker
-/// detection and respawn twice on different shards.
-const KILLS: [(u64, usize); 2] = [(4_000, 2), (6_500, 3)];
+/// detection and pool-worker respawn twice.
+const KILLS: [(u64, usize); 2] = [(2_000, 2), (3_000, 3)];
 
 fn chaos_index() -> InvertedIndex {
     CorpusConfig { n_docs: 1_500, n_terms: 150, ..CorpusConfig::tiny(0x5AD) }
         .generate()
         .into_default_index()
+}
+
+/// The median longest-list size over the queries actually offered: a
+/// heavy threshold that guarantees the hybrid router exercises both
+/// modes on this traffic (the query sampler is df-biased, so a
+/// dictionary-wide median would classify everything as heavy).
+fn stream_median_heavy_df(index: &InvertedIndex, texts: &[String]) -> u64 {
+    let mut maxes: Vec<u64> = texts
+        .iter()
+        .map(|t| {
+            let q = Query::parse(t).expect("traffic query parses");
+            iiu_core::estimate_query_cost(index, &q.terms()).max_list_postings
+        })
+        .collect();
+    maxes.sort_unstable();
+    assert!(
+        maxes.first() < maxes.last(),
+        "degenerate traffic: every query has the same longest list"
+    );
+    maxes[maxes.len() / 2]
 }
 
 /// Keeps intentional injected shard panics from spraying backtraces over
@@ -82,6 +111,21 @@ fn shard_chaos_campaign_stays_available_and_truthful() {
     silence_injected_panics();
     let index = Arc::new(chaos_index());
 
+    let stream = traffic::open_loop(
+        &index,
+        &TrafficConfig {
+            rate_qps: 1e9, // arrival times unused: waves below self-pace
+            n_queries: N_QUERIES,
+            unknown_term_rate: 0.0,
+            seed: 0xC405 ^ 0x5eed,
+            // Head-heavy popularity: the hybrid scheduler sees the same
+            // hot queries repeatedly, like production traffic would.
+            zipf_skew: 1.0,
+            ..TrafficConfig::default()
+        },
+    );
+    let texts: Vec<String> = stream.iter().map(|tq| tq.text.clone()).collect();
+
     let cfg = ServeConfig {
         workers: 4,
         queue_capacity: 512,
@@ -112,19 +156,13 @@ fn shard_chaos_campaign_stays_available_and_truthful() {
             seed: 0x5EED_C405,
         },
         fail_closed_shards: false,
+        scheduler: SchedulerConfig {
+            hybrid: true,
+            heavy_df_threshold: stream_median_heavy_df(&index, &texts),
+            ..SchedulerConfig::default()
+        },
         ..ServeConfig::default()
     };
-
-    let stream = traffic::open_loop(
-        &index,
-        &TrafficConfig {
-            rate_qps: 1e9, // arrival times unused: waves below self-pace
-            n_queries: N_QUERIES,
-            unknown_term_rate: 0.0,
-            seed: 0xC405 ^ 0x5eed,
-            ..TrafficConfig::default()
-        },
-    );
 
     let mut svc = QueryService::start(Arc::clone(&index), cfg);
 
@@ -226,13 +264,20 @@ fn shard_chaos_campaign_stays_available_and_truthful() {
     );
     let total_panics: u64 = h.shard_health.iter().map(|s| s.panics).sum();
     let total_timeouts: u64 = h.shard_health.iter().map(|s| s.timeouts).sum();
-    let total_respawns: u64 = h.shard_health.iter().map(|s| s.respawns).sum();
+    let total_respawns: u64 = h.pool_workers.iter().map(|w| w.respawns).sum();
     assert!(total_panics >= 1, "no shard panics recorded: {h}");
     assert!(total_timeouts >= 1, "no stall ever wedged a shard: {h}");
-    assert!(total_respawns >= 1, "assassinated workers were never respawned: {h}");
+    assert!(total_respawns >= 1, "assassinated pool workers were never respawned: {h}");
+
+    // 4. The hybrid scheduler actually used both routes, and every
+    //    fallback query was routed exactly once.
+    assert!(h.sched_inline >= 1, "no query ever routed inter-query: {h}");
+    assert!(h.sched_fanout >= 1, "no query ever fanned out: {h}");
+    assert_eq!(h.sched_inline + h.sched_fanout, h.cpu_fallbacks, "routing accounting: {h}");
 
     println!(
         "shard chaos: {answered} answered, {partials} partial, {checked} \
-         reference-checked\n{h}"
+         reference-checked, {} inline / {} fanned out\n{h}",
+        h.sched_inline, h.sched_fanout
     );
 }

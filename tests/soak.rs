@@ -14,13 +14,20 @@
 //! The sustainable rate is measured on the same corpus and worker pool
 //! immediately before the soak, so the 2× overload factor tracks the
 //! machine the test runs on instead of a hard-coded qps number.
+//!
+//! The soak offers Zipf-skewed traffic and serves its CPU fallbacks
+//! through the hybrid scheduler over a 2-shard pool, so overload, faults,
+//! and breaker churn all land on the same inter/intra-query routing the
+//! production path uses.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use iiu_core::Query;
 use iiu_index::InvertedIndex;
-use iiu_serve::{BreakerConfig, FaultPlan, QueryService, RetryPolicy, ServeConfig};
+use iiu_serve::{
+    BreakerConfig, FaultPlan, QueryService, RetryPolicy, SchedulerConfig, ServeConfig,
+};
 use iiu_workloads::{traffic, CorpusConfig, TrafficConfig};
 
 const N_QUERIES: usize = 10_000;
@@ -115,16 +122,36 @@ fn soak_overload_with_faults_and_breaker_recovery() {
             n_queries: N_QUERIES,
             unknown_term_rate: 0.02,
             seed: 0x50A_u64 ^ 0x5eed,
+            // Head-heavy popularity, as production traffic would be.
+            zipf_skew: 1.0,
             ..TrafficConfig::default()
         },
     );
 
+    // Median longest-list size over the offered queries: a heavy
+    // threshold that guarantees the hybrid router exercises both modes
+    // on this traffic (the sampler is df-biased, so a dictionary-wide
+    // median would classify everything as heavy).
+    let mut maxes: Vec<u64> = stream
+        .iter()
+        .map(|tq| {
+            let q = Query::parse(&tq.text).expect("generated query parses");
+            iiu_core::estimate_query_cost(&index, &q.terms()).max_list_postings
+        })
+        .collect();
+    maxes.sort_unstable();
     let cfg = ServeConfig {
         fault: FaultPlan {
             stall_rate: STALL_RATE,
             burst: Some(BURST),
             panic_burst: Some((BURST.0, BURST.0 + 10)),
             seed: 0xFA_017,
+        },
+        shards: 2,
+        scheduler: SchedulerConfig {
+            hybrid: true,
+            heavy_df_threshold: maxes[maxes.len() / 2],
+            ..SchedulerConfig::default()
         },
         ..base_config(workers)
     };
@@ -179,9 +206,15 @@ fn soak_overload_with_faults_and_breaker_recovery() {
     assert!(h.breaker_trips >= 1, "breaker never tripped: {h}");
     assert!(h.breaker_recoveries >= 1, "breaker never recovered: {h}");
 
-    // 4. The injected stalls exercised the retry path.
+    // 4. The injected stalls exercised the retry path, and every CPU
+    //    fallback went through the hybrid router exactly once.
     assert!(h.retries >= 1, "no retries under {STALL_RATE} stall rate: {h}");
     assert!(h.cpu_fallbacks >= 1, "burst produced no CPU fallbacks: {h}");
+    assert_eq!(
+        h.sched_inline + h.sched_fanout,
+        h.cpu_fallbacks,
+        "hybrid routing accounting: {h}"
+    );
 
     // 5. At 2× the sustainable rate the bounded queue must shed rather
     //    than absorb unbounded latency — while still answering a solid

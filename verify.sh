@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # Full verification gate: build, tests, the fault-injected serving soak,
-# the no-panic lint wall, and the hot-path decode and shard-scaling perf
-# gates.
+# the no-panic lint wall, and the hot-path decode, shard-scaling, and
+# serve tail-latency perf gates.
 #
 # Usage: ./verify.sh [--quick]
 #   --quick  skip the perf gates (the slowest steps; use while
@@ -14,12 +14,12 @@
 # crates (iiu-codecs decode paths, iiu-index
 # io/checksum/faultinject/bounds and the whole incremental write path
 # (wal/memtable/segment/recovery/incremental), all of iiu-baseline
-# including the supervised shard pool, all of iiu-serve, and
-# iiu-workloads) re-deny via `#![cfg_attr(not(test), deny(...))]` so a
-# panicking call cannot sneak back into an untrusted-input or serving
-# path. The second clippy line keeps iiu-serve, iiu-baseline,
-# iiu-codecs and iiu-workloads honest even if the workspace-wide wall
-# is ever relaxed.
+# including the supervised shard pool, all of iiu-serve, the iiu-bench
+# library, and iiu-workloads) re-deny via
+# `#![cfg_attr(not(test), deny(...))]` so a panicking call cannot sneak
+# back into an untrusted-input or serving path. The second clippy line
+# keeps iiu-serve, iiu-baseline, iiu-codecs, iiu-workloads and
+# iiu-bench honest even if the workspace-wide wall is ever relaxed.
 set -eu
 
 quick=0
@@ -88,7 +88,7 @@ else
 fi
 
 cargo clippy --workspace -- -D clippy::unwrap_used -D clippy::expect_used
-cargo clippy -p iiu-serve -p iiu-baseline -p iiu-codecs -p iiu-workloads -- -D clippy::unwrap_used -D clippy::expect_used
+cargo clippy -p iiu-serve -p iiu-baseline -p iiu-codecs -p iiu-workloads -p iiu-bench -- -D clippy::unwrap_used -D clippy::expect_used
 
 # Decode perf gate (DESIGN.md §11, §13): re-measures the unpack kernels,
 # end-to-end query throughput, and pruned-vs-exhaustive top-k, rewrites
@@ -119,6 +119,23 @@ if [ "$quick" -eq 0 ]; then
         --check BENCH_shard_thresholds.json
 else
     echo "verify: --quick set, skipping shard scaling gate"
+fi
+
+# Serve tail-latency gate (DESIGN.md §17): offers the same 100k-query
+# Zipf-skewed stream to the serving layer twice at equal offered load —
+# fixed topology (every query fans out) vs the hybrid inter/intra-query
+# scheduler — with the device path sabotaged so everything runs the
+# sharded CPU path. Proves the two modes' hit streams bit-identical,
+# rewrites BENCH_serve.json, and fails unless the hybrid p99 is strictly
+# below the fixed p99, both routes were exercised, and the committed
+# end-to-end latency ceilings hold. Regenerate baselines with:
+#   cargo run --release -p iiu-bench --bin serve_bench -- \
+#     --write-thresholds BENCH_serve_thresholds.json
+if [ "$quick" -eq 0 ]; then
+    cargo run --release -p iiu-bench --bin serve_bench -- \
+        --check BENCH_serve_thresholds.json
+else
+    echo "verify: --quick set, skipping serve tail-latency gate"
 fi
 
 echo "verify: OK"
