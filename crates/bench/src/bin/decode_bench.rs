@@ -13,13 +13,22 @@
 //! pruning delivers ≥1.5× single-term QPS at k = 10 with a nonzero
 //! skipped-block tally.
 //!
+//! Also runs the codec shootout (DESIGN.md §18): every integrated
+//! [`BlockCodec`](iiu_index::BlockCodec) — bitpack, stream-vbyte,
+//! simdbp128 — decodes the same blocks across the gated widths. Per-codec
+//! decode times join the gated metrics, and `--check` additionally
+//! requires that simdbp128 strictly beats the scalar word-window bitpack
+//! baseline at equal-or-better compression, and that every codec's
+//! bits/posting stays within the committed `max_bits_per_posting` bound.
+//!
 //! Writes `BENCH_decode.json` at the workspace root. With
 //! `--check <thresholds.json>` it additionally compares the gated
 //! `min_ns` metrics against the committed thresholds and exits nonzero on
 //! a >25% regression (`fail_above_ratio` in the thresholds file). With
 //! `--write-thresholds <path>` it emits a fresh thresholds file from this
-//! run's measurements. `verify.sh` runs the gate in `--release`; pass
-//! `--quick` to verify.sh to skip it.
+//! run's measurements. `--smoke` runs only the one-block-per-codec decode
+//! bit-identity check (no timing). `verify.sh` runs the gate in
+//! `--release`; `--quick` verify runs just the smoke.
 
 // Experiment-runner code: panicking on a broken setup is the right
 // behavior (same contract as the iiu-bench lib crate).
@@ -31,7 +40,7 @@ use std::process::ExitCode;
 use iiu_baseline::CpuEngine;
 use iiu_bench::micro::bench_with;
 use iiu_index::bitpack::{pack_all, unpack_all_scalar, unpack_into};
-use iiu_index::InvertedIndex;
+use iiu_index::{CodecId, InvertedIndex, Posting};
 use iiu_workloads::{CorpusConfig, QuerySampler};
 use serde_json::{json, Map, Value};
 
@@ -50,6 +59,12 @@ const PRUNED_KS: [usize; 3] = [10, 100, 1000];
 /// Minimum single-term QPS gain pruning must deliver at k = 10 for
 /// `--check` to pass.
 const PRUNED_SINGLE_K10_MIN_GAIN: f64 = 1.5;
+/// Postings per codec-shootout block (a realistic full block).
+const SHOOTOUT_BLOCK: usize = 256;
+/// Blocks decoded per timed codec-shootout iteration.
+const SHOOTOUT_BLOCKS: usize = 16;
+/// tf field width used throughout the codec shootout.
+const SHOOTOUT_TF_BITS: u8 = 4;
 
 /// The old query path, kept verbatim as the perf gate's "before"
 /// reference: per-byte bit extraction, a fresh `Vec` per decoded block,
@@ -485,6 +500,171 @@ fn bench_pruned(index: &InvertedIndex, gate: &mut Map) -> Value {
     Value::Object(shapes)
 }
 
+/// Deterministic shootout values (LCG) masked to `width` bits, seeded per
+/// block so every block carries different data.
+fn shootout_values(seed: u64, n: usize, width: u8) -> Vec<u32> {
+    let mask = if width >= 32 { u32::MAX } else { (1u32 << width) - 1 };
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..n)
+        .map(|_| {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            ((x >> 33) as u32) & mask
+        })
+        .collect()
+}
+
+/// One codec's encoding of the shared shootout blocks for one gap width.
+struct CodecBlocks {
+    payloads: Vec<Vec<u8>>,
+    skips: Vec<u32>,
+    total_bytes: usize,
+}
+
+/// Encodes `blocks` shootout blocks under `codec`. Every codec sees the
+/// same gap/tf values (per-block seeded), so decoded postings must agree
+/// bit for bit across codecs.
+fn encode_shootout(codec: CodecId, gap_bits: u8, blocks: usize) -> CodecBlocks {
+    let ops = codec.ops();
+    let mut payloads = Vec::with_capacity(blocks);
+    let mut skips = Vec::with_capacity(blocks);
+    let mut total_bytes = 0usize;
+    for b in 0..blocks {
+        let mut gaps =
+            shootout_values((b as u64) << 8 | u64::from(gap_bits), SHOOTOUT_BLOCK, gap_bits);
+        // The first docID travels in the block's skip value.
+        gaps[0] = 0;
+        let tfs = shootout_values((b as u64) << 16 | 0x7F, SHOOTOUT_BLOCK, SHOOTOUT_TF_BITS);
+        let mut payload = Vec::new();
+        ops.encode_block(&gaps, &tfs, gap_bits, SHOOTOUT_TF_BITS, &mut payload);
+        total_bytes += payload.len();
+        payloads.push(payload);
+        skips.push(b as u32 * 8 + 1);
+    }
+    CodecBlocks { payloads, skips, total_bytes }
+}
+
+/// Decodes every block in `cb` into `out` (cleared first). Panics on a
+/// decode error — these are self-produced blocks.
+fn decode_shootout(codec: CodecId, cb: &CodecBlocks, gap_bits: u8, out: &mut Vec<Posting>) {
+    out.clear();
+    for (payload, &skip) in cb.payloads.iter().zip(&cb.skips) {
+        codec
+            .ops()
+            .try_decode_block_into(
+                payload,
+                SHOOTOUT_BLOCK,
+                gap_bits,
+                SHOOTOUT_TF_BITS,
+                skip,
+                out,
+            )
+            .expect("self-produced shootout block");
+    }
+}
+
+/// The codec shootout (DESIGN.md §18): every integrated [`BlockCodec`]
+/// decodes the same blocks; per-codec decode time per gated width goes
+/// into the gate map and per-codec aggregates (throughput, bits/posting)
+/// feed the `--check` rules — SIMD must strictly beat the scalar
+/// word-window baseline at equal-or-better compression.
+fn bench_codec_shootout(gate: &mut Map) -> Value {
+    let postings_per_iter = (SHOOTOUT_BLOCK * SHOOTOUT_BLOCKS) as f64;
+    let mut per_width = Vec::new();
+    let mut totals: Vec<(CodecId, f64, usize)> = // (codec, total_min_ns, total_bytes)
+        CodecId::ALL.iter().map(|&c| (c, 0.0, 0usize)).collect();
+
+    for width in GATED_WIDTHS {
+        let sets: Vec<CodecBlocks> =
+            CodecId::ALL.iter().map(|&c| encode_shootout(c, width, SHOOTOUT_BLOCKS)).collect();
+
+        // Differential check before timing: all codecs must decode the
+        // shared blocks to bit-identical postings.
+        let mut reference = Vec::new();
+        decode_shootout(CodecId::BitPack, &sets[0], width, &mut reference);
+        for (i, codec) in CodecId::ALL.into_iter().enumerate().skip(1) {
+            let mut got = Vec::new();
+            decode_shootout(codec, &sets[i], width, &mut got);
+            assert_eq!(got, reference, "{codec} decode diverged from bitpack at w{width}");
+        }
+
+        let mut row = Map::new();
+        row.insert("width".into(), json!(width));
+        for (i, codec) in CodecId::ALL.into_iter().enumerate() {
+            let cb = &sets[i];
+            let mut out: Vec<Posting> = Vec::with_capacity(SHOOTOUT_BLOCK * SHOOTOUT_BLOCKS);
+            let timing = bench_with(&format!("codec/{codec}/w{width:02}"), 6, 24, &mut || {
+                decode_shootout(codec, cb, width, &mut out);
+                out.len()
+            });
+            gate.insert(format!("codec_{codec}_w{width:02}"), json!(timing.min_ns));
+            totals[i].1 += timing.min_ns;
+            totals[i].2 += cb.total_bytes;
+            row.insert(
+                codec.name().to_string(),
+                json!({
+                    "min_ns": timing.min_ns,
+                    "median_ns": timing.median_ns,
+                    "mpostings_per_s": postings_per_iter / timing.min_ns * 1e3,
+                    "payload_bytes": cb.total_bytes,
+                    "payload_bits_per_posting": cb.total_bytes as f64 * 8.0 / postings_per_iter,
+                }),
+            );
+        }
+        per_width.push(Value::Object(row));
+    }
+
+    let mut aggregate = Map::new();
+    for (codec, total_ns, total_bytes) in totals {
+        let total_postings = postings_per_iter * GATED_WIDTHS.len() as f64;
+        aggregate.insert(
+            codec.name().to_string(),
+            json!({
+                "total_min_ns": total_ns,
+                "mpostings_per_s": total_postings / total_ns * 1e3,
+                "payload_bytes": total_bytes,
+                "payload_bits_per_posting": total_bytes as f64 * 8.0 / total_postings,
+            }),
+        );
+    }
+    json!({
+        "block_postings": SHOOTOUT_BLOCK,
+        "blocks": SHOOTOUT_BLOCKS,
+        "tf_bits": SHOOTOUT_TF_BITS,
+        "widths": Value::Array(per_width),
+        "aggregate": Value::Object(aggregate),
+    })
+}
+
+/// `--smoke`: one block per codec per width, encode + decode + cross-codec
+/// bit-identity, no timing. The cheap decode sanity check `verify.sh
+/// --quick` runs.
+fn run_smoke() -> ExitCode {
+    for width in GATED_WIDTHS {
+        let mut reference = Vec::new();
+        for codec in CodecId::ALL {
+            let cb = encode_shootout(codec, width, 1);
+            let mut got = Vec::new();
+            decode_shootout(codec, &cb, width, &mut got);
+            assert_eq!(got.len(), SHOOTOUT_BLOCK);
+            if codec == CodecId::BitPack {
+                reference = got;
+            } else {
+                assert_eq!(
+                    got, reference,
+                    "{codec} smoke decode diverged from bitpack at w{width}"
+                );
+            }
+        }
+    }
+    println!(
+        "codec smoke: OK ({} codecs x {} widths, one {}-posting block each, bit-identical)",
+        CodecId::ALL.len(),
+        GATED_WIDTHS.len(),
+        SHOOTOUT_BLOCK
+    );
+    ExitCode::SUCCESS
+}
+
 /// Checks this run's gated metrics against committed thresholds. Returns
 /// the list of violations (empty = pass).
 fn check_thresholds(gate: &Map, thresholds: &Value) -> Vec<String> {
@@ -510,12 +690,24 @@ fn check_thresholds(gate: &Map, thresholds: &Value) -> Vec<String> {
     violations
 }
 
-fn thresholds_from(gate: &Map, ratio: f64) -> Value {
+fn thresholds_from(gate: &Map, shootout: &Value, ratio: f64) -> Value {
+    // Compression is deterministic, so its bound is exact: a codec change
+    // that costs even one payload byte per shootout posting set trips the
+    // gate until the threshold is regenerated deliberately.
+    let mut max_bits = Map::new();
+    if let Some(agg) = shootout["aggregate"].as_object() {
+        for (codec, stats) in agg {
+            if let Some(b) = stats["payload_bits_per_posting"].as_f64() {
+                max_bits.insert(codec.clone(), json!(b));
+            }
+        }
+    }
     json!({
-        "schema": "decode-gate-thresholds-v1",
-        "comment": "min_ns baselines for the decode perf gate; a run fails when measured > baseline * fail_above_ratio. Regenerate with: cargo run --release -p iiu-bench --bin decode_bench -- --write-thresholds BENCH_decode_thresholds.json",
+        "schema": "decode-gate-thresholds-v2",
+        "comment": "min_ns baselines for the decode perf gate; a run fails when measured > baseline * fail_above_ratio, when a codec's shootout payload exceeds max_bits_per_posting, or when simdbp128 fails to strictly beat the bitpack decode baseline. Regenerate with: cargo run --release -p iiu-bench --bin decode_bench -- --write-thresholds BENCH_decode_thresholds.json",
         "fail_above_ratio": ratio,
         "min_ns": Value::Object(gate.clone()),
+        "max_bits_per_posting": Value::Object(max_bits),
     })
 }
 
@@ -535,10 +727,11 @@ fn main() -> ExitCode {
             "--out" => out_path = Some(path_arg(&mut args)),
             "--check" => check_path = Some(path_arg(&mut args)),
             "--write-thresholds" => write_thresholds = Some(path_arg(&mut args)),
+            "--smoke" => return run_smoke(),
             other => {
                 eprintln!(
                     "decode_bench: unknown argument {other} \
-                     (expected --out/--check/--write-thresholds <path>)"
+                     (expected --smoke or --out/--check/--write-thresholds <path>)"
                 );
                 return ExitCode::from(2);
             }
@@ -558,6 +751,13 @@ fn main() -> ExitCode {
     println!("== pruned vs exhaustive top-k, k in {PRUNED_KS:?} ==");
     let pruned = bench_pruned(&index, &mut gate);
 
+    println!(
+        "== codec shootout: {} codecs x widths {GATED_WIDTHS:?}, \
+         {SHOOTOUT_BLOCKS} x {SHOOTOUT_BLOCK}-posting blocks ==",
+        CodecId::ALL.len()
+    );
+    let shootout = bench_codec_shootout(&mut gate);
+
     let widths_4_20: Vec<f64> = kernels
         .iter()
         .filter(|r| (4..=20).contains(&r["width"].as_u64().unwrap_or(0)))
@@ -573,6 +773,7 @@ fn main() -> ExitCode {
         "min_kernel_speedup_widths_4_20": min_speedup_4_20,
         "e2e": e2e,
         "pruned": pruned.clone(),
+        "codec_shootout": shootout.clone(),
         "gate_min_ns": Value::Object(gate.clone()),
     });
     let text = serde_json::to_string_pretty(&report).expect("serializable");
@@ -583,8 +784,8 @@ fn main() -> ExitCode {
     println!("[wrote {}]", out_path.display());
 
     if let Some(path) = write_thresholds {
-        let t =
-            serde_json::to_string_pretty(&thresholds_from(&gate, 1.25)).expect("serializable");
+        let t = serde_json::to_string_pretty(&thresholds_from(&gate, &shootout, 1.25))
+            .expect("serializable");
         if let Err(e) = std::fs::write(&path, t + "\n") {
             eprintln!("decode_bench: cannot write {}: {e}", path.display());
             return ExitCode::from(2);
@@ -619,6 +820,41 @@ fn main() -> ExitCode {
         }
         if k10["blocks_skipped"].as_u64().unwrap_or(0) == 0 {
             violations.push("pruned single k=10 skipped no blocks".to_string());
+        }
+        // Codec shootout rules. The SIMD codec must strictly beat the
+        // scalar word-window baseline on decode time over the gated
+        // widths, at equal-or-better compression — its whole reason to
+        // exist. Compression bounds are per-codec and deterministic.
+        let agg = &shootout["aggregate"];
+        let bp_ns = agg["bitpack"]["total_min_ns"].as_f64().unwrap_or(0.0);
+        let sbp_ns = agg["simdbp128"]["total_min_ns"].as_f64().unwrap_or(f64::INFINITY);
+        // NaN (a missing/garbled aggregate) must fail the gate, so ask
+        // for a definite Less rather than comparing with >=.
+        if sbp_ns.partial_cmp(&bp_ns) != Some(std::cmp::Ordering::Less) {
+            violations.push(format!(
+                "simdbp128 decode ({sbp_ns:.1} ns) does not strictly beat the bitpack \
+                 word-window baseline ({bp_ns:.1} ns)"
+            ));
+        }
+        let bp_bytes = agg["bitpack"]["payload_bytes"].as_u64().unwrap_or(0);
+        let sbp_bytes = agg["simdbp128"]["payload_bytes"].as_u64().unwrap_or(u64::MAX);
+        if sbp_bytes > bp_bytes {
+            violations.push(format!(
+                "simdbp128 payload ({sbp_bytes} B) exceeds bitpack's ({bp_bytes} B)"
+            ));
+        }
+        if let Some(max_bits) = thresholds["max_bits_per_posting"].as_object() {
+            for (codec, bound) in max_bits {
+                let bound = bound.as_f64().unwrap_or(f64::INFINITY);
+                match agg[codec.as_str()]["payload_bits_per_posting"].as_f64() {
+                    None => violations
+                        .push(format!("codec {codec} missing from this run's shootout")),
+                    Some(bits) if bits > bound => violations.push(format!(
+                        "codec {codec}: {bits:.3} bits/posting exceeds committed {bound:.3}"
+                    )),
+                    Some(_) => {}
+                }
+            }
         }
         if violations.is_empty() {
             println!("decode gate: OK ({} metrics within threshold)", gate.len());

@@ -6,6 +6,8 @@
 //! comparison set from scratch:
 //!
 //! * [`VByte`] — byte-aligned varints (Cutting & Pedersen);
+//! * [`StreamVByte`] — varints with the control bits split into their own
+//!   stream for branch-free, SIMD-friendly decode (Lemire, Kurz & Rupp);
 //! * [`Pfor`] — classic PForDelta with patched 32-bit exceptions and a
 //!   linked exception chain (Zukowski et al.);
 //! * [`NewPfor`] — exception low bits kept in the slot array, positions and
@@ -46,6 +48,7 @@ pub mod milc;
 pub mod pfor;
 pub mod simdbp;
 pub mod simple9;
+pub mod stream_vbyte;
 pub mod vbyte;
 
 pub use eliasfano::EliasFano;
@@ -53,6 +56,7 @@ pub use milc::Milc;
 pub use pfor::{NewPfor, OptPfor, Pfor};
 pub use simdbp::SimdBp128;
 pub use simple9::Simple9;
+pub use stream_vbyte::StreamVByte;
 pub use vbyte::VByte;
 
 /// Errors produced by the checked `try_decode_*` codec paths.
@@ -218,6 +222,7 @@ pub fn all_codecs() -> Vec<Box<dyn Codec>> {
         Box::new(OptPfor),
         Box::new(SimdBp128),
         Box::new(VByte),
+        Box::new(StreamVByte),
         Box::new(Simple9),
         Box::new(EliasFano),
         Box::new(Milc::default()),

@@ -1,0 +1,159 @@
+//! Stream-VByte: byte-aligned varints with the control bits split out of
+//! the data stream (Lemire, Kurz & Rupp 2018). Each value takes 1–4 data
+//! bytes; a separate control stream holds one 2-bit length code per value
+//! (four values per control byte). Splitting the streams removes the
+//! bit-by-bit continuation test of classic VByte: a decoder reads a whole
+//! control byte and then copies the four payloads branch-free, which is
+//! what makes the format SIMD-friendly (a 16-entry shuffle table keyed by
+//! the control byte). This scalar implementation keeps the exact on-wire
+//! layout: `[ceil(n/4) control bytes][data bytes]`.
+
+use crate::{deltas, take, try_prefix_sums, Codec, CodecError};
+
+const NAME: &str = "Stream-VByte";
+
+/// The Stream-VByte codec. Sorted sequences are delta-encoded first.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamVByte;
+
+impl StreamVByte {
+    /// Byte length of `v` on the data stream (1..=4) minus one — the
+    /// 2-bit control code.
+    fn code(v: u32) -> u8 {
+        match v {
+            0..=0xff => 0,
+            0x100..=0xffff => 1,
+            0x1_0000..=0xff_ffff => 2,
+            _ => 3,
+        }
+    }
+
+    fn encode_seq(values: &[u32]) -> Vec<u8> {
+        let control_len = values.len().div_ceil(4);
+        let mut out = vec![0u8; control_len];
+        for (i, &v) in values.iter().enumerate() {
+            let code = Self::code(v);
+            out[i / 4] |= code << ((i % 4) * 2);
+            out.extend_from_slice(&v.to_le_bytes()[..usize::from(code) + 1]);
+        }
+        out
+    }
+
+    fn try_decode_seq(bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {
+        let control_len = n.div_ceil(4);
+        let mut pos = 0usize;
+        let control = take(bytes, &mut pos, control_len, NAME, "control stream")?;
+        // Each value occupies at least one data byte, so cap the
+        // allocation by what the input could possibly hold.
+        let mut out = Vec::with_capacity(n.min(bytes.len()));
+        for i in 0..n {
+            let code = (control[i / 4] >> ((i % 4) * 2)) & 0b11;
+            let len = usize::from(code) + 1;
+            let data = take(bytes, &mut pos, len, NAME, "data stream")?;
+            let mut word = [0u8; 4];
+            word[..len].copy_from_slice(data);
+            out.push(u32::from_le_bytes(word));
+        }
+        Ok(out)
+    }
+}
+
+impl Codec for StreamVByte {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn encode_sorted(&self, doc_ids: &[u32]) -> Vec<u8> {
+        Self::encode_seq(&deltas(doc_ids))
+    }
+
+    fn encode_values(&self, values: &[u32]) -> Option<Vec<u8>> {
+        Some(Self::encode_seq(values))
+    }
+
+    fn try_decode_sorted(&self, bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {
+        try_prefix_sums(&Self::try_decode_seq(bytes, n)?, NAME)
+    }
+
+    fn try_decode_values(&self, bytes: &[u8], n: usize) -> Result<Vec<u32>, CodecError> {
+        Self::try_decode_seq(bytes, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn control_codes_match_byte_lengths() {
+        for (v, want) in [
+            (0u32, 0u8),
+            (1, 0),
+            (255, 0),
+            (256, 1),
+            (65_535, 1),
+            (65_536, 2),
+            (16_777_215, 2),
+            (16_777_216, 3),
+            (u32::MAX, 3),
+        ] {
+            assert_eq!(StreamVByte::code(v), want, "code({v})");
+        }
+    }
+
+    #[test]
+    fn layout_is_control_then_data() {
+        // Four 1-byte values: one zero control byte then the payloads.
+        let bytes = StreamVByte::encode_seq(&[1, 2, 3, 4]);
+        assert_eq!(bytes, vec![0b00_00_00_00, 1, 2, 3, 4]);
+        // A 2-byte value in slot 1 flips that slot's control code.
+        let bytes = StreamVByte::encode_seq(&[1, 300]);
+        assert_eq!(bytes, vec![0b0000_0100, 1, 44, 1]);
+    }
+
+    #[test]
+    fn partial_last_control_byte() {
+        // n = 5 needs two control bytes, the second only 2 bits used.
+        let values = [7u32, 70_000, 3, u32::MAX, 9];
+        let bytes = StreamVByte::encode_seq(&values);
+        assert_eq!(StreamVByte::try_decode_seq(&bytes, 5).unwrap(), values);
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error_at_both_streams() {
+        let bytes = StreamVByte.encode_sorted(&[10, 20, 30, 40, 50]);
+        assert!(matches!(
+            StreamVByte.try_decode_sorted(&bytes[..1], 5),
+            Err(CodecError::Truncated { what: "control stream", .. })
+        ));
+        assert!(matches!(
+            StreamVByte.try_decode_sorted(&bytes[..bytes.len() - 1], 5),
+            Err(CodecError::Truncated { what: "data stream", .. })
+        ));
+    }
+
+    #[test]
+    fn dense_gaps_take_one_byte_each() {
+        let ids: Vec<u32> = (1_000_000..1_000_100).collect();
+        let bytes = StreamVByte.encode_sorted(&ids);
+        // 25 control bytes + 3 bytes for the first id + 99 one-byte gaps.
+        assert_eq!(bytes.len(), 25 + 3 + 99);
+        assert_eq!(StreamVByte.decode_sorted(&bytes, ids.len()), ids);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_values_roundtrip(values in proptest::collection::vec(0u32..=u32::MAX, 0..300)) {
+            let bytes = StreamVByte::encode_seq(&values);
+            prop_assert_eq!(StreamVByte::try_decode_seq(&bytes, values.len()).unwrap(), values);
+        }
+
+        #[test]
+        fn prop_agrees_with_vbyte_on_sorted(ids in proptest::collection::btree_set(0u32..1 << 27, 0..300)) {
+            let ids: Vec<u32> = ids.into_iter().collect();
+            let bytes = StreamVByte.encode_sorted(&ids);
+            prop_assert_eq!(StreamVByte.decode_sorted(&bytes, ids.len()), ids);
+        }
+    }
+}

@@ -12,10 +12,18 @@
 //! Within a block the first posting's d-gap is stored as 0 and the skip
 //! value supplies its docID ("the skip value is added to a d-gap to obtain
 //! the uncompressed docID").
+//!
+//! The block *structure* (metadata words, skip list, per-block maximum
+//! widths) is codec-independent; how the payload bytes between two block
+//! offsets encode the `(d-gap, tf)` pairs is delegated to a
+//! [`crate::codec::BlockCodec`]. The default [`CodecId::BitPack`] payload
+//! is decoded inline here by the word-window kernels, byte-identical to
+//! the pre-codec format.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
-use crate::bitpack::{self, bits_for, BitWriter};
+use crate::bitpack::{self, bits_for};
+use crate::codec::CodecId;
 use crate::error::IndexError;
 use crate::posting::{DocId, Posting, PostingList};
 
@@ -99,9 +107,12 @@ pub struct EncodedList {
     skips: Vec<DocId>,
     payload: Vec<u8>,
     num_postings: u64,
-    /// Total cost in bits under the paper's model (Eq. 3): exact pair bits
-    /// plus 96 bits of overhead per block, *before* byte alignment.
+    /// Total cost in bits under the codec's model (the paper's Eq. 3 for
+    /// the default codec): modeled payload bits plus 96 bits of overhead
+    /// per block, *before* byte alignment.
     model_bits: u64,
+    /// How the payload bytes encode each block's `(d-gap, tf)` pairs.
+    codec: CodecId,
 }
 
 impl EncodedList {
@@ -115,6 +126,22 @@ impl EncodedList {
     /// [`IndexError::BadPartition`] if `block_lens` is inconsistent with the
     /// list length or violates [`MAX_BLOCK_LEN`].
     pub fn encode(list: &PostingList, block_lens: &[usize]) -> Result<Self, IndexError> {
+        Self::encode_with(list, block_lens, CodecId::default())
+    }
+
+    /// [`EncodedList::encode`] with an explicit block codec. The block
+    /// structure (metadata, skips, widths) is identical across codecs;
+    /// only the payload bytes and the cost model differ. For
+    /// [`CodecId::BitPack`] this is byte-identical to [`EncodedList::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`EncodedList::encode`].
+    pub fn encode_with(
+        list: &PostingList,
+        block_lens: &[usize],
+        codec: CodecId,
+    ) -> Result<Self, IndexError> {
         let postings = list.as_slice();
         let total: usize = block_lens.iter().sum();
         if total != postings.len() || block_lens.iter().any(|&l| l == 0 || l > MAX_BLOCK_LEN) {
@@ -124,11 +151,15 @@ impl EncodedList {
             });
         }
 
+        let ops = codec.ops();
         let mut metas = Vec::with_capacity(block_lens.len());
         let mut skips = Vec::with_capacity(block_lens.len());
         let mut payload: Vec<u8> = Vec::new();
         let mut model_bits: u64 = 0;
         let mut start = 0usize;
+        // Scratch reused across blocks: the stored d-gap / tf columns.
+        let mut gaps: Vec<u32> = Vec::new();
+        let mut tfs: Vec<u32> = Vec::new();
 
         for &len in block_lens {
             let block = &postings[start..start + len];
@@ -136,12 +167,16 @@ impl EncodedList {
 
             // Stored d-gaps: 0 for the first posting (recovered from the skip
             // value), successor differences for the rest.
+            gaps.clear();
+            tfs.clear();
             let mut max_gap = 0u32;
             let mut max_tf = 0u32;
             for (i, p) in block.iter().enumerate() {
                 let gap = if i == 0 { 0 } else { p.doc_id - block[i - 1].doc_id };
                 max_gap = max_gap.max(gap);
                 max_tf = max_tf.max(p.tf);
+                gaps.push(gap);
+                tfs.push(p.tf);
             }
             let dn_bits = bits_for(max_gap);
             let tf_bits = bits_for(max_tf);
@@ -153,18 +188,11 @@ impl EncodedList {
             if offset >= (1 << 43) {
                 return Err(IndexError::ListTooLarge { bytes: offset });
             }
-            let mut w = BitWriter::new();
-            for (i, p) in block.iter().enumerate() {
-                let gap = if i == 0 { 0 } else { p.doc_id - block[i - 1].doc_id };
-                w.write(gap, dn_bits);
-                w.write(p.tf, tf_bits);
-            }
-            payload.extend_from_slice(&w.finish());
+            ops.encode_block(&gaps, &tfs, dn_bits, tf_bits, &mut payload);
 
             metas.push(BlockMeta { dn_bits, tf_bits, count: len as u16, offset });
             skips.push(skip);
-            model_bits +=
-                u64::from(dn_bits as u32 + tf_bits as u32) * len as u64 + BLOCK_OVERHEAD_BITS;
+            model_bits += ops.block_cost_bits(len as u64, dn_bits, tf_bits);
             start += len;
         }
 
@@ -174,7 +202,26 @@ impl EncodedList {
             payload,
             num_postings: postings.len() as u64,
             model_bits,
+            codec,
         })
+    }
+
+    /// The block codec the payload is encoded with.
+    pub fn codec(&self) -> CodecId {
+        self.codec
+    }
+
+    /// The payload byte range of block `idx`: from its offset to the next
+    /// block's offset (or the end of the payload for the last block).
+    /// Codecs whose block size is not derivable from the metadata widths
+    /// (Stream-VByte) rely on this contiguity invariant.
+    fn block_slice(&self, idx: usize) -> Result<&[u8], IndexError> {
+        let start = self.metas[idx].offset as usize;
+        let end = self.metas.get(idx + 1).map_or(self.payload.len(), |m| m.offset as usize);
+        if start > end || end > self.payload.len() {
+            return Err(IndexError::CorruptIndex { context: "payload bounds" });
+        }
+        Ok(&self.payload[start..end])
     }
 
     /// Number of blocks.
@@ -257,6 +304,17 @@ impl EncodedList {
             .skips
             .get(idx)
             .ok_or(IndexError::CorruptIndex { context: "skip/meta count mismatch" })?;
+        if self.codec != CodecId::BitPack {
+            let block = self.block_slice(idx)?;
+            return self.codec.ops().try_decode_block_into(
+                block,
+                meta.count as usize,
+                meta.dn_bits,
+                meta.tf_bits,
+                skip,
+                out,
+            );
+        }
         if meta.dn_bits > 31 || meta.tf_bits > 31 {
             return Err(IndexError::CorruptIndex { context: "block bitwidths" });
         }
@@ -352,6 +410,13 @@ impl EncodedList {
     /// ```
     pub fn find(&self, doc_id: DocId) -> Option<u32> {
         let block = self.candidate_block(doc_id)?;
+        if self.codec != CodecId::BitPack {
+            // Non-default codecs materialize the one candidate block and
+            // binary-search it; still a single-block decompression.
+            let mut buf = Vec::with_capacity(self.metas[block].count as usize);
+            self.decode_block_into(block, &mut buf);
+            return buf.binary_search_by_key(&doc_id, |p| p.doc_id).ok().map(|i| buf[i].tf);
+        }
         // Scan the packed pairs directly — no block materialization. DocIDs
         // within a block are increasing, so the scan stops at the first
         // docID past the probe.
@@ -380,7 +445,8 @@ impl EncodedList {
         None
     }
 
-    /// Cost in bits under the paper's model (Eq. 3), before byte alignment.
+    /// Cost in bits under the codec's model (the paper's Eq. 3 for the
+    /// default codec), before byte alignment.
     pub fn model_bits(&self) -> u64 {
         self.model_bits
     }
@@ -412,12 +478,22 @@ impl EncodedList {
                 return Err(IndexError::CorruptIndex { context: "block count" });
             }
             total += u64::from(meta.count);
+            // Minimum payload bits the block needs under its codec: exact
+            // for the bit-packed layouts, a 1-byte-per-value floor for
+            // Stream-VByte (the decoder re-checks exact lengths).
+            let min_bits = match self.codec {
+                CodecId::BitPack | CodecId::SimdBp128 => {
+                    u64::from(meta.pair_bits()) * u64::from(meta.count)
+                }
+                CodecId::StreamVByte => {
+                    let n = u64::from(meta.count);
+                    8 * 2 * (n.div_ceil(4) + n)
+                }
+            };
             let bits_needed = meta
                 .offset
                 .checked_mul(8)
-                .and_then(|b| {
-                    b.checked_add(u64::from(meta.pair_bits()) * u64::from(meta.count))
-                })
+                .and_then(|b| b.checked_add(min_bits))
                 .ok_or(IndexError::CorruptIndex { context: "payload bounds" })?;
             if bits_needed > self.payload.len() as u64 * 8 {
                 return Err(IndexError::CorruptIndex { context: "payload bounds" });
@@ -757,6 +833,47 @@ mod tests {
     fn iter_on_empty_list() {
         let enc = EncodedList::default();
         assert_eq!(enc.iter().count(), 0);
+    }
+
+    #[test]
+    fn encode_with_bitpack_is_byte_identical_to_encode() {
+        let l = list(&[(0, 1), (2, 2), (11, 1), (20, 9), (38, 1), (46, 2)]);
+        let a = EncodedList::encode(&l, &[2, 3, 1]).unwrap();
+        let b = EncodedList::encode_with(&l, &[2, 3, 1], CodecId::BitPack).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.codec(), CodecId::BitPack);
+    }
+
+    #[test]
+    fn every_codec_roundtrips_decode_find_and_iter() {
+        let pairs: Vec<(u32, u32)> = (0..300u32).map(|i| (i * 7 + (i % 5), i % 13)).collect();
+        let l = list(&pairs);
+        let lens = [vec![150usize], vec![97], vec![53]].concat();
+        for codec in CodecId::ALL {
+            let enc = EncodedList::encode_with(&l, &lens, codec).unwrap();
+            assert_eq!(enc.codec(), codec);
+            assert!(enc.validate().is_ok(), "{codec}");
+            assert_eq!(enc.decode_all(), l, "{codec}");
+            assert_eq!(enc.iter().collect::<Vec<_>>(), l.as_slice(), "{codec}");
+            for &(d, t) in &pairs {
+                assert_eq!(enc.find(d), Some(t), "{codec} doc {d}");
+            }
+            assert_eq!(enc.find(1), None, "{codec}");
+            assert_eq!(enc.find(u32::MAX), None, "{codec}");
+        }
+    }
+
+    #[test]
+    fn non_bitpack_truncated_payload_errors_rather_than_panics() {
+        let l = list(&[(0, 1), (2, 2), (11, 1), (20, 9), (38, 1), (46, 2)]);
+        for codec in [CodecId::StreamVByte, CodecId::SimdBp128] {
+            let enc = EncodedList::encode_with(&l, &[3, 3], codec).unwrap();
+            let mut bad = enc.clone();
+            bad.payload.truncate(1);
+            let mut out = Vec::new();
+            assert!(bad.try_decode_block_into(0, &mut out).is_err(), "{codec}");
+            assert!(out.is_empty(), "{codec}");
+        }
     }
 
     #[test]

@@ -47,6 +47,14 @@ pub enum IndexError {
         /// The magic/version actually found.
         found: u64,
     },
+    /// A v4 header (or shard manifest) names a block codec this build
+    /// does not implement. Distinct from [`IndexError::CorruptIndex`]
+    /// because the byte is CRC-valid — the file is from a newer build,
+    /// not damaged.
+    UnknownCodec {
+        /// The codec id byte actually found.
+        id: u8,
+    },
     /// A term was queried that the index does not contain.
     UnknownTerm {
         /// The missing term.
@@ -98,6 +106,9 @@ impl fmt::Display for IndexError {
             ),
             IndexError::UnsupportedFormat { found } => {
                 write!(f, "unsupported index format (magic/version {found:#x})")
+            }
+            IndexError::UnknownCodec { id } => {
+                write!(f, "unknown block codec id {id} (index from a newer build?)")
             }
             IndexError::UnknownTerm { term } => write!(f, "unknown term {term:?}"),
             IndexError::PositionsUnavailable => {

@@ -7,6 +7,7 @@ use std::collections::HashMap;
 
 use crate::block::EncodedList;
 use crate::bounds::ListBounds;
+use crate::codec::CodecId;
 use crate::error::IndexError;
 use crate::partition::Partitioner;
 use crate::posting::{DocId, PostingList};
@@ -44,6 +45,7 @@ pub struct InvertedIndex {
     avgdl: f64,
     params: Bm25Params,
     partitioner: Partitioner,
+    codec: CodecId,
 }
 
 impl InvertedIndex {
@@ -62,6 +64,23 @@ impl InvertedIndex {
         partitioner: Partitioner,
         params: Bm25Params,
     ) -> Result<Self, IndexError> {
+        Self::from_lists_codec(lists, doc_lens, partitioner, params, CodecId::default())
+    }
+
+    /// [`from_lists`](Self::from_lists) with an explicit block codec: the
+    /// partitioner minimizes that codec's cost model and every list's
+    /// payload is encoded with it.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`from_lists`](Self::from_lists).
+    pub fn from_lists_codec(
+        lists: Vec<(String, PostingList)>,
+        doc_lens: Vec<u32>,
+        partitioner: Partitioner,
+        params: Bm25Params,
+        codec: CodecId,
+    ) -> Result<Self, IndexError> {
         let n_docs = doc_lens.len() as u64;
         let avgdl = if doc_lens.is_empty() {
             1.0
@@ -75,7 +94,14 @@ impl InvertedIndex {
                 (term, list, idf_bar)
             })
             .collect();
-        Self::from_lists_with_stats(with_idf, doc_lens, avgdl, partitioner, params)
+        Self::from_lists_with_stats_codec(
+            with_idf,
+            doc_lens,
+            avgdl,
+            partitioner,
+            params,
+            codec,
+        )
     }
 
     /// Builds an index from posting lists with *explicit* collection
@@ -100,6 +126,30 @@ impl InvertedIndex {
         partitioner: Partitioner,
         params: Bm25Params,
     ) -> Result<Self, IndexError> {
+        Self::from_lists_with_stats_codec(
+            lists,
+            doc_lens,
+            avgdl,
+            partitioner,
+            params,
+            CodecId::default(),
+        )
+    }
+
+    /// [`from_lists_with_stats`](Self::from_lists_with_stats) with an
+    /// explicit block codec.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`from_lists_with_stats`](Self::from_lists_with_stats).
+    pub fn from_lists_with_stats_codec(
+        lists: Vec<(String, PostingList, Fixed)>,
+        doc_lens: Vec<u32>,
+        avgdl: f64,
+        partitioner: Partitioner,
+        params: Bm25Params,
+        codec: CodecId,
+    ) -> Result<Self, IndexError> {
         let n_docs = doc_lens.len() as u64;
 
         // Per-document constants first: block score bounds are computed
@@ -121,9 +171,9 @@ impl InvertedIndex {
             }
             let id = terms.len() as TermId;
             let df = list.len() as u64;
-            let partition = partitioner.partition(&list);
+            let partition = partitioner.partition_for(&list, codec);
             bounds.push(ListBounds::compute(list.as_slice(), &partition, idf_bar, &dl_bars));
-            encoded.push(EncodedList::encode(&list, &partition)?);
+            encoded.push(EncodedList::encode_with(&list, &partition, codec)?);
             terms.push(TermInfo { idf_bar, df, term: term.clone() });
             dictionary.insert(term, id);
         }
@@ -138,6 +188,7 @@ impl InvertedIndex {
             avgdl,
             params,
             partitioner,
+            codec,
         })
     }
 
@@ -164,6 +215,11 @@ impl InvertedIndex {
     /// Partitioner the lists were encoded with.
     pub fn partitioner(&self) -> Partitioner {
         self.partitioner
+    }
+
+    /// Block codec every posting list is encoded with.
+    pub fn codec(&self) -> CodecId {
+        self.codec
     }
 
     /// Looks up a term's identifier.
@@ -280,6 +336,9 @@ impl InvertedIndex {
         for (id, (info, list)) in self.terms.iter().zip(&self.lists).enumerate() {
             if self.dictionary.get(&info.term) != Some(&(id as TermId)) {
                 return Err(IndexError::CorruptIndex { context: "dictionary mapping" });
+            }
+            if list.codec() != self.codec {
+                return Err(IndexError::CorruptIndex { context: "list/index codec mismatch" });
             }
             list.validate()?;
             if info.df != list.num_postings() {

@@ -6,15 +6,16 @@
 //! magic/version word, the BM25 parameters, the document-length table, and
 //! one record per term (name, metadata words, skip values, payload bytes).
 //!
-//! # Format v3 (current)
+//! # Format v4 (current)
 //!
-//! Version 3 extends the checksummed v2 layout with a per-block score
-//! bounds section (the block-max metadata [`crate::bounds`] that the
-//! pruned top-k mode skips with):
+//! Version 4 extends the v3 layout with a block-codec id byte inside the
+//! CRC-protected header — the codec every posting-list payload is encoded
+//! with (see [`crate::codec::CodecId`]):
 //!
 //! ```text
 //! magic/version            u64   (MAGIC, not covered by a section CRC)
 //! header                   k1 f64 · b f64 · partitioner (u8 kind + u32 arg)
+//!                          · codec u8 (v4 only)
 //!                          · num_docs u64 · num_terms u64      + crc32 u32
 //! doc-length table         num_docs × u32                      + crc32 u32
 //! term record (× num_terms)
@@ -23,7 +24,7 @@
 //!                          · num_blocks × meta u64
 //!                          · num_blocks × skip u32
 //!                          · payload_len u64 · payload bytes   + crc32 u32
-//! score bounds (v3 only)   per term: num_blocks u64
+//! score bounds (v3+)       per term: num_blocks u64
 //!                          · num_blocks × (ub_raw u32 · max_tf u32)
 //!                          whole section                       + crc32 u32
 //! footer                   crc32 u32 over every preceding byte
@@ -32,20 +33,28 @@
 //! [`deserialize`] verifies each section checksum before trusting its
 //! contents, then rebuilds every posting list by decoding it (bounds
 //! checked) and re-encoding, so a malformed file yields a typed
-//! [`IndexError`] — never a panic or an out-of-bounds read. The score
-//! bounds section is additionally held against a full recomputation from
-//! the decoded postings: a CRC-consistent file whose stored bounds
+//! [`IndexError`] — never a panic or an out-of-bounds read. The codec id
+//! is interpreted only after the header CRC verifies: random corruption
+//! of the byte surfaces as a checksum mismatch, while a CRC-consistent
+//! id this build does not implement is the typed
+//! [`IndexError::UnknownCodec`]. A CRC-consistent *flip* to a different
+//! valid codec decodes the payloads as garbage and is rejected by the
+//! monotonic-docID check or the score-bounds recomputation oracle. The
+//! score bounds section is additionally held against a full recomputation
+//! from the decoded postings: a CRC-consistent file whose stored bounds
 //! disagree with the postings is rejected (`score bounds mismatch`)
-//! rather than silently pruning wrong results. Version 2 files (no bounds
-//! section) and version 1 files (no checksums) remain readable — bounds
-//! are derived data, recomputed on every load path — and unknown versions
-//! are rejected with [`IndexError::UnsupportedFormat`].
+//! rather than silently pruning wrong results. Version 3 (no codec byte —
+//! always the bit-packed codec), version 2 (no bounds section) and
+//! version 1 files (no checksums) remain readable — bounds are derived
+//! data, recomputed on every load path — and unknown versions are
+//! rejected with [`IndexError::UnsupportedFormat`].
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use crate::block::BlockMeta;
 use crate::bounds::ListBounds;
 use crate::checksum::crc32;
+use crate::codec::CodecId;
 use crate::error::IndexError;
 use crate::index::InvertedIndex;
 use crate::partition::Partitioner;
@@ -85,8 +94,12 @@ impl PutLe for Vec<u8> {
     }
 }
 
-/// Magic + version identifying the current format ("IIUX" + 0x0003).
-pub const MAGIC: u64 = 0x4949_5558_0000_0003;
+/// Magic + version identifying the current format ("IIUX" + 0x0004).
+pub const MAGIC: u64 = 0x4949_5558_0000_0004;
+
+/// Magic + version of the v3 format (score bounds, no codec id byte —
+/// the bit-packed codec implicitly), still accepted by [`deserialize`].
+pub const MAGIC_V3: u64 = 0x4949_5558_0000_0003;
 
 /// Magic + version of the v2 format (checksums, no score bounds
 /// section), still accepted by [`deserialize`].
@@ -105,10 +118,10 @@ pub const MAGIC_V1: u64 = 0x4949_5558_0000_0001;
 /// stop-at-first-error on these files.
 pub const MAGIC_SHARD: u64 = 0x4949_5553_0000_0001;
 
-/// Magic + version of the current sharded-manifest format ("IIUS" +
+/// Magic + version of the legacy v2 sharded-manifest format ("IIUS" +
 /// 0x0002).
 ///
-/// A shard manifest is *not* N concatenated v3 files: every shard is
+/// A shard manifest is *not* N concatenated plain files: every shard is
 /// built with the global collection statistics (avgdl, per-term idf̄),
 /// which cannot be recomputed from a shard's own postings. The manifest
 /// therefore carries those statistics once, up front, followed by one
@@ -116,12 +129,12 @@ pub const MAGIC_SHARD: u64 = 0x4949_5553_0000_0001;
 /// shard:
 ///
 /// ```text
-/// magic/version      u64  (MAGIC_SHARD_V2)
+/// magic/version      u64  (MAGIC_SHARD_V2 / MAGIC_SHARD_V3)
 /// shard header       num_shards u32 · global num_docs u64 · avgdl f64
 ///                    · parent partitioner (u8 kind + u32 arg)
 ///                    · num_terms u64 · num_terms × idf̄ raw u32
 ///                    · num_shards × body byte-length u64        + crc32
-/// shard body (× N)   the checksummed body layout of v2/v3
+/// shard body (× N)   the checksummed body layout of the plain formats
 /// footer             crc32 u32 over every preceding byte
 /// ```
 ///
@@ -135,7 +148,15 @@ pub const MAGIC_SHARD: u64 = 0x4949_5553_0000_0001;
 /// v2 file's bounds are), so they are not stored.
 pub const MAGIC_SHARD_V2: u64 = 0x4949_5553_0000_0002;
 
-/// Serializes `index` to bytes in format v3.
+/// Magic + version of the current sharded-manifest format ("IIUS" +
+/// 0x0003): identical to [`MAGIC_SHARD_V2`] except every shard body
+/// carries the v4-style codec id byte in its header, so shards can be
+/// encoded with any [`CodecId`]. v2 and v1 manifests stay readable
+/// (their bodies are implicitly bit-packed).
+pub const MAGIC_SHARD_V3: u64 = 0x4949_5553_0000_0003;
+
+/// Serializes `index` to bytes in format v4 (the index's block codec is
+/// recorded in the CRC-protected header).
 ///
 /// # Errors
 ///
@@ -145,7 +166,7 @@ pub const MAGIC_SHARD_V2: u64 = 0x4949_5553_0000_0002;
 pub fn serialize(index: &InvertedIndex) -> Result<Vec<u8>, IndexError> {
     let mut buf = Vec::new();
     buf.put_u64_le(MAGIC);
-    write_checksummed_body(&mut buf, index)?;
+    write_checksummed_body(&mut buf, index, true)?;
 
     let bounds_start = buf.len();
     for bounds in index.bounds() {
@@ -168,9 +189,15 @@ fn seal_section(buf: &mut Vec<u8>, start: usize) {
     buf.put_u32_le(crc);
 }
 
-/// Writes the checksummed body shared by v2, v3 and the shard manifest:
-/// header, doc-length table, and one sealed record per term.
-fn write_checksummed_body(buf: &mut Vec<u8>, index: &InvertedIndex) -> Result<(), IndexError> {
+/// Writes the checksummed body shared by the plain formats and the shard
+/// manifest: header, doc-length table, and one sealed record per term.
+/// `with_codec` selects the v4-style header carrying the codec id byte
+/// (current formats) versus the legacy 37-byte header (v2/v3 bodies).
+fn write_checksummed_body(
+    buf: &mut Vec<u8>,
+    index: &InvertedIndex,
+    with_codec: bool,
+) -> Result<(), IndexError> {
     let header_start = buf.len();
     buf.put_f64_le(index.params().k1);
     buf.put_f64_le(index.params().b);
@@ -183,6 +210,9 @@ fn write_checksummed_body(buf: &mut Vec<u8>, index: &InvertedIndex) -> Result<()
             buf.put_u8(1);
             buf.put_u32_le(max_size as u32);
         }
+    }
+    if with_codec {
+        buf.put_u8(index.codec().as_u8());
     }
     buf.put_u64_le(index.num_docs());
     buf.put_u64_le(index.num_terms() as u64);
@@ -217,8 +247,9 @@ fn write_checksummed_body(buf: &mut Vec<u8>, index: &InvertedIndex) -> Result<()
     Ok(())
 }
 
-/// Serializes a sharded index as a shard manifest (see
-/// [`MAGIC_SHARD_V2`]).
+/// Serializes a sharded index as a v3 shard manifest (see
+/// [`MAGIC_SHARD_V2`] for the shared layout and [`MAGIC_SHARD_V3`] for
+/// the codec-id difference).
 ///
 /// # Errors
 ///
@@ -237,12 +268,12 @@ pub fn serialize_sharded(sharded: &ShardedIndex) -> Result<Vec<u8>, IndexError> 
             return Err(IndexError::CorruptIndex { context: "shard dictionaries disagree" });
         }
         let mut body = Vec::new();
-        write_checksummed_body(&mut body, shard)?;
+        write_checksummed_body(&mut body, shard, true)?;
         bodies.push(body);
     }
 
     let mut buf = Vec::new();
-    buf.put_u64_le(MAGIC_SHARD_V2);
+    buf.put_u64_le(MAGIC_SHARD_V3);
 
     let header_start = buf.len();
     buf.put_u32_le(sharded.num_shards() as u32);
@@ -286,7 +317,7 @@ pub fn is_sharded(bytes: &[u8]) -> bool {
     let magic = u64::from_le_bytes([
         bytes[0], bytes[1], bytes[2], bytes[3], bytes[4], bytes[5], bytes[6], bytes[7],
     ]);
-    magic == MAGIC_SHARD || magic == MAGIC_SHARD_V2
+    magic == MAGIC_SHARD || magic == MAGIC_SHARD_V2 || magic == MAGIC_SHARD_V3
 }
 
 /// Deserializes a shard manifest written by [`serialize_sharded`].
@@ -304,17 +335,18 @@ pub fn is_sharded(bytes: &[u8]) -> bool {
 pub fn deserialize_sharded(bytes: &[u8]) -> Result<ShardedIndex, IndexError> {
     let mut r = Reader::new(bytes);
     let magic = r.u64("magic")?;
-    if magic != MAGIC_SHARD && magic != MAGIC_SHARD_V2 {
+    if magic != MAGIC_SHARD && magic != MAGIC_SHARD_V2 && magic != MAGIC_SHARD_V3 {
         return Err(IndexError::UnsupportedFormat { found: magic });
     }
     let header = read_shard_header(&mut r, magic)?;
+    let with_codec = magic == MAGIC_SHARD_V3;
 
     let mut shards = Vec::with_capacity(header.num_shards.min(r.remaining()));
     for s in 0..header.num_shards {
         let body_start = r.pos;
-        let body = read_checksummed_body(&mut r)?;
+        let body = read_checksummed_body(&mut r, with_codec)?;
         if let Some(lens) = &header.body_lens {
-            // A v2 manifest records each body's byte length; a body that
+            // A v2/v3 manifest records each body's byte length; a body that
             // parses but consumed a different span means the length table
             // and the content disagree (only possible under tampering with
             // checksums recomputed) — reject rather than trust either.
@@ -333,12 +365,13 @@ pub fn deserialize_sharded(bytes: &[u8]) -> Result<ShardedIndex, IndexError> {
             .zip(&header.idf_bars)
             .map(|((term, list), &idf)| (term, list, idf))
             .collect();
-        shards.push(InvertedIndex::from_lists_with_stats(
+        shards.push(InvertedIndex::from_lists_with_stats_codec(
             with_idf,
             body.doc_lens,
             header.avgdl,
             body.partitioner,
             body.params,
+            body.codec,
         )?);
     }
     verify_footer(&mut r)?;
@@ -353,7 +386,7 @@ struct ShardManifestHeader {
     avgdl: f64,
     parent_partitioner: Partitioner,
     idf_bars: Vec<Fixed>,
-    /// Per-shard body byte lengths — present only in v2 manifests.
+    /// Per-shard body byte lengths — absent only in legacy v1 manifests.
     body_lens: Option<Vec<u64>>,
 }
 
@@ -375,7 +408,8 @@ fn read_shard_header(
         .chunks_exact(4)
         .map(|c| Fixed::from_raw(u32::from_le_bytes([c[0], c[1], c[2], c[3]])))
         .collect();
-    let body_lens = if magic == MAGIC_SHARD_V2 {
+    // Legacy v1 manifests have no body-length table; v2 and v3 do.
+    let body_lens = if magic != MAGIC_SHARD {
         let len_bytes = num_shards
             .checked_mul(8)
             .ok_or(IndexError::CorruptIndex { context: "shard header" })?;
@@ -471,8 +505,8 @@ impl ShardScanReport {
 /// Scans a shard manifest, CRC-cross-checking every shard body
 /// *independently* instead of erroring on the first bad one.
 ///
-/// On a v2 manifest the header's body-length table addresses each body
-/// directly, so one corrupt shard leaves the others scannable. On a
+/// On a v2 or v3 manifest the header's body-length table addresses each
+/// body directly, so one corrupt shard leaves the others scannable. On a
 /// legacy v1 manifest bodies are only reachable sequentially: the scan
 /// stops at the first corrupt body and marks the rest
 /// [`ShardBodyStatus::Unscanned`].
@@ -485,11 +519,16 @@ impl ShardScanReport {
 pub fn scan_sharded(bytes: &[u8]) -> Result<ShardScanReport, IndexError> {
     let mut r = Reader::new(bytes);
     let magic = r.u64("magic")?;
-    if magic != MAGIC_SHARD && magic != MAGIC_SHARD_V2 {
+    if magic != MAGIC_SHARD && magic != MAGIC_SHARD_V2 && magic != MAGIC_SHARD_V3 {
         return Err(IndexError::UnsupportedFormat { found: magic });
     }
     let header = read_shard_header(&mut r, magic)?;
-    let version = if magic == MAGIC_SHARD_V2 { 2 } else { 1 };
+    let version = match magic {
+        MAGIC_SHARD_V3 => 3,
+        MAGIC_SHARD_V2 => 2,
+        _ => 1,
+    };
+    let with_codec = magic == MAGIC_SHARD_V3;
 
     let scan_body = |start: usize, limit: usize| -> (ShardBodyStatus, usize) {
         if start > limit {
@@ -497,7 +536,7 @@ pub fn scan_sharded(bytes: &[u8]) -> Result<ShardScanReport, IndexError> {
             return (ShardBodyStatus::Corrupt { error }, start);
         }
         let mut br = Reader { buf: &bytes[..limit], pos: start };
-        match read_checksummed_body(&mut br) {
+        match read_checksummed_body(&mut br, with_codec) {
             Ok(body) => {
                 let postings = body.lists.iter().map(|(_, l)| l.len() as u64).sum();
                 (ShardBodyStatus::Ok { docs: body.doc_lens.len() as u64, postings }, br.pos)
@@ -509,7 +548,7 @@ pub fn scan_sharded(bytes: &[u8]) -> Result<ShardScanReport, IndexError> {
     let mut shards = Vec::with_capacity(header.num_shards);
     let footer_ok;
     if let Some(lens) = &header.body_lens {
-        // v2: every body is addressable from the (CRC-verified) length
+        // v2/v3: every body is addressable from the (CRC-verified) length
         // table, so a corrupt shard is reported in place and the scan
         // moves on to the next shard.
         let mut start = r.pos;
@@ -646,23 +685,52 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Deserializes an index previously written by [`serialize`] (format v3) or
-/// by the v2 writer (no bounds section) or v1 writer (no checksums).
+/// Deserializes an index previously written by [`serialize`] (format v4)
+/// or by the legacy v3 (no codec id), v2 (no bounds section) or v1 (no
+/// checksums) writers.
 ///
 /// # Errors
 ///
 /// Returns [`IndexError::UnsupportedFormat`] on an unknown magic/version
-/// word, [`IndexError::ChecksumMismatch`] when a v2/v3 section checksum
-/// fails, and [`IndexError::CorruptIndex`] on truncated or inconsistent
-/// content — including a v3 score-bounds section that passes its CRC but
-/// disagrees with the bounds recomputed from the postings.
+/// word, [`IndexError::UnknownCodec`] when a v4 header names a codec this
+/// build doesn't know, [`IndexError::ChecksumMismatch`] when a section
+/// checksum fails, and [`IndexError::CorruptIndex`] on truncated or
+/// inconsistent content — including a score-bounds section that passes
+/// its CRC but disagrees with the bounds recomputed from the postings.
 pub fn deserialize(bytes: &[u8]) -> Result<InvertedIndex, IndexError> {
     let mut r = Reader::new(bytes);
     let magic = r.u64("magic")?;
     match magic {
-        MAGIC => deserialize_v3(r),
+        MAGIC => deserialize_bounded(r, true),
+        MAGIC_V3 => deserialize_bounded(r, false),
         MAGIC_V2 => deserialize_v2(r),
         MAGIC_V1 => deserialize_v1(r),
+        found => Err(IndexError::UnsupportedFormat { found }),
+    }
+}
+
+/// Cheaply reads the codec id a plain index file's payloads are encoded
+/// with, verifying only the magic and the header-section CRC (no payload
+/// decode). Pre-v4 files report [`CodecId::BitPack`].
+///
+/// # Errors
+///
+/// Returns [`IndexError::UnsupportedFormat`] on an unknown magic,
+/// [`IndexError::ChecksumMismatch`] on a corrupt header, and
+/// [`IndexError::UnknownCodec`] on a codec id this build doesn't know.
+pub fn peek_codec(bytes: &[u8]) -> Result<CodecId, IndexError> {
+    let mut r = Reader::new(bytes);
+    let magic = r.u64("magic")?;
+    match magic {
+        MAGIC => {
+            let start = r.pos;
+            let _ = r.take(21, "header")?; // k1, b, partitioner
+            let raw = r.u8("header")?;
+            let _ = r.take(16, "header")?; // num_docs, num_terms
+            r.verify_section(start, "header", "header checksum")?;
+            CodecId::from_u8(raw)
+        }
+        MAGIC_V3 | MAGIC_V2 | MAGIC_V1 => Ok(CodecId::BitPack),
         found => Err(IndexError::UnsupportedFormat { found }),
     }
 }
@@ -680,28 +748,42 @@ fn read_partitioner(kind: u8, arg: usize) -> Result<Partitioner, IndexError> {
     }
 }
 
-/// Everything a checksummed file (v2/v3) carries before its
+/// Everything a checksummed file (v2/v3/v4) carries before its
 /// version-specific tail sections.
 struct ChecksummedBody {
     params: Bm25Params,
     partitioner: Partitioner,
+    codec: CodecId,
     doc_lens: Vec<u32>,
     lists: Vec<(String, PostingList)>,
 }
 
-/// Reads the header, doc-length table and term records shared by the v2
-/// and v3 layouts, verifying each section checksum.
-fn read_checksummed_body(r: &mut Reader<'_>) -> Result<ChecksummedBody, IndexError> {
+/// Reads the header, doc-length table and term records shared by the
+/// checksummed layouts, verifying each section checksum. `with_codec`
+/// selects the v4-style header (one extra codec-id byte after the
+/// partitioner); without it the body is pre-v4 and implicitly bit-packed.
+fn read_checksummed_body(
+    r: &mut Reader<'_>,
+    with_codec: bool,
+) -> Result<ChecksummedBody, IndexError> {
     let header_start = r.pos;
     let k1 = r.f64("header")?;
     let b = r.f64("header")?;
     let params = Bm25Params { k1, b };
     let part_kind = r.u8("header")?;
     let part_arg = r.u32("header")? as usize;
+    // Read the raw byte here but interpret it only after the section CRC
+    // passes: random corruption of the codec field should surface as a
+    // checksum mismatch, not as a spurious "unknown codec".
+    let codec_raw = if with_codec { Some(r.u8("header")?) } else { None };
     let n_docs = r.u64("header")? as usize;
     let n_terms = r.u64("header")? as usize;
     r.verify_section(header_start, "header", "header checksum")?;
     let partitioner = read_partitioner(part_kind, part_arg)?;
+    let codec = match codec_raw {
+        Some(raw) => CodecId::from_u8(raw)?,
+        None => CodecId::BitPack,
+    };
 
     let doc_start = r.pos;
     let doc_bytes = n_docs
@@ -715,11 +797,11 @@ fn read_checksummed_body(r: &mut Reader<'_>) -> Result<ChecksummedBody, IndexErr
     let mut lists = Vec::with_capacity(n_terms.min(r.remaining()));
     for _ in 0..n_terms {
         let record_start = r.pos;
-        let (name, list) = read_term_record(r, "term record")?;
+        let (name, list) = read_term_record(r, "term record", codec)?;
         r.verify_section(record_start, "term record", "term record checksum")?;
         lists.push((name, list));
     }
-    Ok(ChecksummedBody { params, partitioner, doc_lens, lists })
+    Ok(ChecksummedBody { params, partitioner, codec, doc_lens, lists })
 }
 
 /// Verifies the whole-file footer CRC and that no bytes trail it.
@@ -737,13 +819,18 @@ fn verify_footer(r: &mut Reader<'_>) -> Result<(), IndexError> {
 }
 
 fn deserialize_v2(mut r: Reader<'_>) -> Result<InvertedIndex, IndexError> {
-    let body = read_checksummed_body(&mut r)?;
+    let body = read_checksummed_body(&mut r, false)?;
     verify_footer(&mut r)?;
     InvertedIndex::from_lists(body.lists, body.doc_lens, body.partitioner, body.params)
 }
 
-fn deserialize_v3(mut r: Reader<'_>) -> Result<InvertedIndex, IndexError> {
-    let body = read_checksummed_body(&mut r)?;
+/// Shared v3/v4 reader: checksummed body plus a score-bounds section.
+/// `with_codec` distinguishes the v4 header (codec id byte) from v3.
+fn deserialize_bounded(
+    mut r: Reader<'_>,
+    with_codec: bool,
+) -> Result<InvertedIndex, IndexError> {
+    let body = read_checksummed_body(&mut r, with_codec)?;
 
     let bounds_start = r.pos;
     let n_terms = body.lists.len();
@@ -765,10 +852,15 @@ fn deserialize_v3(mut r: Reader<'_>) -> Result<InvertedIndex, IndexError> {
     r.verify_section(bounds_start, "score bounds", "score bounds checksum")?;
     verify_footer(&mut r)?;
 
-    let index =
-        InvertedIndex::from_lists(body.lists, body.doc_lens, body.partitioner, body.params)?;
-    // `from_lists` recomputed the bounds from the decoded postings; a
-    // CRC-consistent file whose stored bounds disagree was written wrong
+    let index = InvertedIndex::from_lists_codec(
+        body.lists,
+        body.doc_lens,
+        body.partitioner,
+        body.params,
+        body.codec,
+    )?;
+    // `from_lists_codec` recomputed the bounds from the decoded postings;
+    // a CRC-consistent file whose stored bounds disagree was written wrong
     // (or tampered with checksums recomputed) and must not drive pruning.
     for (id, stored) in stored.iter().enumerate() {
         if *stored != *index.list_bounds(id as crate::index::TermId) {
@@ -796,17 +888,18 @@ fn deserialize_v1(mut r: Reader<'_>) -> Result<InvertedIndex, IndexError> {
     let n_terms = r.u64("term count")? as usize;
     let mut lists = Vec::with_capacity(n_terms.min(r.remaining()));
     for _ in 0..n_terms {
-        lists.push(read_term_record(&mut r, "term record")?);
+        lists.push(read_term_record(&mut r, "term record", CodecId::BitPack)?);
     }
     InvertedIndex::from_lists(lists, doc_lens, partitioner, params)
 }
 
-/// Reads one term record (shared between v1 and v2) and rebuilds the list
-/// by decoding and re-encoding: this validates the content and
+/// Reads one term record (shared by every format version) and rebuilds
+/// the list by decoding and re-encoding: this validates the content and
 /// reconstructs the derived fields (model cost) without trusting the file.
 fn read_term_record(
     r: &mut Reader<'_>,
     context: &'static str,
+    codec: CodecId,
 ) -> Result<(String, PostingList), IndexError> {
     let name_len = r.u32(context)? as usize;
     let name = std::str::from_utf8(r.take(name_len, context)?)
@@ -839,19 +932,57 @@ fn read_term_record(
     if total != num_postings {
         return Err(IndexError::CorruptIndex { context: "posting count mismatch" });
     }
-    let decoded = decode_raw(&metas, &skips, payload)?;
+    let decoded = decode_raw(&metas, &skips, payload, codec)?;
     Ok((name, PostingList::from_sorted(decoded)))
 }
 
 /// Decodes raw block tables into postings, with bounds checking.
+///
+/// The bit-packed path reads the payload directly; other codecs decode
+/// each block through their [`crate::BlockCodec`] implementation and the
+/// strictly-increasing docID post-check below catches any in-bounds
+/// corruption the codec's own bounds checks can't (e.g. wrapped gap sums).
 fn decode_raw(
     metas: &[BlockMeta],
     skips: &[u32],
     payload: &[u8],
+    codec: CodecId,
 ) -> Result<Vec<crate::posting::Posting>, IndexError> {
     use crate::bitpack::BitReader;
     if metas.len() != skips.len() {
         return Err(IndexError::CorruptIndex { context: "skip/meta count mismatch" });
+    }
+    if codec != CodecId::BitPack {
+        let ops = codec.ops();
+        let mut out = Vec::new();
+        for (i, (meta, &skip)) in metas.iter().zip(skips).enumerate() {
+            let start = meta.offset as usize;
+            let end = match metas.get(i + 1) {
+                Some(next) => next.offset as usize,
+                None => payload.len(),
+            };
+            if start > end || end > payload.len() {
+                return Err(IndexError::CorruptIndex { context: "payload bounds" });
+            }
+            let base = out.len();
+            ops.try_decode_block_into(
+                &payload[start..end],
+                meta.count as usize,
+                meta.dn_bits,
+                meta.tf_bits,
+                skip,
+                &mut out,
+            )?;
+            let floor = if base == 0 { None } else { Some(out[base - 1].doc_id) };
+            let mut prev = floor;
+            for p in &out[base..] {
+                if prev.is_some_and(|d| p.doc_id <= d) {
+                    return Err(IndexError::CorruptIndex { context: "docIDs not increasing" });
+                }
+                prev = Some(p.doc_id);
+            }
+        }
+        return Ok(out);
     }
     let mut out = Vec::new();
     for (meta, &skip) in metas.iter().zip(skips) {
@@ -1063,10 +1194,10 @@ mod tests {
     #[test]
     fn rejects_unknown_future_version() {
         let mut bytes = serialize(&sample_index()).unwrap().to_vec();
-        bytes[0] = 0x04; // "IIUX" + 0x0004
+        bytes[0] = 0x05; // "IIUX" + 0x0005
         assert!(matches!(
             deserialize(&bytes),
-            Err(IndexError::UnsupportedFormat { found }) if found & 0xffff == 4
+            Err(IndexError::UnsupportedFormat { found }) if found & 0xffff == 5
         ));
     }
 
@@ -1118,9 +1249,9 @@ mod tests {
     fn checksum_error_names_the_section() {
         let idx = sample_index();
         let bytes = serialize(&idx).unwrap().to_vec();
-        // Flip a doc-length byte: header is 8 (magic) + 37 + 4 bytes in.
+        // Flip a doc-length byte: header is 8 (magic) + 38 + 4 bytes in.
         let mut corrupt = bytes.clone();
-        corrupt[8 + 37 + 4 + 1] ^= 0x10;
+        corrupt[8 + 38 + 4 + 1] ^= 0x10;
         match deserialize(&corrupt) {
             Err(IndexError::ChecksumMismatch { section, expected, found }) => {
                 assert_eq!(section, "doc length table");
@@ -1138,9 +1269,9 @@ mod tests {
             other => panic!("expected header checksum failure, got {other:?}"),
         }
         // Flip a byte of the first term record (its name byte at offset
-        // 8 magic + 37 header + 4 crc + 16 doc table + 4 crc + 4 name_len).
+        // 8 magic + 38 header + 4 crc + 16 doc table + 4 crc + 4 name_len).
         let mut corrupt = bytes.clone();
-        corrupt[8 + 37 + 4 + 16 + 4 + 4] ^= 0x04;
+        corrupt[8 + 38 + 4 + 16 + 4 + 4] ^= 0x04;
         match deserialize(&corrupt) {
             Err(
                 IndexError::ChecksumMismatch { section: "term record", .. }
@@ -1161,16 +1292,16 @@ mod tests {
         }
     }
 
-    /// Byte offsets of every section boundary in a v3 file, in order, each
+    /// Byte offsets of every section boundary in a v4 file, in order, each
     /// labeled with the context/section expected when the file is cut
     /// *inside* the following section.
-    fn v3_section_boundaries(index: &InvertedIndex) -> Vec<(usize, &'static str)> {
+    fn v4_section_boundaries(index: &InvertedIndex) -> Vec<(usize, &'static str)> {
         let mut bounds = Vec::new();
         let mut pos = 0usize;
         bounds.push((pos, "magic"));
         pos += 8;
         bounds.push((pos, "header"));
-        pos += 37;
+        pos += 38;
         bounds.push((pos, "header checksum"));
         pos += 4;
         bounds.push((pos, "doc length table"));
@@ -1204,7 +1335,7 @@ mod tests {
     fn truncation_context_names_the_right_section() {
         let idx = sample_index();
         let bytes = serialize(&idx).unwrap().to_vec();
-        let bounds = v3_section_boundaries(&idx);
+        let bounds = v4_section_boundaries(&idx);
         assert_eq!(bounds.last().unwrap().0 + 4, bytes.len(), "boundary math");
         for &(at, expect) in &bounds {
             // Cutting exactly at a boundary fails while *needing* the next
@@ -1238,7 +1369,7 @@ mod tests {
         let bytes = serialize_sharded(&sharded).unwrap();
         assert!(matches!(
             deserialize(&bytes),
-            Err(IndexError::UnsupportedFormat { found }) if found == MAGIC_SHARD_V2
+            Err(IndexError::UnsupportedFormat { found }) if found == MAGIC_SHARD_V3
         ));
         let plain = serialize(&sample_index()).unwrap();
         assert!(!is_sharded(&plain));
@@ -1275,7 +1406,7 @@ mod tests {
         }
         seal_section(&mut buf, header_start);
         for shard in sharded.shards() {
-            write_checksummed_body(&mut buf, shard).unwrap();
+            write_checksummed_body(&mut buf, shard, false).unwrap();
         }
         let footer = crc32(&buf);
         buf.put_u32_le(footer);
@@ -1294,12 +1425,193 @@ mod tests {
         assert!(report.is_clean(), "clean v1 manifest must scan clean: {report:?}");
     }
 
+    /// Writes a legacy v2 shard manifest (body-length table but no codec
+    /// id bytes), byte-for-byte what the pre-v4 writer produced.
+    fn serialize_sharded_v2(sharded: &ShardedIndex) -> Vec<u8> {
+        let first = sharded.shards().first().unwrap();
+        let mut bodies: Vec<Vec<u8>> = Vec::new();
+        for shard in sharded.shards() {
+            let mut body = Vec::new();
+            write_checksummed_body(&mut body, shard, false).unwrap();
+            bodies.push(body);
+        }
+        let mut buf = Vec::new();
+        buf.put_u64_le(MAGIC_SHARD_V2);
+        let header_start = buf.len();
+        buf.put_u32_le(sharded.num_shards() as u32);
+        buf.put_u64_le(sharded.num_docs());
+        buf.put_f64_le(first.avgdl());
+        match sharded.parent_partitioner() {
+            Partitioner::Fixed { block_len } => {
+                buf.put_u8(0);
+                buf.put_u32_le(block_len as u32);
+            }
+            Partitioner::Dynamic { max_size } => {
+                buf.put_u8(1);
+                buf.put_u32_le(max_size as u32);
+            }
+        }
+        buf.put_u64_le(first.num_terms() as u64);
+        for info in first.terms() {
+            buf.put_u32_le(info.idf_bar.raw());
+        }
+        for body in &bodies {
+            buf.put_u64_le(body.len() as u64);
+        }
+        seal_section(&mut buf, header_start);
+        for body in &bodies {
+            buf.put_slice(body);
+        }
+        let footer = crc32(&buf);
+        buf.put_u32_le(footer);
+        buf
+    }
+
+    #[test]
+    fn legacy_v2_shard_manifest_still_loads() {
+        let sharded = sample_sharded();
+        let bytes = serialize_sharded_v2(&sharded);
+        assert!(is_sharded(&bytes));
+        let back = deserialize_sharded(&bytes).unwrap();
+        assert_eq!(sharded, back);
+        let report = scan_sharded(&bytes).unwrap();
+        assert_eq!(report.version, 2);
+        assert!(report.is_clean(), "clean v2 manifest must scan clean: {report:?}");
+    }
+
+    /// Writes `index` in the legacy v3 layout: the v4 layout minus the
+    /// codec id byte, byte-for-byte what the pre-codec writer produced.
+    fn serialize_v3(index: &InvertedIndex) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.put_u64_le(MAGIC_V3);
+        write_checksummed_body(&mut buf, index, false).unwrap();
+        let bounds_start = buf.len();
+        for bounds in index.bounds() {
+            buf.put_u64_le(bounds.num_blocks() as u64);
+            for (ub, &max_tf) in bounds.ubs().iter().zip(bounds.max_tfs()) {
+                buf.put_u32_le(ub.raw());
+                buf.put_u32_le(max_tf);
+            }
+        }
+        seal_section(&mut buf, bounds_start);
+        let footer = crc32(&buf);
+        buf.put_u32_le(footer);
+        buf
+    }
+
+    #[test]
+    fn reads_legacy_v3_files() {
+        let idx = sample_index();
+        let bytes = serialize_v3(&idx);
+        let back = deserialize(&bytes).unwrap();
+        assert_eq!(back, idx);
+        assert_eq!(back.codec(), CodecId::BitPack, "pre-v4 files are bit-packed");
+        // The legacy layout keeps its own corruption detection.
+        for byte in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[byte] ^= 1 << (byte % 8);
+            assert!(deserialize(&flipped).is_err(), "v3 bit flip at byte {byte} accepted");
+        }
+    }
+
+    fn sample_index_with(codec: CodecId) -> InvertedIndex {
+        let mut b = IndexBuilder::new(BuildOptions { codec, ..Default::default() });
+        b.add_document("the quick brown fox jumps over the lazy dog");
+        b.add_document("pack my box with five dozen liquor jugs");
+        b.add_document("the five boxing wizards jump quickly");
+        b.add_document("quick wizards pack the box");
+        b.build()
+    }
+
+    #[test]
+    fn v4_roundtrip_preserves_codec_for_every_codec() {
+        for codec in CodecId::ALL {
+            let idx = sample_index_with(codec);
+            assert_eq!(idx.codec(), codec);
+            let bytes = serialize(&idx).unwrap();
+            assert_eq!(peek_codec(&bytes).unwrap(), codec);
+            let back = deserialize(&bytes).unwrap();
+            assert_eq!(back.codec(), codec);
+            assert_eq!(back, idx, "{codec} roundtrip");
+
+            let sharded = ShardedIndex::split(&idx, 3).unwrap();
+            let sbytes = serialize_sharded(&sharded).unwrap();
+            let sback = deserialize_sharded(&sbytes).unwrap();
+            assert_eq!(sback, sharded, "{codec} sharded roundtrip");
+            for shard in sback.shards() {
+                assert_eq!(shard.codec(), codec);
+            }
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_is_detected_for_every_codec() {
+        for codec in CodecId::ALL {
+            let bytes = serialize(&sample_index_with(codec)).unwrap();
+            for byte in 0..bytes.len() {
+                let mut flipped = bytes.clone();
+                flipped[byte] ^= 1 << (byte % 8);
+                assert!(
+                    deserialize(&flipped).is_err(),
+                    "{codec}: bit flip at byte {byte} was silently accepted"
+                );
+            }
+        }
+    }
+
+    /// Rewrites the header section CRC and whole-file footer of a plain
+    /// v4 file so a deliberate header tamper passes every checksum.
+    fn reseal_v4_header(bytes: &mut [u8]) {
+        // Header spans bytes 8..46 (38 bytes), its CRC sits at 46..50.
+        let crc = crc32(&bytes[8..46]);
+        bytes[46..50].copy_from_slice(&crc.to_le_bytes());
+        let n = bytes.len();
+        let footer = crc32(&bytes[..n - 4]);
+        bytes[n - 4..].copy_from_slice(&footer.to_le_bytes());
+    }
+
+    #[test]
+    fn crc_consistent_unknown_codec_id_is_a_typed_error() {
+        let mut bytes = serialize(&sample_index()).unwrap().to_vec();
+        // Codec id byte: 8 magic + 16 params + 5 partitioner = offset 29.
+        bytes[29] = 99;
+        reseal_v4_header(&mut bytes);
+        assert!(matches!(deserialize(&bytes), Err(IndexError::UnknownCodec { id: 99 })));
+    }
+
+    #[test]
+    fn crc_consistent_codec_flip_is_rejected() {
+        // Flipping a bit-packed file's codec id to a *valid* other codec
+        // (with all checksums recomputed) must not load: the payload
+        // misdecodes, tripping the docID monotonic check or the stored
+        // score-bounds oracle.
+        for &codec in &[CodecId::StreamVByte, CodecId::SimdBp128] {
+            let mut bytes = serialize(&sample_index()).unwrap().to_vec();
+            assert_eq!(bytes[29], CodecId::BitPack.as_u8());
+            bytes[29] = codec.as_u8();
+            reseal_v4_header(&mut bytes);
+            assert!(deserialize(&bytes).is_err(), "codec flip to {codec} accepted");
+        }
+    }
+
+    #[test]
+    fn corrupting_the_codec_byte_alone_is_a_checksum_mismatch() {
+        // Without recomputing the CRCs, a flipped codec byte must surface
+        // as a header checksum failure, not an unknown-codec error.
+        let mut bytes = serialize(&sample_index()).unwrap().to_vec();
+        bytes[29] ^= 0xff;
+        assert!(matches!(
+            deserialize(&bytes),
+            Err(IndexError::ChecksumMismatch { section: "header", .. })
+        ));
+    }
+
     #[test]
     fn scan_reports_clean_manifest_per_shard() {
         let sharded = sample_sharded();
         let bytes = serialize_sharded(&sharded).unwrap();
         let report = scan_sharded(&bytes).unwrap();
-        assert_eq!(report.version, 2);
+        assert_eq!(report.version, 3);
         assert_eq!(report.num_shards, sharded.num_shards());
         assert!(report.is_clean(), "{report:?}");
         assert!(report.corrupt_shards().is_empty());

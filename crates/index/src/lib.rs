@@ -7,8 +7,12 @@
 //!   [`PostingList`]);
 //! * delta (d-gap) encoding of docIDs ([`delta`]);
 //! * per-block bit-packing of `(d-gap, tf)` pairs ([`bitpack`], [`block`]);
-//! * the dynamic-programming block partitioner minimizing
-//!   `C(B_i) = (b_dn + b_tf) · |B_i| + 96` bits ([`partition`]);
+//! * pluggable block codecs — bit-packed (default), Stream-VByte and a
+//!   SIMD-BP128-style vertical layout with runtime-dispatched SSE2/AVX2
+//!   kernels ([`codec`]);
+//! * the dynamic-programming block partitioner minimizing the codec's
+//!   cost model, `C(B_i) = (b_dn + b_tf) · |B_i| + 96` bits for the
+//!   default codec ([`partition`]);
 //! * per-block metadata words (5 + 5 + 11 + 43 bits) and skip lists
 //!   ([`block::BlockMeta`], [`block::EncodedList`]);
 //! * BM25 scoring with the hardware's precomputed sub-expressions and
@@ -43,6 +47,7 @@ pub mod block;
 pub mod bounds;
 pub mod builder;
 pub mod checksum;
+pub mod codec;
 pub mod delta;
 pub mod error;
 pub mod faultinject;
@@ -66,6 +71,7 @@ pub use block::{BlockMeta, EncodedList};
 pub use bounds::ListBounds;
 pub use builder::{BuildOptions, IndexBuilder};
 pub use checksum::{crc32, Crc32};
+pub use codec::{BlockCodec, CodecId};
 pub use error::IndexError;
 pub use faultinject::{
     corrupt, survival_report, Corruption, ShardChaosPlan, SplitMix64, SurvivalReport,

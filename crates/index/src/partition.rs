@@ -9,7 +9,8 @@
 //! baseline.
 
 use crate::bitpack::bits_for;
-use crate::block::{BLOCK_OVERHEAD_BITS, MAX_BLOCK_LEN};
+use crate::block::MAX_BLOCK_LEN;
+use crate::codec::CodecId;
 use crate::posting::PostingList;
 
 /// The paper's default `maxSize` (§3.2, chosen from the Fig. 14 sweep).
@@ -75,19 +76,34 @@ impl Partitioner {
         Partitioner::Dynamic { max_size }
     }
 
-    /// Computes block lengths for `list`. The lengths sum to `list.len()`;
-    /// an empty list yields an empty partition.
+    /// Computes block lengths for `list` under the default codec's cost
+    /// model (the paper's Eq. 3). The lengths sum to `list.len()`; an
+    /// empty list yields an empty partition.
     pub fn partition(&self, list: &PostingList) -> Vec<usize> {
+        self.partition_for(list, CodecId::default())
+    }
+
+    /// Computes block lengths for `list`, minimizing `codec`'s
+    /// bits-per-posting model ([`crate::codec::BlockCodec::block_cost_bits`])
+    /// instead of the hardcoded `(b_dn + b_tf)·|B| + 96`. Fixed
+    /// partitioning ignores the model by construction.
+    pub fn partition_for(&self, list: &PostingList, codec: CodecId) -> Vec<usize> {
         match *self {
             Partitioner::Fixed { block_len } => fixed_partition(list.len(), block_len),
-            Partitioner::Dynamic { max_size } => dynamic_partition(list, max_size),
+            Partitioner::Dynamic { max_size } => dynamic_partition(list, max_size, codec),
         }
     }
 
     /// Total model cost in bits of the partition this strategy chooses for
-    /// `list` (Eq. 3 summed over blocks).
+    /// `list` under the default codec (Eq. 3 summed over blocks).
     pub fn cost_bits(&self, list: &PostingList) -> u64 {
-        partition_cost_bits(list, &self.partition(list))
+        self.cost_bits_for(list, CodecId::default())
+    }
+
+    /// Total model cost in bits under `codec`'s cost model of the
+    /// partition this strategy chooses for `list` *under that model*.
+    pub fn cost_bits_for(&self, list: &PostingList, codec: CodecId) -> u64 {
+        partition_cost_bits_for(list, &self.partition_for(list, codec), codec)
     }
 }
 
@@ -116,12 +132,13 @@ fn fixed_partition(n: usize, block_len: usize) -> Vec<usize> {
 /// Scanning the block start backwards maintains the running maxima of the
 /// stored d-gaps and term frequencies incrementally, giving `O(n · maxSize)`
 /// time and `O(n)` space.
-fn dynamic_partition(list: &PostingList, max_size: usize) -> Vec<usize> {
+fn dynamic_partition(list: &PostingList, max_size: usize, codec: CodecId) -> Vec<usize> {
     let postings = list.as_slice();
     let n = postings.len();
     if n == 0 {
         return Vec::new();
     }
+    let ops = codec.ops();
 
     // gaps[k] = stored d-gap of posting k when it is *not* a block start.
     // (Block starts store 0; their docID comes from the skip value.)
@@ -143,8 +160,9 @@ fn dynamic_partition(list: &PostingList, max_size: usize) -> Vec<usize> {
         let mut tmax = postings[i - 1].tf;
         let mut j = i - 1;
         loop {
-            let pair_bits = u64::from(bits_for(gmax) as u32 + bits_for(tmax) as u32);
-            let c = cost[j].saturating_add(pair_bits * (i - j) as u64 + BLOCK_OVERHEAD_BITS);
+            let block_cost =
+                ops.block_cost_bits((i - j) as u64, bits_for(gmax), bits_for(tmax));
+            let c = cost[j].saturating_add(block_cost);
             if c < cost[i] {
                 cost[i] = c;
                 parent[i] = j;
@@ -170,18 +188,34 @@ fn dynamic_partition(list: &PostingList, max_size: usize) -> Vec<usize> {
     lens
 }
 
-/// Model cost in bits (Eq. 3) of an arbitrary partition of `list`.
+/// Model cost in bits (Eq. 3, default codec) of an arbitrary partition of
+/// `list`.
 ///
 /// # Panics
 ///
 /// Panics if the partition does not cover the list exactly.
 pub fn partition_cost_bits(list: &PostingList, block_lens: &[usize]) -> u64 {
+    partition_cost_bits_for(list, block_lens, CodecId::default())
+}
+
+/// Model cost in bits under `codec`'s cost model of an arbitrary partition
+/// of `list`.
+///
+/// # Panics
+///
+/// Panics if the partition does not cover the list exactly.
+pub fn partition_cost_bits_for(
+    list: &PostingList,
+    block_lens: &[usize],
+    codec: CodecId,
+) -> u64 {
     let postings = list.as_slice();
     assert_eq!(
         block_lens.iter().sum::<usize>(),
         postings.len(),
         "partition must cover the list exactly"
     );
+    let ops = codec.ops();
     let mut total = 0u64;
     let mut start = 0usize;
     for &len in block_lens {
@@ -194,8 +228,7 @@ pub fn partition_cost_bits(list: &PostingList, block_lens: &[usize]) -> u64 {
             }
             tmax = tmax.max(p.tf);
         }
-        total += u64::from(bits_for(gmax) as u32 + bits_for(tmax) as u32) * len as u64
-            + BLOCK_OVERHEAD_BITS;
+        total += ops.block_cost_bits(len as u64, bits_for(gmax), bits_for(tmax));
         start += len;
     }
     total
@@ -315,6 +348,28 @@ mod tests {
             let c = Partitioner::dynamic(max).cost_bits(&l);
             assert!(c <= prev, "cost must be non-increasing in maxSize");
             prev = c;
+        }
+    }
+
+    #[test]
+    fn codec_aware_partition_optimizes_its_own_model() {
+        // A gap pattern where byte-aligned Stream-VByte wants different
+        // boundaries than bit-exact packing: under its own model the
+        // codec-aware DP must never lose to the BitPack-chosen partition.
+        let ids: Vec<u32> = (0..600u32).map(|i| i * 3 + (i % 11) * 700).collect();
+        let mut sorted = ids;
+        sorted.sort_unstable();
+        sorted.dedup();
+        let l = list_from_ids(&sorted);
+        for codec in CodecId::ALL {
+            let own = Partitioner::dynamic(256).partition_for(&l, codec);
+            let bp = Partitioner::dynamic(256).partition_for(&l, CodecId::BitPack);
+            let own_cost = partition_cost_bits_for(&l, &own, codec);
+            let bp_cost = partition_cost_bits_for(&l, &bp, codec);
+            assert!(
+                own_cost <= bp_cost,
+                "{codec}: own partition {own_cost} bits > bitpack partition {bp_cost} bits"
+            );
         }
     }
 

@@ -9,10 +9,12 @@
 //!    contained in another's range are dropped as stale pre-merge
 //!    leftovers, and the survivors must tile `[0, total)` contiguously —
 //!    anything else is typed corruption, never a panic.
-//! 3. Each surviving segment is loaded and checksum-verified by the v3
-//!    reader, and must agree with the options the directory is opened
-//!    with (a segment sealed under different BM25 parameters would score
-//!    inconsistently and is refused).
+//! 3. Each surviving segment is loaded and checksum-verified by the
+//!    format reader, and must agree with the options the directory is
+//!    opened with (a segment sealed under different BM25 parameters
+//!    would score inconsistently, and one sealed under a different block
+//!    codec would silently diverge from the directory's write path; both
+//!    are refused).
 //! 4. The WAL is replayed from the sealed-document count: torn tails are
 //!    truncated, duplicates skipped, provable corruption reported as
 //!    [`IndexError::CorruptWal`].
@@ -26,6 +28,7 @@ use std::fmt;
 use std::fs;
 use std::path::Path;
 
+use crate::codec::CodecId;
 use crate::error::IndexError;
 use crate::memtable::WriteBuffer;
 use crate::partition::Partitioner;
@@ -95,6 +98,7 @@ pub fn recover(
     dir: &Path,
     partitioner: Partitioner,
     params: Bm25Params,
+    codec: CodecId,
 ) -> Result<RecoveredState, IndexError> {
     let mut report = RecoveryReport::default();
 
@@ -158,7 +162,10 @@ pub fn recover(
     let mut segments = Vec::with_capacity(resolved.len());
     for meta in &resolved {
         let loaded = segment::load_segment(dir, meta)?;
-        if loaded.index.partitioner() != partitioner || loaded.index.params() != params {
+        if loaded.index.partitioner() != partitioner
+            || loaded.index.params() != params
+            || loaded.index.codec() != codec
+        {
             return Err(IndexError::CorruptIndex {
                 context: "segment sealed under different index options",
             });
@@ -227,7 +234,7 @@ mod tests {
     fn fresh_directory_creates_wal() {
         let dir = tmp_dir("fresh");
         let (part, params) = opts();
-        let state = recover(&dir, part, params).unwrap();
+        let state = recover(&dir, part, params, CodecId::BitPack).unwrap();
         assert!(state.report.wal_was_missing);
         assert_eq!(state.segments.len(), 0);
         assert!(state.buffer.is_empty());
@@ -240,7 +247,7 @@ mod tests {
         let dir = tmp_dir("tmp");
         std::fs::write(dir.join("seg-000000000000-000000000005.iiu.tmp"), b"junk").unwrap();
         let (part, params) = opts();
-        let state = recover(&dir, part, params).unwrap();
+        let state = recover(&dir, part, params, CodecId::BitPack).unwrap();
         assert_eq!(state.report.tmp_files_removed, 1);
         assert!(!dir.join("seg-000000000000-000000000005.iiu.tmp").exists());
         std::fs::remove_dir_all(&dir).ok();
@@ -254,7 +261,7 @@ mod tests {
         let a = seal_one(&dir, 0, 2);
         let b = seal_one(&dir, 2, 1);
         seal_one(&dir, 0, 3);
-        let state = recover(&dir, part, params).unwrap();
+        let state = recover(&dir, part, params, CodecId::BitPack).unwrap();
         assert_eq!(state.report.segments_loaded, 1);
         assert_eq!(state.report.segments_subsumed, 2);
         assert_eq!(state.segments[0].meta.count, 3);
@@ -269,7 +276,7 @@ mod tests {
         let (part, params) = opts();
         seal_one(&dir, 0, 2);
         seal_one(&dir, 5, 1); // [2,5) missing
-        let err = recover(&dir, part, params).unwrap_err();
+        let err = recover(&dir, part, params, CodecId::BitPack).unwrap_err();
         assert!(matches!(
             err,
             IndexError::CorruptIndex { context: "segment ranges leave a gap" }
@@ -283,7 +290,7 @@ mod tests {
         let (part, params) = opts();
         seal_one(&dir, 0, 3);
         seal_one(&dir, 2, 3); // overlaps [2,3) but extends past
-        let err = recover(&dir, part, params).unwrap_err();
+        let err = recover(&dir, part, params, CodecId::BitPack).unwrap_err();
         assert!(matches!(err, IndexError::CorruptIndex { context: "segment ranges overlap" }));
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -293,7 +300,7 @@ mod tests {
         let dir = tmp_dir("badname");
         std::fs::write(dir.join("seg-bogus.iiu"), b"x").unwrap();
         let (part, params) = opts();
-        let err = recover(&dir, part, params).unwrap_err();
+        let err = recover(&dir, part, params, CodecId::BitPack).unwrap_err();
         assert!(matches!(
             err,
             IndexError::CorruptIndex { context: "unparseable segment file name" }
@@ -309,7 +316,7 @@ mod tests {
         let path = dir.join(&s.meta.file_name);
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
-        let err = recover(&dir, part, params).unwrap_err();
+        let err = recover(&dir, part, params, CodecId::BitPack).unwrap_err();
         // Any typed corruption error is acceptable; a panic is not.
         let _ = err.to_string();
         std::fs::remove_dir_all(&dir).ok();
@@ -320,15 +327,31 @@ mod tests {
         let dir = tmp_dir("optmis");
         let (part, params) = opts();
         seal_one(&dir, 0, 2);
-        let err = recover(&dir, Partitioner::fixed(64), params).unwrap_err();
+        let err = recover(&dir, Partitioner::fixed(64), params, CodecId::BitPack).unwrap_err();
         assert!(matches!(
             err,
             IndexError::CorruptIndex {
                 context: "segment sealed under different index options"
             }
         ));
-        let err = recover(&dir, part, Bm25Params { k1: 9.9, ..params }).unwrap_err();
+        let err = recover(&dir, part, Bm25Params { k1: 9.9, ..params }, CodecId::BitPack)
+            .unwrap_err();
         assert!(matches!(err, IndexError::CorruptIndex { .. }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mismatched_codec_is_refused() {
+        let dir = tmp_dir("codecmis");
+        let (part, params) = opts();
+        seal_one(&dir, 0, 2); // sealed bit-packed
+        let err = recover(&dir, part, params, CodecId::StreamVByte).unwrap_err();
+        assert!(matches!(
+            err,
+            IndexError::CorruptIndex {
+                context: "segment sealed under different index options"
+            }
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -141,12 +141,13 @@ impl ShardedIndex {
         let partitioner = if n == 1 { index.partitioner() } else { shard_partitioner(index) };
         let mut shards = Vec::with_capacity(n);
         for (lists, lens) in shard_lists.into_iter().zip(shard_doc_lens) {
-            shards.push(InvertedIndex::from_lists_with_stats(
+            shards.push(InvertedIndex::from_lists_with_stats_codec(
                 lists,
                 lens,
                 avgdl,
                 partitioner,
                 index.params(),
+                index.codec(),
             )?);
         }
         Ok(ShardedIndex {
@@ -203,7 +204,13 @@ impl ShardedIndex {
             merged.sort_unstable_by_key(|p| p.doc_id);
             lists.push((term.clone(), PostingList::from_sorted(merged)));
         }
-        InvertedIndex::from_lists(lists, doc_lens, self.parent_partitioner, first.params())
+        InvertedIndex::from_lists_codec(
+            lists,
+            doc_lens,
+            self.parent_partitioner,
+            first.params(),
+            first.codec(),
+        )
     }
 
     /// The partitioner of the index this was split from (the one
@@ -288,8 +295,12 @@ impl ShardedIndex {
         }
         let mut total = 0u64;
         let n = self.shards.len() as u64;
+        let codec = self.shards[0].codec();
         for (s, shard) in self.shards.iter().enumerate() {
             shard.validate()?;
+            if shard.codec() != codec {
+                return Err(IndexError::CorruptIndex { context: "shard codecs disagree" });
+            }
             // Round-robin gives shard s exactly ceil((n_docs - s) / n) docs.
             let expect = (self.n_docs + n - 1 - s as u64) / n;
             if shard.num_docs() != expect {
@@ -418,6 +429,29 @@ mod tests {
             let sharded = ShardedIndex::split(&idx, n).unwrap();
             let merged = sharded.merge().unwrap();
             assert_eq!(merged, idx, "split({n}) then merge must reproduce the index");
+        }
+    }
+
+    #[test]
+    fn split_and_merge_preserve_the_codec() {
+        for codec in crate::codec::CodecId::ALL {
+            let mut b = IndexBuilder::new(BuildOptions {
+                partitioner: Partitioner::fixed(4),
+                codec,
+                ..Default::default()
+            });
+            b.add_document(&"alpha beta ".repeat(6));
+            b.add_document("beta gamma");
+            for i in 0..40 {
+                b.add_document(&format!("alpha filler{} beta", i % 5));
+            }
+            let idx = b.build();
+            let sharded = ShardedIndex::split(&idx, 3).unwrap();
+            sharded.validate().unwrap();
+            for shard in sharded.shards() {
+                assert_eq!(shard.codec(), codec);
+            }
+            assert_eq!(sharded.merge().unwrap(), idx, "{codec} split/merge round trip");
         }
     }
 

@@ -43,6 +43,15 @@ impl IndexSizeStats {
         (self.uncompressed_bytes * 8) as f64 / self.model_bits as f64
     }
 
+    /// Achieved storage cost in bits per posting across the physical
+    /// compressed sections (payload + metadata + skips).
+    pub fn bits_per_posting(&self) -> f64 {
+        if self.postings == 0 {
+            return 0.0;
+        }
+        (self.compressed_bytes() * 8) as f64 / self.postings as f64
+    }
+
     /// Average postings per block (the lever Fig. 14 sweeps via `maxSize`).
     pub fn avg_block_len(&self) -> f64 {
         if self.num_blocks == 0 {

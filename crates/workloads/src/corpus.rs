@@ -221,7 +221,23 @@ impl GeneratedCorpus {
     /// Panics if encoding fails (generated lists always stay within the
     /// format's bitwidth limits).
     pub fn into_index(self, partitioner: Partitioner, params: Bm25Params) -> InvertedIndex {
-        InvertedIndex::from_lists(self.lists, self.doc_lens, partitioner, params)
+        self.into_index_codec(partitioner, params, iiu_index::CodecId::BitPack)
+    }
+
+    /// Builds an [`InvertedIndex`] from this corpus with an explicit block
+    /// codec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if encoding fails (generated lists always stay within the
+    /// format's bitwidth limits).
+    pub fn into_index_codec(
+        self,
+        partitioner: Partitioner,
+        params: Bm25Params,
+        codec: iiu_index::CodecId,
+    ) -> InvertedIndex {
+        InvertedIndex::from_lists_codec(self.lists, self.doc_lens, partitioner, params, codec)
             .unwrap_or_else(|e| panic!("generated corpus always encodes: {e}"))
     }
 

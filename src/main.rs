@@ -34,13 +34,13 @@ use iiu_core::{
     CpuSearchEngine, IiuSearchEngine, Query, SearchEngine, SearchResponse, ShardedSearchEngine,
 };
 use iiu_index::io::{
-    deserialize, deserialize_sharded, is_sharded, scan_sharded, serialize, serialize_sharded,
-    ShardBodyStatus, MAGIC, MAGIC_V1, MAGIC_V2,
+    deserialize, deserialize_sharded, is_sharded, peek_codec, scan_sharded, serialize,
+    serialize_sharded, ShardBodyStatus, MAGIC, MAGIC_V1, MAGIC_V2, MAGIC_V3,
 };
 use iiu_index::shard::ShardedIndex;
 use iiu_index::{
-    corrupt, BuildOptions, IncrementalIndex, IncrementalOptions, IndexBuilder, IndexError,
-    IngestDoc, InvertedIndex, Partitioner, PositionIndex,
+    corrupt, Bm25Params, BuildOptions, CodecId, IncrementalIndex, IncrementalOptions,
+    IndexBuilder, IndexError, IngestDoc, InvertedIndex, Partitioner, PositionIndex,
 };
 use iiu_serve::{FaultPlan, QueryService, ServeConfig};
 use iiu_workloads::{CorpusConfig, TrafficConfig};
@@ -76,11 +76,12 @@ fn print_usage() {
          \n\
          USAGE:\n\
          \x20 iiu gen     <index-file> [--docs N] [--preset ccnews|clueweb] [--seed S]\n\
-         \x20             [--shards N]\n\
+         \x20             [--shards N] [--codec C]\n\
          \x20 iiu build   <corpus.txt> <index-file> [--max-size N] [--positions yes]\n\
+         \x20             [--codec C]\n\
          \x20 iiu ingest  <index-dir> [--docs N] [--batch B] [--preset ccnews|clueweb]\n\
          \x20             [--seed S] [--seal-every N] [--merge-every N] [--file corpus.txt]\n\
-         \x20             [--seal yes]\n\
+         \x20             [--seal yes] [--codec C]\n\
          \x20 iiu stats   <index-file|index-dir>\n\
          \x20 iiu inspect <index-file|index-dir> [--fault-rate R] [--trials N] [--seed S]\n\
          \x20 iiu search  <index-file> \"<query>\" [--k N] [--engine cpu|iiu|both] [--cores N]\n\
@@ -90,6 +91,14 @@ fn print_usage() {
          \x20                 [--pruned yes] [--shards N] [--shard-fault-rate R]\n\
          \x20                 [--shard-stall-rate R] [--shard-stall-ms MS] [--fail-closed yes]\n\
          \x20                 [--no-device yes] [--hybrid yes] [--zipf S]\n\
+         \n\
+         --codec C selects the posting-list block codec: bitpack (default,\n\
+         the paper's word-window format), stream-vbyte, or simdbp128\n\
+         (SIMD vertical bit-packing, AVX2/SSE2 with scalar fallback).\n\
+         Search results are bit-identical across codecs; only decode\n\
+         speed and size change. ingest without --codec keeps sealing with\n\
+         the codec the directory's existing segments use, and inspect\n\
+         reports each index's codec id and achieved bits per posting.\n\
          \n\
          --pruned yes runs the CPU engine with block-max pruned top-k:\n\
          whole blocks whose score upper bound cannot reach the current\n\
@@ -182,12 +191,46 @@ fn parse_num<T: std::str::FromStr>(v: &str, what: &str) -> Result<T, String> {
     v.parse().map_err(|_| format!("invalid {what}: {v:?}"))
 }
 
+fn parse_codec(v: &str) -> Result<CodecId, String> {
+    CodecId::parse(v)
+        .ok_or_else(|| format!("unknown codec {v:?} (try bitpack, stream-vbyte, simdbp128)"))
+}
+
+/// Detects the codec an incremental directory's sealed segments use by
+/// peeking the first segment header. Directories without segments (fresh
+/// or WAL-only) get the default codec; unreadable segments are left for
+/// the real open path to diagnose.
+fn dir_codec(path: &std::path::Path) -> CodecId {
+    let Ok(entries) = std::fs::read_dir(path) else {
+        return CodecId::default();
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if iiu_index::segment::parse_segment_name(name).is_none() {
+            continue;
+        }
+        if let Ok(bytes) = std::fs::read(entry.path()) {
+            if let Ok(codec) = peek_codec(&bytes) {
+                return codec;
+            }
+        }
+    }
+    CodecId::default()
+}
+
 fn load_index(path: &str) -> Result<InvertedIndex, String> {
     if std::path::Path::new(path).is_dir() {
         // An incremental index directory: run crash recovery (WAL replay,
         // torn-tail truncation) and materialize the equivalent one-shot
-        // index, so every command transparently accepts either form.
-        let inc = IncrementalIndex::open(path.as_ref(), IncrementalOptions::default())
+        // index, so every command transparently accepts either form. The
+        // directory's own segments decide the codec — recovery refuses
+        // segments sealed under different options.
+        let opts = IncrementalOptions {
+            codec: dir_codec(path.as_ref()),
+            ..IncrementalOptions::default()
+        };
+        let inc = IncrementalIndex::open(path.as_ref(), opts)
             .map_err(|e| format!("cannot recover incremental index {path}: {e}"))?;
         return inc
             .to_one_shot()
@@ -213,6 +256,7 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     let docs: u32 = parse_num(flag("docs").unwrap_or("50000"), "--docs")?;
     let seed: u64 = parse_num(flag("seed").unwrap_or("42"), "--seed")?;
     let shards: usize = parse_num(flag("shards").unwrap_or("1"), "--shards")?;
+    let codec = parse_codec(flag("codec").unwrap_or("bitpack"))?;
     if shards == 0 {
         return Err("--shards must be at least 1".into());
     }
@@ -229,7 +273,7 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         corpus.lists.len(),
         corpus.total_postings()
     );
-    let index = corpus.into_default_index();
+    let index = corpus.into_index_codec(Partitioner::default(), Bm25Params::default(), codec);
     let bytes = if shards > 1 {
         let sharded = ShardedIndex::split(&index, shards)
             .map_err(|e| format!("cannot shard index: {e}"))?;
@@ -239,10 +283,13 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         serialize(&index).map_err(|e| format!("cannot serialize index: {e}"))?
     };
     std::fs::write(out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
+    let s = index.size_stats();
     println!(
-        "wrote {out}: {} KiB, compression {:.2}x",
+        "wrote {out}: {} KiB, codec {}, {:.2} bits/posting, compression {:.2}x",
         bytes.len() / 1024,
-        index.size_stats().compression_ratio()
+        codec.name(),
+        s.bits_per_posting(),
+        s.compression_ratio()
     );
     Ok(())
 }
@@ -255,11 +302,13 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     };
     let max_size: usize = parse_num(flag("max-size").unwrap_or("256"), "--max-size")?;
     let track_positions = flag("positions").is_some();
+    let codec = parse_codec(flag("codec").unwrap_or("bitpack"))?;
     let text =
         std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
     let mut builder = IndexBuilder::new(BuildOptions {
         partitioner: Partitioner::dynamic(max_size),
         track_positions,
+        codec,
         ..Default::default()
     });
     for line in text.lines().filter(|l| !l.trim().is_empty()) {
@@ -278,10 +327,13 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     };
     let bytes = serialize(&index).map_err(|e| format!("cannot serialize index: {e}"))?;
     std::fs::write(out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
+    let s = index.size_stats();
     println!(
-        "wrote {out}: {} KiB, compression {:.2}x",
+        "wrote {out}: {} KiB, codec {}, {:.2} bits/posting, compression {:.2}x",
         bytes.len() / 1024,
-        index.size_stats().compression_ratio()
+        codec.name(),
+        s.bits_per_posting(),
+        s.compression_ratio()
     );
     Ok(())
 }
@@ -306,6 +358,11 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
         s.skip_bytes / 1024
     );
     println!("compression:      {:.2}x", s.compression_ratio());
+    println!(
+        "codec:            {} ({:.2} bits/posting)",
+        index.codec().name(),
+        s.bits_per_posting()
+    );
     println!("avgdl:            {:.1}", index.avgdl());
     Ok(())
 }
@@ -332,7 +389,8 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
         .get(..8)
         .map(|m| u64::from_le_bytes([m[0], m[1], m[2], m[3], m[4], m[5], m[6], m[7]]));
     let (version, checked) = match magic {
-        Some(MAGIC) => ("v3 (block-max score bounds)", true),
+        Some(MAGIC) => ("v4 (per-index codec id)", true),
+        Some(MAGIC_V3) => ("v3 (block-max score bounds)", true),
         Some(MAGIC_V2) => ("v2", true),
         Some(MAGIC_V1) => ("v1 (legacy)", false),
         _ => ("unrecognized", false),
@@ -350,11 +408,18 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
     );
     index.validate().map_err(|e| format!("validation failed: {e}"))?;
     println!("validate: ok (structural invariants hold)");
+    let s = index.size_stats();
+    println!(
+        "codec:    {} ({:.2} bits/posting, compression {:.2}x)",
+        index.codec().name(),
+        s.bits_per_posting(),
+        s.compression_ratio()
+    );
     println!(
         "contents: {} documents, {} terms, {} postings",
         index.num_docs(),
         index.num_terms(),
-        index.size_stats().postings
+        s.postings
     );
 
     let Some(rate) = flag("fault-rate") else {
@@ -420,8 +485,10 @@ fn inspect_incremental(path: &str, parsed: &Args<'_>) -> Result<(), String> {
             .into());
     }
     println!("file:     {path} (incremental index directory)");
-    println!("format:   WAL + sealed v3 segments");
-    let inc = IncrementalIndex::open(path.as_ref(), IncrementalOptions::default())
+    let codec = dir_codec(path.as_ref());
+    println!("format:   WAL + sealed segments ({} codec)", codec.name());
+    let opts = IncrementalOptions { codec, ..IncrementalOptions::default() };
+    let inc = IncrementalIndex::open(path.as_ref(), opts)
         .map_err(|e| format!("recovery failed: {e}"))?;
     println!("recovery: {}", inc.recovery_report());
     let metas = inc.segment_metas();
@@ -463,6 +530,12 @@ fn cmd_ingest(args: &[String]) -> Result<(), String> {
     let seal_every: usize = parse_num(flag("seal-every").unwrap_or("4096"), "--seal-every")?;
     let merge_every: usize = parse_num(flag("merge-every").unwrap_or("8"), "--merge-every")?;
     let seal_final = flag("seal").is_some();
+    // Without an explicit --codec, resuming into an existing directory
+    // keeps sealing with whatever codec its segments already use.
+    let codec = match flag("codec") {
+        Some(v) => parse_codec(v)?,
+        None => dir_codec(dir.as_ref()),
+    };
     if batch == 0 {
         return Err("--batch must be at least 1".into());
     }
@@ -488,6 +561,7 @@ fn cmd_ingest(args: &[String]) -> Result<(), String> {
     let opts = IncrementalOptions {
         seal_threshold: seal_every,
         merge_threshold: merge_every,
+        codec,
         ..IncrementalOptions::default()
     };
     let mut inc = IncrementalIndex::open(dir.as_ref(), opts)
@@ -504,11 +578,12 @@ fn cmd_ingest(args: &[String]) -> Result<(), String> {
         inc.seal().map_err(|e| format!("final seal failed: {e}"))?;
     }
     println!(
-        "wrote {dir}: {} documents ({} sealed into {} segment(s), {} WAL-buffered)",
+        "wrote {dir}: {} documents ({} sealed into {} segment(s), {} WAL-buffered, {} codec)",
         inc.num_docs(),
         inc.sealed_docs(),
         inc.segment_metas().len(),
-        inc.buffered_docs()
+        inc.buffered_docs(),
+        codec.name()
     );
     println!("every acknowledged batch is WAL-durable; crash recovery replays the rest");
     Ok(())
@@ -567,6 +642,18 @@ fn inspect_sharded(bytes: &[u8], parsed: &Args<'_>) -> Result<(), String> {
     println!("load:     ok (shard header, per-shard and footer checksums verified)");
     sharded.validate().map_err(|e| format!("validation failed: {e}"))?;
     println!("validate: ok (per-shard invariants and round-robin balance hold)");
+    // validate() enforces that every shard agrees on the codec, so one
+    // line covers the whole manifest.
+    let mut stats = iiu_index::IndexSizeStats::default();
+    for s in 0..sharded.num_shards() {
+        stats.merge(&sharded.shard(s).size_stats());
+    }
+    println!(
+        "codec:    {} across all shards ({:.2} bits/posting, compression {:.2}x)",
+        sharded.shard(0).codec().name(),
+        stats.bits_per_posting(),
+        stats.compression_ratio()
+    );
     println!(
         "contents: {} documents across {} shards, {} terms",
         sharded.num_docs(),

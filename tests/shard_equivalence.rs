@@ -119,6 +119,62 @@ fn sharded_matches_unsharded_on_sampled_workload() {
     }
 }
 
+/// Codec matrix: sharded execution stays bit-identical to the unsharded
+/// bit-packed reference when the index is encoded under every block
+/// codec — splitting propagates the codec and neither the shared
+/// threshold nor the per-shard decode path depends on it.
+#[test]
+fn sharded_matches_unsharded_under_every_codec() {
+    use iiu_index::{Bm25Params, CodecId};
+
+    let reference = CorpusConfig::tiny(0xC0FFEE).generate().into_default_index();
+    let mut sampler = QuerySampler::new(&reference, 9);
+    let singles = sampler.single_queries(4);
+    let pairs = sampler.pair_queries(4);
+    let mut ref_plain = CpuEngine::new(&reference);
+
+    for codec in CodecId::ALL {
+        let index = CorpusConfig::tiny(0xC0FFEE).generate().into_index_codec(
+            Partitioner::default(),
+            Bm25Params::default(),
+            codec,
+        );
+        for n in [2usize, 4] {
+            let split = Arc::new(ShardedIndex::split(&index, n).expect("split"));
+            for shard in split.shards() {
+                assert_eq!(shard.codec(), codec, "split must propagate the codec");
+            }
+            for pruned in [false, true] {
+                let eng = ShardedEngine::new(Arc::clone(&split)).with_pruning(pruned);
+                for k in KS {
+                    for t in &singles {
+                        let a = ref_plain.search_single(t, k).expect("sampled term");
+                        let b = eng.search_single(t, k).expect("sampled term");
+                        assert_eq!(
+                            a.hits, b.hits,
+                            "{codec} single {t} n={n} pruned={pruned} k={k}"
+                        );
+                    }
+                    for (ta, tb) in &pairs {
+                        let a = ref_plain.search_intersection(ta, tb, k).expect("sampled");
+                        let b = eng.search_intersection(ta, tb, k).expect("sampled");
+                        assert_eq!(
+                            a.hits, b.hits,
+                            "{codec} {ta} AND {tb} n={n} pruned={pruned} k={k}"
+                        );
+                        let a = ref_plain.search_union(ta, tb, k).expect("sampled");
+                        let b = eng.search_union(ta, tb, k).expect("sampled");
+                        assert_eq!(
+                            a.hits, b.hits,
+                            "{codec} {ta} OR {tb} n={n} pruned={pruned} k={k}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Splitting must preserve per-document scores exactly (global stats flow
 /// into every shard), so the local-merge/global-merge argument holds.
 #[test]

@@ -94,6 +94,53 @@ fn pruned_matches_exhaustive_on_sampled_workload() {
     }
 }
 
+/// Codec matrix: the same corpus encoded under every block codec yields
+/// hits bit-identical to the bit-packed reference, in both exhaustive and
+/// pruned execution — result identity and pruning correctness are
+/// codec-independent.
+#[test]
+fn pruned_matches_exhaustive_under_every_codec() {
+    use iiu_index::{Bm25Params, CodecId};
+
+    let reference = CorpusConfig::tiny(0xC0FFEE).generate().into_default_index();
+    let mut sampler = QuerySampler::new(&reference, 9);
+    let singles = sampler.single_queries(6);
+    let pairs = sampler.pair_queries(6);
+    let mut ref_plain = CpuEngine::new(&reference);
+
+    for codec in CodecId::ALL {
+        let index = CorpusConfig::tiny(0xC0FFEE).generate().into_index_codec(
+            Partitioner::default(),
+            Bm25Params::default(),
+            codec,
+        );
+        assert_eq!(index.codec(), codec);
+        let mut plain = CpuEngine::new(&index);
+        let mut pruned = CpuEngine::new(&index).with_pruning(true);
+        for k in KS {
+            for t in &singles {
+                let r = ref_plain.search_single(t, k).expect("known term");
+                let a = plain.search_single(t, k).expect("known term");
+                let b = pruned.search_single(t, k).expect("known term");
+                assert_eq!(a.hits, r.hits, "{codec} single {t} k={k}");
+                assert_eq!(b.hits, r.hits, "{codec} pruned single {t} k={k}");
+            }
+            for (ta, tb) in &pairs {
+                let r = ref_plain.search_intersection(ta, tb, k).expect("known");
+                let a = plain.search_intersection(ta, tb, k).expect("known");
+                let b = pruned.search_intersection(ta, tb, k).expect("known");
+                assert_eq!(a.hits, r.hits, "{codec} {ta} AND {tb} k={k}");
+                assert_eq!(b.hits, r.hits, "{codec} pruned {ta} AND {tb} k={k}");
+                let r = ref_plain.search_union(ta, tb, k).expect("known");
+                let a = plain.search_union(ta, tb, k).expect("known");
+                let b = pruned.search_union(ta, tb, k).expect("known");
+                assert_eq!(a.hits, r.hits, "{codec} {ta} OR {tb} k={k}");
+                assert_eq!(b.hits, r.hits, "{codec} pruned {ta} OR {tb} k={k}");
+            }
+        }
+    }
+}
+
 /// A pruned [`CpuSearchEngine`] agrees with the exhaustive accelerator
 /// engine on primitive queries — the equivalence holds across engine
 /// implementations, not just within the baseline crate.

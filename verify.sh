@@ -90,21 +90,28 @@ fi
 cargo clippy --workspace -- -D clippy::unwrap_used -D clippy::expect_used
 cargo clippy -p iiu-serve -p iiu-baseline -p iiu-codecs -p iiu-workloads -p iiu-bench -- -D clippy::unwrap_used -D clippy::expect_used
 
-# Decode perf gate (DESIGN.md §11, §13): re-measures the unpack kernels,
-# end-to-end query throughput, and pruned-vs-exhaustive top-k, rewrites
+# Decode perf gate + codec shootout (DESIGN.md §11, §13, §18):
+# re-measures the unpack kernels, end-to-end query throughput,
+# pruned-vs-exhaustive top-k, and per-codec block decode (bitpack,
+# stream-vbyte, simdbp128 over the same blocks), rewrites
 # BENCH_decode.json, and fails if any gated min_ns exceeds the committed
 # baseline by more than the fail_above_ratio in
-# BENCH_decode_thresholds.json, if pruning stops skipping blocks, or if
-# the single-term k=10 pruning gain drops below 1.5x. Regenerate
-# baselines (only after an intentional perf change, on a quiet machine)
-# with:
+# BENCH_decode_thresholds.json, if pruning stops skipping blocks, if the
+# single-term k=10 pruning gain drops below 1.5x, if simdbp128 stops
+# strictly beating the scalar word-window bitpack baseline at
+# equal-or-better compression, or if any codec's shootout bits/posting
+# exceeds its committed max_bits_per_posting. Regenerate baselines (only
+# after an intentional perf change, on a quiet machine) with:
 #   cargo run --release -p iiu-bench --bin decode_bench -- \
 #     --write-thresholds BENCH_decode_thresholds.json
+# Under --quick, only the one-block-per-codec decode bit-identity smoke
+# runs (no timing).
 if [ "$quick" -eq 0 ]; then
     cargo run --release -p iiu-bench --bin decode_bench -- \
         --check BENCH_decode_thresholds.json
 else
-    echo "verify: --quick set, skipping decode perf gate"
+    echo "verify: --quick set, running codec decode smoke instead of perf gate"
+    cargo run --release -p iiu-bench --bin decode_bench -- --smoke
 fi
 
 # Shard scaling gate (DESIGN.md §14): re-measures document-sharded vs
