@@ -112,9 +112,15 @@ impl<'a> CpuEngine<'a> {
     }
 
     fn resolve(&self, term: &str) -> Result<TermId, IndexError> {
-        self.index
+        let id = self
+            .index
             .term_id(term)
-            .ok_or_else(|| IndexError::UnknownTerm { term: term.to_owned() })
+            .ok_or_else(|| IndexError::UnknownTerm { term: term.to_owned() })?;
+        // Mmap-backed lists defer their record CRC to first touch; checking
+        // here turns late corruption into a typed error instead of letting
+        // a panicking decode wrapper see it mid-query.
+        self.index.verify_term(id)?;
+        Ok(id)
     }
 
     /// Single-term query: decompress, score, top-k (§2.2 workflow).

@@ -1062,11 +1062,19 @@ impl ShardedEngine {
 
     fn resolve(&self, term: &str) -> Result<TermId, IndexError> {
         // Dictionaries are uniform across shards; shard 0 speaks for all.
-        self.pool
+        let id = self
+            .pool
             .index()
             .shard(0)
             .term_id(term)
-            .ok_or_else(|| IndexError::UnknownTerm { term: term.to_owned() })
+            .ok_or_else(|| IndexError::UnknownTerm { term: term.to_owned() })?;
+        // Mmap-backed shards defer record CRCs to first touch; verifying
+        // the term in every shard here surfaces late corruption as a typed
+        // error before the workers' decode paths run.
+        for shard in self.pool.index().shards() {
+            shard.verify_term(id)?;
+        }
+        Ok(id)
     }
 
     /// Sums a term's document frequency across shards (the global df).

@@ -22,9 +22,14 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+use std::sync::Arc;
+
 use crate::bitpack::{self, bits_for};
+use crate::checksum;
 use crate::codec::CodecId;
 use crate::error::IndexError;
+use crate::mmap::Mmap;
 use crate::posting::{DocId, Posting, PostingList};
 
 /// Maximum number of postings a block can hold: the metadata word has an
@@ -99,13 +104,146 @@ impl BlockMeta {
     }
 }
 
+/// Backing storage of an [`EncodedList`] payload: owned heap bytes (the
+/// encoder's output, and every deserialized-into-RAM list) or a borrowed
+/// window of a shared file mapping (the zero-copy storage layer,
+/// DESIGN.md §19). Everything downstream sees `&[u8]` either way.
+#[derive(Debug, Clone)]
+pub(crate) enum PayloadBuf {
+    /// Heap-owned payload bytes.
+    Owned(Vec<u8>),
+    /// A byte window of a memory-mapped index file. The `Arc` keeps the
+    /// mapping alive for as long as any list references it.
+    Mapped {
+        map: Arc<Mmap>,
+        offset: usize,
+        len: usize,
+    },
+}
+
+impl Default for PayloadBuf {
+    fn default() -> Self {
+        PayloadBuf::Owned(Vec::new())
+    }
+}
+
+impl PayloadBuf {
+    pub(crate) fn as_slice(&self) -> &[u8] {
+        match self {
+            PayloadBuf::Owned(v) => v.as_slice(),
+            // The range is validated at construction; a malformed one
+            // degrades to an empty payload (callers then report "payload
+            // bounds") rather than panicking.
+            PayloadBuf::Mapped { map, offset, len } => offset
+                .checked_add(*len)
+                .and_then(|end| map.as_slice().get(*offset..end))
+                .unwrap_or(&[]),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            PayloadBuf::Owned(v) => v.len(),
+            PayloadBuf::Mapped { len, .. } => *len,
+        }
+    }
+
+    /// Shortens the payload to `n` bytes (fault-injection helper: works on
+    /// both backings without copying the mapped bytes).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn truncate(&mut self, n: usize) {
+        match self {
+            PayloadBuf::Owned(v) => v.truncate(n),
+            PayloadBuf::Mapped { len, .. } => *len = (*len).min(n),
+        }
+    }
+}
+
+/// Deferred integrity check for a list loaded from a mapped file: the
+/// stored CRC of the term record's bytes, verified on first touch instead
+/// of at open (verifying eagerly would fault in every payload page and
+/// forfeit the point of mapping). The verdict is cached, so the steady
+/// state is one atomic load per decode.
+///
+/// Shared via `Arc` so clones of a list (and the engines holding them)
+/// agree on the verdict.
+#[derive(Debug)]
+pub struct LazyCrc {
+    map: Arc<Mmap>,
+    start: usize,
+    len: usize,
+    expected: u32,
+    /// 0 = unverified, 1 = verified ok, 2 = checksum mismatch.
+    state: AtomicU8,
+    /// The computed CRC when `state == 2`.
+    found: AtomicU32,
+}
+
+const LAZY_UNVERIFIED: u8 = 0;
+const LAZY_OK: u8 = 1;
+const LAZY_BAD: u8 = 2;
+
+impl LazyCrc {
+    pub(crate) fn new(map: Arc<Mmap>, start: usize, len: usize, expected: u32) -> Self {
+        LazyCrc {
+            map,
+            start,
+            len,
+            expected,
+            state: AtomicU8::new(LAZY_UNVERIFIED),
+            found: AtomicU32::new(0),
+        }
+    }
+
+    /// Checks the record bytes against the stored CRC, computing at most
+    /// once (concurrent racers recompute harmlessly — the verdict is a
+    /// pure function of immutable bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::ChecksumMismatch`] if the record bytes do not
+    /// hash to the stored CRC, or [`IndexError::CorruptIndex`] if the
+    /// recorded range fell outside the mapping.
+    pub fn verify(&self) -> Result<(), IndexError> {
+        match self.state.load(Ordering::Acquire) {
+            LAZY_OK => return Ok(()),
+            LAZY_BAD => {
+                return Err(IndexError::ChecksumMismatch {
+                    section: "term record",
+                    expected: self.expected,
+                    found: self.found.load(Ordering::Acquire),
+                })
+            }
+            _ => {}
+        }
+        let bytes = self
+            .start
+            .checked_add(self.len)
+            .and_then(|end| self.map.as_slice().get(self.start..end))
+            .ok_or(IndexError::CorruptIndex { context: "term record range" })?;
+        let found = checksum::crc32(bytes);
+        if found == self.expected {
+            self.state.store(LAZY_OK, Ordering::Release);
+            Ok(())
+        } else {
+            self.found.store(found, Ordering::Release);
+            self.state.store(LAZY_BAD, Ordering::Release);
+            Err(IndexError::ChecksumMismatch {
+                section: "term record",
+                expected: self.expected,
+                found,
+            })
+        }
+    }
+}
+
 /// A posting list compressed with the IIU scheme: block metadata, skip list
 /// and a byte-aligned bit-packed payload.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct EncodedList {
     metas: Vec<BlockMeta>,
     skips: Vec<DocId>,
-    payload: Vec<u8>,
+    payload: PayloadBuf,
     num_postings: u64,
     /// Total cost in bits under the codec's model (the paper's Eq. 3 for
     /// the default codec): modeled payload bits plus 96 bits of overhead
@@ -113,7 +251,27 @@ pub struct EncodedList {
     model_bits: u64,
     /// How the payload bytes encode each block's `(d-gap, tf)` pairs.
     codec: CodecId,
+    /// Deferred whole-record checksum for lists served out of a mapping.
+    /// `None` for owned lists and for checksum-free v1 files.
+    lazy: Option<Arc<LazyCrc>>,
 }
+
+/// Equality is over logical content (structure + payload bytes + codec);
+/// the backing (heap vs mapping) and lazy-verification state are
+/// representation details — a mapped index must compare equal to the heap
+/// index it was serialized from.
+impl PartialEq for EncodedList {
+    fn eq(&self, other: &Self) -> bool {
+        self.metas == other.metas
+            && self.skips == other.skips
+            && self.payload.as_slice() == other.payload.as_slice()
+            && self.num_postings == other.num_postings
+            && self.model_bits == other.model_bits
+            && self.codec == other.codec
+    }
+}
+
+impl Eq for EncodedList {}
 
 impl EncodedList {
     /// Compresses `list` using the block boundaries produced by a
@@ -199,11 +357,59 @@ impl EncodedList {
         Ok(EncodedList {
             metas,
             skips,
-            payload,
+            payload: PayloadBuf::Owned(payload),
             num_postings: postings.len() as u64,
             model_bits,
             codec,
+            lazy: None,
         })
+    }
+
+    /// Assembles a list directly from stored parts — the zero-copy load
+    /// path ([`crate::storage`]): no decode, no re-encode, the payload
+    /// stays wherever `payload` points (typically a file mapping).
+    /// `model_bits` is recomputed from the metadata words (exactly what
+    /// the encoder charged, since both derive it from the same widths and
+    /// counts). The structural invariants are checked before the list is
+    /// returned; payload *content* is covered by `lazy` (or by the
+    /// caller's bounds recompute for checksum-free formats).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::CorruptIndex`] if the parts fail
+    /// [`EncodedList::validate`].
+    pub(crate) fn from_stored_parts(
+        metas: Vec<BlockMeta>,
+        skips: Vec<DocId>,
+        payload: PayloadBuf,
+        num_postings: u64,
+        codec: CodecId,
+        lazy: Option<Arc<LazyCrc>>,
+    ) -> Result<Self, IndexError> {
+        let ops = codec.ops();
+        let model_bits = metas
+            .iter()
+            .map(|m| ops.block_cost_bits(u64::from(m.count), m.dn_bits, m.tf_bits))
+            .sum();
+        let list = EncodedList { metas, skips, payload, num_postings, model_bits, codec, lazy };
+        list.validate()?;
+        Ok(list)
+    }
+
+    /// Runs the deferred record checksum, if this list carries one (lists
+    /// served from a mapping). Owned lists return `Ok` unconditionally.
+    /// Engines call this at term-resolve time so corruption surfaces as a
+    /// typed error before any panicking decode wrapper runs; the decode
+    /// entry points below also call it as defense in depth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::ChecksumMismatch`] on a corrupt record.
+    pub fn ensure_verified(&self) -> Result<(), IndexError> {
+        match &self.lazy {
+            None => Ok(()),
+            Some(l) => l.verify(),
+        }
     }
 
     /// The block codec the payload is encoded with.
@@ -216,12 +422,13 @@ impl EncodedList {
     /// Codecs whose block size is not derivable from the metadata widths
     /// (Stream-VByte) rely on this contiguity invariant.
     fn block_slice(&self, idx: usize) -> Result<&[u8], IndexError> {
+        let payload = self.payload.as_slice();
         let start = self.metas[idx].offset as usize;
-        let end = self.metas.get(idx + 1).map_or(self.payload.len(), |m| m.offset as usize);
-        if start > end || end > self.payload.len() {
+        let end = self.metas.get(idx + 1).map_or(payload.len(), |m| m.offset as usize);
+        if start > end || end > payload.len() {
             return Err(IndexError::CorruptIndex { context: "payload bounds" });
         }
-        Ok(&self.payload[start..end])
+        Ok(&payload[start..end])
     }
 
     /// Number of blocks.
@@ -244,9 +451,16 @@ impl EncodedList {
         &self.skips
     }
 
-    /// The bit-packed payload bytes.
+    /// The bit-packed payload bytes (borrowed from the heap or straight
+    /// from a file mapping, depending on how the list was loaded).
     pub fn payload(&self) -> &[u8] {
-        &self.payload
+        self.payload.as_slice()
+    }
+
+    /// True when the payload is served from a file mapping rather than
+    /// owned heap bytes.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.payload, PayloadBuf::Mapped { .. })
     }
 
     /// Decodes block `idx` into postings.
@@ -296,6 +510,7 @@ impl EncodedList {
         idx: usize,
         out: &mut Vec<Posting>,
     ) -> Result<(), IndexError> {
+        self.ensure_verified()?;
         let meta = *self
             .metas
             .get(idx)
@@ -409,12 +624,16 @@ impl EncodedList {
     /// assert_eq!(enc.find(4), None);
     /// ```
     pub fn find(&self, doc_id: DocId) -> Option<u32> {
+        // A mapped list whose deferred checksum fails reports "absent"
+        // rather than panicking; engines surface the typed error via
+        // `ensure_verified` at resolve time.
+        self.ensure_verified().ok()?;
         let block = self.candidate_block(doc_id)?;
         if self.codec != CodecId::BitPack {
             // Non-default codecs materialize the one candidate block and
             // binary-search it; still a single-block decompression.
             let mut buf = Vec::with_capacity(self.metas[block].count as usize);
-            self.decode_block_into(block, &mut buf);
+            self.try_decode_block_into(block, &mut buf).ok()?;
             return buf.binary_search_by_key(&doc_id, |p| p.doc_id).ok().map(|i| buf[i].tf);
         }
         // Scan the packed pairs directly — no block materialization. DocIDs

@@ -249,11 +249,52 @@ impl BlockCodec for BitPackCodec {
 ///
 /// Per stream: `⌈n/4⌉` control bytes (2 bits per value: data length − 1),
 /// then the little-endian data bytes back to back. The split control
-/// stream is what makes the format SIMD-shuffle-friendly in the original;
-/// here the decoder is a fused scalar loop, and the codec earns its place
-/// on compression behavior (byte-aligned, gap-adaptive) rather than raw
-/// decode speed.
+/// stream is what makes the format SIMD-shuffle-friendly: one control
+/// byte describes a quad of values, so a single `_mm_shuffle_epi8` with a
+/// per-control-byte mask expands the quad's 4–16 packed data bytes into
+/// four u32 lanes. On x86-64 with SSSE3 the decoder runs that shuffle
+/// kernel (runtime-detected, one table lookup + one load + one shuffle
+/// per quad) and falls back to the scalar byte walk for the stream tail
+/// and the final quads whose 16-byte load window would overrun the block;
+/// everywhere else the scalar walk decodes the whole stream,
+/// bit-identically.
 struct StreamVByteCodec;
+
+/// Builds the SSSE3 kernel's tables: for each control byte, the
+/// `_mm_shuffle_epi8` mask that expands the quad's packed 1–4-byte
+/// little-endian values into four u32 lanes (0x80 lanes zero-fill), and
+/// the quad's total data-byte length.
+#[cfg(target_arch = "x86_64")]
+const fn svb_tables() -> ([[u8; 16]; 256], [u8; 256]) {
+    let mut shuf = [[0x80u8; 16]; 256];
+    let mut lens = [0u8; 256];
+    let mut c = 0usize;
+    while c < 256 {
+        let mut offset = 0u8;
+        let mut k = 0usize;
+        while k < 4 {
+            let len = ((c >> (2 * k)) & 3) as u8 + 1;
+            let mut j = 0u8;
+            while j < len {
+                shuf[c][4 * k + j as usize] = offset + j;
+                j += 1;
+            }
+            offset += len;
+            k += 1;
+        }
+        lens[c] = offset;
+        c += 1;
+    }
+    (shuf, lens)
+}
+
+/// Per-control-byte shuffle masks for the SSSE3 Stream-VByte kernel.
+#[cfg(target_arch = "x86_64")]
+const SVB_SHUFFLE: [[u8; 16]; 256] = svb_tables().0;
+
+/// Per-control-byte total data bytes of one Stream-VByte quad.
+#[cfg(target_arch = "x86_64")]
+const SVB_QUAD_LEN: [u8; 256] = svb_tables().1;
 
 fn svb_data_len(v: u32) -> usize {
     match v {
@@ -280,22 +321,65 @@ fn svb_encode_stream(values: &[u32], out: &mut Vec<u8>) {
 }
 
 /// Decodes one Stream-VByte stream of `n` values, advancing `pos` and
-/// handing each value to `sink`.
+/// handing each value to `sink`. Dispatches to the SSSE3 shuffle kernel
+/// when the CPU has it.
 fn svb_decode_stream(
     block: &[u8],
     pos: &mut usize,
     n: usize,
+    sink: impl FnMut(usize, u32),
+) -> Result<(), IndexError> {
+    #[cfg(target_arch = "x86_64")]
+    let simd = x86::ssse3_available();
+    #[cfg(not(target_arch = "x86_64"))]
+    let simd = false;
+    svb_decode_stream_impl(block, pos, n, simd, sink)
+}
+
+/// [`svb_decode_stream`] with the kernel choice explicit, so tests can
+/// differentially run both paths over the same bytes. Off x86-64 the
+/// `simd` flag is ignored (the scalar walk is the only decoder).
+fn svb_decode_stream_impl(
+    block: &[u8],
+    pos: &mut usize,
+    n: usize,
+    simd: bool,
     mut sink: impl FnMut(usize, u32),
 ) -> Result<(), IndexError> {
     let nctrl = n.div_ceil(4);
-    let ctrl_end = pos
+    let ctrl_start = *pos;
+    let ctrl_end = ctrl_start
         .checked_add(nctrl)
         .filter(|&e| e <= block.len())
         .ok_or(IndexError::CorruptIndex { context: "stream-vbyte control bytes" })?;
-    let ctrl = &block[*pos..ctrl_end];
     let mut data = ctrl_end;
-    for i in 0..n {
-        let len = ((ctrl[i / 4] >> (2 * (i % 4))) & 3) as usize + 1;
+    let mut i = 0usize;
+
+    #[cfg(target_arch = "x86_64")]
+    if simd {
+        // Full quads whose 16-byte load window stays inside the block go
+        // through the shuffle kernel — a quad consumes at most 16 data
+        // bytes, so the window always covers it. The moment the window
+        // would overrun (or for the tail quad), fall through to the
+        // scalar walk below, which re-validates byte by byte.
+        while i + 4 <= n && data + 16 <= block.len() {
+            let c = block[ctrl_start + i / 4];
+            // SAFETY: the loop guard proves 16 readable bytes at `data`,
+            // and `simd` is only true when SSSE3 was detected.
+            let vals = unsafe { x86::svb_decode_quad(block.as_ptr().add(data), c) };
+            sink(i, vals[0]);
+            sink(i + 1, vals[1]);
+            sink(i + 2, vals[2]);
+            sink(i + 3, vals[3]);
+            data += usize::from(SVB_QUAD_LEN[usize::from(c)]);
+            i += 4;
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = simd;
+
+    while i < n {
+        let len = ((block[ctrl_start + i / 4] >> (2 * (i % 4))) & 3) as usize + 1;
         let end = data
             .checked_add(len)
             .filter(|&e| e <= block.len())
@@ -304,6 +388,7 @@ fn svb_decode_stream(
         b[..len].copy_from_slice(&block[data..end]);
         sink(i, u32::from_le_bytes(b));
         data = end;
+        i += 1;
     }
     *pos = data;
     Ok(())
@@ -491,6 +576,29 @@ mod x86 {
     pub(super) fn avx2_available() -> bool {
         static AVX2: OnceLock<bool> = OnceLock::new();
         *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+    }
+
+    pub(super) fn ssse3_available() -> bool {
+        static SSSE3: OnceLock<bool> = OnceLock::new();
+        *SSSE3.get_or_init(|| std::arch::is_x86_feature_detected!("ssse3"))
+    }
+
+    /// Decodes one Stream-VByte quad: the control byte's shuffle mask
+    /// expands the 4–16 packed data bytes at `data` into four
+    /// little-endian u32 lanes (one table lookup, one load, one
+    /// `_mm_shuffle_epi8`).
+    ///
+    /// # Safety
+    ///
+    /// Requires SSSE3 at runtime and 16 readable bytes at `data`.
+    #[target_feature(enable = "ssse3")]
+    pub(super) unsafe fn svb_decode_quad(data: *const u8, ctrl: u8) -> [u32; 4] {
+        let raw = _mm_loadu_si128(data as *const __m128i);
+        let mask =
+            _mm_loadu_si128(super::SVB_SHUFFLE[usize::from(ctrl)].as_ptr() as *const __m128i);
+        let mut out = [0u32; 4];
+        _mm_storeu_si128(out.as_mut_ptr() as *mut __m128i, _mm_shuffle_epi8(raw, mask));
+        out
     }
 
     /// SSE2 unpack (baseline on x86-64, no runtime gate needed): the same
@@ -777,6 +885,74 @@ mod tests {
                 let mut avx = [0u32; SIMD_GROUP_LEN];
                 unsafe { x86::unpack_group_avx2(&bytes, w, &mut avx) };
                 assert_eq!(avx, scalar, "avx2 w={w}");
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn svb_shuffle_tables_are_consistent() {
+        for c in 0..256usize {
+            let mut offset = 0u8;
+            for k in 0..4usize {
+                let len = ((c >> (2 * k)) & 3) as u8 + 1;
+                for j in 0..4u8 {
+                    let want = if j < len { offset + j } else { 0x80 };
+                    assert_eq!(SVB_SHUFFLE[c][4 * k + j as usize], want, "ctrl={c} lane={k} byte={j}");
+                }
+                offset += len;
+            }
+            assert_eq!(SVB_QUAD_LEN[c], offset, "ctrl={c}");
+        }
+    }
+
+    fn svb_case_values(n: usize, seed: u64) -> Vec<u32> {
+        // Cycle through all four byte lengths so every control pattern
+        // shows up once n gets past a few quads.
+        let mut x = seed | 1;
+        (0..n)
+            .map(|i| {
+                x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                let r = (x >> 33) as u32;
+                match i % 4 {
+                    0 => r & 0xFF,
+                    1 => r & 0xFFFF,
+                    2 => r & 0xFF_FFFF,
+                    _ => r,
+                }
+            })
+            .collect()
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn svb_ssse3_stream_matches_scalar_exactly() {
+        if !x86::ssse3_available() {
+            return;
+        }
+        for n in [0usize, 1, 3, 4, 5, 7, 8, 12, 16, 63, 64, 127, 128, 300, 511] {
+            let values = svb_case_values(n, 0x5B5B + n as u64);
+            let mut block = Vec::new();
+            svb_encode_stream(&values, &mut block);
+            // Trailing bytes after the stream exercise the "SIMD window
+            // still in bounds" guard without changing the answer.
+            for pad in [0usize, 1, 16] {
+                let mut padded = block.clone();
+                padded.extend(std::iter::repeat_n(0xA5u8, pad));
+                let mut scalar = vec![0u32; n];
+                let mut pos_scalar = 0usize;
+                svb_decode_stream_impl(&padded, &mut pos_scalar, n, false, |i, v| {
+                    scalar[i] = v;
+                })
+                .expect("scalar decode");
+                let mut simd = vec![0u32; n];
+                let mut pos_simd = 0usize;
+                svb_decode_stream_impl(&padded, &mut pos_simd, n, true, |i, v| simd[i] = v)
+                    .expect("simd decode");
+                assert_eq!(simd, scalar, "n={n} pad={pad}");
+                assert_eq!(simd, values, "n={n} pad={pad}");
+                assert_eq!(pos_simd, pos_scalar, "n={n} pad={pad}");
+                assert_eq!(pos_simd, block.len(), "n={n} pad={pad}");
             }
         }
     }

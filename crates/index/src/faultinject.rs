@@ -259,6 +259,152 @@ impl SurvivalReport {
     }
 }
 
+/// Outcome tally of a corruption campaign against the zero-copy mapped
+/// load path, which splits rejection across *two* moments: eager checks
+/// at [`crate::storage::map_index`] time and lazy per-record CRCs on
+/// first payload touch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MappedSurvivalReport {
+    /// Corruptions attempted.
+    pub trials: u64,
+    /// Loads rejected with a typed [`IndexError`] at open (magic, header
+    /// CRC, doc-table CRC, bounds-section CRC, structural frames,
+    /// truncation, or an unmappable file).
+    pub open_rejections: u64,
+    /// Loads that opened clean but whose full-index sweep (per-term
+    /// [`InvertedIndex::verify_term`][crate::index::InvertedIndex::verify_term]
+    /// plus decoding every block) hit a typed error — the lazy-CRC
+    /// contract catching payload corruption on first touch.
+    pub touch_rejections: u64,
+    /// Of [`Self::touch_rejections`], those surfacing specifically as
+    /// [`IndexError::ChecksumMismatch`].
+    pub touch_checksum_rejections: u64,
+    /// Loads that opened, swept clean, and deep-compared equal to the
+    /// original — possible only for corruption in bytes the mapped path
+    /// deliberately does not hash (the whole-file footer CRC; see the
+    /// [`crate::storage`] module docs for the trade).
+    pub accepted_equal: u64,
+    /// Loads that swept clean but decoded to a *different* index —
+    /// silent corruption. Must stay 0.
+    pub accepted_divergent: u64,
+}
+
+impl MappedSurvivalReport {
+    /// Whether every corruption was rejected (at open or on first touch)
+    /// or proved to be a semantic no-op.
+    pub fn survived(&self) -> bool {
+        self.accepted_divergent == 0
+            && self.trials == self.open_rejections + self.touch_rejections + self.accepted_equal
+    }
+}
+
+/// Sweeps every term of a mapped index through the lazily-verified path:
+/// `verify_term` plus a decode of every block. Returns the first typed
+/// error, i.e. the moment a query would have surfaced the corruption.
+fn sweep_mapped(idx: &InvertedIndex) -> Result<(), IndexError> {
+    let mut out = Vec::new();
+    for id in 0..idx.num_terms() as u32 {
+        idx.verify_term(id)?;
+        let list = idx.encoded_list(id);
+        for b in 0..list.num_blocks() {
+            out.clear();
+            list.try_decode_block_into(b, &mut out)?;
+        }
+    }
+    Ok(())
+}
+
+/// Runs `trials` deterministic corruptions of `bytes` through the mapped
+/// loader [`crate::storage::map_index`], writing each mutation to
+/// `scratch` and — when the open succeeds — sweeping every term through
+/// the lazy-CRC decode path before deep-comparing against `original`.
+///
+/// Panics inside the load or sweep are not caught: under `cargo test` a
+/// panic is the failure signal. Only scratch-file I/O errors propagate.
+///
+/// # Errors
+///
+/// Returns the underlying error if `scratch` cannot be (re)written.
+pub fn mapped_survival_report(
+    original: &InvertedIndex,
+    bytes: &[u8],
+    trials: u64,
+    seed_base: u64,
+    scratch: &std::path::Path,
+) -> std::io::Result<MappedSurvivalReport> {
+    let mut report = MappedSurvivalReport { trials, ..Default::default() };
+    for t in 0..trials {
+        let (mutated, _what) = corrupt(bytes, seed_base + t);
+        std::fs::write(scratch, &mutated)?;
+        match crate::storage::map_index(scratch) {
+            Err(_) => report.open_rejections += 1,
+            Ok(mapped) => match sweep_mapped(&mapped) {
+                Err(e) => {
+                    report.touch_rejections += 1;
+                    if matches!(e, IndexError::ChecksumMismatch { .. }) {
+                        report.touch_checksum_rejections += 1;
+                    }
+                }
+                Ok(()) => {
+                    if mapped == *original {
+                        report.accepted_equal += 1;
+                    } else {
+                        report.accepted_divergent += 1;
+                    }
+                }
+            },
+        }
+    }
+    std::fs::remove_file(scratch).ok();
+    Ok(report)
+}
+
+/// [`mapped_survival_report`] for shard manifests via
+/// [`crate::storage::map_sharded`]. Manifests store no bounds section,
+/// so every shard payload is decoded (and its record CRC verified) at
+/// open — payload corruption lands in `open_rejections`, not
+/// `touch_rejections`; the post-open sweep is retained as a no-panic
+/// check over whatever loaded.
+///
+/// # Errors
+///
+/// Returns the underlying error if `scratch` cannot be (re)written.
+pub fn mapped_sharded_survival_report(
+    original: &crate::shard::ShardedIndex,
+    bytes: &[u8],
+    trials: u64,
+    seed_base: u64,
+    scratch: &std::path::Path,
+) -> std::io::Result<MappedSurvivalReport> {
+    let mut report = MappedSurvivalReport { trials, ..Default::default() };
+    for t in 0..trials {
+        let (mutated, _what) = corrupt(bytes, seed_base + t);
+        std::fs::write(scratch, &mutated)?;
+        match crate::storage::map_sharded(scratch) {
+            Err(_) => report.open_rejections += 1,
+            Ok(mapped) => {
+                match mapped.shards().iter().try_for_each(sweep_mapped) {
+                    Err(e) => {
+                        report.touch_rejections += 1;
+                        if matches!(e, IndexError::ChecksumMismatch { .. }) {
+                            report.touch_checksum_rejections += 1;
+                        }
+                    }
+                    Ok(()) => {
+                        if mapped == *original {
+                            report.accepted_equal += 1;
+                        } else {
+                            report.accepted_divergent += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    std::fs::remove_file(scratch).ok();
+    Ok(report)
+}
+
 /// Runs `trials` deterministic corruptions (seeds `seed_base..seed_base +
 /// trials`) of `bytes` through [`deserialize`], comparing any successful
 /// load against `original`.

@@ -75,6 +75,12 @@ pub struct IncrementalOptions {
     /// Sealed-segment count that triggers an automatic merge; `0`
     /// disables auto-merging.
     pub merge_threshold: usize,
+    /// Memory-map sealed segments instead of materializing them on the
+    /// heap ([`crate::storage`]): posting bytes stay in the page cache
+    /// and each segment's record CRCs defer to first touch. Sealed files
+    /// are immutable (tmp + fsync + rename), satisfying the mapped
+    /// loader's safety contract.
+    pub mmap_segments: bool,
 }
 
 impl Default for IncrementalOptions {
@@ -85,6 +91,7 @@ impl Default for IncrementalOptions {
             codec: CodecId::BitPack,
             seal_threshold: 4096,
             merge_threshold: 8,
+            mmap_segments: false,
         }
     }
 }
@@ -119,7 +126,13 @@ impl IncrementalIndex {
     /// filesystem failures; never panics on bad bytes.
     pub fn open(dir: &Path, opts: IncrementalOptions) -> Result<Self, IndexError> {
         fs::create_dir_all(dir).map_err(|e| io_err("creating the index directory", e))?;
-        let state = recovery::recover(dir, opts.partitioner, opts.bm25, opts.codec)?;
+        let state = recovery::recover_mode(
+            dir,
+            opts.partitioner,
+            opts.bm25,
+            opts.codec,
+            opts.mmap_segments,
+        )?;
         let mut doc_lens = Vec::new();
         let mut len_sum = 0.0f64;
         for seg in &state.segments {
@@ -317,6 +330,13 @@ impl IncrementalIndex {
             self.opts.bm25,
             self.opts.codec,
         )?;
+        // In mmap mode the freshly sealed file replaces its heap copy:
+        // posting bytes move to the page cache as soon as they're durable.
+        let sealed = if self.opts.mmap_segments {
+            segment::load_segment_mmap(&self.dir, &sealed.meta)?
+        } else {
+            sealed
+        };
         self.segments.push(sealed);
         self.wal = Wal::create(&self.dir.join(WAL_FILE_NAME), self.num_docs())?;
         if self.opts.merge_threshold > 0 && self.segments.len() >= self.opts.merge_threshold {
@@ -353,6 +373,11 @@ impl IncrementalIndex {
                     .map_err(|e| io_err("removing a merged-away segment", e))?;
             }
         }
+        let merged = if self.opts.mmap_segments {
+            segment::load_segment_mmap(&self.dir, &merged.meta)?
+        } else {
+            merged
+        };
         self.segments = vec![merged];
         Ok(true)
     }

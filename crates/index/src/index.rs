@@ -4,11 +4,13 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::block::EncodedList;
 use crate::bounds::ListBounds;
 use crate::codec::CodecId;
 use crate::error::IndexError;
+use crate::mmap::Mmap;
 use crate::partition::Partitioner;
 use crate::posting::{DocId, PostingList};
 use crate::score::{Bm25Params, Fixed};
@@ -16,6 +18,64 @@ use crate::stats::IndexSizeStats;
 
 /// Dense identifier of a term in the index dictionary.
 pub type TermId = u32;
+
+/// Where an index's payload bytes live: owned heap memory (built in RAM or
+/// deserialized the classic way) or a window of a memory-mapped index file
+/// (the zero-copy storage layer, [`crate::storage`]).
+///
+/// This is reporting/bookkeeping only — every consumer reads postings
+/// through the same `&[u8]` accessors regardless of source.
+#[derive(Debug, Clone, Default)]
+pub enum IndexSource {
+    /// All bytes owned on the heap.
+    #[default]
+    Heap,
+    /// Payloads served from a file mapping.
+    Mapped {
+        /// The shared mapping (kept alive by the index).
+        map: Arc<Mmap>,
+        /// Start of this index's bytes within the mapping (0 for a plain
+        /// index file; the shard body offset for manifest shards).
+        span_start: usize,
+        /// Length of this index's bytes within the mapping.
+        span_len: usize,
+    },
+}
+
+impl IndexSource {
+    /// True for a mapped source.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, IndexSource::Mapped { .. })
+    }
+
+    /// Short human-readable tag (`"heap"` / `"mmap"`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            IndexSource::Heap => "heap",
+            IndexSource::Mapped { .. } => "mmap",
+        }
+    }
+
+    /// Bytes of the mapping this index spans (0 for heap indexes).
+    pub fn mapped_bytes(&self) -> u64 {
+        match self {
+            IndexSource::Heap => 0,
+            IndexSource::Mapped { span_len, .. } => *span_len as u64,
+        }
+    }
+
+    /// Page-cache residency estimate for this index's span of the mapping
+    /// (`mincore`-based, advisory). `None` for heap indexes or when the
+    /// estimate is unavailable.
+    pub fn resident_bytes(&self) -> Option<u64> {
+        match self {
+            IndexSource::Heap => None,
+            IndexSource::Mapped { map, span_start, span_len } => {
+                map.resident_bytes_in(*span_start, *span_len)
+            }
+        }
+    }
+}
 
 /// Per-term information exposed by the dictionary.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,7 +94,7 @@ pub struct TermInfo {
 /// Construct one with [`crate::IndexBuilder`] (from raw text) or
 /// [`InvertedIndex::from_lists`] (from pre-built posting lists, as the
 /// synthetic workload generator does).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct InvertedIndex {
     dictionary: HashMap<String, TermId>,
     terms: Vec<TermInfo>,
@@ -46,6 +106,25 @@ pub struct InvertedIndex {
     params: Bm25Params,
     partitioner: Partitioner,
     codec: CodecId,
+    source: IndexSource,
+}
+
+/// Equality is over logical content; [`IndexSource`] is a representation
+/// detail (a mapped index must compare equal to the heap index it was
+/// serialized from — the property the source-equivalence matrix asserts).
+impl PartialEq for InvertedIndex {
+    fn eq(&self, other: &Self) -> bool {
+        self.dictionary == other.dictionary
+            && self.terms == other.terms
+            && self.lists == other.lists
+            && self.bounds == other.bounds
+            && self.doc_lens == other.doc_lens
+            && self.dl_bars == other.dl_bars
+            && self.avgdl == other.avgdl
+            && self.params == other.params
+            && self.partitioner == other.partitioner
+            && self.codec == other.codec
+    }
 }
 
 impl InvertedIndex {
@@ -189,7 +268,95 @@ impl InvertedIndex {
             params,
             partitioner,
             codec,
+            source: IndexSource::Heap,
         })
+    }
+
+    /// Assembles an index directly from already-encoded parts — the
+    /// zero-copy load path ([`crate::storage`]), which must not decode and
+    /// re-encode every list the way [`crate::io::deserialize`] does.
+    ///
+    /// The caller is responsible for having validated `lists` (the
+    /// [`EncodedList::from_stored_parts`] constructor does) and `bounds`
+    /// (structurally via [`ListBounds::validate_against`], with content
+    /// integrity resting on the section CRCs). This constructor checks the
+    /// cross-field invariants: table lengths agree, term names are unique,
+    /// docIDs stay inside the corpus, and df matches each list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::CorruptIndex`] naming the violated invariant.
+    #[allow(clippy::too_many_arguments)] // mirrors the on-disk section order
+    pub(crate) fn from_stored_parts(
+        terms: Vec<TermInfo>,
+        lists: Vec<EncodedList>,
+        bounds: Vec<ListBounds>,
+        doc_lens: Vec<u32>,
+        avgdl: f64,
+        params: Bm25Params,
+        partitioner: Partitioner,
+        codec: CodecId,
+        source: IndexSource,
+    ) -> Result<Self, IndexError> {
+        if terms.len() != lists.len() {
+            return Err(IndexError::CorruptIndex { context: "term/list count mismatch" });
+        }
+        if bounds.len() != lists.len() {
+            return Err(IndexError::CorruptIndex { context: "score bounds count" });
+        }
+        let n_docs = doc_lens.len() as u64;
+        let mut dictionary = HashMap::with_capacity(terms.len());
+        for (id, (info, list)) in terms.iter().zip(&lists).enumerate() {
+            if info.df != list.num_postings() {
+                return Err(IndexError::CorruptIndex { context: "document frequency" });
+            }
+            if let Some(&last) = list.skips().last() {
+                if u64::from(last) >= n_docs {
+                    return Err(IndexError::CorruptIndex {
+                        context: "posting list references docID beyond corpus",
+                    });
+                }
+            }
+            if dictionary.insert(info.term.clone(), id as TermId).is_some() {
+                return Err(IndexError::CorruptIndex { context: "duplicate term" });
+            }
+        }
+        let dl_bars: Vec<Fixed> =
+            doc_lens.iter().map(|&l| Fixed::from_f64(params.dl_bar(l, avgdl))).collect();
+        Ok(InvertedIndex {
+            dictionary,
+            terms,
+            lists,
+            bounds,
+            doc_lens,
+            dl_bars,
+            avgdl,
+            params,
+            partitioner,
+            codec,
+            source,
+        })
+    }
+
+    /// Where this index's payload bytes live (heap vs mapping).
+    pub fn source(&self) -> &IndexSource {
+        &self.source
+    }
+
+    /// Runs the deferred record checksum of `id`'s list, if it carries one
+    /// (lists served from a mapping verify lazily on first touch). The
+    /// no-op for heap indexes; engines call this when resolving query
+    /// terms so late-discovered corruption surfaces as a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::ChecksumMismatch`] if the mapped record's
+    /// bytes no longer hash to the stored section CRC.
+    pub fn verify_term(&self, id: TermId) -> Result<(), IndexError> {
+        match self.lists.get(id as usize) {
+            Some(list) => list.ensure_verified(),
+            None => Ok(()),
+        }
     }
 
     /// Number of documents in the corpus.

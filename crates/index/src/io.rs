@@ -51,9 +51,9 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
-use crate::block::BlockMeta;
+use crate::block::{BlockMeta, EncodedList};
 use crate::bounds::ListBounds;
-use crate::checksum::crc32;
+use crate::checksum::{crc32, Crc32};
 use crate::codec::CodecId;
 use crate::error::IndexError;
 use crate::index::InvertedIndex;
@@ -307,6 +307,203 @@ pub fn serialize_sharded(sharded: &ShardedIndex) -> Result<Vec<u8>, IndexError> 
     Ok(buf)
 }
 
+/// Streams a format-v4 index file one term at a time, producing output
+/// byte-identical to [`serialize`] over the same inputs without ever
+/// holding the whole index — or the whole file — in memory.
+///
+/// The v4 header carries `num_docs`/`num_terms` and the footer CRC
+/// covers every preceding byte, so construction takes the complete
+/// document-length table and the term count up front and immediately
+/// emits magic, header, and doc table while folding them into a running
+/// [`Crc32`]. Each [`push_term`](Self::push_term) call then encodes one
+/// posting list, writes its sealed record, and accumulates that list's
+/// score bounds; [`finish`](Self::finish) emits the bounds section and
+/// the footer. Peak memory is one encoded list plus the per-document
+/// (4 + 4 bytes/doc) and per-block (16 bytes/block) tables —
+/// independent of the total posting count, which is what lets `iiu gen`
+/// stream a million-document corpus to disk with bounded RSS.
+///
+/// Terms must be pushed in the order the index's dictionary should
+/// assign term ids (the synthetic corpus generator's rank order).
+pub struct StreamingWriter<W: std::io::Write> {
+    sink: W,
+    /// Running checksum over every byte emitted so far (the footer).
+    footer: Crc32,
+    params: Bm25Params,
+    partitioner: Partitioner,
+    codec: CodecId,
+    n_docs: u64,
+    /// Per-document `dl̄` table, shared by every list's bound computation.
+    dl_bars: Vec<Fixed>,
+    /// Score bounds accumulated per pushed term, emitted by `finish`.
+    bounds: Vec<ListBounds>,
+    expected_terms: u64,
+    written_terms: u64,
+}
+
+impl<W: std::io::Write> StreamingWriter<W> {
+    /// Opens a streamed v4 file: writes magic, sealed header, and sealed
+    /// doc-length table to `sink`. Exactly `num_terms` calls to
+    /// [`push_term`](Self::push_term) must follow before
+    /// [`finish`](Self::finish).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::Io`] if the sink rejects a write.
+    pub fn new(
+        sink: W,
+        doc_lens: &[u32],
+        num_terms: u64,
+        partitioner: Partitioner,
+        params: Bm25Params,
+        codec: CodecId,
+    ) -> Result<Self, IndexError> {
+        let n_docs = doc_lens.len() as u64;
+        let avgdl = if doc_lens.is_empty() {
+            1.0
+        } else {
+            doc_lens.iter().map(|&l| f64::from(l)).sum::<f64>() / n_docs as f64
+        };
+        let dl_bars: Vec<Fixed> =
+            doc_lens.iter().map(|&l| Fixed::from_f64(params.dl_bar(l, avgdl))).collect();
+
+        let mut writer = StreamingWriter {
+            sink,
+            footer: Crc32::new(),
+            params,
+            partitioner,
+            codec,
+            n_docs,
+            dl_bars,
+            bounds: Vec::with_capacity(usize::try_from(num_terms).unwrap_or(0)),
+            expected_terms: num_terms,
+            written_terms: 0,
+        };
+        writer.emit(&MAGIC.to_le_bytes())?;
+
+        let mut header = Vec::new();
+        header.put_f64_le(params.k1);
+        header.put_f64_le(params.b);
+        match partitioner {
+            Partitioner::Fixed { block_len } => {
+                header.put_u8(0);
+                header.put_u32_le(block_len as u32);
+            }
+            Partitioner::Dynamic { max_size } => {
+                header.put_u8(1);
+                header.put_u32_le(max_size as u32);
+            }
+        }
+        header.put_u8(codec.as_u8());
+        header.put_u64_le(n_docs);
+        header.put_u64_le(num_terms);
+        seal_section(&mut header, 0);
+        writer.emit(&header)?;
+
+        let mut table = Vec::with_capacity(doc_lens.len() * 4 + 4);
+        for &l in doc_lens {
+            table.put_u32_le(l);
+        }
+        seal_section(&mut table, 0);
+        writer.emit(&table)?;
+        Ok(writer)
+    }
+
+    /// Encodes `list`, writes its sealed term record, and accumulates its
+    /// score bounds. The term is assigned the next term id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::CorruptIndex`] on a docID beyond the corpus
+    /// or when more terms are pushed than the header declares, encoding
+    /// errors from [`EncodedList::encode_with`] verbatim, and
+    /// [`IndexError::Io`] if the sink rejects the write.
+    pub fn push_term(&mut self, term: &str, list: &PostingList) -> Result<(), IndexError> {
+        if self.written_terms == self.expected_terms {
+            return Err(IndexError::CorruptIndex {
+                context: "more streamed terms than the header declares",
+            });
+        }
+        if let Some(last) = list.as_slice().last() {
+            if u64::from(last.doc_id) >= self.n_docs {
+                return Err(IndexError::CorruptIndex {
+                    context: "posting list references docID beyond corpus",
+                });
+            }
+        }
+        let idf_bar = Fixed::from_f64(self.params.idf_bar(self.n_docs, list.len() as u64));
+        let partition = self.partitioner.partition_for(list, self.codec);
+        let encoded = EncodedList::encode_with(list, &partition, self.codec)?;
+        self.bounds.push(ListBounds::compute(
+            list.as_slice(),
+            &partition,
+            idf_bar,
+            &self.dl_bars,
+        ));
+
+        let mut record = Vec::new();
+        record.put_u32_le(term.len() as u32);
+        record.put_slice(term.as_bytes());
+        record.put_u64_le(encoded.num_postings());
+        record.put_u64_le(encoded.num_blocks() as u64);
+        for meta in encoded.metas() {
+            record.put_u64_le(meta.pack());
+        }
+        for &skip in encoded.skips() {
+            record.put_u32_le(skip);
+        }
+        record.put_u64_le(encoded.payload().len() as u64);
+        record.put_slice(encoded.payload());
+        seal_section(&mut record, 0);
+        self.emit(&record)?;
+        self.written_terms += 1;
+        Ok(())
+    }
+
+    /// Writes the sealed score-bounds section and the footer CRC, flushes,
+    /// and returns the sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::CorruptIndex`] if fewer terms were pushed
+    /// than the header declares, and [`IndexError::Io`] on sink errors.
+    pub fn finish(mut self) -> Result<W, IndexError> {
+        if self.written_terms != self.expected_terms {
+            return Err(IndexError::CorruptIndex {
+                context: "fewer streamed terms than the header declares",
+            });
+        }
+        let mut section = Vec::new();
+        for bounds in &self.bounds {
+            section.put_u64_le(bounds.num_blocks() as u64);
+            for (ub, &max_tf) in bounds.ubs().iter().zip(bounds.max_tfs()) {
+                section.put_u32_le(ub.raw());
+                section.put_u32_le(max_tf);
+            }
+        }
+        seal_section(&mut section, 0);
+        self.emit(&section)?;
+
+        // The footer covers everything already emitted and is itself
+        // outside the running checksum.
+        let footer = self.footer.finish();
+        self.sink.write_all(&footer.to_le_bytes()).map_err(stream_io_err)?;
+        self.sink.flush().map_err(stream_io_err)?;
+        Ok(self.sink)
+    }
+
+    /// Writes `bytes` to the sink and folds them into the footer CRC.
+    fn emit(&mut self, bytes: &[u8]) -> Result<(), IndexError> {
+        self.footer.update(bytes);
+        self.sink.write_all(bytes).map_err(stream_io_err)
+    }
+}
+
+/// Maps a sink write failure to the typed I/O error.
+fn stream_io_err(e: std::io::Error) -> IndexError {
+    IndexError::Io { context: "writing streamed index file", message: e.to_string() }
+}
+
 /// Whether `bytes` starts with a shard-manifest magic (either manifest
 /// version) — the dispatch probe loaders use to pick
 /// [`deserialize_sharded`] over [`deserialize`].
@@ -378,19 +575,19 @@ pub fn deserialize_sharded(bytes: &[u8]) -> Result<ShardedIndex, IndexError> {
     ShardedIndex::from_shards(shards, header.n_docs, header.parent_partitioner)
 }
 
-/// Parsed shard-manifest header, shared by [`deserialize_sharded`] and
-/// [`scan_sharded`].
-struct ShardManifestHeader {
-    num_shards: usize,
-    n_docs: u64,
-    avgdl: f64,
-    parent_partitioner: Partitioner,
-    idf_bars: Vec<Fixed>,
+/// Parsed shard-manifest header, shared by [`deserialize_sharded`],
+/// [`scan_sharded`] and the zero-copy loader ([`crate::storage`]).
+pub(crate) struct ShardManifestHeader {
+    pub(crate) num_shards: usize,
+    pub(crate) n_docs: u64,
+    pub(crate) avgdl: f64,
+    pub(crate) parent_partitioner: Partitioner,
+    pub(crate) idf_bars: Vec<Fixed>,
     /// Per-shard body byte lengths — absent only in legacy v1 manifests.
-    body_lens: Option<Vec<u64>>,
+    pub(crate) body_lens: Option<Vec<u64>>,
 }
 
-fn read_shard_header(
+pub(crate) fn read_shard_header(
     r: &mut Reader<'_>,
     magic: u64,
 ) -> Result<ShardManifestHeader, IndexError> {
@@ -622,22 +819,27 @@ pub fn scan_sharded(bytes: &[u8]) -> Result<ShardScanReport, IndexError> {
 
 /// A bounds-checked little-endian cursor over the serialized bytes that
 /// remembers its position, so section checksums can be computed over the
-/// exact byte ranges that were parsed.
-struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
+/// exact byte ranges that were parsed. Shared with the zero-copy loader
+/// ([`crate::storage`]), which parses the same layouts over a mapping.
+pub(crate) struct Reader<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Reader { buf, pos: 0 }
     }
 
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
 
-    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], IndexError> {
+    pub(crate) fn take(
+        &mut self,
+        n: usize,
+        context: &'static str,
+    ) -> Result<&'a [u8], IndexError> {
         if self.remaining() < n {
             return Err(IndexError::CorruptIndex { context });
         }
@@ -646,31 +848,31 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self, context: &'static str) -> Result<u8, IndexError> {
+    pub(crate) fn u8(&mut self, context: &'static str) -> Result<u8, IndexError> {
         Ok(self.take(1, context)?[0])
     }
 
-    fn u32(&mut self, context: &'static str) -> Result<u32, IndexError> {
+    pub(crate) fn u32(&mut self, context: &'static str) -> Result<u32, IndexError> {
         let s = self.take(4, context)?;
         let mut b = [0u8; 4];
         b.copy_from_slice(s);
         Ok(u32::from_le_bytes(b))
     }
 
-    fn u64(&mut self, context: &'static str) -> Result<u64, IndexError> {
+    pub(crate) fn u64(&mut self, context: &'static str) -> Result<u64, IndexError> {
         let s = self.take(8, context)?;
         let mut b = [0u8; 8];
         b.copy_from_slice(s);
         Ok(u64::from_le_bytes(b))
     }
 
-    fn f64(&mut self, context: &'static str) -> Result<f64, IndexError> {
+    pub(crate) fn f64(&mut self, context: &'static str) -> Result<f64, IndexError> {
         Ok(f64::from_bits(self.u64(context)?))
     }
 
     /// Reads a stored section checksum and verifies it against the bytes
     /// parsed since `start`.
-    fn verify_section(
+    pub(crate) fn verify_section(
         &mut self,
         start: usize,
         section: &'static str,
@@ -735,7 +937,7 @@ pub fn peek_codec(bytes: &[u8]) -> Result<CodecId, IndexError> {
     }
 }
 
-fn read_partitioner(kind: u8, arg: usize) -> Result<Partitioner, IndexError> {
+pub(crate) fn read_partitioner(kind: u8, arg: usize) -> Result<Partitioner, IndexError> {
     // Validate the range here rather than letting the constructors panic:
     // a CRC-consistent tamper can present any arg with valid checksums.
     if !(1..=crate::block::MAX_BLOCK_LEN).contains(&arg) {
@@ -1521,6 +1723,94 @@ mod tests {
         b.add_document("the five boxing wizards jump quickly");
         b.add_document("quick wizards pack the box");
         b.build()
+    }
+
+    #[test]
+    fn streaming_writer_is_byte_identical_to_serialize() {
+        for codec in CodecId::ALL {
+            let idx = sample_index_with(codec);
+            let expected = serialize(&idx).unwrap();
+            let mut w = StreamingWriter::new(
+                Vec::new(),
+                idx.doc_lens(),
+                idx.num_terms() as u64,
+                idx.partitioner(),
+                idx.params(),
+                codec,
+            )
+            .unwrap();
+            for info in idx.terms() {
+                let list = idx.decode_term(&info.term).unwrap();
+                w.push_term(&info.term, &list).unwrap();
+            }
+            let bytes = w.finish().unwrap();
+            assert_eq!(bytes, expected, "{codec} streamed output diverges");
+            // And the streamed file loads on both the heap and mmap paths.
+            assert_eq!(deserialize(&bytes).unwrap(), idx, "{codec}");
+        }
+    }
+
+    #[test]
+    fn streaming_writer_enforces_declared_term_count() {
+        let idx = sample_index();
+        let w = StreamingWriter::new(
+            Vec::new(),
+            idx.doc_lens(),
+            idx.num_terms() as u64,
+            idx.partitioner(),
+            idx.params(),
+            idx.codec(),
+        )
+        .unwrap();
+        // Too few: finishing before all declared terms were pushed.
+        assert!(matches!(
+            w.finish(),
+            Err(IndexError::CorruptIndex {
+                context: "fewer streamed terms than the header declares"
+            })
+        ));
+
+        // Too many: one extra push past the declared count.
+        let mut w = StreamingWriter::new(
+            Vec::new(),
+            idx.doc_lens(),
+            1,
+            idx.partitioner(),
+            idx.params(),
+            idx.codec(),
+        )
+        .unwrap();
+        let info = &idx.terms()[0];
+        let list = idx.decode_term(&info.term).unwrap();
+        w.push_term(&info.term, &list).unwrap();
+        assert!(matches!(
+            w.push_term(&info.term, &list),
+            Err(IndexError::CorruptIndex {
+                context: "more streamed terms than the header declares"
+            })
+        ));
+    }
+
+    #[test]
+    fn streaming_writer_rejects_out_of_range_docid() {
+        let idx = sample_index();
+        let mut w = StreamingWriter::new(
+            Vec::new(),
+            idx.doc_lens(),
+            1,
+            idx.partitioner(),
+            idx.params(),
+            idx.codec(),
+        )
+        .unwrap();
+        let mut list = PostingList::new();
+        list.push(idx.num_docs() as u32, 1);
+        assert!(matches!(
+            w.push_term("beyond", &list),
+            Err(IndexError::CorruptIndex {
+                context: "posting list references docID beyond corpus"
+            })
+        ));
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod incremental;
 pub mod index;
 pub mod io;
 pub mod memtable;
+pub mod mmap;
 pub mod partition;
 pub mod positions;
 pub mod posting;
@@ -64,6 +65,7 @@ pub mod score;
 pub mod segment;
 pub mod shard;
 pub mod stats;
+pub mod storage;
 pub mod tokenize;
 pub mod wal;
 
@@ -74,11 +76,13 @@ pub use checksum::{crc32, Crc32};
 pub use codec::{BlockCodec, CodecId};
 pub use error::IndexError;
 pub use faultinject::{
-    corrupt, survival_report, Corruption, ShardChaosPlan, SplitMix64, SurvivalReport,
+    corrupt, mapped_sharded_survival_report, mapped_survival_report, survival_report, Corruption,
+    MappedSurvivalReport, ShardChaosPlan, SplitMix64, SurvivalReport,
 };
 pub use incremental::{IncrementalIndex, IncrementalOptions};
-pub use index::{InvertedIndex, TermId, TermInfo};
+pub use index::{IndexSource, InvertedIndex, TermId, TermInfo};
 pub use memtable::WriteBuffer;
+pub use mmap::Mmap;
 pub use partition::Partitioner;
 pub use positions::{PositionIndex, PositionList};
 pub use posting::{DocId, Posting, PostingList, TermFreq};
@@ -87,4 +91,5 @@ pub use score::{Bm25Params, Fixed};
 pub use segment::{LoadedSegment, SegmentMeta};
 pub use shard::{ShardBalance, ShardedIndex};
 pub use stats::IndexSizeStats;
+pub use storage::MappedIndex;
 pub use wal::{IngestDoc, Wal, WalReplay};

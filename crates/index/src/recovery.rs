@@ -94,11 +94,27 @@ pub struct RecoveredState {
 
 /// Scans `dir`, removes in-flight temp files, resolves the segment set,
 /// and replays the WAL. See the module docs for the full protocol.
+/// Segments are materialized on the heap; see [`recover_mode`] to map
+/// them instead.
 pub fn recover(
     dir: &Path,
     partitioner: Partitioner,
     params: Bm25Params,
     codec: CodecId,
+) -> Result<RecoveredState, IndexError> {
+    recover_mode(dir, partitioner, params, codec, false)
+}
+
+/// [`recover`] with a choice of segment backing: `mmap_segments` loads
+/// each sealed segment via [`segment::load_segment_mmap`] (zero-copy,
+/// payload CRCs deferred to first touch) instead of
+/// [`segment::load_segment`] (heap, fully verified at load).
+pub fn recover_mode(
+    dir: &Path,
+    partitioner: Partitioner,
+    params: Bm25Params,
+    codec: CodecId,
+    mmap_segments: bool,
 ) -> Result<RecoveredState, IndexError> {
     let mut report = RecoveryReport::default();
 
@@ -161,7 +177,11 @@ pub fn recover(
     // Pass 3: load and cross-check every surviving segment.
     let mut segments = Vec::with_capacity(resolved.len());
     for meta in &resolved {
-        let loaded = segment::load_segment(dir, meta)?;
+        let loaded = if mmap_segments {
+            segment::load_segment_mmap(dir, meta)?
+        } else {
+            segment::load_segment(dir, meta)?
+        };
         if loaded.index.partitioner() != partitioner
             || loaded.index.params() != params
             || loaded.index.codec() != codec

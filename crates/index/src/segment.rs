@@ -154,12 +154,28 @@ pub fn load_segment(dir: &Path, meta: &SegmentMeta) -> Result<LoadedSegment, Ind
     let bytes = fs::read(dir.join(&meta.file_name))
         .map_err(|e| io_err("reading a segment file", e))?;
     let index = io::deserialize(&bytes)?;
+    check_meta(&index, meta)?;
+    Ok(LoadedSegment { meta: meta.clone(), index })
+}
+
+/// Like [`load_segment`], but memory-maps the file and serves posting
+/// bytes straight out of the page cache ([`crate::storage`]): payload
+/// CRCs defer to first touch instead of load time. Sealed segments are
+/// immutable once renamed into place, which is exactly the contract the
+/// mapped loader's safety argument needs.
+pub fn load_segment_mmap(dir: &Path, meta: &SegmentMeta) -> Result<LoadedSegment, IndexError> {
+    let index = crate::storage::map_index(&dir.join(&meta.file_name))?;
+    check_meta(&index, meta)?;
+    Ok(LoadedSegment { meta: meta.clone(), index })
+}
+
+fn check_meta(index: &InvertedIndex, meta: &SegmentMeta) -> Result<(), IndexError> {
     if index.num_docs() != meta.count {
         return Err(IndexError::CorruptIndex {
             context: "segment doc count disagrees with its file name",
         });
     }
-    Ok(LoadedSegment { meta: meta.clone(), index })
+    Ok(())
 }
 
 /// Merges contiguous loaded segments (ascending `start`) into one list

@@ -290,6 +290,16 @@ impl ShardedIndex {
     ///
     /// Returns [`IndexError::CorruptIndex`] naming the violated invariant.
     pub fn validate(&self) -> Result<(), IndexError> {
+        for shard in &self.shards {
+            shard.validate()?;
+        }
+        self.validate_cross_shard()
+    }
+
+    /// The cross-shard half of [`validate`](Self::validate): shard count,
+    /// codec agreement, round-robin document counts. Cheap — no per-shard
+    /// decode.
+    fn validate_cross_shard(&self) -> Result<(), IndexError> {
         if self.shards.is_empty() {
             return Err(IndexError::CorruptIndex { context: "sharded index has no shards" });
         }
@@ -297,7 +307,6 @@ impl ShardedIndex {
         let n = self.shards.len() as u64;
         let codec = self.shards[0].codec();
         for (s, shard) in self.shards.iter().enumerate() {
-            shard.validate()?;
             if shard.codec() != codec {
                 return Err(IndexError::CorruptIndex { context: "shard codecs disagree" });
             }
@@ -331,6 +340,27 @@ impl ShardedIndex {
     ) -> Result<Self, IndexError> {
         let sharded = ShardedIndex { shards, n_docs, parent_partitioner };
         sharded.validate()?;
+        Ok(sharded)
+    }
+
+    /// [`from_shards`](Self::from_shards) minus the per-shard deep
+    /// validation — the zero-copy manifest loader's entry point
+    /// ([`crate::storage`]), which has already validated each shard
+    /// structurally while parsing it and recomputed its score bounds from
+    /// the decoded postings. Re-running [`InvertedIndex::validate`] here
+    /// would decode every payload a second time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::CorruptIndex`] if the cross-shard invariants
+    /// fail (shard count, codec agreement, round-robin doc counts).
+    pub(crate) fn from_shards_prevalidated(
+        shards: Vec<InvertedIndex>,
+        n_docs: u64,
+        parent_partitioner: Partitioner,
+    ) -> Result<Self, IndexError> {
+        let sharded = ShardedIndex { shards, n_docs, parent_partitioner };
+        sharded.validate_cross_shard()?;
         Ok(sharded)
     }
 }

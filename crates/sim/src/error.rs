@@ -162,6 +162,14 @@ pub enum SimError {
         /// Which invariant the request violates.
         what: &'static str,
     },
+    /// A query term failed its index integrity check at admission.
+    /// Mmap-backed indexes defer each term record's CRC to first touch;
+    /// the machine checks every term before simulating so late-detected
+    /// corruption surfaces here as a typed error, not a panic mid-tick.
+    Index {
+        /// The underlying index error.
+        source: iiu_index::IndexError,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -169,6 +177,7 @@ impl fmt::Display for SimError {
         match self {
             SimError::Stalled { snapshot } => write!(f, "simulation {snapshot}"),
             SimError::BadRequest { what } => write!(f, "bad simulation request: {what}"),
+            SimError::Index { source } => write!(f, "index integrity: {source}"),
         }
     }
 }
@@ -176,7 +185,8 @@ impl fmt::Display for SimError {
 impl SimError {
     /// Whether retrying the same request on a fresh machine could succeed.
     /// Stalls are transient (watchdogs fire on contention and tight cycle
-    /// budgets); a `BadRequest` will fail identically every time.
+    /// budgets); a `BadRequest` or `Index` error will fail identically
+    /// every time.
     pub fn is_transient(&self) -> bool {
         matches!(self, SimError::Stalled { .. })
     }

@@ -907,6 +907,23 @@ impl<'a> IiuMachine<'a> {
         self.index
     }
 
+    /// Verifies every term an admitted query touches. Mmap-backed lists
+    /// defer their record CRC to first touch; checking here surfaces
+    /// corruption as a typed error at admission instead of a panic inside
+    /// a DCU tick.
+    fn admit(&self, query: &SimQuery) -> Result<(), SimError> {
+        let check = |t: TermId| {
+            self.index.verify_term(t).map_err(|source| SimError::Index { source })
+        };
+        match *query {
+            SimQuery::Single(t) => check(t),
+            SimQuery::Intersect(a, b) | SimQuery::Union(a, b) => {
+                check(a)?;
+                check(b)
+            }
+        }
+    }
+
     /// The memory layout in use.
     pub fn layout(&self) -> &MemoryLayout {
         &self.layout
@@ -948,6 +965,7 @@ impl<'a> IiuMachine<'a> {
         if n_cores < 1 || n_cores > self.cfg.n_cores {
             return Err(SimError::BadRequest { what: "core allocation out of range" });
         }
+        self.admit(&query)?;
         let budget = self.cycle_budget(&[query]);
         let mut mem = MemorySystem::new(self.cfg.dram);
         let mut mai = Mai::new(self.cfg.mai_entries);
@@ -1008,6 +1026,9 @@ impl<'a> IiuMachine<'a> {
     ) -> Result<BatchRun, SimError> {
         if n_units < 1 || n_units > self.cfg.n_pairs.min(self.cfg.n_cores) {
             return Err(SimError::BadRequest { what: "unit allocation out of range" });
+        }
+        for q in queries {
+            self.admit(q)?;
         }
         let budget = self.cycle_budget(queries);
         let mut mem = MemorySystem::new(self.cfg.dram);
@@ -1121,6 +1142,9 @@ impl<'a> IiuMachine<'a> {
         }
         if n_units < 1 || n_units > self.cfg.n_pairs.min(self.cfg.n_cores) {
             return Err(SimError::BadRequest { what: "unit allocation out of range" });
+        }
+        for q in queries {
+            self.admit(q)?;
         }
         // The run cannot legitimately end before the last arrival, so the
         // absolute budget gets that much headroom on top.
@@ -1252,6 +1276,10 @@ impl<'a> IiuMachine<'a> {
             return Err(SimError::BadRequest {
                 what: "hybrid allocation exceeds the machine",
             });
+        }
+        self.admit(&latency_query)?;
+        for q in batch {
+            self.admit(q)?;
         }
         let mut all_queries = vec![latency_query];
         all_queries.extend_from_slice(batch);

@@ -104,14 +104,95 @@ impl CorpusConfig {
         let max_df = (f64::from(self.n_docs) * self.max_df_fraction).max(1.0);
         let mut lists = Vec::with_capacity(self.n_terms as usize);
         for rank in 1..=self.n_terms {
-            let df = (max_df / f64::from(rank).powf(self.zipf_s)).round().max(1.0) as u32;
-            let list = self.generate_list(&mut rng, df.min(self.n_docs));
+            let list = self.generate_list(&mut rng, self.df_for(max_df, rank));
             lists.push((term_name(rank), list));
         }
 
         let doc_lens = (0..self.n_docs).map(|_| self.sample_doc_len(&mut rng)).collect();
 
         GeneratedCorpus { lists, doc_lens }
+    }
+
+    /// Streams the corpus straight to a v4 index file, byte-identical to
+    /// `generate().into_index_codec(..)` + [`iiu_index::io::serialize`]
+    /// but with peak memory independent of the total posting count — the
+    /// path that lets `iiu gen` write a ≥1M-doc corpus with bounded RSS.
+    ///
+    /// Generation is term-major and the document-length table is drawn
+    /// from the *same* RNG stream after every list, while the file format
+    /// needs the doc table before the first term record. Streaming
+    /// therefore runs two passes over the same seeded stream: pass one
+    /// advances the RNG through every list (keeping only one alive at a
+    /// time) to reach and sample the doc lengths; pass two re-seeds and
+    /// regenerates each list — identical draws — into the writer.
+    ///
+    /// Returns the sink (flushed, with the complete file written) and the
+    /// generation stats.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`iiu_index::IndexError`] from encoding or sink I/O.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_docs == 0` or the fractions are out of range, like
+    /// [`generate`](Self::generate).
+    pub fn generate_streamed<W: std::io::Write>(
+        &self,
+        sink: W,
+        partitioner: Partitioner,
+        params: Bm25Params,
+        codec: iiu_index::CodecId,
+    ) -> Result<(W, StreamStats), iiu_index::IndexError> {
+        assert!(self.n_docs > 0, "corpus needs at least one document");
+        assert!(
+            (0.0..=1.0).contains(&self.clustering)
+                && (0.0..=1.0).contains(&self.max_df_fraction),
+            "fractions must be in [0, 1]"
+        );
+        let max_df = (f64::from(self.n_docs) * self.max_df_fraction).max(1.0);
+
+        // Pass 1: advance the RNG past every list to sample the doc table.
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        for rank in 1..=self.n_terms {
+            drop(self.generate_list(&mut rng, self.df_for(max_df, rank)));
+        }
+        let doc_lens: Vec<u32> =
+            (0..self.n_docs).map(|_| self.sample_doc_len(&mut rng)).collect();
+
+        let mut writer = iiu_index::io::StreamingWriter::new(
+            sink,
+            &doc_lens,
+            u64::from(self.n_terms),
+            partitioner,
+            params,
+            codec,
+        )?;
+
+        // Pass 2: regenerate each list (same seed, identical draws) and
+        // stream it into the writer.
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut postings = 0u64;
+        for rank in 1..=self.n_terms {
+            let list = self.generate_list(&mut rng, self.df_for(max_df, rank));
+            postings += list.len() as u64;
+            writer.push_term(&term_name(rank), &list)?;
+        }
+        let sink = writer.finish()?;
+        Ok((
+            sink,
+            StreamStats {
+                docs: u64::from(self.n_docs),
+                terms: u64::from(self.n_terms),
+                postings,
+            },
+        ))
+    }
+
+    /// Target document frequency of the term at Zipf `rank`.
+    fn df_for(&self, max_df: f64, rank: u32) -> u32 {
+        let df = (max_df / f64::from(rank).powf(self.zipf_s)).round().max(1.0) as u32;
+        df.min(self.n_docs)
     }
 
     /// Gap-samples one posting list with `df` target postings (the realized
@@ -197,6 +278,17 @@ impl CorpusConfig {
 /// Human-readable synthetic term name for Zipf rank `rank`.
 pub fn term_name(rank: u32) -> String {
     format!("t{rank:07}")
+}
+
+/// Generation statistics reported by [`CorpusConfig::generate_streamed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Documents in the corpus.
+    pub docs: u64,
+    /// Distinct terms (posting lists) written.
+    pub terms: u64,
+    /// Total postings across all lists.
+    pub postings: u64,
 }
 
 /// A generated corpus: posting lists plus the document-length table.
@@ -369,6 +461,25 @@ mod tests {
                 continue;
             }
             assert_eq!(rebuilt.get(term), Some(list), "{term}");
+        }
+    }
+
+    #[test]
+    fn streamed_file_is_byte_identical_to_one_shot() {
+        let cfg = CorpusConfig::tiny(42);
+        let partitioner = Partitioner::default();
+        let params = Bm25Params::default();
+        for codec in iiu_index::CodecId::ALL {
+            let corpus = cfg.generate();
+            let postings = corpus.total_postings();
+            let one_shot = corpus.into_index_codec(partitioner, params, codec);
+            let expected = iiu_index::io::serialize(&one_shot).unwrap();
+            let (bytes, stats) =
+                cfg.generate_streamed(Vec::new(), partitioner, params, codec).unwrap();
+            assert_eq!(bytes, expected, "{codec}: streamed bytes diverge from one-shot");
+            assert_eq!(stats.docs, u64::from(cfg.n_docs));
+            assert_eq!(stats.terms, u64::from(cfg.n_terms));
+            assert_eq!(stats.postings, postings);
         }
     }
 

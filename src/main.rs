@@ -76,16 +76,17 @@ fn print_usage() {
          \n\
          USAGE:\n\
          \x20 iiu gen     <index-file> [--docs N] [--preset ccnews|clueweb] [--seed S]\n\
-         \x20             [--shards N] [--codec C]\n\
+         \x20             [--shards N] [--codec C] [--stream yes] [--terms N] [--max-df F]\n\
          \x20 iiu build   <corpus.txt> <index-file> [--max-size N] [--positions yes]\n\
          \x20             [--codec C]\n\
          \x20 iiu ingest  <index-dir> [--docs N] [--batch B] [--preset ccnews|clueweb]\n\
          \x20             [--seed S] [--seal-every N] [--merge-every N] [--file corpus.txt]\n\
          \x20             [--seal yes] [--codec C]\n\
-         \x20 iiu stats   <index-file|index-dir>\n\
+         \x20 iiu stats   <index-file|index-dir> [--mmap yes]\n\
          \x20 iiu inspect <index-file|index-dir> [--fault-rate R] [--trials N] [--seed S]\n\
+         \x20             [--mmap yes]\n\
          \x20 iiu search  <index-file> \"<query>\" [--k N] [--engine cpu|iiu|both] [--cores N]\n\
-         \x20             [--pruned yes] [--shards N]\n\
+         \x20             [--pruned yes] [--shards N] [--mmap yes]\n\
          \x20 iiu serve-bench <index-file> [--workers N] [--rate QPS] [--queries N]\n\
          \x20                 [--deadline-ms MS] [--fault-rate R] [--seed S] [--unknown-rate R]\n\
          \x20                 [--pruned yes] [--shards N] [--shard-fault-rate R]\n\
@@ -99,6 +100,20 @@ fn print_usage() {
          speed and size change. ingest without --codec keeps sealing with\n\
          the codec the directory's existing segments use, and inspect\n\
          reports each index's codec id and achieved bits per posting.\n\
+         \n\
+         gen --stream yes streams the file to disk term by term (peak\n\
+         memory independent of corpus size — the ≥1M-doc path), with\n\
+         byte-identical output to the in-memory writer; --terms/--max-df\n\
+         override the preset's vocabulary size and head document\n\
+         frequency.\n\
+         \n\
+         --mmap yes memory-maps the index file instead of materializing it\n\
+         on the heap: posting bytes are served zero-copy out of the OS page\n\
+         cache, per-record checksums are verified lazily on first touch, and\n\
+         hits are bit-identical to the heap load. stats/inspect report the\n\
+         source (heap vs mmap), mapped bytes and a residency estimate —\n\
+         per shard for manifests; inspect additionally cross-checks that the\n\
+         mapped load equals the heap load. serve-bench accepts it too.\n\
          \n\
          --pruned yes runs the CPU engine with block-max pruned top-k:\n\
          whole blocks whose score upper bound cannot reach the current\n\
@@ -219,32 +234,90 @@ fn dir_codec(path: &std::path::Path) -> CodecId {
     CodecId::default()
 }
 
-fn load_index(path: &str) -> Result<InvertedIndex, String> {
+/// Loads any index shape as a plain [`InvertedIndex`]. With `mmap`,
+/// plain files are memory-mapped (zero-copy posting bytes, lazy record
+/// CRCs) and incremental directories map their sealed segments; shard
+/// manifests are mapped and then merged, which necessarily materializes
+/// the merged copy on the heap — commands that can serve shards directly
+/// use [`load_cli_index`] instead to keep manifests zero-copy.
+fn load_index_mode(path: &str, mmap: bool) -> Result<InvertedIndex, String> {
+    match load_cli_index(path, mmap)? {
+        CliIndex::Plain(index) => Ok(*index),
+        CliIndex::Sharded(sharded) => {
+            // A shard manifest merges back into the exact unsharded index,
+            // so every command accepts either file format.
+            sharded.merge().map_err(|e| format!("cannot merge shards of {path}: {e}"))
+        }
+    }
+}
+
+/// An index loaded by the CLI, preserving manifest shape so commands can
+/// serve mapped shards without materializing a merged copy. Both
+/// variants are boxed/shared: the enum travels by value through every
+/// command's load path.
+enum CliIndex {
+    Plain(Box<InvertedIndex>),
+    Sharded(std::sync::Arc<ShardedIndex>),
+}
+
+fn load_cli_index(path: &str, mmap: bool) -> Result<CliIndex, String> {
     if std::path::Path::new(path).is_dir() {
         // An incremental index directory: run crash recovery (WAL replay,
         // torn-tail truncation) and materialize the equivalent one-shot
         // index, so every command transparently accepts either form. The
         // directory's own segments decide the codec — recovery refuses
-        // segments sealed under different options.
+        // segments sealed under different options. --mmap maps the sealed
+        // segments during recovery; the materialized one-shot equivalent
+        // is heap-resident either way.
         let opts = IncrementalOptions {
             codec: dir_codec(path.as_ref()),
+            mmap_segments: mmap,
             ..IncrementalOptions::default()
         };
         let inc = IncrementalIndex::open(path.as_ref(), opts)
             .map_err(|e| format!("cannot recover incremental index {path}: {e}"))?;
         return inc
             .to_one_shot()
+            .map(|idx| CliIndex::Plain(Box::new(idx)))
             .map_err(|e| format!("cannot materialize incremental index {path}: {e}"));
+    }
+    if mmap {
+        return match iiu_index::storage::open(path.as_ref())
+            .map_err(|e| format!("cannot map {path}: {e}"))?
+        {
+            iiu_index::MappedIndex::Plain(index) => Ok(CliIndex::Plain(Box::new(index))),
+            iiu_index::MappedIndex::Sharded(sharded) => {
+                Ok(CliIndex::Sharded(std::sync::Arc::new(sharded)))
+            }
+        };
     }
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     if is_sharded(&bytes) {
-        // A shard manifest merges back into the exact unsharded index, so
-        // every command accepts either file format.
         let sharded =
             deserialize_sharded(&bytes).map_err(|e| format!("cannot parse {path}: {e}"))?;
-        return sharded.merge().map_err(|e| format!("cannot merge shards of {path}: {e}"));
+        return Ok(CliIndex::Sharded(std::sync::Arc::new(sharded)));
     }
-    deserialize(&bytes).map_err(|e| format!("cannot parse {path}: {e}"))
+    deserialize(&bytes)
+        .map(|idx| CliIndex::Plain(Box::new(idx)))
+        .map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+/// One `source:` report line: heap vs mmap, and for mapped indexes the
+/// mapped span plus a `mincore(2)` residency estimate.
+fn source_line(index: &InvertedIndex) -> String {
+    let src = index.source();
+    if !src.is_mapped() {
+        return "heap (owned allocations)".into();
+    }
+    let mapped = src.mapped_bytes();
+    match src.resident_bytes() {
+        Some(resident) => format!(
+            "mmap ({} KiB mapped, ~{} KiB resident)",
+            mapped / 1024,
+            resident / 1024
+        ),
+        None => format!("mmap ({} KiB mapped, residency unavailable)", mapped / 1024),
+    }
 }
 
 fn cmd_gen(args: &[String]) -> Result<(), String> {
@@ -266,6 +339,34 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown preset {other:?}")),
     };
     cfg.seed = seed;
+    if let Some(n) = flag("terms") {
+        cfg.n_terms = parse_num(n, "--terms")?;
+    }
+    if let Some(f) = flag("max-df") {
+        cfg.max_df_fraction =
+            f.parse::<f64>().map_err(|e| format!("--max-df must be a fraction: {e}"))?;
+    }
+    if flag("stream").is_some() {
+        // Streamed generation writes the v4 file term by term with peak
+        // memory independent of the posting count — the ≥1M-doc path.
+        // Sharded output needs the whole index in memory to split, so the
+        // two flags are mutually exclusive.
+        if shards > 1 {
+            return Err("--stream writes a plain (unsharded) index; drop --shards".into());
+        }
+        let file = std::fs::File::create(out).map_err(|e| format!("cannot write {out}: {e}"))?;
+        let sink = std::io::BufWriter::new(file);
+        let (_, stats) = cfg
+            .generate_streamed(sink, Partitioner::default(), Bm25Params::default(), codec)
+            .map_err(|e| format!("cannot stream index: {e}"))?;
+        let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+        println!(
+            "streamed {} docs, {} terms, {} postings",
+            stats.docs, stats.terms, stats.postings
+        );
+        println!("wrote {out}: {} KiB, codec {}", bytes / 1024, codec.name());
+        return Ok(());
+    }
     let corpus = cfg.generate();
     println!(
         "generated {} docs, {} terms, {} postings",
@@ -341,9 +442,33 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
 fn cmd_stats(args: &[String]) -> Result<(), String> {
     let parsed = split_args(args);
     let [path] = parsed.positional[..] else {
-        return Err("usage: iiu stats <index-file>".into());
+        return Err("usage: iiu stats <index-file> [--mmap yes]".into());
     };
-    let index = load_index(path)?;
+    let mmap = parsed.flag("mmap").is_some();
+    if let CliIndex::Sharded(sharded) = load_cli_index(path, mmap)? {
+        // Manifests report per shard: a mapped manifest serves each shard
+        // straight out of its byte span in the file, so the mapped/resident
+        // split is per-shard state worth seeing.
+        let mut s = iiu_index::IndexSizeStats::default();
+        for shard in sharded.shards() {
+            s.merge(&shard.size_stats());
+        }
+        println!("documents:        {} across {} shards", sharded.num_docs(), sharded.num_shards());
+        println!("terms:            {}", sharded.shard(0).num_terms());
+        println!("postings:         {}", s.postings);
+        println!("blocks:           {} (avg {:.1} postings)", s.num_blocks, s.avg_block_len());
+        println!("compression:      {:.2}x", s.compression_ratio());
+        println!(
+            "codec:            {} ({:.2} bits/posting)",
+            sharded.shard(0).codec().name(),
+            s.bits_per_posting()
+        );
+        for (i, shard) in sharded.shards().iter().enumerate() {
+            println!("shard {i} source:   {}", source_line(shard));
+        }
+        return Ok(());
+    }
+    let index = load_index_mode(path, mmap)?;
     let s = index.size_stats();
     println!("documents:        {}", index.num_docs());
     println!("terms:            {}", index.num_terms());
@@ -364,6 +489,7 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
         s.bits_per_posting()
     );
     println!("avgdl:            {:.1}", index.avgdl());
+    println!("source:           {}", source_line(&index));
     Ok(())
 }
 
@@ -382,7 +508,7 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
     println!("file:     {path} ({} bytes)", bytes.len());
 
     if is_sharded(&bytes) {
-        return inspect_sharded(&bytes, &parsed);
+        return inspect_sharded(path, &bytes, &parsed);
     }
 
     let magic = bytes
@@ -408,6 +534,18 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
     );
     index.validate().map_err(|e| format!("validation failed: {e}"))?;
     println!("validate: ok (structural invariants hold)");
+    if parsed.flag("mmap").is_some() {
+        // Cross-check the zero-copy loader: map the same file, deep-validate
+        // the mapped assembly (which exercises every lazy record CRC), and
+        // require bit-identity with the heap load.
+        let mapped = iiu_index::storage::map_index(path.as_ref())
+            .map_err(|e| format!("mmap load failed: {e}"))?;
+        mapped.validate().map_err(|e| format!("mmap validation failed: {e}"))?;
+        if mapped != index {
+            return Err("mmap load differs from heap load".into());
+        }
+        println!("mmap:     ok (bit-identical to heap load; {})", source_line(&mapped));
+    }
     let s = index.size_stats();
     println!(
         "codec:    {} ({:.2} bits/posting, compression {:.2}x)",
@@ -589,7 +727,7 @@ fn cmd_ingest(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn inspect_sharded(bytes: &[u8], parsed: &Args<'_>) -> Result<(), String> {
+fn inspect_sharded(path: &str, bytes: &[u8], parsed: &Args<'_>) -> Result<(), String> {
     // Scan first: every shard body is CRC-cross-checked *independently*,
     // so one corrupt shard is flagged in place instead of hiding the
     // health of every other shard behind a load error.
@@ -642,6 +780,18 @@ fn inspect_sharded(bytes: &[u8], parsed: &Args<'_>) -> Result<(), String> {
     println!("load:     ok (shard header, per-shard and footer checksums verified)");
     sharded.validate().map_err(|e| format!("validation failed: {e}"))?;
     println!("validate: ok (per-shard invariants and round-robin balance hold)");
+    if parsed.flag("mmap").is_some() {
+        let mapped = iiu_index::storage::map_sharded(path.as_ref())
+            .map_err(|e| format!("mmap load failed: {e}"))?;
+        mapped.validate().map_err(|e| format!("mmap validation failed: {e}"))?;
+        if mapped != sharded {
+            return Err("mmap load differs from heap load".into());
+        }
+        println!("mmap:     ok (bit-identical to heap load)");
+        for (i, shard) in mapped.shards().iter().enumerate() {
+            println!("          shard {i}: {}", source_line(shard));
+        }
+    }
     // validate() enforces that every shard agrees on the codec, so one
     // line covers the whole manifest.
     let mut stats = iiu_index::IndexSizeStats::default();
@@ -769,7 +919,9 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
         return Err("--rate must be positive".into());
     }
 
-    let index = Arc::new(load_index(path)?);
+    // --mmap serves posting bytes from the page cache (manifests merge to
+    // the heap copy the service's Arc<InvertedIndex> needs either way).
+    let index = Arc::new(load_index_mode(path, flag("mmap").is_some())?);
     let stream = iiu_workloads::traffic::open_loop(
         &index,
         &TrafficConfig {
@@ -953,11 +1105,43 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
     let cores: usize = parse_num(flag("cores").unwrap_or("8"), "--cores")?;
     let engine = flag("engine").unwrap_or("both");
     let pruned = flag("pruned").is_some();
+    let mmap = flag("mmap").is_some();
     let shards: usize = parse_num(flag("shards").unwrap_or("1"), "--shards")?;
     if shards == 0 {
         return Err("--shards must be at least 1".into());
     }
-    let index = load_index(path)?;
+    let index = match load_cli_index(path, mmap)? {
+        CliIndex::Sharded(sharded) if mmap => {
+            // A mapped manifest serves straight from the mapping: the
+            // sharded baseline engine fans out over the mapped shards with
+            // no merged heap copy.
+            println!("[mapped manifest: {} shards served zero-copy]", sharded.num_shards());
+            let query = Query::parse(query_text).map_err(|e| e.to_string())?;
+            let eng = ShardedSearchEngine::new(sharded).with_pruning(pruned);
+            let r = eng.search_ref(&query, k).map_err(|e| e.to_string())?;
+            println!(
+                "baseline ({} shards, mmap{}): {} candidates, {:.2} us",
+                eng.num_shards(),
+                if pruned { ", pruned" } else { "" },
+                r.candidates,
+                r.latency_ns() / 1e3
+            );
+            for d in &r.degraded {
+                println!("  [degraded: {d}]");
+            }
+            for hit in &r.hits {
+                println!("  doc {:>8}  score {:.4}", hit.doc_id, hit.score);
+            }
+            return Ok(());
+        }
+        CliIndex::Sharded(sharded) => {
+            sharded.merge().map_err(|e| format!("cannot merge shards of {path}: {e}"))?
+        }
+        CliIndex::Plain(index) => *index,
+    };
+    if mmap {
+        println!("[source: {}]", source_line(&index));
+    }
     let positions =
         std::fs::read(format!("{path}.pos")).ok().and_then(|b| PositionIndex::from_bytes(&b));
     if positions.is_some() {

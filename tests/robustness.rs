@@ -4,8 +4,11 @@
 //! instead of erroring.
 
 use iiu_core::{CpuSearchEngine, Degradation, IiuSearchEngine, Query, SearchEngine};
-use iiu_index::io::{deserialize, serialize};
-use iiu_index::{survival_report, BuildOptions, IndexBuilder, PositionIndex};
+use iiu_index::io::{deserialize, serialize, serialize_sharded};
+use iiu_index::{
+    mapped_sharded_survival_report, mapped_survival_report, survival_report, BuildOptions,
+    IndexBuilder, PositionIndex, ShardedIndex,
+};
 use iiu_sim::{IiuMachine, SimConfig, SimError, SimQuery};
 use iiu_workloads::{CorpusConfig, QuerySampler};
 use proptest::prelude::*;
@@ -27,6 +30,80 @@ fn a_thousand_corruptions_never_panic_or_silently_load() {
     assert!(report.typed_errors > 1_000, "{report:?}");
     assert!(report.checksum_rejections > 0, "checksums never fired: {report:?}");
     assert_eq!(report.accepted_divergent, 0, "{report:?}");
+}
+
+fn scratch_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("iiu-robustness-{}-{tag}", std::process::id()))
+}
+
+#[test]
+fn a_thousand_corruptions_never_panic_the_mapped_loader() {
+    // The same campaign as above, driven through the zero-copy mapped
+    // load path. Rejection may come eagerly at open or lazily on first
+    // payload touch; silent divergence and panics are the failures. The
+    // only corruption a v4 mapped load may legitimately accept is one
+    // confined to the unhashed whole-file footer — and then only as a
+    // deep-equal no-op.
+    let idx = index();
+    let bytes = serialize(&idx).expect("serialize");
+    let scratch = scratch_path("mapped-plain");
+    let report = mapped_survival_report(&idx, &bytes, 1_200, 0x5eed_0002, &scratch)
+        .expect("scratch file writable");
+    assert!(report.survived(), "campaign not survived: {report:?}");
+    assert_eq!(report.trials, 1_200);
+    assert!(report.open_rejections > 900, "{report:?}");
+    assert!(
+        report.touch_checksum_rejections > 0,
+        "no corruption ever reached the lazy-CRC path: {report:?}"
+    );
+    assert_eq!(report.accepted_divergent, 0, "{report:?}");
+}
+
+#[test]
+fn mapped_manifest_corruptions_reject_at_open_or_first_touch() {
+    // Manifests recompute shard bounds at open, decoding every non-empty
+    // payload through the lazily-verified path — so corruption in any
+    // record *with blocks* surfaces as an open-time rejection. Shard
+    // dictionaries are shared across shards, so a term absent from one
+    // shard leaves a zero-block record frame there whose CRC nothing
+    // decodes at open; flips landing in those frames are the (small)
+    // lazily-caught remainder. Bit-flips in the manifest's unhashed
+    // footer remain deep-equal no-ops.
+    let idx = index();
+    let sharded = ShardedIndex::split(&idx, 3).expect("split");
+    let bytes = serialize_sharded(&sharded).expect("serialize sharded");
+    let scratch = scratch_path("mapped-shard");
+    let report = mapped_sharded_survival_report(&sharded, &bytes, 600, 0x5eed_0003, &scratch)
+        .expect("scratch file writable");
+    assert!(report.survived(), "campaign not survived: {report:?}");
+    assert_eq!(report.trials, 600);
+    assert!(report.open_rejections > 500, "{report:?}");
+    assert!(
+        report.touch_rejections < report.open_rejections / 10,
+        "open-time verification should dominate: {report:?}"
+    );
+    assert_eq!(report.accepted_divergent, 0, "{report:?}");
+}
+
+#[test]
+fn footer_flip_loads_mapped_but_fails_heap() {
+    // The documented asymmetry of the zero-copy trade: the mapped loader
+    // never hashes the whole-file footer (it would fault in every page),
+    // so a corruption confined to the final 4 bytes loads clean and
+    // deep-equal; the heap loader's full-file CRC still rejects it.
+    let idx = index();
+    let mut bytes = serialize(&idx).expect("serialize");
+    let n = bytes.len();
+    bytes[n - 1] ^= 0x01;
+    assert!(deserialize(&bytes).is_err(), "heap load must reject a footer flip");
+    let scratch = scratch_path("footer-flip");
+    std::fs::write(&scratch, &bytes).expect("scratch file writable");
+    let mapped = iiu_index::storage::map_index(&scratch).expect("mapped load skips the footer");
+    for id in 0..mapped.num_terms() as u32 {
+        mapped.verify_term(id).expect("content sections are intact");
+    }
+    assert_eq!(mapped, idx);
+    std::fs::remove_file(&scratch).ok();
 }
 
 #[test]

@@ -141,6 +141,59 @@ fn pruned_matches_exhaustive_under_every_codec() {
     }
 }
 
+/// Source matrix (DESIGN.md §19): the same v4 file loaded heap-side and
+/// through the zero-copy mapped loader is one index — deep-equal, and
+/// bit-identical in pruned and exhaustive execution across all three
+/// query shapes, every k, and every block codec.
+#[test]
+fn mapped_source_matches_heap_under_every_codec() {
+    use iiu_index::{io, storage, Bm25Params, CodecId};
+
+    let reference = CorpusConfig::tiny(0xC0FFEE).generate().into_default_index();
+    let mut sampler = QuerySampler::new(&reference, 9);
+    let singles = sampler.single_queries(6);
+    let pairs = sampler.pair_queries(6);
+
+    for codec in CodecId::ALL {
+        let heap = CorpusConfig::tiny(0xC0FFEE).generate().into_index_codec(
+            Partitioner::default(),
+            Bm25Params::default(),
+            codec,
+        );
+        let bytes = io::serialize(&heap).expect("serialize");
+        let path = std::env::temp_dir()
+            .join(format!("iiu-topk-src-{}-{codec}", std::process::id()));
+        std::fs::write(&path, &bytes).expect("temp file writable");
+        let mapped = storage::map_index(&path).expect("mapped load");
+        assert!(mapped.source().is_mapped() && !heap.source().is_mapped());
+        assert_eq!(mapped, heap, "{codec}: sources must assemble one index");
+
+        let mut h_plain = CpuEngine::new(&heap);
+        let mut h_pruned = CpuEngine::new(&heap).with_pruning(true);
+        let mut m_plain = CpuEngine::new(&mapped);
+        let mut m_pruned = CpuEngine::new(&mapped).with_pruning(true);
+        for k in KS {
+            for t in &singles {
+                let r = h_plain.search_single(t, k).expect("known term");
+                let m = m_plain.search_single(t, k).expect("known term");
+                assert_eq!(m.hits, r.hits, "{codec} mmap single {t} k={k}");
+                let r = h_pruned.search_single(t, k).expect("known term");
+                let m = m_pruned.search_single(t, k).expect("known term");
+                assert_eq!(m.hits, r.hits, "{codec} mmap pruned single {t} k={k}");
+            }
+            for (ta, tb) in &pairs {
+                let r = h_pruned.search_intersection(ta, tb, k).expect("known");
+                let m = m_pruned.search_intersection(ta, tb, k).expect("known");
+                assert_eq!(m.hits, r.hits, "{codec} mmap {ta} AND {tb} k={k}");
+                let r = h_pruned.search_union(ta, tb, k).expect("known");
+                let m = m_pruned.search_union(ta, tb, k).expect("known");
+                assert_eq!(m.hits, r.hits, "{codec} mmap {ta} OR {tb} k={k}");
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
 /// A pruned [`CpuSearchEngine`] agrees with the exhaustive accelerator
 /// engine on primitive queries — the equivalence holds across engine
 /// implementations, not just within the baseline crate.

@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # Full verification gate: build, tests, the fault-injected serving soak,
-# the no-panic lint wall, and the hot-path decode, shard-scaling, and
-# serve tail-latency perf gates.
+# the no-panic lint wall, and the hot-path decode, shard-scaling, mmap
+# storage, and serve tail-latency perf gates.
 #
 # Usage: ./verify.sh [--quick]
 #   --quick  skip the perf gates (the slowest steps; use while
@@ -126,6 +126,27 @@ if [ "$quick" -eq 0 ]; then
         --check BENCH_shard_thresholds.json
 else
     echo "verify: --quick set, skipping shard scaling gate"
+fi
+
+# Mmap storage gate (DESIGN.md §19): loads the same corpus heap-side and
+# through the zero-copy mapped loader, proves the sources interchangeable
+# (equal indexes, bit-identical pruned hits per query shape), times warm
+# mapped block decode and end-to-end queries against in-RAM (within-run
+# max_warm_ratio plus committed min_ns baselines), reports an advisory
+# cold-cache sweep, and re-execs itself to stream a 1M-doc corpus to disk
+# and serve it through a fresh mapping — failing if that child's peak RSS
+# exceeds the committed rss_max_kb. Rewrites BENCH_mmap.json. Regenerate
+# baselines with:
+#   cargo run --release -p iiu-bench --bin mmap_bench -- \
+#     --write-thresholds BENCH_mmap_thresholds.json
+# Under --quick, only the source-equivalence smoke runs (no timing, no
+# RSS child).
+if [ "$quick" -eq 0 ]; then
+    cargo run --release -p iiu-bench --bin mmap_bench -- \
+        --check BENCH_mmap_thresholds.json
+else
+    echo "verify: --quick set, running mmap source-equivalence smoke instead of perf gate"
+    cargo run --release -p iiu-bench --bin mmap_bench -- --smoke
 fi
 
 # Serve tail-latency gate (DESIGN.md §17): offers the same 100k-query
